@@ -1,0 +1,97 @@
+/// Ablation for the paper's §V-B.1 claim: FRaZ's cutoff-modified global
+/// search converges in far fewer compressor invocations than the baseline
+/// the paper describes — a search that "climbs from the minimum possible
+/// error bound to the user-specified upper limit" ("our method requires only
+/// 6 iterations ... binary search needs 39").
+///
+/// Three searchers run on the same live objective (SZ / ZFP on Hurricane
+/// fields):
+///  - FRaZ: find_min_global with the early-termination cutoff;
+///  - climbing: the paper's described baseline (geometric climb from lo);
+///  - bisection: classic midpoint splitting, shown for completeness — it is
+///    efficient on monotone stretches but unsound under the non-monotonic
+///    curves of Fig. 3.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/loss.hpp"
+#include "opt/global_search.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fraz;
+  Cli cli("Ablation: cutoff-modified global search vs climbing/bisection baselines");
+  cli.add_string("scale", "small", "suite scale: tiny|small|medium");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::banner("Ablation (§V-B.1)", "global search vs the paper's climbing baseline",
+                "FRaZ converges in few calls on feasible targets; the climbing "
+                "baseline needs several times more (paper: 6 vs 39)");
+
+  const auto scale = bench::parse_scale(cli.get_string("scale"));
+  const auto ds = data::dataset_by_name("hurricane", scale);
+  const double epsilon = 0.1;
+
+  Table t({"field", "backend", "target", "fraz_calls", "fraz_hit", "climb_calls", "climb_hit",
+           "bisect_calls", "bisect_hit"});
+  long fraz_total = 0, climb_total = 0;
+  int cases = 0;
+
+  struct Workload {
+    const char* field;
+    const char* backend;
+    std::vector<double> targets;
+  };
+  const std::vector<Workload> workloads = {
+      {"CLOUDf", "sz", {5, 8, 12, 20}},
+      {"QCLOUDf.log10", "sz", {70, 90, 110}},  // the Fig. 3 non-monotonic field
+      {"TCf", "zfp", {5, 10, 20}},
+  };
+
+  for (const auto& w : workloads) {
+    const NdArray field = data::generate_field(data::field_by_name(ds, w.field), 0);
+    const ArrayView view = field.view();
+    const double hi = value_range(view);
+    auto compressor = pressio::registry().create(w.backend);
+    auto ratio_fn = [&](double bound) {
+      return bench::ratio_at(*compressor, view, std::max(bound, hi * 1e-12));
+    };
+
+    for (double target : w.targets) {
+      opt::SearchOptions so;
+      so.max_calls = 80;
+      so.cutoff = loss_cutoff(target, epsilon);
+      const auto global = opt::find_min_global(
+          [&](double bound) { return ratio_loss(ratio_fn(bound), target); }, hi * 1e-9, hi,
+          so);
+      const auto climb = opt::climbing_search(ratio_fn, hi * 1e-9, hi, target, epsilon, 80);
+      const auto bisect = opt::binary_search_monotone(ratio_fn, hi * 1e-9, hi, target,
+                                                      epsilon, 80);
+      t.add_row({w.field, w.backend, Table::num(target, 0), std::to_string(global.calls),
+                 global.hit_cutoff ? "yes" : "no", std::to_string(climb.calls),
+                 climb.hit_cutoff ? "yes" : "no", std::to_string(bisect.calls),
+                 bisect.hit_cutoff ? "yes" : "no"});
+      if (global.hit_cutoff && climb.hit_cutoff) {
+        fraz_total += global.calls;
+        climb_total += climb.calls;
+        ++cases;
+      }
+    }
+  }
+  t.print(std::cout);
+
+  if (cases > 0) {
+    const double fraz_avg = static_cast<double>(fraz_total) / cases;
+    const double climb_avg = static_cast<double>(climb_total) / cases;
+    std::printf("\naverage calls on mutually-feasible targets: FRaZ %.1f vs climbing %.1f\n",
+                fraz_avg, climb_avg);
+    std::printf("shape check (FRaZ needs fewer calls than the paper's baseline): %s\n",
+                fraz_avg < climb_avg ? "HOLDS" : "VIOLATED");
+  }
+  std::printf("note: bisection is shown for completeness; it assumes monotonicity,\n"
+              "which Fig. 3 shows these curves do not provide in general.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+#ifndef FRAZ_BENCH_BENCH_COMMON_HPP
+#define FRAZ_BENCH_BENCH_COMMON_HPP
+
+/// Shared plumbing for the per-figure/table reproduction benches: suite-scale
+/// parsing, standard banner, and ratio/fidelity helpers.  Every bench prints
+/// a self-describing header, the paper-expected shape, and a machine-parsable
+/// table so EXPERIMENTS.md can quote outputs directly.
+
+#include <cstdio>
+#include <string>
+
+#include "data/datasets.hpp"
+#include "pressio/evaluate.hpp"
+#include "pressio/registry.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace fraz::bench {
+
+/// Standard banner shared by all benches.
+inline void banner(const std::string& id, const std::string& title,
+                   const std::string& expectation) {
+  std::printf("==================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("paper-expected shape: %s\n", expectation.c_str());
+  std::printf("==================================================================\n");
+}
+
+/// Parse the --scale flag shared by dataset-driven benches.
+inline data::SuiteScale parse_scale(const std::string& name) {
+  if (name == "tiny") return data::SuiteScale::kTiny;
+  if (name == "medium") return data::SuiteScale::kMedium;
+  return data::SuiteScale::kSmall;
+}
+
+/// Compression ratio at a given error bound (one compress call).
+inline double ratio_at(const pressio::Compressor& c, const ArrayView& view, double bound) {
+  auto clone = c.clone();
+  clone->set_error_bound(bound);
+  return pressio::probe_ratio(*clone, view).ratio;
+}
+
+}  // namespace fraz::bench
+
+#endif  // FRAZ_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,239 @@
+/// Reproduction of Fig. 8: strong scalability of FRaZ from 36 to 252 cores,
+/// for sz:abs and zfp:accuracy on the Hurricane dataset.
+///
+/// Substitution (DESIGN.md §2): the paper measures MPI ranks on Bebop; this
+/// machine has a handful of cores, so the scaling curve is reproduced by a
+/// deterministic discrete-event replay.  The *task durations are real*: a
+/// serial FRaZ training run is executed per field and each region task's
+/// wall time and call count recorded; the warm-start step structure (probe
+/// per step, occasional retrain) mirrors Algorithm 3.  The replay then
+/// list-schedules the task graph at each simulated core count.
+///
+/// Expected shapes:
+///  - steep runtime decrease up to ~180-216 cores, flat afterwards (the
+///    makespan becomes the longest dependency chain / longest task);
+///  - ZFP's curve sits ABOVE SZ's despite ZFP compressing faster per call,
+///    because ZFP expresses fewer ratios -> more infeasible searches that
+///    exhaust the iteration budget (paper §VI-B.3).
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <queue>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/tuner.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace fraz;
+
+/// One schedulable unit with a dependency on a previous unit (or -1).
+struct SimTask {
+  double duration;
+  int depends_on;  // index into the task vector, -1 if none
+};
+
+/// List-schedule tasks on `cores` workers; returns the makespan.
+double simulate_makespan(const std::vector<SimTask>& tasks, int cores) {
+  const std::size_t n = tasks.size();
+  std::vector<double> finish(n, -1.0);
+  std::vector<int> pending(n, 0);
+  std::vector<std::vector<int>> children(n);
+  std::vector<int> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tasks[i].depends_on >= 0) {
+      pending[i] = 1;
+      children[static_cast<std::size_t>(tasks[i].depends_on)].push_back(static_cast<int>(i));
+    } else {
+      ready.push_back(static_cast<int>(i));
+    }
+  }
+  // Workers become free at these times (min-heap).
+  std::priority_queue<double, std::vector<double>, std::greater<>> workers;
+  for (int c = 0; c < cores; ++c) workers.push(0.0);
+
+  // Event loop: pop the earliest-free worker, give it the ready task whose
+  // dependency finished earliest (FIFO within readiness).
+  std::size_t completed = 0;
+  double makespan = 0.0;
+  std::size_t ready_head = 0;
+  std::vector<std::pair<double, int>> not_ready;  // (ready_time, task)
+  std::priority_queue<std::pair<double, int>, std::vector<std::pair<double, int>>,
+                      std::greater<>>
+      becomes_ready;
+  while (completed < n) {
+    if (ready_head >= ready.size()) {
+      // Advance time to the next dependency completion.
+      auto [t, task] = becomes_ready.top();
+      becomes_ready.pop();
+      ready.push_back(task);
+      // Worker availability must not precede the ready time.
+      double w = workers.top();
+      workers.pop();
+      workers.push(std::max(w, t));
+      continue;
+    }
+    const int task = ready[ready_head++];
+    double start = workers.top();
+    workers.pop();
+    const double end = start + tasks[static_cast<std::size_t>(task)].duration;
+    finish[static_cast<std::size_t>(task)] = end;
+    makespan = std::max(makespan, end);
+    workers.push(end);
+    ++completed;
+    for (int child : children[static_cast<std::size_t>(task)]) {
+      if (--pending[static_cast<std::size_t>(child)] == 0) becomes_ready.emplace(end, child);
+    }
+  }
+  return makespan;
+}
+
+/// Measured profile of tuning one field.
+struct FieldProfile {
+  std::vector<double> region_seconds;  // real per-region training durations
+  double probe_seconds;                // one warm-start probe
+  bool feasible;                       // did the target land in the band?
+};
+
+/// Build the task graph: per field, step 0 trains (K parallel region tasks
+/// whose join feeds step 1), later steps are single probes except periodic
+/// retrains (paper Fig. 6b: a handful per series).
+std::vector<SimTask> build_graph(const std::vector<FieldProfile>& fields, int steps,
+                                 int retrain_every) {
+  std::vector<SimTask> tasks;
+  for (const auto& field : fields) {
+    int join_of_prev = -1;
+    for (int t = 0; t < steps; ++t) {
+      // Infeasible fields retrain at EVERY step: the warm-start probe always
+      // misses the band (paper §VI-B.3: "FRaZ took more time-steps which
+      // took the maximum number of iterations, lengthening the runtime").
+      const bool trains =
+          t == 0 || !field.feasible || (retrain_every > 0 && t % retrain_every == 0);
+      if (trains) {
+        // K parallel region tasks, then a zero-cost join task.
+        std::vector<int> region_ids;
+        for (double d : field.region_seconds) {
+          tasks.push_back({d, join_of_prev});
+          region_ids.push_back(static_cast<int>(tasks.size() - 1));
+        }
+        // Join approximated by chaining on the longest region (list
+        // scheduling of independent siblings makes the distinction moot).
+        int longest = region_ids[0];
+        for (int id : region_ids)
+          if (tasks[static_cast<std::size_t>(id)].duration >
+              tasks[static_cast<std::size_t>(longest)].duration)
+            longest = id;
+        join_of_prev = longest;
+      } else {
+        tasks.push_back({field.probe_seconds, join_of_prev});
+        join_of_prev = static_cast<int>(tasks.size() - 1);
+      }
+    }
+  }
+  return tasks;
+}
+
+FieldProfile profile_field(const pressio::Compressor& proto, const ArrayView& view,
+                           double target) {
+  TunerConfig cfg;
+  cfg.target_ratio = target;
+  // A tight band widens the gaps between ZFP's expressible ratios (its
+  // accuracy mode floors log2(tolerance), so ratios come in coarse treads)
+  // while SZ's near-continuous curve still satisfies it -- the mechanism
+  // behind the paper's ZFP-above-SZ Fig. 8 ordering.
+  cfg.epsilon = 0.05;
+  cfg.regions = 12;            // the paper's default task count
+  cfg.max_evals_per_region = 12;
+  cfg.threads = 1;             // serial: we need *per-region* durations
+  const Tuner tuner(proto, cfg);
+  const TuneResult r = tuner.tune(view);
+
+  // Per-region durations: calls x measured single-compression time.
+  auto clone = proto.clone();
+  clone->set_error_bound(r.error_bound > 0 ? r.error_bound : value_range(view) * 0.01);
+  Timer timer;
+  (void)clone->compress(view);
+  const double per_call = timer.seconds();
+
+  FieldProfile profile;
+  for (const auto& region : r.regions)
+    profile.region_seconds.push_back(std::max(region.compress_calls, 1) * per_call);
+  profile.probe_seconds = per_call;
+  profile.feasible = r.feasible;
+  return profile;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fraz;
+  Cli cli("Fig. 8 reproduction: strong scalability (measured tasks, simulated cores)");
+  cli.add_string("scale", "small", "suite scale: tiny|small|medium");
+  cli.add_int("steps", 12, "time steps per field");
+  cli.add_double("target", 16.0, "target compression ratio");
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::banner("Fig. 8", "strong scaling, sz:abs vs zfp:accuracy (Hurricane analogue)",
+                "runtime drops steeply to ~180-216 cores then flattens at the longest "
+                "task chain; zfp curve above sz despite faster per-call compression");
+
+  const auto scale = bench::parse_scale(cli.get_string("scale"));
+  const auto ds = data::dataset_by_name("hurricane", scale);
+  const double target = cli.get_double("target");
+  const int steps = static_cast<int>(cli.get_int("steps"));
+
+  // The paper's Hurricane has 13 fields; replicate our 4 analogue kinds with
+  // distinct seeds to reach 13 (the QCLOUD-like heavy field included once).
+  std::vector<data::FieldSpec> specs;
+  for (int i = 0; specs.size() < 13; ++i) {
+    for (const auto& f : ds.fields) {
+      if (specs.size() >= 13) break;
+      data::FieldSpec s = f;
+      s.seed ^= static_cast<std::uint64_t>(i) * 0x9e3779b9u;
+      specs.push_back(s);
+    }
+  }
+
+  Table t({"cores", "sz_abs_runtime_s", "zfp_accuracy_runtime_s"});
+  std::vector<double> sz_curve, zfp_curve;
+  std::vector<int> core_counts = {36, 72, 108, 144, 180, 216, 252};
+
+  for (const char* backend : {"sz", "zfp"}) {
+    auto proto = pressio::registry().create(backend);
+    std::vector<FieldProfile> profiles;
+    int feasible_fields = 0;
+    double per_call_sum = 0;
+    for (const auto& spec : specs) {
+      const NdArray field = data::generate_field(spec, 0);
+      profiles.push_back(profile_field(*proto, field.view(), target));
+      feasible_fields += profiles.back().feasible;
+      per_call_sum += profiles.back().probe_seconds;
+    }
+    std::printf("[profile] %s: %d/%zu fields feasible at target %.0f, mean compress "
+                "%.2f ms/call\n",
+                backend, feasible_fields, specs.size(), target,
+                1e3 * per_call_sum / static_cast<double>(specs.size()));
+    const auto graph = build_graph(profiles, steps, 8);
+    auto& curve = std::string(backend) == "sz" ? sz_curve : zfp_curve;
+    for (int cores : core_counts) curve.push_back(simulate_makespan(graph, cores));
+  }
+
+  for (std::size_t i = 0; i < core_counts.size(); ++i)
+    t.add_row({std::to_string(core_counts[i]), Table::num(sz_curve[i], 3),
+               Table::num(zfp_curve[i], 3)});
+  t.print(std::cout);
+
+  const bool decreases = sz_curve.front() > sz_curve.back() * 1.2;
+  const bool flattens =
+      sz_curve[sz_curve.size() - 2] < sz_curve[sz_curve.size() - 3] * 1.05 ||
+      sz_curve.back() > sz_curve[sz_curve.size() - 2] * 0.95;
+  const bool zfp_above = zfp_curve.back() >= sz_curve.back();
+  std::printf("\nshape checks: runtime decreases with cores: %s; flattens at high core "
+              "counts: %s; zfp above sz at scale: %s\n",
+              decreases ? "HOLDS" : "VIOLATED", flattens ? "HOLDS" : "VIOLATED",
+              zfp_above ? "HOLDS" : "VIOLATED");
+  return 0;
+}

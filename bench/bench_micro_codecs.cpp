@@ -1,0 +1,114 @@
+/// Micro-benchmarks (google-benchmark) for the codec substrate: Huffman,
+/// LZ77 dictionary coder, CRC-32, and the bit stream.  These are the
+/// building blocks whose throughput bounds SZ/MGARD compression bandwidth.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "codec/bitstream.hpp"
+#include "codec/checksum.hpp"
+#include "codec/huffman.hpp"
+#include "codec/lz.hpp"
+#include "codec/rans.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fraz;
+
+std::vector<std::uint32_t> quantization_codes(std::size_t n) {
+  // SZ-like code stream: sharply peaked around the radius.
+  Rng rng(1);
+  std::vector<std::uint32_t> codes(n);
+  for (auto& c : codes) {
+    const double g = rng.normal() * 3.0;
+    c = static_cast<std::uint32_t>(32768 + static_cast<std::int64_t>(g));
+  }
+  return codes;
+}
+
+std::vector<std::uint8_t> huffman_bytes(std::size_t n) {
+  return huffman_encode(quantization_codes(n));
+}
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  const auto codes = quantization_codes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(huffman_encode(codes));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 4);
+}
+BENCHMARK(BM_HuffmanEncode)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_HuffmanDecode(benchmark::State& state) {
+  const auto encoded = huffman_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(huffman_decode(encoded));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 4);
+}
+BENCHMARK(BM_HuffmanDecode)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_LzCompress(benchmark::State& state) {
+  // Huffman output is the realistic input of the dictionary stage.
+  const auto data = huffman_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(lz_compress(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_LzCompress)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_LzDecompress(benchmark::State& state) {
+  const auto compressed = lz_compress(huffman_bytes(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) benchmark::DoNotOptimize(lz_decompress(compressed));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(compressed.size()));
+}
+BENCHMARK(BM_LzDecompress)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_RansEncode(benchmark::State& state) {
+  const auto codes = quantization_codes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(rans_encode(codes));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 4);
+}
+BENCHMARK(BM_RansEncode)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_RansDecode(benchmark::State& state) {
+  const auto encoded = rans_encode(quantization_codes(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) benchmark::DoNotOptimize(rans_decode(encoded));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 4);
+}
+BENCHMARK(BM_RansDecode)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_Crc32(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+  for (auto _ : state) benchmark::DoNotOptimize(crc32(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(1 << 20);
+
+void BM_BitStreamRoundtrip(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::pair<std::uint64_t, unsigned>> writes;
+  for (int i = 0; i < 4096; ++i) {
+    const unsigned width = 1 + static_cast<unsigned>(rng.below(31));
+    writes.emplace_back(rng.next() & ((1ull << width) - 1), width);
+  }
+  for (auto _ : state) {
+    BitWriter w;
+    for (const auto& [value, width] : writes) w.write_bits(value, width);
+    const auto bytes = w.take();
+    BitReader r(bytes);
+    std::uint64_t sink = 0;
+    for (const auto& [value, width] : writes) sink ^= r.read_bits(width);
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_BitStreamRoundtrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+/// Reproduction of Table II (hardware & software versions): prints the
+/// environment this reproduction runs on, alongside the paper's original
+/// environment, so EXPERIMENTS.md can document both sides.
+
+#include <cstdio>
+#include <iostream>
+#include <thread>
+
+#include "bench_common.hpp"
+
+int main() {
+  fraz::bench::banner("Table II", "hardware and software environment",
+                      "documentation table (no measured shape)");
+
+  fraz::Table t({"component", "paper (Bebop)", "this reproduction"});
+  t.add_row({"CPU", "36-core Intel Xeon E5-2695v4",
+             std::to_string(std::thread::hardware_concurrency()) + " hardware threads"});
+  t.add_row({"MEM", "128GB DDR4", "(host dependent)"});
+  t.add_row({"parallel runtime", "OpenMPI 2.1.1 (MPI ranks)", "std::thread pool (see DESIGN.md)"});
+  t.add_row({"SZ", "2.1.7 (C)", "fraz::sz from-scratch reproduction"});
+  t.add_row({"ZFP", "0.5.5 (C)", "fraz::zfp from-scratch reproduction"});
+  t.add_row({"MGARD", "0.0.0.2 (C++)", "fraz::mgard from-scratch reproduction"});
+  t.add_row({"optimizer", "Dlib 2.28 find_global_min", "fraz::opt::find_min_global"});
+  t.add_row({"middleware", "libpressio", "fraz::pressio"});
+  t.add_row({"language standard", "C/C++/Python mix", "C++20"});
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "codec/bitstream.hpp"
+
+namespace fraz {
+
+void BitWriter::flush_accumulator() {
+  while (accumulator_bits_ >= 8) {
+    bytes_.push_back(static_cast<std::uint8_t>(accumulator_ & 0xffu));
+    accumulator_ >>= 8;
+    accumulator_bits_ -= 8;
+  }
+}
+
+void BitWriter::write_bit(unsigned bit) {
+  accumulator_ |= static_cast<std::uint64_t>(bit & 1u) << accumulator_bits_;
+  ++accumulator_bits_;
+  ++bit_count_;
+  if (accumulator_bits_ == 64) flush_accumulator();
+}
+
+void BitWriter::write_bits(std::uint64_t value, unsigned n) {
+  require(n <= 64, "BitWriter::write_bits: n > 64");
+  if (n == 0) return;
+  if (n < 64) value &= (std::uint64_t{1} << n) - 1;
+  // Split so the accumulator never overflows 64 bits.
+  unsigned room = 64 - accumulator_bits_;
+  unsigned first = n < room ? n : room;
+  accumulator_ |= value << accumulator_bits_;
+  accumulator_bits_ += first;
+  bit_count_ += first;
+  flush_accumulator();
+  if (first < n) {
+    value >>= first;
+    accumulator_ |= value << accumulator_bits_;
+    accumulator_bits_ += n - first;
+    bit_count_ += n - first;
+    flush_accumulator();
+  }
+}
+
+void BitWriter::align_byte() {
+  const unsigned rem = bit_count_ % 8;
+  if (rem != 0) write_bits(0, 8 - rem);
+}
+
+std::vector<std::uint8_t> BitWriter::take() {
+  align_byte();
+  flush_accumulator();
+  if (accumulator_bits_ > 0) {
+    bytes_.push_back(static_cast<std::uint8_t>(accumulator_ & 0xffu));
+    accumulator_ = 0;
+    accumulator_bits_ = 0;
+  }
+  bit_count_ = 0;
+  return std::move(bytes_);
+}
+
+unsigned BitReader::read_bit() {
+  if (pos_ >= size_bits_) throw CorruptStream("BitReader: read past end of stream");
+  const unsigned bit = (data_[pos_ / 8] >> (pos_ % 8)) & 1u;
+  ++pos_;
+  return bit;
+}
+
+std::uint64_t BitReader::read_bits(unsigned n) {
+  require(n <= 64, "BitReader::read_bits: n > 64");
+  if (n == 0) return 0;
+  if (pos_ + n > size_bits_) throw CorruptStream("BitReader: read past end of stream");
+  std::uint64_t value = 0;
+  unsigned got = 0;
+  while (got < n) {
+    const std::size_t byte = pos_ / 8;
+    const unsigned offset = static_cast<unsigned>(pos_ % 8);
+    const unsigned take = std::min<unsigned>(8 - offset, n - got);
+    const std::uint64_t chunk = (static_cast<std::uint64_t>(data_[byte]) >> offset) &
+                                ((std::uint64_t{1} << take) - 1);
+    value |= chunk << got;
+    got += take;
+    pos_ += take;
+  }
+  return value;
+}
+
+}  // namespace fraz

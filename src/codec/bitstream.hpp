@@ -1,0 +1,85 @@
+#ifndef FRAZ_CODEC_BITSTREAM_HPP
+#define FRAZ_CODEC_BITSTREAM_HPP
+
+/// \file bitstream.hpp
+/// Little-endian bit-granular writer/reader.
+///
+/// Bits are packed LSB-first into bytes, i.e. the first bit written occupies
+/// bit 0 of byte 0.  This matches the ordering used by ZFP's stream and makes
+/// the embedded bit-plane coder's output byte layout deterministic across
+/// platforms.  Values wider than one bit are written least-significant-bit
+/// first as well.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fraz {
+
+/// Append-only bit writer backed by a growable byte buffer.
+class BitWriter {
+public:
+  BitWriter() = default;
+
+  /// Write the lowest bit of \p bit.
+  void write_bit(unsigned bit);
+
+  /// Write the lowest \p n bits of \p value (LSB first).  n in [0, 64].
+  void write_bits(std::uint64_t value, unsigned n);
+
+  /// Pad with zero bits up to the next byte boundary.
+  void align_byte();
+
+  /// Number of bits written so far.
+  std::size_t bit_count() const noexcept { return bit_count_; }
+
+  /// Finish and take the underlying buffer (writer becomes empty).
+  std::vector<std::uint8_t> take();
+
+  /// Finished size in bytes (including the partially filled tail byte).
+  std::size_t byte_count() const noexcept { return (bit_count_ + 7) / 8; }
+
+private:
+  void flush_accumulator();
+
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t accumulator_ = 0;
+  unsigned accumulator_bits_ = 0;
+  std::size_t bit_count_ = 0;
+};
+
+/// Sequential bit reader over a byte span.
+class BitReader {
+public:
+  BitReader(const std::uint8_t* data, std::size_t size_bytes) noexcept
+      : data_(data), size_bits_(size_bytes * 8) {}
+
+  explicit BitReader(const std::vector<std::uint8_t>& bytes) noexcept
+      : BitReader(bytes.data(), bytes.size()) {}
+
+  /// Read one bit; throws CorruptStream past the end.
+  unsigned read_bit();
+
+  /// Read \p n bits (LSB first); n in [0, 64].
+  std::uint64_t read_bits(unsigned n);
+
+  /// Skip forward to the next byte boundary.
+  void align_byte() noexcept { pos_ = (pos_ + 7) / 8 * 8; }
+
+  /// Bits consumed so far.
+  std::size_t bit_position() const noexcept { return pos_; }
+
+  /// Bits remaining.
+  std::size_t bits_left() const noexcept { return size_bits_ - pos_; }
+
+private:
+  const std::uint8_t* data_;
+  std::size_t size_bits_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fraz
+
+#endif  // FRAZ_CODEC_BITSTREAM_HPP

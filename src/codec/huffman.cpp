@@ -1,0 +1,202 @@
+#include "codec/huffman.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <queue>
+
+#include "codec/bitstream.hpp"
+#include "codec/varint.hpp"
+#include "util/error.hpp"
+
+namespace fraz {
+
+namespace {
+
+constexpr unsigned kMaxCodeLength = 32;
+
+struct SymbolLength {
+  std::uint32_t symbol;
+  unsigned length;
+};
+
+/// Compute Huffman code lengths for the given (symbol, frequency) pairs.
+/// Ties are broken deterministically by symbol value.  If the tree depth
+/// exceeds kMaxCodeLength the frequencies are repeatedly halved (flattening
+/// the tree) until it fits; this only matters for pathological inputs.
+std::vector<SymbolLength> code_lengths(std::vector<std::pair<std::uint32_t, std::uint64_t>> freq) {
+  if (freq.empty()) return {};
+  if (freq.size() == 1) return {{freq[0].first, 1}};
+
+  for (;;) {
+    struct Node {
+      std::uint64_t weight;
+      std::uint32_t tiebreak;  // min symbol in subtree: deterministic ordering
+      int left = -1, right = -1;
+      std::uint32_t symbol = 0;
+      bool leaf = false;
+    };
+    std::vector<Node> nodes;
+    nodes.reserve(freq.size() * 2);
+    using Handle = std::pair<std::pair<std::uint64_t, std::uint32_t>, int>;  // ((w, tie), index)
+    std::priority_queue<Handle, std::vector<Handle>, std::greater<>> heap;
+    for (const auto& [sym, f] : freq) {
+      Node n;
+      n.weight = f;
+      n.tiebreak = sym;
+      n.symbol = sym;
+      n.leaf = true;
+      nodes.push_back(n);
+      heap.push({{f, sym}, static_cast<int>(nodes.size() - 1)});
+    }
+    while (heap.size() > 1) {
+      const auto a = heap.top();
+      heap.pop();
+      const auto b = heap.top();
+      heap.pop();
+      Node parent;
+      parent.weight = a.first.first + b.first.first;
+      parent.tiebreak = std::min(a.first.second, b.first.second);
+      parent.left = a.second;
+      parent.right = b.second;
+      nodes.push_back(parent);
+      heap.push({{parent.weight, parent.tiebreak}, static_cast<int>(nodes.size() - 1)});
+    }
+
+    // Depth-first traversal to collect leaf depths.
+    std::vector<SymbolLength> lengths;
+    lengths.reserve(freq.size());
+    unsigned max_depth = 0;
+    std::vector<std::pair<int, unsigned>> stack{{heap.top().second, 0}};
+    while (!stack.empty()) {
+      auto [idx, depth] = stack.back();
+      stack.pop_back();
+      const Node& n = nodes[static_cast<std::size_t>(idx)];
+      if (n.leaf) {
+        lengths.push_back({n.symbol, std::max(depth, 1u)});
+        max_depth = std::max(max_depth, depth);
+      } else {
+        stack.push_back({n.left, depth + 1});
+        stack.push_back({n.right, depth + 1});
+      }
+    }
+    if (max_depth <= kMaxCodeLength) return lengths;
+    for (auto& [sym, f] : freq) f = (f + 1) / 2;  // flatten and retry
+  }
+}
+
+/// Canonical code assignment: codes ordered by (length, symbol).
+struct Canonical {
+  std::vector<SymbolLength> sorted;          // by (length, symbol)
+  std::vector<std::uint32_t> codes;          // parallel to sorted
+  std::uint32_t first_code[kMaxCodeLength + 2] = {};
+  std::uint32_t first_index[kMaxCodeLength + 2] = {};
+  std::uint32_t count[kMaxCodeLength + 2] = {};
+};
+
+Canonical canonicalize(std::vector<SymbolLength> lengths) {
+  Canonical c;
+  std::sort(lengths.begin(), lengths.end(), [](const SymbolLength& a, const SymbolLength& b) {
+    return a.length != b.length ? a.length < b.length : a.symbol < b.symbol;
+  });
+  c.sorted = std::move(lengths);
+  c.codes.resize(c.sorted.size());
+  for (const auto& sl : c.sorted) c.count[sl.length]++;
+
+  std::uint32_t code = 0;
+  std::uint32_t index = 0;
+  for (unsigned len = 1; len <= kMaxCodeLength; ++len) {
+    c.first_code[len] = code;
+    c.first_index[len] = index;
+    for (std::uint32_t i = 0; i < c.count[len]; ++i) c.codes[index + i] = code + i;
+    code = (code + c.count[len]) << 1;
+    index += c.count[len];
+  }
+  return c;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> huffman_encode(const std::uint32_t* symbols, std::size_t n) {
+  // Stage 1: frequency census.
+  std::map<std::uint32_t, std::uint64_t> census;
+  for (std::size_t i = 0; i < n; ++i) census[symbols[i]]++;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> freq(census.begin(), census.end());
+
+  // Stage 2: code lengths + canonical codes.
+  Canonical canon = canonicalize(code_lengths(std::move(freq)));
+
+  // Symbol -> (code, length) lookup for encoding.
+  std::map<std::uint32_t, std::pair<std::uint32_t, unsigned>> encode_table;
+  for (std::size_t i = 0; i < canon.sorted.size(); ++i)
+    encode_table[canon.sorted[i].symbol] = {canon.codes[i], canon.sorted[i].length};
+
+  // Stage 3: header.
+  std::vector<std::uint8_t> out;
+  put_varint(out, n);
+  // Dictionary sorted by symbol for delta coding.
+  std::vector<SymbolLength> by_symbol = canon.sorted;
+  std::sort(by_symbol.begin(), by_symbol.end(),
+            [](const SymbolLength& a, const SymbolLength& b) { return a.symbol < b.symbol; });
+  put_varint(out, by_symbol.size());
+  std::uint32_t prev = 0;
+  for (std::size_t i = 0; i < by_symbol.size(); ++i) {
+    put_varint(out, by_symbol[i].symbol - (i == 0 ? 0 : prev));
+    put_varint(out, by_symbol[i].length);
+    prev = by_symbol[i].symbol;
+  }
+
+  // Stage 4: payload. Huffman codes are written MSB-first so canonical
+  // numeric order matches lexicographic bit order during decode.
+  BitWriter writer;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& [code, length] = encode_table.at(symbols[i]);
+    for (unsigned b = length; b-- > 0;) writer.write_bit((code >> b) & 1u);
+  }
+  const std::vector<std::uint8_t> payload = writer.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<std::uint32_t> huffman_decode(const std::uint8_t* data, std::size_t size) {
+  std::size_t pos = 0;
+  const std::uint64_t symbol_count = get_varint(data, size, pos);
+  const std::uint64_t distinct = get_varint(data, size, pos);
+  if (distinct == 0) {
+    if (symbol_count != 0) throw CorruptStream("huffman: empty dictionary with symbols");
+    return {};
+  }
+
+  std::vector<SymbolLength> lengths;
+  lengths.reserve(distinct);
+  std::uint32_t symbol = 0;
+  for (std::uint64_t i = 0; i < distinct; ++i) {
+    const std::uint64_t delta = get_varint(data, size, pos);
+    const std::uint64_t length = get_varint(data, size, pos);
+    if (length == 0 || length > kMaxCodeLength) throw CorruptStream("huffman: bad code length");
+    symbol = (i == 0) ? static_cast<std::uint32_t>(delta)
+                      : symbol + static_cast<std::uint32_t>(delta);
+    lengths.push_back({symbol, static_cast<unsigned>(length)});
+  }
+  Canonical canon = canonicalize(std::move(lengths));
+
+  BitReader reader(data + pos, size - pos);
+  std::vector<std::uint32_t> out;
+  out.reserve(symbol_count);
+  for (std::uint64_t i = 0; i < symbol_count; ++i) {
+    std::uint32_t code = 0;
+    for (unsigned len = 1; len <= kMaxCodeLength; ++len) {
+      code = (code << 1) | reader.read_bit();
+      if (canon.count[len] != 0 && code < canon.first_code[len] + canon.count[len]) {
+        const std::uint32_t idx = canon.first_index[len] + (code - canon.first_code[len]);
+        out.push_back(canon.sorted[idx].symbol);
+        code = 0;
+        break;
+      }
+      if (len == kMaxCodeLength) throw CorruptStream("huffman: invalid code word");
+    }
+  }
+  return out;
+}
+
+}  // namespace fraz

@@ -1,0 +1,47 @@
+#ifndef FRAZ_CODEC_HUFFMAN_HPP
+#define FRAZ_CODEC_HUFFMAN_HPP
+
+/// \file huffman.hpp
+/// Canonical Huffman coder for 32-bit integer symbols.
+///
+/// This is the reproduction of SZ's stage-3 entropy coder: SZ Huffman-codes
+/// the linear-scaling quantization codes, whose alphabet is sparse integers
+/// clustered around the zero-displacement code.  The encoder therefore
+/// serializes an explicit (symbol, code length) dictionary rather than
+/// assuming a dense byte alphabet.
+///
+/// Wire format:
+///   varint  symbol_count (number of encoded symbols)
+///   varint  distinct_count
+///   repeated distinct_count times:
+///     varint  symbol delta (symbols sorted ascending; first is absolute)
+///     varint  code length (1..32)
+///   payload bits, byte aligned at the end
+///
+/// Degenerate cases: zero symbols encode to an empty dictionary; a single
+/// distinct symbol is assigned a 1-bit code.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fraz {
+
+/// Encode \p n symbols.  Deterministic: equal inputs yield equal bytes.
+std::vector<std::uint8_t> huffman_encode(const std::uint32_t* symbols, std::size_t n);
+
+inline std::vector<std::uint8_t> huffman_encode(const std::vector<std::uint32_t>& symbols) {
+  return huffman_encode(symbols.data(), symbols.size());
+}
+
+/// Decode a buffer produced by huffman_encode.  Throws CorruptStream on any
+/// malformed input.
+std::vector<std::uint32_t> huffman_decode(const std::uint8_t* data, std::size_t size);
+
+inline std::vector<std::uint32_t> huffman_decode(const std::vector<std::uint8_t>& data) {
+  return huffman_decode(data.data(), data.size());
+}
+
+}  // namespace fraz
+
+#endif  // FRAZ_CODEC_HUFFMAN_HPP

@@ -1,0 +1,28 @@
+#include "codec/varint.hpp"
+
+#include "util/error.hpp"
+
+namespace fraz {
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80u);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t get_varint(const std::uint8_t* data, std::size_t size, std::size_t& pos) {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  for (;;) {
+    if (pos >= size) throw CorruptStream("get_varint: truncated varint");
+    if (shift >= 64) throw CorruptStream("get_varint: overlong varint");
+    const std::uint8_t byte = data[pos++];
+    value |= static_cast<std::uint64_t>(byte & 0x7fu) << shift;
+    if ((byte & 0x80u) == 0) return value;
+    shift += 7;
+  }
+}
+
+}  // namespace fraz

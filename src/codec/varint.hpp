@@ -1,0 +1,33 @@
+#ifndef FRAZ_CODEC_VARINT_HPP
+#define FRAZ_CODEC_VARINT_HPP
+
+/// \file varint.hpp
+/// LEB128 variable-length integers and zigzag mapping, used by the container
+/// headers and the LZ coder's token stream.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fraz {
+
+/// Append \p value as unsigned LEB128 to \p out.
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value);
+
+/// Decode an unsigned LEB128 starting at \p pos (advanced past the value).
+/// Throws CorruptStream on truncation or overlong encoding.
+std::uint64_t get_varint(const std::uint8_t* data, std::size_t size, std::size_t& pos);
+
+/// Zigzag map a signed value to unsigned (0,-1,1,-2,... -> 0,1,2,3,...).
+constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+/// Inverse of zigzag_encode.
+constexpr std::int64_t zigzag_decode(std::uint64_t u) noexcept {
+  return static_cast<std::int64_t>(u >> 1) ^ -static_cast<std::int64_t>(u & 1);
+}
+
+}  // namespace fraz
+
+#endif  // FRAZ_CODEC_VARINT_HPP

@@ -1,0 +1,80 @@
+#include "compressors/container.hpp"
+
+#include <cstring>
+
+#include "codec/checksum.hpp"
+#include "codec/varint.hpp"
+#include "util/error.hpp"
+
+namespace fraz {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x5a615246u;  // "FRaZ" little-endian
+constexpr std::uint8_t kVersion = 1;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_u32(const std::uint8_t* data, std::size_t size, std::size_t& pos) {
+  if (pos + 4 > size) throw CorruptStream("container: truncated u32");
+  std::uint32_t v;
+  std::memcpy(&v, data + pos, 4);
+  pos += 4;
+  return v;
+}
+}  // namespace
+
+std::vector<std::uint8_t> seal_container(CompressorId id, DType dtype, const Shape& shape,
+                                         const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(payload.size() + 32);
+  put_u32(out, kMagic);
+  out.push_back(kVersion);
+  out.push_back(static_cast<std::uint8_t>(id));
+  out.push_back(dtype == DType::kFloat32 ? 0 : 1);
+  put_varint(out, shape.size());
+  for (std::size_t d : shape) put_varint(out, d);
+  put_varint(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u32(out, crc32(out.data(), out.size()));
+  return out;
+}
+
+Container open_container(const std::uint8_t* data, std::size_t size, CompressorId expected) {
+  std::size_t pos = 0;
+  if (size < 12) throw CorruptStream("container: too small");
+  if (get_u32(data, size, pos) != kMagic) throw CorruptStream("container: bad magic");
+  const std::uint32_t stored_crc = [&] {
+    std::size_t p = size - 4;
+    return get_u32(data, size, p);
+  }();
+  if (crc32(data, size - 4) != stored_crc) throw CorruptStream("container: checksum mismatch");
+
+  if (data[pos++] != kVersion) throw CorruptStream("container: unsupported version");
+  const auto id = static_cast<CompressorId>(data[pos++]);
+  const std::uint8_t dtype_tag = data[pos++];
+  if (dtype_tag > 1) throw CorruptStream("container: bad dtype tag");
+  if (id != expected) throw Unsupported("container: produced by a different compressor");
+
+  Container c;
+  c.id = id;
+  c.dtype = dtype_tag == 0 ? DType::kFloat32 : DType::kFloat64;
+  const std::uint64_t ndims = get_varint(data, size, pos);
+  if (ndims == 0 || ndims > 8) throw CorruptStream("container: bad rank");
+  c.shape.resize(ndims);
+  for (auto& d : c.shape) {
+    d = get_varint(data, size, pos);
+    if (d == 0) throw CorruptStream("container: zero extent");
+  }
+  const std::uint64_t payload_size = get_varint(data, size, pos);
+  if (pos + payload_size + 4 != size) throw CorruptStream("container: payload size mismatch");
+  c.payload = data + pos;
+  c.payload_size = payload_size;
+  return c;
+}
+
+}  // namespace fraz

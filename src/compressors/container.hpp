@@ -1,0 +1,54 @@
+#ifndef FRAZ_COMPRESSORS_CONTAINER_HPP
+#define FRAZ_COMPRESSORS_CONTAINER_HPP
+
+/// \file container.hpp
+/// Shared on-disk framing for every compressor's output.
+///
+/// Layout:
+///   u32     magic 'FRaZ'
+///   u8      format version
+///   u8      compressor id
+///   u8      dtype (0 = f32, 1 = f64)
+///   varint  ndims, then varint extents (slowest first)
+///   varint  payload size
+///   payload (compressor specific)
+///   u32     CRC-32 over everything before it
+///
+/// The trailer checksum means a corrupted archive raises CorruptStream during
+/// decompression instead of silently reconstructing garbage.
+
+#include <cstdint>
+#include <vector>
+
+#include "ndarray/ndarray.hpp"
+
+namespace fraz {
+
+/// Identifies which compressor produced a container.
+enum class CompressorId : std::uint8_t {
+  kSz = 1,
+  kZfp = 2,
+  kMgard = 3,
+  kTruncate = 4,
+};
+
+/// Parsed container: header fields plus a span of the payload.
+struct Container {
+  CompressorId id;
+  DType dtype;
+  Shape shape;
+  const std::uint8_t* payload;
+  std::size_t payload_size;
+};
+
+/// Serialize header + payload + checksum into one buffer.
+std::vector<std::uint8_t> seal_container(CompressorId id, DType dtype, const Shape& shape,
+                                         const std::vector<std::uint8_t>& payload);
+
+/// Validate and parse.  Throws CorruptStream on bad magic/version/checksum or
+/// truncation, and Unsupported when \p expected does not match the stored id.
+Container open_container(const std::uint8_t* data, std::size_t size, CompressorId expected);
+
+}  // namespace fraz
+
+#endif  // FRAZ_COMPRESSORS_CONTAINER_HPP

@@ -1,0 +1,67 @@
+#include "compressors/mgard/hierarchy.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fraz::mgard_detail {
+
+unsigned level_count(const Shape& shape) {
+  std::size_t max_extent = 1;
+  for (std::size_t d : shape) max_extent = std::max(max_extent, d);
+  unsigned levels = 0;
+  // Stop when the coarsest stride would exceed the axis: 2^L <= max_extent-1.
+  while ((std::size_t{1} << (levels + 1)) <= max_extent - 1 && levels < 12) ++levels;
+  return std::max(levels, 1u);
+}
+
+bool on_axis_level(std::size_t i, std::size_t n, unsigned level, unsigned total_levels) {
+  if (i == n - 1) return true;
+  const std::size_t stride = std::size_t{1} << (total_levels - level);
+  return i % stride == 0;
+}
+
+unsigned axis_level(std::size_t i, std::size_t n, unsigned total_levels) {
+  for (unsigned l = 0; l <= total_levels; ++l)
+    if (on_axis_level(i, n, l, total_levels)) return l;
+  return total_levels;  // unreachable: level == total_levels has stride 1
+}
+
+Bracket axis_bracket(std::size_t i, std::size_t n, unsigned level, unsigned total_levels) {
+  require(!on_axis_level(i, n, level, total_levels), "axis_bracket: node already on grid");
+  const std::size_t stride = std::size_t{1} << (total_levels - level);
+  const std::size_t lo = i - i % stride;
+  std::size_t hi = lo + stride;
+  if (hi > n - 1) hi = n - 1;
+  Bracket b;
+  b.lo = lo;
+  b.hi = hi;
+  b.weight = static_cast<double>(i - lo) / static_cast<double>(hi - lo);
+  return b;
+}
+
+std::vector<std::uint8_t> node_levels(const Shape& shape, unsigned total_levels) {
+  const std::size_t n = shape_elements(shape);
+  std::vector<std::uint8_t> levels(n);
+  const unsigned dims = static_cast<unsigned>(shape.size());
+  std::vector<std::vector<std::uint8_t>> axis_lvl(dims);
+  for (unsigned d = 0; d < dims; ++d) {
+    axis_lvl[d].resize(shape[d]);
+    for (std::size_t i = 0; i < shape[d]; ++i)
+      axis_lvl[d][i] = static_cast<std::uint8_t>(axis_level(i, shape[d], total_levels));
+  }
+  std::vector<std::size_t> coord(dims, 0);
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    std::uint8_t lvl = 0;
+    for (unsigned d = 0; d < dims; ++d) lvl = std::max(lvl, axis_lvl[d][coord[d]]);
+    levels[idx] = lvl;
+    // advance row-major coordinates
+    for (unsigned d = dims; d-- > 0;) {
+      if (++coord[d] < shape[d]) break;
+      coord[d] = 0;
+    }
+  }
+  return levels;
+}
+
+}  // namespace fraz::mgard_detail

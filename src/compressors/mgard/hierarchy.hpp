@@ -1,0 +1,47 @@
+#ifndef FRAZ_COMPRESSORS_MGARD_HIERARCHY_HPP
+#define FRAZ_COMPRESSORS_MGARD_HIERARCHY_HPP
+
+/// \file hierarchy.hpp
+/// Dyadic nodal grid hierarchy for the MGARD-like multilevel compressor.
+///
+/// For an axis of n samples and L refinement levels, the level-l node set is
+///   grid(l) = { i : i % 2^(L-l) == 0 } ∪ { n-1 }
+/// so grid(0) is the coarsest lattice and grid(L) is every sample.  The last
+/// index is a member of every level so arbitrary (non 2^k+1) extents are
+/// handled without padding.  A multi-index node first appears at the level
+/// where *all* of its coordinates are on the axis grids; that level is the
+/// node's coefficient level.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ndarray/ndarray.hpp"
+
+namespace fraz::mgard_detail {
+
+/// Number of refinement levels used for \p shape: enough to reduce the
+/// largest axis to ~2 coarse intervals, capped so tiny inputs still work.
+unsigned level_count(const Shape& shape);
+
+/// True when coordinate \p i of an axis of extent \p n lies on grid(l).
+bool on_axis_level(std::size_t i, std::size_t n, unsigned level, unsigned total_levels);
+
+/// Smallest level at which coordinate \p i appears (0 = coarsest).
+unsigned axis_level(std::size_t i, std::size_t n, unsigned total_levels);
+
+/// Coarse-grid bracket of \p i on grid(level): the nearest members lo <= i
+/// and hi > i.  Precondition: i is NOT on grid(level).
+struct Bracket {
+  std::size_t lo;
+  std::size_t hi;
+  double weight;  ///< interpolation weight of hi: (i - lo) / (hi - lo)
+};
+Bracket axis_bracket(std::size_t i, std::size_t n, unsigned level, unsigned total_levels);
+
+/// Per-node coefficient level for every flat index of the array, row-major.
+std::vector<std::uint8_t> node_levels(const Shape& shape, unsigned total_levels);
+
+}  // namespace fraz::mgard_detail
+
+#endif  // FRAZ_COMPRESSORS_MGARD_HIERARCHY_HPP

@@ -1,0 +1,405 @@
+#include "compressors/sz/sz.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+
+#include "codec/lz.hpp"
+#include "codec/rans.hpp"
+#include "codec/varint.hpp"
+#include "compressors/container.hpp"
+#include "util/error.hpp"
+
+namespace fraz {
+
+namespace {
+
+/// Quantization radius: codes live in [1, 2R-1], code 0 is the
+/// "unpredictable" escape (raw scalar stored verbatim).
+constexpr std::int64_t kRadius = 32768;
+
+/// Block edge per rank (SZ uses 6^3 blocks for 3D data).
+constexpr std::size_t block_edge(unsigned dims) noexcept {
+  return dims == 3 ? 6 : dims == 2 ? 12 : 256;
+}
+
+/// Regression slope/intercept quantization steps, derived from the error
+/// bound so coefficient rounding shifts predictions by at most ~e/2.  The
+/// bound itself is unaffected (encoder and decoder predict from the same
+/// quantized coefficients); this only preserves prediction quality.
+struct CoeffSteps {
+  double intercept;
+  double slope;
+};
+
+CoeffSteps coeff_steps(double error_bound, unsigned dims) noexcept {
+  const double span = static_cast<double>(block_edge(dims));
+  return {error_bound / 8.0, error_bound / (8.0 * span)};
+}
+
+/// Row-major strides for a shape (slowest dimension first).
+std::array<std::size_t, 3> strides_of(const Shape& shape) {
+  std::array<std::size_t, 3> s{0, 0, 0};
+  const std::size_t d = shape.size();
+  s[d - 1] = 1;
+  for (std::size_t i = d - 1; i-- > 0;) s[i] = s[i + 1] * shape[i + 1];
+  return s;
+}
+
+/// The shared per-block geometry: origin and extent of the clipped block.
+struct BlockGeom {
+  std::size_t base[3];
+  std::size_t len[3];  // extent per (used) axis; 1 for unused axes
+};
+
+/// 1-layer Lorenzo prediction at global coords from the reconstruction
+/// buffer.  Out-of-range neighbours contribute zero (SZ's convention).
+template <typename Scalar>
+double lorenzo_predict(const Scalar* recon, const std::size_t* coord, const Shape& shape,
+                       const std::array<std::size_t, 3>& stride) {
+  const unsigned dims = static_cast<unsigned>(shape.size());
+  auto sample = [&](int di, int dj, int dk) -> double {
+    std::ptrdiff_t c[3] = {static_cast<std::ptrdiff_t>(coord[0]) - di,
+                           static_cast<std::ptrdiff_t>(coord[1]) - dj,
+                           static_cast<std::ptrdiff_t>(coord[2]) - dk};
+    std::size_t idx = 0;
+    for (unsigned d = 0; d < dims; ++d) {
+      if (c[d] < 0) return 0.0;
+      idx += static_cast<std::size_t>(c[d]) * stride[d];
+    }
+    return static_cast<double>(recon[idx]);
+  };
+  switch (dims) {
+    case 1:
+      return sample(1, 0, 0);
+    case 2:
+      return sample(1, 0, 0) + sample(0, 1, 0) - sample(1, 1, 0);
+    default:  // 3
+      return sample(0, 0, 1) + sample(0, 1, 0) + sample(1, 0, 0) - sample(0, 1, 1) -
+             sample(1, 0, 1) - sample(1, 1, 0) + sample(1, 1, 1);
+  }
+}
+
+/// Evaluate the regression plane at local block coordinates.  Encoder and
+/// decoder must use this identical expression so predictions agree exactly.
+inline double regression_predict(const double* coeff, std::size_t lx, std::size_t ly,
+                                 std::size_t lz) {
+  return coeff[0] + coeff[1] * static_cast<double>(lx) + coeff[2] * static_cast<double>(ly) +
+         coeff[3] * static_cast<double>(lz);
+}
+
+/// Separable least-squares fit of v ~ b0 + b1*l0 + b2*l1 + b3*l2 over the
+/// (rectangular) block.  Axes beyond `dims` get zero slope.  Local coords
+/// l0/l1/l2 follow the block's own axis order (l0 = slowest).
+template <typename Scalar>
+std::array<double, 4> fit_regression(const Scalar* data, const BlockGeom& g, unsigned dims,
+                                     const std::array<std::size_t, 3>& stride) {
+  double mean_v = 0;
+  double mean_c[3] = {0, 0, 0};
+  const std::size_t n = g.len[0] * g.len[1] * g.len[2];
+  for (unsigned d = 0; d < 3; ++d) mean_c[d] = (static_cast<double>(g.len[d]) - 1.0) / 2.0;
+
+  for (std::size_t a = 0; a < g.len[0]; ++a)
+    for (std::size_t b = 0; b < g.len[1]; ++b)
+      for (std::size_t c = 0; c < g.len[2]; ++c) {
+        std::size_t idx = (g.base[0] + a) * stride[0];
+        if (dims > 1) idx += (g.base[1] + b) * stride[1];
+        if (dims > 2) idx += (g.base[2] + c) * stride[2];
+        mean_v += static_cast<double>(data[idx]);
+      }
+  mean_v /= static_cast<double>(n);
+
+  double num[3] = {0, 0, 0}, den[3] = {0, 0, 0};
+  for (std::size_t a = 0; a < g.len[0]; ++a)
+    for (std::size_t b = 0; b < g.len[1]; ++b)
+      for (std::size_t c = 0; c < g.len[2]; ++c) {
+        std::size_t idx = (g.base[0] + a) * stride[0];
+        if (dims > 1) idx += (g.base[1] + b) * stride[1];
+        if (dims > 2) idx += (g.base[2] + c) * stride[2];
+        const double dv = static_cast<double>(data[idx]) - mean_v;
+        const double dc[3] = {static_cast<double>(a) - mean_c[0],
+                              static_cast<double>(b) - mean_c[1],
+                              static_cast<double>(c) - mean_c[2]};
+        for (unsigned d = 0; d < 3; ++d) {
+          num[d] += dv * dc[d];
+          den[d] += dc[d] * dc[d];
+        }
+      }
+  std::array<double, 4> coeff{};
+  for (unsigned d = 0; d < 3; ++d) coeff[d + 1] = den[d] > 0 ? num[d] / den[d] : 0.0;
+  coeff[0] = mean_v - coeff[1] * mean_c[0] - coeff[2] * mean_c[1] - coeff[3] * mean_c[2];
+  return coeff;
+}
+
+/// Visit blocks of the array in row-major block order.
+template <typename Fn>
+void for_each_block(const Shape& shape, unsigned dims, Fn&& fn) {
+  const std::size_t edge = block_edge(dims);
+  std::size_t counts[3] = {1, 1, 1};
+  for (unsigned d = 0; d < dims; ++d) counts[d] = (shape[d] + edge - 1) / edge;
+  for (std::size_t b0 = 0; b0 < counts[0]; ++b0)
+    for (std::size_t b1 = 0; b1 < counts[1]; ++b1)
+      for (std::size_t b2 = 0; b2 < counts[2]; ++b2) {
+        BlockGeom g{};
+        const std::size_t bases[3] = {b0 * edge, b1 * edge, b2 * edge};
+        for (unsigned d = 0; d < 3; ++d) {
+          g.base[d] = d < dims ? bases[d] : 0;
+          g.len[d] = d < dims ? std::min(edge, shape[d] - bases[d]) : 1;
+        }
+        fn(g);
+      }
+}
+
+std::size_t count_blocks(const Shape& shape, unsigned dims) {
+  const std::size_t edge = block_edge(dims);
+  std::size_t total = 1;
+  for (unsigned d = 0; d < dims; ++d) total *= (shape[d] + edge - 1) / edge;
+  return total;
+}
+
+/// Append an IEEE scalar verbatim (little endian).
+template <typename Scalar>
+void put_scalar(std::vector<std::uint8_t>& out, Scalar v) {
+  std::uint8_t bytes[sizeof(Scalar)];
+  std::memcpy(bytes, &v, sizeof(Scalar));
+  out.insert(out.end(), bytes, bytes + sizeof(Scalar));
+}
+
+template <typename Scalar>
+Scalar get_scalar(const std::uint8_t* data, std::size_t size, std::size_t& pos) {
+  if (pos + sizeof(Scalar) > size) throw CorruptStream("sz: truncated raw scalar");
+  Scalar v;
+  std::memcpy(&v, data + pos, sizeof(Scalar));
+  pos += sizeof(Scalar);
+  return v;
+}
+
+template <typename Scalar>
+std::vector<std::uint8_t> compress_impl(const ArrayView& input, const SzOptions& opt) {
+  const unsigned dims = static_cast<unsigned>(input.dims());
+  const Shape& shape = input.shape();
+  const auto stride = strides_of(shape);
+  const Scalar* data = input.typed<Scalar>();
+  const double e = opt.error_bound;
+  const double twoe = 2.0 * e;
+  const CoeffSteps steps = coeff_steps(e, dims);
+  const bool allow_regression = opt.regression && dims >= 2;
+
+  std::vector<Scalar> recon(input.elements());
+  std::vector<std::uint32_t> codes;
+  codes.reserve(input.elements());
+  std::vector<std::uint8_t> flags((count_blocks(shape, dims) + 7) / 8, 0);
+  std::vector<std::uint8_t> coeff_stream;
+  std::vector<std::uint8_t> raw_stream;
+  std::size_t block_index = 0;
+
+  for_each_block(shape, dims, [&](const BlockGeom& g) {
+    // ---- mode decision (encoder-side heuristic on original values) ----
+    bool use_regression = false;
+    std::array<double, 4> coeff{};
+    if (allow_regression) {
+      const auto fitted = fit_regression(data, g, dims, stride);
+      // Quantize coefficients; both sides predict from the rounded values.
+      bool quantizable = true;
+      std::array<std::int64_t, 4> q{};
+      for (unsigned i = 0; i < 4; ++i) {
+        const double step = i == 0 ? steps.intercept : steps.slope;
+        const double scaled = fitted[i] / step;
+        if (!(std::abs(scaled) < 4.5e15)) {  // keep exact in double & varint-friendly
+          quantizable = false;
+          break;
+        }
+        q[i] = static_cast<std::int64_t>(std::llround(scaled));
+        coeff[i] = static_cast<double>(q[i]) * step;
+      }
+      if (quantizable) {
+        // Compare per-point absolute residuals of both predictors.  The
+        // Lorenzo proxy uses original values, which hides the quantization
+        // noise the real predictor inherits from reconstructed neighbours
+        // (a 7-term 3D stencil feeds back ~1.5e of noise per point), so a
+        // bound-proportional penalty is added — the same correction SZ 2.x
+        // applies when arbitrating Lorenzo vs regression.
+        // Expected |noise| scales with the stencil size: ~7 reconstructed
+        // neighbours in 3D, 3 in 2D, 1 in 1D.
+        const double lorenzo_noise =
+            e * (dims == 3 ? 1.5 : dims == 2 ? 0.6 : 0.3);
+        double cost_lorenzo = 0, cost_reg = 0;
+        for (std::size_t a = 0; a < g.len[0]; ++a)
+          for (std::size_t b = 0; b < g.len[1]; ++b)
+            for (std::size_t c = 0; c < g.len[2]; ++c) {
+              std::size_t coord[3] = {g.base[0] + a, g.base[1] + b, g.base[2] + c};
+              std::size_t idx = coord[0] * stride[0];
+              if (dims > 1) idx += coord[1] * stride[1];
+              if (dims > 2) idx += coord[2] * stride[2];
+              const double v = static_cast<double>(data[idx]);
+              cost_lorenzo += std::abs(v - lorenzo_predict(data, coord, shape, stride)) +
+                              lorenzo_noise;
+              cost_reg += std::abs(v - regression_predict(coeff.data(), a, b, c));
+            }
+        if (cost_reg < cost_lorenzo) {
+          use_regression = true;
+          for (unsigned i = 0; i < 4; ++i) put_varint(coeff_stream, zigzag_encode(q[i]));
+        }
+      }
+    }
+    if (use_regression) flags[block_index / 8] |= std::uint8_t(1u << (block_index % 8));
+    ++block_index;
+
+    // ---- residual quantization over the block ----
+    for (std::size_t a = 0; a < g.len[0]; ++a)
+      for (std::size_t b = 0; b < g.len[1]; ++b)
+        for (std::size_t c = 0; c < g.len[2]; ++c) {
+          std::size_t coord[3] = {g.base[0] + a, g.base[1] + b, g.base[2] + c};
+          std::size_t idx = coord[0] * stride[0];
+          if (dims > 1) idx += coord[1] * stride[1];
+          if (dims > 2) idx += coord[2] * stride[2];
+          const double v = static_cast<double>(data[idx]);
+          const double pred = use_regression
+                                  ? regression_predict(coeff.data(), a, b, c)
+                                  : lorenzo_predict(recon.data(), coord, shape, stride);
+          const double qf = (v - pred) / twoe;
+          bool escaped = true;
+          if (std::abs(qf) < static_cast<double>(kRadius) - 1) {
+            const std::int64_t q = std::llround(qf);
+            const Scalar candidate = static_cast<Scalar>(pred + twoe * static_cast<double>(q));
+            // Validate after Scalar rounding so the bound holds exactly.
+            if (std::isfinite(static_cast<double>(candidate)) &&
+                std::abs(static_cast<double>(candidate) - v) <= e) {
+              codes.push_back(static_cast<std::uint32_t>(kRadius + q));
+              recon[idx] = candidate;
+              escaped = false;
+            }
+          }
+          if (escaped) {
+            codes.push_back(0);
+            put_scalar(raw_stream, data[idx]);
+            recon[idx] = data[idx];
+          }
+        }
+  });
+
+  // ---- stage 3: entropy coding of the quantization codes ----
+  // rANS rather than plain Huffman: SZ 2.1.7's Zstd stage brings the coded
+  // stream to its order-0 entropy, which Huffman's 1-bit/symbol floor cannot
+  // reach on the nearly-constant code streams of extreme ratios (Fig. 9/10).
+  const std::vector<std::uint8_t> huff = rans_encode(codes);
+  std::vector<std::uint8_t> assembled;
+  assembled.reserve(huff.size() + coeff_stream.size() + raw_stream.size() + 64);
+  put_scalar(assembled, e);
+  assembled.push_back(opt.regression ? 1 : 0);
+  put_varint(assembled, flags.size());
+  assembled.insert(assembled.end(), flags.begin(), flags.end());
+  put_varint(assembled, coeff_stream.size());
+  assembled.insert(assembled.end(), coeff_stream.begin(), coeff_stream.end());
+  put_varint(assembled, huff.size());
+  assembled.insert(assembled.end(), huff.begin(), huff.end());
+  put_varint(assembled, raw_stream.size());
+  assembled.insert(assembled.end(), raw_stream.begin(), raw_stream.end());
+
+  // ---- stage 4: dictionary coder over everything ----
+  const std::vector<std::uint8_t> packed = lz_compress(assembled);
+  return seal_container(CompressorId::kSz, input.dtype(), input.shape(), packed);
+}
+
+template <typename Scalar>
+NdArray decompress_impl(const Container& c) {
+  const std::vector<std::uint8_t> assembled = lz_decompress(c.payload, c.payload_size);
+  const std::uint8_t* p = assembled.data();
+  const std::size_t size = assembled.size();
+  std::size_t pos = 0;
+
+  const double e = get_scalar<double>(p, size, pos);
+  if (!(e > 0) || !std::isfinite(e)) throw CorruptStream("sz: bad stored error bound");
+  if (pos >= size) throw CorruptStream("sz: truncated header");
+  pos += 1;  // regression enable flag (informational)
+  const double twoe = 2.0 * e;
+
+  const std::uint64_t flag_bytes = get_varint(p, size, pos);
+  if (pos + flag_bytes > size) throw CorruptStream("sz: truncated flags");
+  const std::uint8_t* flags = p + pos;
+  pos += flag_bytes;
+
+  const std::uint64_t coeff_bytes = get_varint(p, size, pos);
+  if (pos + coeff_bytes > size) throw CorruptStream("sz: truncated coefficients");
+  const std::uint8_t* coeff_stream = p + pos;
+  std::size_t coeff_pos = 0;
+  pos += coeff_bytes;
+
+  const std::uint64_t huff_bytes = get_varint(p, size, pos);
+  if (pos + huff_bytes > size) throw CorruptStream("sz: truncated code stream");
+  const std::vector<std::uint32_t> codes = rans_decode(p + pos, huff_bytes);
+  pos += huff_bytes;
+
+  const std::uint64_t raw_bytes = get_varint(p, size, pos);
+  if (pos + raw_bytes > size) throw CorruptStream("sz: truncated raw stream");
+  const std::uint8_t* raw_stream = p + pos;
+  std::size_t raw_pos = 0;
+
+  const unsigned dims = static_cast<unsigned>(c.shape.size());
+  const auto stride = strides_of(c.shape);
+  const CoeffSteps steps = coeff_steps(e, dims);
+  NdArray out(c.dtype, c.shape);
+  Scalar* recon = out.typed<Scalar>();
+  if (codes.size() != out.elements()) throw CorruptStream("sz: code count mismatch");
+  if (flag_bytes != (count_blocks(c.shape, dims) + 7) / 8)
+    throw CorruptStream("sz: flag size mismatch");
+
+  std::size_t code_index = 0;
+  std::size_t block_index = 0;
+  for_each_block(c.shape, dims, [&](const BlockGeom& g) {
+    const bool use_regression = (flags[block_index / 8] >> (block_index % 8)) & 1u;
+    ++block_index;
+    std::array<double, 4> coeff{};
+    if (use_regression) {
+      for (unsigned i = 0; i < 4; ++i) {
+        const double step = i == 0 ? steps.intercept : steps.slope;
+        coeff[i] = static_cast<double>(
+                       zigzag_decode(get_varint(coeff_stream, coeff_bytes, coeff_pos))) *
+                   step;
+      }
+    }
+    for (std::size_t a = 0; a < g.len[0]; ++a)
+      for (std::size_t b = 0; b < g.len[1]; ++b)
+        for (std::size_t cc = 0; cc < g.len[2]; ++cc) {
+          std::size_t coord[3] = {g.base[0] + a, g.base[1] + b, g.base[2] + cc};
+          std::size_t idx = coord[0] * stride[0];
+          if (dims > 1) idx += coord[1] * stride[1];
+          if (dims > 2) idx += coord[2] * stride[2];
+          const std::uint32_t code = codes[code_index++];
+          if (code == 0) {
+            recon[idx] = get_scalar<Scalar>(raw_stream, raw_bytes, raw_pos);
+          } else {
+            const double pred = use_regression
+                                    ? regression_predict(coeff.data(), a, b, cc)
+                                    : lorenzo_predict(recon, coord, c.shape, stride);
+            const auto q = static_cast<std::int64_t>(code) - kRadius;
+            recon[idx] = static_cast<Scalar>(pred + twoe * static_cast<double>(q));
+          }
+        }
+  });
+  return out;
+}
+
+void validate(const ArrayView& input, const SzOptions& opt) {
+  require(input.dims() >= 1 && input.dims() <= 3, "sz: supports 1D/2D/3D data");
+  require(input.elements() > 0, "sz: empty input");
+  require(opt.error_bound > 0 && std::isfinite(opt.error_bound),
+          "sz: error bound must be positive and finite");
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> sz_compress(const ArrayView& input, const SzOptions& options) {
+  validate(input, options);
+  return input.dtype() == DType::kFloat32 ? compress_impl<float>(input, options)
+                                          : compress_impl<double>(input, options);
+}
+
+NdArray sz_decompress(const std::uint8_t* data, std::size_t size) {
+  const Container c = open_container(data, size, CompressorId::kSz);
+  require(c.shape.size() >= 1 && c.shape.size() <= 3, "sz: container rank unsupported");
+  return c.dtype == DType::kFloat32 ? decompress_impl<float>(c) : decompress_impl<double>(c);
+}
+
+}  // namespace fraz

@@ -1,0 +1,54 @@
+#ifndef FRAZ_COMPRESSORS_SZ_SZ_HPP
+#define FRAZ_COMPRESSORS_SZ_SZ_HPP
+
+/// \file sz.hpp
+/// Prediction-based error-bounded lossy compressor in the style of SZ 2.x
+/// (Di & Cappello IPDPS'16; Tao et al. IPDPS'17; Liang et al. Big Data'18).
+///
+/// The four-stage pipeline matches the paper's description of SZ:
+///  1. blockwise hybrid prediction — a 1-layer Lorenzo predictor on
+///     *reconstructed* neighbours, or a per-block linear regression plane
+///     (2D/3D), whichever fits the block better;
+///  2. linear-scaling quantization of the prediction residual into
+///     `2^16`-entry integer codes with an "unpredictable" escape that stores
+///     the exact scalar;
+///  3. custom Huffman coding of the quantization codes;
+///  4. an LZ77 dictionary-coder pass over the whole payload (the Gzip/Zstd
+///     stage).
+///
+/// Because prediction runs on reconstructed values and stages 3-4 interact,
+/// the compression ratio is *not* monotonic in the error bound — exactly the
+/// property (paper Fig. 3) that motivates FRaZ's global search instead of
+/// binary search.
+///
+/// Guarantee: for every element, |original - decompressed| <= error_bound
+/// (verified at encode time after float rounding; violators are escaped).
+
+#include <cstdint>
+#include <vector>
+
+#include "ndarray/ndarray.hpp"
+
+namespace fraz {
+
+/// Tuning knobs for the SZ-like compressor.
+struct SzOptions {
+  /// Absolute error bound; must be > 0 and finite.
+  double error_bound = 1e-3;
+  /// Enable the per-block regression predictor (2D/3D only).
+  bool regression = true;
+};
+
+/// Compress \p input (1D/2D/3D, f32/f64) into a sealed container.
+std::vector<std::uint8_t> sz_compress(const ArrayView& input, const SzOptions& options);
+
+/// Decompress a container produced by sz_compress.
+NdArray sz_decompress(const std::uint8_t* data, std::size_t size);
+
+inline NdArray sz_decompress(const std::vector<std::uint8_t>& data) {
+  return sz_decompress(data.data(), data.size());
+}
+
+}  // namespace fraz
+
+#endif  // FRAZ_COMPRESSORS_SZ_SZ_HPP

@@ -1,0 +1,72 @@
+#include "compressors/truncate/truncate.hpp"
+
+#include <cstring>
+
+#include "codec/bitstream.hpp"
+#include "compressors/container.hpp"
+#include "util/error.hpp"
+
+namespace fraz {
+
+namespace {
+
+template <typename Scalar, typename UInt>
+std::vector<std::uint8_t> compress_impl(const ArrayView& input, unsigned bits) {
+  const Scalar* data = input.typed<Scalar>();
+  BitWriter writer;
+  const unsigned width = sizeof(Scalar) * 8;
+  for (std::size_t i = 0; i < input.elements(); ++i) {
+    UInt u;
+    std::memcpy(&u, data + i, sizeof(Scalar));
+    writer.write_bits(u >> (width - bits), bits);
+  }
+  std::vector<std::uint8_t> payload;
+  payload.push_back(static_cast<std::uint8_t>(bits));
+  const auto stream = writer.take();
+  payload.insert(payload.end(), stream.begin(), stream.end());
+  return seal_container(CompressorId::kTruncate, input.dtype(), input.shape(), payload);
+}
+
+template <typename Scalar, typename UInt>
+void decompress_impl(const Container& c, NdArray& out) {
+  if (c.payload_size < 1) throw CorruptStream("truncate: empty payload");
+  const unsigned width = sizeof(Scalar) * 8;
+  const unsigned bits = c.payload[0];
+  if (bits < 1 || bits > width) throw CorruptStream("truncate: bad kept-bit count");
+  BitReader reader(c.payload + 1, c.payload_size - 1);
+  Scalar* data = out.typed<Scalar>();
+  // Midpoint refill: reconstruct dropped bits as 100...0, the centre of the
+  // truncated interval (halves the worst-case mantissa error vs zeros).
+  const UInt refill = bits == width ? UInt{0} : UInt{1} << (width - bits - 1);
+  for (std::size_t i = 0; i < out.elements(); ++i) {
+    UInt u = static_cast<UInt>(reader.read_bits(bits)) << (width - bits);
+    u |= refill;
+    std::memcpy(data + i, &u, sizeof(Scalar));
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> truncate_compress(const ArrayView& input,
+                                            const TruncateOptions& options) {
+  require(input.dims() >= 1 && input.dims() <= 3, "truncate: supports 1D/2D/3D data");
+  require(input.elements() > 0, "truncate: empty input");
+  const unsigned width = static_cast<unsigned>(dtype_size(input.dtype())) * 8;
+  require(options.bits >= 1 && options.bits <= width,
+          "truncate: bits must be in [1, scalar width]");
+  return input.dtype() == DType::kFloat32
+             ? compress_impl<float, std::uint32_t>(input, options.bits)
+             : compress_impl<double, std::uint64_t>(input, options.bits);
+}
+
+NdArray truncate_decompress(const std::uint8_t* data, std::size_t size) {
+  const Container c = open_container(data, size, CompressorId::kTruncate);
+  NdArray out(c.dtype, c.shape);
+  if (c.dtype == DType::kFloat32)
+    decompress_impl<float, std::uint32_t>(c, out);
+  else
+    decompress_impl<double, std::uint64_t>(c, out);
+  return out;
+}
+
+}  // namespace fraz

@@ -1,0 +1,63 @@
+#include "compressors/zfp/transform.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fraz::zfp_detail {
+
+namespace {
+
+/// Build the sequency order for a d-dimensional 4-block: sort linear offsets
+/// by the sum of their coordinates, breaking ties by coordinates so the
+/// permutation is deterministic.
+template <std::size_t N>
+std::array<std::uint8_t, N> build_order(unsigned dims) {
+  std::array<std::uint8_t, N> order{};
+  std::iota(order.begin(), order.end(), static_cast<std::uint8_t>(0));
+  auto coords = [dims](std::uint8_t idx) {
+    std::array<unsigned, 3> c{0, 0, 0};
+    for (unsigned d = 0; d < dims; ++d) {
+      c[d] = idx & 3u;
+      idx >>= 2;
+    }
+    return c;
+  };
+  std::stable_sort(order.begin(), order.end(), [&](std::uint8_t a, std::uint8_t b) {
+    const auto ca = coords(a), cb = coords(b);
+    const unsigned sa = ca[0] + ca[1] + ca[2];
+    const unsigned sb = cb[0] + cb[1] + cb[2];
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace
+
+const std::array<std::uint8_t, 4>& sequency_order_1d() noexcept {
+  static const auto order = build_order<4>(1);
+  return order;
+}
+
+const std::array<std::uint8_t, 16>& sequency_order_2d() noexcept {
+  static const auto order = build_order<16>(2);
+  return order;
+}
+
+const std::array<std::uint8_t, 64>& sequency_order_3d() noexcept {
+  static const auto order = build_order<64>(3);
+  return order;
+}
+
+const std::uint8_t* sequency_order(unsigned dims) noexcept {
+  switch (dims) {
+    case 1:
+      return sequency_order_1d().data();
+    case 2:
+      return sequency_order_2d().data();
+    default:
+      return sequency_order_3d().data();
+  }
+}
+
+}  // namespace fraz::zfp_detail

@@ -1,0 +1,125 @@
+#ifndef FRAZ_COMPRESSORS_ZFP_TRANSFORM_HPP
+#define FRAZ_COMPRESSORS_ZFP_TRANSFORM_HPP
+
+/// \file transform.hpp
+/// The ZFP block transform machinery: the exactly-invertible lifted
+/// near-orthogonal transform applied along each dimension of a 4^d block,
+/// negabinary (base -2) coefficient mapping, and the total-sequency
+/// permutation that orders coefficients by expected magnitude before
+/// embedded coding.
+///
+/// The lifting steps follow Lindstrom's fixed-rate compressed floating-point
+/// arrays (TVCG 2014): the forward transform is
+///       ( 4  4  4  4)
+/// 1/16*( 5  1 -1 -5)   applied as integer lifting so that
+///       (-4  4  4 -4)   inverse(forward(x)) == x exactly.
+///       (-2  6 -6  2)
+
+#include <array>
+#include <cstdint>
+
+namespace fraz::zfp_detail {
+
+/// Forward lift of 4 integers at stride \p s.
+template <typename Int>
+void fwd_lift(Int* p, std::size_t s) noexcept {
+  Int x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
+  x += w; x >>= 1; w -= x;
+  z += y; z >>= 1; y -= z;
+  x += z; x >>= 1; z -= x;
+  w += y; w >>= 1; y -= w;
+  w += y >> 1; y -= w >> 1;
+  p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
+}
+
+/// Inverse lift of 4 integers at stride \p s; exact inverse of fwd_lift.
+template <typename Int>
+void inv_lift(Int* p, std::size_t s) noexcept {
+  Int x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
+  y += w >> 1; w -= y >> 1;
+  y += w; w <<= 1; w -= y;
+  z += x; x <<= 1; x -= z;
+  y += z; z <<= 1; z -= y;
+  w += x; x <<= 1; x -= w;
+  p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
+}
+
+/// Forward transform of a 4^d block (d = dims), in place.
+template <typename Int>
+void fwd_transform(Int* block, unsigned dims) noexcept {
+  switch (dims) {
+    case 1:
+      fwd_lift(block, 1);
+      break;
+    case 2:
+      for (unsigned y = 0; y < 4; ++y) fwd_lift(block + 4 * y, 1);   // rows (x)
+      for (unsigned x = 0; x < 4; ++x) fwd_lift(block + x, 4);       // columns (y)
+      break;
+    default:  // 3
+      for (unsigned z = 0; z < 4; ++z)
+        for (unsigned y = 0; y < 4; ++y) fwd_lift(block + 16 * z + 4 * y, 1);  // x
+      for (unsigned z = 0; z < 4; ++z)
+        for (unsigned x = 0; x < 4; ++x) fwd_lift(block + 16 * z + x, 4);      // y
+      for (unsigned y = 0; y < 4; ++y)
+        for (unsigned x = 0; x < 4; ++x) fwd_lift(block + 4 * y + x, 16);      // z
+      break;
+  }
+}
+
+/// Inverse transform of a 4^d block, in place.
+template <typename Int>
+void inv_transform(Int* block, unsigned dims) noexcept {
+  switch (dims) {
+    case 1:
+      inv_lift(block, 1);
+      break;
+    case 2:
+      for (unsigned x = 0; x < 4; ++x) inv_lift(block + x, 4);
+      for (unsigned y = 0; y < 4; ++y) inv_lift(block + 4 * y, 1);
+      break;
+    default:  // 3
+      for (unsigned y = 0; y < 4; ++y)
+        for (unsigned x = 0; x < 4; ++x) inv_lift(block + 4 * y + x, 16);
+      for (unsigned z = 0; z < 4; ++z)
+        for (unsigned x = 0; x < 4; ++x) inv_lift(block + 16 * z + x, 4);
+      for (unsigned z = 0; z < 4; ++z)
+        for (unsigned y = 0; y < 4; ++y) inv_lift(block + 16 * z + 4 * y, 1);
+      break;
+  }
+}
+
+/// Negabinary mask for the unsigned twin of Int.
+template <typename UInt>
+constexpr UInt nb_mask() noexcept {
+  UInt m = 0;
+  for (unsigned b = 1; b < sizeof(UInt) * 8; b += 2) m |= UInt{1} << b;
+  return m;
+}
+
+/// Two's complement -> negabinary.
+template <typename Int, typename UInt>
+UInt int2uint(Int x) noexcept {
+  constexpr UInt mask = nb_mask<UInt>();
+  return (static_cast<UInt>(x) + mask) ^ mask;
+}
+
+/// Negabinary -> two's complement; exact inverse of int2uint.
+template <typename Int, typename UInt>
+Int uint2int(UInt u) noexcept {
+  constexpr UInt mask = nb_mask<UInt>();
+  return static_cast<Int>((u ^ mask) - mask);
+}
+
+/// Total-sequency permutation: `perm[i]` is the linear block offset of the
+/// i-th coefficient in increasing total-frequency order.  Low-sequency
+/// (smooth) coefficients carry most energy and are coded first.
+const std::array<std::uint8_t, 4>& sequency_order_1d() noexcept;
+const std::array<std::uint8_t, 16>& sequency_order_2d() noexcept;
+const std::array<std::uint8_t, 64>& sequency_order_3d() noexcept;
+
+/// Pointer to the order table for \p dims (1..3), length 4^dims.
+const std::uint8_t* sequency_order(unsigned dims) noexcept;
+
+}  // namespace fraz::zfp_detail
+
+#endif  // FRAZ_COMPRESSORS_ZFP_TRANSFORM_HPP

@@ -1,0 +1,33 @@
+#include "core/online.hpp"
+
+namespace fraz {
+
+OnlineTuner::OnlineTuner(const pressio::Compressor& prototype, TunerConfig config)
+    : tuner_(prototype, config) {}
+
+StepOutcome OnlineTuner::push(const ArrayView& frame) {
+  StepOutcome outcome;
+  outcome.result = tuner_.tune_with_prediction(frame, prediction_);
+  outcome.retrained = !outcome.result.from_prediction;
+
+  // Algorithm 3's carry rule: only a bound that satisfied the band is worth
+  // reusing on the next frame.
+  if (outcome.result.feasible) prediction_ = outcome.result.error_bound;
+
+  ++stats_.frames;
+  stats_.retrains += outcome.retrained;
+  stats_.frames_in_band += outcome.result.feasible;
+  stats_.total_compress_calls += outcome.result.compress_calls;
+  stats_.last_ratio = outcome.result.achieved_ratio;
+  stats_.ratio_ema = stats_.frames == 1
+                         ? outcome.result.achieved_ratio
+                         : 0.8 * stats_.ratio_ema + 0.2 * outcome.result.achieved_ratio;
+  return outcome;
+}
+
+void OnlineTuner::reset() {
+  prediction_ = 0;
+  stats_ = OnlineStats{};
+}
+
+}  // namespace fraz

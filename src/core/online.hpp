@@ -1,0 +1,64 @@
+#ifndef FRAZ_CORE_ONLINE_HPP
+#define FRAZ_CORE_ONLINE_HPP
+
+/// \file online.hpp
+/// The paper's second future-work item (§VII): an online version of FRaZ
+/// providing "in situ fixed-ratio compression for simulation and instrument
+/// data".
+///
+/// OnlineTuner wraps the batch tuner behind a push API: each arriving frame
+/// is compressed at the carried-forward bound when that still lands in the
+/// acceptance band (one compressor call — the fast path), and retrained
+/// otherwise.  It additionally keeps drift statistics so operators can see
+/// *when* the stream changed character, which the offline Algorithm 3 has no
+/// place to report.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/tuner.hpp"
+
+namespace fraz {
+
+/// Streaming statistics of an OnlineTuner.
+struct OnlineStats {
+  std::size_t frames = 0;
+  std::size_t retrains = 0;
+  std::size_t frames_in_band = 0;
+  int total_compress_calls = 0;
+  /// Achieved ratio of the most recent frame.
+  double last_ratio = 0;
+  /// Exponential moving average of the achieved ratio (alpha = 0.2).
+  double ratio_ema = 0;
+};
+
+/// In-situ fixed-ratio tuner: push frames as they arrive.
+class OnlineTuner {
+public:
+  /// \param prototype compressor to tune (cloned internally).
+  /// \param config same knobs as the batch Tuner.
+  OnlineTuner(const pressio::Compressor& prototype, TunerConfig config);
+
+  /// Process one arriving frame: probe the carried bound, retrain on drift.
+  /// Returns the per-frame outcome (same shape as the batch API's steps).
+  StepOutcome push(const ArrayView& frame);
+
+  /// The bound that will be probed first for the next frame (0 before any
+  /// successful frame).
+  double carried_bound() const noexcept { return prediction_; }
+
+  /// Aggregate statistics since construction or the last reset().
+  const OnlineStats& stats() const noexcept { return stats_; }
+
+  /// Forget the carried bound and statistics (e.g. at a simulation restart).
+  void reset();
+
+private:
+  Tuner tuner_;
+  double prediction_ = 0;
+  OnlineStats stats_;
+};
+
+}  // namespace fraz
+
+#endif  // FRAZ_CORE_ONLINE_HPP

@@ -1,0 +1,27 @@
+#include "core/regions.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fraz {
+
+std::vector<Region> make_error_bound_regions(double lo, double hi, int count, double alpha) {
+  require(lo < hi, "make_error_bound_regions: requires lo < hi");
+  require(count >= 1, "make_error_bound_regions: count must be >= 1");
+  require(alpha >= 0 && alpha < 1, "make_error_bound_regions: alpha in [0, 1)");
+
+  std::vector<Region> regions;
+  regions.reserve(static_cast<std::size_t>(count));
+  const double width = (hi - lo) / count;
+  const double pad = 0.5 * alpha * width;
+  for (int i = 0; i < count; ++i) {
+    Region r;
+    r.lo = std::max(lo, lo + i * width - pad);
+    r.hi = std::min(hi, lo + (i + 1) * width + pad);
+    regions.push_back(r);
+  }
+  return regions;
+}
+
+}  // namespace fraz

@@ -1,0 +1,30 @@
+#ifndef FRAZ_CORE_REGIONS_HPP
+#define FRAZ_CORE_REGIONS_HPP
+
+/// \file regions.hpp
+/// Error-bound range decomposition (paper §V-C, Fig. 5): the search interval
+/// [lo, hi] is split into K regions that overlap by a fixed fraction α of the
+/// region width, so a target sitting exactly on a region border is interior
+/// to its neighbour — without the overlap, that rank "iterates longer lacking
+/// stationary points for quadratic refinement" (paper).  The first and last
+/// regions are slightly smaller so the union still equals [lo, hi].
+
+#include <vector>
+
+namespace fraz {
+
+/// One error-bound search region.
+struct Region {
+  double lo;
+  double hi;
+};
+
+/// Split [lo, hi] into \p count regions with overlap fraction \p alpha
+/// (default 10%, the paper's choice).  Requires lo < hi, count >= 1,
+/// 0 <= alpha < 1.
+std::vector<Region> make_error_bound_regions(double lo, double hi, int count,
+                                             double alpha = 0.1);
+
+}  // namespace fraz
+
+#endif  // FRAZ_CORE_REGIONS_HPP

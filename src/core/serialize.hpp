@@ -1,0 +1,35 @@
+#ifndef FRAZ_CORE_SERIALIZE_HPP
+#define FRAZ_CORE_SERIALIZE_HPP
+
+/// \file serialize.hpp
+/// JSON rendering of tuner results and option maps, so workflows can consume
+/// FRaZ output programmatically (the CLI's --json mode, experiment logs).
+/// Hand-rolled writer: flat structures only, RFC 8259-conformant escaping
+/// and locale-independent number formatting.
+
+#include <string>
+
+#include "core/tuner.hpp"
+#include "pressio/options.hpp"
+
+namespace fraz {
+
+/// JSON string literal with escaping.
+std::string json_escape(const std::string& text);
+
+/// Locale-independent JSON number (handles infinities/NaN as strings, which
+/// JSON cannot represent natively).
+std::string json_number(double value);
+
+/// Render an option map as one flat JSON object.
+std::string to_json(const pressio::Options& options);
+
+/// Render a TuneResult (region details included when present).
+std::string to_json(const TuneResult& result);
+
+/// Render a SeriesResult with per-step entries.
+std::string to_json(const SeriesResult& series);
+
+}  // namespace fraz
+
+#endif  // FRAZ_CORE_SERIALIZE_HPP

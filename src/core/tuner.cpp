@@ -1,0 +1,220 @@
+#include "core/tuner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <mutex>
+
+#include "opt/cancel.hpp"
+#include "opt/global_search.hpp"
+#include "opt/thread_pool.hpp"
+#include "pressio/evaluate.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace fraz {
+
+namespace {
+
+/// Mix a stream index into the base seed (splitmix-style) so every region /
+/// field / step gets an independent but reproducible random stream.
+std::uint64_t substream(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Tuner::Tuner(const pressio::Compressor& prototype, TunerConfig config)
+    : prototype_(prototype.clone()), config_(config) {
+  require(config_.target_ratio > 1.0, "Tuner: target_ratio must exceed 1");
+  require(config_.epsilon > 0 && config_.epsilon < 1, "Tuner: epsilon in (0, 1)");
+  require(config_.regions >= 1, "Tuner: regions must be >= 1");
+  require(config_.overlap >= 0 && config_.overlap < 1, "Tuner: overlap in [0, 1)");
+  require(config_.max_evals_per_region >= 1, "Tuner: max_evals_per_region >= 1");
+}
+
+Region Tuner::search_range(const ArrayView& data) const {
+  double hi = config_.max_error_bound;
+  if (hi <= 0) {
+    hi = value_range(data);
+    if (hi <= 0) hi = 1.0;  // constant field: any bound behaves the same
+  }
+  double lo = config_.min_error_bound;
+  if (lo <= 0) lo = hi * 1e-9;
+  require(lo < hi, "Tuner: min_error_bound must be below max_error_bound");
+  return Region{lo, hi};
+}
+
+TuneResult Tuner::tune(const ArrayView& data) const {
+  require(prototype_->supports_dims(data.dims()),
+          "Tuner: compressor '" + prototype_->name() + "' does not support this rank");
+  Timer timer;
+  const Region range = search_range(data);
+  // Optionally work in log(bound) space: the region split and the global
+  // search then resolve every decade of the bound axis equally well.
+  const bool log_scale = config_.log_scale_search;
+  const double search_lo = log_scale ? std::log(range.lo) : range.lo;
+  const double search_hi = log_scale ? std::log(range.hi) : range.hi;
+  auto to_bound = [log_scale](double x) { return log_scale ? std::exp(x) : x; };
+  const auto regions =
+      make_error_bound_regions(search_lo, search_hi, config_.regions, config_.overlap);
+  const double cutoff = loss_cutoff(config_.target_ratio, config_.epsilon);
+
+  CancelToken token;
+  std::atomic<int> total_calls{0};
+
+  // One task per region (paper Alg. 2): each clones the compressor, runs the
+  // cutoff-modified global search on its sub-range, and trips the shared
+  // cancellation token on success so outstanding work stops early.
+  auto run_region = [&](std::size_t index) -> RegionOutcome {
+    RegionOutcome outcome;
+    // Report the region in bound units even when searching in log space.
+    outcome.region = Region{to_bound(regions[index].lo), to_bound(regions[index].hi)};
+    if (token.cancelled()) {
+      outcome.cancelled = true;
+      return outcome;
+    }
+    const pressio::CompressorPtr compressor = prototype_->clone();
+
+    double best_dist = std::numeric_limits<double>::infinity();
+    auto objective = [&](double x) {
+      const double bound = to_bound(x);
+      compressor->set_error_bound(bound);
+      const auto probe = pressio::probe_ratio(*compressor, data);
+      ++total_calls;
+      ++outcome.compress_calls;
+      const double dist = std::abs(probe.ratio - config_.target_ratio);
+      if (dist < best_dist) {
+        best_dist = dist;
+        outcome.best_bound = bound;
+        outcome.best_ratio = probe.ratio;
+      }
+      return ratio_loss(probe.ratio, config_.target_ratio);
+    };
+
+    opt::SearchOptions search;
+    search.max_calls = config_.max_evals_per_region;
+    search.cutoff = cutoff;
+    search.seed = substream(config_.seed, index);
+    search.cancel = &token;
+    const opt::SearchResult sr =
+        opt::find_min_global(objective, regions[index].lo, regions[index].hi, search);
+
+    outcome.hit_cutoff = sr.hit_cutoff;
+    outcome.cancelled = sr.cancelled;
+    if (sr.hit_cutoff) token.cancel();
+    return outcome;
+  };
+
+  std::vector<RegionOutcome> outcomes(regions.size());
+  if (config_.threads == 1 || regions.size() == 1) {
+    for (std::size_t i = 0; i < regions.size(); ++i) outcomes[i] = run_region(i);
+  } else {
+    ThreadPool pool(config_.threads == 0
+                        ? std::min<unsigned>(static_cast<unsigned>(regions.size()),
+                                             std::thread::hardware_concurrency())
+                        : std::min<unsigned>(config_.threads,
+                                             static_cast<unsigned>(regions.size())));
+    std::vector<std::future<RegionOutcome>> futures;
+    futures.reserve(regions.size());
+    for (std::size_t i = 0; i < regions.size(); ++i)
+      futures.push_back(pool.submit([&, i] { return run_region(i); }));
+    for (std::size_t i = 0; i < futures.size(); ++i) outcomes[i] = futures[i].get();
+  }
+
+  // Result selection: prefer in-band outcomes; otherwise the observation
+  // closest to the target ratio across every region (paper Alg. 2 tail).
+  TuneResult result;
+  result.regions = std::move(outcomes);
+  result.compress_calls = total_calls.load();
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const RegionOutcome& o : result.regions) {
+    if (o.compress_calls == 0) continue;
+    const double dist = std::abs(o.best_ratio - config_.target_ratio);
+    const bool better =
+        (o.hit_cutoff && !result.feasible) || (o.hit_cutoff == result.feasible && dist < best_dist);
+    if (better) {
+      result.feasible = result.feasible || o.hit_cutoff;
+      best_dist = dist;
+      result.error_bound = o.best_bound;
+      result.achieved_ratio = o.best_ratio;
+    }
+  }
+  result.feasible =
+      ratio_acceptable(result.achieved_ratio, config_.target_ratio, config_.epsilon);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+TuneResult Tuner::tune_with_prediction(const ArrayView& data, double predicted_bound) const {
+  // Algorithm 1: when a prediction is available, try it before any training.
+  if (predicted_bound > 0) {
+    Timer timer;
+    const pressio::CompressorPtr compressor = prototype_->clone();
+    compressor->set_error_bound(predicted_bound);
+    const auto probe = pressio::probe_ratio(*compressor, data);
+    if (ratio_acceptable(probe.ratio, config_.target_ratio, config_.epsilon)) {
+      TuneResult result;
+      result.error_bound = predicted_bound;
+      result.achieved_ratio = probe.ratio;
+      result.feasible = true;
+      result.from_prediction = true;
+      result.compress_calls = 1;
+      result.seconds = timer.seconds();
+      return result;
+    }
+    TuneResult result = tune(data);
+    result.compress_calls += 1;       // account for the failed prediction probe
+    result.seconds = timer.seconds();  // total including the probe
+    return result;
+  }
+  return tune(data);
+}
+
+SeriesResult Tuner::tune_series(const std::vector<ArrayView>& steps) const {
+  require(!steps.empty(), "Tuner::tune_series: no time steps");
+  SeriesResult series;
+  Timer timer;
+  double prediction = 0;  // p in Algorithm 3; 0 = none yet
+  for (const ArrayView& step : steps) {
+    StepOutcome outcome;
+    outcome.result = tune_with_prediction(step, prediction);
+    outcome.retrained = !outcome.result.from_prediction;
+    if (outcome.retrained) ++series.retrain_count;
+    // Algorithm 3 line 5-7: carry the bound forward only when it satisfied
+    // the acceptance band.
+    if (outcome.result.feasible) prediction = outcome.result.error_bound;
+    series.total_compress_calls += outcome.result.compress_calls;
+    series.steps.push_back(std::move(outcome));
+  }
+  series.seconds = timer.seconds();
+  return series;
+}
+
+std::map<std::string, SeriesResult> Tuner::tune_fields(
+    const std::map<std::string, std::vector<ArrayView>>& fields) const {
+  require(!fields.empty(), "Tuner::tune_fields: no fields");
+  // Fields are embarrassingly parallel (paper Alg. 3); each gets a pool slot.
+  // Region-level parallelism inside each field stays enabled, so total thread
+  // count is fields x regions — acceptable oversubscription, as the tasks are
+  // compression-bound.
+  ThreadPool pool(config_.threads == 0
+                      ? std::min<unsigned>(static_cast<unsigned>(fields.size()),
+                                           std::thread::hardware_concurrency())
+                      : std::min<unsigned>(config_.threads,
+                                           static_cast<unsigned>(fields.size())));
+  std::map<std::string, std::future<SeriesResult>> futures;
+  for (const auto& [name, steps] : fields) {
+    const auto* steps_ptr = &steps;
+    futures.emplace(name, pool.submit([this, steps_ptr] { return tune_series(*steps_ptr); }));
+  }
+  std::map<std::string, SeriesResult> results;
+  for (auto& [name, future] : futures) results.emplace(name, future.get());
+  return results;
+}
+
+}  // namespace fraz

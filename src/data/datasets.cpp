@@ -1,0 +1,383 @@
+#include "data/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/noise.hpp"
+#include "util/error.hpp"
+
+namespace fraz::data {
+
+namespace {
+
+/// Scale a base extent by the suite scale (kSmall = base).
+std::size_t scaled(std::size_t base, SuiteScale scale) {
+  switch (scale) {
+    case SuiteScale::kTiny:
+      return std::max<std::size_t>(base / 4, 8);
+    case SuiteScale::kMedium:
+      return base * 2;
+    default:
+      return base;
+  }
+}
+
+Shape scaled_shape(std::initializer_list<std::size_t> dims, SuiteScale scale) {
+  Shape s;
+  for (std::size_t d : dims) s.push_back(scaled(d, scale));
+  return s;
+}
+
+// ------------------------------------------------------------ field kernels
+
+/// Plume intensity shared by the cloud-like generators: a handful of
+/// gaussian bumps whose centres drift with the time step, over a turbulent
+/// background.  Mirrors the structure of hurricane moisture fields: mostly
+/// empty air with localized condensed features.
+double plume_intensity(const LatticeNoise& noise, double x, double y, double z, double t) {
+  double v = 0;
+  // Bump parameters are hashed from the noise seed via corner(); bump k
+  // drifts along a seed-specific direction.
+  for (int k = 0; k < 6; ++k) {
+    const double cx = 0.15 + 0.7 * noise.corner(k, 1, 0) + 0.004 * t * (noise.corner(k, 2, 0) - 0.5);
+    const double cy = 0.15 + 0.7 * noise.corner(k, 3, 0) + 0.006 * t * (noise.corner(k, 4, 0) - 0.5);
+    const double cz = 0.15 + 0.7 * noise.corner(k, 5, 0);
+    const double radius = 0.06 + 0.12 * noise.corner(k, 6, 0);
+    const double dx = x - cx, dy = y - cy, dz = z - cz;
+    const double d2 = dx * dx + dy * dy + dz * dz;
+    v += std::exp(-d2 / (2 * radius * radius));
+  }
+  // Turbulent modulation so plume interiors are not perfectly smooth.
+  const double turb = noise.fbm3(6 * x + 0.05 * t, 6 * y, 6 * z, 3);
+  return v * (0.6 + 0.8 * turb);
+}
+
+NdArray turbulent3d(const FieldSpec& spec, int step) {
+  NdArray out(DType::kFloat32, spec.shape);
+  float* p = out.typed<float>();
+  const LatticeNoise noise(spec.seed);
+  const std::size_t nz = spec.shape[0], ny = spec.shape[1], nx = spec.shape[2];
+  const double t = step;
+  std::size_t i = 0;
+  for (std::size_t z = 0; z < nz; ++z)
+    for (std::size_t y = 0; y < ny; ++y)
+      for (std::size_t x = 0; x < nx; ++x) {
+        // Advect the sampling coordinates with time: the field evolves
+        // smoothly, so consecutive steps have similar (drifting) statistics.
+        const double u = static_cast<double>(x) / static_cast<double>(nx) + 0.012 * t;
+        const double v = static_cast<double>(y) / static_cast<double>(ny) + 0.007 * t;
+        const double w = static_cast<double>(z) / static_cast<double>(nz);
+        const double amp = 40.0 * (1.0 + 0.08 * std::sin(0.45 * t));
+        p[i++] = static_cast<float>(amp * (noise.fbm3(5 * u, 5 * v, 5 * w, 5) - 0.5) +
+                                    15.0 * std::sin(2.1 * u + 0.3 * t) * std::cos(1.7 * v));
+      }
+  return out;
+}
+
+NdArray cloud_field3d(const FieldSpec& spec, int step) {
+  NdArray out(DType::kFloat32, spec.shape);
+  float* p = out.typed<float>();
+  const LatticeNoise noise(spec.seed);
+  const std::size_t nz = spec.shape[0], ny = spec.shape[1], nx = spec.shape[2];
+  const double t = step;
+  // In-cloud microphysics noise: unpredictable at every scale below it, so
+  // the compression-ratio curve spans its full range over bounds that are a
+  // *linear-searchable* fraction of the value range (as with real CLOUDf).
+  // The noise floor rises slowly with time: the bound needed for a given
+  // ratio drifts upward across the series, which is what pushes a
+  // user-capped (max-error-bound) target out of feasibility in later steps.
+  const double noise_floor = 1.2e-4 * (1.0 + 0.10 * t);
+  std::size_t i = 0;
+  for (std::size_t z = 0; z < nz; ++z)
+    for (std::size_t y = 0; y < ny; ++y)
+      for (std::size_t x = 0; x < nx; ++x) {
+        const double u = static_cast<double>(x) / static_cast<double>(nx);
+        const double v = static_cast<double>(y) / static_cast<double>(ny);
+        const double w = static_cast<double>(z) / static_cast<double>(nz);
+        const double raw = plume_intensity(noise, u, v, w, t) - 0.35;
+        // Threshold: most of the volume is exactly zero, like CLOUDf.
+        if (raw > 0) {
+          const double jitter = noise_floor * hash_normal(spec.seed ^ 0xc10d5u, i + 977 * step);
+          p[i] = static_cast<float>(raw * 1e-3 + jitter);
+        } else {
+          p[i] = 0.0f;
+        }
+        ++i;
+      }
+  return out;
+}
+
+NdArray log_sparse_plume3d(const FieldSpec& spec, int step) {
+  NdArray out(DType::kFloat32, spec.shape);
+  float* p = out.typed<float>();
+  const LatticeNoise noise(spec.seed);
+  const std::size_t nz = spec.shape[0], ny = spec.shape[1], nx = spec.shape[2];
+  const double t = step;
+  const double floor_value = 1e-7;  // background mixing ratio
+  std::size_t i = 0;
+  for (std::size_t z = 0; z < nz; ++z)
+    for (std::size_t y = 0; y < ny; ++y)
+      for (std::size_t x = 0; x < nx; ++x) {
+        const double u = static_cast<double>(x) / static_cast<double>(nx);
+        const double v = static_cast<double>(y) / static_cast<double>(ny);
+        const double w = static_cast<double>(z) / static_cast<double>(nz);
+        const double q = plume_intensity(noise, u, v, w, t);
+        // log10 of a mostly-tiny field: a flat plateau at log10(floor) with
+        // smooth mesas where plumes exist -- QCLOUDf.log10's signature, and
+        // the shape that drives SZ's non-monotonic ratio curve (Fig. 3).
+        p[i++] = static_cast<float>(std::log10(floor_value + 1e-3 * std::max(q - 0.3, 0.0)));
+      }
+  return out;
+}
+
+NdArray particle_coord1d(const FieldSpec& spec, int step, double box, bool clustered) {
+  NdArray out(DType::kFloat32, spec.shape);
+  float* p = out.typed<float>();
+  const std::size_t n = out.elements();
+  const double t = step;
+  for (std::size_t i = 0; i < n; ++i) {
+    double x0;
+    if (clustered && hash_uniform(spec.seed ^ 0xc1u, i) < 0.35) {
+      // Cluster members: gaussian around one of 16 halo centres.
+      const auto halo = static_cast<std::uint64_t>(hash_uniform(spec.seed ^ 0xc2u, i) * 16.0);
+      const double centre = box * hash_uniform(spec.seed ^ 0xc3u, halo);
+      x0 = centre + 0.01 * box * hash_normal(spec.seed ^ 0xc4u, i);
+    } else {
+      x0 = box * hash_uniform(spec.seed ^ 0xc5u, i);
+    }
+    const double velocity = 0.002 * box * hash_normal(spec.seed ^ 0xc6u, i);
+    const double x = std::fmod(std::fmod(x0 + velocity * t, box) + box, box);
+    p[i] = static_cast<float>(x);
+  }
+  return out;
+}
+
+NdArray particle_vel1d(const FieldSpec& spec, int step) {
+  NdArray out(DType::kFloat32, spec.shape);
+  float* p = out.typed<float>();
+  const std::size_t n = out.elements();
+  const double t = step;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v0 = 300.0 * hash_normal(spec.seed ^ 0xd0u, i);
+    // Slow acceleration drift keeps successive steps correlated.
+    p[i] = static_cast<float>(v0 * (1.0 + 0.01 * t) + 2.0 * hash_normal(spec.seed + 77, i) * t);
+  }
+  return out;
+}
+
+NdArray lattice_coord1d(const FieldSpec& spec, int step) {
+  NdArray out(DType::kFloat32, spec.shape);
+  float* p = out.typed<float>();
+  const std::size_t n = out.elements();
+  const double spacing = 2.8;  // angstrom-ish lattice constant
+  const double t = step;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Crystal site + thermal vibration; vibration phase advances with time.
+    const double site = spacing * static_cast<double>(i % 4096);
+    const double phase = 6.2831853 * hash_uniform(spec.seed ^ 0xe1u, i);
+    const double amp = 0.08 * (1.0 + hash_uniform(spec.seed ^ 0xe2u, i));
+    p[i] = static_cast<float>(site + amp * std::sin(phase + 0.9 * t) +
+                              0.01 * hash_normal(spec.seed ^ 0xe3u, i + 31 * step));
+  }
+  return out;
+}
+
+NdArray smooth2d(const FieldSpec& spec, int step) {
+  NdArray out(DType::kFloat32, spec.shape);
+  float* p = out.typed<float>();
+  const LatticeNoise noise(spec.seed);
+  const std::size_t ny = spec.shape[0], nx = spec.shape[1];
+  const double t = step;
+  std::size_t i = 0;
+  for (std::size_t y = 0; y < ny; ++y)
+    for (std::size_t x = 0; x < nx; ++x) {
+      const double u = static_cast<double>(x) / static_cast<double>(nx);
+      const double v = static_cast<double>(y) / static_cast<double>(ny);
+      // Large-scale climate pattern + seasonal-style drift + small texture.
+      // The fine octave mimics sharp cloud-fraction edges: real CLDHGH has
+      // considerable high-frequency content.
+      const double base = std::sin(3.1 * u + 0.08 * t) * std::cos(2.3 * v - 0.05 * t);
+      const double texture = noise.fbm3(8 * u + 0.03 * t, 8 * v, 0.25 * t, 4) - 0.5;
+      const double fine = noise.fbm3(40 * u, 40 * v, 0.25 * t + 9.1, 2) - 0.5;
+      p[i++] = static_cast<float>(0.55 + 0.4 * base + 0.18 * texture + 0.06 * fine);
+    }
+  return out;
+}
+
+NdArray cosmo_field3d(const FieldSpec& spec, int step) {
+  NdArray out(DType::kFloat32, spec.shape);
+  float* p = out.typed<float>();
+  const LatticeNoise noise(spec.seed);
+  const std::size_t nz = spec.shape[0], ny = spec.shape[1], nx = spec.shape[2];
+  const double t = step;
+  std::size_t i = 0;
+  for (std::size_t z = 0; z < nz; ++z)
+    for (std::size_t y = 0; y < ny; ++y)
+      for (std::size_t x = 0; x < nx; ++x) {
+        const double u = static_cast<double>(x) / static_cast<double>(nx);
+        const double v = static_cast<double>(y) / static_cast<double>(ny);
+        const double w = static_cast<double>(z) / static_cast<double>(nz);
+        // Log-normal field: exp of fBm gives the heavy-tailed brightness of
+        // NYX temperature/density with filament-like structure.  Structure
+        // growth: contrast rises slowly with time (clustering deepens).
+        // Dominantly large-scale structure (as in the real 512^3 field):
+        // steep spectrum -- per-octave amplitude decays by 0.3, so nearly
+        // all energy sits in the lowest modes and adjacent samples are
+        // highly predictable (what lets SZ excel at extreme ratios).
+        double g = 0, norm = 0, amp = 1, freq = 3;
+        for (int o = 0; o < 4; ++o) {
+          const double off = 17.31 * o;
+          g += amp * noise.noise3(freq * u + off, freq * v + off,
+                                  freq * (w + 0.02 * t) + off);
+          norm += amp;
+          amp *= 0.18;
+          freq *= 2;
+        }
+        g = g / norm - 0.5;
+        const double contrast = 2.6 * (1.0 + 0.04 * t);
+        p[i++] = static_cast<float>(1e4 * std::exp(contrast * g));
+      }
+  return out;
+}
+
+}  // namespace
+
+std::size_t DatasetSpec::step_bytes() const {
+  std::size_t total = 0;
+  for (const FieldSpec& f : fields) total += shape_elements(f.shape) * 4;
+  return total;
+}
+
+std::vector<DatasetSpec> sdrbench_suite(SuiteScale scale) {
+  std::vector<DatasetSpec> suite;
+
+  {
+    DatasetSpec d;
+    d.name = "hurricane";
+    d.domain = "meteorology";
+    d.time_steps = 12;  // paper: 48 steps, 100x500x500, 13 fields
+    const Shape shape = scaled_shape({16, 64, 64}, scale);
+    d.fields = {
+        {"TCf", FieldKind::kTurbulent3d, shape, 0x480001},
+        {"Uf", FieldKind::kTurbulent3d, shape, 0x480002},
+        {"CLOUDf", FieldKind::kCloudField3d, shape, 0x480003},
+        {"QCLOUDf.log10", FieldKind::kLogSparsePlume3d, shape, 0x480004},
+    };
+    suite.push_back(std::move(d));
+  }
+  {
+    DatasetSpec d;
+    d.name = "hacc";
+    d.domain = "cosmology (particles)";
+    d.time_steps = 16;  // paper: 101 steps, 6 1D fields
+    const Shape shape = scaled_shape({131072}, scale);
+    d.fields = {
+        {"x", FieldKind::kParticleCoord1d, shape, 0xacc001},
+        {"y", FieldKind::kParticleCoord1d, shape, 0xacc002},
+        {"z", FieldKind::kParticleCoord1d, shape, 0xacc003},
+        {"vx", FieldKind::kParticleVel1d, shape, 0xacc004},
+        {"vy", FieldKind::kParticleVel1d, shape, 0xacc005},
+        {"vz", FieldKind::kParticleVel1d, shape, 0xacc006},
+    };
+    suite.push_back(std::move(d));
+  }
+  {
+    DatasetSpec d;
+    d.name = "cesm";
+    d.domain = "climate";
+    d.time_steps = 12;  // paper: 62 steps, 2D, 6 multi-step fields
+    const Shape shape = scaled_shape({96, 192}, scale);
+    d.fields = {
+        {"CLDHGH", FieldKind::kSmooth2d, shape, 0xce5001},
+        {"CLDLOW", FieldKind::kSmooth2d, shape, 0xce5002},
+        {"CLOUD", FieldKind::kSmooth2d, shape, 0xce5003},
+        {"FLDSC", FieldKind::kSmooth2d, shape, 0xce5004},
+        {"FREQSH", FieldKind::kSmooth2d, shape, 0xce5005},
+        {"PHIS", FieldKind::kSmooth2d, shape, 0xce5006},
+    };
+    suite.push_back(std::move(d));
+  }
+  {
+    DatasetSpec d;
+    d.name = "exaalt";
+    d.domain = "molecular dynamics";
+    d.time_steps = 16;  // paper: 82 steps, 3 1D fields
+    const Shape shape = scaled_shape({65536}, scale);
+    d.fields = {
+        {"x", FieldKind::kLatticeCoord1d, shape, 0xea1001},
+        {"y", FieldKind::kLatticeCoord1d, shape, 0xea1002},
+        {"z", FieldKind::kLatticeCoord1d, shape, 0xea1003},
+    };
+    suite.push_back(std::move(d));
+  }
+  {
+    DatasetSpec d;
+    d.name = "nyx";
+    d.domain = "cosmology (fields)";
+    d.time_steps = 8;  // paper: 8 steps, 512^3, 5 fields
+    const Shape shape = scaled_shape({24, 48, 48}, scale);
+    d.fields = {
+        {"temperature", FieldKind::kCosmoField3d, shape, 0x0ee001},
+        {"baryon_density", FieldKind::kCosmoField3d, shape, 0x0ee002},
+        {"dark_matter_density", FieldKind::kCosmoField3d, shape, 0x0ee003},
+        {"velocity_x", FieldKind::kTurbulent3d, shape, 0x0ee004},
+        {"velocity_y", FieldKind::kTurbulent3d, shape, 0x0ee005},
+    };
+    suite.push_back(std::move(d));
+  }
+  return suite;
+}
+
+DatasetSpec dataset_by_name(const std::string& name, SuiteScale scale) {
+  for (DatasetSpec& d : sdrbench_suite(scale))
+    if (d.name == name) return std::move(d);
+  throw InvalidArgument("dataset_by_name: unknown dataset '" + name + "'");
+}
+
+FieldSpec field_by_name(const DatasetSpec& dataset, const std::string& field) {
+  for (const FieldSpec& f : dataset.fields)
+    if (f.name == field) return f;
+  throw InvalidArgument("field_by_name: dataset '" + dataset.name + "' has no field '" + field +
+                        "'");
+}
+
+NdArray generate_field(const FieldSpec& spec, int step) {
+  require(step >= 0, "generate_field: step must be >= 0");
+  switch (spec.kind) {
+    case FieldKind::kTurbulent3d:
+      require(spec.shape.size() == 3, "turbulent3d expects a 3D shape");
+      return turbulent3d(spec, step);
+    case FieldKind::kCloudField3d:
+      require(spec.shape.size() == 3, "cloud_field3d expects a 3D shape");
+      return cloud_field3d(spec, step);
+    case FieldKind::kLogSparsePlume3d:
+      require(spec.shape.size() == 3, "log_sparse_plume3d expects a 3D shape");
+      return log_sparse_plume3d(spec, step);
+    case FieldKind::kParticleCoord1d:
+      require(spec.shape.size() == 1, "particle_coord1d expects a 1D shape");
+      return particle_coord1d(spec, step, 256.0, true);
+    case FieldKind::kParticleVel1d:
+      require(spec.shape.size() == 1, "particle_vel1d expects a 1D shape");
+      return particle_vel1d(spec, step);
+    case FieldKind::kSmooth2d:
+      require(spec.shape.size() == 2, "smooth2d expects a 2D shape");
+      return smooth2d(spec, step);
+    case FieldKind::kLatticeCoord1d:
+      require(spec.shape.size() == 1, "lattice_coord1d expects a 1D shape");
+      return lattice_coord1d(spec, step);
+    case FieldKind::kCosmoField3d:
+      require(spec.shape.size() == 3, "cosmo_field3d expects a 3D shape");
+      return cosmo_field3d(spec, step);
+  }
+  throw InvalidArgument("generate_field: unknown field kind");
+}
+
+std::vector<NdArray> generate_series(const FieldSpec& spec, int steps, int first_step) {
+  require(steps >= 1, "generate_series: steps must be >= 1");
+  std::vector<NdArray> out;
+  out.reserve(static_cast<std::size_t>(steps));
+  for (int t = 0; t < steps; ++t) out.push_back(generate_field(spec, first_step + t));
+  return out;
+}
+
+}  // namespace fraz::data

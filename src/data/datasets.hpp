@@ -1,0 +1,83 @@
+#ifndef FRAZ_DATA_DATASETS_HPP
+#define FRAZ_DATA_DATASETS_HPP
+
+/// \file datasets.hpp
+/// Synthetic analogues of the five SDRBench datasets the paper evaluates
+/// (Table III): Hurricane (meteorology, 3D), HACC (cosmology particles, 1D),
+/// CESM (climate, 2D), EXAALT (molecular dynamics, 1D), NYX (cosmology
+/// fields, 3D).
+///
+/// Substitution rationale (DESIGN.md §2): the real archives are tens of GB
+/// and unavailable offline, so each field is replaced by a seeded generator
+/// that reproduces the property FRaZ is sensitive to — smooth multiscale
+/// structure, log-scaled sparse plumes, weakly compressible particle
+/// coordinates, log-normal cosmology fields — including slow temporal drift
+/// so the time-step warm-start behaviour (paper Fig. 6) is exercised.
+/// Generation is deterministic: (spec, step) always yields the same bytes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ndarray/ndarray.hpp"
+
+namespace fraz::data {
+
+/// Statistical family of a synthetic field.
+enum class FieldKind {
+  kTurbulent3d,       ///< multiscale fBm (Hurricane TCf/Uf, wind/temperature)
+  kCloudField3d,      ///< thresholded plumes, many exact zeros (Hurricane CLOUDf)
+  kLogSparsePlume3d,  ///< log10 of plume field (Hurricane QCLOUDf.log10)
+  kParticleCoord1d,   ///< unsorted drifting particle coordinates (HACC x/y/z)
+  kParticleVel1d,     ///< particle velocities (HACC vx/vy/vz)
+  kSmooth2d,          ///< smooth multiscale climate field (CESM)
+  kLatticeCoord1d,    ///< thermal-vibrating crystal coordinates (EXAALT)
+  kCosmoField3d,      ///< log-normal density/temperature (NYX)
+};
+
+/// One field of a dataset.
+struct FieldSpec {
+  std::string name;
+  FieldKind kind;
+  Shape shape;          ///< extent of one time step
+  std::uint64_t seed;   ///< generator stream
+};
+
+/// One benchmark dataset.
+struct DatasetSpec {
+  std::string name;
+  std::string domain;
+  int time_steps;
+  std::vector<FieldSpec> fields;
+
+  /// Bytes of one time step across all fields (f32).
+  std::size_t step_bytes() const;
+};
+
+/// Relative sizing of the synthetic suite; dims scale with the factor so
+/// tests stay fast while benches can run closer to paper-like extents.
+enum class SuiteScale {
+  kTiny,    ///< unit-test sized (dims ~ /4 of kSmall)
+  kSmall,   ///< default bench size
+  kMedium,  ///< slower, higher-fidelity bench size (dims ~ x2 of kSmall)
+};
+
+/// The five-dataset suite mirroring the paper's Table III.
+std::vector<DatasetSpec> sdrbench_suite(SuiteScale scale = SuiteScale::kSmall);
+
+/// Look up one dataset by name ("hurricane", "hacc", "cesm", "exaalt",
+/// "nyx"); throws InvalidArgument for unknown names.
+DatasetSpec dataset_by_name(const std::string& name, SuiteScale scale = SuiteScale::kSmall);
+
+/// Look up one field inside a dataset; throws InvalidArgument when missing.
+FieldSpec field_by_name(const DatasetSpec& dataset, const std::string& field);
+
+/// Generate the field's data at time step \p step (f32, deterministic).
+NdArray generate_field(const FieldSpec& spec, int step);
+
+/// Generate \p steps consecutive time steps of a field.
+std::vector<NdArray> generate_series(const FieldSpec& spec, int steps, int first_step = 0);
+
+}  // namespace fraz::data
+
+#endif  // FRAZ_DATA_DATASETS_HPP

@@ -1,0 +1,72 @@
+#include "data/noise.hpp"
+
+#include <cmath>
+
+namespace fraz::data {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double smoothstep(double t) noexcept { return t * t * (3.0 - 2.0 * t); }
+
+}  // namespace
+
+double LatticeNoise::corner(std::int64_t x, std::int64_t y, std::int64_t z) const noexcept {
+  std::uint64_t h = seed_;
+  h = mix(h ^ static_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ull);
+  h = mix(h ^ static_cast<std::uint64_t>(y) * 0xc2b2ae3d27d4eb4full);
+  h = mix(h ^ static_cast<std::uint64_t>(z) * 0x165667b19e3779f9ull);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double LatticeNoise::noise3(double x, double y, double z) const noexcept {
+  const double fx = std::floor(x), fy = std::floor(y), fz = std::floor(z);
+  const auto ix = static_cast<std::int64_t>(fx);
+  const auto iy = static_cast<std::int64_t>(fy);
+  const auto iz = static_cast<std::int64_t>(fz);
+  const double tx = smoothstep(x - fx);
+  const double ty = smoothstep(y - fy);
+  const double tz = smoothstep(z - fz);
+
+  double acc[2][2];
+  for (int dy = 0; dy < 2; ++dy)
+    for (int dz = 0; dz < 2; ++dz) {
+      const double a = corner(ix, iy + dy, iz + dz);
+      const double b = corner(ix + 1, iy + dy, iz + dz);
+      acc[dy][dz] = a + tx * (b - a);
+    }
+  const double y0 = acc[0][0] + tz * (acc[0][1] - acc[0][0]);
+  const double y1 = acc[1][0] + tz * (acc[1][1] - acc[1][0]);
+  return y0 + ty * (y1 - y0);
+}
+
+double LatticeNoise::fbm3(double x, double y, double z, int octaves) const noexcept {
+  double sum = 0, amplitude = 1, norm = 0, frequency = 1;
+  for (int o = 0; o < octaves; ++o) {
+    // Offset per octave decorrelates lattice alignment across octaves.
+    const double off = 17.31 * o;
+    sum += amplitude * noise3(x * frequency + off, y * frequency + off, z * frequency + off);
+    norm += amplitude;
+    amplitude *= 0.5;
+    frequency *= 2.0;
+  }
+  return sum / norm;
+}
+
+double hash_uniform(std::uint64_t seed, std::uint64_t index) noexcept {
+  return static_cast<double>(mix(seed ^ mix(index + 0x9e3779b97f4a7c15ull)) >> 11) * 0x1.0p-53;
+}
+
+double hash_normal(std::uint64_t seed, std::uint64_t index) noexcept {
+  double s = 0;
+  for (std::uint64_t k = 0; k < 4; ++k) s += hash_uniform(seed + k * 0x5851f42d4c957f2dull, index);
+  // Irwin-Hall(4): mean 2, variance 1/3; normalize to mean 0, variance 1.
+  return (s - 2.0) * 1.7320508075688772;
+}
+
+}  // namespace fraz::data

@@ -1,0 +1,45 @@
+#ifndef FRAZ_DATA_NOISE_HPP
+#define FRAZ_DATA_NOISE_HPP
+
+/// \file noise.hpp
+/// Deterministic lattice value-noise used by the synthetic dataset
+/// generators.  Integer lattice corners are hashed (SplitMix64) to values in
+/// [0,1) and blended with a smoothstep kernel; summing octaves yields the
+/// multi-scale structure typical of simulation fields.  Everything is pure
+/// arithmetic on the seed — no global state, bit-identical across platforms.
+
+#include <cstdint>
+
+namespace fraz::data {
+
+/// Smooth pseudo-random scalar field over R^3.
+class LatticeNoise {
+public:
+  explicit LatticeNoise(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  /// Single-octave smooth noise in [0, 1).
+  double noise3(double x, double y, double z) const noexcept;
+
+  /// Sum of \p octaves octaves with per-octave frequency doubling and
+  /// amplitude halving (fractal Brownian motion), normalized to [0, 1).
+  double fbm3(double x, double y, double z, int octaves) const noexcept;
+
+  /// Hash of an integer lattice point to [0, 1).
+  double corner(std::int64_t x, std::int64_t y, std::int64_t z) const noexcept;
+
+private:
+  std::uint64_t seed_;
+};
+
+/// Stateless per-index uniform hash in [0, 1): used for particle datasets
+/// where every particle's trajectory must be reproducible from its index.
+double hash_uniform(std::uint64_t seed, std::uint64_t index) noexcept;
+
+/// Stateless standard-normal-ish hash (sum of uniforms, Irwin-Hall with 4
+/// terms, variance-normalized): cheap, deterministic, good enough for
+/// synthetic thermal jitter.
+double hash_normal(std::uint64_t seed, std::uint64_t index) noexcept;
+
+}  // namespace fraz::data
+
+#endif  // FRAZ_DATA_NOISE_HPP

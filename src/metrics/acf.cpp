@@ -1,0 +1,37 @@
+#include "metrics/acf.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fraz {
+
+double error_acf(const ArrayView& original, const ArrayView& reconstructed, std::size_t lag) {
+  require(original.shape() == reconstructed.shape(), "error_acf: shape mismatch");
+  require(original.dtype() == reconstructed.dtype(), "error_acf: dtype mismatch");
+  const std::size_t n = original.elements();
+  require(lag >= 1 && lag < n, "error_acf: lag out of range");
+
+  auto value = [](const ArrayView& v, std::size_t i) -> double {
+    return v.dtype() == DType::kFloat32 ? v.typed<float>()[i] : v.typed<double>()[i];
+  };
+
+  double mean = 0;
+  std::vector<double> err(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    err[i] = value(original, i) - value(reconstructed, i);
+    mean += err[i];
+  }
+  mean /= static_cast<double>(n);
+
+  double var = 0;
+  for (std::size_t i = 0; i < n; ++i) var += (err[i] - mean) * (err[i] - mean);
+  if (var == 0) return 0.0;
+
+  double cov = 0;
+  for (std::size_t i = 0; i + lag < n; ++i) cov += (err[i] - mean) * (err[i + lag] - mean);
+  return cov / var;
+}
+
+}  // namespace fraz

@@ -1,0 +1,22 @@
+#ifndef FRAZ_METRICS_ACF_HPP
+#define FRAZ_METRICS_ACF_HPP
+
+/// \file acf.hpp
+/// Autocorrelation of the compression error, ACF(error) in the paper's
+/// figures.  Structured (autocorrelated) error indicates the compressor left
+/// coherent artifacts; white error is preferable at equal magnitude.
+
+#include <cstddef>
+
+#include "ndarray/ndarray.hpp"
+
+namespace fraz {
+
+/// Lag-\p lag autocorrelation of the error field (original - reconstructed),
+/// flattened in row-major order.  Returns 0 for a constant error field.
+double error_acf(const ArrayView& original, const ArrayView& reconstructed,
+                 std::size_t lag = 1);
+
+}  // namespace fraz
+
+#endif  // FRAZ_METRICS_ACF_HPP

@@ -1,0 +1,42 @@
+#include "metrics/error_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace fraz {
+
+ErrorStats error_stats(const ArrayView& original, const ArrayView& reconstructed) {
+  require(original.shape() == reconstructed.shape(), "error_stats: shape mismatch");
+  require(original.dtype() == reconstructed.dtype(), "error_stats: dtype mismatch");
+  const std::size_t n = original.elements();
+  require(n > 0, "error_stats: empty input");
+
+  auto value = [](const ArrayView& v, std::size_t i) -> double {
+    return v.dtype() == DType::kFloat32 ? v.typed<float>()[i] : v.typed<double>()[i];
+  };
+
+  ErrorStats s;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  double sum_sq = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = value(original, i);
+    const double b = value(reconstructed, i);
+    const double err = a - b;
+    s.max_abs_error = std::max(s.max_abs_error, std::abs(err));
+    sum_sq += err * err;
+    lo = std::min(lo, a);
+    hi = std::max(hi, a);
+  }
+  s.mse = sum_sq / static_cast<double>(n);
+  s.rmse = std::sqrt(s.mse);
+  s.value_range = hi - lo;
+  s.psnr_db = s.rmse == 0 ? std::numeric_limits<double>::infinity()
+                          : 20.0 * std::log10(s.value_range / s.rmse);
+  return s;
+}
+
+}  // namespace fraz

@@ -1,0 +1,42 @@
+#ifndef FRAZ_METRICS_ERROR_STATS_HPP
+#define FRAZ_METRICS_ERROR_STATS_HPP
+
+/// \file error_stats.hpp
+/// Pointwise distortion statistics between an original and a reconstructed
+/// field: the metrics the paper reports in its rate-distortion studies.
+
+#include <cstddef>
+
+#include "ndarray/ndarray.hpp"
+
+namespace fraz {
+
+/// Summary of reconstruction error.
+struct ErrorStats {
+  double max_abs_error = 0;   ///< L-infinity error
+  double mse = 0;             ///< mean squared error
+  double rmse = 0;            ///< sqrt(mse)
+  double psnr_db = 0;         ///< 20*log10((max-min)/rmse); +inf when rmse==0
+  double value_range = 0;     ///< max - min of the original data
+};
+
+/// Compute error statistics.  Shapes and dtypes must match.
+ErrorStats error_stats(const ArrayView& original, const ArrayView& reconstructed);
+
+/// Bits per scalar after compression.
+inline double bit_rate(std::size_t elements, std::size_t compressed_bytes) {
+  return elements == 0 ? 0.0
+                       : 8.0 * static_cast<double>(compressed_bytes) /
+                             static_cast<double>(elements);
+}
+
+/// Compression ratio original/compressed.
+inline double compression_ratio(std::size_t original_bytes, std::size_t compressed_bytes) {
+  return compressed_bytes == 0 ? 0.0
+                               : static_cast<double>(original_bytes) /
+                                     static_cast<double>(compressed_bytes);
+}
+
+}  // namespace fraz
+
+#endif  // FRAZ_METRICS_ERROR_STATS_HPP

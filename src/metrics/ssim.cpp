@@ -1,0 +1,96 @@
+#include "metrics/ssim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fraz {
+
+namespace {
+
+constexpr std::size_t kWindow = 8;
+constexpr std::size_t kStride = 4;
+constexpr double kK1 = 0.01;
+constexpr double kK2 = 0.03;
+
+double value_at(const ArrayView& v, std::size_t i) {
+  return v.dtype() == DType::kFloat32 ? v.typed<float>()[i] : v.typed<double>()[i];
+}
+
+/// SSIM over one 2D plane (offset = first element of the plane).
+double ssim_plane(const ArrayView& a, const ArrayView& b, std::size_t offset, std::size_t rows,
+                  std::size_t cols, double dynamic_range) {
+  const double c1 = (kK1 * dynamic_range) * (kK1 * dynamic_range);
+  const double c2 = (kK2 * dynamic_range) * (kK2 * dynamic_range);
+
+  double total = 0;
+  std::size_t windows = 0;
+  const std::size_t wr = std::min(kWindow, rows);
+  const std::size_t wc = std::min(kWindow, cols);
+  for (std::size_t y0 = 0; y0 + wr <= rows; y0 += kStride) {
+    for (std::size_t x0 = 0; x0 + wc <= cols; x0 += kStride) {
+      double ma = 0, mb = 0;
+      const double n = static_cast<double>(wr * wc);
+      for (std::size_t y = 0; y < wr; ++y)
+        for (std::size_t x = 0; x < wc; ++x) {
+          const std::size_t i = offset + (y0 + y) * cols + (x0 + x);
+          ma += value_at(a, i);
+          mb += value_at(b, i);
+        }
+      ma /= n;
+      mb /= n;
+      double va = 0, vb = 0, cov = 0;
+      for (std::size_t y = 0; y < wr; ++y)
+        for (std::size_t x = 0; x < wc; ++x) {
+          const std::size_t i = offset + (y0 + y) * cols + (x0 + x);
+          const double da = value_at(a, i) - ma;
+          const double db = value_at(b, i) - mb;
+          va += da * da;
+          vb += db * db;
+          cov += da * db;
+        }
+      va /= n - 1;
+      vb /= n - 1;
+      cov /= n - 1;
+      const double num = (2 * ma * mb + c1) * (2 * cov + c2);
+      const double den = (ma * ma + mb * mb + c1) * (va + vb + c2);
+      total += num / den;
+      ++windows;
+    }
+  }
+  return windows == 0 ? 1.0 : total / static_cast<double>(windows);
+}
+
+}  // namespace
+
+double ssim(const ArrayView& original, const ArrayView& reconstructed) {
+  require(original.shape() == reconstructed.shape(), "ssim: shape mismatch");
+  require(original.dtype() == reconstructed.dtype(), "ssim: dtype mismatch");
+  require(original.dims() == 2 || original.dims() == 3, "ssim: requires 2D or 3D data");
+
+  // Dynamic range of the original across the whole field.
+  double lo = std::numeric_limits<double>::infinity(), hi = -lo;
+  for (std::size_t i = 0; i < original.elements(); ++i) {
+    const double v = value_at(original, i);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double range = hi > lo ? hi - lo : 1.0;
+
+  if (original.dims() == 2)
+    return ssim_plane(original, reconstructed, 0, original.shape()[0], original.shape()[1],
+                      range);
+
+  const std::size_t planes = original.shape()[0];
+  const std::size_t rows = original.shape()[1];
+  const std::size_t cols = original.shape()[2];
+  double total = 0;
+  for (std::size_t p = 0; p < planes; ++p)
+    total += ssim_plane(original, reconstructed, p * rows * cols, rows, cols, range);
+  return total / static_cast<double>(planes);
+}
+
+}  // namespace fraz

@@ -1,0 +1,24 @@
+#ifndef FRAZ_METRICS_SSIM_HPP
+#define FRAZ_METRICS_SSIM_HPP
+
+/// \file ssim.hpp
+/// Structural similarity index (Wang et al., TIP 2004), the visual-quality
+/// metric the paper reports alongside PSNR for its Fig. 1/10 comparisons.
+///
+/// The implementation follows the standard windowed formulation with
+/// k1 = 0.01, k2 = 0.03 and the dynamic range L taken from the original
+/// field.  2D fields are evaluated directly; 3D fields are evaluated as the
+/// mean SSIM over all 2D slices along the slowest axis (the paper inspects
+/// representative slices).
+
+#include "ndarray/ndarray.hpp"
+
+namespace fraz {
+
+/// Mean SSIM between \p original and \p reconstructed (2D or 3D arrays of
+/// matching shape/dtype).  Window is 8x8 with stride 4.
+double ssim(const ArrayView& original, const ArrayView& reconstructed);
+
+}  // namespace fraz
+
+#endif  // FRAZ_METRICS_SSIM_HPP

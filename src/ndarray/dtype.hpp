@@ -1,0 +1,53 @@
+#ifndef FRAZ_NDARRAY_DTYPE_HPP
+#define FRAZ_NDARRAY_DTYPE_HPP
+
+/// \file dtype.hpp
+/// Element types supported by the compression stack.  SDRBench datasets are
+/// single precision; double precision is supported throughout because the
+/// paper's framework is generic over the element type.
+
+#include <cstddef>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace fraz {
+
+/// Scalar element type of an NdArray.
+enum class DType {
+  kFloat32,
+  kFloat64,
+};
+
+/// Size in bytes of one element of \p t.
+constexpr std::size_t dtype_size(DType t) noexcept {
+  return t == DType::kFloat32 ? 4 : 8;
+}
+
+/// Human-readable name ("f32" / "f64").
+inline std::string dtype_name(DType t) { return t == DType::kFloat32 ? "f32" : "f64"; }
+
+/// Parse "f32"/"f64"; throws InvalidArgument otherwise.
+inline DType dtype_from_name(const std::string& name) {
+  if (name == "f32") return DType::kFloat32;
+  if (name == "f64") return DType::kFloat64;
+  throw InvalidArgument("unknown dtype '" + name + "' (expected f32 or f64)");
+}
+
+/// Maps C++ scalar types to DType tags.
+template <typename T>
+struct dtype_of;
+
+template <>
+struct dtype_of<float> {
+  static constexpr DType value = DType::kFloat32;
+};
+
+template <>
+struct dtype_of<double> {
+  static constexpr DType value = DType::kFloat64;
+};
+
+}  // namespace fraz
+
+#endif  // FRAZ_NDARRAY_DTYPE_HPP

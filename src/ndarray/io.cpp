@@ -1,0 +1,27 @@
+#include "ndarray/io.hpp"
+
+#include <fstream>
+
+namespace fraz {
+
+void write_raw(const std::string& path, const ArrayView& array) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw IoError("write_raw: cannot open '" + path + "'");
+  os.write(static_cast<const char*>(array.data()), static_cast<std::streamsize>(array.size_bytes()));
+  if (!os) throw IoError("write_raw: write failed for '" + path + "'");
+}
+
+NdArray read_raw(const std::string& path, DType dtype, Shape shape) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) throw IoError("read_raw: cannot open '" + path + "'");
+  const auto file_size = static_cast<std::size_t>(is.tellg());
+  NdArray out(dtype, std::move(shape));
+  require(file_size == out.size_bytes(),
+          "read_raw: file size does not match shape for '" + path + "'");
+  is.seekg(0);
+  is.read(static_cast<char*>(out.data()), static_cast<std::streamsize>(out.size_bytes()));
+  if (!is) throw IoError("read_raw: short read from '" + path + "'");
+  return out;
+}
+
+}  // namespace fraz

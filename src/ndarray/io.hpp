@@ -1,0 +1,25 @@
+#ifndef FRAZ_NDARRAY_IO_HPP
+#define FRAZ_NDARRAY_IO_HPP
+
+/// \file io.hpp
+/// Raw binary array I/O in the SDRBench layout: a flat little-endian dump of
+/// the scalars, shape supplied out of band (as the benchmark does with its
+/// published dimensions).
+
+#include <string>
+
+#include "ndarray/ndarray.hpp"
+
+namespace fraz {
+
+/// Write the array's scalars as a flat binary file.  Throws IoError.
+void write_raw(const std::string& path, const ArrayView& array);
+
+/// Read a flat binary file produced by write_raw (or downloaded from
+/// SDRBench).  The file size must equal shape x dtype size; throws IoError /
+/// InvalidArgument otherwise.
+NdArray read_raw(const std::string& path, DType dtype, Shape shape);
+
+}  // namespace fraz
+
+#endif  // FRAZ_NDARRAY_IO_HPP

@@ -1,0 +1,31 @@
+#ifndef FRAZ_OPT_CANCEL_HPP
+#define FRAZ_OPT_CANCEL_HPP
+
+/// \file cancel.hpp
+/// Cooperative cancellation token shared between the parallel orchestrator
+/// and the region searches it launches.  When one region finds a feasible
+/// error bound, the orchestrator trips the token; queued tasks skip
+/// themselves and running optimizers stop at their next function evaluation
+/// (the paper's "terminate all tasks that have not yet begun" plus early
+/// exit of running searches).
+
+#include <atomic>
+
+namespace fraz {
+
+/// Shared cancellation flag (set-once).
+class CancelToken {
+public:
+  /// Request cancellation; idempotent.
+  void cancel() noexcept { flag_.store(true, std::memory_order_release); }
+
+  /// True once cancellation was requested.
+  bool cancelled() const noexcept { return flag_.load(std::memory_order_acquire); }
+
+private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace fraz
+
+#endif  // FRAZ_OPT_CANCEL_HPP

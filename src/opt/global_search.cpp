@@ -1,0 +1,216 @@
+#include "opt/global_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fraz::opt {
+
+namespace {
+
+/// Evaluated sample.
+struct Sample {
+  double x;
+  double f;
+};
+
+/// Estimated Lipschitz constant from all sample pairs, inflated slightly so
+/// the bound stays admissible between samples (Malherbe & Vayatis use a grid
+/// of constants; a max-slope estimate with headroom behaves equivalently for
+/// our 1D objectives).
+double estimate_lipschitz(const std::vector<Sample>& samples, double span) {
+  double k = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    for (std::size_t j = i + 1; j < samples.size(); ++j) {
+      const double dx = std::abs(samples[i].x - samples[j].x);
+      if (dx > 1e-15 * span)
+        k = std::max(k, std::abs(samples[i].f - samples[j].f) / dx);
+    }
+  return k * 1.2 + 1e-12;
+}
+
+/// LIPO lower bound at x: the tightest Lipschitz cone over all samples.
+double lower_bound_at(const std::vector<Sample>& samples, double k, double x) {
+  double bound = -std::numeric_limits<double>::infinity();
+  for (const Sample& s : samples) bound = std::max(bound, s.f - k * std::abs(x - s.x));
+  return bound;
+}
+
+/// Quadratic fit through three points; returns the abscissa of the vertex or
+/// NaN when the points are collinear / the parabola opens downward.
+double quadratic_vertex(const Sample& a, const Sample& b, const Sample& c) {
+  const double d1 = (b.f - a.f) / (b.x - a.x);
+  const double d2 = (c.f - b.f) / (c.x - b.x);
+  const double curvature = (d2 - d1) / (c.x - a.x);
+  if (!(curvature > 0)) return std::numeric_limits<double>::quiet_NaN();
+  // Vertex of the interpolating parabola.
+  return 0.5 * (a.x + b.x - d1 / curvature);
+}
+
+}  // namespace
+
+SearchResult find_min_global(const std::function<double(double)>& f, double lo, double hi,
+                             const SearchOptions& options) {
+  require(lo < hi, "find_min_global: requires lo < hi");
+  require(options.max_calls >= 1, "find_min_global: max_calls must be >= 1");
+
+  Rng rng(options.seed);
+  SearchResult result;
+  std::vector<Sample> samples;
+  samples.reserve(static_cast<std::size_t>(options.max_calls));
+  const double span = hi - lo;
+
+  auto cancelled = [&] { return options.cancel != nullptr && options.cancel->cancelled(); };
+
+  // Evaluate one point; returns true when the search should stop.
+  auto evaluate = [&](double x) -> bool {
+    x = std::clamp(x, lo, hi);
+    const double fx = f(x);
+    samples.push_back({x, fx});
+    result.history.emplace_back(x, fx);
+    ++result.calls;
+    if (result.calls == 1 || fx < result.best_f) {
+      result.best_f = fx;
+      result.best_x = x;
+    }
+    if (result.best_f <= options.cutoff) {
+      result.hit_cutoff = true;
+      return true;
+    }
+    return result.calls >= options.max_calls;
+  };
+
+  // Seed phase: bracket ends plus one random interior point (Dlib similarly
+  // begins from random initial samples before alternating).
+  for (const double x : {lo + 0.5 * span * rng.uniform(), lo, hi}) {
+    if (cancelled()) {
+      result.cancelled = true;
+      return result;
+    }
+    if (evaluate(x)) return result;
+  }
+
+  bool global_step = true;
+  double min_gap = span * 1e-9;
+  while (true) {
+    if (cancelled()) {
+      result.cancelled = true;
+      return result;
+    }
+    double proposal = std::numeric_limits<double>::quiet_NaN();
+
+    if (global_step) {
+      // ---- LIPO global step ----
+      const double k = estimate_lipschitz(samples, span);
+      double best_bound = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < options.lipo_candidates; ++c) {
+        const double x = lo + span * rng.uniform();
+        const double bound = lower_bound_at(samples, k, x);
+        if (bound < best_bound) {
+          best_bound = bound;
+          proposal = x;
+        }
+      }
+    } else {
+      // ---- quadratic refinement of the lowest valley ----
+      std::sort(samples.begin(), samples.end(),
+                [](const Sample& a, const Sample& b) { return a.x < b.x; });
+      std::size_t bi = 0;
+      for (std::size_t i = 0; i < samples.size(); ++i)
+        if (samples[i].f < samples[bi].f) bi = i;
+      if (bi > 0 && bi + 1 < samples.size()) {
+        proposal = quadratic_vertex(samples[bi - 1], samples[bi], samples[bi + 1]);
+        // Keep the step inside the bracket around the incumbent.
+        if (std::isfinite(proposal))
+          proposal = std::clamp(proposal, samples[bi - 1].x, samples[bi + 1].x);
+      }
+      if (!std::isfinite(proposal)) {
+        // Incumbent sits on the boundary or the valley is flat: probe a
+        // shrinking neighbourhood instead (trust-region flavoured).
+        const double radius = span * 0.05;
+        proposal = result.best_x + radius * (rng.uniform() * 2.0 - 1.0);
+      }
+    }
+    global_step = !global_step;
+
+    // Reject proposals that collide with an existing sample; substitute a
+    // random probe so a call is never wasted on a duplicate.
+    bool collides = false;
+    for (const Sample& s : samples)
+      if (std::abs(s.x - proposal) < min_gap) {
+        collides = true;
+        break;
+      }
+    if (collides || !std::isfinite(proposal)) proposal = lo + span * rng.uniform();
+
+    if (evaluate(proposal)) return result;
+  }
+}
+
+SearchResult climbing_search(const std::function<double(double)>& g, double lo, double hi,
+                             double target, double epsilon, int max_calls, double growth) {
+  require(lo < hi && lo > 0, "climbing_search: requires 0 < lo < hi");
+  require(growth > 1, "climbing_search: growth must exceed 1");
+  SearchResult result;
+  result.best_f = std::numeric_limits<double>::infinity();
+  double x = lo;
+  while (result.calls < max_calls) {
+    const double gx = g(x);
+    result.history.emplace_back(x, gx);
+    ++result.calls;
+    const double dist = std::abs(gx - target);
+    if (dist < result.best_f) {
+      result.best_f = dist;
+      result.best_x = x;
+    }
+    if (gx >= target * (1 - epsilon) && gx <= target * (1 + epsilon)) {
+      result.hit_cutoff = true;
+      return result;
+    }
+    if (x >= hi) break;
+    x = std::min(x * growth, hi);
+  }
+  return result;
+}
+
+SearchResult binary_search_monotone(const std::function<double(double)>& g, double lo, double hi,
+                                    double target, double epsilon, int max_calls) {
+  require(lo < hi, "binary_search_monotone: requires lo < hi");
+  SearchResult result;
+  result.best_f = std::numeric_limits<double>::infinity();
+
+  auto evaluate = [&](double x) -> double {
+    const double gx = g(x);
+    result.history.emplace_back(x, gx);
+    ++result.calls;
+    const double dist = std::abs(gx - target);
+    if (dist < result.best_f) {
+      result.best_f = dist;
+      result.best_x = x;
+    }
+    return gx;
+  };
+
+  double a = lo, b = hi;
+  while (result.calls < max_calls) {
+    const double mid = 0.5 * (a + b);
+    const double v = evaluate(mid);
+    if (v >= target * (1 - epsilon) && v <= target * (1 + epsilon)) {
+      result.hit_cutoff = true;
+      return result;
+    }
+    // Ratio grows with the error bound under the monotone assumption: probe
+    // larger bounds when the ratio is still too small.
+    if (v < target)
+      a = mid;
+    else
+      b = mid;
+    if (b - a < 1e-15 * (hi - lo)) break;
+  }
+  return result;
+}
+
+}  // namespace fraz::opt

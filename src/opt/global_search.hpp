@@ -1,0 +1,83 @@
+#ifndef FRAZ_OPT_GLOBAL_SEARCH_HPP
+#define FRAZ_OPT_GLOBAL_SEARCH_HPP
+
+/// \file global_search.hpp
+/// Derivative-free 1D global minimization in the style of Dlib's
+/// find_min_global — the optimizer the paper adopts and modifies.
+///
+/// The algorithm alternates two kinds of proposals, exactly as Dlib's
+/// global_function_search does:
+///  - a **global step** following Malherbe & Vayatis' LIPO: an estimated
+///    Lipschitz constant turns the evaluated samples into a piecewise-linear
+///    lower bound on the objective; the next probe minimizes that bound over
+///    random candidates, which systematically explores unproven valleys;
+///  - a **local step** in the spirit of Powell's NEWUOA: a quadratic fit
+///    through the incumbent and its neighbours is minimized inside the
+///    bracket (the "quadratic refinement of the lowest valley").
+///
+/// FRaZ's modification is the early-termination cutoff: the search stops as
+/// soon as the objective drops to `cutoff` (paper §V-B.3), because an error
+/// bound whose achieved ratio is inside the acceptance band is good enough.
+///
+/// Every random draw comes from a seeded xoshiro generator, so results are
+/// bit-reproducible for a given seed.
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "opt/cancel.hpp"
+
+namespace fraz::opt {
+
+/// Search configuration.
+struct SearchOptions {
+  /// Maximum number of objective evaluations (the paper caps iterations to
+  /// bound worst-case search time, §V-C).
+  int max_calls = 48;
+  /// Stop as soon as f(x) <= cutoff (FRaZ's early-termination modification).
+  /// Default never triggers.
+  double cutoff = -1e300;
+  /// Deterministic seed.
+  std::uint64_t seed = 0x46526158;  // "FRaX"
+  /// Optional cooperative cancellation (checked before every evaluation).
+  const CancelToken* cancel = nullptr;
+  /// Candidate pool size per global step.
+  int lipo_candidates = 128;
+};
+
+/// Search outcome.
+struct SearchResult {
+  double best_x = 0;
+  double best_f = 0;
+  int calls = 0;          ///< objective evaluations actually spent
+  bool hit_cutoff = false;
+  bool cancelled = false;
+  /// Full evaluation history in call order: (x, f(x)).
+  std::vector<std::pair<double, double>> history;
+};
+
+/// Minimize \p f over [lo, hi].  Requires lo < hi and max_calls >= 1.
+SearchResult find_min_global(const std::function<double(double)>& f, double lo, double hi,
+                             const SearchOptions& options = {});
+
+/// Bisection baseline: assumes \p g is monotone non-decreasing and looks for
+/// g(x) within [target*(1-epsilon), target*(1+epsilon)].  Returns the same
+/// SearchResult shape (best_f is |g(x) - target|) so the ablation bench can
+/// compare call counts directly.  Unsound on non-monotonic curves (paper
+/// Fig. 3): it can converge away from an achievable band.
+SearchResult binary_search_monotone(const std::function<double(double)>& g, double lo, double hi,
+                                    double target, double epsilon, int max_calls = 64);
+
+/// The baseline the paper actually describes in §V-B.1: a search that
+/// "climbs from the minimum possible error bound to the user-specified upper
+/// limit", probing geometrically increasing bounds until the ratio enters
+/// the band (the paper observed ~39 iterations where FRaZ needed ~6).
+/// \param growth per-step multiplier on the bound (> 1).
+SearchResult climbing_search(const std::function<double(double)>& g, double lo, double hi,
+                             double target, double epsilon, int max_calls = 80,
+                             double growth = 1.3);
+
+}  // namespace fraz::opt
+
+#endif  // FRAZ_OPT_GLOBAL_SEARCH_HPP

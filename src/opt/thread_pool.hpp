@@ -1,0 +1,62 @@
+#ifndef FRAZ_OPT_THREAD_POOL_HPP
+#define FRAZ_OPT_THREAD_POOL_HPP
+
+/// \file thread_pool.hpp
+/// Fixed-size worker pool used as the substitute for the paper's MPI rank
+/// parallelism (see DESIGN.md §2): region searches, per-field tuning, and
+/// per-time-step work are all submitted here.  Tasks are plain callables;
+/// results travel through std::future.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fraz {
+
+/// A minimal FIFO thread pool.
+class ThreadPool {
+public:
+  /// \param threads worker count; 0 selects hardware_concurrency (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains the queue and joins workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Submit a callable returning R; returns its future.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace fraz
+
+#endif  // FRAZ_OPT_THREAD_POOL_HPP

@@ -1,0 +1,71 @@
+#ifndef FRAZ_PRESSIO_COMPRESSOR_HPP
+#define FRAZ_PRESSIO_COMPRESSOR_HPP
+
+/// \file compressor.hpp
+/// The abstract compressor interface FRaZ tunes against.  This is the
+/// reproduction of libpressio's role in the paper: one uniform API hides the
+/// differences between SZ, ZFP, and MGARD so a single tuner implementation
+/// treats every backend as a black box mapping (data, error bound) to a
+/// compressed buffer.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ndarray/ndarray.hpp"
+#include "pressio/options.hpp"
+
+namespace fraz::pressio {
+
+class Compressor;
+using CompressorPtr = std::unique_ptr<Compressor>;
+
+/// Abstract error-bounded compressor.
+///
+/// Thread-safety contract: instances are NOT safe for concurrent use (the
+/// paper notes the same about SZ/MGARD, whose C implementations use global
+/// state).  The parallel orchestrator therefore gives each worker its own
+/// clone() — the same discipline FRaZ applies by running each compression in
+/// its own process/task.
+class Compressor {
+public:
+  virtual ~Compressor() = default;
+
+  /// Stable identifier ("sz", "zfp", "mgard").
+  virtual std::string name() const = 0;
+
+  /// Snapshot of all published options.
+  virtual Options get_options() const = 0;
+
+  /// Apply a partial update; unknown keys in \p options are ignored unless
+  /// they are namespaced to this compressor, in which case they must be valid
+  /// (InvalidArgument otherwise).
+  virtual void set_options(const Options& options) = 0;
+
+  /// The single scalar knob FRaZ searches over.  For SZ/ZFP this is the
+  /// absolute error bound; for MGARD it is the tolerance of the configured
+  /// norm.
+  virtual void set_error_bound(double bound) = 0;
+  virtual double error_bound() const = 0;
+
+  /// Capability probe: can this backend compress rank-\p dims data?
+  virtual bool supports_dims(std::size_t dims) const = 0;
+
+  /// Compress; throws on unsupported input.
+  virtual std::vector<std::uint8_t> compress(const ArrayView& input) const = 0;
+
+  /// Decompress a buffer this backend produced.
+  virtual NdArray decompress(const std::uint8_t* data, std::size_t size) const = 0;
+
+  NdArray decompress(const std::vector<std::uint8_t>& data) const {
+    return decompress(data.data(), data.size());
+  }
+
+  /// Deep copy with identical configuration (one per worker thread).
+  virtual CompressorPtr clone() const = 0;
+};
+
+}  // namespace fraz::pressio
+
+#endif  // FRAZ_PRESSIO_COMPRESSOR_HPP

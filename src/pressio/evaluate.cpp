@@ -1,0 +1,49 @@
+#include "pressio/evaluate.hpp"
+
+#include <limits>
+
+#include "metrics/acf.hpp"
+#include "metrics/error_stats.hpp"
+#include "metrics/ssim.hpp"
+#include "util/timer.hpp"
+
+namespace fraz::pressio {
+
+RatioProbe probe_ratio(const Compressor& compressor, const ArrayView& input) {
+  RatioProbe r;
+  r.input_bytes = input.size_bytes();
+  Timer timer;
+  const auto compressed = compressor.compress(input);
+  r.seconds = timer.seconds();
+  r.compressed_bytes = compressed.size();
+  r.ratio = compression_ratio(r.input_bytes, r.compressed_bytes);
+  r.bit_rate = bit_rate(input.elements(), r.compressed_bytes);
+  return r;
+}
+
+FidelityReport evaluate_fidelity(const Compressor& compressor, const ArrayView& input) {
+  FidelityReport report;
+  report.probe.input_bytes = input.size_bytes();
+
+  Timer timer;
+  const auto compressed = compressor.compress(input);
+  report.probe.seconds = timer.seconds();
+  report.probe.compressed_bytes = compressed.size();
+  report.probe.ratio = compression_ratio(report.probe.input_bytes, compressed.size());
+  report.probe.bit_rate = bit_rate(input.elements(), compressed.size());
+
+  timer.reset();
+  const NdArray decoded = compressor.decompress(compressed.data(), compressed.size());
+  report.seconds_decompress = timer.seconds();
+
+  const ErrorStats stats = error_stats(input, decoded.view());
+  report.psnr_db = stats.psnr_db;
+  report.rmse = stats.rmse;
+  report.max_abs_error = stats.max_abs_error;
+  report.acf_error = error_acf(input, decoded.view());
+  report.ssim = input.dims() >= 2 ? ssim(input, decoded.view())
+                                  : std::numeric_limits<double>::quiet_NaN();
+  return report;
+}
+
+}  // namespace fraz::pressio

@@ -1,0 +1,41 @@
+#ifndef FRAZ_PRESSIO_EVALUATE_HPP
+#define FRAZ_PRESSIO_EVALUATE_HPP
+
+/// \file evaluate.hpp
+/// Measurement helpers layered on the compressor interface: the compression-
+/// ratio probe FRaZ's loss function calls, and a full fidelity evaluation
+/// (ratio + distortion metrics) used by the benches and examples.
+
+#include "pressio/compressor.hpp"
+
+namespace fraz::pressio {
+
+/// Result of a compression-only probe.
+struct RatioProbe {
+  std::size_t input_bytes = 0;
+  std::size_t compressed_bytes = 0;
+  double ratio = 0;        ///< input/compressed
+  double bit_rate = 0;     ///< bits per scalar
+  double seconds = 0;      ///< wall time of the compress call
+};
+
+/// Compress once at the compressor's current settings and report the ratio.
+RatioProbe probe_ratio(const Compressor& compressor, const ArrayView& input);
+
+/// Full quality evaluation (compress + decompress + metrics).
+struct FidelityReport {
+  RatioProbe probe;
+  double psnr_db = 0;
+  double rmse = 0;
+  double max_abs_error = 0;
+  double ssim = 0;        ///< NaN for 1D inputs (SSIM needs 2D structure)
+  double acf_error = 0;   ///< lag-1 autocorrelation of the error field
+  double seconds_decompress = 0;
+};
+
+/// Run the full pipeline and compute every paper metric.
+FidelityReport evaluate_fidelity(const Compressor& compressor, const ArrayView& input);
+
+}  // namespace fraz::pressio
+
+#endif  // FRAZ_PRESSIO_EVALUATE_HPP

@@ -1,0 +1,120 @@
+#include "pressio/metrics_plugin.hpp"
+
+#include <limits>
+
+#include "metrics/acf.hpp"
+#include "metrics/error_stats.hpp"
+#include "metrics/ssim.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace fraz::pressio {
+
+namespace {
+
+class SizeMetrics final : public MetricsPlugin {
+public:
+  std::string name() const override { return "size"; }
+
+  void end_compress(const ArrayView& input,
+                    const std::vector<std::uint8_t>& archive) override {
+    input_bytes_ = input.size_bytes();
+    archive_bytes_ = archive.size();
+    elements_ = input.elements();
+  }
+
+  Options results() const override {
+    Options o;
+    if (archive_bytes_ == 0) return o;
+    o.set("size:uncompressed_bytes", static_cast<std::int64_t>(input_bytes_));
+    o.set("size:compressed_bytes", static_cast<std::int64_t>(archive_bytes_));
+    o.set("size:compression_ratio", compression_ratio(input_bytes_, archive_bytes_));
+    o.set("size:bit_rate", bit_rate(elements_, archive_bytes_));
+    return o;
+  }
+
+private:
+  std::size_t input_bytes_ = 0;
+  std::size_t archive_bytes_ = 0;
+  std::size_t elements_ = 0;
+};
+
+class TimeMetrics final : public MetricsPlugin {
+public:
+  std::string name() const override { return "time"; }
+
+  void begin_compress(const ArrayView&) override { timer_.reset(); }
+
+  void end_compress(const ArrayView&, const std::vector<std::uint8_t>&) override {
+    compress_seconds_ = timer_.seconds();
+    timer_.reset();
+  }
+
+  void end_decompress(const ArrayView&, const NdArray&) override {
+    decompress_seconds_ = timer_.seconds();
+  }
+
+  Options results() const override {
+    Options o;
+    o.set("time:compress_seconds", compress_seconds_);
+    if (decompress_seconds_ >= 0) o.set("time:decompress_seconds", decompress_seconds_);
+    return o;
+  }
+
+private:
+  Timer timer_;
+  double compress_seconds_ = 0;
+  double decompress_seconds_ = -1;
+};
+
+class ErrorMetrics final : public MetricsPlugin {
+public:
+  std::string name() const override { return "error"; }
+
+  void end_decompress(const ArrayView& input, const NdArray& reconstruction) override {
+    const ErrorStats stats = error_stats(input, reconstruction.view());
+    Options o;
+    o.set("error:max_abs", stats.max_abs_error);
+    o.set("error:rmse", stats.rmse);
+    o.set("error:mse", stats.mse);
+    o.set("error:psnr_db", stats.psnr_db);
+    o.set("error:value_range", stats.value_range);
+    o.set("error:acf_lag1", error_acf(input, reconstruction.view()));
+    if (input.dims() >= 2) o.set("error:ssim", ssim(input, reconstruction.view()));
+    results_ = std::move(o);
+  }
+
+  Options results() const override { return results_; }
+
+private:
+  Options results_;
+};
+
+}  // namespace
+
+MetricsPluginPtr make_size_metrics() { return std::make_unique<SizeMetrics>(); }
+MetricsPluginPtr make_time_metrics() { return std::make_unique<TimeMetrics>(); }
+MetricsPluginPtr make_error_metrics() { return std::make_unique<ErrorMetrics>(); }
+
+MetricsPluginPtr make_metrics(const std::string& name) {
+  if (name == "size") return make_size_metrics();
+  if (name == "time") return make_time_metrics();
+  if (name == "error") return make_error_metrics();
+  throw Unsupported("make_metrics: unknown metrics plugin '" + name + "'");
+}
+
+Options run_with_metrics(const Compressor& compressor, const ArrayView& input,
+                         const std::vector<MetricsPlugin*>& plugins) {
+  for (MetricsPlugin* p : plugins) p->begin_compress(input);
+  const auto archive = compressor.compress(input);
+  for (MetricsPlugin* p : plugins) p->end_compress(input, archive);
+  const NdArray reconstruction = compressor.decompress(archive.data(), archive.size());
+  for (MetricsPlugin* p : plugins) p->end_decompress(input, reconstruction);
+
+  Options merged;
+  for (const MetricsPlugin* p : plugins)
+    for (const auto& [key, value] : p->results()) merged.set(key, value);
+  return merged;
+}
+
+}  // namespace fraz::pressio

@@ -1,0 +1,71 @@
+#ifndef FRAZ_PRESSIO_METRICS_PLUGIN_HPP
+#define FRAZ_PRESSIO_METRICS_PLUGIN_HPP
+
+/// \file metrics_plugin.hpp
+/// Composable metrics plugins, mirroring libpressio's metrics architecture:
+/// observers hook the compress/decompress lifecycle and publish their
+/// measurements as namespaced options ("size:compression_ratio",
+/// "time:compress_seconds", "error:psnr_db", ...).  FRaZ's ratio probe and
+/// the benches consume the same machinery a downstream user would.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ndarray/ndarray.hpp"
+#include "pressio/compressor.hpp"
+#include "pressio/options.hpp"
+
+namespace fraz::pressio {
+
+/// Lifecycle observer of one compress(+decompress) pass.
+class MetricsPlugin {
+public:
+  virtual ~MetricsPlugin() = default;
+
+  /// Stable identifier ("size", "time", "error").
+  virtual std::string name() const = 0;
+
+  /// Called immediately before compression of \p input.
+  virtual void begin_compress(const ArrayView& input) { (void)input; }
+
+  /// Called with the produced archive.
+  virtual void end_compress(const ArrayView& input,
+                            const std::vector<std::uint8_t>& archive) {
+    (void)input;
+    (void)archive;
+  }
+
+  /// Called after decompression (when the run includes one).
+  virtual void end_decompress(const ArrayView& input, const NdArray& reconstruction) {
+    (void)input;
+    (void)reconstruction;
+  }
+
+  /// Measurements collected so far, keys namespaced by name().
+  virtual Options results() const = 0;
+};
+
+using MetricsPluginPtr = std::unique_ptr<MetricsPlugin>;
+
+/// Archive size and ratio ("size:*").
+MetricsPluginPtr make_size_metrics();
+
+/// Wall-clock timings ("time:*").
+MetricsPluginPtr make_time_metrics();
+
+/// Reconstruction error statistics incl. PSNR/SSIM/ACF ("error:*"); needs a
+/// decompress phase, otherwise publishes nothing.
+MetricsPluginPtr make_error_metrics();
+
+/// Instantiate a built-in plugin by name; throws Unsupported otherwise.
+MetricsPluginPtr make_metrics(const std::string& name);
+
+/// Run one compress+decompress pass of \p compressor over \p input, feeding
+/// every plugin in \p plugins, and merge their results into one option map.
+Options run_with_metrics(const Compressor& compressor, const ArrayView& input,
+                         const std::vector<MetricsPlugin*>& plugins);
+
+}  // namespace fraz::pressio
+
+#endif  // FRAZ_PRESSIO_METRICS_PLUGIN_HPP

@@ -1,0 +1,12 @@
+#include "pressio/options.hpp"
+
+namespace fraz::pressio {
+
+std::vector<std::string> Options::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace fraz::pressio

@@ -1,0 +1,67 @@
+#ifndef FRAZ_PRESSIO_OPTIONS_HPP
+#define FRAZ_PRESSIO_OPTIONS_HPP
+
+/// \file options.hpp
+/// String-keyed, variant-valued option maps — the libpressio-style
+/// configuration currency.  Compressor plugins publish their tunables under
+/// namespaced keys ("sz:error_bound", "zfp:mode", ...) and accept partial
+/// updates, which is what lets FRaZ drive heterogeneous compressors through
+/// one code path.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fraz::pressio {
+
+/// The value types an option can carry.
+using OptionValue = std::variant<bool, std::int64_t, double, std::string>;
+
+/// Ordered option map with type-checked access.
+class Options {
+public:
+  Options() = default;
+  Options(std::initializer_list<std::pair<const std::string, OptionValue>> init)
+      : values_(init) {}
+
+  /// Insert or overwrite.
+  void set(const std::string& key, OptionValue value) { values_[key] = std::move(value); }
+
+  /// True when \p key exists.
+  bool contains(const std::string& key) const { return values_.count(key) != 0; }
+
+  /// Typed read; throws InvalidArgument on missing key or wrong type.
+  template <typename T>
+  T get(const std::string& key) const {
+    auto it = values_.find(key);
+    require(it != values_.end(), "Options: missing key '" + key + "'");
+    const T* v = std::get_if<T>(&it->second);
+    require(v != nullptr, "Options: wrong type for key '" + key + "'");
+    return *v;
+  }
+
+  /// Typed read with fallback when the key is absent (still type-checked when
+  /// present).
+  template <typename T>
+  T get_or(const std::string& key, T fallback) const {
+    return contains(key) ? get<T>(key) : fallback;
+  }
+
+  std::size_t size() const noexcept { return values_.size(); }
+  auto begin() const noexcept { return values_.begin(); }
+  auto end() const noexcept { return values_.end(); }
+
+  /// Keys in sorted order (diagnostics, docs).
+  std::vector<std::string> keys() const;
+
+private:
+  std::map<std::string, OptionValue> values_;
+};
+
+}  // namespace fraz::pressio
+
+#endif  // FRAZ_PRESSIO_OPTIONS_HPP

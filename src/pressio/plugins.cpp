@@ -1,0 +1,270 @@
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "compressors/mgard/mgard.hpp"
+#include "compressors/sz/sz.hpp"
+#include "compressors/truncate/truncate.hpp"
+#include "compressors/zfp/zfp.hpp"
+#include "pressio/registry.hpp"
+#include "util/error.hpp"
+
+/// \file plugins.cpp
+/// Built-in compressor plugins bridging the three from-scratch codecs to the
+/// uniform pressio interface, plus the process-wide registry.
+
+namespace fraz::pressio {
+
+namespace {
+
+// ---------------------------------------------------------------- SZ plugin
+class SzPlugin final : public Compressor {
+public:
+  std::string name() const override { return "sz"; }
+
+  Options get_options() const override {
+    return Options{{"sz:error_bound", opt_.error_bound}, {"sz:regression", opt_.regression}};
+  }
+
+  void set_options(const Options& options) override {
+    if (options.contains("sz:error_bound")) {
+      const double e = options.get<double>("sz:error_bound");
+      require(e > 0, "sz:error_bound must be positive");
+      opt_.error_bound = e;
+    }
+    if (options.contains("sz:regression"))
+      opt_.regression = options.get<bool>("sz:regression");
+  }
+
+  void set_error_bound(double bound) override {
+    require(bound > 0, "sz: error bound must be positive");
+    opt_.error_bound = bound;
+  }
+  double error_bound() const override { return opt_.error_bound; }
+
+  bool supports_dims(std::size_t dims) const override { return dims >= 1 && dims <= 3; }
+
+  std::vector<std::uint8_t> compress(const ArrayView& input) const override {
+    return sz_compress(input, opt_);
+  }
+
+  NdArray decompress(const std::uint8_t* data, std::size_t size) const override {
+    return sz_decompress(data, size);
+  }
+
+  CompressorPtr clone() const override { return std::make_unique<SzPlugin>(*this); }
+
+private:
+  SzOptions opt_;
+};
+
+// --------------------------------------------------------------- ZFP plugin
+class ZfpPlugin final : public Compressor {
+public:
+  std::string name() const override { return "zfp"; }
+
+  Options get_options() const override {
+    return Options{
+        {"zfp:mode", std::string(opt_.mode == ZfpMode::kAccuracy ? "accuracy" : "rate")},
+        {"zfp:tolerance", opt_.tolerance},
+        {"zfp:rate", opt_.rate}};
+  }
+
+  void set_options(const Options& options) override {
+    if (options.contains("zfp:mode")) {
+      const auto mode = options.get<std::string>("zfp:mode");
+      if (mode == "accuracy")
+        opt_.mode = ZfpMode::kAccuracy;
+      else if (mode == "rate")
+        opt_.mode = ZfpMode::kFixedRate;
+      else
+        throw InvalidArgument("zfp:mode must be 'accuracy' or 'rate'");
+    }
+    if (options.contains("zfp:tolerance")) {
+      const double t = options.get<double>("zfp:tolerance");
+      require(t > 0, "zfp:tolerance must be positive");
+      opt_.tolerance = t;
+    }
+    if (options.contains("zfp:rate")) {
+      const double r = options.get<double>("zfp:rate");
+      require(r > 0, "zfp:rate must be positive");
+      opt_.rate = r;
+    }
+  }
+
+  /// FRaZ tunes ZFP through its fixed-accuracy mode (the paper's approach:
+  /// the built-in fixed-rate mode is the *baseline*, not the tuned target).
+  void set_error_bound(double bound) override {
+    require(bound > 0, "zfp: error bound must be positive");
+    opt_.tolerance = bound;
+  }
+  double error_bound() const override { return opt_.tolerance; }
+
+  bool supports_dims(std::size_t dims) const override { return dims >= 1 && dims <= 3; }
+
+  std::vector<std::uint8_t> compress(const ArrayView& input) const override {
+    return zfp_compress(input, opt_);
+  }
+
+  NdArray decompress(const std::uint8_t* data, std::size_t size) const override {
+    return zfp_decompress(data, size);
+  }
+
+  CompressorPtr clone() const override { return std::make_unique<ZfpPlugin>(*this); }
+
+private:
+  ZfpOptions opt_;
+};
+
+// ------------------------------------------------------------- MGARD plugin
+class MgardPlugin final : public Compressor {
+public:
+  std::string name() const override { return "mgard"; }
+
+  Options get_options() const override {
+    return Options{
+        {"mgard:norm", std::string(opt_.norm == MgardNorm::kInfinity ? "infinity" : "l2")},
+        {"mgard:tolerance", opt_.tolerance}};
+  }
+
+  void set_options(const Options& options) override {
+    if (options.contains("mgard:norm")) {
+      const auto norm = options.get<std::string>("mgard:norm");
+      if (norm == "infinity")
+        opt_.norm = MgardNorm::kInfinity;
+      else if (norm == "l2")
+        opt_.norm = MgardNorm::kL2;
+      else
+        throw InvalidArgument("mgard:norm must be 'infinity' or 'l2'");
+    }
+    if (options.contains("mgard:tolerance")) {
+      const double t = options.get<double>("mgard:tolerance");
+      require(t > 0, "mgard:tolerance must be positive");
+      opt_.tolerance = t;
+    }
+  }
+
+  void set_error_bound(double bound) override {
+    require(bound > 0, "mgard: error bound must be positive");
+    opt_.tolerance = bound;
+  }
+  double error_bound() const override { return opt_.tolerance; }
+
+  bool supports_dims(std::size_t dims) const override { return dims == 2 || dims == 3; }
+
+  std::vector<std::uint8_t> compress(const ArrayView& input) const override {
+    return mgard_compress(input, opt_);
+  }
+
+  NdArray decompress(const std::uint8_t* data, std::size_t size) const override {
+    return mgard_decompress(data, size);
+  }
+
+  CompressorPtr clone() const override { return std::make_unique<MgardPlugin>(*this); }
+
+private:
+  MgardOptions opt_;
+};
+
+// ---------------------------------------------------------- truncate plugin
+//
+// The paper-intro strawman, wrapped as a tunable backend: the error bound is
+// mapped to kept bits via the value magnitude (truncating m mantissa bits of
+// v costs at most |v| * 2^-m), so the absolute bound is honoured —
+// conservatively, with the blunt quality the paper's Fig. 1 criticism of
+// non-error-bounded fixed-rate schemes predicts.
+class TruncatePlugin final : public Compressor {
+public:
+  std::string name() const override { return "truncate"; }
+
+  Options get_options() const override {
+    return Options{{"truncate:bits", static_cast<std::int64_t>(fixed_bits_)},
+                   {"truncate:error_bound", bound_}};
+  }
+
+  void set_options(const Options& options) override {
+    if (options.contains("truncate:bits")) {
+      const auto bits = options.get<std::int64_t>("truncate:bits");
+      require(bits >= 0 && bits <= 64, "truncate:bits must be in [0, 64] (0 = from bound)");
+      fixed_bits_ = static_cast<unsigned>(bits);
+    }
+    if (options.contains("truncate:error_bound")) {
+      const double e = options.get<double>("truncate:error_bound");
+      require(e > 0, "truncate:error_bound must be positive");
+      bound_ = e;
+    }
+  }
+
+  void set_error_bound(double bound) override {
+    require(bound > 0, "truncate: error bound must be positive");
+    bound_ = bound;
+    fixed_bits_ = 0;  // derive from the bound again
+  }
+  double error_bound() const override { return bound_; }
+
+  bool supports_dims(std::size_t dims) const override { return dims >= 1 && dims <= 3; }
+
+  std::vector<std::uint8_t> compress(const ArrayView& input) const override {
+    TruncateOptions opt;
+    opt.bits = fixed_bits_ != 0 ? fixed_bits_ : bits_for_bound(input);
+    return truncate_compress(input, opt);
+  }
+
+  NdArray decompress(const std::uint8_t* data, std::size_t size) const override {
+    return truncate_decompress(data, size);
+  }
+
+  CompressorPtr clone() const override { return std::make_unique<TruncatePlugin>(*this); }
+
+private:
+  /// Kept bits meeting the absolute bound: sign + exponent + m mantissa bits
+  /// with maxabs * 2^-m <= bound.
+  unsigned bits_for_bound(const ArrayView& input) const {
+    const unsigned width = static_cast<unsigned>(dtype_size(input.dtype())) * 8;
+    const unsigned ebits = input.dtype() == DType::kFloat32 ? 8 : 11;
+    const double maxabs = max_abs(input);
+    if (maxabs <= bound_) return 1 + ebits;  // exponent alone suffices
+    const double m = std::ceil(std::log2(maxabs / bound_));
+    const auto mantissa = static_cast<unsigned>(std::max(m, 0.0));
+    return std::min(width, 1 + ebits + mantissa);
+  }
+
+  double bound_ = 1e-3;
+  unsigned fixed_bits_ = 0;
+};
+
+}  // namespace
+
+void Registry::register_factory(const std::string& name, Factory factory) {
+  require(!factories_.count(name), "Registry: duplicate compressor '" + name + "'");
+  factories_[name] = std::move(factory);
+}
+
+CompressorPtr Registry::create(const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) throw Unsupported("Registry: unknown compressor '" + name + "'");
+  return it->second();
+}
+
+bool Registry::contains(const std::string& name) const { return factories_.count(name) != 0; }
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, f] : factories_) out.push_back(name);
+  return out;
+}
+
+Registry& registry() {
+  static Registry r = [] {
+    Registry reg;
+    reg.register_factory("sz", [] { return std::make_unique<SzPlugin>(); });
+    reg.register_factory("zfp", [] { return std::make_unique<ZfpPlugin>(); });
+    reg.register_factory("mgard", [] { return std::make_unique<MgardPlugin>(); });
+    reg.register_factory("truncate", [] { return std::make_unique<TruncatePlugin>(); });
+    return reg;
+  }();
+  return r;
+}
+
+}  // namespace fraz::pressio

@@ -1,0 +1,44 @@
+#ifndef FRAZ_PRESSIO_REGISTRY_HPP
+#define FRAZ_PRESSIO_REGISTRY_HPP
+
+/// \file registry.hpp
+/// Factory registry of compressor plugins, keyed by name.  The built-in
+/// backends ("sz", "zfp", "mgard") are registered automatically; users can
+/// register additional plugins, which FRaZ then tunes with no further code.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pressio/compressor.hpp"
+
+namespace fraz::pressio {
+
+/// Compressor plugin factory registry.
+class Registry {
+public:
+  using Factory = std::function<CompressorPtr()>;
+
+  /// Register a plugin; throws InvalidArgument on duplicate names.
+  void register_factory(const std::string& name, Factory factory);
+
+  /// Instantiate a fresh compressor; throws Unsupported for unknown names.
+  CompressorPtr create(const std::string& name) const;
+
+  /// True when \p name is registered.
+  bool contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// The process-wide registry, with built-in backends pre-registered.
+Registry& registry();
+
+}  // namespace fraz::pressio
+
+#endif  // FRAZ_PRESSIO_REGISTRY_HPP

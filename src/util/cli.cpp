@@ -1,0 +1,92 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace fraz {
+
+Cli::Cli(std::string description) : description_(std::move(description)) {}
+
+void Cli::add_string(const std::string& name, std::string default_value, std::string help) {
+  options_[name] = Option{Option::Kind::kString, std::move(default_value), std::move(help)};
+}
+
+void Cli::add_double(const std::string& name, double default_value, std::string help) {
+  options_[name] = Option{Option::Kind::kDouble, std::to_string(default_value), std::move(help)};
+}
+
+void Cli::add_int(const std::string& name, std::int64_t default_value, std::string help) {
+  options_[name] = Option{Option::Kind::kInt, std::to_string(default_value), std::move(help)};
+}
+
+void Cli::add_flag(const std::string& name, std::string help) {
+  options_[name] = Option{Option::Kind::kBool, "0", std::move(help)};
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "program";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return false;
+    }
+    require(arg.size() > 2 && arg.substr(0, 2) == "--", "Cli: expected --flag, got '" + arg + "'");
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(arg);
+    require(it != options_.end(), "Cli: unknown flag '--" + arg + "'");
+    if (it->second.kind == Option::Kind::kBool) {
+      it->second.value = has_value ? value : "1";
+    } else {
+      if (!has_value) {
+        require(i + 1 < argc, "Cli: flag '--" + arg + "' requires a value");
+        value = argv[++i];
+      }
+      it->second.value = value;
+    }
+  }
+  return true;
+}
+
+const Cli::Option& Cli::find(const std::string& name, Option::Kind kind) const {
+  auto it = options_.find(name);
+  require(it != options_.end(), "Cli: flag '--" + name + "' was never registered");
+  require(it->second.kind == kind, "Cli: flag '--" + name + "' accessed with wrong type");
+  return it->second;
+}
+
+std::string Cli::get_string(const std::string& name) const {
+  return find(name, Option::Kind::kString).value;
+}
+
+double Cli::get_double(const std::string& name) const {
+  return std::strtod(find(name, Option::Kind::kDouble).value.c_str(), nullptr);
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return std::strtoll(find(name, Option::Kind::kInt).value.c_str(), nullptr, 10);
+}
+
+bool Cli::get_flag(const std::string& name) const {
+  return find(name, Option::Kind::kBool).value != "0";
+}
+
+void Cli::print_help() const {
+  std::printf("%s\n\nusage: %s [flags]\n\nflags:\n", description_.c_str(), program_.c_str());
+  for (const auto& [name, opt] : options_) {
+    std::printf("  --%-24s %s (default: %s)\n", name.c_str(), opt.help.c_str(),
+                opt.kind == Option::Kind::kBool ? (opt.value == "0" ? "off" : "on")
+                                                : opt.value.c_str());
+  }
+}
+
+}  // namespace fraz

@@ -1,0 +1,57 @@
+#ifndef FRAZ_UTIL_CLI_HPP
+#define FRAZ_UTIL_CLI_HPP
+
+/// \file cli.hpp
+/// Minimal command-line flag parser shared by the examples and bench drivers.
+///
+/// Supports `--name value` and `--name=value` forms plus boolean switches.
+/// Unknown flags raise InvalidArgument so typos fail loudly.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fraz {
+
+/// Declarative flag parser.
+class Cli {
+public:
+  /// \param description one-line program description shown by --help.
+  explicit Cli(std::string description);
+
+  /// Register a string flag with a default.
+  void add_string(const std::string& name, std::string default_value, std::string help);
+  /// Register a floating-point flag with a default.
+  void add_double(const std::string& name, double default_value, std::string help);
+  /// Register an integer flag with a default.
+  void add_int(const std::string& name, std::int64_t default_value, std::string help);
+  /// Register a boolean switch (present => true).
+  void add_flag(const std::string& name, std::string help);
+
+  /// Parse argv.  Returns false when --help was requested (help text printed
+  /// to stdout); throws InvalidArgument on unknown or malformed flags.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get_string(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+private:
+  struct Option {
+    enum class Kind { kString, kDouble, kInt, kBool } kind;
+    std::string value;  // canonical textual value
+    std::string help;
+  };
+  const Option& find(const std::string& name, Option::Kind kind) const;
+  void print_help() const;
+
+  std::string description_;
+  std::string program_;
+  std::map<std::string, Option> options_;
+};
+
+}  // namespace fraz
+
+#endif  // FRAZ_UTIL_CLI_HPP

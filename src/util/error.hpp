@@ -1,0 +1,55 @@
+#ifndef FRAZ_UTIL_ERROR_HPP
+#define FRAZ_UTIL_ERROR_HPP
+
+/// \file error.hpp
+/// Exception hierarchy shared by all fraz libraries.
+
+#include <stdexcept>
+#include <string>
+
+namespace fraz {
+
+/// Base class for all errors thrown by the fraz libraries.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller passed an argument outside the documented domain.
+class InvalidArgument : public Error {
+public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A compressed container failed validation (bad magic, checksum, truncation).
+class CorruptStream : public Error {
+public:
+  explicit CorruptStream(const std::string& what) : Error(what) {}
+};
+
+/// An operation is not supported by the selected component
+/// (e.g. MGARD on 1D data, unknown compressor id).
+class Unsupported : public Error {
+public:
+  explicit Unsupported(const std::string& what) : Error(what) {}
+};
+
+/// An I/O operation on the filesystem failed.
+class IoError : public Error {
+public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const std::string& what) { throw InvalidArgument(what); }
+}  // namespace detail
+
+/// Precondition check used throughout the public API: throws InvalidArgument
+/// with \p what when \p cond is false.
+inline void require(bool cond, const std::string& what) {
+  if (!cond) detail::throw_invalid(what);
+}
+
+}  // namespace fraz
+
+#endif  // FRAZ_UTIL_ERROR_HPP

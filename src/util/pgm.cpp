@@ -1,0 +1,34 @@
+#include "util/pgm.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace fraz {
+
+void write_pgm(const std::string& path, const std::vector<double>& values, std::size_t width,
+               std::size_t height) {
+  require(values.size() == width * height, "write_pgm: size mismatch");
+  require(width > 0 && height > 0, "write_pgm: empty image");
+
+  const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  const double lo = *lo_it, hi = *hi_it;
+  const double scale = hi > lo ? 255.0 / (hi - lo) : 0.0;
+
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw IoError("write_pgm: cannot open '" + path + "'");
+  os << "P5\n" << width << " " << height << "\n255\n";
+  std::vector<std::uint8_t> row(width);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const double v = (values[y * width + x] - lo) * scale;
+      row[x] = static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+    }
+    os.write(reinterpret_cast<const char*>(row.data()), static_cast<std::streamsize>(width));
+  }
+  if (!os) throw IoError("write_pgm: write failed for '" + path + "'");
+}
+
+}  // namespace fraz

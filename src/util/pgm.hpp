@@ -1,0 +1,22 @@
+#ifndef FRAZ_UTIL_PGM_HPP
+#define FRAZ_UTIL_PGM_HPP
+
+/// \file pgm.hpp
+/// Grayscale PGM image output.  Used by the Fig. 10 reproduction to dump 2D
+/// slices of original vs. decompressed fields for visual inspection.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fraz {
+
+/// Write \p values (row-major, height x width) as an 8-bit binary PGM,
+/// linearly mapping [min, max] of the data to [0, 255].
+/// Throws IoError when the file cannot be written.
+void write_pgm(const std::string& path, const std::vector<double>& values, std::size_t width,
+               std::size_t height);
+
+}  // namespace fraz
+
+#endif  // FRAZ_UTIL_PGM_HPP

@@ -1,0 +1,9 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace fraz {
+
+double Rng::mag(double s) noexcept { return std::sqrt(-2.0 * std::log(s) / s); }
+
+}  // namespace fraz

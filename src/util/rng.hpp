@@ -1,0 +1,110 @@
+#ifndef FRAZ_UTIL_RNG_HPP
+#define FRAZ_UTIL_RNG_HPP
+
+/// \file rng.hpp
+/// Deterministic, seedable random number generation.
+///
+/// Every stochastic component in fraz (the global optimizer's candidate
+/// sampling, synthetic dataset generation) draws from these generators so that
+/// results are bit-reproducible across runs and platforms.  std::mt19937 is
+/// deliberately avoided for the data path: distribution implementations differ
+/// between standard libraries, which would break reproducibility.
+
+#include <cstdint>
+
+namespace fraz {
+
+/// SplitMix64: tiny, fast generator used for seeding and cheap streams.
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the main generator.  Seeded from SplitMix64 per the
+/// reference implementation's recommendation.
+class Rng {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedull) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).  Uses the top 53 bits; platform independent.
+  double uniform() noexcept { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).  n must be > 0.  Uses rejection to avoid
+  /// modulo bias.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    const std::uint64_t threshold = (~n + 1) % n;  // = 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Standard normal via Marsaglia polar method (deterministic given state).
+  double normal() noexcept {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = mag(s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return u * m;
+  }
+
+private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double mag(double s) noexcept;
+
+  std::uint64_t s_[4]{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace fraz
+
+#endif  // FRAZ_UTIL_RNG_HPP

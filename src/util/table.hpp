@@ -1,0 +1,49 @@
+#ifndef FRAZ_UTIL_TABLE_HPP
+#define FRAZ_UTIL_TABLE_HPP
+
+/// \file table.hpp
+/// ASCII table and CSV emitters used by the benchmark harnesses so that every
+/// table/figure reproduction prints in a uniform, machine-parsable way.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fraz {
+
+/// Column-aligned ASCII table with an optional CSV rendering.
+///
+/// Usage:
+/// \code
+///   Table t({"bitrate", "psnr_db"});
+///   t.add_row({"4.00", "88.3"});
+///   t.print(std::cout);
+/// \endcode
+class Table {
+public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows (excluding the header).
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with padded columns and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Render as RFC-4180-ish CSV (no quoting needed for our numeric cells).
+  void print_csv(std::ostream& os) const;
+
+  /// Format a double with fixed precision; convenience for bench code.
+  static std::string num(double v, int precision = 3);
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fraz
+
+#endif  // FRAZ_UTIL_TABLE_HPP

@@ -1,0 +1,35 @@
+#ifndef FRAZ_UTIL_TIMER_HPP
+#define FRAZ_UTIL_TIMER_HPP
+
+/// \file timer.hpp
+/// Monotonic wall-clock timing helpers used by the benches and the tuner's
+/// bookkeeping.
+
+#include <chrono>
+
+namespace fraz {
+
+/// A simple monotonic stopwatch.
+class Timer {
+public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double millis() const noexcept { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fraz
+
+#endif  // FRAZ_UTIL_TIMER_HPP

@@ -1,0 +1,133 @@
+#include "codec/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fraz {
+namespace {
+
+TEST(BitWriter, SingleBitsPackLsbFirst) {
+  BitWriter w;
+  // Write 1,0,1,1 -> byte 0b00001101 = 13.
+  w.write_bit(1);
+  w.write_bit(0);
+  w.write_bit(1);
+  w.write_bit(1);
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0x0d);
+}
+
+TEST(BitWriter, MultiBitValuesRoundtrip) {
+  BitWriter w;
+  w.write_bits(0x5, 3);
+  w.write_bits(0x1234, 16);
+  w.write_bits(1, 1);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read_bits(3), 0x5u);
+  EXPECT_EQ(r.read_bits(16), 0x1234u);
+  EXPECT_EQ(r.read_bits(1), 1u);
+}
+
+TEST(BitWriter, SixtyFourBitValues) {
+  const std::uint64_t v = 0xdeadbeefcafebabeull;
+  BitWriter w;
+  w.write_bit(1);  // misalign first
+  w.write_bits(v, 64);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read_bit(), 1u);
+  EXPECT_EQ(r.read_bits(64), v);
+}
+
+TEST(BitWriter, ZeroWidthWriteIsNoop) {
+  BitWriter w;
+  w.write_bits(0xff, 0);
+  EXPECT_EQ(w.bit_count(), 0u);
+  w.write_bits(1, 1);
+  EXPECT_EQ(w.bit_count(), 1u);
+}
+
+TEST(BitWriter, ValueMaskedToWidth) {
+  BitWriter w;
+  w.write_bits(0xff, 4);  // only low 4 bits kept
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read_bits(4), 0xfu);
+  EXPECT_EQ(r.read_bits(4), 0u);  // padding
+}
+
+TEST(BitWriter, AlignByte) {
+  BitWriter w;
+  w.write_bits(0x3, 2);
+  w.align_byte();
+  EXPECT_EQ(w.bit_count(), 8u);
+  w.write_bits(0xab, 8);
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[1], 0xab);
+}
+
+TEST(BitWriter, ByteCountTracksPartialBytes) {
+  BitWriter w;
+  EXPECT_EQ(w.byte_count(), 0u);
+  w.write_bits(0x1, 1);
+  EXPECT_EQ(w.byte_count(), 1u);
+  w.write_bits(0x7f, 7);
+  EXPECT_EQ(w.byte_count(), 1u);
+  w.write_bit(1);
+  EXPECT_EQ(w.byte_count(), 2u);
+}
+
+TEST(BitReader, OverrunThrows) {
+  BitWriter w;
+  w.write_bits(0xab, 8);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  r.read_bits(8);
+  EXPECT_THROW(r.read_bit(), CorruptStream);
+}
+
+TEST(BitReader, BitsLeftAndPosition) {
+  BitWriter w;
+  w.write_bits(0xffff, 16);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.bits_left(), 16u);
+  r.read_bits(5);
+  EXPECT_EQ(r.bit_position(), 5u);
+  EXPECT_EQ(r.bits_left(), 11u);
+  r.align_byte();
+  EXPECT_EQ(r.bit_position(), 8u);
+}
+
+TEST(BitReader, RejectsWidthOver64) {
+  BitWriter w;
+  EXPECT_THROW(w.write_bits(0, 65), InvalidArgument);
+  const std::vector<std::uint8_t> bytes(16, 0);
+  BitReader r(bytes);
+  EXPECT_THROW(r.read_bits(65), InvalidArgument);
+}
+
+TEST(Bitstream, FuzzRoundtripRandomWidths) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitWriter w;
+    std::vector<std::pair<std::uint64_t, unsigned>> writes;
+    for (int i = 0; i < 500; ++i) {
+      const unsigned width = 1 + static_cast<unsigned>(rng.below(64));
+      std::uint64_t value = rng.next();
+      if (width < 64) value &= (std::uint64_t{1} << width) - 1;
+      writes.emplace_back(value, width);
+      w.write_bits(value, width);
+    }
+    const auto bytes = w.take();
+    BitReader r(bytes);
+    for (const auto& [value, width] : writes) ASSERT_EQ(r.read_bits(width), value);
+  }
+}
+
+}  // namespace
+}  // namespace fraz

@@ -1,0 +1,71 @@
+#include "compressors/container.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fraz {
+namespace {
+
+std::vector<std::uint8_t> sample_payload() {
+  std::vector<std::uint8_t> p(257);
+  for (std::size_t i = 0; i < p.size(); ++i) p[i] = static_cast<std::uint8_t>(i * 13);
+  return p;
+}
+
+TEST(Container, SealAndOpenRoundtrip) {
+  const auto payload = sample_payload();
+  const auto sealed = seal_container(CompressorId::kSz, DType::kFloat32, {4, 5, 6}, payload);
+  const Container c = open_container(sealed.data(), sealed.size(), CompressorId::kSz);
+  EXPECT_EQ(c.dtype, DType::kFloat32);
+  EXPECT_EQ(c.shape, (Shape{4, 5, 6}));
+  ASSERT_EQ(c.payload_size, payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), c.payload));
+}
+
+TEST(Container, Float64Shape1d) {
+  const auto sealed = seal_container(CompressorId::kZfp, DType::kFloat64, {100}, {});
+  const Container c = open_container(sealed.data(), sealed.size(), CompressorId::kZfp);
+  EXPECT_EQ(c.dtype, DType::kFloat64);
+  EXPECT_EQ(c.shape, (Shape{100}));
+  EXPECT_EQ(c.payload_size, 0u);
+}
+
+TEST(Container, WrongCompressorIdThrowsUnsupported) {
+  const auto sealed = seal_container(CompressorId::kSz, DType::kFloat32, {4}, sample_payload());
+  EXPECT_THROW(open_container(sealed.data(), sealed.size(), CompressorId::kZfp), Unsupported);
+}
+
+TEST(Container, BadMagicThrows) {
+  auto sealed = seal_container(CompressorId::kSz, DType::kFloat32, {4}, sample_payload());
+  sealed[0] ^= 0xff;
+  EXPECT_THROW(open_container(sealed.data(), sealed.size(), CompressorId::kSz), CorruptStream);
+}
+
+TEST(Container, TruncationThrows) {
+  auto sealed = seal_container(CompressorId::kSz, DType::kFloat32, {4}, sample_payload());
+  sealed.resize(sealed.size() - 5);
+  EXPECT_THROW(open_container(sealed.data(), sealed.size(), CompressorId::kSz), CorruptStream);
+}
+
+TEST(Container, TooSmallBufferThrows) {
+  const std::vector<std::uint8_t> tiny = {1, 2, 3};
+  EXPECT_THROW(open_container(tiny.data(), tiny.size(), CompressorId::kSz), CorruptStream);
+}
+
+TEST(Container, EveryBitFlipIsDetected) {
+  const auto sealed = seal_container(CompressorId::kMgard, DType::kFloat32, {7, 9},
+                                     sample_payload());
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto corrupted = sealed;
+    const std::size_t byte = rng.below(corrupted.size());
+    corrupted[byte] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    EXPECT_THROW(open_container(corrupted.data(), corrupted.size(), CompressorId::kMgard),
+                 Error)
+        << "flip at byte " << byte << " went undetected";
+  }
+}
+
+}  // namespace
+}  // namespace fraz

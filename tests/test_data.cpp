@@ -1,0 +1,214 @@
+#include "data/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/noise.hpp"
+#include "util/error.hpp"
+
+namespace fraz::data {
+namespace {
+
+// -------------------------------------------------------------------- noise
+
+TEST(LatticeNoise, DeterministicAndBounded) {
+  LatticeNoise a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = 0.37 * i, y = 1.1 * i, z = 0.05 * i;
+    const double va = a.noise3(x, y, z);
+    EXPECT_EQ(va, b.noise3(x, y, z));
+    EXPECT_GE(va, 0.0);
+    EXPECT_LT(va, 1.0);
+  }
+}
+
+TEST(LatticeNoise, DifferentSeedsDiffer) {
+  LatticeNoise a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.noise3(i * 0.61, 0, 0) == b.noise3(i * 0.61, 0, 0);
+  EXPECT_LE(same, 1);
+}
+
+TEST(LatticeNoise, ContinuousAcrossLatticeCells) {
+  LatticeNoise n(7);
+  // Sample two points straddling a lattice boundary; values must be close.
+  for (int i = 1; i < 50; ++i) {
+    const double before = n.noise3(i - 1e-9, 0.5, 0.5);
+    const double after = n.noise3(i + 1e-9, 0.5, 0.5);
+    EXPECT_NEAR(before, after, 1e-6);
+  }
+}
+
+TEST(LatticeNoise, FbmStaysInUnitInterval) {
+  LatticeNoise n(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = n.fbm3(0.13 * i, 0.07 * i, 0.19 * i, 5);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(HashHelpers, UniformAndNormalSane) {
+  double sum = 0, sum_sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = hash_uniform(3, static_cast<std::uint64_t>(i));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double g = hash_normal(3, static_cast<std::uint64_t>(i));
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+// -------------------------------------------------------------------- suite
+
+TEST(Suite, MirrorsTableIII) {
+  const auto suite = sdrbench_suite();
+  ASSERT_EQ(suite.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& d : suite) names.insert(d.name);
+  EXPECT_EQ(names, (std::set<std::string>{"hurricane", "hacc", "cesm", "exaalt", "nyx"}));
+
+  const auto hurricane = dataset_by_name("hurricane");
+  EXPECT_EQ(hurricane.fields[0].shape.size(), 3u);  // 3D per Table III
+  const auto hacc = dataset_by_name("hacc");
+  EXPECT_EQ(hacc.fields.size(), 6u);  // x,y,z,vx,vy,vz
+  EXPECT_EQ(hacc.fields[0].shape.size(), 1u);
+  const auto cesm = dataset_by_name("cesm");
+  EXPECT_EQ(cesm.fields.size(), 6u);  // the paper's six CESM fields
+  EXPECT_EQ(cesm.fields[0].shape.size(), 2u);
+  const auto exaalt = dataset_by_name("exaalt");
+  EXPECT_EQ(exaalt.fields.size(), 3u);
+  EXPECT_EQ(exaalt.fields[0].shape.size(), 1u);
+  const auto nyx = dataset_by_name("nyx");
+  EXPECT_EQ(nyx.time_steps, 8);  // matches the paper exactly
+  EXPECT_EQ(nyx.fields[0].shape.size(), 3u);
+}
+
+TEST(Suite, UnknownDatasetOrFieldThrows) {
+  EXPECT_THROW(dataset_by_name("weather"), InvalidArgument);
+  const auto ds = dataset_by_name("cesm");
+  EXPECT_THROW(field_by_name(ds, "missing"), InvalidArgument);
+}
+
+TEST(Suite, ScalesChangeExtents) {
+  const auto tiny = dataset_by_name("nyx", SuiteScale::kTiny);
+  const auto small = dataset_by_name("nyx", SuiteScale::kSmall);
+  const auto medium = dataset_by_name("nyx", SuiteScale::kMedium);
+  EXPECT_LT(tiny.fields[0].shape[1], small.fields[0].shape[1]);
+  EXPECT_LT(small.fields[0].shape[1], medium.fields[0].shape[1]);
+  EXPECT_GT(small.step_bytes(), 0u);
+}
+
+// ------------------------------------------------------------------ fields
+
+class FieldSweep : public testing::TestWithParam<std::pair<const char*, const char*>> {};
+
+TEST_P(FieldSweep, DeterministicFiniteAndNonConstant) {
+  const auto [ds_name, field_name] = GetParam();
+  const auto ds = dataset_by_name(ds_name, SuiteScale::kTiny);
+  const auto spec = field_by_name(ds, field_name);
+  const NdArray a = generate_field(spec, 3);
+  const NdArray b = generate_field(spec, 3);
+  ASSERT_EQ(a.shape(), spec.shape);
+  double lo = 1e300, hi = -1e300;
+  for (std::size_t i = 0; i < a.elements(); ++i) {
+    ASSERT_EQ(a.at_flat(i), b.at_flat(i));
+    ASSERT_TRUE(std::isfinite(a.at_flat(i)));
+    lo = std::min(lo, a.at_flat(i));
+    hi = std::max(hi, a.at_flat(i));
+  }
+  EXPECT_GT(hi, lo);  // not constant
+}
+
+TEST_P(FieldSweep, TemporalDriftIsGradual) {
+  // Consecutive steps must be correlated but not identical — the property
+  // the warm-start reuse (Alg. 3) relies on.
+  const auto [ds_name, field_name] = GetParam();
+  const auto ds = dataset_by_name(ds_name, SuiteScale::kTiny);
+  const auto spec = field_by_name(ds, field_name);
+  const NdArray t0 = generate_field(spec, 0);
+  const NdArray t1 = generate_field(spec, 1);
+  double diff = 0, norm = 0;
+  bool any_change = false;
+  for (std::size_t i = 0; i < t0.elements(); ++i) {
+    diff += std::abs(t0.at_flat(i) - t1.at_flat(i));
+    norm += std::abs(t0.at_flat(i));
+    any_change = any_change || t0.at_flat(i) != t1.at_flat(i);
+  }
+  EXPECT_TRUE(any_change);
+  if (norm > 0) EXPECT_LT(diff / norm, 1.5) << "steps decorrelate too fast";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RepresentativeFields, FieldSweep,
+    testing::Values(std::pair{"hurricane", "TCf"}, std::pair{"hurricane", "CLOUDf"},
+                    std::pair{"hurricane", "QCLOUDf.log10"}, std::pair{"hacc", "x"},
+                    std::pair{"hacc", "vx"}, std::pair{"cesm", "CLOUD"},
+                    std::pair{"exaalt", "x"}, std::pair{"nyx", "temperature"}));
+
+TEST(Fields, CloudFieldMostlyZero) {
+  const auto ds = dataset_by_name("hurricane", SuiteScale::kTiny);
+  const NdArray f = generate_field(field_by_name(ds, "CLOUDf"), 0);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < f.elements(); ++i) zeros += f.at_flat(i) == 0.0;
+  EXPECT_GT(zeros, f.elements() / 3) << "CLOUDf analogue should be sparse";
+}
+
+TEST(Fields, LogPlumeHasPlateau) {
+  const auto ds = dataset_by_name("hurricane", SuiteScale::kTiny);
+  const NdArray f = generate_field(field_by_name(ds, "QCLOUDf.log10"), 0);
+  // The background plateau sits at log10(1e-7) = -7.
+  std::size_t plateau = 0;
+  for (std::size_t i = 0; i < f.elements(); ++i) plateau += std::abs(f.at_flat(i) + 7.0) < 1e-6;
+  EXPECT_GT(plateau, f.elements() / 4);
+}
+
+TEST(Fields, ParticleCoordinatesInBox) {
+  const auto ds = dataset_by_name("hacc", SuiteScale::kTiny);
+  const NdArray f = generate_field(field_by_name(ds, "x"), 5);
+  for (std::size_t i = 0; i < f.elements(); ++i) {
+    ASSERT_GE(f.at_flat(i), 0.0);
+    ASSERT_LT(f.at_flat(i), 256.0);
+  }
+}
+
+TEST(Fields, CosmoFieldHeavyTailed) {
+  const auto ds = dataset_by_name("nyx", SuiteScale::kTiny);
+  const NdArray f = generate_field(field_by_name(ds, "temperature"), 0);
+  double lo = 1e300, hi = 0, mean = 0;
+  for (std::size_t i = 0; i < f.elements(); ++i) {
+    lo = std::min(lo, f.at_flat(i));
+    hi = std::max(hi, f.at_flat(i));
+    mean += f.at_flat(i);
+  }
+  mean /= static_cast<double>(f.elements());
+  EXPECT_GT(lo, 0.0);           // temperatures positive
+  EXPECT_GT(hi / mean, 1.8);    // log-normal: bright regions well above the mean
+  EXPECT_GT(hi / lo, 6.0);      // multi-x dynamic range across the volume
+}
+
+TEST(Fields, SeriesGeneratesRequestedSteps) {
+  const auto ds = dataset_by_name("cesm", SuiteScale::kTiny);
+  const auto spec = field_by_name(ds, "PHIS");
+  const auto series = generate_series(spec, 4, 2);
+  ASSERT_EQ(series.size(), 4u);
+  // First entry equals the direct step-2 generation.
+  const NdArray direct = generate_field(spec, 2);
+  for (std::size_t i = 0; i < direct.elements(); ++i)
+    ASSERT_EQ(series[0].at_flat(i), direct.at_flat(i));
+}
+
+TEST(Fields, NegativeStepRejected) {
+  const auto ds = dataset_by_name("cesm", SuiteScale::kTiny);
+  EXPECT_THROW(generate_field(ds.fields[0], -1), InvalidArgument);
+  EXPECT_THROW(generate_series(ds.fields[0], 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fraz::data

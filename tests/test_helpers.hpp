@@ -1,0 +1,56 @@
+#ifndef FRAZ_TESTS_TEST_HELPERS_HPP
+#define FRAZ_TESTS_TEST_HELPERS_HPP
+
+/// Shared fixtures for the compressor and tuner tests: small deterministic
+/// fields with realistic structure (smooth + texture) in 1D/2D/3D and both
+/// scalar types, plus error measurement helpers.
+
+#include <cmath>
+#include <vector>
+
+#include "ndarray/ndarray.hpp"
+
+namespace fraz::testhelpers {
+
+/// Smooth-plus-texture field of the requested rank and dtype.  Deterministic.
+inline NdArray make_field(DType dtype, const Shape& shape, double amplitude = 50.0) {
+  NdArray a(dtype, shape);
+  const std::size_t n = a.elements();
+  // Precompute extents for coordinate recovery.
+  std::vector<std::size_t> extent(shape.begin(), shape.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t rest = i;
+    double coords[3] = {0, 0, 0};
+    for (std::size_t d = extent.size(); d-- > 0;) {
+      coords[d] = static_cast<double>(rest % extent[d]);
+      rest /= extent[d];
+    }
+    const double v = amplitude * (std::sin(0.11 * coords[0]) * std::cos(0.07 * coords[1]) +
+                                  0.5 * std::sin(0.23 * coords[2])) +
+                     0.01 * amplitude * std::sin(3.7 * coords[0] + 1.3 * coords[1]);
+    a.set_flat(i, v);
+  }
+  return a;
+}
+
+/// Maximum absolute pointwise error between two arrays of the same shape.
+inline double max_error(const NdArray& a, const NdArray& b) {
+  double m = 0;
+  for (std::size_t i = 0; i < a.elements(); ++i)
+    m = std::max(m, std::abs(a.at_flat(i) - b.at_flat(i)));
+  return m;
+}
+
+/// Mean squared pointwise error.
+inline double mean_squared_error(const NdArray& a, const NdArray& b) {
+  double s = 0;
+  for (std::size_t i = 0; i < a.elements(); ++i) {
+    const double d = a.at_flat(i) - b.at_flat(i);
+    s += d * d;
+  }
+  return s / static_cast<double>(a.elements());
+}
+
+}  // namespace fraz::testhelpers
+
+#endif  // FRAZ_TESTS_TEST_HELPERS_HPP

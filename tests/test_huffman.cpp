@@ -1,0 +1,118 @@
+#include "codec/huffman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fraz {
+namespace {
+
+void expect_roundtrip(const std::vector<std::uint32_t>& symbols) {
+  const auto encoded = huffman_encode(symbols);
+  const auto decoded = huffman_decode(encoded);
+  ASSERT_EQ(decoded.size(), symbols.size());
+  for (std::size_t i = 0; i < symbols.size(); ++i) ASSERT_EQ(decoded[i], symbols[i]);
+}
+
+TEST(Huffman, EmptyInput) { expect_roundtrip({}); }
+
+TEST(Huffman, SingleSymbolRepeated) { expect_roundtrip(std::vector<std::uint32_t>(1000, 42)); }
+
+TEST(Huffman, TwoSymbols) { expect_roundtrip({7, 7, 7, 9, 7, 9, 9, 7}); }
+
+TEST(Huffman, SparseAlphabet) {
+  // SZ-style quantization codes: sparse integers around a large radius.
+  std::vector<std::uint32_t> symbols;
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i)
+    symbols.push_back(32768 + static_cast<std::uint32_t>(rng.below(7)) - 3);
+  expect_roundtrip(symbols);
+}
+
+TEST(Huffman, SkewedDistributionCompresses) {
+  // 95% zeros: coded size should be far below 4 bytes/symbol.
+  std::vector<std::uint32_t> symbols;
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i)
+    symbols.push_back(rng.below(100) < 95 ? 0 : static_cast<std::uint32_t>(rng.below(16)));
+  const auto encoded = huffman_encode(symbols);
+  EXPECT_LT(encoded.size(), symbols.size());  // < 1 byte per symbol
+  expect_roundtrip(symbols);
+}
+
+TEST(Huffman, AllDistinctSymbols) {
+  std::vector<std::uint32_t> symbols;
+  for (std::uint32_t i = 0; i < 2048; ++i) symbols.push_back(i * 97);
+  expect_roundtrip(symbols);
+}
+
+TEST(Huffman, ExtremeSymbolValues) {
+  expect_roundtrip({0, 0xffffffffu, 0x80000000u, 1, 0xfffffffeu, 0});
+}
+
+TEST(Huffman, DeterministicOutput) {
+  std::vector<std::uint32_t> symbols = {5, 3, 5, 5, 2, 3, 5, 8, 8, 2};
+  EXPECT_EQ(huffman_encode(symbols), huffman_encode(symbols));
+}
+
+TEST(Huffman, TruncatedPayloadThrows) {
+  std::vector<std::uint32_t> symbols(100, 7);
+  symbols[50] = 9;
+  auto encoded = huffman_encode(symbols);
+  encoded.resize(encoded.size() / 2);
+  EXPECT_THROW(huffman_decode(encoded), CorruptStream);
+}
+
+TEST(Huffman, EmptyDictionaryWithSymbolsThrows) {
+  // Header claiming 5 symbols but zero dictionary entries.
+  std::vector<std::uint8_t> bogus = {5, 0};
+  EXPECT_THROW(huffman_decode(bogus), CorruptStream);
+}
+
+TEST(Huffman, BadCodeLengthThrows) {
+  // symbol_count=1, distinct=1, symbol delta=0, length=40 (> 32).
+  std::vector<std::uint8_t> bogus = {1, 1, 0, 40};
+  EXPECT_THROW(huffman_decode(bogus), CorruptStream);
+}
+
+/// Property sweep: roundtrip holds across alphabet sizes and skews.
+class HuffmanSweep : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HuffmanSweep, Roundtrips) {
+  const auto [alphabet, count] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(alphabet * 31 + count));
+  std::vector<std::uint32_t> symbols;
+  symbols.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    // Quadratic skew: low symbols much more common.
+    const double u = rng.uniform();
+    symbols.push_back(static_cast<std::uint32_t>(u * u * alphabet));
+  }
+  expect_roundtrip(symbols);
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphabetsAndSizes, HuffmanSweep,
+                         testing::Combine(testing::Values(2, 17, 256, 4096),
+                                          testing::Values(1, 100, 10000)));
+
+TEST(Huffman, AverageCodeLengthNearEntropy) {
+  // Geometric-ish distribution with known entropy ~1.577 bits HUFFMAN should
+  // land within ~0.5 bits of it (plus dictionary overhead amortized away).
+  std::vector<std::uint32_t> symbols;
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    symbols.push_back(u < 0.5 ? 0 : u < 0.75 ? 1 : u < 0.875 ? 2 : 3);
+  }
+  const auto encoded = huffman_encode(symbols);
+  const double bits_per_symbol = 8.0 * encoded.size() / symbols.size();
+  // H = 0.5*1 + 0.25*2 + 0.125*3 + 0.125*3 = 1.75 bits; Huffman is optimal
+  // for dyadic probabilities, so expect ~1.75 plus small header overhead.
+  EXPECT_NEAR(bits_per_symbol, 1.75, 0.15);
+}
+
+}  // namespace
+}  // namespace fraz

@@ -1,0 +1,130 @@
+#include "codec/lz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fraz {
+namespace {
+
+void expect_roundtrip(const std::vector<std::uint8_t>& data, const LzOptions& opt = {}) {
+  const auto compressed = lz_compress(data, opt);
+  const auto decompressed = lz_decompress(compressed);
+  ASSERT_EQ(decompressed.size(), data.size());
+  ASSERT_TRUE(std::equal(data.begin(), data.end(), decompressed.begin()));
+}
+
+TEST(Lz, EmptyInput) { expect_roundtrip({}); }
+
+TEST(Lz, SingleByte) { expect_roundtrip({0x42}); }
+
+TEST(Lz, ShortLiteralOnly) { expect_roundtrip({1, 2, 3}); }
+
+TEST(Lz, AllSameByteCompressesHard) {
+  const std::vector<std::uint8_t> data(100000, 0xaa);
+  const auto compressed = lz_compress(data);
+  EXPECT_LT(compressed.size(), 200u);
+  expect_roundtrip(data);
+}
+
+TEST(Lz, OverlappingMatchReplication) {
+  // "abcabcabc..." forces matches with offset < length.
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 3000; ++i) data.push_back(static_cast<std::uint8_t>("abc"[i % 3]));
+  const auto compressed = lz_compress(data);
+  EXPECT_LT(compressed.size(), data.size() / 10);
+  expect_roundtrip(data);
+}
+
+TEST(Lz, RepeatedBlocksFound) {
+  Rng rng(5);
+  std::vector<std::uint8_t> block(512);
+  for (auto& b : block) b = static_cast<std::uint8_t>(rng.below(256));
+  std::vector<std::uint8_t> data;
+  for (int rep = 0; rep < 20; ++rep) data.insert(data.end(), block.begin(), block.end());
+  const auto compressed = lz_compress(data);
+  EXPECT_LT(compressed.size(), 2 * block.size());
+  expect_roundtrip(data);
+}
+
+TEST(Lz, IncompressibleRandomDataSurvives) {
+  Rng rng(6);
+  std::vector<std::uint8_t> data(50000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+  const auto compressed = lz_compress(data);
+  // Overhead should stay tiny even when no matches exist.
+  EXPECT_LT(compressed.size(), data.size() + data.size() / 50 + 64);
+  expect_roundtrip(data);
+}
+
+TEST(Lz, EndsExactlyOnMatch) {
+  // Data whose tail is a match: decoder must not expect trailing literals.
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 64; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  data.insert(data.end(), data.begin(), data.begin() + 32);  // tail repeats head
+  expect_roundtrip(data);
+}
+
+TEST(Lz, WindowLimitRespected) {
+  // Repetition farther apart than the window cannot be matched, but the
+  // stream must still roundtrip.
+  LzOptions opt;
+  opt.window = 256;
+  Rng rng(7);
+  std::vector<std::uint8_t> block(200);
+  for (auto& b : block) b = static_cast<std::uint8_t>(rng.below(256));
+  std::vector<std::uint8_t> data;
+  data.insert(data.end(), block.begin(), block.end());
+  std::vector<std::uint8_t> gap(1000);
+  for (auto& b : gap) b = static_cast<std::uint8_t>(rng.below(256));
+  data.insert(data.end(), gap.begin(), gap.end());
+  data.insert(data.end(), block.begin(), block.end());
+  expect_roundtrip(data, opt);
+}
+
+TEST(Lz, TruncationThrows) {
+  std::vector<std::uint8_t> data(5000, 1);
+  auto compressed = lz_compress(data);
+  compressed.resize(compressed.size() - 3);
+  EXPECT_THROW(lz_decompress(compressed), CorruptStream);
+}
+
+TEST(Lz, BogusOffsetThrows) {
+  // decompressed_size=4, literal run 0, offset 9 (beyond produced output).
+  std::vector<std::uint8_t> bogus = {4, 0, 9, 0};
+  EXPECT_THROW(lz_decompress(bogus), CorruptStream);
+}
+
+TEST(Lz, LiteralOverrunThrows) {
+  // declares 2 output bytes but carries a 3-byte literal run.
+  std::vector<std::uint8_t> bogus = {2, 3, 1, 2, 3};
+  EXPECT_THROW(lz_decompress(bogus), CorruptStream);
+}
+
+TEST(Lz, DeterministicOutput) {
+  Rng rng(8);
+  std::vector<std::uint8_t> data(10000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(64));
+  EXPECT_EQ(lz_compress(data), lz_compress(data));
+}
+
+/// Property sweep over sizes and alphabet entropy.
+class LzSweep : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LzSweep, Roundtrips) {
+  const auto [size, alphabet] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(size * 131 + alphabet));
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(static_cast<std::uint64_t>(alphabet)));
+  expect_roundtrip(data);
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndAlphabets, LzSweep,
+                         testing::Combine(testing::Values(1, 17, 4096, 100000),
+                                          testing::Values(2, 16, 256)));
+
+}  // namespace
+}  // namespace fraz

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/acf.hpp"
+#include "metrics/error_stats.hpp"
+#include "metrics/ssim.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace fraz {
+namespace {
+
+using testhelpers::make_field;
+
+TEST(ErrorStats, IdenticalArraysAreLossless) {
+  const NdArray a = make_field(DType::kFloat32, {16, 16});
+  const ErrorStats s = error_stats(a.view(), a.view());
+  EXPECT_EQ(s.max_abs_error, 0.0);
+  EXPECT_EQ(s.rmse, 0.0);
+  EXPECT_TRUE(std::isinf(s.psnr_db));
+}
+
+TEST(ErrorStats, KnownValues) {
+  const NdArray a = NdArray::from_vector(std::vector<double>{0, 1, 2, 3}, {4});
+  const NdArray b = NdArray::from_vector(std::vector<double>{0.5, 1, 2, 2.5}, {4});
+  const ErrorStats s = error_stats(a.view(), b.view());
+  EXPECT_DOUBLE_EQ(s.max_abs_error, 0.5);
+  EXPECT_DOUBLE_EQ(s.mse, (0.25 + 0 + 0 + 0.25) / 4.0);
+  EXPECT_DOUBLE_EQ(s.value_range, 3.0);
+  EXPECT_NEAR(s.psnr_db, 20.0 * std::log10(3.0 / std::sqrt(0.125)), 1e-12);
+}
+
+TEST(ErrorStats, ShapeMismatchThrows) {
+  const NdArray a(DType::kFloat32, {4});
+  const NdArray b(DType::kFloat32, {5});
+  EXPECT_THROW(error_stats(a.view(), b.view()), InvalidArgument);
+}
+
+TEST(ErrorStats, DtypeMismatchThrows) {
+  const NdArray a(DType::kFloat32, {4});
+  const NdArray b(DType::kFloat64, {4});
+  EXPECT_THROW(error_stats(a.view(), b.view()), InvalidArgument);
+}
+
+TEST(ErrorStats, PsnrDecreasesWithNoise) {
+  const NdArray a = make_field(DType::kFloat32, {32, 32});
+  Rng rng(1);
+  NdArray small = a.slice2d(0), large = a.slice2d(0);
+  for (std::size_t i = 0; i < a.elements(); ++i) {
+    const double n = rng.normal();
+    small.set_flat(i, a.at_flat(i) + 0.01 * n);
+    large.set_flat(i, a.at_flat(i) + 1.0 * n);
+  }
+  EXPECT_GT(error_stats(a.view(), small.view()).psnr_db,
+            error_stats(a.view(), large.view()).psnr_db + 20.0);
+}
+
+TEST(RateHelpers, BitRateAndRatio) {
+  EXPECT_DOUBLE_EQ(bit_rate(1000, 500), 4.0);
+  EXPECT_DOUBLE_EQ(compression_ratio(4000, 500), 8.0);
+  EXPECT_DOUBLE_EQ(bit_rate(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(compression_ratio(10, 0), 0.0);
+}
+
+// -------------------------------------------------------------------- SSIM
+
+TEST(Ssim, IdenticalImagesScoreOne) {
+  const NdArray a = make_field(DType::kFloat32, {32, 48});
+  EXPECT_NEAR(ssim(a.view(), a.view()), 1.0, 1e-12);
+}
+
+TEST(Ssim, DegradesWithNoise) {
+  const NdArray a = make_field(DType::kFloat32, {64, 64});
+  Rng rng(2);
+  NdArray mild = a.slice2d(0), harsh = a.slice2d(0);
+  for (std::size_t i = 0; i < a.elements(); ++i) {
+    const double n = rng.normal();
+    mild.set_flat(i, a.at_flat(i) + 0.3 * n);
+    harsh.set_flat(i, a.at_flat(i) + 20.0 * n);
+  }
+  const double s_mild = ssim(a.view(), mild.view());
+  const double s_harsh = ssim(a.view(), harsh.view());
+  EXPECT_GT(s_mild, s_harsh);
+  EXPECT_GT(s_mild, 0.9);
+  EXPECT_LT(s_harsh, 0.6);
+}
+
+TEST(Ssim, Handles3dAsMeanOverSlices) {
+  const NdArray a = make_field(DType::kFloat32, {4, 32, 32});
+  EXPECT_NEAR(ssim(a.view(), a.view()), 1.0, 1e-12);
+}
+
+TEST(Ssim, Rejects1d) {
+  const NdArray a = make_field(DType::kFloat32, {128});
+  EXPECT_THROW(ssim(a.view(), a.view()), InvalidArgument);
+}
+
+TEST(Ssim, ConstantImagesScoreOne) {
+  NdArray a(DType::kFloat32, {16, 16});
+  NdArray b(DType::kFloat32, {16, 16});
+  for (std::size_t i = 0; i < a.elements(); ++i) {
+    a.set_flat(i, 5.0);
+    b.set_flat(i, 5.0);
+  }
+  EXPECT_NEAR(ssim(a.view(), b.view()), 1.0, 1e-9);
+}
+
+// --------------------------------------------------------------------- ACF
+
+TEST(Acf, WhiteNoiseErrorNearZero) {
+  const NdArray a = make_field(DType::kFloat32, {4096});
+  Rng rng(3);
+  NdArray b = NdArray(DType::kFloat32, {4096});
+  for (std::size_t i = 0; i < a.elements(); ++i) b.set_flat(i, a.at_flat(i) + rng.normal());
+  EXPECT_NEAR(error_acf(a.view(), b.view()), 0.0, 0.05);
+}
+
+TEST(Acf, SmoothErrorNearOne) {
+  const NdArray a = make_field(DType::kFloat32, {4096});
+  NdArray b = NdArray(DType::kFloat32, {4096});
+  for (std::size_t i = 0; i < a.elements(); ++i)
+    b.set_flat(i, a.at_flat(i) + std::sin(0.01 * static_cast<double>(i)));
+  EXPECT_GT(error_acf(a.view(), b.view()), 0.95);
+}
+
+TEST(Acf, AlternatingErrorNearMinusOne) {
+  const NdArray a = make_field(DType::kFloat32, {2048});
+  NdArray b = NdArray(DType::kFloat32, {2048});
+  for (std::size_t i = 0; i < a.elements(); ++i)
+    b.set_flat(i, a.at_flat(i) + (i % 2 == 0 ? 0.5 : -0.5));
+  EXPECT_LT(error_acf(a.view(), b.view()), -0.95);
+}
+
+TEST(Acf, ZeroErrorIsZero) {
+  const NdArray a = make_field(DType::kFloat32, {256});
+  EXPECT_EQ(error_acf(a.view(), a.view()), 0.0);
+}
+
+TEST(Acf, LagValidation) {
+  const NdArray a = make_field(DType::kFloat32, {16});
+  EXPECT_THROW(error_acf(a.view(), a.view(), 0), InvalidArgument);
+  EXPECT_THROW(error_acf(a.view(), a.view(), 16), InvalidArgument);
+  EXPECT_NO_THROW(error_acf(a.view(), a.view(), 15));
+}
+
+}  // namespace
+}  // namespace fraz

@@ -1,0 +1,132 @@
+#include "ndarray/ndarray.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "ndarray/io.hpp"
+
+namespace fraz {
+namespace {
+
+TEST(Dtype, SizesAndNames) {
+  EXPECT_EQ(dtype_size(DType::kFloat32), 4u);
+  EXPECT_EQ(dtype_size(DType::kFloat64), 8u);
+  EXPECT_EQ(dtype_name(DType::kFloat32), "f32");
+  EXPECT_EQ(dtype_from_name("f64"), DType::kFloat64);
+  EXPECT_THROW(dtype_from_name("i32"), InvalidArgument);
+}
+
+TEST(Shape, ElementsProduct) {
+  EXPECT_EQ(shape_elements({4, 5, 6}), 120u);
+  EXPECT_EQ(shape_elements({7}), 7u);
+  EXPECT_EQ(shape_elements({}), 0u);
+  EXPECT_THROW(shape_elements({3, 0, 2}), InvalidArgument);
+}
+
+TEST(NdArray, ZeroInitializedAllocation) {
+  NdArray a(DType::kFloat32, {3, 4});
+  EXPECT_EQ(a.elements(), 12u);
+  EXPECT_EQ(a.size_bytes(), 48u);
+  for (std::size_t i = 0; i < a.elements(); ++i) EXPECT_EQ(a.at_flat(i), 0.0);
+}
+
+TEST(NdArray, FromVectorRoundtrip) {
+  const std::vector<float> v = {1.5f, -2.25f, 3.0f, 0.0f};
+  NdArray a = NdArray::from_vector(v, {2, 2});
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(a.at_flat(i), v[i]);
+}
+
+TEST(NdArray, FromVectorShapeMismatchThrows) {
+  EXPECT_THROW(NdArray::from_vector(std::vector<float>{1, 2, 3}, {2, 2}), InvalidArgument);
+}
+
+TEST(NdArray, TypedDtypeMismatchThrows) {
+  NdArray a(DType::kFloat32, {4});
+  EXPECT_THROW(a.typed<double>(), InvalidArgument);
+  EXPECT_NO_THROW(a.typed<float>());
+}
+
+TEST(NdArray, SetGetFlatWidensFloat) {
+  NdArray a(DType::kFloat32, {2});
+  a.set_flat(0, 1.25);
+  a.set_flat(1, -3.5);
+  EXPECT_EQ(a.at_flat(0), 1.25);
+  EXPECT_EQ(a.at_flat(1), -3.5);
+  EXPECT_THROW(a.at_flat(5), InvalidArgument);
+}
+
+TEST(NdArray, ToDoublesMatches) {
+  NdArray a = NdArray::from_vector(std::vector<double>{1, 2, 3}, {3});
+  const auto d = a.to_doubles();
+  EXPECT_EQ(d, (std::vector<double>{1, 2, 3}));
+}
+
+TEST(NdArray, Slice2dFrom3d) {
+  NdArray a(DType::kFloat32, {2, 2, 3});
+  for (std::size_t i = 0; i < 12; ++i) a.set_flat(i, static_cast<double>(i));
+  const NdArray s = a.slice2d(1);
+  ASSERT_EQ(s.shape(), (Shape{2, 3}));
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(s.at_flat(i), static_cast<double>(6 + i));
+  EXPECT_THROW(a.slice2d(2), InvalidArgument);
+}
+
+TEST(NdArray, Slice2dFrom2dIsCopy) {
+  NdArray a(DType::kFloat64, {2, 2});
+  a.set_flat(3, 9.0);
+  const NdArray s = a.slice2d(0);
+  EXPECT_EQ(s.at_flat(3), 9.0);
+  EXPECT_THROW(a.slice2d(1), InvalidArgument);
+}
+
+TEST(NdArray, Slice2dRejects1d) {
+  NdArray a(DType::kFloat32, {5});
+  EXPECT_THROW(a.slice2d(0), InvalidArgument);
+}
+
+TEST(ArrayView, ReflectsArray) {
+  NdArray a(DType::kFloat64, {2, 3});
+  const ArrayView v = a.view();
+  EXPECT_EQ(v.dims(), 2u);
+  EXPECT_EQ(v.elements(), 6u);
+  EXPECT_EQ(v.size_bytes(), 48u);
+  EXPECT_EQ(v.data(), a.data());
+  EXPECT_THROW(v.typed<float>(), InvalidArgument);
+}
+
+TEST(ArrayView, Statistics) {
+  NdArray a = NdArray::from_vector(std::vector<float>{-3.0f, 1.0f, 2.0f}, {3});
+  EXPECT_DOUBLE_EQ(max_abs(a.view()), 3.0);
+  EXPECT_DOUBLE_EQ(value_range(a.view()), 5.0);
+}
+
+TEST(ArrayView, ConstantFieldRangeZero) {
+  NdArray a = NdArray::from_vector(std::vector<float>(10, 4.0f), {10});
+  EXPECT_DOUBLE_EQ(value_range(a.view()), 0.0);
+  EXPECT_DOUBLE_EQ(max_abs(a.view()), 4.0);
+}
+
+TEST(RawIo, RoundtripsBytes) {
+  const std::string path = testing::TempDir() + "/fraz_io_test.bin";
+  NdArray a = NdArray::from_vector(std::vector<float>{1.5f, 2.5f, -3.5f, 0.25f}, {2, 2});
+  write_raw(path, a.view());
+  const NdArray b = read_raw(path, DType::kFloat32, {2, 2});
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(a.at_flat(i), b.at_flat(i));
+  std::remove(path.c_str());
+}
+
+TEST(RawIo, SizeMismatchThrows) {
+  const std::string path = testing::TempDir() + "/fraz_io_short.bin";
+  NdArray a(DType::kFloat32, {4});
+  write_raw(path, a.view());
+  EXPECT_THROW(read_raw(path, DType::kFloat32, {5}), InvalidArgument);
+  EXPECT_THROW(read_raw(path, DType::kFloat64, {4}), InvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(RawIo, MissingFileThrows) {
+  EXPECT_THROW(read_raw("/nonexistent/definitely_missing.bin", DType::kFloat32, {1}), IoError);
+}
+
+}  // namespace
+}  // namespace fraz

@@ -1,0 +1,151 @@
+#include "codec/rans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fraz {
+namespace {
+
+void expect_roundtrip(const std::vector<std::uint32_t>& symbols) {
+  const auto encoded = rans_encode(symbols);
+  const auto decoded = rans_decode(encoded);
+  ASSERT_EQ(decoded.size(), symbols.size());
+  for (std::size_t i = 0; i < symbols.size(); ++i) ASSERT_EQ(decoded[i], symbols[i]);
+}
+
+TEST(Rans, EmptyInput) { expect_roundtrip({}); }
+
+TEST(Rans, SingleSymbolRepeated) { expect_roundtrip(std::vector<std::uint32_t>(100000, 42)); }
+
+TEST(Rans, SingleOccurrence) { expect_roundtrip({7}); }
+
+TEST(Rans, TwoSymbols) { expect_roundtrip({7, 7, 7, 9, 7, 9, 9, 7}); }
+
+TEST(Rans, SparseAlphabetAroundRadius) {
+  std::vector<std::uint32_t> symbols;
+  Rng rng(1);
+  for (int i = 0; i < 50000; ++i)
+    symbols.push_back(32768 + static_cast<std::uint32_t>(rng.below(9)) - 4);
+  expect_roundtrip(symbols);
+}
+
+TEST(Rans, ExtremeSymbolValues) {
+  expect_roundtrip({0, 0xffffffffu, 0x80000000u, 1, 0xfffffffeu, 0});
+}
+
+TEST(Rans, NearConstantStreamBeatsOneBitPerSymbol) {
+  // The reason rANS replaces Huffman in the SZ pipeline: 99% of codes equal
+  // the radius, entropy ~0.08 bits/symbol, and the coder must get close.
+  std::vector<std::uint32_t> symbols;
+  Rng rng(2);
+  for (int i = 0; i < 200000; ++i)
+    symbols.push_back(rng.below(100) < 99 ? 32768u
+                                          : 32768u + static_cast<std::uint32_t>(rng.below(5)));
+  const auto encoded = rans_encode(symbols);
+  const double bits_per_symbol = 8.0 * encoded.size() / symbols.size();
+  EXPECT_LT(bits_per_symbol, 0.15);  // far below Huffman's 1.0 floor
+  expect_roundtrip(symbols);
+}
+
+TEST(Rans, ApproachesEntropyOnDyadicDistribution) {
+  std::vector<std::uint32_t> symbols;
+  Rng rng(3);
+  for (int i = 0; i < 200000; ++i) {
+    const double u = rng.uniform();
+    symbols.push_back(u < 0.5 ? 0 : u < 0.75 ? 1 : u < 0.875 ? 2 : 3);
+  }
+  const auto encoded = rans_encode(symbols);
+  const double bits_per_symbol = 8.0 * encoded.size() / symbols.size();
+  EXPECT_NEAR(bits_per_symbol, 1.75, 0.05);  // H = 1.75 bits
+}
+
+TEST(Rans, LargeAlphabetRoundtrip) {
+  std::vector<std::uint32_t> symbols;
+  for (std::uint32_t i = 0; i < 8000; ++i) symbols.push_back(i * 31);
+  expect_roundtrip(symbols);
+}
+
+TEST(Rans, FullSzAlphabetFlatDistribution) {
+  // The SZ worst case: 2^16+1 distinct codes, each exactly once.  The
+  // normalizer must spread the probability table without starving anyone.
+  std::vector<std::uint32_t> symbols;
+  for (std::uint32_t i = 0; i <= 65536; ++i) symbols.push_back(i);
+  expect_roundtrip(symbols);
+}
+
+TEST(Rans, SkewPlusLongFlatTail) {
+  // One dominant symbol plus a huge flat tail: exercises the drift loop that
+  // steals frequency from the large symbol.
+  std::vector<std::uint32_t> symbols(200000, 7);
+  for (std::uint32_t i = 0; i < 60000; ++i) symbols.push_back(100 + i);
+  expect_roundtrip(symbols);
+}
+
+TEST(Rans, DeterministicOutput) {
+  std::vector<std::uint32_t> symbols = {5, 3, 5, 5, 2, 3, 5, 8, 8, 2};
+  EXPECT_EQ(rans_encode(symbols), rans_encode(symbols));
+}
+
+TEST(Rans, TruncationThrows) {
+  std::vector<std::uint32_t> symbols(1000, 7);
+  symbols[500] = 9;
+  auto encoded = rans_encode(symbols);
+  encoded.resize(encoded.size() - 2);
+  EXPECT_THROW(rans_decode(encoded), CorruptStream);
+}
+
+TEST(Rans, BitFlipsDetectedOrDifferent) {
+  // rANS has a final-state integrity check; most corruptions throw, and the
+  // few that decode must not crash.
+  std::vector<std::uint32_t> symbols;
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) symbols.push_back(static_cast<std::uint32_t>(rng.below(16)));
+  const auto base = rans_encode(symbols);
+  for (int trial = 0; trial < 64; ++trial) {
+    auto mutated = base;
+    mutated[rng.below(mutated.size())] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    try {
+      (void)rans_decode(mutated);
+    } catch (const Error&) {
+      // rejected: fine
+    }
+  }
+}
+
+TEST(Rans, BadFrequencyTableThrows) {
+  // distinct=1 but frequency 5 != 2^14.
+  std::vector<std::uint8_t> bogus;
+  bogus.push_back(1);  // symbol_count
+  bogus.push_back(1);  // distinct
+  bogus.push_back(0);  // symbol 0
+  bogus.push_back(5);  // freq 5 (must sum to 2^14)
+  bogus.push_back(0);  // payload size 0
+  EXPECT_THROW(rans_decode(bogus), CorruptStream);
+}
+
+/// Property sweep: roundtrip across alphabet sizes, skews, and lengths.
+class RansSweep : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RansSweep, Roundtrips) {
+  const auto [alphabet, count] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(alphabet * 131 + count));
+  std::vector<std::uint32_t> symbols;
+  symbols.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double u = rng.uniform();
+    symbols.push_back(static_cast<std::uint32_t>(u * u * alphabet));
+  }
+  expect_roundtrip(symbols);
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphabetsAndSizes, RansSweep,
+                         testing::Combine(testing::Values(2, 17, 256, 5000),
+                                          testing::Values(1, 100, 50000)));
+
+}  // namespace
+}  // namespace fraz

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/loss.hpp"
+#include "core/regions.hpp"
+#include "util/error.hpp"
+
+namespace fraz {
+namespace {
+
+// ------------------------------------------------------------------- loss
+
+TEST(Loss, QuadraticNearTarget) {
+  EXPECT_DOUBLE_EQ(ratio_loss(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(ratio_loss(12.0, 10.0), 4.0);
+  EXPECT_DOUBLE_EQ(ratio_loss(8.0, 10.0), 4.0);
+}
+
+TEST(Loss, ClampCapsExtremeValues) {
+  EXPECT_DOUBLE_EQ(ratio_loss(1e200, 10.0), kLossClamp);
+  EXPECT_TRUE(std::isfinite(ratio_loss(1e308, 1.0)));
+}
+
+TEST(Loss, CustomClamp) { EXPECT_DOUBLE_EQ(ratio_loss(100.0, 0.0, 50.0), 50.0); }
+
+TEST(Loss, CutoffMatchesAcceptanceBand) {
+  // A ratio exactly on the band edge has loss exactly equal to the cutoff.
+  const double target = 25.0, eps = 0.1;
+  const double edge = target * (1 + eps);
+  EXPECT_NEAR(ratio_loss(edge, target), loss_cutoff(target, eps), 1e-9);
+}
+
+TEST(Loss, AcceptanceBandInclusive) {
+  EXPECT_TRUE(ratio_acceptable(10.0, 10.0, 0.1));
+  EXPECT_TRUE(ratio_acceptable(9.0, 10.0, 0.1));
+  EXPECT_TRUE(ratio_acceptable(11.0, 10.0, 0.1));
+  EXPECT_FALSE(ratio_acceptable(8.99, 10.0, 0.1));
+  EXPECT_FALSE(ratio_acceptable(11.01, 10.0, 0.1));
+}
+
+// ----------------------------------------------------------------- regions
+
+TEST(Regions, SingleRegionIsWholeRange) {
+  const auto r = make_error_bound_regions(1.0, 9.0, 1, 0.1);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r[0].lo, 1.0);
+  EXPECT_DOUBLE_EQ(r[0].hi, 9.0);
+}
+
+TEST(Regions, InvalidArgumentsThrow) {
+  EXPECT_THROW(make_error_bound_regions(1.0, 1.0, 4, 0.1), InvalidArgument);
+  EXPECT_THROW(make_error_bound_regions(2.0, 1.0, 4, 0.1), InvalidArgument);
+  EXPECT_THROW(make_error_bound_regions(0.0, 1.0, 0, 0.1), InvalidArgument);
+  EXPECT_THROW(make_error_bound_regions(0.0, 1.0, 4, 1.0), InvalidArgument);
+  EXPECT_THROW(make_error_bound_regions(0.0, 1.0, 4, -0.1), InvalidArgument);
+}
+
+/// Property sweep over K and alpha (paper defaults K=12, alpha=0.1).
+class RegionSweep : public testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(RegionSweep, CoverageAndOverlapProperties) {
+  const auto [count, alpha] = GetParam();
+  const double lo = 0.25, hi = 17.5;
+  const auto regions = make_error_bound_regions(lo, hi, count, alpha);
+  ASSERT_EQ(regions.size(), static_cast<std::size_t>(count));
+
+  // Ends preserved exactly (paper: ends slightly smaller, range preserved).
+  EXPECT_DOUBLE_EQ(regions.front().lo, lo);
+  EXPECT_DOUBLE_EQ(regions.back().hi, hi);
+
+  const double width = (hi - lo) / count;
+  for (int i = 0; i < count; ++i) {
+    // Every region is a valid, bounded interval inside [lo, hi].
+    EXPECT_LT(regions[i].lo, regions[i].hi);
+    EXPECT_GE(regions[i].lo, lo);
+    EXPECT_LE(regions[i].hi, hi);
+    if (i > 0) {
+      // Consecutive regions overlap by ~alpha * width (interior borders get
+      // pad from both sides).
+      const double overlap = regions[i - 1].hi - regions[i].lo;
+      if (alpha == 0.0) {
+        EXPECT_NEAR(overlap, 0.0, 1e-12);
+      } else {
+        EXPECT_GT(overlap, 0.0);
+        EXPECT_NEAR(overlap, alpha * width, 1e-9);
+      }
+    }
+  }
+
+  // Union covers [lo, hi]: sample densely and check membership.
+  for (int s = 0; s <= 1000; ++s) {
+    const double x = lo + (hi - lo) * s / 1000.0;
+    bool covered = false;
+    for (const auto& r : regions)
+      if (x >= r.lo && x <= r.hi) {
+        covered = true;
+        break;
+      }
+    ASSERT_TRUE(covered) << "x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CountsAndOverlaps, RegionSweep,
+                         testing::Combine(testing::Values(1, 2, 3, 12, 24),
+                                          testing::Values(0.0, 0.1, 0.5)));
+
+TEST(Regions, BorderPointInteriorToANeighbor) {
+  // The motivation for overlap: every region border (except the global ends)
+  // must be strictly interior to at least one region.
+  const auto regions = make_error_bound_regions(0.0, 12.0, 12, 0.1);
+  for (std::size_t i = 1; i < regions.size(); ++i) {
+    const double border = regions[i].lo + (regions[i - 1].hi - regions[i].lo) / 2;
+    int interior_count = 0;
+    for (const auto& r : regions)
+      if (border > r.lo && border < r.hi) ++interior_count;
+    EXPECT_GE(interior_count, 2) << "border near " << border;
+  }
+}
+
+}  // namespace
+}  // namespace fraz

@@ -1,0 +1,170 @@
+#include "compressors/sz/sz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/datasets.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fraz {
+namespace {
+
+using testhelpers::make_field;
+using testhelpers::max_error;
+
+/// The core property: |original - decompressed| <= bound for every element,
+/// across ranks, scalar types, bounds, and with/without regression.
+class SzBoundSweep
+    : public testing::TestWithParam<std::tuple<int, DType, double, bool>> {};
+
+TEST_P(SzBoundSweep, ErrorBoundRespected) {
+  const auto [dims, dtype, bound, regression] = GetParam();
+  const Shape shape = dims == 1 ? Shape{2000} : dims == 2 ? Shape{37, 41} : Shape{11, 14, 17};
+  const NdArray field = make_field(dtype, shape);
+  SzOptions opt;
+  opt.error_bound = bound;
+  opt.regression = regression;
+  const auto compressed = sz_compress(field.view(), opt);
+  const NdArray decoded = sz_decompress(compressed);
+  ASSERT_EQ(decoded.shape(), shape);
+  ASSERT_EQ(decoded.dtype(), dtype);
+  EXPECT_LE(max_error(field, decoded), bound)
+      << "dims=" << dims << " bound=" << bound << " regression=" << regression;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsTypesBounds, SzBoundSweep,
+    testing::Combine(testing::Values(1, 2, 3),
+                     testing::Values(DType::kFloat32, DType::kFloat64),
+                     testing::Values(1e-5, 1e-3, 0.1, 5.0),
+                     testing::Values(false, true)));
+
+TEST(Sz, BoundHoldsOnRealisticFields) {
+  // Bound property on the synthetic SDRBench analogues (rough data defeats
+  // prediction, exercising the unpredictable escape path).
+  for (const auto& ds : data::sdrbench_suite(data::SuiteScale::kTiny)) {
+    const NdArray field = data::generate_field(ds.fields[0], 0);
+    const double bound = value_range(field.view()) * 1e-3;
+    SzOptions opt;
+    opt.error_bound = bound;
+    const NdArray decoded = sz_decompress(sz_compress(field.view(), opt));
+    EXPECT_LE(max_error(field, decoded), bound) << ds.name;
+  }
+}
+
+TEST(Sz, RatioGrowsBroadlyWithBound) {
+  const NdArray field = make_field(DType::kFloat32, {16, 32, 32});
+  double tight = 0, loose = 0;
+  {
+    SzOptions opt;
+    opt.error_bound = 1e-4;
+    tight = static_cast<double>(sz_compress(field.view(), opt).size());
+  }
+  {
+    SzOptions opt;
+    opt.error_bound = 1.0;
+    loose = static_cast<double>(sz_compress(field.view(), opt).size());
+  }
+  EXPECT_LT(loose, tight);
+}
+
+TEST(Sz, ConstantFieldCompressesExtremely) {
+  NdArray field(DType::kFloat32, {32, 32});
+  for (std::size_t i = 0; i < field.elements(); ++i) field.set_flat(i, -7.5);
+  SzOptions opt;
+  opt.error_bound = 1e-6;
+  const auto compressed = sz_compress(field.view(), opt);
+  EXPECT_LT(compressed.size(), field.size_bytes() / 20);
+  const NdArray decoded = sz_decompress(compressed);
+  EXPECT_LE(max_error(field, decoded), 1e-6);
+}
+
+TEST(Sz, SingleElementArray) {
+  NdArray field(DType::kFloat64, {1});
+  field.set_flat(0, 123.456);
+  SzOptions opt;
+  opt.error_bound = 1e-3;
+  const NdArray decoded = sz_decompress(sz_compress(field.view(), opt));
+  EXPECT_LE(std::abs(decoded.at_flat(0) - 123.456), 1e-3);
+}
+
+TEST(Sz, RandomDataEscapesStillBounded) {
+  // White noise defeats both predictors; escapes store exact values, so the
+  // bound must hold trivially and the ratio stays near (or below) 1.
+  Rng rng(7);
+  NdArray field(DType::kFloat32, {4096});
+  for (std::size_t i = 0; i < field.elements(); ++i)
+    field.set_flat(i, rng.uniform(-1e6, 1e6));
+  SzOptions opt;
+  opt.error_bound = 1e-3;
+  const NdArray decoded = sz_decompress(sz_compress(field.view(), opt));
+  EXPECT_LE(max_error(field, decoded), 1e-3);
+}
+
+TEST(Sz, HugeValuesWithTinyBound) {
+  // Forces the regression-coefficient overflow fallback path.
+  NdArray field(DType::kFloat32, {24, 24});
+  for (std::size_t i = 0; i < field.elements(); ++i)
+    field.set_flat(i, 1e30 * std::sin(static_cast<double>(i)));
+  SzOptions opt;
+  opt.error_bound = 1e-10;
+  const NdArray decoded = sz_decompress(sz_compress(field.view(), opt));
+  EXPECT_LE(max_error(field, decoded), 1e-10);
+}
+
+TEST(Sz, RegressionImprovesPlanarData) {
+  // A perfect plane: regression predicts it exactly, Lorenzo-only also does
+  // well, but regression should not be worse.
+  NdArray field(DType::kFloat32, {48, 48});
+  for (std::size_t y = 0; y < 48; ++y)
+    for (std::size_t x = 0; x < 48; ++x)
+      field.set_flat(y * 48 + x, 3.0 * static_cast<double>(x) - 2.0 * static_cast<double>(y));
+  SzOptions with;
+  with.error_bound = 1e-3;
+  with.regression = true;
+  SzOptions without = with;
+  without.regression = false;
+  EXPECT_LE(sz_compress(field.view(), with).size(),
+            sz_compress(field.view(), without).size() + 64);
+}
+
+TEST(Sz, DeterministicOutput) {
+  const NdArray field = make_field(DType::kFloat32, {13, 17, 19});
+  SzOptions opt;
+  opt.error_bound = 1e-2;
+  EXPECT_EQ(sz_compress(field.view(), opt), sz_compress(field.view(), opt));
+}
+
+TEST(Sz, RejectsBadArguments) {
+  const NdArray field = make_field(DType::kFloat32, {8, 8});
+  SzOptions opt;
+  opt.error_bound = 0;
+  EXPECT_THROW(sz_compress(field.view(), opt), InvalidArgument);
+  opt.error_bound = -2;
+  EXPECT_THROW(sz_compress(field.view(), opt), InvalidArgument);
+  opt.error_bound = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(sz_compress(field.view(), opt), InvalidArgument);
+}
+
+TEST(Sz, RejectsForeignContainer) {
+  const std::vector<std::uint8_t> junk(64, 0x11);
+  EXPECT_THROW(sz_decompress(junk), CorruptStream);
+}
+
+TEST(Sz, PartialBlocksAtEveryEdge) {
+  for (const Shape& shape : {Shape{6, 6, 6}, Shape{7, 8, 9}, Shape{13, 5, 6}, Shape{1, 1, 7},
+                             Shape{25, 25}, Shape{1, 300}}) {
+    const NdArray field = make_field(DType::kFloat32, shape);
+    SzOptions opt;
+    opt.error_bound = 1e-2;
+    const NdArray decoded = sz_decompress(sz_compress(field.view(), opt));
+    ASSERT_EQ(decoded.shape(), shape);
+    EXPECT_LE(max_error(field, decoded), 1e-2);
+  }
+}
+
+}  // namespace
+}  // namespace fraz

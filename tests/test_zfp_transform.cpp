@@ -1,0 +1,140 @@
+#include "compressors/zfp/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace fraz::zfp_detail {
+namespace {
+
+TEST(Negabinary, RoundtripsAllPatterns32) {
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    const auto x = static_cast<std::int32_t>(rng.next());
+    EXPECT_EQ((uint2int<std::int32_t, std::uint32_t>(int2uint<std::int32_t, std::uint32_t>(x))),
+              x);
+  }
+}
+
+TEST(Negabinary, RoundtripsAllPatterns64) {
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) {
+    const auto x = static_cast<std::int64_t>(rng.next());
+    EXPECT_EQ((uint2int<std::int64_t, std::uint64_t>(int2uint<std::int64_t, std::uint64_t>(x))),
+              x);
+  }
+}
+
+TEST(Negabinary, SmallMagnitudesUseLowBits) {
+  // Negabinary exists so coefficients near zero populate only low bit
+  // planes; check |x| <= 7 never sets bits above position 4.
+  for (std::int32_t x = -7; x <= 7; ++x) {
+    const auto u = int2uint<std::int32_t, std::uint32_t>(x);
+    EXPECT_EQ(u & ~0x1fu, 0u) << "x=" << x << " u=" << u;
+  }
+}
+
+TEST(Lift, InverseIsNearExact1d) {
+  // The lifted transform drops low-order bits by design (as in ZFP); the
+  // reconstruction must stay within a few ULP of the fixed-point input.
+  Rng rng(3);
+  std::int64_t max_dev = 0;
+  for (int trial = 0; trial < 100000; ++trial) {
+    std::int32_t v[4], orig[4];
+    for (int i = 0; i < 4; ++i) {
+      v[i] = static_cast<std::int32_t>(rng.below(1u << 30)) - (1 << 29);
+      orig[i] = v[i];
+    }
+    fwd_lift(v, std::size_t{1});
+    inv_lift(v, std::size_t{1});
+    for (int i = 0; i < 4; ++i)
+      max_dev = std::max<std::int64_t>(max_dev, std::llabs(std::int64_t{v[i]} - orig[i]));
+  }
+  EXPECT_LE(max_dev, 4);
+}
+
+TEST(Lift, ForwardBoundedGain) {
+  // The transform matrix rows have L1 norm <= 1 (it is a contraction in
+  // L-infinity up to rounding), so outputs stay within input magnitude + eps.
+  Rng rng(4);
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::int32_t v[4];
+    const std::int32_t bound = 1 << 28;
+    for (auto& x : v) x = static_cast<std::int32_t>(rng.below(2u * bound)) - bound;
+    fwd_lift(v, std::size_t{1});
+    for (const auto x : v) {
+      EXPECT_LE(std::abs(x), bound + 4);
+    }
+  }
+}
+
+class TransformDims : public testing::TestWithParam<unsigned> {};
+
+TEST_P(TransformDims, CompositeInverseNearExact) {
+  const unsigned dims = GetParam();
+  const unsigned n = 1u << (2 * dims);
+  Rng rng(5 + dims);
+  std::int64_t max_dev = 0;
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::int64_t block[64], orig[64];
+    for (unsigned i = 0; i < n; ++i) {
+      block[i] = static_cast<std::int64_t>(rng.below(1ull << 60)) - (1ll << 59);
+      orig[i] = block[i];
+    }
+    fwd_transform(block, dims);
+    inv_transform(block, dims);
+    for (unsigned i = 0; i < n; ++i)
+      max_dev = std::max<std::int64_t>(max_dev, std::llabs(block[i] - orig[i]));
+  }
+  // Relative deviation below 2^-50 of the value magnitude 2^59.
+  EXPECT_LE(max_dev, 512);
+}
+
+TEST_P(TransformDims, ConstantBlockConcentratesEnergy) {
+  // A constant block must transform to a single DC coefficient (all others
+  // ~0): that is the decorrelation property the coder exploits.
+  const unsigned dims = GetParam();
+  const unsigned n = 1u << (2 * dims);
+  std::int64_t block[64];
+  std::fill(block, block + n, std::int64_t{1} << 20);
+  fwd_transform(block, dims);
+  const std::uint8_t* order = sequency_order(dims);
+  EXPECT_NEAR(static_cast<double>(block[order[0]]), static_cast<double>(1 << 20), 4.0);
+  for (unsigned i = 1; i < n; ++i)
+    EXPECT_LE(std::llabs(block[order[i]]), 2) << "coefficient " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRanks, TransformDims, testing::Values(1u, 2u, 3u));
+
+TEST(Sequency, OrdersArePermutations) {
+  for (unsigned dims = 1; dims <= 3; ++dims) {
+    const unsigned n = 1u << (2 * dims);
+    const std::uint8_t* order = sequency_order(dims);
+    std::set<std::uint8_t> seen(order, order + n);
+    EXPECT_EQ(seen.size(), n);
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), n - 1);
+  }
+}
+
+TEST(Sequency, SortedByCoordinateSum) {
+  const std::uint8_t* order = sequency_order(3);
+  auto coord_sum = [](std::uint8_t idx) {
+    return (idx & 3u) + ((idx >> 2) & 3u) + ((idx >> 4) & 3u);
+  };
+  for (unsigned i = 1; i < 64; ++i)
+    EXPECT_LE(coord_sum(order[i - 1]), coord_sum(order[i])) << "at position " << i;
+}
+
+TEST(Sequency, DcFirst) {
+  EXPECT_EQ(sequency_order(1)[0], 0);
+  EXPECT_EQ(sequency_order(2)[0], 0);
+  EXPECT_EQ(sequency_order(3)[0], 0);
+}
+
+}  // namespace
+}  // namespace fraz::zfp_detail

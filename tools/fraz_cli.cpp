@@ -1,0 +1,263 @@
+/// fraz — command-line front end for the FRaZ fixed-ratio compression stack.
+///
+/// Subcommands (first positional argument):
+///   tune        find the error bound for a target ratio on a raw binary file
+///               (--json emits the result machine-readably)
+///   quality     find the most aggressive bound meeting a PSNR/SSIM floor
+///               (the paper's §VII quality-target extension)
+///   compress    compress a raw binary file at a given bound (or tune first)
+///   decompress  reconstruct a raw binary file from a .fraz archive
+///   inspect     print header metadata of a .fraz archive
+///   backends    list registered compressor backends
+///
+/// Raw files are flat little-endian scalar dumps (the SDRBench layout);
+/// shape and dtype come from --dims / --dtype, exactly as the benchmark
+/// distributes them.
+///
+/// Examples:
+///   fraz tune --input CLOUDf48.bin --dims 100x500x500 --dtype f32
+///             --compressor sz --target 10
+///   fraz compress --input CLOUDf48.bin --dims 100x500x500 --dtype f32
+///             --compressor sz --target 10 --output CLOUDf48.fraz
+///   fraz decompress --input CLOUDf48.fraz --compressor sz --output out.bin
+///   fraz inspect --input CLOUDf48.fraz
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/quality_tuner.hpp"
+#include "core/serialize.hpp"
+#include "core/tuner.hpp"
+#include "metrics/error_stats.hpp"
+#include "ndarray/io.hpp"
+#include "pressio/evaluate.hpp"
+#include "pressio/registry.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace fraz;
+
+/// Parse "100x500x500" into a Shape.
+Shape parse_dims(const std::string& spec) {
+  Shape shape;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t consumed = 0;
+    const unsigned long long extent = std::stoull(spec.substr(pos), &consumed);
+    require(consumed > 0 && extent > 0, "bad --dims component in '" + spec + "'");
+    shape.push_back(static_cast<std::size_t>(extent));
+    pos += consumed;
+    if (pos < spec.size()) {
+      require(spec[pos] == 'x', "--dims must look like 100x500x500");
+      ++pos;
+    }
+  }
+  require(!shape.empty() && shape.size() <= 3, "--dims must have 1..3 extents");
+  return shape;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) throw IoError("cannot open '" + path + "'");
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(is.tellg()));
+  is.seekg(0);
+  is.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
+  if (!is) throw IoError("short read from '" + path + "'");
+  return bytes;
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw IoError("cannot open '" + path + "' for writing");
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  if (!os) throw IoError("write failed for '" + path + "'");
+}
+
+int cmd_backends() {
+  for (const auto& name : pressio::registry().names()) {
+    auto c = pressio::registry().create(name);
+    std::printf("%-10s options:", name.c_str());
+    for (const auto& key : c->get_options().keys()) std::printf(" %s", key.c_str());
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_tune(const Cli& cli) {
+  const NdArray field = read_raw(cli.get_string("input"),
+                                 dtype_from_name(cli.get_string("dtype")),
+                                 parse_dims(cli.get_string("dims")));
+  auto compressor = pressio::registry().create(cli.get_string("compressor"));
+
+  TunerConfig config;
+  config.target_ratio = cli.get_double("target");
+  config.epsilon = cli.get_double("epsilon");
+  config.max_error_bound = cli.get_double("max-bound");
+  config.regions = static_cast<int>(cli.get_int("regions"));
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const Tuner tuner(*compressor, config);
+  const TuneResult r = tuner.tune(field.view());
+
+  if (cli.get_flag("json")) {
+    std::printf("%s\n", to_json(r).c_str());
+  } else {
+    std::printf("compressor      %s\n", compressor->name().c_str());
+    std::printf("target ratio    %.3f (epsilon %.3f)\n", config.target_ratio, config.epsilon);
+    std::printf("error bound     %.9g\n", r.error_bound);
+    std::printf("achieved ratio  %.3f\n", r.achieved_ratio);
+    std::printf("feasible        %s\n", r.feasible ? "yes" : "no (closest reported)");
+    std::printf("compress calls  %d in %.2fs\n", r.compress_calls, r.seconds);
+  }
+  return r.feasible ? 0 : 2;
+}
+
+int cmd_quality(const Cli& cli) {
+  const NdArray field = read_raw(cli.get_string("input"),
+                                 dtype_from_name(cli.get_string("dtype")),
+                                 parse_dims(cli.get_string("dims")));
+  auto compressor = pressio::registry().create(cli.get_string("compressor"));
+
+  QualityTunerConfig config;
+  const std::string metric = cli.get_string("metric");
+  if (metric == "psnr")
+    config.metric = QualityMetric::kPsnrDb;
+  else if (metric == "ssim")
+    config.metric = QualityMetric::kSsim;
+  else
+    throw InvalidArgument("--metric must be psnr or ssim");
+  config.quality_floor = cli.get_double("floor");
+  const QualityTuneResult r = tune_for_quality(*compressor, field.view(), config);
+
+  std::printf("metric floor    %s >= %.4g\n", metric.c_str(), config.quality_floor);
+  if (!r.met_floor) {
+    std::printf("no error bound meets the floor within the search range\n");
+    return 2;
+  }
+  std::printf("error bound     %.9g\n", r.error_bound);
+  std::printf("quality         %.4g\n", r.quality);
+  std::printf("achieved ratio  %.3f\n", r.achieved_ratio);
+  std::printf("evaluations     %d\n", r.evaluations);
+  return 0;
+}
+
+int cmd_compress(const Cli& cli) {
+  const NdArray field = read_raw(cli.get_string("input"),
+                                 dtype_from_name(cli.get_string("dtype")),
+                                 parse_dims(cli.get_string("dims")));
+  auto compressor = pressio::registry().create(cli.get_string("compressor"));
+
+  double bound = cli.get_double("bound");
+  if (bound <= 0) {
+    // No explicit bound: tune for the target ratio first.
+    TunerConfig config;
+    config.target_ratio = cli.get_double("target");
+    config.epsilon = cli.get_double("epsilon");
+    config.max_error_bound = cli.get_double("max-bound");
+    const Tuner tuner(*compressor, config);
+    const TuneResult r = tuner.tune(field.view());
+    bound = r.error_bound;
+    std::printf("tuned bound %.9g (ratio %.3f, %s)\n", bound, r.achieved_ratio,
+                r.feasible ? "in band" : "closest");
+  }
+  compressor->set_error_bound(bound);
+  const auto archive = compressor->compress(field.view());
+  write_file(cli.get_string("output"), archive);
+
+  if (cli.get_flag("verify")) {
+    const NdArray decoded = compressor->decompress(archive.data(), archive.size());
+    const ErrorStats stats = error_stats(field.view(), decoded.view());
+    std::printf("verify: max error %.6g (bound %.6g) psnr %.1f dB\n", stats.max_abs_error,
+                bound, stats.psnr_db);
+    require(stats.max_abs_error <= bound, "bound violated — archive NOT trustworthy");
+  }
+  std::printf("wrote %s: %zu -> %zu bytes (ratio %.3f)\n", cli.get_string("output").c_str(),
+              field.size_bytes(), archive.size(),
+              static_cast<double>(field.size_bytes()) / static_cast<double>(archive.size()));
+  return 0;
+}
+
+int cmd_decompress(const Cli& cli) {
+  const auto archive = read_file(cli.get_string("input"));
+  auto compressor = pressio::registry().create(cli.get_string("compressor"));
+  const NdArray decoded = compressor->decompress(archive.data(), archive.size());
+  write_raw(cli.get_string("output"), decoded.view());
+  std::printf("wrote %s: %zu values (%s", cli.get_string("output").c_str(),
+              decoded.elements(), dtype_name(decoded.dtype()).c_str());
+  for (std::size_t d : decoded.shape()) std::printf(" x%zu", d);
+  std::printf(")\n");
+  return 0;
+}
+
+int cmd_inspect(const Cli& cli) {
+  const auto archive = read_file(cli.get_string("input"));
+  // Try every registered backend until one accepts the container.
+  for (const auto& name : pressio::registry().names()) {
+    auto compressor = pressio::registry().create(name);
+    try {
+      const NdArray decoded = compressor->decompress(archive.data(), archive.size());
+      std::printf("compressor  %s\n", name.c_str());
+      std::printf("dtype       %s\n", dtype_name(decoded.dtype()).c_str());
+      std::printf("shape      ");
+      for (std::size_t d : decoded.shape()) std::printf(" %zu", d);
+      std::printf("\nvalues      %zu\n", decoded.elements());
+      std::printf("ratio       %.3f\n",
+                  static_cast<double>(decoded.size_bytes()) /
+                      static_cast<double>(archive.size()));
+      return 0;
+    } catch (const Unsupported&) {
+      continue;  // produced by a different backend
+    }
+  }
+  std::fprintf(stderr, "no registered backend accepts this archive\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: fraz <tune|quality|compress|decompress|inspect|backends> [flags]\n"
+                 "run 'fraz <subcommand> --help' for flags\n");
+    return 1;
+  }
+  const std::string subcommand = argv[1];
+  try {
+    if (subcommand == "backends") return cmd_backends();
+
+    Cli cli("fraz " + subcommand);
+    cli.add_string("input", "", "input file (raw scalars or .fraz archive)");
+    cli.add_string("output", "out.bin", "output file");
+    cli.add_string("dims", "0", "raw input shape, e.g. 100x500x500");
+    cli.add_string("dtype", "f32", "raw input scalar type: f32|f64");
+    cli.add_string("compressor", "sz", "backend: sz|zfp|mgard|truncate");
+    cli.add_double("target", 10.0, "target compression ratio");
+    cli.add_double("epsilon", 0.1, "acceptance band around the target");
+    cli.add_double("bound", 0.0, "explicit error bound (skip tuning when > 0)");
+    cli.add_double("max-bound", 0.0, "U: maximum allowed error bound (0 = auto)");
+    cli.add_int("regions", 12, "error-bound search regions (paper default 12)");
+    cli.add_int("seed", 0x46526158, "deterministic search seed");
+    cli.add_flag("verify", "after compress: decompress and check the bound");
+    cli.add_flag("json", "tune: emit the result as JSON");
+    cli.add_string("metric", "psnr", "quality: psnr|ssim");
+    cli.add_double("floor", 60.0, "quality: minimum acceptable metric value");
+    if (!cli.parse(argc - 1, argv + 1)) return 0;
+    require(!cli.get_string("input").empty(), "--input is required");
+
+    if (subcommand == "tune") return cmd_tune(cli);
+    if (subcommand == "quality") return cmd_quality(cli);
+    if (subcommand == "compress") return cmd_compress(cli);
+    if (subcommand == "decompress") return cmd_decompress(cli);
+    if (subcommand == "inspect") return cmd_inspect(cli);
+    std::fprintf(stderr, "unknown subcommand '%s'\n", subcommand.c_str());
+    return 1;
+  } catch (const fraz::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
