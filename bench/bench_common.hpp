@@ -34,11 +34,14 @@ inline data::SuiteScale parse_scale(const std::string& name) {
   return data::SuiteScale::kSmall;
 }
 
-/// Compression ratio at a given error bound (one compress call).
+/// Compression ratio at a given error bound (one compress call).  The
+/// archive lands in a thread-local grow-only scratch, so bound sweeps reach
+/// the same zero-allocation steady state as the tuner's inner loop.
 inline double ratio_at(const pressio::Compressor& c, const ArrayView& view, double bound) {
+  thread_local Buffer scratch;
   auto clone = c.clone();
   clone->set_error_bound(bound);
-  return pressio::probe_ratio(*clone, view).ratio;
+  return pressio::probe_ratio(*clone, view, scratch).ratio;
 }
 
 }  // namespace fraz::bench

@@ -43,8 +43,10 @@ int main(int argc, char** argv) {
   Table t({"compressor", "ratio", "in_band", "psnr_db", "ssim", "max_error", "acf_error"});
   for (const std::string& name : pressio::registry().names()) {
     auto compressor = pressio::registry().create(name);
-    if (!compressor->supports_dims(field.dims())) {
-      t.add_row({name, "-", "-", "-", "-", "-", "unsupported rank"});
+    // Capability introspection replaces trial-and-error: ask the backend
+    // up front whether it can handle this dtype/rank combination.
+    if (!compressor->capabilities().supports(field.dtype(), field.dims())) {
+      t.add_row({name, "-", "-", "-", "-", "-", "unsupported dtype/rank"});
       continue;
     }
     const Tuner tuner(*compressor, config);

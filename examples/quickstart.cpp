@@ -1,19 +1,18 @@
 /// Quickstart: the five-minute tour of the public API.
 ///
-/// 1. Grab a compressor from the registry (SZ here, but "zfp"/"mgard" work
-///    identically — that is the point of the pressio abstraction).
-/// 2. Ask FRaZ for an error bound that hits a 10:1 compression ratio.
-/// 3. Compress with the tuned bound, decompress, verify the quality.
+/// 1. Build a fraz::Engine — one object owning backend + tuner + bound cache
+///    (SZ here, but "zfp"/"mgard" work identically; that is the point of the
+///    pressio abstraction underneath).
+/// 2. Ask it for an error bound that hits a 10:1 compression ratio.
+/// 3. Compress into a reusable Buffer, verify the quality — all through the
+///    non-throwing Status/Result API a service would embed.
 ///
 ///   ./quickstart [--compressor sz|zfp|mgard] [--target 10]
 
 #include <cstdio>
 
-#include "core/tuner.hpp"
 #include "data/datasets.hpp"
-#include "metrics/error_stats.hpp"
-#include "pressio/evaluate.hpp"
-#include "pressio/registry.hpp"
+#include "engine/engine.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -29,25 +28,53 @@ int main(int argc, char** argv) {
   std::printf("field: %zu values (%.1f KB)\n", field.elements(),
               field.size_bytes() / 1024.0);
 
-  // Step 1: any error-bounded compressor behind one interface.
-  auto compressor = pressio::registry().create(cli.get_string("compressor"));
+  // Step 1: one facade over registry + tuner + bound cache.  Failures are
+  // values, not exceptions — check and report.
+  EngineConfig config;
+  config.compressor = cli.get_string("compressor");
+  config.tuner.target_ratio = cli.get_double("target");
+  config.tuner.epsilon = 0.1;
+  auto created = Engine::create(config);
+  if (!created.ok()) {
+    std::fprintf(stderr, "engine: %s\n", created.status().to_string().c_str());
+    return 1;
+  }
+  Engine engine = std::move(created).value();
+  const auto caps = engine.capabilities();
+  std::printf("backend: %s v%s (%zuD..%zuD, error_bounded=%s)\n", caps.name.c_str(),
+              caps.version.c_str(), caps.min_dims, caps.max_dims,
+              caps.error_bounded ? "yes" : "no");
 
   // Step 2: FRaZ finds the error bound whose achieved ratio lands within
-  // +-10% of the target.
-  TunerConfig config;
-  config.target_ratio = cli.get_double("target");
-  config.epsilon = 0.1;
-  const Tuner tuner(*compressor, config);
-  const TuneResult tuned = tuner.tune(field.view());
+  // +-10% of the target.  The result is cached under the field key, so a
+  // second tune of the next time step would cost one confirmation probe.
+  const auto tuned = engine.tune("TCf", field.view());
+  if (!tuned.ok()) {
+    std::fprintf(stderr, "tune: %s\n", tuned.status().to_string().c_str());
+    return 1;
+  }
+  const TuneResult& r = tuned.value();
   std::printf("tuned: error bound %.6g -> ratio %.2f (%s, %d compressor calls, %.2fs)\n",
-              tuned.error_bound, tuned.achieved_ratio,
-              tuned.feasible ? "inside the band" : "closest achievable",
-              tuned.compress_calls, tuned.seconds);
+              r.error_bound, r.achieved_ratio,
+              r.feasible ? "inside the band" : "closest achievable", r.compress_calls,
+              r.seconds);
 
-  // Step 3: use the bound like any other compressor setting.
-  compressor->set_error_bound(tuned.error_bound);
-  const auto report = pressio::evaluate_fidelity(*compressor, field.view());
+  // Step 3: compress into a caller-owned Buffer (reusable across frames)
+  // and run the full fidelity report at the tuned bound.
+  Buffer archive;
+  if (const Status s = engine.compress("TCf", field.view(), archive); !s.ok()) {
+    std::fprintf(stderr, "compress: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  const auto report = engine.evaluate("TCf", field.view());
+  if (!report.ok()) {
+    std::fprintf(stderr, "evaluate: %s\n", report.status().to_string().c_str());
+    return 1;
+  }
   std::printf("verify: ratio %.2f, PSNR %.1f dB, max error %.4g, SSIM %.3f\n",
-              report.probe.ratio, report.psnr_db, report.max_abs_error, report.ssim);
+              report.value().probe.ratio, report.value().psnr_db,
+              report.value().max_abs_error, report.value().ssim);
+  std::printf("engine: %zu tunes (%zu warm), archive %zu bytes\n", engine.stats().tunes,
+              engine.stats().warm_hits, archive.size());
   return 0;
 }

@@ -12,13 +12,6 @@ namespace {
 constexpr std::uint32_t kMagic = 0x5a615246u;  // "FRaZ" little-endian
 constexpr std::uint8_t kVersion = 1;
 
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  out.push_back(static_cast<std::uint8_t>(v));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v >> 16));
-  out.push_back(static_cast<std::uint8_t>(v >> 24));
-}
-
 std::uint32_t get_u32(const std::uint8_t* data, std::size_t size, std::size_t& pos) {
   if (pos + 4 > size) throw CorruptStream("container: truncated u32");
   std::uint32_t v;
@@ -26,11 +19,33 @@ std::uint32_t get_u32(const std::uint8_t* data, std::size_t size, std::size_t& p
   pos += 4;
   return v;
 }
+
+void put_u32(Buffer& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_varint(Buffer& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80u);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
 }  // namespace
 
 std::vector<std::uint8_t> seal_container(CompressorId id, DType dtype, const Shape& shape,
                                          const std::vector<std::uint8_t>& payload) {
-  std::vector<std::uint8_t> out;
+  Buffer out;
+  seal_container_into(id, dtype, shape, payload, out);
+  return out.to_vector();
+}
+
+void seal_container_into(CompressorId id, DType dtype, const Shape& shape,
+                         const std::vector<std::uint8_t>& payload, Buffer& out) {
+  out.clear();
   out.reserve(payload.size() + 32);
   put_u32(out, kMagic);
   out.push_back(kVersion);
@@ -39,9 +54,8 @@ std::vector<std::uint8_t> seal_container(CompressorId id, DType dtype, const Sha
   put_varint(out, shape.size());
   for (std::size_t d : shape) put_varint(out, d);
   put_varint(out, payload.size());
-  out.insert(out.end(), payload.begin(), payload.end());
+  out.append(payload.data(), payload.size());
   put_u32(out, crc32(out.data(), out.size()));
-  return out;
 }
 
 Container open_container(const std::uint8_t* data, std::size_t size, CompressorId expected) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "ndarray/ndarray.hpp"
+#include "util/buffer.hpp"
 
 namespace fraz {
 
@@ -44,6 +45,12 @@ struct Container {
 /// Serialize header + payload + checksum into one buffer.
 std::vector<std::uint8_t> seal_container(CompressorId id, DType dtype, const Shape& shape,
                                          const std::vector<std::uint8_t>& payload);
+
+/// Zero-copy variant: seal into a caller-owned, reusable Buffer.  \p out is
+/// cleared first; its capacity is retained across calls, so steady-state
+/// sealing performs no heap allocation.
+void seal_container_into(CompressorId id, DType dtype, const Shape& shape,
+                         const std::vector<std::uint8_t>& payload, Buffer& out);
 
 /// Validate and parse.  Throws CorruptStream on bad magic/version/checksum or
 /// truncation, and Unsupported when \p expected does not match the stored id.

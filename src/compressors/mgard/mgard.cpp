@@ -122,7 +122,7 @@ inline void unflatten(std::size_t idx, const Shape& shape, std::size_t* coord) {
 }
 
 template <typename Scalar>
-std::vector<std::uint8_t> compress_impl(const ArrayView& input, const MgardOptions& opt) {
+void compress_impl(const ArrayView& input, const MgardOptions& opt, Buffer& out) {
   const Shape& shape = input.shape();
   const auto stride = strides_of(shape);
   const Scalar* data = input.typed<Scalar>();
@@ -176,7 +176,7 @@ std::vector<std::uint8_t> compress_impl(const ArrayView& input, const MgardOptio
   assembled.insert(assembled.end(), raw_stream.begin(), raw_stream.end());
 
   const std::vector<std::uint8_t> packed = lz_compress(assembled);
-  return seal_container(CompressorId::kMgard, input.dtype(), input.shape(), packed);
+  seal_container_into(CompressorId::kMgard, input.dtype(), input.shape(), packed, out);
 }
 
 template <typename Scalar>
@@ -246,9 +246,17 @@ void validate(const ArrayView& input, const MgardOptions& opt) {
 }  // namespace
 
 std::vector<std::uint8_t> mgard_compress(const ArrayView& input, const MgardOptions& options) {
+  Buffer out;
+  mgard_compress_into(input, options, out);
+  return out.to_vector();
+}
+
+void mgard_compress_into(const ArrayView& input, const MgardOptions& options, Buffer& out) {
   validate(input, options);
-  return input.dtype() == DType::kFloat32 ? compress_impl<float>(input, options)
-                                          : compress_impl<double>(input, options);
+  if (input.dtype() == DType::kFloat32)
+    compress_impl<float>(input, options, out);
+  else
+    compress_impl<double>(input, options, out);
 }
 
 NdArray mgard_decompress(const std::uint8_t* data, std::size_t size) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "ndarray/ndarray.hpp"
+#include "util/buffer.hpp"
 
 namespace fraz {
 
@@ -43,6 +44,10 @@ struct MgardOptions {
 
 /// Compress \p input (2D/3D, f32/f64).  Throws Unsupported for 1D data.
 std::vector<std::uint8_t> mgard_compress(const ArrayView& input, const MgardOptions& options);
+
+/// Zero-copy variant: write the sealed container into the caller's reusable
+/// \p out (cleared first, capacity retained across calls).
+void mgard_compress_into(const ArrayView& input, const MgardOptions& options, Buffer& out);
 
 /// Decompress a container produced by mgard_compress.
 NdArray mgard_decompress(const std::uint8_t* data, std::size_t size);

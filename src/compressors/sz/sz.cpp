@@ -176,7 +176,7 @@ Scalar get_scalar(const std::uint8_t* data, std::size_t size, std::size_t& pos) 
 }
 
 template <typename Scalar>
-std::vector<std::uint8_t> compress_impl(const ArrayView& input, const SzOptions& opt) {
+void compress_impl(const ArrayView& input, const SzOptions& opt, Buffer& out) {
   const unsigned dims = static_cast<unsigned>(input.dims());
   const Shape& shape = input.shape();
   const auto stride = strides_of(shape);
@@ -299,7 +299,7 @@ std::vector<std::uint8_t> compress_impl(const ArrayView& input, const SzOptions&
 
   // ---- stage 4: dictionary coder over everything ----
   const std::vector<std::uint8_t> packed = lz_compress(assembled);
-  return seal_container(CompressorId::kSz, input.dtype(), input.shape(), packed);
+  seal_container_into(CompressorId::kSz, input.dtype(), input.shape(), packed, out);
 }
 
 template <typename Scalar>
@@ -391,9 +391,17 @@ void validate(const ArrayView& input, const SzOptions& opt) {
 }  // namespace
 
 std::vector<std::uint8_t> sz_compress(const ArrayView& input, const SzOptions& options) {
+  Buffer out;
+  sz_compress_into(input, options, out);
+  return out.to_vector();
+}
+
+void sz_compress_into(const ArrayView& input, const SzOptions& options, Buffer& out) {
   validate(input, options);
-  return input.dtype() == DType::kFloat32 ? compress_impl<float>(input, options)
-                                          : compress_impl<double>(input, options);
+  if (input.dtype() == DType::kFloat32)
+    compress_impl<float>(input, options, out);
+  else
+    compress_impl<double>(input, options, out);
 }
 
 NdArray sz_decompress(const std::uint8_t* data, std::size_t size) {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "ndarray/ndarray.hpp"
+#include "util/buffer.hpp"
 
 namespace fraz {
 
@@ -41,6 +42,10 @@ struct SzOptions {
 
 /// Compress \p input (1D/2D/3D, f32/f64) into a sealed container.
 std::vector<std::uint8_t> sz_compress(const ArrayView& input, const SzOptions& options);
+
+/// Zero-copy variant: write the sealed container into the caller's reusable
+/// \p out (cleared first, capacity retained across calls).
+void sz_compress_into(const ArrayView& input, const SzOptions& options, Buffer& out);
 
 /// Decompress a container produced by sz_compress.
 NdArray sz_decompress(const std::uint8_t* data, std::size_t size);

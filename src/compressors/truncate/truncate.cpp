@@ -11,7 +11,7 @@ namespace fraz {
 namespace {
 
 template <typename Scalar, typename UInt>
-std::vector<std::uint8_t> compress_impl(const ArrayView& input, unsigned bits) {
+void compress_impl(const ArrayView& input, unsigned bits, Buffer& out) {
   const Scalar* data = input.typed<Scalar>();
   BitWriter writer;
   const unsigned width = sizeof(Scalar) * 8;
@@ -24,7 +24,7 @@ std::vector<std::uint8_t> compress_impl(const ArrayView& input, unsigned bits) {
   payload.push_back(static_cast<std::uint8_t>(bits));
   const auto stream = writer.take();
   payload.insert(payload.end(), stream.begin(), stream.end());
-  return seal_container(CompressorId::kTruncate, input.dtype(), input.shape(), payload);
+  seal_container_into(CompressorId::kTruncate, input.dtype(), input.shape(), payload, out);
 }
 
 template <typename Scalar, typename UInt>
@@ -49,14 +49,22 @@ void decompress_impl(const Container& c, NdArray& out) {
 
 std::vector<std::uint8_t> truncate_compress(const ArrayView& input,
                                             const TruncateOptions& options) {
+  Buffer out;
+  truncate_compress_into(input, options, out);
+  return out.to_vector();
+}
+
+void truncate_compress_into(const ArrayView& input, const TruncateOptions& options,
+                            Buffer& out) {
   require(input.dims() >= 1 && input.dims() <= 3, "truncate: supports 1D/2D/3D data");
   require(input.elements() > 0, "truncate: empty input");
   const unsigned width = static_cast<unsigned>(dtype_size(input.dtype())) * 8;
   require(options.bits >= 1 && options.bits <= width,
           "truncate: bits must be in [1, scalar width]");
-  return input.dtype() == DType::kFloat32
-             ? compress_impl<float, std::uint32_t>(input, options.bits)
-             : compress_impl<double, std::uint64_t>(input, options.bits);
+  if (input.dtype() == DType::kFloat32)
+    compress_impl<float, std::uint32_t>(input, options.bits, out);
+  else
+    compress_impl<double, std::uint64_t>(input, options.bits, out);
 }
 
 NdArray truncate_decompress(const std::uint8_t* data, std::size_t size) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ndarray/ndarray.hpp"
+#include "util/buffer.hpp"
 
 namespace fraz {
 
@@ -29,6 +30,11 @@ struct TruncateOptions {
 /// Compress by keeping the top `bits` of every scalar.
 std::vector<std::uint8_t> truncate_compress(const ArrayView& input,
                                             const TruncateOptions& options);
+
+/// Zero-copy variant: write the sealed container into the caller's reusable
+/// \p out (cleared first, capacity retained across calls).
+void truncate_compress_into(const ArrayView& input, const TruncateOptions& options,
+                            Buffer& out);
 
 /// Reconstruct: kept prefix, dropped bits refilled with the midpoint pattern
 /// (1 followed by zeros) to halve the expected truncation error.

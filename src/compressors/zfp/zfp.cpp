@@ -240,7 +240,7 @@ std::int64_t block_budget(const ZfpOptions& opt, unsigned block_elems, unsigned 
 }
 
 template <typename Scalar>
-std::vector<std::uint8_t> compress_impl(const ArrayView& input, const ZfpOptions& opt) {
+void compress_impl(const ArrayView& input, const ZfpOptions& opt, Buffer& out) {
   using T = Traits<Scalar>;
   using Int = typename T::Int;
   using UInt = typename T::UInt;
@@ -304,7 +304,7 @@ std::vector<std::uint8_t> compress_impl(const ArrayView& input, const ZfpOptions
   const std::vector<std::uint8_t> stream = writer.take();
   payload.insert(payload.end(), stream.begin(), stream.end());
 
-  return seal_container(CompressorId::kZfp, input.dtype(), input.shape(), payload);
+  seal_container_into(CompressorId::kZfp, input.dtype(), input.shape(), payload, out);
 }
 
 template <typename Scalar>
@@ -381,9 +381,17 @@ void validate(const ArrayView& input, const ZfpOptions& opt) {
 }  // namespace
 
 std::vector<std::uint8_t> zfp_compress(const ArrayView& input, const ZfpOptions& options) {
+  Buffer out;
+  zfp_compress_into(input, options, out);
+  return out.to_vector();
+}
+
+void zfp_compress_into(const ArrayView& input, const ZfpOptions& options, Buffer& out) {
   validate(input, options);
-  return input.dtype() == DType::kFloat32 ? compress_impl<float>(input, options)
-                                          : compress_impl<double>(input, options);
+  if (input.dtype() == DType::kFloat32)
+    compress_impl<float>(input, options, out);
+  else
+    compress_impl<double>(input, options, out);
 }
 
 NdArray zfp_decompress(const std::uint8_t* data, std::size_t size) {

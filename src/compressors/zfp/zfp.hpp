@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "ndarray/ndarray.hpp"
+#include "util/buffer.hpp"
 
 namespace fraz {
 
@@ -43,6 +44,10 @@ struct ZfpOptions {
 
 /// Compress \p input (1D/2D/3D) into a sealed container.
 std::vector<std::uint8_t> zfp_compress(const ArrayView& input, const ZfpOptions& options);
+
+/// Zero-copy variant: write the sealed container into the caller's reusable
+/// \p out (cleared first, capacity retained across calls).
+void zfp_compress_into(const ArrayView& input, const ZfpOptions& options, Buffer& out);
 
 /// Decompress a container produced by zfp_compress.
 NdArray zfp_decompress(const std::uint8_t* data, std::size_t size);

@@ -1,15 +1,13 @@
 #include "core/online.hpp"
 
+#include "util/timer.hpp"
+
 namespace fraz {
 
 OnlineTuner::OnlineTuner(const pressio::Compressor& prototype, TunerConfig config)
-    : tuner_(prototype, config) {}
+    : tuner_(prototype, config), archiver_(prototype.clone()) {}
 
-StepOutcome OnlineTuner::push(const ArrayView& frame) {
-  StepOutcome outcome;
-  outcome.result = tuner_.tune_with_prediction(frame, prediction_);
-  outcome.retrained = !outcome.result.from_prediction;
-
+void OnlineTuner::commit(const StepOutcome& outcome) {
   // Algorithm 3's carry rule: only a bound that satisfied the band is worth
   // reusing on the next frame.
   if (outcome.result.feasible) prediction_ = outcome.result.error_bound;
@@ -22,7 +20,69 @@ StepOutcome OnlineTuner::push(const ArrayView& frame) {
   stats_.ratio_ema = stats_.frames == 1
                          ? outcome.result.achieved_ratio
                          : 0.8 * stats_.ratio_ema + 0.2 * outcome.result.achieved_ratio;
+}
+
+StepOutcome OnlineTuner::push(const ArrayView& frame) {
+  StepOutcome outcome;
+  outcome.result = tuner_.tune_with_prediction(frame, prediction_);
+  outcome.retrained = !outcome.result.from_prediction;
+  commit(outcome);
   return outcome;
+}
+
+Status OnlineTuner::push_into(const ArrayView& frame, Buffer& out, StepOutcome* outcome) {
+  try {
+    const TunerConfig& cfg = tuner_.config();
+    bool drift_probe = false;  // warm archive missed the band
+
+    // Warm path: compress at the carried bound and let the archive itself be
+    // the acceptance probe (one compression per in-band frame).  Nothing is
+    // committed until the archive exists, so a failure here leaves the
+    // stream state untouched.
+    if (prediction_ > 0) {
+      Timer timer;
+      WarmArchive warm;
+      const Status s = warm_archive_probe(*archiver_, frame, prediction_, cfg.target_ratio,
+                                          cfg.epsilon, out, warm);
+      if (!s.ok()) return s;
+      if (warm.in_band) {
+        StepOutcome step;
+        step.result.error_bound = prediction_;
+        step.result.achieved_ratio = warm.ratio;
+        step.result.feasible = true;
+        step.result.from_prediction = true;
+        step.result.compress_calls = 1;
+        step.result.seconds = timer.seconds();
+        step.retrained = false;
+        commit(step);
+        if (outcome != nullptr) *outcome = std::move(step);
+        return Status();
+      }
+      drift_probe = true;  // the rare, expensive path: full retraining below
+    }
+
+    StepOutcome step;
+    if (drift_probe) {
+      // The warm archive already measured the carried bound out-of-band, so
+      // train from scratch instead of letting tune_with_prediction re-probe
+      // the identical (deterministic) bound; count the warm archive as the
+      // failed prediction probe it effectively was.
+      step.result = tuner_.tune(frame);
+      step.result.compress_calls += 1;
+      step.retrained = true;
+      commit(step);
+    } else {
+      step = push(frame);
+    }
+    archiver_->set_error_bound(step.result.error_bound);
+    const Status s = archiver_->compress_into(frame, out);
+    if (!s.ok()) return s;
+    ++stats_.total_compress_calls;  // the archive pass itself
+    if (outcome != nullptr) *outcome = std::move(step);
+    return Status();
+  } catch (...) {
+    return status_from_current_exception();
+  }
 }
 
 void OnlineTuner::reset() {

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "core/tuner.hpp"
+#include "util/buffer.hpp"
+#include "util/status.hpp"
 
 namespace fraz {
 
@@ -43,6 +45,16 @@ public:
   /// Returns the per-frame outcome (same shape as the batch API's steps).
   StepOutcome push(const ArrayView& frame);
 
+  /// In-situ fast path: tune (reusing the carried bound) AND produce the
+  /// frame's archive in the caller's reusable \p out — the deliverable a
+  /// streaming deployment actually ships to storage.  On the warm path the
+  /// archive itself is the acceptance probe, so an in-band frame costs
+  /// exactly ONE compression.  Non-throwing.  On a non-ok Status \p out is
+  /// unspecified and no archive was produced; if the failure struck after a
+  /// retrain completed, the stream statistics still count the tuned frame.
+  /// \p outcome (optional) receives the same per-frame detail as push().
+  Status push_into(const ArrayView& frame, Buffer& out, StepOutcome* outcome = nullptr);
+
   /// The bound that will be probed first for the next frame (0 before any
   /// successful frame).
   double carried_bound() const noexcept { return prediction_; }
@@ -54,7 +66,11 @@ public:
   void reset();
 
 private:
+  /// Fold one frame's outcome into the carried bound and statistics.
+  void commit(const StepOutcome& outcome);
+
   Tuner tuner_;
+  pressio::CompressorPtr archiver_;  ///< dedicated clone for push_into archives
   double prediction_ = 0;
   OnlineStats stats_;
 };

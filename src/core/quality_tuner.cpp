@@ -5,16 +5,22 @@
 #include "metrics/error_stats.hpp"
 #include "metrics/ssim.hpp"
 #include "opt/global_search.hpp"
+#include "util/buffer.hpp"
 #include "util/error.hpp"
+#include "util/status.hpp"
 
 namespace fraz {
 
 namespace {
 
+/// One compress+decompress+metric pass through the V2 entry points, reusing
+/// the caller's scratch buffers across evaluations.
 double measure_quality(const pressio::Compressor& compressor, const ArrayView& data,
-                       QualityMetric metric) {
-  const auto compressed = compressor.compress(data);
-  const NdArray decoded = compressor.decompress(compressed.data(), compressed.size());
+                       QualityMetric metric, Buffer& scratch, NdArray& decoded) {
+  Status s = compressor.compress_into(data, scratch);
+  if (!s.ok()) throw_status(s);
+  s = compressor.decompress_into(scratch.data(), scratch.size(), decoded);
+  if (!s.ok()) throw_status(s);
   if (metric == QualityMetric::kPsnrDb) return error_stats(data, decoded.view()).psnr_db;
   return ssim(data, decoded.view());
 }
@@ -42,6 +48,8 @@ QualityTuneResult tune_for_quality(const pressio::Compressor& compressor,
 
   QualityTuneResult result;
   const pressio::CompressorPtr worker = compressor.clone();
+  Buffer scratch;
+  NdArray decoded;
 
   // Quality falls as the bound grows, so the largest acceptable bound sits
   // at the quality ~= floor crossing.  Search log-space for the bound that
@@ -52,15 +60,15 @@ QualityTuneResult tune_for_quality(const pressio::Compressor& compressor,
   auto objective = [&](double x) {
     const double bound = std::exp(x);
     worker->set_error_bound(bound);
-    const double quality = measure_quality(*worker, data, config.metric);
+    const double quality = measure_quality(*worker, data, config.metric, scratch, decoded);
     ++result.evaluations;
     if (quality >= config.quality_floor && bound > best_bound) {
       best_bound = bound;
       best_quality = quality;
-      const auto compressed = worker->compress(data);
-      ++result.evaluations;  // ratio confirmation costs one more pass
+      // The archive from the quality pass is still in scratch; its size IS
+      // the ratio confirmation (no extra compress pass needed).
       best_ratio = static_cast<double>(data.size_bytes()) /
-                   static_cast<double>(compressed.size());
+                   static_cast<double>(scratch.size());
     }
     if (quality < config.quality_floor)
       return (config.quality_floor - quality) / config.quality_floor;  // miss distance

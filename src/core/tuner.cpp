@@ -10,6 +10,7 @@
 #include "opt/global_search.hpp"
 #include "opt/thread_pool.hpp"
 #include "pressio/evaluate.hpp"
+#include "util/buffer.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -27,6 +28,21 @@ std::uint64_t substream(std::uint64_t seed, std::uint64_t index) {
 }
 
 }  // namespace
+
+Status warm_archive_probe(pressio::Compressor& compressor, const ArrayView& data,
+                          double bound, double target_ratio, double epsilon, Buffer& out,
+                          WarmArchive& result) noexcept {
+  try {
+    compressor.set_error_bound(bound);
+  } catch (...) {
+    return status_from_current_exception();
+  }
+  const Status s = compressor.compress_into(data, out);
+  if (!s.ok()) return s;
+  result.ratio = static_cast<double>(data.size_bytes()) / static_cast<double>(out.size());
+  result.in_band = ratio_acceptable(result.ratio, target_ratio, epsilon);
+  return Status();
+}
 
 Tuner::Tuner(const pressio::Compressor& prototype, TunerConfig config)
     : prototype_(prototype.clone()), config_(config) {
@@ -80,11 +96,15 @@ TuneResult Tuner::tune(const ArrayView& data) const {
     }
     const pressio::CompressorPtr compressor = prototype_->clone();
 
+    // One grow-only scratch per region, reused across every probe of this
+    // worker's search: after the first (largest) archive the inner loop
+    // performs no per-iteration output allocation.
+    Buffer scratch;
     double best_dist = std::numeric_limits<double>::infinity();
     auto objective = [&](double x) {
       const double bound = to_bound(x);
       compressor->set_error_bound(bound);
-      const auto probe = pressio::probe_ratio(*compressor, data);
+      const auto probe = pressio::probe_ratio(*compressor, data, scratch);
       ++total_calls;
       ++outcome.compress_calls;
       const double dist = std::abs(probe.ratio - config_.target_ratio);
@@ -154,9 +174,13 @@ TuneResult Tuner::tune_with_prediction(const ArrayView& data, double predicted_b
   // Algorithm 1: when a prediction is available, try it before any training.
   if (predicted_bound > 0) {
     Timer timer;
+    // Cross-call scratch: steady-state series (every step a warm hit) must
+    // not allocate a fresh archive per step.  thread_local keeps the const
+    // API and the clone-per-worker threading model intact.
+    thread_local Buffer scratch;
     const pressio::CompressorPtr compressor = prototype_->clone();
     compressor->set_error_bound(predicted_bound);
-    const auto probe = pressio::probe_ratio(*compressor, data);
+    const auto probe = pressio::probe_ratio(*compressor, data, scratch);
     if (ratio_acceptable(probe.ratio, config_.target_ratio, config_.epsilon)) {
       TuneResult result;
       result.error_bound = predicted_bound;

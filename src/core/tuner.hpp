@@ -34,8 +34,25 @@
 #include "core/regions.hpp"
 #include "ndarray/ndarray.hpp"
 #include "pressio/compressor.hpp"
+#include "util/buffer.hpp"
+#include "util/status.hpp"
 
 namespace fraz {
+
+/// Outcome of one archive-as-probe pass (see warm_archive_probe).
+struct WarmArchive {
+  double ratio = 0;     ///< achieved compression ratio of the archive in `out`
+  bool in_band = false; ///< ratio within the acceptance band of the target
+};
+
+/// Algorithm 3's warm path, shared by Engine::compress and
+/// OnlineTuner::push_into: compress \p data at \p bound into the caller's
+/// reusable \p out and check the achieved ratio against the acceptance band
+/// — the archive itself is the acceptance probe, so an in-band frame costs
+/// exactly one compression.  Non-throwing; on failure \p out is unspecified.
+Status warm_archive_probe(pressio::Compressor& compressor, const ArrayView& data,
+                          double bound, double target_ratio, double epsilon, Buffer& out,
+                          WarmArchive& result) noexcept;
 
 /// Tuning configuration (defaults follow the paper where it states one).
 struct TunerConfig {

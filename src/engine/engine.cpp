@@ -1,0 +1,119 @@
+#include "engine/engine.hpp"
+
+#include "pressio/registry.hpp"
+
+namespace fraz {
+
+Engine::Engine(EngineConfig config)
+    : config_(std::move(config)),
+      compressor_(pressio::registry().create(config_.compressor, config_.compressor_options)) {
+  // Fail construction, not first use, on a nonsensical tuner config: the
+  // Tuner constructor is the validator, so run it once here.
+  (void)Tuner(*compressor_, config_.tuner);
+}
+
+Result<Engine> Engine::create(EngineConfig config) noexcept {
+  try {
+    return Engine(std::move(config));
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<TuneResult> Engine::tune(const std::string& field, const ArrayView& data,
+                                double target_ratio) noexcept {
+  try {
+    TunerConfig cfg = config_.tuner;
+    cfg.target_ratio = target_ratio;
+    const Tuner tuner(*compressor_, cfg);
+
+    const BoundKey key{field, target_ratio};
+    const auto cached = bound_cache_.find(key);
+    const double prediction = cached != bound_cache_.end() ? cached->second : 0.0;
+
+    TuneResult result = tuner.tune_with_prediction(data, prediction);
+    ++stats_.tunes;
+    stats_.tuner_probe_calls += result.compress_calls;
+    if (result.from_prediction)
+      ++stats_.warm_hits;
+    else
+      ++stats_.retrains;
+    // Algorithm 3's carry rule: only a bound that satisfied the acceptance
+    // band is worth warm-starting the next call with.
+    if (result.feasible) bound_cache_[key] = result.error_bound;
+    return result;
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Status Engine::compress(const std::string& field, const ArrayView& data,
+                        Buffer& out) noexcept {
+  // Warm path: compress directly at the cached bound and let that archive
+  // double as the confirmation probe (warm_archive_probe).  Routing through
+  // tune() here would compress twice per steady-state frame — once for the
+  // probe, once for the archive — on identical bytes.
+  const double target = config_.tuner.target_ratio;
+  const BoundKey key{field, target};
+  const auto cached = bound_cache_.find(key);
+  if (cached != bound_cache_.end()) {
+    WarmArchive warm;
+    const Status s = warm_archive_probe(*compressor_, data, cached->second, target,
+                                        config_.tuner.epsilon, out, warm);
+    if (!s.ok()) return s;
+    ++stats_.compress_calls;
+    if (warm.in_band) {
+      ++stats_.tunes;
+      ++stats_.warm_hits;
+      return Status();
+    }
+    // Drift: the cached bound is proven stale — drop it so the retraining
+    // tune() below goes straight to full training instead of re-probing the
+    // very bound this archive just measured out-of-band.
+    bound_cache_.erase(key);
+  }
+  Result<TuneResult> tuned = tune(field, data);
+  if (!tuned.ok()) return tuned.status();
+  return compress_at(tuned.value().error_bound, data, out);
+}
+
+Status Engine::compress_at(double error_bound, const ArrayView& data, Buffer& out) noexcept {
+  try {
+    compressor_->set_error_bound(error_bound);
+  } catch (...) {
+    return status_from_current_exception();
+  }
+  const Status s = compressor_->compress_into(data, out);
+  if (s.ok()) ++stats_.compress_calls;
+  return s;
+}
+
+Result<NdArray> Engine::decompress(const std::uint8_t* data, std::size_t size) noexcept {
+  NdArray out;
+  const Status s = compressor_->decompress_into(data, size, out);
+  if (!s.ok()) return s;
+  ++stats_.decompress_calls;
+  return out;
+}
+
+Result<pressio::FidelityReport> Engine::evaluate(const std::string& field,
+                                                 const ArrayView& data) noexcept {
+  Result<TuneResult> tuned = tune(field, data);
+  if (!tuned.ok()) return tuned.status();
+  try {
+    compressor_->set_error_bound(tuned.value().error_bound);
+    pressio::FidelityReport report = pressio::evaluate_fidelity(*compressor_, data);
+    ++stats_.compress_calls;
+    ++stats_.decompress_calls;
+    return report;
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+double Engine::cached_bound(const std::string& field, double target_ratio) const noexcept {
+  const auto it = bound_cache_.find(BoundKey{field, target_ratio});
+  return it != bound_cache_.end() ? it->second : 0.0;
+}
+
+}  // namespace fraz

@@ -1,0 +1,121 @@
+#ifndef FRAZ_ENGINE_ENGINE_HPP
+#define FRAZ_ENGINE_ENGINE_HPP
+
+/// \file engine.hpp
+/// The fraz::Engine facade: one object that owns the whole fixed-ratio
+/// pipeline — registry-constructed backend, tuner, and a bound cache — so
+/// consumers stop hand-wiring registry + Tuner + metrics for every use.
+///
+/// The cache is the paper's Algorithm 3 time-step reuse promoted into the
+/// API: bounds are keyed by (field, target ratio), and every tune through
+/// the Engine warm-starts from the last feasible bound for that key.  A
+/// climate campaign that calls `compress("CLOUD", step_t)` per time step
+/// pays full training once and a single confirmation probe afterwards.
+///
+/// All entry points are non-throwing (Status / Result), matching the
+/// CompressorV2 contract — an Engine is what a long-running service embeds,
+/// and a service treats failure as data, not as control flow.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "core/tuner.hpp"
+#include "pressio/compressor.hpp"
+#include "pressio/evaluate.hpp"
+#include "util/buffer.hpp"
+#include "util/status.hpp"
+
+namespace fraz {
+
+/// Construction-time configuration of an Engine.
+struct EngineConfig {
+  /// Registered backend name ("sz", "zfp", "mgard", "truncate", or a
+  /// user-registered plugin).
+  std::string compressor = "sz";
+  /// Applied to the backend at construction (Registry::create(name, opts)).
+  pressio::Options compressor_options;
+  /// Tuning knobs; tuner.target_ratio is the default target for requests
+  /// that do not name one.
+  TunerConfig tuner;
+};
+
+/// Aggregate counters of one Engine's lifetime.
+struct EngineStats {
+  std::size_t tunes = 0;            ///< tune() / compress() tuning passes
+  std::size_t warm_hits = 0;        ///< satisfied by the cached bound alone
+  std::size_t retrains = 0;         ///< fell back to full training
+  std::size_t compress_calls = 0;   ///< archive-producing compressions
+  std::size_t decompress_calls = 0;
+  int tuner_probe_calls = 0;        ///< compressor probes spent inside tuning
+};
+
+/// Facade over registry + tuner + bound cache.  Not thread-safe; give each
+/// worker its own Engine (construction is cheap, the cache is the only
+/// state worth sharing and can be rebuilt from one probe per field).
+class Engine {
+public:
+  /// Non-throwing factory: unknown backend names or invalid options come
+  /// back as a Status.
+  static Result<Engine> create(EngineConfig config) noexcept;
+
+  /// Throwing convenience constructor (setup code, tests).
+  explicit Engine(EngineConfig config);
+
+  const EngineConfig& config() const noexcept { return config_; }
+  const std::string& compressor_name() const noexcept { return config_.compressor; }
+
+  /// Introspection of the owned backend.
+  pressio::Capabilities capabilities() const { return compressor_->capabilities(); }
+
+  /// Find the error bound for \p data at the config's default target ratio,
+  /// warm-starting from the cache entry for \p field.
+  Result<TuneResult> tune(const std::string& field, const ArrayView& data) noexcept {
+    return tune(field, data, config_.tuner.target_ratio);
+  }
+
+  /// Same, at an explicit target ratio (cached separately per target).
+  Result<TuneResult> tune(const std::string& field, const ArrayView& data,
+                          double target_ratio) noexcept;
+
+  /// Tune (cached) then compress \p data into the caller's reusable \p out.
+  /// On the warm path the archive itself is the acceptance probe, so an
+  /// in-band frame costs exactly one compression; retraining happens only
+  /// when the cached bound's achieved ratio drifts out of the band.
+  Status compress(const std::string& field, const ArrayView& data, Buffer& out) noexcept;
+
+  /// Compress at an explicit error bound, bypassing tuning and cache.
+  Status compress_at(double error_bound, const ArrayView& data, Buffer& out) noexcept;
+
+  /// Decompress an archive produced by this Engine's backend.
+  Result<NdArray> decompress(const std::uint8_t* data, std::size_t size) noexcept;
+
+  /// Tune (cached) then run the full fidelity evaluation at the tuned bound.
+  Result<pressio::FidelityReport> evaluate(const std::string& field,
+                                           const ArrayView& data) noexcept;
+
+  /// Last feasible bound cached for (field, default target); 0 when none.
+  double cached_bound(const std::string& field) const noexcept {
+    return cached_bound(field, config_.tuner.target_ratio);
+  }
+  double cached_bound(const std::string& field, double target_ratio) const noexcept;
+
+  /// Drop every cached bound (e.g. at a simulation restart).
+  void clear_cache() noexcept { bound_cache_.clear(); }
+
+  const EngineStats& stats() const noexcept { return stats_; }
+
+private:
+  /// Cache key: field identity x target ratio.
+  using BoundKey = std::pair<std::string, double>;
+
+  EngineConfig config_;
+  pressio::CompressorPtr compressor_;
+  std::map<BoundKey, double> bound_cache_;  ///< last feasible bound per key
+  EngineStats stats_;
+};
+
+}  // namespace fraz
+
+#endif  // FRAZ_ENGINE_ENGINE_HPP

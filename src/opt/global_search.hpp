@@ -22,6 +22,7 @@
 /// Every random draw comes from a seeded xoshiro generator, so results are
 /// bit-reproducible for a given seed.
 
+#include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>

@@ -10,12 +10,18 @@
 namespace fraz::pressio {
 
 RatioProbe probe_ratio(const Compressor& compressor, const ArrayView& input) {
+  Buffer scratch;
+  return probe_ratio(compressor, input, scratch);
+}
+
+RatioProbe probe_ratio(const Compressor& compressor, const ArrayView& input, Buffer& scratch) {
   RatioProbe r;
   r.input_bytes = input.size_bytes();
   Timer timer;
-  const auto compressed = compressor.compress(input);
+  const Status s = compressor.compress_into(input, scratch);
   r.seconds = timer.seconds();
-  r.compressed_bytes = compressed.size();
+  if (!s.ok()) throw_status(s);
+  r.compressed_bytes = scratch.size();
   r.ratio = compression_ratio(r.input_bytes, r.compressed_bytes);
   r.bit_rate = bit_rate(input.elements(), r.compressed_bytes);
   return r;
@@ -25,16 +31,20 @@ FidelityReport evaluate_fidelity(const Compressor& compressor, const ArrayView& 
   FidelityReport report;
   report.probe.input_bytes = input.size_bytes();
 
+  Buffer compressed;
   Timer timer;
-  const auto compressed = compressor.compress(input);
+  Status s = compressor.compress_into(input, compressed);
   report.probe.seconds = timer.seconds();
+  if (!s.ok()) throw_status(s);
   report.probe.compressed_bytes = compressed.size();
   report.probe.ratio = compression_ratio(report.probe.input_bytes, compressed.size());
   report.probe.bit_rate = bit_rate(input.elements(), compressed.size());
 
   timer.reset();
-  const NdArray decoded = compressor.decompress(compressed.data(), compressed.size());
+  NdArray decoded;
+  s = compressor.decompress_into(compressed.data(), compressed.size(), decoded);
   report.seconds_decompress = timer.seconds();
+  if (!s.ok()) throw_status(s);
 
   const ErrorStats stats = error_stats(input, decoded.view());
   report.psnr_db = stats.psnr_db;

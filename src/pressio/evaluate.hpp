@@ -22,6 +22,11 @@ struct RatioProbe {
 /// Compress once at the compressor's current settings and report the ratio.
 RatioProbe probe_ratio(const Compressor& compressor, const ArrayView& input);
 
+/// Hot-path variant for repeated probing (the tuner's inner loop): compress
+/// into the caller's reusable \p scratch, so the steady state performs no
+/// per-call output allocation.  Throws on compression failure.
+RatioProbe probe_ratio(const Compressor& compressor, const ArrayView& input, Buffer& scratch);
+
 /// Full quality evaluation (compress + decompress + metrics).
 struct FidelityReport {
   RatioProbe probe;

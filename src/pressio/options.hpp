@@ -8,9 +8,12 @@
 /// updates, which is what lets FRaZ drive heterogeneous compressors through
 /// one code path.
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
+#include <type_traits>
 #include <variant>
 #include <vector>
 
@@ -20,6 +23,54 @@ namespace fraz::pressio {
 
 /// The value types an option can carry.
 using OptionValue = std::variant<bool, std::int64_t, double, std::string>;
+
+namespace detail {
+/// True when T is exactly one of the variant alternatives.
+template <typename T>
+inline constexpr bool is_option_alternative =
+    std::is_same_v<T, bool> || std::is_same_v<T, std::int64_t> ||
+    std::is_same_v<T, double> || std::is_same_v<T, std::string>;
+
+/// True when reads of T may coerce across the numeric alternatives.  bool is
+/// deliberately excluded: flags and numbers are different kinds of options.
+template <typename T>
+inline constexpr bool is_coercible_numeric =
+    std::is_arithmetic_v<T> && !std::is_same_v<T, bool>;
+
+/// True when the numeric value \p v fits T exactly enough to coerce: within
+/// T's range, and integral-valued when T is an integer type.  Guards the
+/// static_cast so narrowing never wraps and double->int never hits UB.
+template <typename T, typename From>
+bool fits(From v) noexcept {
+  if constexpr (std::is_integral_v<T>) {
+    if constexpr (std::is_floating_point_v<From>) {
+      if (std::nearbyint(v) != v) return false;
+      // [min, max+1) in double: both ends are powers of two (or zero), hence
+      // exactly representable for every integer width — unlike max itself,
+      // which rounds up for 64-bit types and would admit an overflow.
+      return v >= static_cast<double>(std::numeric_limits<T>::min()) &&
+             v < std::ldexp(1.0, std::numeric_limits<T>::digits);
+    } else {
+      if constexpr (std::is_signed_v<T>) {
+        return v >= static_cast<From>(std::numeric_limits<T>::min()) &&
+               v <= static_cast<From>(std::numeric_limits<T>::max());
+      } else {
+        return v >= 0 && static_cast<std::uint64_t>(v) <=
+                             static_cast<std::uint64_t>(std::numeric_limits<T>::max());
+      }
+    }
+  } else {
+    if constexpr (std::is_same_v<T, float> && std::is_floating_point_v<From>) {
+      // double -> float of a finite value beyond float's range is UB, not
+      // infinity; non-finite values convert safely.
+      return !std::isfinite(v) || (v >= -static_cast<From>(std::numeric_limits<T>::max()) &&
+                                   v <= static_cast<From>(std::numeric_limits<T>::max()));
+    }
+    (void)v;
+    return true;  // int64 -> float/double: may lose precision, never UB
+  }
+}
+}  // namespace detail
 
 /// Ordered option map with type-checked access.
 class Options {
@@ -35,13 +86,34 @@ public:
   bool contains(const std::string& key) const { return values_.count(key) != 0; }
 
   /// Typed read; throws InvalidArgument on missing key or wrong type.
+  ///
+  /// Numeric reads coerce between the stored int64_t and double
+  /// representations (and to narrower arithmetic types such as int), so
+  /// `opts.get<int>("regions")` and `opts.get<double>("level")` both work
+  /// regardless of which numeric alternative a caller stored.  A double is
+  /// only coerced to an integer type when it holds an exact integer value.
   template <typename T>
   T get(const std::string& key) const {
+    static_assert(detail::is_option_alternative<T> || detail::is_coercible_numeric<T>,
+                  "Options::get: unsupported value type");
     auto it = values_.find(key);
     require(it != values_.end(), "Options: missing key '" + key + "'");
-    const T* v = std::get_if<T>(&it->second);
-    require(v != nullptr, "Options: wrong type for key '" + key + "'");
-    return *v;
+    if constexpr (detail::is_option_alternative<T>) {
+      if (const T* v = std::get_if<T>(&it->second)) return *v;
+    }
+    if constexpr (detail::is_coercible_numeric<T>) {
+      if (const auto* i = std::get_if<std::int64_t>(&it->second)) {
+        require(detail::fits<T>(*i),
+                "Options: key '" + key + "' is out of range for the requested type");
+        return static_cast<T>(*i);
+      }
+      if (const auto* d = std::get_if<double>(&it->second)) {
+        require(detail::fits<T>(*d),
+                "Options: key '" + key + "' does not fit the requested type exactly");
+        return static_cast<T>(*d);
+      }
+    }
+    throw InvalidArgument("Options: wrong type for key '" + key + "'");
   }
 
   /// Typed read with fallback when the key is absent (still type-checked when

@@ -17,10 +17,30 @@ namespace fraz::pressio {
 
 namespace {
 
+/// Shared implementation of the non-throwing V2 entry points: every built-in
+/// backend funnels its (validating, throwing) codec through these bridges.
+template <typename Fn>
+Status guarded(Fn&& fn) noexcept {
+  try {
+    fn();
+    return Status();
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
 // ---------------------------------------------------------------- SZ plugin
 class SzPlugin final : public Compressor {
 public:
   std::string name() const override { return "sz"; }
+
+  Capabilities capabilities() const override {
+    Capabilities c;
+    c.name = "sz";
+    c.min_dims = 1;
+    c.max_dims = 3;
+    return c;
+  }
 
   Options get_options() const override {
     return Options{{"sz:error_bound", opt_.error_bound}, {"sz:regression", opt_.regression}};
@@ -42,14 +62,13 @@ public:
   }
   double error_bound() const override { return opt_.error_bound; }
 
-  bool supports_dims(std::size_t dims) const override { return dims >= 1 && dims <= 3; }
-
-  std::vector<std::uint8_t> compress(const ArrayView& input) const override {
-    return sz_compress(input, opt_);
+  Status compress_into(const ArrayView& input, Buffer& out) const noexcept override {
+    return guarded([&] { sz_compress_into(input, opt_, out); });
   }
 
-  NdArray decompress(const std::uint8_t* data, std::size_t size) const override {
-    return sz_decompress(data, size);
+  Status decompress_into(const std::uint8_t* data, std::size_t size,
+                         NdArray& out) const noexcept override {
+    return guarded([&] { out = sz_decompress(data, size); });
   }
 
   CompressorPtr clone() const override { return std::make_unique<SzPlugin>(*this); }
@@ -62,6 +81,17 @@ private:
 class ZfpPlugin final : public Compressor {
 public:
   std::string name() const override { return "zfp"; }
+
+  Capabilities capabilities() const override {
+    Capabilities c;
+    c.name = "zfp";
+    c.min_dims = 1;
+    c.max_dims = 3;
+    // Fixed-rate mode bounds the *rate*, not the pointwise error; only the
+    // accuracy mode (which FRaZ tunes) is error-bounded.
+    c.error_bounded = opt_.mode == ZfpMode::kAccuracy;
+    return c;
+  }
 
   Options get_options() const override {
     return Options{
@@ -100,14 +130,13 @@ public:
   }
   double error_bound() const override { return opt_.tolerance; }
 
-  bool supports_dims(std::size_t dims) const override { return dims >= 1 && dims <= 3; }
-
-  std::vector<std::uint8_t> compress(const ArrayView& input) const override {
-    return zfp_compress(input, opt_);
+  Status compress_into(const ArrayView& input, Buffer& out) const noexcept override {
+    return guarded([&] { zfp_compress_into(input, opt_, out); });
   }
 
-  NdArray decompress(const std::uint8_t* data, std::size_t size) const override {
-    return zfp_decompress(data, size);
+  Status decompress_into(const std::uint8_t* data, std::size_t size,
+                         NdArray& out) const noexcept override {
+    return guarded([&] { out = zfp_decompress(data, size); });
   }
 
   CompressorPtr clone() const override { return std::make_unique<ZfpPlugin>(*this); }
@@ -120,6 +149,17 @@ private:
 class MgardPlugin final : public Compressor {
 public:
   std::string name() const override { return "mgard"; }
+
+  Capabilities capabilities() const override {
+    Capabilities c;
+    c.name = "mgard";
+    // The paper excludes MGARD from 1D (HACC/EXAALT) data.
+    c.min_dims = 2;
+    c.max_dims = 3;
+    // The L2 mode targets mean squared error, not a pointwise bound.
+    c.error_bounded = opt_.norm == MgardNorm::kInfinity;
+    return c;
+  }
 
   Options get_options() const override {
     return Options{
@@ -150,14 +190,13 @@ public:
   }
   double error_bound() const override { return opt_.tolerance; }
 
-  bool supports_dims(std::size_t dims) const override { return dims == 2 || dims == 3; }
-
-  std::vector<std::uint8_t> compress(const ArrayView& input) const override {
-    return mgard_compress(input, opt_);
+  Status compress_into(const ArrayView& input, Buffer& out) const noexcept override {
+    return guarded([&] { mgard_compress_into(input, opt_, out); });
   }
 
-  NdArray decompress(const std::uint8_t* data, std::size_t size) const override {
-    return mgard_decompress(data, size);
+  Status decompress_into(const std::uint8_t* data, std::size_t size,
+                         NdArray& out) const noexcept override {
+    return guarded([&] { out = mgard_decompress(data, size); });
   }
 
   CompressorPtr clone() const override { return std::make_unique<MgardPlugin>(*this); }
@@ -176,6 +215,17 @@ private:
 class TruncatePlugin final : public Compressor {
 public:
   std::string name() const override { return "truncate"; }
+
+  Capabilities capabilities() const override {
+    Capabilities c;
+    c.name = "truncate";
+    c.min_dims = 1;
+    c.max_dims = 3;
+    // The bound->bits mapping is conservative, but with explicitly fixed
+    // bits the coder offers no error control at all (the paper's strawman).
+    c.error_bounded = fixed_bits_ == 0;
+    return c;
+  }
 
   Options get_options() const override {
     return Options{{"truncate:bits", static_cast<std::int64_t>(fixed_bits_)},
@@ -202,16 +252,17 @@ public:
   }
   double error_bound() const override { return bound_; }
 
-  bool supports_dims(std::size_t dims) const override { return dims >= 1 && dims <= 3; }
-
-  std::vector<std::uint8_t> compress(const ArrayView& input) const override {
-    TruncateOptions opt;
-    opt.bits = fixed_bits_ != 0 ? fixed_bits_ : bits_for_bound(input);
-    return truncate_compress(input, opt);
+  Status compress_into(const ArrayView& input, Buffer& out) const noexcept override {
+    return guarded([&] {
+      TruncateOptions opt;
+      opt.bits = fixed_bits_ != 0 ? fixed_bits_ : bits_for_bound(input);
+      truncate_compress_into(input, opt, out);
+    });
   }
 
-  NdArray decompress(const std::uint8_t* data, std::size_t size) const override {
-    return truncate_decompress(data, size);
+  Status decompress_into(const std::uint8_t* data, std::size_t size,
+                         NdArray& out) const noexcept override {
+    return guarded([&] { out = truncate_decompress(data, size); });
   }
 
   CompressorPtr clone() const override { return std::make_unique<TruncatePlugin>(*this); }
@@ -244,6 +295,21 @@ CompressorPtr Registry::create(const std::string& name) const {
   auto it = factories_.find(name);
   if (it == factories_.end()) throw Unsupported("Registry: unknown compressor '" + name + "'");
   return it->second();
+}
+
+CompressorPtr Registry::create(const std::string& name, const Options& options) const {
+  CompressorPtr c = create(name);
+  c->set_options(options);
+  return c;
+}
+
+Result<CompressorPtr> Registry::try_create(const std::string& name,
+                                           const Options& options) const noexcept {
+  try {
+    return create(name, options);
+  } catch (...) {
+    return status_from_current_exception();
+  }
 }
 
 bool Registry::contains(const std::string& name) const { return factories_.count(name) != 0; }

@@ -26,6 +26,16 @@ public:
   /// Instantiate a fresh compressor; throws Unsupported for unknown names.
   CompressorPtr create(const std::string& name) const;
 
+  /// Config-driven construction: instantiate and apply \p options in one
+  /// step.  Throws Unsupported for unknown names and whatever set_options
+  /// raises for invalid option values.
+  CompressorPtr create(const std::string& name, const Options& options) const;
+
+  /// Non-throwing construction for service paths: unknown names and invalid
+  /// options come back as a Status instead of an exception.
+  Result<CompressorPtr> try_create(const std::string& name,
+                                   const Options& options = {}) const noexcept;
+
   /// True when \p name is registered.
   bool contains(const std::string& name) const;
 

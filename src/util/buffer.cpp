@@ -1,0 +1,38 @@
+#include "util/buffer.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace fraz {
+
+void Buffer::reserve(std::size_t n) {
+  if (n <= capacity_) return;
+  // Geometric growth amortizes repeated small appends; the max() keeps a
+  // single large resize from over-allocating beyond the request.
+  const std::size_t grown = std::max(n, capacity_ + capacity_ / 2 + 64);
+  auto* next = new std::uint8_t[grown];
+  if (size_ != 0) std::memcpy(next, data_, size_);
+  delete[] data_;
+  data_ = next;
+  capacity_ = grown;
+  ++allocations_;
+}
+
+void Buffer::append(const void* src, std::size_t n) {
+  if (n == 0) return;
+  reserve(size_ + n);
+  std::memcpy(data_ + size_, src, n);
+  size_ += n;
+}
+
+void Buffer::swap(Buffer& other) noexcept {
+  std::swap(data_, other.data_);
+  std::swap(size_, other.size_);
+  std::swap(capacity_, other.capacity_);
+  std::swap(allocations_, other.allocations_);
+}
+
+Buffer::~Buffer() { delete[] data_; }
+
+}  // namespace fraz

@@ -142,7 +142,9 @@ TEST_P(FieldSweep, TemporalDriftIsGradual) {
     any_change = any_change || t0.at_flat(i) != t1.at_flat(i);
   }
   EXPECT_TRUE(any_change);
-  if (norm > 0) EXPECT_LT(diff / norm, 1.5) << "steps decorrelate too fast";
+  if (norm > 0) {
+    EXPECT_LT(diff / norm, 1.5) << "steps decorrelate too fast";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

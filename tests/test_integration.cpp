@@ -97,7 +97,9 @@ TEST_P(TunerContractSweep, ResultsReproduceExactly) {
   const double ratio =
       static_cast<double>(field.size_bytes()) / static_cast<double>(archive.size());
   EXPECT_NEAR(ratio, r.achieved_ratio, 1e-9);
-  if (r.feasible) EXPECT_TRUE(ratio_acceptable(ratio, target, cfg.epsilon));
+  if (r.feasible) {
+    EXPECT_TRUE(ratio_acceptable(ratio, target, cfg.epsilon));
+  }
 
   // And the archive must decode within the bound.
   const NdArray decoded = compressor->decompress(archive);

@@ -46,7 +46,9 @@ TEST(MgardHierarchy, AxisLevelIsFirstMembership) {
   for (std::size_t i = 0; i < n; ++i) {
     const unsigned l = axis_level(i, n, levels);
     EXPECT_TRUE(on_axis_level(i, n, l, levels));
-    if (l > 0) EXPECT_FALSE(on_axis_level(i, n, l - 1, levels));
+    if (l > 0) {
+      EXPECT_FALSE(on_axis_level(i, n, l - 1, levels));
+    }
   }
 }
 

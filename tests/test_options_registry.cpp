@@ -32,9 +32,34 @@ TEST(Options, MissingKeyThrows) {
 }
 
 TEST(Options, WrongTypeThrows) {
+  // Coercion is numeric-only: strings and bools never cross kinds.
   Options o;
-  o.set("x", 1.0);
+  o.set("x", std::string("12"));
+  o.set("flag", true);
   EXPECT_THROW(o.get<std::int64_t>("x"), InvalidArgument);
+  EXPECT_THROW(o.get<double>("flag"), InvalidArgument);
+  o.set("n", 1.0);
+  EXPECT_THROW(o.get<bool>("n"), InvalidArgument);
+  EXPECT_THROW(o.get<std::string>("n"), InvalidArgument);
+}
+
+TEST(Options, NumericCoercion) {
+  // The integer footgun: values stored as int64_t must be readable through
+  // any arithmetic type, and vice versa for integral doubles.
+  Options o;
+  o.set("regions", std::int64_t{12});
+  o.set("level", 3.0);
+  o.set("ratio", 2.5);
+  EXPECT_EQ(o.get<int>("regions"), 12);
+  EXPECT_EQ(o.get<unsigned>("regions"), 12u);
+  EXPECT_DOUBLE_EQ(o.get<double>("regions"), 12.0);
+  EXPECT_EQ(o.get<std::int64_t>("level"), 3);
+  EXPECT_DOUBLE_EQ(o.get<float>("ratio"), 2.5f);
+  // A fractional double refuses to masquerade as an integer.
+  EXPECT_THROW(o.get<std::int64_t>("ratio"), InvalidArgument);
+  // get_or coerces the same way when the key exists.
+  EXPECT_EQ(o.get_or<int>("regions", 99), 12);
+  EXPECT_EQ(o.get_or<int>("absent", 99), 99);
 }
 
 TEST(Options, GetOrFallsBack) {

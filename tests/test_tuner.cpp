@@ -220,9 +220,11 @@ TEST(Tuner, SeriesEveryFeasibleStepInBand) {
   auto compressor = pressio::registry().create("zfp");
   const Tuner tuner(*compressor, fast_config(6.0));
   const SeriesResult series = tuner.tune_series(views);
-  for (const auto& s : series.steps)
-    if (s.result.feasible)
+  for (const auto& s : series.steps) {
+    if (s.result.feasible) {
       EXPECT_TRUE(ratio_acceptable(s.result.achieved_ratio, 6.0, 0.1));
+    }
+  }
 }
 
 TEST(Tuner, EmptySeriesThrows) {

@@ -8,7 +8,12 @@
 ///   compress    compress a raw binary file at a given bound (or tune first)
 ///   decompress  reconstruct a raw binary file from a .fraz archive
 ///   inspect     print header metadata of a .fraz archive
-///   backends    list registered compressor backends
+///   backends    list registered backends with their capabilities
+///               (--json emits machine-readable capability records)
+///
+/// tune/compress/decompress run through the fraz::Engine facade — the same
+/// object a service embeds — so the CLI exercises the supported API surface
+/// instead of hand-wiring registry + tuner.
 ///
 /// Raw files are flat little-endian scalar dumps (the SDRBench layout);
 /// shape and dtype come from --dims / --dtype, exactly as the benchmark
@@ -30,10 +35,12 @@
 #include "core/quality_tuner.hpp"
 #include "core/serialize.hpp"
 #include "core/tuner.hpp"
+#include "engine/engine.hpp"
 #include "metrics/error_stats.hpp"
 #include "ndarray/io.hpp"
 #include "pressio/evaluate.hpp"
 #include "pressio/registry.hpp"
+#include "util/buffer.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 
@@ -70,20 +77,84 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
   return bytes;
 }
 
-void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+void write_file(const std::string& path, const std::uint8_t* data, std::size_t size) {
   std::ofstream os(path, std::ios::binary);
   if (!os) throw IoError("cannot open '" + path + "' for writing");
-  os.write(reinterpret_cast<const char*>(bytes.data()),
-           static_cast<std::streamsize>(bytes.size()));
+  os.write(reinterpret_cast<const char*>(data), static_cast<std::streamsize>(size));
   if (!os) throw IoError("write failed for '" + path + "'");
 }
 
-int cmd_backends() {
+/// Shared Engine construction from the common flags.
+Engine make_engine(const Cli& cli) {
+  EngineConfig config;
+  config.compressor = cli.get_string("compressor");
+  config.tuner.target_ratio = cli.get_double("target");
+  config.tuner.epsilon = cli.get_double("epsilon");
+  config.tuner.max_error_bound = cli.get_double("max-bound");
+  config.tuner.regions = static_cast<int>(cli.get_int("regions"));
+  config.tuner.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  auto engine = Engine::create(std::move(config));
+  if (!engine.ok()) throw_status(engine.status());
+  return std::move(engine).value();
+}
+
+/// Render one backend's capability record as a JSON object.
+std::string capabilities_json(const pressio::Compressor& c) {
+  const pressio::Capabilities caps = c.capabilities();
+  std::string out = "{";
+  out += "\"name\":" + json_escape(caps.name);
+  out += ",\"version\":" + json_escape(caps.version);
+  out += ",\"min_dims\":" + std::to_string(caps.min_dims);
+  out += ",\"max_dims\":" + std::to_string(caps.max_dims);
+  out += std::string(",\"f32\":") + (caps.supports_f32 ? "true" : "false");
+  out += std::string(",\"f64\":") + (caps.supports_f64 ? "true" : "false");
+  out += std::string(",\"thread_safe\":") + (caps.thread_safe ? "true" : "false");
+  out += std::string(",\"deterministic\":") + (caps.deterministic ? "true" : "false");
+  out += std::string(",\"error_bounded\":") + (caps.error_bounded ? "true" : "false");
+  out += ",\"options\":[";
+  bool first = true;
+  for (const auto& key : c.get_options().keys()) {
+    if (!first) out += ",";
+    out += json_escape(key);
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+int cmd_backends(int argc, const char* const* argv) {
+  Cli cli("fraz backends");
+  cli.add_flag("json", "emit capability records as a JSON array");
+  if (!cli.parse(argc, argv)) return 0;
+
+  if (cli.get_flag("json")) {
+    std::string out = "[";
+    bool first = true;
+    for (const auto& name : pressio::registry().names()) {
+      if (!first) out += ",";
+      out += capabilities_json(*pressio::registry().create(name));
+      first = false;
+    }
+    out += "]";
+    std::printf("%s\n", out.c_str());
+    return 0;
+  }
+
+  std::printf("%-10s %-8s %-6s %-5s %-5s %-12s %-14s %s\n", "backend", "version", "dims",
+              "f32", "f64", "error_bound", "deterministic", "options");
   for (const auto& name : pressio::registry().names()) {
     auto c = pressio::registry().create(name);
-    std::printf("%-10s options:", name.c_str());
-    for (const auto& key : c->get_options().keys()) std::printf(" %s", key.c_str());
-    std::printf("\n");
+    const pressio::Capabilities caps = c->capabilities();
+    std::string options;
+    for (const auto& key : c->get_options().keys()) {
+      if (!options.empty()) options += " ";
+      options += key;
+    }
+    std::printf("%-10s %-8s %zu..%zu   %-5s %-5s %-12s %-14s %s\n", caps.name.c_str(),
+                caps.version.c_str(), caps.min_dims, caps.max_dims,
+                caps.supports_f32 ? "yes" : "no", caps.supports_f64 ? "yes" : "no",
+                caps.error_bounded ? "yes" : "no", caps.deterministic ? "yes" : "no",
+                options.c_str());
   }
   return 0;
 }
@@ -92,22 +163,17 @@ int cmd_tune(const Cli& cli) {
   const NdArray field = read_raw(cli.get_string("input"),
                                  dtype_from_name(cli.get_string("dtype")),
                                  parse_dims(cli.get_string("dims")));
-  auto compressor = pressio::registry().create(cli.get_string("compressor"));
-
-  TunerConfig config;
-  config.target_ratio = cli.get_double("target");
-  config.epsilon = cli.get_double("epsilon");
-  config.max_error_bound = cli.get_double("max-bound");
-  config.regions = static_cast<int>(cli.get_int("regions"));
-  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  const Tuner tuner(*compressor, config);
-  const TuneResult r = tuner.tune(field.view());
+  Engine engine = make_engine(cli);
+  const auto tuned = engine.tune(cli.get_string("input"), field.view());
+  if (!tuned.ok()) throw_status(tuned.status());
+  const TuneResult& r = tuned.value();
 
   if (cli.get_flag("json")) {
     std::printf("%s\n", to_json(r).c_str());
   } else {
-    std::printf("compressor      %s\n", compressor->name().c_str());
-    std::printf("target ratio    %.3f (epsilon %.3f)\n", config.target_ratio, config.epsilon);
+    std::printf("compressor      %s\n", engine.compressor_name().c_str());
+    std::printf("target ratio    %.3f (epsilon %.3f)\n", engine.config().tuner.target_ratio,
+                engine.config().tuner.epsilon);
     std::printf("error bound     %.9g\n", r.error_bound);
     std::printf("achieved ratio  %.3f\n", r.achieved_ratio);
     std::printf("feasible        %s\n", r.feasible ? "yes" : "no (closest reported)");
@@ -149,28 +215,30 @@ int cmd_compress(const Cli& cli) {
   const NdArray field = read_raw(cli.get_string("input"),
                                  dtype_from_name(cli.get_string("dtype")),
                                  parse_dims(cli.get_string("dims")));
-  auto compressor = pressio::registry().create(cli.get_string("compressor"));
+  Engine engine = make_engine(cli);
 
   double bound = cli.get_double("bound");
-  if (bound <= 0) {
-    // No explicit bound: tune for the target ratio first.
-    TunerConfig config;
-    config.target_ratio = cli.get_double("target");
-    config.epsilon = cli.get_double("epsilon");
-    config.max_error_bound = cli.get_double("max-bound");
-    const Tuner tuner(*compressor, config);
-    const TuneResult r = tuner.tune(field.view());
-    bound = r.error_bound;
-    std::printf("tuned bound %.9g (ratio %.3f, %s)\n", bound, r.achieved_ratio,
-                r.feasible ? "in band" : "closest");
+  Buffer archive;
+  if (bound > 0) {
+    const Status s = engine.compress_at(bound, field.view(), archive);
+    if (!s.ok()) throw_status(s);
+  } else {
+    // No explicit bound: tune for the target ratio first (cached inside the
+    // Engine, so repeated invocations in one process warm-start).
+    const auto tuned = engine.tune(cli.get_string("input"), field.view());
+    if (!tuned.ok()) throw_status(tuned.status());
+    bound = tuned.value().error_bound;
+    std::printf("tuned bound %.9g (ratio %.3f, %s)\n", bound,
+                tuned.value().achieved_ratio, tuned.value().feasible ? "in band" : "closest");
+    const Status s = engine.compress_at(bound, field.view(), archive);
+    if (!s.ok()) throw_status(s);
   }
-  compressor->set_error_bound(bound);
-  const auto archive = compressor->compress(field.view());
-  write_file(cli.get_string("output"), archive);
+  write_file(cli.get_string("output"), archive.data(), archive.size());
 
   if (cli.get_flag("verify")) {
-    const NdArray decoded = compressor->decompress(archive.data(), archive.size());
-    const ErrorStats stats = error_stats(field.view(), decoded.view());
+    const auto decoded = engine.decompress(archive.data(), archive.size());
+    if (!decoded.ok()) throw_status(decoded.status());
+    const ErrorStats stats = error_stats(field.view(), decoded.value().view());
     std::printf("verify: max error %.6g (bound %.6g) psnr %.1f dB\n", stats.max_abs_error,
                 bound, stats.psnr_db);
     require(stats.max_abs_error <= bound, "bound violated — archive NOT trustworthy");
@@ -183,35 +251,35 @@ int cmd_compress(const Cli& cli) {
 
 int cmd_decompress(const Cli& cli) {
   const auto archive = read_file(cli.get_string("input"));
-  auto compressor = pressio::registry().create(cli.get_string("compressor"));
-  const NdArray decoded = compressor->decompress(archive.data(), archive.size());
-  write_raw(cli.get_string("output"), decoded.view());
+  Engine engine = make_engine(cli);
+  const auto decoded = engine.decompress(archive.data(), archive.size());
+  if (!decoded.ok()) throw_status(decoded.status());
+  write_raw(cli.get_string("output"), decoded.value().view());
   std::printf("wrote %s: %zu values (%s", cli.get_string("output").c_str(),
-              decoded.elements(), dtype_name(decoded.dtype()).c_str());
-  for (std::size_t d : decoded.shape()) std::printf(" x%zu", d);
+              decoded.value().elements(), dtype_name(decoded.value().dtype()).c_str());
+  for (std::size_t d : decoded.value().shape()) std::printf(" x%zu", d);
   std::printf(")\n");
   return 0;
 }
 
 int cmd_inspect(const Cli& cli) {
   const auto archive = read_file(cli.get_string("input"));
-  // Try every registered backend until one accepts the container.
+  // Probe every registered backend; the V2 Status API makes "produced by a
+  // different backend" an ordinary value instead of exception control flow.
   for (const auto& name : pressio::registry().names()) {
     auto compressor = pressio::registry().create(name);
-    try {
-      const NdArray decoded = compressor->decompress(archive.data(), archive.size());
-      std::printf("compressor  %s\n", name.c_str());
-      std::printf("dtype       %s\n", dtype_name(decoded.dtype()).c_str());
-      std::printf("shape      ");
-      for (std::size_t d : decoded.shape()) std::printf(" %zu", d);
-      std::printf("\nvalues      %zu\n", decoded.elements());
-      std::printf("ratio       %.3f\n",
-                  static_cast<double>(decoded.size_bytes()) /
-                      static_cast<double>(archive.size()));
-      return 0;
-    } catch (const Unsupported&) {
-      continue;  // produced by a different backend
-    }
+    NdArray decoded;
+    const Status s = compressor->decompress_into(archive.data(), archive.size(), decoded);
+    if (s.code() == StatusCode::kUnsupported) continue;  // different backend
+    if (!s.ok()) throw_status(s);
+    std::printf("compressor  %s\n", name.c_str());
+    std::printf("dtype       %s\n", dtype_name(decoded.dtype()).c_str());
+    std::printf("shape      ");
+    for (std::size_t d : decoded.shape()) std::printf(" %zu", d);
+    std::printf("\nvalues      %zu\n", decoded.elements());
+    std::printf("ratio       %.3f\n", static_cast<double>(decoded.size_bytes()) /
+                                          static_cast<double>(archive.size()));
+    return 0;
   }
   std::fprintf(stderr, "no registered backend accepts this archive\n");
   return 1;
@@ -228,7 +296,7 @@ int main(int argc, char** argv) {
   }
   const std::string subcommand = argv[1];
   try {
-    if (subcommand == "backends") return cmd_backends();
+    if (subcommand == "backends") return cmd_backends(argc - 1, argv + 1);
 
     Cli cli("fraz " + subcommand);
     cli.add_string("input", "", "input file (raw scalars or .fraz archive)");
