@@ -1,0 +1,218 @@
+#ifndef FRAZ_ARCHIVE_ARCHIVE_HPP
+#define FRAZ_ARCHIVE_ARCHIVE_HPP
+
+/// \file archive.hpp
+/// Chunked, seekable super-frame archive over the fixed-ratio pipeline.
+///
+/// FRaZ's ratio guarantee is framed per whole field, but production stores
+/// (cf. C-Blosc2's super-chunk/frame design) shard data into independently
+/// compressed, checksummed chunks so large campaigns get parallel compression
+/// and random access without full decompression.  An archive shards an array
+/// along its slowest dimension, compresses every chunk through a `fraz::Engine`
+/// on the shared thread pool, and enforces the fixed ratio at the *archive*
+/// level: per-chunk ratios may drift inside (or even out of) the band, the
+/// aggregate raw/archive ratio is what must land in ρt(1±ε) and is recorded
+/// in the footer.
+///
+/// Byte layout (all integers little-endian, varints LEB128):
+///
+///   [manifest]   a standard Container frame (magic 'FRaZ', version,
+///                compressor id, dtype, FULL logical shape, CRC-32) whose
+///                payload is the archive manifest:
+///                  u32     archive magic 'FRzA'
+///                  u8      archive format version (1)
+///                  f64     target ratio ρt
+///                  f64     epsilon ε
+///                  varint  chunk extent (slowest-axis planes per chunk)
+///                  varint  chunk count
+///                  per chunk: varint offset   (from start of chunk region)
+///                             varint size     (compressed bytes)
+///                             f64    error bound the chunk was written at
+///                             u32    CRC-32 of the chunk's bytes
+///   [chunks]     the chunk payloads, concatenated.  Each is itself a
+///                complete Container frame produced by the backend for the
+///                chunk's slice (shape {extent_i, rest...}), so a single
+///                chunk is decodable by the ordinary decompression path.
+///   [footer]     fixed 40 bytes at the very end:
+///                  u32  footer magic 'FRzE'
+///                  u64  manifest size (bytes; where the chunk region starts)
+///                  u64  raw bytes of the original array
+///                  u64  total archive bytes (self check)
+///                  f64  achieved aggregate ratio (raw / archive)
+///                  u32  CRC-32 over the 36 footer bytes before it
+///
+/// Seekability: the manifest and footer carry their own CRCs, chunk CRCs live
+/// in the manifest, and chunk payloads are validated only when touched — a
+/// flipped bit in chunk i fails exactly the reads that cover chunk i.
+///
+/// Determinism: chunk boundaries depend only on (shape, dtype, chunk_extent),
+/// every chunk warm-starts from the same chunk-0 bound, and tuning inside the
+/// writer is forced single-threaded — so packing with 1 worker and N workers
+/// yields byte-identical archives.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compressors/container.hpp"
+#include "engine/engine.hpp"
+#include "ndarray/ndarray.hpp"
+#include "util/buffer.hpp"
+#include "util/status.hpp"
+
+namespace fraz::archive {
+
+/// Archive format version written by this implementation.
+inline constexpr std::uint8_t kFormatVersion = 1;
+
+/// Size of the fixed trailer at the end of every archive.
+inline constexpr std::size_t kFooterBytes = 40;
+
+/// Registry name of a container CompressorId ("sz", "zfp", ...).
+std::string backend_name(CompressorId id);
+
+/// Inverse of backend_name; throws Unsupported for names outside the four
+/// built-in ids the archive format can record.
+CompressorId backend_id(const std::string& name);
+
+/// Construction-time configuration of an ArchiveWriter.
+struct ArchiveWriteConfig {
+  /// Backend + tuning knobs; engine.tuner.target_ratio/epsilon define the
+  /// archive-level acceptance band.  Tuner thread parallelism is forced to 1
+  /// inside the writer — archive parallelism comes from chunks, and a
+  /// single-threaded tune keeps the chosen bounds (and therefore the archive
+  /// bytes) independent of worker count.
+  EngineConfig engine;
+  /// Slowest-axis planes per chunk; 0 picks a policy from the shape alone
+  /// (~16 chunks, at least 4 KiB of raw data each).
+  std::size_t chunk_extent = 0;
+  /// Chunk-compression workers; 0 selects hardware concurrency.  Never
+  /// affects the output bytes.
+  unsigned threads = 0;
+};
+
+/// One chunk's entry as recorded in (or parsed from) the manifest.
+struct ChunkEntry {
+  std::size_t offset = 0;     ///< from the start of the chunk region
+  std::size_t size = 0;       ///< compressed bytes
+  double error_bound = 0;     ///< bound the chunk was compressed at
+  std::uint32_t crc = 0;      ///< CRC-32 of the chunk's bytes
+};
+
+/// Writer-side detail of one chunk (ChunkEntry plus how it was produced).
+struct ChunkReport {
+  ChunkEntry entry;
+  double ratio = 0;           ///< raw/compressed of this chunk alone
+  double seconds = 0;         ///< wall time of this chunk's compression task
+  bool warm = false;          ///< served by the shared warm-start bound
+  bool retrained = false;     ///< chunk paid full training
+  bool in_band = false;       ///< chunk ratio inside the band (informational)
+};
+
+/// Outcome of one ArchiveWriter::write.
+struct ArchiveWriteResult {
+  std::size_t chunk_count = 0;
+  std::size_t chunk_extent = 0;
+  std::size_t raw_bytes = 0;
+  std::size_t archive_bytes = 0;
+  double achieved_ratio = 0;  ///< raw / archive — the footer's aggregate ratio
+  bool in_band = false;       ///< aggregate ratio within ρt(1±ε)
+  std::size_t warm_chunks = 0;
+  std::size_t retrained_chunks = 0;
+  double seconds = 0;
+  std::vector<ChunkReport> chunks;
+};
+
+/// Shards an array along its slowest dimension and compresses the chunks in
+/// parallel, one Engine per worker.  Warm-starting is Algorithm 3's reuse
+/// applied twice: within a write, every chunk starts from the bound tuned on
+/// chunk 0; across write() calls (a time series packed through one writer),
+/// each chunk starts from the bound *it* used last step.  Both seeds depend
+/// only on chunk identity — never on which worker handles a chunk — so a
+/// whole campaign pays full ratio training roughly once and the archives
+/// stay byte-identical at any worker count.
+class ArchiveWriter {
+public:
+  /// Non-throwing factory; unknown backends / invalid tuner configs come
+  /// back as a Status.
+  static Result<ArchiveWriter> create(ArchiveWriteConfig config) noexcept;
+
+  /// Throwing convenience constructor (setup code, tests).
+  explicit ArchiveWriter(ArchiveWriteConfig config);
+
+  const ArchiveWriteConfig& config() const noexcept { return config_; }
+
+  /// Compress \p data into a complete archive in the caller's reusable
+  /// \p out.  Non-throwing; on failure \p out is unspecified.
+  Result<ArchiveWriteResult> write(const ArrayView& data, Buffer& out) noexcept;
+
+private:
+  ArchiveWriteConfig config_;
+  Engine tune_engine_;  ///< persistent: carries the chunk-0 bound across writes
+
+  /// Per-chunk bounds of the previous write (valid while the chunk geometry
+  /// is unchanged) — the time dimension of the warm start.
+  Shape last_shape_;
+  std::size_t last_extent_ = 0;
+  std::vector<double> chunk_bounds_;
+};
+
+/// Parsed archive metadata (manifest + footer; chunk payloads untouched).
+struct ArchiveInfo {
+  CompressorId id{};
+  std::string compressor;       ///< registry name of id
+  DType dtype{};
+  Shape shape;                  ///< full logical shape
+  std::size_t chunk_extent = 0;
+  std::size_t chunk_count = 0;
+  double target_ratio = 0;
+  double epsilon = 0;
+  std::size_t raw_bytes = 0;
+  std::size_t archive_bytes = 0;
+  double achieved_ratio = 0;    ///< aggregate ratio recorded in the footer
+  std::vector<ChunkEntry> chunks;
+};
+
+/// Random-access reader over an archive produced by ArchiveWriter.  The
+/// reader does not own the bytes; they must outlive it.  open() validates
+/// manifest and footer only — chunk payloads are checked (CRC + container
+/// CRC) by exactly the reads that touch them, so corruption in one chunk
+/// leaves every other chunk readable.
+class ArchiveReader {
+public:
+  /// Validate manifest + footer and build the chunk index.
+  static Result<ArchiveReader> open(const std::uint8_t* data, std::size_t size) noexcept;
+
+  const ArchiveInfo& info() const noexcept { return info_; }
+
+  /// Shape of chunk \p i ({extent_i, rest...}; the last chunk may be short).
+  Shape chunk_shape(std::size_t i) const;
+
+  /// Decompress the whole archive.  \p threads > 1 decodes chunks in
+  /// parallel, one Engine per worker; 0 selects hardware concurrency.
+  Result<NdArray> read_all(unsigned threads = 1) noexcept;
+
+  /// Decompress exactly chunk \p i, validating only its bytes.
+  Result<NdArray> read_chunk(std::size_t i) noexcept;
+
+  /// Decompress the slowest-axis plane range [first, first + count),
+  /// touching (and validating) only the chunks that cover it.
+  Result<NdArray> read_range(std::size_t first, std::size_t count) noexcept;
+
+private:
+  ArchiveReader(const std::uint8_t* data, std::size_t size, std::size_t chunk_region,
+                ArchiveInfo info, Engine engine);
+
+  /// Validate chunk \p i's CRC and decode it (throwing helper).
+  NdArray decode_chunk(Engine& engine, std::size_t i) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t chunk_region_;  ///< offset of the chunk region (= manifest size)
+  ArchiveInfo info_;
+  Engine engine_;             ///< serial decode path; workers clone their own
+};
+
+}  // namespace fraz::archive
+
+#endif  // FRAZ_ARCHIVE_ARCHIVE_HPP

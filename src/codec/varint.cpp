@@ -1,5 +1,7 @@
 #include "codec/varint.hpp"
 
+#include <cstring>
+
 #include "util/error.hpp"
 
 namespace fraz {
@@ -10,6 +12,53 @@ void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
     value >>= 7;
   }
   out.push_back(static_cast<std::uint8_t>(value));
+}
+
+void put_varint(Buffer& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80u);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+void put_u32(Buffer& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<std::uint8_t>(value >> shift));
+}
+
+void put_u64(Buffer& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<std::uint8_t>(value >> shift));
+}
+
+void put_f64(Buffer& out, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, 8);
+  put_u64(out, bits);
+}
+
+std::uint32_t get_u32(const std::uint8_t* data, std::size_t size, std::size_t& pos) {
+  if (pos + 4 > size) throw CorruptStream("get_u32: truncated u32");
+  std::uint32_t value = 0;
+  for (int shift = 0; shift < 32; shift += 8)
+    value |= static_cast<std::uint32_t>(data[pos++]) << shift;
+  return value;
+}
+
+std::uint64_t get_u64(const std::uint8_t* data, std::size_t size, std::size_t& pos) {
+  if (pos + 8 > size) throw CorruptStream("get_u64: truncated u64");
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 8)
+    value |= static_cast<std::uint64_t>(data[pos++]) << shift;
+  return value;
+}
+
+double get_f64(const std::uint8_t* data, std::size_t size, std::size_t& pos) {
+  const std::uint64_t bits = get_u64(data, size, pos);
+  double value;
+  std::memcpy(&value, &bits, 8);
+  return value;
 }
 
 std::uint64_t get_varint(const std::uint8_t* data, std::size_t size, std::size_t& pos) {

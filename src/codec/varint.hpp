@@ -2,21 +2,33 @@
 #define FRAZ_CODEC_VARINT_HPP
 
 /// \file varint.hpp
-/// LEB128 variable-length integers and zigzag mapping, used by the container
-/// headers and the LZ coder's token stream.
+/// LEB128 variable-length integers, zigzag mapping, and the little-endian
+/// fixed-width wire helpers shared by the container and archive framers.
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "util/buffer.hpp"
+
 namespace fraz {
 
 /// Append \p value as unsigned LEB128 to \p out.
 void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value);
+void put_varint(Buffer& out, std::uint64_t value);
 
 /// Decode an unsigned LEB128 starting at \p pos (advanced past the value).
 /// Throws CorruptStream on truncation or overlong encoding.
 std::uint64_t get_varint(const std::uint8_t* data, std::size_t size, std::size_t& pos);
+
+/// Little-endian fixed-width scalars.  The getters advance \p pos and throw
+/// CorruptStream on truncation; f64 travels as its IEEE-754 bit pattern.
+void put_u32(Buffer& out, std::uint32_t value);
+void put_u64(Buffer& out, std::uint64_t value);
+void put_f64(Buffer& out, double value);
+std::uint32_t get_u32(const std::uint8_t* data, std::size_t size, std::size_t& pos);
+std::uint64_t get_u64(const std::uint8_t* data, std::size_t size, std::size_t& pos);
+double get_f64(const std::uint8_t* data, std::size_t size, std::size_t& pos);
 
 /// Zigzag map a signed value to unsigned (0,-1,1,-2,... -> 0,1,2,3,...).
 constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {

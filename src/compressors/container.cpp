@@ -11,29 +11,6 @@ namespace fraz {
 namespace {
 constexpr std::uint32_t kMagic = 0x5a615246u;  // "FRaZ" little-endian
 constexpr std::uint8_t kVersion = 1;
-
-std::uint32_t get_u32(const std::uint8_t* data, std::size_t size, std::size_t& pos) {
-  if (pos + 4 > size) throw CorruptStream("container: truncated u32");
-  std::uint32_t v;
-  std::memcpy(&v, data + pos, 4);
-  pos += 4;
-  return v;
-}
-
-void put_u32(Buffer& out, std::uint32_t v) {
-  out.push_back(static_cast<std::uint8_t>(v));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v >> 16));
-  out.push_back(static_cast<std::uint8_t>(v >> 24));
-}
-
-void put_varint(Buffer& out, std::uint64_t value) {
-  while (value >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(value) | 0x80u);
-    value >>= 7;
-  }
-  out.push_back(static_cast<std::uint8_t>(value));
-}
 }  // namespace
 
 std::vector<std::uint8_t> seal_container(CompressorId id, DType dtype, const Shape& shape,
@@ -44,21 +21,29 @@ std::vector<std::uint8_t> seal_container(CompressorId id, DType dtype, const Sha
 }
 
 void seal_container_into(CompressorId id, DType dtype, const Shape& shape,
-                         const std::vector<std::uint8_t>& payload, Buffer& out) {
+                         const std::uint8_t* payload, std::size_t payload_size, Buffer& out) {
   out.clear();
-  out.reserve(payload.size() + 32);
+  out.reserve(payload_size + 32);
   put_u32(out, kMagic);
   out.push_back(kVersion);
   out.push_back(static_cast<std::uint8_t>(id));
   out.push_back(dtype == DType::kFloat32 ? 0 : 1);
   put_varint(out, shape.size());
   for (std::size_t d : shape) put_varint(out, d);
-  put_varint(out, payload.size());
-  out.append(payload.data(), payload.size());
+  put_varint(out, payload_size);
+  out.append(payload, payload_size);
   put_u32(out, crc32(out.data(), out.size()));
 }
 
-Container open_container(const std::uint8_t* data, std::size_t size, CompressorId expected) {
+void seal_container_into(CompressorId id, DType dtype, const Shape& shape,
+                         const std::vector<std::uint8_t>& payload, Buffer& out) {
+  seal_container_into(id, dtype, shape, payload.data(), payload.size(), out);
+}
+
+namespace {
+
+Container open_container_impl(const std::uint8_t* data, std::size_t size,
+                              const CompressorId* expected) {
   std::size_t pos = 0;
   if (size < 12) throw CorruptStream("container: too small");
   if (get_u32(data, size, pos) != kMagic) throw CorruptStream("container: bad magic");
@@ -69,10 +54,15 @@ Container open_container(const std::uint8_t* data, std::size_t size, CompressorI
   if (crc32(data, size - 4) != stored_crc) throw CorruptStream("container: checksum mismatch");
 
   if (data[pos++] != kVersion) throw CorruptStream("container: unsupported version");
-  const auto id = static_cast<CompressorId>(data[pos++]);
+  const std::uint8_t id_tag = data[pos++];
   const std::uint8_t dtype_tag = data[pos++];
   if (dtype_tag > 1) throw CorruptStream("container: bad dtype tag");
-  if (id != expected) throw Unsupported("container: produced by a different compressor");
+  if (id_tag < static_cast<std::uint8_t>(CompressorId::kSz) ||
+      id_tag > static_cast<std::uint8_t>(CompressorId::kTruncate))
+    throw CorruptStream("container: unknown compressor id");
+  const auto id = static_cast<CompressorId>(id_tag);
+  if (expected && id != *expected)
+    throw Unsupported("container: produced by a different compressor");
 
   Container c;
   c.id = id;
@@ -89,6 +79,16 @@ Container open_container(const std::uint8_t* data, std::size_t size, CompressorI
   c.payload = data + pos;
   c.payload_size = payload_size;
   return c;
+}
+
+}  // namespace
+
+Container open_container(const std::uint8_t* data, std::size_t size, CompressorId expected) {
+  return open_container_impl(data, size, &expected);
+}
+
+Container open_container(const std::uint8_t* data, std::size_t size) {
+  return open_container_impl(data, size, nullptr);
 }
 
 }  // namespace fraz

@@ -50,11 +50,19 @@ std::vector<std::uint8_t> seal_container(CompressorId id, DType dtype, const Sha
 /// cleared first; its capacity is retained across calls, so steady-state
 /// sealing performs no heap allocation.
 void seal_container_into(CompressorId id, DType dtype, const Shape& shape,
+                         const std::uint8_t* payload, std::size_t payload_size, Buffer& out);
+
+/// Convenience over the pointer form for payloads already in a std::vector.
+void seal_container_into(CompressorId id, DType dtype, const Shape& shape,
                          const std::vector<std::uint8_t>& payload, Buffer& out);
 
 /// Validate and parse.  Throws CorruptStream on bad magic/version/checksum or
 /// truncation, and Unsupported when \p expected does not match the stored id.
 Container open_container(const std::uint8_t* data, std::size_t size, CompressorId expected);
+
+/// Same validation without an expected-producer check: accepts any known
+/// CompressorId (the archive reader learns the backend from the frame itself).
+Container open_container(const std::uint8_t* data, std::size_t size);
 
 }  // namespace fraz
 

@@ -1,5 +1,6 @@
 #include "engine/engine.hpp"
 
+#include "core/loss.hpp"
 #include "pressio/registry.hpp"
 
 namespace fraz {
@@ -33,7 +34,7 @@ Result<TuneResult> Engine::tune(const std::string& field, const ArrayView& data,
 
     TuneResult result = tuner.tune_with_prediction(data, prediction);
     ++stats_.tunes;
-    stats_.tuner_probe_calls += result.compress_calls;
+    stats_.tuner_probe_calls += static_cast<std::size_t>(result.compress_calls);
     if (result.from_prediction)
       ++stats_.warm_hits;
     else
@@ -47,8 +48,8 @@ Result<TuneResult> Engine::tune(const std::string& field, const ArrayView& data,
   }
 }
 
-Status Engine::compress(const std::string& field, const ArrayView& data,
-                        Buffer& out) noexcept {
+Status Engine::compress(const std::string& field, const ArrayView& data, Buffer& out,
+                        CompressOutcome* outcome) noexcept {
   // Warm path: compress directly at the cached bound and let that archive
   // double as the confirmation probe (warm_archive_probe).  Routing through
   // tune() here would compress twice per steady-state frame — once for the
@@ -65,6 +66,8 @@ Status Engine::compress(const std::string& field, const ArrayView& data,
     if (warm.in_band) {
       ++stats_.tunes;
       ++stats_.warm_hits;
+      if (outcome)
+        *outcome = CompressOutcome{cached->second, warm.ratio, true, false, true};
       return Status();
     }
     // Drift: the cached bound is proven stale — drop it so the retraining
@@ -74,7 +77,16 @@ Status Engine::compress(const std::string& field, const ArrayView& data,
   }
   Result<TuneResult> tuned = tune(field, data);
   if (!tuned.ok()) return tuned.status();
-  return compress_at(tuned.value().error_bound, data, out);
+  const Status s = compress_at(tuned.value().error_bound, data, out);
+  if (!s.ok()) return s;
+  if (outcome) {
+    const double ratio =
+        static_cast<double>(data.size_bytes()) / static_cast<double>(out.size());
+    *outcome = CompressOutcome{tuned.value().error_bound, ratio, false,
+                               !tuned.value().from_prediction,
+                               ratio_acceptable(ratio, target, config_.tuner.epsilon)};
+  }
+  return Status();
 }
 
 Status Engine::compress_at(double error_bound, const ArrayView& data, Buffer& out) noexcept {
@@ -109,6 +121,12 @@ Result<pressio::FidelityReport> Engine::evaluate(const std::string& field,
   } catch (...) {
     return status_from_current_exception();
   }
+}
+
+void Engine::seed_bound(const std::string& field, double target_ratio,
+                        double bound) noexcept {
+  if (!(bound > 0)) return;
+  bound_cache_[BoundKey{field, target_ratio}] = bound;
 }
 
 double Engine::cached_bound(const std::string& field, double target_ratio) const noexcept {

@@ -48,7 +48,17 @@ struct EngineStats {
   std::size_t retrains = 0;         ///< fell back to full training
   std::size_t compress_calls = 0;   ///< archive-producing compressions
   std::size_t decompress_calls = 0;
-  int tuner_probe_calls = 0;        ///< compressor probes spent inside tuning
+  std::size_t tuner_probe_calls = 0;  ///< compressor probes spent inside tuning
+};
+
+/// Per-call detail of one Engine::compress (what the archive writer records
+/// in its chunk index).
+struct CompressOutcome {
+  double error_bound = 0;     ///< bound the archive was produced at
+  double achieved_ratio = 0;  ///< raw bytes / archive bytes of this call
+  bool warm = false;          ///< served by the cached bound (archive-as-probe)
+  bool retrained = false;     ///< full training ran for this call
+  bool in_band = false;       ///< achieved ratio within the acceptance band
 };
 
 /// Facade over registry + tuner + bound cache.  Not thread-safe; give each
@@ -82,8 +92,10 @@ public:
   /// Tune (cached) then compress \p data into the caller's reusable \p out.
   /// On the warm path the archive itself is the acceptance probe, so an
   /// in-band frame costs exactly one compression; retraining happens only
-  /// when the cached bound's achieved ratio drifts out of the band.
-  Status compress(const std::string& field, const ArrayView& data, Buffer& out) noexcept;
+  /// when the cached bound's achieved ratio drifts out of the band.  When
+  /// \p outcome is non-null it receives the bound/ratio/path of this call.
+  Status compress(const std::string& field, const ArrayView& data, Buffer& out,
+                  CompressOutcome* outcome = nullptr) noexcept;
 
   /// Compress at an explicit error bound, bypassing tuning and cache.
   Status compress_at(double error_bound, const ArrayView& data, Buffer& out) noexcept;
@@ -100,6 +112,15 @@ public:
     return cached_bound(field, config_.tuner.target_ratio);
   }
   double cached_bound(const std::string& field, double target_ratio) const noexcept;
+
+  /// Inject a known-good bound into the cache (e.g. a bound tuned on a
+  /// sibling chunk or restored from a previous run), so the next call for
+  /// \p field warm-starts from it instead of paying full training.  A
+  /// non-positive \p bound is ignored.
+  void seed_bound(const std::string& field, double bound) noexcept {
+    seed_bound(field, config_.tuner.target_ratio, bound);
+  }
+  void seed_bound(const std::string& field, double target_ratio, double bound) noexcept;
 
   /// Drop every cached bound (e.g. at a simulation restart).
   void clear_cache() noexcept { bound_cache_.clear(); }

@@ -1,0 +1,325 @@
+#include "archive/archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "data/datasets.hpp"
+#include "pressio/registry.hpp"
+#include "test_helpers.hpp"
+
+namespace fraz {
+namespace {
+
+using archive::ArchiveReader;
+using archive::ArchiveWriteConfig;
+using archive::ArchiveWriteResult;
+using archive::ArchiveWriter;
+using testhelpers::make_field;
+
+ArchiveWriteConfig writer_config(const std::string& backend, double target, double epsilon,
+                                 std::size_t chunk_extent = 0, unsigned threads = 1) {
+  ArchiveWriteConfig config;
+  config.engine.compressor = backend;
+  config.engine.tuner.target_ratio = target;
+  config.engine.tuner.epsilon = epsilon;
+  config.chunk_extent = chunk_extent;
+  config.threads = threads;
+  return config;
+}
+
+/// Pack \p data and return (result, bytes); asserts success.
+ArchiveWriteResult pack(const ArrayView& data, ArchiveWriteConfig config, Buffer& out) {
+  ArchiveWriter writer(std::move(config));
+  auto written = writer.write(data, out);
+  EXPECT_TRUE(written.ok()) << written.status().to_string();
+  return std::move(written).value();
+}
+
+ArchiveReader open_ok(const Buffer& bytes) {
+  auto reader = ArchiveReader::open(bytes.data(), bytes.size());
+  EXPECT_TRUE(reader.ok()) << reader.status().to_string();
+  return std::move(reader).value();
+}
+
+/// Byte offset of the chunk region (manifest frame size) inside an archive.
+std::size_t chunk_region_offset(const archive::ArchiveInfo& info) {
+  std::size_t payload = 0;
+  for (const auto& chunk : info.chunks) payload += chunk.size;
+  return info.archive_bytes - archive::kFooterBytes - payload;
+}
+
+TEST(Archive, RoundTripAllBackendsBothDtypes) {
+  for (const char* backend : {"sz", "zfp", "mgard", "truncate"}) {
+    // truncate cannot express high ratios on f32 (it drops mantissa bytes),
+    // so it gets a reachable target; the fixed-ratio band itself is covered
+    // by AggregateRatioWithinBand below.
+    const bool is_truncate = std::string(backend) == "truncate";
+    for (DType dtype : {DType::kFloat32, DType::kFloat64}) {
+      const NdArray field = make_field(dtype, {10, 16, 12});
+      const double target = is_truncate ? 2.5 : 8.0;
+      Buffer bytes;
+      // Extent 4 keeps every chunk extent >= 2 (10 = 4 + 4 + 2); mgard
+      // rejects degenerate 1-plane 3D chunks.
+      const ArchiveWriteResult result =
+          pack(field.view(), writer_config(backend, target, 0.3, 4), bytes);
+      EXPECT_EQ(result.chunk_count, 3u) << backend;
+
+      ArchiveReader reader = open_ok(bytes);
+      EXPECT_EQ(reader.info().compressor, backend);
+      EXPECT_EQ(reader.info().dtype, dtype);
+      EXPECT_EQ(reader.info().shape, field.shape());
+
+      auto decoded = reader.read_all();
+      ASSERT_TRUE(decoded.ok()) << backend << ": " << decoded.status().to_string();
+      ASSERT_EQ(decoded.value().shape(), field.shape());
+      ASSERT_EQ(decoded.value().dtype(), dtype);
+      double max_bound = 0;
+      for (const auto& chunk : result.chunks)
+        max_bound = std::max(max_bound, chunk.entry.error_bound);
+      const auto caps = pressio::registry().create(backend)->capabilities();
+      if (caps.error_bounded) {
+        EXPECT_LE(testhelpers::max_error(field, decoded.value()), max_bound * 1.0000001)
+            << backend;
+      }
+    }
+  }
+}
+
+TEST(Archive, AggregateRatioWithinBandAcrossDatasetsAndBackends) {
+  // The acceptance property: the archive-level achieved ratio (raw bytes over
+  // total archive bytes, headers and index included) lands in ρt(1±ε) — on
+  // two datasets times two backends.
+  // CESM (2D climate) and NYX (3D cosmology): both backends can express the
+  // band on per-chunk granularity there.  (ZFP's accuracy-mode ratio treads
+  // are too coarse for the small Hurricane chunks — the same expressibility
+  // limit the paper reports in §VI-B.3 — so its chunks retrain to "closest"
+  // and the aggregate lands below the band; that is the infeasible case, not
+  // a broken guarantee.)
+  const double target = 10.0, epsilon = 0.1;
+  const auto cesm = data::dataset_by_name("cesm", data::SuiteScale::kMedium);
+  const auto nyx = data::dataset_by_name("nyx", data::SuiteScale::kSmall);
+  const NdArray fields[] = {
+      data::generate_field(data::field_by_name(cesm, "CLOUD"), 0),
+      data::generate_field(data::field_by_name(nyx, "temperature"), 0),
+  };
+  for (const char* backend : {"sz", "zfp"}) {
+    for (const NdArray& field : fields) {
+      Buffer bytes;
+      const ArchiveWriteResult result =
+          pack(field.view(), writer_config(backend, target, epsilon), bytes);
+      EXPECT_TRUE(result.in_band)
+          << backend << ": aggregate ratio " << result.achieved_ratio;
+      EXPECT_GE(result.achieved_ratio, target * (1 - epsilon)) << backend;
+      EXPECT_LE(result.achieved_ratio, target * (1 + epsilon)) << backend;
+
+      // The footer records the same aggregate ratio the writer reported.
+      ArchiveReader reader = open_ok(bytes);
+      EXPECT_DOUBLE_EQ(reader.info().achieved_ratio, result.achieved_ratio);
+      EXPECT_EQ(reader.info().raw_bytes, field.size_bytes());
+      EXPECT_EQ(reader.info().archive_bytes, bytes.size());
+    }
+  }
+}
+
+TEST(Archive, ReadChunkEqualsSliceOfFullDecompression) {
+  const NdArray field = make_field(DType::kFloat32, {9, 20, 14});
+  Buffer bytes;
+  pack(field.view(), writer_config("sz", 6.0, 0.2, 2), bytes);
+  ArchiveReader reader = open_ok(bytes);
+  auto full = reader.read_all();
+  ASSERT_TRUE(full.ok());
+  const std::size_t plane_bytes = full.value().size_bytes() / 9;
+  for (std::size_t i = 0; i < reader.info().chunk_count; ++i) {
+    auto chunk = reader.read_chunk(i);
+    ASSERT_TRUE(chunk.ok()) << i;
+    EXPECT_EQ(chunk.value().shape(), reader.chunk_shape(i));
+    const auto* expected = static_cast<const std::uint8_t*>(full.value().data()) +
+                           i * reader.info().chunk_extent * plane_bytes;
+    EXPECT_EQ(std::memcmp(chunk.value().data(), expected, chunk.value().size_bytes()), 0)
+        << "chunk " << i << " differs from the corresponding slice";
+  }
+}
+
+TEST(Archive, RangeQueryMatchesFullDecompression) {
+  const NdArray field = make_field(DType::kFloat32, {12, 16, 10});
+  Buffer bytes;
+  pack(field.view(), writer_config("sz", 6.0, 0.2, 5), bytes);  // 12 = 5 + 5 + 2
+  ArchiveReader reader = open_ok(bytes);
+  auto full = reader.read_all();
+  ASSERT_TRUE(full.ok());
+  const std::size_t plane_bytes = full.value().size_bytes() / 12;
+  // Every (first, count) window, including chunk-straddling and tail ones.
+  for (std::size_t first = 0; first < 12; ++first) {
+    for (std::size_t count = 1; first + count <= 12; ++count) {
+      auto range = reader.read_range(first, count);
+      ASSERT_TRUE(range.ok()) << first << "+" << count;
+      ASSERT_EQ(range.value().shape()[0], count);
+      EXPECT_EQ(std::memcmp(range.value().data(),
+                            static_cast<const std::uint8_t*>(full.value().data()) +
+                                first * plane_bytes,
+                            range.value().size_bytes()),
+                0)
+          << "range [" << first << ", " << first + count << ")";
+    }
+  }
+}
+
+TEST(Archive, ThreadCountDoesNotChangeTheBytes) {
+  // Both warm-start paths must be deterministic: the first write (all chunks
+  // seeded from chunk 0's bound) and a subsequent write of the same geometry
+  // (each chunk seeded from its own previous bound).
+  const auto hurricane = data::dataset_by_name("hurricane", data::SuiteScale::kSmall);
+  const NdArray step0 = data::generate_field(data::field_by_name(hurricane, "TCf"), 0);
+  const NdArray step1 = data::generate_field(data::field_by_name(hurricane, "TCf"), 1);
+  ArchiveWriter serial_writer(writer_config("sz", 10.0, 0.1, 0, 1));
+  ArchiveWriter parallel_writer(writer_config("sz", 10.0, 0.1, 0, 4));
+  for (const NdArray* step : {&step0, &step1}) {
+    Buffer serial, parallel;
+    ASSERT_TRUE(serial_writer.write(step->view(), serial).ok());
+    ASSERT_TRUE(parallel_writer.write(step->view(), parallel).ok());
+    ASSERT_EQ(serial.size(), parallel.size());
+    EXPECT_EQ(std::memcmp(serial.data(), parallel.data(), serial.size()), 0)
+        << "archives must be byte-identical regardless of worker count";
+  }
+}
+
+TEST(Archive, ParallelReadMatchesSerialRead) {
+  const NdArray field = make_field(DType::kFloat32, {16, 24, 18});
+  Buffer bytes;
+  pack(field.view(), writer_config("sz", 6.0, 0.2, 2, 4), bytes);
+  ArchiveReader reader = open_ok(bytes);
+  auto serial = reader.read_all(1);
+  auto parallel = reader.read_all(4);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial.value().size_bytes(), parallel.value().size_bytes());
+  EXPECT_EQ(std::memcmp(serial.value().data(), parallel.value().data(),
+                        serial.value().size_bytes()),
+            0);
+}
+
+TEST(Archive, CorruptingOneChunkFailsOnlyReadsTouchingIt) {
+  const NdArray field = make_field(DType::kFloat32, {8, 16, 12});
+  Buffer bytes;
+  pack(field.view(), writer_config("sz", 6.0, 0.2, 2), bytes);  // 4 chunks
+  ArchiveReader pristine = open_ok(bytes);
+  const std::size_t region = chunk_region_offset(pristine.info());
+  const std::size_t chunk_count = pristine.info().chunk_count;
+  ASSERT_EQ(chunk_count, 4u);
+
+  for (std::size_t victim = 0; victim < chunk_count; ++victim) {
+    std::vector<std::uint8_t> corrupted(bytes.data(), bytes.data() + bytes.size());
+    const auto& entry = pristine.info().chunks[victim];
+    corrupted[region + entry.offset + entry.size / 2] ^= 0x40;
+
+    // The manifest and footer are intact, so the archive still opens.
+    auto reader = ArchiveReader::open(corrupted.data(), corrupted.size());
+    ASSERT_TRUE(reader.ok()) << reader.status().to_string();
+
+    for (std::size_t i = 0; i < chunk_count; ++i) {
+      auto chunk = reader.value().read_chunk(i);
+      if (i == victim) {
+        ASSERT_FALSE(chunk.ok()) << "corrupted chunk " << i << " decoded";
+        EXPECT_EQ(chunk.status().code(), StatusCode::kCorruptStream);
+      } else {
+        EXPECT_TRUE(chunk.ok()) << "chunk " << i << " should not see chunk " << victim
+                                << "'s corruption: " << chunk.status().to_string();
+      }
+    }
+    // Whole-archive reads touch the victim and must fail...
+    EXPECT_FALSE(reader.value().read_all().ok());
+    // ...while a range confined to other chunks still succeeds.
+    const std::size_t clean_chunk = victim == 0 ? 1 : 0;
+    auto range = reader.value().read_range(clean_chunk * 2, 2);
+    EXPECT_TRUE(range.ok()) << range.status().to_string();
+  }
+}
+
+TEST(Archive, TruncationFailsOpen) {
+  const NdArray field = make_field(DType::kFloat32, {6, 12, 10});
+  Buffer bytes;
+  pack(field.view(), writer_config("sz", 6.0, 0.2, 2), bytes);
+  for (const std::size_t keep :
+       {bytes.size() - 1, bytes.size() - archive::kFooterBytes, bytes.size() / 2,
+        std::size_t{5}, std::size_t{0}}) {
+    auto reader = ArchiveReader::open(bytes.data(), keep);
+    EXPECT_FALSE(reader.ok()) << "opened a " << keep << "-byte truncation";
+    EXPECT_EQ(reader.status().code(), StatusCode::kCorruptStream) << keep;
+  }
+}
+
+TEST(Archive, CorruptedManifestOrFooterFailsOpen) {
+  const NdArray field = make_field(DType::kFloat32, {6, 12, 10});
+  Buffer bytes;
+  pack(field.view(), writer_config("sz", 6.0, 0.2, 2), bytes);
+  // Manifest byte (inside the leading container frame).
+  std::vector<std::uint8_t> bad(bytes.data(), bytes.data() + bytes.size());
+  bad[8] ^= 0x01;
+  EXPECT_FALSE(ArchiveReader::open(bad.data(), bad.size()).ok());
+  // Footer byte.
+  bad.assign(bytes.data(), bytes.data() + bytes.size());
+  bad[bad.size() - 10] ^= 0x01;
+  EXPECT_FALSE(ArchiveReader::open(bad.data(), bad.size()).ok());
+}
+
+TEST(Archive, SingleChunkAndOddShapes) {
+  // One chunk: extent covers the whole slowest axis.
+  const NdArray field = make_field(DType::kFloat32, {5, 10, 8});
+  Buffer bytes;
+  const ArchiveWriteResult one = pack(field.view(), writer_config("sz", 5.0, 0.3, 5), bytes);
+  EXPECT_EQ(one.chunk_count, 1u);
+  ArchiveReader reader = open_ok(bytes);
+  auto decoded = reader.read_all();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().shape(), field.shape());
+
+  // Extent larger than the axis clamps to one chunk.
+  Buffer clamped;
+  EXPECT_EQ(pack(field.view(), writer_config("sz", 5.0, 0.3, 99), clamped).chunk_count, 1u);
+
+  // Odd remainder: 7 = 3 + 3 + 1, and a rank-1 array.
+  const NdArray line = make_field(DType::kFloat64, {7000});
+  Buffer line_bytes;
+  const ArchiveWriteResult odd =
+      pack(line.view(), writer_config("sz", 5.0, 0.3, 3000), line_bytes);
+  EXPECT_EQ(odd.chunk_count, 3u);
+  ArchiveReader line_reader = open_ok(line_bytes);
+  EXPECT_EQ(line_reader.chunk_shape(2), (Shape{1000}));
+  auto tail = line_reader.read_chunk(2);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail.value().elements(), 1000u);
+}
+
+TEST(Archive, WriterWarmStartsAcrossWrites) {
+  // Packing a time series: the writer's persistent engine carries the
+  // chunk-0 bound, so later steps skip full training and chunks stay warm.
+  const auto hurricane = data::dataset_by_name("hurricane", data::SuiteScale::kTiny);
+  const auto spec = data::field_by_name(hurricane, "TCf");
+  ArchiveWriter writer(writer_config("sz", 8.0, 0.2));
+  Buffer bytes;
+  auto first = writer.write(data::generate_field(spec, 0).view(), bytes);
+  ASSERT_TRUE(first.ok());
+  auto second = writer.write(data::generate_field(spec, 1).view(), bytes);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().retrained_chunks, 0u)
+      << "a mildly drifting step should reuse the carried bound";
+  EXPECT_EQ(second.value().warm_chunks, second.value().chunk_count);
+}
+
+TEST(Archive, InvalidRequestsAreStatuses) {
+  const NdArray field = make_field(DType::kFloat32, {6, 10, 8});
+  Buffer bytes;
+  pack(field.view(), writer_config("sz", 5.0, 0.3, 2), bytes);
+  ArchiveReader reader = open_ok(bytes);
+  EXPECT_EQ(reader.read_chunk(99).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(reader.read_range(0, 0).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(reader.read_range(5, 2).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(reader.read_range(6, 1).status().code(), StatusCode::kInvalidArgument);
+
+  // Backends the format cannot record are rejected at construction.
+  EXPECT_FALSE(ArchiveWriter::create(writer_config("no-such-backend", 5.0, 0.3)).ok());
+}
+
+}  // namespace
+}  // namespace fraz

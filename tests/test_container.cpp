@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "pressio/registry.hpp"
+#include "test_helpers.hpp"
 #include "util/rng.hpp"
 
 namespace fraz {
@@ -51,6 +53,43 @@ TEST(Container, TruncationThrows) {
 TEST(Container, TooSmallBufferThrows) {
   const std::vector<std::uint8_t> tiny = {1, 2, 3};
   EXPECT_THROW(open_container(tiny.data(), tiny.size(), CompressorId::kSz), CorruptStream);
+}
+
+TEST(Container, OpenWithoutExpectedIdAcceptsAnyKnownProducer) {
+  const auto sealed = seal_container(CompressorId::kZfp, DType::kFloat64, {3, 4}, sample_payload());
+  const Container c = open_container(sealed.data(), sealed.size());
+  EXPECT_EQ(c.id, CompressorId::kZfp);
+  EXPECT_EQ(c.shape, (Shape{3, 4}));
+}
+
+TEST(Container, PointerPayloadOverloadMatchesVectorOverload) {
+  const auto payload = sample_payload();
+  Buffer from_vector, from_pointer;
+  seal_container_into(CompressorId::kSz, DType::kFloat32, {4, 5}, payload, from_vector);
+  seal_container_into(CompressorId::kSz, DType::kFloat32, {4, 5}, payload.data(),
+                      payload.size(), from_pointer);
+  ASSERT_EQ(from_vector.size(), from_pointer.size());
+  EXPECT_TRUE(std::equal(from_vector.begin(), from_vector.end(), from_pointer.begin()));
+}
+
+TEST(Container, TruncationAtEveryBoundaryIsCorruptStreamOnAllBackends) {
+  // Real compressed streams, cut at EVERY prefix length: whatever structure
+  // the truncation lands in (magic, header varints, payload, checksum), the
+  // decoder must report CorruptStream — never garbage output, never a crash.
+  const NdArray field = testhelpers::make_field(DType::kFloat32, {6, 10, 8});
+  for (const auto& name : pressio::registry().names()) {
+    auto compressor = pressio::registry().create(name);
+    compressor->set_error_bound(0.05);
+    const std::vector<std::uint8_t> sealed = compressor->compress(field.view());
+    ASSERT_GT(sealed.size(), 16u) << name;
+    for (std::size_t cut = 0; cut < sealed.size(); ++cut) {
+      NdArray out;
+      const Status s = compressor->decompress_into(sealed.data(), cut, out);
+      ASSERT_FALSE(s.ok()) << name << ": decoded a " << cut << "-byte truncation";
+      ASSERT_EQ(s.code(), StatusCode::kCorruptStream)
+          << name << " cut=" << cut << ": " << s.to_string();
+    }
+  }
 }
 
 TEST(Container, EveryBitFlipIsDetected) {

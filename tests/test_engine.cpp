@@ -317,7 +317,7 @@ TEST(Engine, WarmCompressIsOneCompressionPerFrame) {
   const NdArray frame = test_field();
   Buffer out;
   ASSERT_TRUE(engine.compress("f", frame.view(), out).ok());  // full training
-  const int probes_after_first = engine.stats().tuner_probe_calls;
+  const std::size_t probes_after_first = engine.stats().tuner_probe_calls;
   const std::size_t archives_after_first = engine.stats().compress_calls;
   for (int i = 0; i < 5; ++i)
     ASSERT_TRUE(engine.compress("f", frame.view(), out).ok());

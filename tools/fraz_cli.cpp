@@ -8,6 +8,14 @@
 ///   compress    compress a raw binary file at a given bound (or tune first)
 ///   decompress  reconstruct a raw binary file from a .fraz archive
 ///   inspect     print header metadata of a .fraz archive
+///   pack        shard a raw binary file into a chunked, seekable archive
+///               compressed in parallel at the target aggregate ratio
+///               (exit 0 = aggregate ratio in the band, 2 = out of band,
+///               mirroring `tune`'s feasible/closest exit codes)
+///   unpack      reconstruct raw data from a chunked archive (whole file,
+///               --chunk i, or --range a:b over the slowest axis)
+///   info        print a chunked archive's manifest, index, and footer
+///               (--json emits the record machine-readably)
 ///   backends    list registered backends with their capabilities
 ///               (--json emits machine-readable capability records)
 ///
@@ -32,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "archive/archive.hpp"
 #include "core/quality_tuner.hpp"
 #include "core/serialize.hpp"
 #include "core/tuner.hpp"
@@ -285,13 +294,140 @@ int cmd_inspect(const Cli& cli) {
   return 1;
 }
 
+/// Parse "--range a:b" (half-open plane interval) into first/count.
+void parse_range(const std::string& spec, std::size_t& first, std::size_t& count) {
+  const std::size_t colon = spec.find(':');
+  require(colon != std::string::npos && colon > 0 && colon + 1 < spec.size() &&
+              spec.find_first_not_of("0123456789:") == std::string::npos &&
+              spec.find(':', colon + 1) == std::string::npos,
+          "--range must look like first:end (half-open, slowest axis)");
+  try {
+    first = static_cast<std::size_t>(std::stoull(spec.substr(0, colon)));
+    count = static_cast<std::size_t>(std::stoull(spec.substr(colon + 1)));
+  } catch (const std::exception&) {
+    throw InvalidArgument("--range bounds do not fit in an integer: '" + spec + "'");
+  }
+  require(count > first, "--range end must exceed its start");
+  count -= first;
+}
+
+int cmd_pack(const Cli& cli) {
+  const NdArray field = read_raw(cli.get_string("input"),
+                                 dtype_from_name(cli.get_string("dtype")),
+                                 parse_dims(cli.get_string("dims")));
+  archive::ArchiveWriteConfig config;
+  config.engine.compressor = cli.get_string("compressor");
+  config.engine.tuner.target_ratio = cli.get_double("target");
+  config.engine.tuner.epsilon = cli.get_double("epsilon");
+  config.engine.tuner.max_error_bound = cli.get_double("max-bound");
+  config.engine.tuner.regions = static_cast<int>(cli.get_int("regions"));
+  config.engine.tuner.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.chunk_extent = static_cast<std::size_t>(cli.get_int("chunk-extent"));
+  config.threads = static_cast<unsigned>(cli.get_int("threads"));
+
+  auto writer = archive::ArchiveWriter::create(std::move(config));
+  if (!writer.ok()) throw_status(writer.status());
+  Buffer bytes;
+  const auto written = writer.value().write(field.view(), bytes);
+  if (!written.ok()) throw_status(written.status());
+  const archive::ArchiveWriteResult& r = written.value();
+  write_file(cli.get_string("output"), bytes.data(), bytes.size());
+
+  std::printf("wrote %s: %zu -> %zu bytes in %zu chunks of %zu plane(s)\n",
+              cli.get_string("output").c_str(), r.raw_bytes, r.archive_bytes,
+              r.chunk_count, r.chunk_extent);
+  std::printf("aggregate ratio %.3f vs target %.3f (epsilon %.3f): %s\n",
+              r.achieved_ratio, cli.get_double("target"), cli.get_double("epsilon"),
+              r.in_band ? "in band" : "OUT OF BAND");
+  std::printf("chunks: %zu warm, %zu retrained, %.2fs\n", r.warm_chunks,
+              r.retrained_chunks, r.seconds);
+  return r.in_band ? 0 : 2;
+}
+
+int cmd_unpack(const Cli& cli) {
+  const auto bytes = read_file(cli.get_string("input"));
+  auto reader = archive::ArchiveReader::open(bytes.data(), bytes.size());
+  if (!reader.ok()) throw_status(reader.status());
+
+  Result<NdArray> decoded = [&]() -> Result<NdArray> {
+    const std::int64_t chunk = cli.get_int("chunk");
+    const std::string range = cli.get_string("range");
+    require(chunk < 0 || range.empty(), "--chunk and --range are mutually exclusive");
+    if (chunk >= 0) return reader.value().read_chunk(static_cast<std::size_t>(chunk));
+    if (!range.empty()) {
+      std::size_t first = 0, count = 0;
+      parse_range(range, first, count);
+      return reader.value().read_range(first, count);
+    }
+    return reader.value().read_all(static_cast<unsigned>(cli.get_int("threads")));
+  }();
+  if (!decoded.ok()) throw_status(decoded.status());
+
+  write_raw(cli.get_string("output"), decoded.value().view());
+  std::printf("wrote %s: %zu values (%s", cli.get_string("output").c_str(),
+              decoded.value().elements(), dtype_name(decoded.value().dtype()).c_str());
+  for (std::size_t d : decoded.value().shape()) std::printf(" x%zu", d);
+  std::printf(")\n");
+  return 0;
+}
+
+int cmd_info(const Cli& cli) {
+  const auto bytes = read_file(cli.get_string("input"));
+  auto reader = archive::ArchiveReader::open(bytes.data(), bytes.size());
+  if (!reader.ok()) throw_status(reader.status());
+  const archive::ArchiveInfo& info = reader.value().info();
+
+  if (cli.get_flag("json")) {
+    std::string out = "{";
+    out += "\"compressor\":" + json_escape(info.compressor);
+    out += ",\"dtype\":" + json_escape(dtype_name(info.dtype));
+    out += ",\"shape\":[";
+    for (std::size_t d = 0; d < info.shape.size(); ++d)
+      out += (d ? "," : "") + std::to_string(info.shape[d]);
+    out += "],\"chunk_extent\":" + std::to_string(info.chunk_extent);
+    out += ",\"chunk_count\":" + std::to_string(info.chunk_count);
+    out += ",\"target_ratio\":" + std::to_string(info.target_ratio);
+    out += ",\"epsilon\":" + std::to_string(info.epsilon);
+    out += ",\"raw_bytes\":" + std::to_string(info.raw_bytes);
+    out += ",\"archive_bytes\":" + std::to_string(info.archive_bytes);
+    out += ",\"achieved_ratio\":" + std::to_string(info.achieved_ratio);
+    out += ",\"chunks\":[";
+    for (std::size_t i = 0; i < info.chunks.size(); ++i) {
+      const archive::ChunkEntry& c = info.chunks[i];
+      if (i) out += ",";
+      out += "{\"offset\":" + std::to_string(c.offset) +
+             ",\"size\":" + std::to_string(c.size) +
+             ",\"error_bound\":" + std::to_string(c.error_bound) + "}";
+    }
+    out += "]}";
+    std::printf("%s\n", out.c_str());
+    return 0;
+  }
+
+  std::printf("compressor      %s\n", info.compressor.c_str());
+  std::printf("dtype           %s\n", dtype_name(info.dtype).c_str());
+  std::printf("shape          ");
+  for (std::size_t d : info.shape) std::printf(" %zu", d);
+  std::printf("\nchunking        %zu chunk(s) of %zu plane(s) along the slowest axis\n",
+              info.chunk_count, info.chunk_extent);
+  std::printf("target ratio    %.3f (epsilon %.3f)\n", info.target_ratio, info.epsilon);
+  std::printf("aggregate ratio %.3f (%zu -> %zu bytes)\n", info.achieved_ratio,
+              info.raw_bytes, info.archive_bytes);
+  std::printf("%-6s %-10s %-10s %s\n", "chunk", "offset", "bytes", "error_bound");
+  for (std::size_t i = 0; i < info.chunks.size(); ++i)
+    std::printf("%-6zu %-10zu %-10zu %.9g\n", i, info.chunks[i].offset,
+                info.chunks[i].size, info.chunks[i].error_bound);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: fraz <tune|quality|compress|decompress|inspect|backends> [flags]\n"
-                 "run 'fraz <subcommand> --help' for flags\n");
+                 "usage: fraz "
+                 "<tune|quality|compress|decompress|inspect|pack|unpack|info|backends> "
+                 "[flags]\nrun 'fraz <subcommand> --help' for flags\n");
     return 1;
   }
   const std::string subcommand = argv[1];
@@ -311,7 +447,11 @@ int main(int argc, char** argv) {
     cli.add_int("regions", 12, "error-bound search regions (paper default 12)");
     cli.add_int("seed", 0x46526158, "deterministic search seed");
     cli.add_flag("verify", "after compress: decompress and check the bound");
-    cli.add_flag("json", "tune: emit the result as JSON");
+    cli.add_flag("json", "tune/info: emit the result as JSON");
+    cli.add_int("chunk-extent", 0, "pack: slowest-axis planes per chunk (0 = auto)");
+    cli.add_int("threads", 0, "pack/unpack: worker threads (0 = hardware)");
+    cli.add_int("chunk", -1, "unpack: extract a single chunk by index");
+    cli.add_string("range", "", "unpack: slowest-axis plane range first:end");
     cli.add_string("metric", "psnr", "quality: psnr|ssim");
     cli.add_double("floor", 60.0, "quality: minimum acceptable metric value");
     if (!cli.parse(argc - 1, argv + 1)) return 0;
@@ -322,9 +462,17 @@ int main(int argc, char** argv) {
     if (subcommand == "compress") return cmd_compress(cli);
     if (subcommand == "decompress") return cmd_decompress(cli);
     if (subcommand == "inspect") return cmd_inspect(cli);
+    if (subcommand == "pack") return cmd_pack(cli);
+    if (subcommand == "unpack") return cmd_unpack(cli);
+    if (subcommand == "info") return cmd_info(cli);
     std::fprintf(stderr, "unknown subcommand '%s'\n", subcommand.c_str());
     return 1;
   } catch (const fraz::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    // Flag parsing helpers (std::stoull and friends) throw standard
+    // exceptions; a typo must print usage-style feedback, not terminate().
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
