@@ -1,93 +1,20 @@
 #include "archive/archive.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <cstring>
-#include <future>
 
-#include "codec/checksum.hpp"
-#include "codec/varint.hpp"
-#include "opt/thread_pool.hpp"
+#include "archive/pipeline.hpp"
 #include "util/error.hpp"
-#include "util/timer.hpp"
 
 namespace fraz::archive {
-
-namespace {
-
-constexpr std::uint32_t kArchiveMagic = 0x417a5246u;  // "FRzA" little-endian
-constexpr std::uint32_t kFooterMagic = 0x457a5246u;   // "FRzE" little-endian
-
-/// Field keys inside the writer's Engines; the tune key is stable across
-/// write() calls so the persistent engine warm-starts a whole time series.
-constexpr const char* kTuneKey = "archive:chunk0";
-constexpr const char* kChunkKey = "archive:chunk";
-
-/// Chunk boundaries must depend on the data geometry only (never on worker
-/// count), so 1-thread and N-thread packs produce identical archives.
-std::size_t auto_chunk_extent(std::size_t n0, std::size_t plane_bytes) {
-  constexpr std::size_t kTargetChunks = 16;
-  constexpr std::size_t kMinChunkBytes = 4096;
-  std::size_t extent = (n0 + kTargetChunks - 1) / kTargetChunks;
-  if (extent * plane_bytes < kMinChunkBytes)
-    extent = (kMinChunkBytes + plane_bytes - 1) / plane_bytes;
-  return std::min(std::max<std::size_t>(extent, 1), n0);
-}
-
-/// Writer-internal engines tune single-threaded: archive parallelism comes
-/// from chunks, and region-level cancellation races would otherwise make the
-/// chosen bound (and the archive bytes) timing-dependent.
-EngineConfig serial_tuning(EngineConfig config) {
-  config.tuner.threads = 1;
-  return config;
-}
-
-unsigned resolve_workers(unsigned requested, std::size_t tasks) {
-  unsigned w = requested == 0 ? std::thread::hardware_concurrency() : requested;
-  if (w == 0) w = 1;
-  return static_cast<unsigned>(std::min<std::size_t>(w, tasks));
-}
-
-/// Non-owning view of the slowest-axis slice [i*extent, i*extent+planes).
-ArrayView chunk_slice(const ArrayView& data, std::size_t extent, std::size_t i) {
-  const Shape& shape = data.shape();
-  const std::size_t n0 = shape[0];
-  const std::size_t plane_bytes = data.size_bytes() / n0;
-  const std::size_t first = i * extent;
-  Shape chunk_shape = shape;
-  chunk_shape[0] = std::min(extent, n0 - first);
-  const auto* base = static_cast<const std::uint8_t*>(data.data());
-  return ArrayView(base + first * plane_bytes, data.dtype(), std::move(chunk_shape));
-}
-
-}  // namespace
-
-std::string backend_name(CompressorId id) {
-  switch (id) {
-    case CompressorId::kSz: return "sz";
-    case CompressorId::kZfp: return "zfp";
-    case CompressorId::kMgard: return "mgard";
-    case CompressorId::kTruncate: return "truncate";
-  }
-  throw Unsupported("archive: unknown compressor id");
-}
-
-CompressorId backend_id(const std::string& name) {
-  if (name == "sz") return CompressorId::kSz;
-  if (name == "zfp") return CompressorId::kZfp;
-  if (name == "mgard") return CompressorId::kMgard;
-  if (name == "truncate") return CompressorId::kTruncate;
-  throw Unsupported("archive: backend '" + name +
-                    "' has no container id (format v1 records sz/zfp/mgard/truncate)");
-}
 
 // ------------------------------------------------------------------- writer
 
 ArchiveWriter::ArchiveWriter(ArchiveWriteConfig config)
-    : config_(std::move(config)), tune_engine_(serial_tuning(config_.engine)) {
-  // The manifest records the backend as a CompressorId — fail construction,
-  // not the first write, for backends the format cannot name.
-  (void)backend_id(config_.engine.compressor);
+    : config_(std::move(config)), tune_engine_(detail::serial_tuning(config_.engine)) {
+  // Fail construction, not the first write, on configs no write can accept
+  // (unknown format version, v1 with a backend the format cannot name).
+  const Status s = detail::validate_write_config(config_);
+  if (!s.ok()) throw_status(s);
 }
 
 Result<ArchiveWriter> ArchiveWriter::create(ArchiveWriteConfig config) noexcept {
@@ -98,267 +25,53 @@ Result<ArchiveWriter> ArchiveWriter::create(ArchiveWriteConfig config) noexcept 
   }
 }
 
-Result<ArchiveWriteResult> ArchiveWriter::write(const ArrayView& data, Buffer& out) noexcept {
-  try {
-    Timer timer;
-    if (data.dims() == 0 || data.elements() == 0)
-      return Status::invalid_argument("archive: cannot pack an empty array");
-    const CompressorId id = backend_id(config_.engine.compressor);
-    const std::size_t n0 = data.shape()[0];
-    const std::size_t plane_bytes = data.size_bytes() / n0;
-    const std::size_t extent = config_.chunk_extent > 0
-                                   ? std::min(config_.chunk_extent, n0)
-                                   : auto_chunk_extent(n0, plane_bytes);
-    const std::size_t chunk_count = (n0 + extent - 1) / extent;
-
-    // Shared warm-start bound: full ratio training runs on chunk 0 only (and
-    // only when the persistent engine's cache cannot satisfy it — packing a
-    // drifting time series retrains a handful of times, not per archive).
-    Result<TuneResult> tuned = tune_engine_.tune(kTuneKey, chunk_slice(data, extent, 0));
-    if (!tuned.ok()) return tuned.status();
-    const double shared_bound = tuned.value().error_bound;
-
-    // Parallel chunk pipeline: workers pull chunk indices from a shared
-    // counter, each with its own Engine (the backends are not thread-safe).
-    // Each chunk is seeded with its own previous-write bound when the chunk
-    // geometry is unchanged (the time dimension of Algorithm 3), falling
-    // back to the shared chunk-0 bound — both depend only on the chunk
-    // index, so the bytes a chunk compresses to cannot depend on which
-    // worker handled it.
-    const bool carry = last_shape_ == data.shape() && last_extent_ == extent &&
-                       chunk_bounds_.size() == chunk_count;
-    struct Slot {
-      Buffer bytes;
-      CompressOutcome outcome;
-      Status status;
-      double seconds = 0;
-    };
-    std::vector<Slot> slots(chunk_count);
-    std::atomic<std::size_t> next{0};
-    auto drain_chunks = [&] {
-      auto created = Engine::create(serial_tuning(config_.engine));
-      std::size_t i;
-      if (!created.ok()) {
-        while ((i = next.fetch_add(1)) < chunk_count) slots[i].status = created.status();
-        return;
-      }
-      Engine engine = std::move(created).value();
-      while ((i = next.fetch_add(1)) < chunk_count) {
-        Timer chunk_timer;
-        const double seed =
-            carry && chunk_bounds_[i] > 0 ? chunk_bounds_[i] : shared_bound;
-        engine.seed_bound(kChunkKey, seed);
-        slots[i].status = engine.compress(kChunkKey, chunk_slice(data, extent, i),
-                                          slots[i].bytes, &slots[i].outcome);
-        slots[i].seconds = chunk_timer.seconds();
-      }
-    };
-    const unsigned workers = resolve_workers(config_.threads, chunk_count);
-    if (workers <= 1) {
-      drain_chunks();
-    } else {
-      ThreadPool pool(workers);
-      std::vector<std::future<void>> done;
-      done.reserve(workers);
-      for (unsigned w = 0; w < workers; ++w) done.push_back(pool.submit(drain_chunks));
-      for (auto& f : done) f.get();
-    }
-    for (std::size_t i = 0; i < chunk_count; ++i)
-      if (!slots[i].status.ok()) return slots[i].status;
-
-    // Remember each chunk's bound for the next write of the same geometry.
-    last_shape_ = data.shape();
-    last_extent_ = extent;
-    chunk_bounds_.resize(chunk_count);
-    for (std::size_t i = 0; i < chunk_count; ++i)
-      chunk_bounds_[i] = slots[i].outcome.error_bound;
-
-    // Manifest payload: policy + per-chunk index.
-    Buffer manifest;
-    put_u32(manifest, kArchiveMagic);
-    manifest.push_back(kFormatVersion);
-    put_f64(manifest, config_.engine.tuner.target_ratio);
-    put_f64(manifest, config_.engine.tuner.epsilon);
-    put_varint(manifest, extent);
-    put_varint(manifest, chunk_count);
-    ArchiveWriteResult result;
-    result.chunk_count = chunk_count;
-    result.chunk_extent = extent;
-    result.chunks.reserve(chunk_count);
-    std::size_t offset = 0;
-    for (const Slot& slot : slots) {
-      ChunkReport report;
-      report.entry.offset = offset;
-      report.entry.size = slot.bytes.size();
-      report.entry.error_bound = slot.outcome.error_bound;
-      report.entry.crc = crc32(slot.bytes.data(), slot.bytes.size());
-      report.ratio = slot.outcome.achieved_ratio;
-      report.seconds = slot.seconds;
-      report.warm = slot.outcome.warm;
-      report.retrained = slot.outcome.retrained;
-      report.in_band = slot.outcome.in_band;
-      put_varint(manifest, report.entry.offset);
-      put_varint(manifest, report.entry.size);
-      put_f64(manifest, report.entry.error_bound);
-      put_u32(manifest, report.entry.crc);
-      offset += slot.bytes.size();
-      result.warm_chunks += report.warm;
-      result.retrained_chunks += report.retrained;
-      result.chunks.push_back(std::move(report));
-    }
-
-    // Assemble: manifest frame (a standard Container over the full shape),
-    // chunk region, footer.
-    seal_container_into(id, data.dtype(), data.shape(), manifest.data(), manifest.size(),
-                        out);
-    const std::size_t manifest_size = out.size();
-    for (const Slot& slot : slots) out.append(slot.bytes.data(), slot.bytes.size());
-
-    result.raw_bytes = data.size_bytes();
-    result.archive_bytes = out.size() + kFooterBytes;
-    result.achieved_ratio = static_cast<double>(result.raw_bytes) /
-                            static_cast<double>(result.archive_bytes);
-    result.in_band = ratio_acceptable(result.achieved_ratio,
-                                      config_.engine.tuner.target_ratio,
-                                      config_.engine.tuner.epsilon);
-    put_u32(out, kFooterMagic);
-    put_u64(out, manifest_size);
-    put_u64(out, result.raw_bytes);
-    put_u64(out, result.archive_bytes);
-    put_f64(out, result.achieved_ratio);
-    put_u32(out, crc32(out.data() + (out.size() - (kFooterBytes - 4)), kFooterBytes - 4));
-
-    result.seconds = timer.seconds();
-    return result;
-  } catch (...) {
-    return status_from_current_exception();
-  }
+Result<ArchiveWriteResult> ArchiveWriter::write(const ArrayView& data,
+                                                Buffer& out) noexcept {
+  out.clear();
+  detail::BufferSink sink(out);
+  return detail::write_archive(config_, tune_engine_, carry_, data, sink);
 }
 
 // ------------------------------------------------------------------- reader
 
 ArchiveReader::ArchiveReader(const std::uint8_t* data, std::size_t size,
-                             std::size_t chunk_region, ArchiveInfo info, Engine engine)
-    : data_(data),
-      size_(size),
-      chunk_region_(chunk_region),
-      info_(std::move(info)),
-      engine_(std::move(engine)) {}
+                             ArchiveInfo info, Engine engine)
+    : data_(data), size_(size), info_(std::move(info)), engine_(std::move(engine)) {}
 
 Result<ArchiveReader> ArchiveReader::open(const std::uint8_t* data,
                                           std::size_t size) noexcept {
   try {
-    if (size < kFooterBytes + 16) throw CorruptStream("archive: too small");
-
-    // Footer first: it is the trust anchor locating the manifest.
-    std::size_t pos = size - kFooterBytes;
-    const std::size_t footer_base = pos;
-    const std::uint32_t magic = get_u32(data, size, pos);
-    const std::uint64_t manifest_size = get_u64(data, size, pos);
-    const std::uint64_t raw_bytes = get_u64(data, size, pos);
-    const std::uint64_t archive_bytes = get_u64(data, size, pos);
-    const double achieved_ratio = get_f64(data, size, pos);
-    const std::uint32_t stored_crc = get_u32(data, size, pos);
-    if (crc32(data + footer_base, kFooterBytes - 4) != stored_crc)
-      throw CorruptStream("archive: footer checksum mismatch");
-    if (magic != kFooterMagic) throw CorruptStream("archive: bad footer magic");
-    if (archive_bytes != size) throw CorruptStream("archive: size mismatch");
-    if (manifest_size < 12 || manifest_size > size - kFooterBytes)
-      throw CorruptStream("archive: manifest size out of range");
-
-    // Manifest: a standard Container frame over the full logical array.
-    const Container manifest = open_container(data, manifest_size);
-    ArchiveInfo info;
-    info.id = manifest.id;
-    info.compressor = backend_name(manifest.id);
-    info.dtype = manifest.dtype;
-    info.shape = manifest.shape;
-    info.raw_bytes = raw_bytes;
-    info.archive_bytes = archive_bytes;
-    info.achieved_ratio = achieved_ratio;
-
-    const std::uint8_t* p = manifest.payload;
-    const std::size_t psize = manifest.payload_size;
-    std::size_t mpos = 0;
-    if (get_u32(p, psize, mpos) != kArchiveMagic)
-      throw CorruptStream("archive: bad manifest magic");
-    if (mpos >= psize) throw CorruptStream("archive: truncated manifest");
-    const std::uint8_t version = p[mpos++];
-    if (version != kFormatVersion)
-      throw CorruptStream("archive: unsupported format version");
-    info.target_ratio = get_f64(p, psize, mpos);
-    info.epsilon = get_f64(p, psize, mpos);
-    info.chunk_extent = get_varint(p, psize, mpos);
-    info.chunk_count = get_varint(p, psize, mpos);
-
-    const std::size_t n0 = info.shape[0];
-    if (info.chunk_extent == 0 || info.chunk_extent > n0)
-      throw CorruptStream("archive: bad chunk extent");
-    if (info.chunk_count != (n0 + info.chunk_extent - 1) / info.chunk_extent)
-      throw CorruptStream("archive: chunk count does not match shape");
-    if (raw_bytes != shape_elements(info.shape) * dtype_size(info.dtype))
-      throw CorruptStream("archive: raw size does not match shape");
-
-    const std::size_t region_bytes = size - manifest_size - kFooterBytes;
-    std::size_t running = 0;
-    info.chunks.reserve(info.chunk_count);
-    for (std::size_t i = 0; i < info.chunk_count; ++i) {
-      ChunkEntry entry;
-      entry.offset = get_varint(p, psize, mpos);
-      entry.size = get_varint(p, psize, mpos);
-      entry.error_bound = get_f64(p, psize, mpos);
-      entry.crc = get_u32(p, psize, mpos);
-      if (entry.offset != running || entry.size == 0)
-        throw CorruptStream("archive: chunk index is not contiguous");
-      running += entry.size;
-      info.chunks.push_back(entry);
-    }
-    if (running != region_bytes)
-      throw CorruptStream("archive: chunk region size mismatch");
-    if (mpos != psize) throw CorruptStream("archive: trailing manifest bytes");
+    const std::size_t tail_size = std::min(size, kFooterBytes);
+    const Footer footer = parse_footer(data + (size - tail_size), tail_size, size);
+    ArchiveInfo info =
+        parse_manifest(data + footer.manifest_offset, footer.manifest_size, footer);
 
     EngineConfig engine_config;
     engine_config.compressor = info.compressor;
     Engine engine(std::move(engine_config));
-    return ArchiveReader(data, size, manifest_size, std::move(info), std::move(engine));
+    return ArchiveReader(data, size, std::move(info), std::move(engine));
   } catch (...) {
     return status_from_current_exception();
   }
 }
 
 Shape ArchiveReader::chunk_shape(std::size_t i) const {
-  require(i < info_.chunk_count, "archive: chunk index out of range");
-  Shape shape = info_.shape;
-  shape[0] = std::min(info_.chunk_extent, info_.shape[0] - i * info_.chunk_extent);
-  return shape;
-}
-
-NdArray ArchiveReader::decode_chunk(Engine& engine, std::size_t i) const {
-  const ChunkEntry& entry = info_.chunks[i];
-  const std::uint8_t* chunk = data_ + chunk_region_ + entry.offset;
-  if (crc32(chunk, entry.size) != entry.crc)
-    throw CorruptStream("archive: chunk " + std::to_string(i) + " failed its checksum");
-  Result<NdArray> decoded = engine.decompress(chunk, entry.size);
-  if (!decoded.ok())
-    throw CorruptStream("archive: chunk " + std::to_string(i) + ": " +
-                        decoded.status().to_string());
-  if (decoded.value().dtype() != info_.dtype || decoded.value().shape() != chunk_shape(i))
-    throw CorruptStream("archive: chunk " + std::to_string(i) +
-                        " decoded to an unexpected shape");
-  return std::move(decoded).value();
+  return detail::chunk_shape(info_, i);
 }
 
 Result<NdArray> ArchiveReader::read_chunk(std::size_t i) noexcept {
   try {
     if (i >= info_.chunk_count)
       return Status::invalid_argument("archive: chunk index out of range");
-    return decode_chunk(engine_, i);
+    const detail::MemorySource source(data_, size_);
+    return detail::decode_chunk(engine_, source, info_, i, scratch_);
   } catch (...) {
     return status_from_current_exception();
   }
 }
 
-Result<NdArray> ArchiveReader::read_range(std::size_t first, std::size_t count) noexcept {
+Result<NdArray> ArchiveReader::read_range(std::size_t first, std::size_t count,
+                                          unsigned threads) noexcept {
   try {
     const std::size_t n0 = info_.shape[0];
     if (count == 0 || first >= n0 || count > n0 - first)
@@ -366,20 +79,10 @@ Result<NdArray> ArchiveReader::read_range(std::size_t first, std::size_t count) 
     Shape out_shape = info_.shape;
     out_shape[0] = count;
     NdArray out(info_.dtype, std::move(out_shape));
-    const std::size_t plane_bytes =
-        (shape_elements(info_.shape) / n0) * dtype_size(info_.dtype);
-    const std::size_t extent = info_.chunk_extent;
-    const std::size_t last_chunk = (first + count - 1) / extent;
-    for (std::size_t c = first / extent; c <= last_chunk; ++c) {
-      const NdArray chunk = decode_chunk(engine_, c);
-      const std::size_t chunk_first = c * extent;
-      const std::size_t lo = std::max(first, chunk_first);
-      const std::size_t hi = std::min(first + count, chunk_first + chunk.shape()[0]);
-      std::memcpy(static_cast<std::uint8_t*>(out.data()) + (lo - first) * plane_bytes,
-                  static_cast<const std::uint8_t*>(chunk.data()) +
-                      (lo - chunk_first) * plane_bytes,
-                  (hi - lo) * plane_bytes);
-    }
+    const detail::MemorySource source(data_, size_);
+    const Status s = detail::read_planes(source, info_, engine_, scratch_, first, count,
+                                         threads, out);
+    if (!s.ok()) return s;
     return out;
   } catch (...) {
     return status_from_current_exception();
@@ -387,57 +90,7 @@ Result<NdArray> ArchiveReader::read_range(std::size_t first, std::size_t count) 
 }
 
 Result<NdArray> ArchiveReader::read_all(unsigned threads) noexcept {
-  try {
-    NdArray out(info_.dtype, info_.shape);
-    const std::size_t plane_bytes =
-        (shape_elements(info_.shape) / info_.shape[0]) * dtype_size(info_.dtype);
-    auto emplace = [&](Engine& engine, std::size_t i) {
-      const NdArray chunk = decode_chunk(engine, i);
-      std::memcpy(static_cast<std::uint8_t*>(out.data()) +
-                      i * info_.chunk_extent * plane_bytes,
-                  chunk.data(), chunk.size_bytes());
-    };
-    const unsigned workers = resolve_workers(threads, info_.chunk_count);
-    if (threads == 1 || workers <= 1) {
-      for (std::size_t i = 0; i < info_.chunk_count; ++i) emplace(engine_, i);
-      return out;
-    }
-    // Parallel decode: chunks write disjoint plane ranges of `out`, so the
-    // only coordination needed is the shared chunk counter.
-    std::vector<Status> statuses(info_.chunk_count);
-    std::atomic<std::size_t> next{0};
-    auto drain = [&] {
-      EngineConfig config;
-      config.compressor = info_.compressor;
-      auto created = Engine::create(std::move(config));
-      std::size_t i;
-      if (!created.ok()) {
-        while ((i = next.fetch_add(1)) < info_.chunk_count)
-          statuses[i] = created.status();
-        return;
-      }
-      Engine engine = std::move(created).value();
-      while ((i = next.fetch_add(1)) < info_.chunk_count) {
-        try {
-          emplace(engine, i);
-        } catch (...) {
-          statuses[i] = status_from_current_exception();
-        }
-      }
-    };
-    {
-      ThreadPool pool(workers);
-      std::vector<std::future<void>> done;
-      done.reserve(workers);
-      for (unsigned w = 0; w < workers; ++w) done.push_back(pool.submit(drain));
-      for (auto& f : done) f.get();
-    }
-    for (const Status& s : statuses)
-      if (!s.ok()) return s;
-    return out;
-  } catch (...) {
-    return status_from_current_exception();
-  }
+  return read_range(0, info_.shape[0], threads);
 }
 
 }  // namespace fraz::archive

@@ -2,7 +2,8 @@
 #define FRAZ_ARCHIVE_ARCHIVE_HPP
 
 /// \file archive.hpp
-/// Chunked, seekable super-frame archive over the fixed-ratio pipeline.
+/// Chunked, seekable super-frame archive over the fixed-ratio pipeline —
+/// the in-memory transport.
 ///
 /// FRaZ's ratio guarantee is framed per whole field, but production stores
 /// (cf. C-Blosc2's super-chunk/frame design) shard data into independently
@@ -14,32 +15,12 @@
 /// aggregate raw/archive ratio is what must land in ρt(1±ε) and is recorded
 /// in the footer.
 ///
-/// Byte layout (all integers little-endian, varints LEB128):
-///
-///   [manifest]   a standard Container frame (magic 'FRaZ', version,
-///                compressor id, dtype, FULL logical shape, CRC-32) whose
-///                payload is the archive manifest:
-///                  u32     archive magic 'FRzA'
-///                  u8      archive format version (1)
-///                  f64     target ratio ρt
-///                  f64     epsilon ε
-///                  varint  chunk extent (slowest-axis planes per chunk)
-///                  varint  chunk count
-///                  per chunk: varint offset   (from start of chunk region)
-///                             varint size     (compressed bytes)
-///                             f64    error bound the chunk was written at
-///                             u32    CRC-32 of the chunk's bytes
-///   [chunks]     the chunk payloads, concatenated.  Each is itself a
-///                complete Container frame produced by the backend for the
-///                chunk's slice (shape {extent_i, rest...}), so a single
-///                chunk is decodable by the ordinary decompression path.
-///   [footer]     fixed 40 bytes at the very end:
-///                  u32  footer magic 'FRzE'
-///                  u64  manifest size (bytes; where the chunk region starts)
-///                  u64  raw bytes of the original array
-///                  u64  total archive bytes (self check)
-///                  f64  achieved aggregate ratio (raw / archive)
-///                  u32  CRC-32 over the 36 footer bytes before it
+/// The wire format (v2 chunks-first streaming layout, v1 manifest-first
+/// legacy layout) is documented in `archive/format.hpp`; the file-backed
+/// transport that streams chunks to disk as they finish lives in
+/// `archive/archive_file.hpp`.  All transports share one chunk pipeline and
+/// one manifest codec, so in-memory and file-backed packs of the same data
+/// are byte-identical.
 ///
 /// Seekability: the manifest and footer carry their own CRCs, chunk CRCs live
 /// in the manifest, and chunk payloads are validated only when touched — a
@@ -54,7 +35,7 @@
 #include <string>
 #include <vector>
 
-#include "compressors/container.hpp"
+#include "archive/format.hpp"
 #include "engine/engine.hpp"
 #include "ndarray/ndarray.hpp"
 #include "util/buffer.hpp"
@@ -62,20 +43,7 @@
 
 namespace fraz::archive {
 
-/// Archive format version written by this implementation.
-inline constexpr std::uint8_t kFormatVersion = 1;
-
-/// Size of the fixed trailer at the end of every archive.
-inline constexpr std::size_t kFooterBytes = 40;
-
-/// Registry name of a container CompressorId ("sz", "zfp", ...).
-std::string backend_name(CompressorId id);
-
-/// Inverse of backend_name; throws Unsupported for names outside the four
-/// built-in ids the archive format can record.
-CompressorId backend_id(const std::string& name);
-
-/// Construction-time configuration of an ArchiveWriter.
+/// Construction-time configuration of an archive writer (both transports).
 struct ArchiveWriteConfig {
   /// Backend + tuning knobs; engine.tuner.target_ratio/epsilon define the
   /// archive-level acceptance band.  Tuner thread parallelism is forced to 1
@@ -89,28 +57,39 @@ struct ArchiveWriteConfig {
   /// Chunk-compression workers; 0 selects hardware concurrency.  Never
   /// affects the output bytes.
   unsigned threads = 0;
-};
-
-/// One chunk's entry as recorded in (or parsed from) the manifest.
-struct ChunkEntry {
-  std::size_t offset = 0;     ///< from the start of the chunk region
-  std::size_t size = 0;       ///< compressed bytes
-  double error_bound = 0;     ///< bound the chunk was compressed at
-  std::uint32_t crc = 0;      ///< CRC-32 of the chunk's bytes
+  /// On-disk format to emit.  v2 (default) is the chunks-first streaming
+  /// layout and records the backend by registry name, so user plugins
+  /// round-trip; v1 is the legacy manifest-first layout restricted to the
+  /// four built-in backends (and cannot stream — the whole chunk region is
+  /// buffered before the manifest is written).
+  std::uint8_t format_version = kFormatVersion;
+  /// When the backend is "zfp" and a chunk's accuracy-mode ratio misses the
+  /// acceptance band (ZFP's bit-plane treads are too coarse on small chunks
+  /// — the expressibility limit the paper reports in §VI-B.3), recompress
+  /// that chunk in fixed-rate mode at a rate targeting its share of the
+  /// aggregate band.  Rate-mode chunks trade the pointwise error bound for
+  /// the ratio guarantee; disable to keep every chunk error-bounded.
+  bool zfp_rate_fallback = true;
 };
 
 /// Writer-side detail of one chunk (ChunkEntry plus how it was produced).
 struct ChunkReport {
   ChunkEntry entry;
+  /// Accuracy-mode bound the chunk was tuned at — equal to entry.error_bound
+  /// except for rate-fallback chunks, whose manifest entry records 0 (no
+  /// pointwise guarantee) while this bound still seeds the next write.
+  double tuned_bound = 0;
   double ratio = 0;           ///< raw/compressed of this chunk alone
   double seconds = 0;         ///< wall time of this chunk's compression task
   bool warm = false;          ///< served by the shared warm-start bound
   bool retrained = false;     ///< chunk paid full training
   bool in_band = false;       ///< chunk ratio inside the band (informational)
+  bool rate_fallback = false; ///< rescued by the ZFP fixed-rate fallback
 };
 
-/// Outcome of one ArchiveWriter::write.
+/// Outcome of one archive write (either transport).
 struct ArchiveWriteResult {
+  std::uint8_t format_version = 0;
   std::size_t chunk_count = 0;
   std::size_t chunk_extent = 0;
   std::size_t raw_bytes = 0;
@@ -119,8 +98,24 @@ struct ArchiveWriteResult {
   bool in_band = false;       ///< aggregate ratio within ρt(1±ε)
   std::size_t warm_chunks = 0;
   std::size_t retrained_chunks = 0;
+  std::size_t rate_fallback_chunks = 0;
+  /// Peak number of chunk payloads the writer held in memory at once
+  /// (claimed-but-unemitted); bounded by workers + 1, which is what makes
+  /// the streaming transport's memory O(largest chunk × workers).
+  std::size_t peak_buffered_chunks = 0;
+  /// Peak bytes of completed-but-unemitted chunk payloads.
+  std::size_t peak_buffered_bytes = 0;
   double seconds = 0;
   std::vector<ChunkReport> chunks;
+};
+
+/// Warm-start state a writer carries across write() calls: each chunk of the
+/// previous write's geometry seeds the same chunk of the next (the time
+/// dimension of Algorithm 3).  Shared by the in-memory and file writers.
+struct ChunkBoundCarry {
+  Shape shape;
+  std::size_t extent = 0;
+  std::vector<double> bounds;
 };
 
 /// Shards an array along its slowest dimension and compresses the chunks in
@@ -149,35 +144,14 @@ public:
 private:
   ArchiveWriteConfig config_;
   Engine tune_engine_;  ///< persistent: carries the chunk-0 bound across writes
-
-  /// Per-chunk bounds of the previous write (valid while the chunk geometry
-  /// is unchanged) — the time dimension of the warm start.
-  Shape last_shape_;
-  std::size_t last_extent_ = 0;
-  std::vector<double> chunk_bounds_;
+  ChunkBoundCarry carry_;
 };
 
-/// Parsed archive metadata (manifest + footer; chunk payloads untouched).
-struct ArchiveInfo {
-  CompressorId id{};
-  std::string compressor;       ///< registry name of id
-  DType dtype{};
-  Shape shape;                  ///< full logical shape
-  std::size_t chunk_extent = 0;
-  std::size_t chunk_count = 0;
-  double target_ratio = 0;
-  double epsilon = 0;
-  std::size_t raw_bytes = 0;
-  std::size_t archive_bytes = 0;
-  double achieved_ratio = 0;    ///< aggregate ratio recorded in the footer
-  std::vector<ChunkEntry> chunks;
-};
-
-/// Random-access reader over an archive produced by ArchiveWriter.  The
-/// reader does not own the bytes; they must outlive it.  open() validates
-/// manifest and footer only — chunk payloads are checked (CRC + container
-/// CRC) by exactly the reads that touch them, so corruption in one chunk
-/// leaves every other chunk readable.
+/// Random-access reader over an archive held in memory.  The reader does not
+/// own the bytes; they must outlive it.  open() validates manifest and
+/// footer only — chunk payloads are checked (CRC + backend validation) by
+/// exactly the reads that touch them, so corruption in one chunk leaves
+/// every other chunk readable.  Reads both format versions.
 class ArchiveReader {
 public:
   /// Validate manifest + footer and build the chunk index.
@@ -196,21 +170,21 @@ public:
   Result<NdArray> read_chunk(std::size_t i) noexcept;
 
   /// Decompress the slowest-axis plane range [first, first + count),
-  /// touching (and validating) only the chunks that cover it.
-  Result<NdArray> read_range(std::size_t first, std::size_t count) noexcept;
+  /// touching (and validating) only the chunks that cover it.  Wide ranges
+  /// decode their chunks in parallel when \p threads allows (same semantics
+  /// as read_all; output ordering and per-chunk CRC isolation preserved).
+  Result<NdArray> read_range(std::size_t first, std::size_t count,
+                             unsigned threads = 1) noexcept;
 
 private:
-  ArchiveReader(const std::uint8_t* data, std::size_t size, std::size_t chunk_region,
-                ArchiveInfo info, Engine engine);
-
-  /// Validate chunk \p i's CRC and decode it (throwing helper).
-  NdArray decode_chunk(Engine& engine, std::size_t i) const;
+  ArchiveReader(const std::uint8_t* data, std::size_t size, ArchiveInfo info,
+                Engine engine);
 
   const std::uint8_t* data_;
   std::size_t size_;
-  std::size_t chunk_region_;  ///< offset of the chunk region (= manifest size)
   ArchiveInfo info_;
-  Engine engine_;             ///< serial decode path; workers clone their own
+  Engine engine_;   ///< serial decode path; workers clone their own
+  Buffer scratch_;  ///< fetch scratch for the serial path
 };
 
 }  // namespace fraz::archive

@@ -1,0 +1,273 @@
+#include "archive/archive_file.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <mutex>
+
+#include "archive/pipeline.hpp"
+#include "util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FRAZ_ARCHIVE_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define FRAZ_ARCHIVE_HAS_MMAP 0
+#endif
+
+namespace fraz::archive {
+
+namespace detail {
+
+namespace {
+
+std::string errno_message(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+/// 64-bit-clean positioned seek: std::fseek takes a long, which is 32 bits
+/// on some platforms (Windows) — exactly the ones stuck on the buffered
+/// path — and archives larger than RAM routinely exceed 2 GiB.
+int seek_to(std::FILE* file, std::size_t offset) {
+#if FRAZ_ARCHIVE_HAS_MMAP
+  return ::fseeko(file, static_cast<off_t>(offset), SEEK_SET);
+#else
+  if (offset > static_cast<std::size_t>(std::numeric_limits<long>::max())) return -1;
+  return std::fseek(file, static_cast<long>(offset), SEEK_SET);
+#endif
+}
+
+/// 64-bit-clean end-of-file position; negative on failure.
+std::int64_t size_of(std::FILE* file) {
+#if FRAZ_ARCHIVE_HAS_MMAP
+  if (::fseeko(file, 0, SEEK_END) != 0) return -1;
+  return static_cast<std::int64_t>(::ftello(file));
+#else
+  if (std::fseek(file, 0, SEEK_END) != 0) return -1;
+  return static_cast<std::int64_t>(std::ftell(file));
+#endif
+}
+
+}  // namespace
+
+/// Positioned-read source over an archive file: an mmap'd view where the
+/// platform provides one, otherwise mutex-serialized fseek+fread on a shared
+/// handle (decode work still parallelizes; only the byte fetches serialize).
+class FileSource final : public ChunkSource {
+public:
+  static std::unique_ptr<FileSource> open(const std::string& path, FileReadMode mode) {
+#if FRAZ_ARCHIVE_HAS_MMAP
+    if (mode != FileReadMode::kBuffered) {
+      const int fd = ::open(path.c_str(), O_RDONLY);
+      if (fd < 0) throw IoError(errno_message("archive: cannot open", path));
+      struct stat st {};
+      if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        throw IoError(errno_message("archive: cannot stat", path));
+      }
+      const auto size = static_cast<std::size_t>(st.st_size);
+      if (size == 0) {
+        ::close(fd);
+        throw CorruptStream("archive: '" + path + "' is empty");
+      }
+      void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);  // the mapping keeps the file referenced
+      if (map == MAP_FAILED) throw IoError(errno_message("archive: cannot mmap", path));
+      return std::unique_ptr<FileSource>(new FileSource(map, size));
+    }
+#else
+    if (mode == FileReadMode::kMmap)
+      throw Unsupported("archive: mmap is not available on this platform");
+#endif
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (!file) throw IoError(errno_message("archive: cannot open", path));
+    const std::int64_t end = size_of(file);
+    if (end < 0) {
+      std::fclose(file);
+      throw IoError(errno_message("archive: cannot measure", path));
+    }
+    if (end == 0) {
+      std::fclose(file);
+      throw CorruptStream("archive: '" + path + "' is empty");
+    }
+    return std::unique_ptr<FileSource>(new FileSource(file, static_cast<std::size_t>(end)));
+  }
+
+  ~FileSource() override {
+#if FRAZ_ARCHIVE_HAS_MMAP
+    if (map_) ::munmap(map_, size_);
+#endif
+    if (file_) std::fclose(file_);
+  }
+
+  FileSource(const FileSource&) = delete;
+  FileSource& operator=(const FileSource&) = delete;
+
+  std::size_t size() const noexcept { return size_; }
+  bool mapped() const noexcept { return map_ != nullptr; }
+
+  const std::uint8_t* fetch(std::size_t offset, std::size_t size,
+                            Buffer& scratch) const override {
+    if (offset > size_ || size > size_ - offset)
+      throw CorruptStream("archive: read beyond the end of the archive");
+    if (map_) return static_cast<const std::uint8_t*>(map_) + offset;
+    scratch.resize(size);
+    std::lock_guard lock(io_mutex_);
+    if (seek_to(file_, offset) != 0)
+      throw IoError("archive: seek failed: " + std::string(std::strerror(errno)));
+    if (std::fread(scratch.data(), 1, size, file_) != size)
+      throw IoError("archive: short read");
+    return scratch.data();
+  }
+
+private:
+  FileSource(void* map, std::size_t size) : map_(map), size_(size) {}
+  FileSource(std::FILE* file, std::size_t size) : file_(file), size_(size) {}
+
+  void* map_ = nullptr;
+  std::FILE* file_ = nullptr;
+  std::size_t size_ = 0;
+  mutable std::mutex io_mutex_;
+};
+
+namespace {
+
+/// Append-only sink over a FILE* (the streaming write transport).
+class FileSink final : public ByteSink {
+public:
+  explicit FileSink(std::FILE* file) noexcept : file_(file) {}
+
+  Status append(const std::uint8_t* data, std::size_t size) noexcept override {
+    if (size != 0 && std::fwrite(data, 1, size, file_) != size)
+      return Status::io_error("archive: write failed: " +
+                              std::string(std::strerror(errno)));
+    written_ += size;
+    return Status();
+  }
+
+  std::size_t bytes_written() const noexcept override { return written_; }
+
+private:
+  std::FILE* file_;
+  std::size_t written_ = 0;
+};
+
+}  // namespace
+
+}  // namespace detail
+
+// ------------------------------------------------------------------- writer
+
+ArchiveFileWriter::ArchiveFileWriter(ArchiveWriteConfig config)
+    : config_(std::move(config)), tune_engine_(detail::serial_tuning(config_.engine)) {
+  const Status s = detail::validate_write_config(config_);
+  if (!s.ok()) throw_status(s);
+}
+
+Result<ArchiveFileWriter> ArchiveFileWriter::create(ArchiveWriteConfig config) noexcept {
+  try {
+    return ArchiveFileWriter(std::move(config));
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<ArchiveWriteResult> ArchiveFileWriter::write(const std::string& path,
+                                                    const ArrayView& data) noexcept {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (!file)
+    return Status::io_error(detail::errno_message("archive: cannot open", path));
+  detail::FileSink sink(file);
+  Result<ArchiveWriteResult> result =
+      detail::write_archive(config_, tune_engine_, carry_, data, sink);
+  const bool flushed = std::fflush(file) == 0;
+  const bool closed = std::fclose(file) == 0;
+  if (result.ok() && !(flushed && closed))
+    result = Status::io_error(detail::errno_message("archive: cannot finish", path));
+  // Never leave a partial archive behind: its footer chain would fail open()
+  // anyway, and a campaign retries by path.
+  if (!result.ok()) std::remove(path.c_str());
+  return result;
+}
+
+// ------------------------------------------------------------------- reader
+
+ArchiveFileReader::ArchiveFileReader(std::unique_ptr<detail::FileSource> source,
+                                     ArchiveInfo info, Engine engine)
+    : source_(std::move(source)), info_(std::move(info)), engine_(std::move(engine)) {}
+
+ArchiveFileReader::ArchiveFileReader(ArchiveFileReader&&) noexcept = default;
+ArchiveFileReader& ArchiveFileReader::operator=(ArchiveFileReader&&) noexcept = default;
+ArchiveFileReader::~ArchiveFileReader() = default;
+
+Result<ArchiveFileReader> ArchiveFileReader::open(const std::string& path,
+                                                  FileReadMode mode) noexcept {
+  try {
+    std::unique_ptr<detail::FileSource> source = detail::FileSource::open(path, mode);
+    const std::size_t size = source->size();
+
+    // Validate only the trust anchors up front: footer, then manifest.
+    Buffer scratch;
+    const std::size_t tail_size = std::min(size, kFooterBytes);
+    const std::uint8_t* tail = source->fetch(size - tail_size, tail_size, scratch);
+    const Footer footer = parse_footer(tail, tail_size, size);
+    Buffer manifest_scratch;
+    const std::uint8_t* manifest =
+        source->fetch(footer.manifest_offset, footer.manifest_size, manifest_scratch);
+    ArchiveInfo info = parse_manifest(manifest, footer.manifest_size, footer);
+
+    EngineConfig engine_config;
+    engine_config.compressor = info.compressor;
+    auto engine = Engine::create(std::move(engine_config));
+    if (!engine.ok()) return engine.status();
+    return ArchiveFileReader(std::move(source), std::move(info),
+                             std::move(engine).value());
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+bool ArchiveFileReader::mapped() const noexcept { return source_->mapped(); }
+
+Shape ArchiveFileReader::chunk_shape(std::size_t i) const {
+  return detail::chunk_shape(info_, i);
+}
+
+Result<NdArray> ArchiveFileReader::read_chunk(std::size_t i) noexcept {
+  try {
+    if (i >= info_.chunk_count)
+      return Status::invalid_argument("archive: chunk index out of range");
+    return detail::decode_chunk(engine_, *source_, info_, i, scratch_);
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<NdArray> ArchiveFileReader::read_range(std::size_t first, std::size_t count,
+                                              unsigned threads) noexcept {
+  try {
+    const std::size_t n0 = info_.shape[0];
+    if (count == 0 || first >= n0 || count > n0 - first)
+      return Status::invalid_argument("archive: plane range out of bounds");
+    Shape out_shape = info_.shape;
+    out_shape[0] = count;
+    NdArray out(info_.dtype, std::move(out_shape));
+    const Status s = detail::read_planes(*source_, info_, engine_, scratch_, first, count,
+                                         threads, out);
+    if (!s.ok()) return s;
+    return out;
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<NdArray> ArchiveFileReader::read_all(unsigned threads) noexcept {
+  return read_range(0, info_.shape[0], threads);
+}
+
+}  // namespace fraz::archive

@@ -1,0 +1,116 @@
+#ifndef FRAZ_ARCHIVE_ARCHIVE_FILE_HPP
+#define FRAZ_ARCHIVE_ARCHIVE_FILE_HPP
+
+/// \file archive_file.hpp
+/// The streaming file transport of `fraz::archive`: archives that exceed RAM.
+///
+/// `ArchiveFileWriter` runs the same chunk pipeline as the in-memory
+/// `ArchiveWriter` but appends each chunk to the file the moment it is the
+/// next one in index order, so the writer's peak memory is
+/// O(largest chunk × workers) — at most workers + 1 chunk payloads are ever
+/// held (the pipeline's bounded reorder window) — never O(archive).  The v2
+/// chunks-first layout (see format.hpp) is what makes this append-only: the
+/// manifest and footer follow the chunk region, so nothing is back-patched.
+/// File-backed and in-memory packs of the same data are byte-identical at
+/// any worker count.
+///
+/// `ArchiveFileReader` opens a file, reads and validates only the footer and
+/// manifest, and serves `read_chunk` / `read_range` / `read_all` through
+/// positioned reads of exactly the chunks a request touches: mmap where
+/// available (zero-copy, the default on POSIX), with a portable buffered
+/// fread fallback (positioned reads serialized on the file handle; decode
+/// still runs in parallel).  Peak reader memory is O(touched output +
+/// largest chunk × workers).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "archive/archive.hpp"
+#include "util/buffer.hpp"
+#include "util/status.hpp"
+
+namespace fraz::archive {
+
+namespace detail {
+class FileSource;
+}  // namespace detail
+
+/// Streams a complete archive to a file as its chunks finish compressing.
+/// Carries the same Algorithm-3 warm-start state across write() calls as
+/// ArchiveWriter, so a time-series campaign pays ratio training once.
+class ArchiveFileWriter {
+public:
+  /// Non-throwing factory; unknown backends / invalid configs come back as
+  /// a Status.
+  static Result<ArchiveFileWriter> create(ArchiveWriteConfig config) noexcept;
+
+  /// Throwing convenience constructor (setup code, tests).
+  explicit ArchiveFileWriter(ArchiveWriteConfig config);
+
+  const ArchiveWriteConfig& config() const noexcept { return config_; }
+
+  /// Compress \p data into a complete archive at \p path (created or
+  /// truncated).  Format v2 streams chunk-by-chunk; format v1 buffers the
+  /// chunk region in memory first (its manifest precedes the chunks on the
+  /// wire).  On failure the partial file is removed.
+  Result<ArchiveWriteResult> write(const std::string& path,
+                                   const ArrayView& data) noexcept;
+
+private:
+  ArchiveWriteConfig config_;
+  Engine tune_engine_;
+  ChunkBoundCarry carry_;
+};
+
+/// How ArchiveFileReader accesses the file's bytes.
+enum class FileReadMode {
+  kAuto,      ///< mmap where the platform supports it, else buffered reads
+  kMmap,      ///< require mmap; open() fails where unavailable
+  kBuffered,  ///< portable positioned fread (also exercised by tests on POSIX)
+};
+
+/// Random-access reader over an archive file.  open() reads and validates
+/// only the footer and manifest; chunk payloads are fetched and validated by
+/// exactly the reads that touch them.  Reads both format versions.
+class ArchiveFileReader {
+public:
+  static Result<ArchiveFileReader> open(const std::string& path,
+                                        FileReadMode mode = FileReadMode::kAuto) noexcept;
+
+  ArchiveFileReader(ArchiveFileReader&&) noexcept;
+  ArchiveFileReader& operator=(ArchiveFileReader&&) noexcept;
+  ~ArchiveFileReader();
+
+  const ArchiveInfo& info() const noexcept { return info_; }
+
+  /// True when this reader serves fetches through an mmap'd view.
+  bool mapped() const noexcept;
+
+  /// Shape of chunk \p i ({extent_i, rest...}; the last chunk may be short).
+  Shape chunk_shape(std::size_t i) const;
+
+  /// Decompress the whole archive; \p threads as in ArchiveReader.
+  Result<NdArray> read_all(unsigned threads = 1) noexcept;
+
+  /// Decompress exactly chunk \p i, fetching and validating only its bytes.
+  Result<NdArray> read_chunk(std::size_t i) noexcept;
+
+  /// Decompress the slowest-axis plane range [first, first + count); wide
+  /// ranges decode touched chunks in parallel when \p threads allows.
+  Result<NdArray> read_range(std::size_t first, std::size_t count,
+                             unsigned threads = 1) noexcept;
+
+private:
+  ArchiveFileReader(std::unique_ptr<detail::FileSource> source, ArchiveInfo info,
+                    Engine engine);
+
+  std::unique_ptr<detail::FileSource> source_;
+  ArchiveInfo info_;
+  Engine engine_;   ///< serial decode path; workers clone their own
+  Buffer scratch_;  ///< fetch scratch for the serial path
+};
+
+}  // namespace fraz::archive
+
+#endif  // FRAZ_ARCHIVE_ARCHIVE_FILE_HPP

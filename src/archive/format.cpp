@@ -1,0 +1,263 @@
+#include "archive/format.hpp"
+
+#include "codec/checksum.hpp"
+#include "codec/varint.hpp"
+#include "util/error.hpp"
+
+namespace fraz::archive {
+
+namespace {
+
+constexpr std::uint32_t kArchiveMagic = 0x417a5246u;   // "FRzA" little-endian
+constexpr std::uint32_t kManifestMagic = 0x4d7a5246u;  // "FRzM" little-endian
+constexpr std::uint32_t kFooterMagicV1 = 0x457a5246u;  // "FRzE" little-endian
+constexpr std::uint32_t kFooterMagicV2 = 0x327a5246u;  // "FRz2" little-endian
+
+void encode_chunk_index(const std::vector<ChunkEntry>& chunks, Buffer& out) {
+  put_varint(out, chunks.size());
+  for (const ChunkEntry& entry : chunks) {
+    put_varint(out, entry.offset);
+    put_varint(out, entry.size);
+    put_f64(out, entry.error_bound);
+    put_u32(out, entry.crc);
+  }
+}
+
+/// Parse the per-chunk index shared by both manifest layouts, validating
+/// contiguity against the footer's chunk-region size.
+void parse_chunk_index(const std::uint8_t* p, std::size_t size, std::size_t& pos,
+                       const Footer& footer, ArchiveInfo& info) {
+  info.chunk_count = get_varint(p, size, pos);
+  const std::size_t n0 = info.shape[0];
+  if (info.chunk_extent == 0 || info.chunk_extent > n0)
+    throw CorruptStream("archive: bad chunk extent");
+  if (info.chunk_count != (n0 + info.chunk_extent - 1) / info.chunk_extent)
+    throw CorruptStream("archive: chunk count does not match shape");
+  if (info.raw_bytes != shape_elements(info.shape) * dtype_size(info.dtype))
+    throw CorruptStream("archive: raw size does not match shape");
+  std::size_t running = 0;
+  info.chunks.reserve(info.chunk_count);
+  for (std::size_t i = 0; i < info.chunk_count; ++i) {
+    ChunkEntry entry;
+    entry.offset = get_varint(p, size, pos);
+    entry.size = get_varint(p, size, pos);
+    entry.error_bound = get_f64(p, size, pos);
+    entry.crc = get_u32(p, size, pos);
+    if (entry.offset != running || entry.size == 0)
+      throw CorruptStream("archive: chunk index is not contiguous");
+    running += entry.size;
+    info.chunks.push_back(entry);
+  }
+  if (running != footer.region_bytes)
+    throw CorruptStream("archive: chunk region size mismatch");
+}
+
+bool try_parse_footer_v2(const std::uint8_t* tail, std::size_t tail_size,
+                         std::uint64_t total_size, Footer& footer) {
+  if (tail_size < kFooterBytes) return false;
+  std::size_t pos = tail_size - kFooterBytes;
+  const std::size_t base = pos;
+  if (get_u32(tail, tail_size, pos) != kFooterMagicV2) return false;
+  const std::uint64_t manifest_offset = get_u64(tail, tail_size, pos);
+  const std::uint64_t manifest_size = get_u64(tail, tail_size, pos);
+  const std::uint64_t raw_bytes = get_u64(tail, tail_size, pos);
+  const std::uint64_t archive_bytes = get_u64(tail, tail_size, pos);
+  const double achieved_ratio = get_f64(tail, tail_size, pos);
+  const std::uint32_t stored_crc = get_u32(tail, tail_size, pos);
+  if (crc32(tail + base, kFooterBytes - 4) != stored_crc) return false;
+  if (archive_bytes != total_size) throw CorruptStream("archive: size mismatch");
+  if (manifest_offset > total_size || manifest_size > total_size - manifest_offset ||
+      manifest_offset + manifest_size != total_size - kFooterBytes)
+    throw CorruptStream("archive: manifest location out of range");
+  footer.version = 2;
+  footer.footer_bytes = kFooterBytes;
+  footer.manifest_offset = static_cast<std::size_t>(manifest_offset);
+  footer.manifest_size = static_cast<std::size_t>(manifest_size);
+  footer.chunk_region = 0;
+  footer.region_bytes = static_cast<std::size_t>(manifest_offset);
+  footer.raw_bytes = raw_bytes;
+  footer.archive_bytes = archive_bytes;
+  footer.achieved_ratio = achieved_ratio;
+  return true;
+}
+
+bool try_parse_footer_v1(const std::uint8_t* tail, std::size_t tail_size,
+                         std::uint64_t total_size, Footer& footer) {
+  if (tail_size < kFooterBytesV1) return false;
+  std::size_t pos = tail_size - kFooterBytesV1;
+  const std::size_t base = pos;
+  if (get_u32(tail, tail_size, pos) != kFooterMagicV1) return false;
+  const std::uint64_t manifest_size = get_u64(tail, tail_size, pos);
+  const std::uint64_t raw_bytes = get_u64(tail, tail_size, pos);
+  const std::uint64_t archive_bytes = get_u64(tail, tail_size, pos);
+  const double achieved_ratio = get_f64(tail, tail_size, pos);
+  const std::uint32_t stored_crc = get_u32(tail, tail_size, pos);
+  if (crc32(tail + base, kFooterBytesV1 - 4) != stored_crc) return false;
+  if (archive_bytes != total_size) throw CorruptStream("archive: size mismatch");
+  if (manifest_size < 12 || manifest_size > total_size - kFooterBytesV1)
+    throw CorruptStream("archive: manifest size out of range");
+  footer.version = 1;
+  footer.footer_bytes = kFooterBytesV1;
+  footer.manifest_offset = 0;
+  footer.manifest_size = static_cast<std::size_t>(manifest_size);
+  footer.chunk_region = static_cast<std::size_t>(manifest_size);
+  footer.region_bytes =
+      static_cast<std::size_t>(total_size - manifest_size - kFooterBytesV1);
+  footer.raw_bytes = raw_bytes;
+  footer.archive_bytes = archive_bytes;
+  footer.achieved_ratio = achieved_ratio;
+  return true;
+}
+
+}  // namespace
+
+std::string backend_name(CompressorId id) {
+  switch (id) {
+    case CompressorId::kSz: return "sz";
+    case CompressorId::kZfp: return "zfp";
+    case CompressorId::kMgard: return "mgard";
+    case CompressorId::kTruncate: return "truncate";
+  }
+  throw Unsupported("archive: unknown compressor id");
+}
+
+CompressorId backend_id(const std::string& name) {
+  if (name == "sz") return CompressorId::kSz;
+  if (name == "zfp") return CompressorId::kZfp;
+  if (name == "mgard") return CompressorId::kMgard;
+  if (name == "truncate") return CompressorId::kTruncate;
+  throw Unsupported("archive: backend '" + name +
+                    "' has no container id (format v1 records sz/zfp/mgard/truncate; "
+                    "write format v2 to record plugins by name)");
+}
+
+void encode_manifest(std::uint8_t version, const std::string& compressor, DType dtype,
+                     const Shape& shape, double target_ratio, double epsilon,
+                     std::size_t chunk_extent, const std::vector<ChunkEntry>& chunks,
+                     Buffer& out) {
+  if (version == 1) {
+    // Legacy layout: the manifest is a Container frame over the full logical
+    // array, so the backend must have a built-in CompressorId.
+    Buffer payload;
+    put_u32(payload, kArchiveMagic);
+    payload.push_back(1);
+    put_f64(payload, target_ratio);
+    put_f64(payload, epsilon);
+    put_varint(payload, chunk_extent);
+    encode_chunk_index(chunks, payload);
+    seal_container_into(backend_id(compressor), dtype, shape, payload.data(),
+                        payload.size(), out);
+    return;
+  }
+  require(version == 2, "archive: unsupported format version");
+  out.clear();
+  put_u32(out, kManifestMagic);
+  out.push_back(2);
+  out.push_back(dtype == DType::kFloat32 ? 0 : 1);
+  put_varint(out, shape.size());
+  for (std::size_t d : shape) put_varint(out, d);
+  put_varint(out, compressor.size());
+  out.append(compressor.data(), compressor.size());
+  put_f64(out, target_ratio);
+  put_f64(out, epsilon);
+  put_varint(out, chunk_extent);
+  encode_chunk_index(chunks, out);
+  put_u32(out, crc32(out.data(), out.size()));
+}
+
+void encode_footer(std::uint8_t version, std::size_t manifest_offset,
+                   std::size_t manifest_size, std::uint64_t raw_bytes,
+                   std::uint64_t archive_bytes, double achieved_ratio, Buffer& out) {
+  const std::size_t base = out.size();
+  if (version == 1) {
+    put_u32(out, kFooterMagicV1);
+    put_u64(out, manifest_size);
+  } else {
+    require(version == 2, "archive: unsupported format version");
+    put_u32(out, kFooterMagicV2);
+    put_u64(out, manifest_offset);
+    put_u64(out, manifest_size);
+  }
+  put_u64(out, raw_bytes);
+  put_u64(out, archive_bytes);
+  put_f64(out, achieved_ratio);
+  put_u32(out, crc32(out.data() + base, out.size() - base));
+}
+
+Footer parse_footer(const std::uint8_t* tail, std::size_t tail_size,
+                    std::uint64_t total_size) {
+  if (total_size < kFooterBytesV1 + 12 || tail_size > total_size)
+    throw CorruptStream("archive: too small");
+  Footer footer;
+  if (try_parse_footer_v2(tail, tail_size, total_size, footer)) return footer;
+  if (try_parse_footer_v1(tail, tail_size, total_size, footer)) return footer;
+  throw CorruptStream("archive: bad or corrupt footer");
+}
+
+ArchiveInfo parse_manifest(const std::uint8_t* manifest, std::size_t size,
+                           const Footer& footer) {
+  ArchiveInfo info;
+  info.raw_bytes = static_cast<std::size_t>(footer.raw_bytes);
+  info.archive_bytes = static_cast<std::size_t>(footer.archive_bytes);
+  info.achieved_ratio = footer.achieved_ratio;
+  info.chunk_region = footer.chunk_region;
+
+  if (footer.version == 1) {
+    const Container frame = open_container(manifest, size);
+    info.version = 1;
+    info.compressor = backend_name(frame.id);
+    info.dtype = frame.dtype;
+    info.shape = frame.shape;
+    const std::uint8_t* p = frame.payload;
+    const std::size_t psize = frame.payload_size;
+    std::size_t pos = 0;
+    if (get_u32(p, psize, pos) != kArchiveMagic)
+      throw CorruptStream("archive: bad manifest magic");
+    if (pos >= psize) throw CorruptStream("archive: truncated manifest");
+    if (p[pos++] != 1) throw CorruptStream("archive: unsupported format version");
+    info.target_ratio = get_f64(p, psize, pos);
+    info.epsilon = get_f64(p, psize, pos);
+    info.chunk_extent = get_varint(p, psize, pos);
+    parse_chunk_index(p, psize, pos, footer, info);
+    if (pos != psize) throw CorruptStream("archive: trailing manifest bytes");
+    return info;
+  }
+
+  // v2: self-framed manifest block with its own trailing CRC.
+  std::size_t pos = 0;
+  if (size < 16) throw CorruptStream("archive: truncated manifest");
+  if (get_u32(manifest, size, pos) != kManifestMagic)
+    throw CorruptStream("archive: bad manifest magic");
+  const std::uint32_t stored_crc = [&] {
+    std::size_t p = size - 4;
+    return get_u32(manifest, size, p);
+  }();
+  if (crc32(manifest, size - 4) != stored_crc)
+    throw CorruptStream("archive: manifest checksum mismatch");
+  info.version = manifest[pos++];
+  if (info.version != 2) throw CorruptStream("archive: unsupported format version");
+  const std::uint8_t dtype_tag = manifest[pos++];
+  if (dtype_tag > 1) throw CorruptStream("archive: bad dtype tag");
+  info.dtype = dtype_tag == 0 ? DType::kFloat32 : DType::kFloat64;
+  const std::uint64_t ndims = get_varint(manifest, size, pos);
+  if (ndims == 0 || ndims > 8) throw CorruptStream("archive: bad rank");
+  info.shape.resize(ndims);
+  for (auto& d : info.shape) {
+    d = get_varint(manifest, size, pos);
+    if (d == 0) throw CorruptStream("archive: zero extent");
+  }
+  const std::uint64_t name_size = get_varint(manifest, size, pos);
+  if (name_size == 0 || name_size > 256 || pos + name_size > size)
+    throw CorruptStream("archive: bad compressor name");
+  info.compressor.assign(reinterpret_cast<const char*>(manifest) + pos,
+                         static_cast<std::size_t>(name_size));
+  pos += static_cast<std::size_t>(name_size);
+  info.target_ratio = get_f64(manifest, size, pos);
+  info.epsilon = get_f64(manifest, size, pos);
+  info.chunk_extent = get_varint(manifest, size, pos);
+  parse_chunk_index(manifest, size, pos, footer, info);
+  if (pos + 4 != size) throw CorruptStream("archive: trailing manifest bytes");
+  return info;
+}
+
+}  // namespace fraz::archive

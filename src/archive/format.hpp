@@ -1,0 +1,148 @@
+#ifndef FRAZ_ARCHIVE_FORMAT_HPP
+#define FRAZ_ARCHIVE_FORMAT_HPP
+
+/// \file format.hpp
+/// The archive wire codec shared by every transport: manifest and footer
+/// encoding/parsing for both on-disk layouts.
+///
+/// **Format v1** (PR 2, manifest-first):
+///
+///   [manifest]   a standard Container frame (magic 'FRaZ', compressor id,
+///                dtype, FULL logical shape, CRC-32) whose payload is:
+///                  u32     archive magic 'FRzA'
+///                  u8      archive format version (1)
+///                  f64     target ratio ρt,  f64 epsilon ε
+///                  varint  chunk extent,  varint chunk count
+///                  per chunk: varint offset, varint size, f64 bound, u32 CRC
+///   [chunks]     concatenated chunk payloads
+///   [footer]     fixed 40 bytes: u32 magic 'FRzE', u64 manifest size,
+///                u64 raw bytes, u64 archive bytes, f64 aggregate ratio,
+///                u32 CRC-32 over the preceding 36 bytes
+///
+/// **Format v2** (current, chunks-first — the streaming layout):
+///
+///   [chunks]     concatenated chunk payloads, starting at offset 0.  A
+///                streaming writer appends each chunk as it finishes; nothing
+///                upstream of a chunk ever needs rewriting.
+///   [manifest]   a self-framed block (no Container wrapper, so the backend
+///                no longer needs a built-in CompressorId):
+///                  u32     manifest magic 'FRzM'
+///                  u8      archive format version (2)
+///                  u8      dtype tag (0 = f32, 1 = f64)
+///                  varint  ndims, then varint extents (slowest first)
+///                  varint  compressor-name length, then the registry name —
+///                          user plugins round-trip through archives
+///                  f64     target ratio ρt,  f64 epsilon ε
+///                  varint  chunk extent,  varint chunk count
+///                  per chunk: varint offset, varint size, f64 bound, u32 CRC
+///                  u32     CRC-32 over every preceding manifest byte
+///   [footer]     fixed 48 bytes at the very end:
+///                  u32  footer magic 'FRz2'
+///                  u64  manifest offset (= chunk region size)
+///                  u64  manifest size
+///                  u64  raw bytes of the original array
+///                  u64  total archive bytes (self check)
+///                  f64  achieved aggregate ratio (raw / archive)
+///                  u32  CRC-32 over the 44 footer bytes before it
+///
+/// A reader locates the footer from the end of the byte stream (v2 tried
+/// first, then v1), so both layouts stay readable through one parse path.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compressors/container.hpp"
+#include "ndarray/ndarray.hpp"
+#include "util/buffer.hpp"
+
+namespace fraz::archive {
+
+/// Archive format version written by default.
+inline constexpr std::uint8_t kFormatVersion = 2;
+
+/// Size of the fixed trailer of the current (v2) format.
+inline constexpr std::size_t kFooterBytes = 48;
+
+/// Size of the v1 trailer (still readable).
+inline constexpr std::size_t kFooterBytesV1 = 40;
+
+/// One chunk's entry as recorded in (or parsed from) the manifest.
+struct ChunkEntry {
+  std::size_t offset = 0;     ///< from the start of the chunk region
+  std::size_t size = 0;       ///< compressed bytes
+  /// Pointwise error bound the chunk was compressed at; 0 when the payload
+  /// honours no pointwise bound (a ZFP rate-mode fallback chunk).
+  double error_bound = 0;
+  std::uint32_t crc = 0;      ///< CRC-32 of the chunk's bytes
+};
+
+/// Parsed archive metadata (manifest + footer; chunk payloads untouched).
+struct ArchiveInfo {
+  std::uint8_t version = 0;     ///< on-disk format version (1 or 2)
+  std::string compressor;       ///< registry name of the backend
+  DType dtype{};
+  Shape shape;                  ///< full logical shape
+  std::size_t chunk_region = 0; ///< byte offset where the chunk region starts
+  std::size_t chunk_extent = 0;
+  std::size_t chunk_count = 0;
+  double target_ratio = 0;
+  double epsilon = 0;
+  std::size_t raw_bytes = 0;
+  std::size_t archive_bytes = 0;
+  double achieved_ratio = 0;    ///< aggregate ratio recorded in the footer
+  std::vector<ChunkEntry> chunks;
+};
+
+/// Parsed footer: the trust anchor that locates the other two regions.
+struct Footer {
+  std::uint8_t version = 0;        ///< layout the footer belongs to (1 or 2)
+  std::size_t footer_bytes = 0;    ///< 40 (v1) or 48 (v2)
+  std::size_t manifest_offset = 0;
+  std::size_t manifest_size = 0;
+  std::size_t chunk_region = 0;    ///< where chunk payloads start
+  std::size_t region_bytes = 0;    ///< total chunk payload bytes
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t archive_bytes = 0;
+  double achieved_ratio = 0;
+};
+
+/// Registry name of a container CompressorId ("sz", "zfp", ...).
+std::string backend_name(CompressorId id);
+
+/// Inverse of backend_name; throws Unsupported for names outside the four
+/// built-in ids the v1 format can record (v2 records the name itself).
+CompressorId backend_id(const std::string& name);
+
+/// Encode the manifest block for \p version into \p out (cleared first).
+/// v1 seals a Container frame around the legacy payload and therefore
+/// requires a built-in backend; v2 is self-framed and accepts any name.
+void encode_manifest(std::uint8_t version, const std::string& compressor, DType dtype,
+                     const Shape& shape, double target_ratio, double epsilon,
+                     std::size_t chunk_extent, const std::vector<ChunkEntry>& chunks,
+                     Buffer& out);
+
+/// Append the fixed trailer for \p version to \p out.  For v1,
+/// \p manifest_offset is ignored (the manifest starts at 0 by construction
+/// and the footer records only its size).
+void encode_footer(std::uint8_t version, std::size_t manifest_offset,
+                   std::size_t manifest_size, std::uint64_t raw_bytes,
+                   std::uint64_t archive_bytes, double achieved_ratio, Buffer& out);
+
+/// Parse and validate the trailer from the archive's final bytes.  \p tail
+/// must hold the last min(kFooterBytes, total_size) bytes of the stream and
+/// \p total_size the full archive size.  Tries the v2 trailer first, then
+/// v1; throws CorruptStream when neither validates or the recorded geometry
+/// is inconsistent with \p total_size.
+Footer parse_footer(const std::uint8_t* tail, std::size_t tail_size,
+                    std::uint64_t total_size);
+
+/// Parse and validate the manifest block located by \p footer (both
+/// layouts), returning the fully populated ArchiveInfo.  Throws
+/// CorruptStream on any checksum, framing, or consistency failure.
+ArchiveInfo parse_manifest(const std::uint8_t* manifest, std::size_t size,
+                           const Footer& footer);
+
+}  // namespace fraz::archive
+
+#endif  // FRAZ_ARCHIVE_FORMAT_HPP

@@ -1,0 +1,540 @@
+#include "archive/pipeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstring>
+#include <future>
+#include <mutex>
+
+#include "codec/checksum.hpp"
+#include "core/loss.hpp"
+#include "opt/thread_pool.hpp"
+#include "pressio/registry.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace fraz::archive::detail {
+
+namespace {
+
+/// Field keys inside the writer's Engines; the tune key is stable across
+/// write() calls so the persistent engine warm-starts a whole time series.
+constexpr const char* kTuneKey = "archive:chunk0";
+constexpr const char* kChunkKey = "archive:chunk";
+
+/// Chunk boundaries must depend on the data geometry only (never on worker
+/// count), so 1-thread and N-thread packs produce identical archives.
+std::size_t auto_chunk_extent(std::size_t n0, std::size_t plane_bytes) {
+  constexpr std::size_t kTargetChunks = 16;
+  constexpr std::size_t kMinChunkBytes = 4096;
+  std::size_t extent = (n0 + kTargetChunks - 1) / kTargetChunks;
+  if (extent * plane_bytes < kMinChunkBytes)
+    extent = (kMinChunkBytes + plane_bytes - 1) / plane_bytes;
+  return std::min(std::max<std::size_t>(extent, 1), n0);
+}
+
+unsigned resolve_workers(unsigned requested, std::size_t tasks) {
+  unsigned w = requested == 0 ? std::thread::hardware_concurrency() : requested;
+  if (w == 0) w = 1;
+  return static_cast<unsigned>(std::min<std::size_t>(w, tasks));
+}
+
+/// Non-owning view of the slowest-axis slice [i*extent, i*extent+planes).
+ArrayView chunk_slice(const ArrayView& data, std::size_t extent, std::size_t i) {
+  const Shape& shape = data.shape();
+  const std::size_t n0 = shape[0];
+  const std::size_t plane_bytes = data.size_bytes() / n0;
+  const std::size_t first = i * extent;
+  Shape slice_shape = shape;
+  slice_shape[0] = std::min(extent, n0 - first);
+  const auto* base = static_cast<const std::uint8_t*>(data.data());
+  return ArrayView(base + first * plane_bytes, data.dtype(), std::move(slice_shape));
+}
+
+/// Deterministic estimate of the non-chunk archive bytes one chunk is
+/// responsible for (its manifest entry plus a share of the manifest header
+/// and footer), so the rate fallback targets the chunk's share of the
+/// *aggregate* band rather than the naive payload ratio.
+double per_chunk_overhead(const Shape& shape, std::size_t chunk_count) {
+  const double fixed = 112.0 + 10.0 * static_cast<double>(shape.size());
+  return 26.0 + fixed / static_cast<double>(chunk_count);
+}
+
+/// The ZFP band-miss rescue: when accuracy mode cannot express the band on a
+/// small chunk (its bit-plane treads quantize the reachable ratios), retry
+/// in fixed-rate mode, where the output size is a near-linear function of
+/// the rate and any ratio is expressible.  Deterministic secant iteration on
+/// the rate; keeps whichever archive (accuracy or best rate) lands closest
+/// to the chunk's target bytes.  On success with a closer rate-mode archive,
+/// \p out is replaced and \p fell_back set.
+Status zfp_rate_rescue(pressio::Compressor& rate_backend, const ArrayView& slice,
+                       double target_ratio, double epsilon, double overhead_bytes,
+                       Buffer& out, bool& fell_back) noexcept {
+  try {
+    const double raw = static_cast<double>(slice.size_bytes());
+    const double target = std::max(raw / target_ratio - overhead_bytes, 24.0);
+    const double elements = static_cast<double>(slice.elements());
+    const double max_rate = static_cast<double>(dtype_size(slice.dtype())) * 8.0;
+    const double min_rate = 1.0 / 16.0;
+    double best_diff = std::abs(static_cast<double>(out.size()) - target);
+    Buffer trial, best;
+    bool improved = false;
+    double rate = std::clamp((target - 40.0) * 8.0 / elements, min_rate, max_rate);
+    double prev_rate = 0, prev_size = 0;
+    for (int iter = 0; iter < 6; ++iter) {
+      rate_backend.set_options(
+          pressio::Options{{"zfp:mode", std::string("rate")}, {"zfp:rate", rate}});
+      const Status s = rate_backend.compress_into(slice, trial);
+      if (!s.ok()) return s;
+      const double size = static_cast<double>(trial.size());
+      const double diff = std::abs(size - target);
+      if (diff < best_diff) {
+        best_diff = diff;
+        best.swap(trial);
+        improved = true;
+      }
+      if (ratio_acceptable(raw / (size + overhead_bytes), target_ratio, epsilon)) break;
+      double next;
+      if (prev_size > 0 && size != prev_size)
+        next = rate + (target - size) * (rate - prev_rate) / (size - prev_size);
+      else
+        next = rate * (target / std::max(size, 1.0));
+      prev_rate = rate;
+      prev_size = size;
+      rate = std::clamp(next, min_rate, max_rate);
+      if (rate == prev_rate) break;
+    }
+    if (improved) {
+      out.swap(best);
+      fell_back = true;
+    }
+    return Status();
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+/// Everything run_chunk_pipeline tracks per chunk before emission.
+struct Slot {
+  Buffer bytes;
+  CompressOutcome outcome;
+  std::uint32_t crc = 0;  ///< computed by the worker, outside the lock
+  double ratio = 0;
+  double seconds = 0;
+  bool rate_fallback = false;
+  bool ready = false;
+};
+
+struct PipelineOutcome {
+  std::vector<ChunkReport> chunks;
+  std::size_t region_bytes = 0;
+  std::size_t peak_buffered_chunks = 0;
+  std::size_t peak_buffered_bytes = 0;
+};
+
+/// The shared parallel chunk pipeline.  Workers claim chunk indices under a
+/// bounded window (claimed-but-unemitted ≤ workers + 1) and the completion
+/// path drains ready chunks to \p sink strictly in index order — append-only
+/// for the sink, bounded memory for the writer, bytes independent of worker
+/// count and transport.
+Result<PipelineOutcome> run_chunk_pipeline(const ArchiveWriteConfig& config,
+                                           const ArrayView& data, std::size_t extent,
+                                           std::size_t chunk_count, double shared_bound,
+                                           const std::vector<double>* carry_bounds,
+                                           ByteSink& sink) noexcept {
+  try {
+    const unsigned workers = resolve_workers(config.threads, chunk_count);
+    const std::size_t window = static_cast<std::size_t>(workers) + 1;
+    const bool try_rate_fallback =
+        config.zfp_rate_fallback && config.engine.compressor == "zfp";
+    const double overhead = per_chunk_overhead(data.shape(), chunk_count);
+
+    std::mutex mutex;
+    std::condition_variable claim_cv;
+    std::size_t claim_next = 0;
+    std::size_t write_head = 0;
+    std::size_t live_chunks = 0;       // claimed but not yet emitted
+    std::size_t live_bytes = 0;        // completed-but-unemitted payload bytes
+    std::size_t emitted_bytes = 0;
+    bool failed = false;
+    Status failure;
+
+    std::vector<Slot> slots(chunk_count);
+    PipelineOutcome outcome;
+    outcome.chunks.resize(chunk_count);
+
+    auto fail_locked = [&](Status status) {
+      if (!failed) {
+        failed = true;
+        failure = std::move(status);
+      }
+      claim_cv.notify_all();
+    };
+
+    auto worker_fn = [&] {
+      auto created = Engine::create(serial_tuning(config.engine));
+      if (!created.ok()) {
+        std::lock_guard lock(mutex);
+        fail_locked(created.status());
+        return;
+      }
+      Engine engine = std::move(created).value();
+      pressio::CompressorPtr rate_backend;  // lazy, per-worker (not thread-safe)
+      for (;;) {
+        std::size_t i;
+        {
+          std::unique_lock lock(mutex);
+          claim_cv.wait(lock, [&] {
+            return failed || claim_next >= chunk_count || claim_next < write_head + window;
+          });
+          if (failed || claim_next >= chunk_count) return;
+          i = claim_next++;
+          ++live_chunks;
+          outcome.peak_buffered_chunks = std::max(outcome.peak_buffered_chunks, live_chunks);
+        }
+
+        Timer chunk_timer;
+        const ArrayView slice = chunk_slice(data, extent, i);
+        const double seed = carry_bounds && (*carry_bounds)[i] > 0 ? (*carry_bounds)[i]
+                                                                   : shared_bound;
+        engine.seed_bound(kChunkKey, seed);
+        Buffer bytes;
+        CompressOutcome chunk_outcome;
+        Status status = engine.compress(kChunkKey, slice, bytes, &chunk_outcome);
+        bool fell_back = false;
+        if (status.ok() && try_rate_fallback && !chunk_outcome.in_band) {
+          // The rescue backend inherits the user's zfp options; the rate
+          // search overrides only zfp:mode / zfp:rate per probe.
+          if (!rate_backend)
+            rate_backend = pressio::registry().create(
+                "zfp", config.engine.compressor_options);
+          status = zfp_rate_rescue(*rate_backend, slice, config.engine.tuner.target_ratio,
+                                   config.engine.tuner.epsilon, overhead, bytes, fell_back);
+        }
+        // Checksum and ratio are per-payload and deterministic — compute them
+        // here so the lock below covers only ordering and emission.
+        const std::uint32_t crc = status.ok() ? crc32(bytes.data(), bytes.size()) : 0;
+        const double ratio = status.ok() && bytes.size() > 0
+                                 ? static_cast<double>(slice.size_bytes()) /
+                                       static_cast<double>(bytes.size())
+                                 : 0;
+        const double seconds = chunk_timer.seconds();
+
+        std::lock_guard lock(mutex);
+        if (!status.ok()) {
+          fail_locked(std::move(status));
+          return;
+        }
+        if (failed) return;
+        Slot& slot = slots[i];
+        slot.bytes = std::move(bytes);
+        slot.outcome = chunk_outcome;
+        slot.crc = crc;
+        slot.ratio = ratio;
+        slot.seconds = seconds;
+        slot.rate_fallback = fell_back;
+        slot.ready = true;
+        live_bytes += slot.bytes.size();
+        outcome.peak_buffered_bytes = std::max(outcome.peak_buffered_bytes, live_bytes);
+        // Drain every ready chunk at the write head: emission is strictly in
+        // index order regardless of completion order.
+        while (write_head < chunk_count && slots[write_head].ready) {
+          Slot& head = slots[write_head];
+          const std::size_t head_size = head.bytes.size();
+          ChunkReport& report = outcome.chunks[write_head];
+          report.entry.offset = emitted_bytes;
+          report.entry.size = head_size;
+          // A rate-mode payload honours no pointwise bound — record 0 in the
+          // manifest so readers cannot mistake the abandoned accuracy bound
+          // for a guarantee; the tuned bound still seeds the next write.
+          report.entry.error_bound = head.rate_fallback ? 0 : head.outcome.error_bound;
+          report.tuned_bound = head.outcome.error_bound;
+          report.entry.crc = head.crc;
+          report.ratio = head.ratio;
+          report.seconds = head.seconds;
+          report.warm = head.outcome.warm;
+          report.retrained = head.outcome.retrained;
+          report.rate_fallback = head.rate_fallback;
+          report.in_band = ratio_acceptable(report.ratio, config.engine.tuner.target_ratio,
+                                            config.engine.tuner.epsilon);
+          const Status sink_status = sink.append(head.bytes.data(), head_size);
+          if (!sink_status.ok()) {
+            fail_locked(sink_status);
+            return;
+          }
+          emitted_bytes += head_size;
+          live_bytes -= head_size;
+          --live_chunks;
+          Buffer().swap(head.bytes);  // release the payload's memory
+          ++write_head;
+        }
+        claim_cv.notify_all();
+      }
+    };
+
+    if (workers <= 1) {
+      worker_fn();
+    } else {
+      ThreadPool pool(workers);
+      std::vector<std::future<void>> done;
+      done.reserve(workers);
+      for (unsigned w = 0; w < workers; ++w) done.push_back(pool.submit(worker_fn));
+      for (auto& f : done) f.get();
+    }
+    if (failed) return failure;
+    outcome.region_bytes = emitted_bytes;
+    return outcome;
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+}  // namespace
+
+EngineConfig serial_tuning(EngineConfig config) {
+  config.tuner.threads = 1;
+  return config;
+}
+
+Status validate_write_config(const ArchiveWriteConfig& config) noexcept {
+  try {
+    if (config.format_version != 1 && config.format_version != 2)
+      return Status::invalid_argument("archive: unsupported format version " +
+                                      std::to_string(config.format_version));
+    // v1's manifest records the backend as a CompressorId (built-ins only);
+    // v2 records the registry name, whose encoding caps it at 256 bytes.
+    if (config.format_version == 1) (void)backend_id(config.engine.compressor);
+    if (config.engine.compressor.empty() || config.engine.compressor.size() > 256)
+      return Status::invalid_argument(
+          "archive: compressor name must be 1..256 bytes to be recorded");
+    return Status();
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+// ------------------------------------------------------------------- writer
+
+Result<ArchiveWriteResult> write_archive(const ArchiveWriteConfig& config,
+                                         Engine& tune_engine, ChunkBoundCarry& carry,
+                                         const ArrayView& data, ByteSink& sink) {
+  try {
+    Timer timer;
+    if (data.dims() == 0 || data.elements() == 0)
+      return Status::invalid_argument("archive: cannot pack an empty array");
+    const Status config_status = validate_write_config(config);
+    if (!config_status.ok()) return config_status;
+    const std::uint8_t version = config.format_version;
+    const std::size_t n0 = data.shape()[0];
+    const std::size_t plane_bytes = data.size_bytes() / n0;
+    const std::size_t extent = config.chunk_extent > 0
+                                   ? std::min(config.chunk_extent, n0)
+                                   : auto_chunk_extent(n0, plane_bytes);
+    const std::size_t chunk_count = (n0 + extent - 1) / extent;
+
+    // Shared warm-start bound: full ratio training runs on chunk 0 only (and
+    // only when the persistent engine's cache cannot satisfy it — packing a
+    // drifting time series retrains a handful of times, not per archive).
+    Result<TuneResult> tuned = tune_engine.tune(kTuneKey, chunk_slice(data, extent, 0));
+    if (!tuned.ok()) return tuned.status();
+    const double shared_bound = tuned.value().error_bound;
+
+    // Each chunk is seeded with its own previous-write bound when the chunk
+    // geometry is unchanged (the time dimension of Algorithm 3), falling
+    // back to the shared chunk-0 bound — both depend only on the chunk
+    // index, so the bytes a chunk compresses to cannot depend on which
+    // worker handled it.
+    const bool carry_ok = carry.shape == data.shape() && carry.extent == extent &&
+                          carry.bounds.size() == chunk_count;
+    const std::vector<double>* carry_bounds = carry_ok ? &carry.bounds : nullptr;
+
+    PipelineOutcome pipe;
+    Buffer manifest;
+    std::size_t manifest_offset = 0;
+    if (version == 2) {
+      // Streaming layout: chunks flow straight to the sink, the manifest and
+      // footer follow — the whole archive is assembled append-only.
+      auto piped = run_chunk_pipeline(config, data, extent, chunk_count, shared_bound,
+                                      carry_bounds, sink);
+      if (!piped.ok()) return piped.status();
+      pipe = std::move(piped).value();
+      manifest_offset = pipe.region_bytes;
+    } else {
+      // Legacy manifest-first layout: the chunk region must be buffered
+      // because the manifest precedes it on the wire.
+      Buffer region;
+      BufferSink region_sink(region);
+      auto piped = run_chunk_pipeline(config, data, extent, chunk_count, shared_bound,
+                                      carry_bounds, region_sink);
+      if (!piped.ok()) return piped.status();
+      pipe = std::move(piped).value();
+      std::vector<ChunkEntry> entries;
+      entries.reserve(chunk_count);
+      for (const ChunkReport& report : pipe.chunks) entries.push_back(report.entry);
+      encode_manifest(1, config.engine.compressor, data.dtype(), data.shape(),
+                      config.engine.tuner.target_ratio, config.engine.tuner.epsilon, extent,
+                      entries, manifest);
+      Status s = sink.append(manifest.data(), manifest.size());
+      if (!s.ok()) return s;
+      s = sink.append(region.data(), region.size());
+      if (!s.ok()) return s;
+    }
+
+    if (version == 2) {
+      std::vector<ChunkEntry> entries;
+      entries.reserve(chunk_count);
+      for (const ChunkReport& report : pipe.chunks) entries.push_back(report.entry);
+      encode_manifest(2, config.engine.compressor, data.dtype(), data.shape(),
+                      config.engine.tuner.target_ratio, config.engine.tuner.epsilon, extent,
+                      entries, manifest);
+      const Status s = sink.append(manifest.data(), manifest.size());
+      if (!s.ok()) return s;
+    }
+
+    // Remember each chunk's bound for the next write of the same geometry.
+    carry.shape = data.shape();
+    carry.extent = extent;
+    carry.bounds.resize(chunk_count);
+    for (std::size_t i = 0; i < chunk_count; ++i)
+      carry.bounds[i] = pipe.chunks[i].tuned_bound;
+
+    ArchiveWriteResult result;
+    result.format_version = version;
+    result.chunk_count = chunk_count;
+    result.chunk_extent = extent;
+    result.raw_bytes = data.size_bytes();
+    result.peak_buffered_chunks = pipe.peak_buffered_chunks;
+    result.peak_buffered_bytes = pipe.peak_buffered_bytes;
+    const std::size_t footer_bytes = version == 1 ? kFooterBytesV1 : kFooterBytes;
+    result.archive_bytes = sink.bytes_written() + footer_bytes;
+    result.achieved_ratio = static_cast<double>(result.raw_bytes) /
+                            static_cast<double>(result.archive_bytes);
+    result.in_band = ratio_acceptable(result.achieved_ratio,
+                                      config.engine.tuner.target_ratio,
+                                      config.engine.tuner.epsilon);
+    for (ChunkReport& report : pipe.chunks) {
+      result.warm_chunks += report.warm;
+      result.retrained_chunks += report.retrained;
+      result.rate_fallback_chunks += report.rate_fallback;
+    }
+    result.chunks = std::move(pipe.chunks);
+
+    Buffer footer;
+    encode_footer(version, manifest_offset, manifest.size(), result.raw_bytes,
+                  result.archive_bytes, result.achieved_ratio, footer);
+    const Status s = sink.append(footer.data(), footer.size());
+    if (!s.ok()) return s;
+
+    result.seconds = timer.seconds();
+    return result;
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+// ------------------------------------------------------------------- reader
+
+const std::uint8_t* MemorySource::fetch(std::size_t offset, std::size_t size,
+                                        Buffer& scratch) const {
+  (void)scratch;
+  if (offset > size_ || size > size_ - offset)
+    throw CorruptStream("archive: read beyond the end of the archive");
+  return data_ + offset;
+}
+
+Shape chunk_shape(const ArchiveInfo& info, std::size_t i) {
+  require(i < info.chunk_count, "archive: chunk index out of range");
+  Shape shape = info.shape;
+  shape[0] = std::min(info.chunk_extent, info.shape[0] - i * info.chunk_extent);
+  return shape;
+}
+
+NdArray decode_chunk(Engine& engine, const ChunkSource& source, const ArchiveInfo& info,
+                     std::size_t i, Buffer& scratch) {
+  const ChunkEntry& entry = info.chunks[i];
+  const std::uint8_t* chunk =
+      source.fetch(info.chunk_region + entry.offset, entry.size, scratch);
+  if (crc32(chunk, entry.size) != entry.crc)
+    throw CorruptStream("archive: chunk " + std::to_string(i) + " failed its checksum");
+  Result<NdArray> decoded = engine.decompress(chunk, entry.size);
+  if (!decoded.ok())
+    throw CorruptStream("archive: chunk " + std::to_string(i) + ": " +
+                        decoded.status().to_string());
+  if (decoded.value().dtype() != info.dtype ||
+      decoded.value().shape() != chunk_shape(info, i))
+    throw CorruptStream("archive: chunk " + std::to_string(i) +
+                        " decoded to an unexpected shape");
+  return std::move(decoded).value();
+}
+
+Status read_planes(const ChunkSource& source, const ArchiveInfo& info,
+                   Engine& serial_engine, Buffer& serial_scratch, std::size_t first,
+                   std::size_t count, unsigned threads, NdArray& out) noexcept {
+  try {
+    const std::size_t n0 = info.shape[0];
+    const std::size_t plane_bytes =
+        (shape_elements(info.shape) / n0) * dtype_size(info.dtype);
+    const std::size_t extent = info.chunk_extent;
+    const std::size_t first_chunk = first / extent;
+    const std::size_t last_chunk = (first + count - 1) / extent;
+    const std::size_t touched = last_chunk - first_chunk + 1;
+
+    auto emplace = [&](Engine& engine, Buffer& scratch, std::size_t c) {
+      const NdArray chunk = decode_chunk(engine, source, info, c, scratch);
+      const std::size_t chunk_first = c * extent;
+      const std::size_t lo = std::max(first, chunk_first);
+      const std::size_t hi = std::min(first + count, chunk_first + chunk.shape()[0]);
+      std::memcpy(static_cast<std::uint8_t*>(out.data()) + (lo - first) * plane_bytes,
+                  static_cast<const std::uint8_t*>(chunk.data()) +
+                      (lo - chunk_first) * plane_bytes,
+                  (hi - lo) * plane_bytes);
+    };
+
+    const unsigned workers = resolve_workers(threads, touched);
+    if (threads == 1 || workers <= 1) {
+      for (std::size_t c = first_chunk; c <= last_chunk; ++c)
+        emplace(serial_engine, serial_scratch, c);
+      return Status();
+    }
+
+    // Parallel decode: touched chunks write disjoint plane windows of `out`,
+    // so the only coordination needed is the shared chunk counter.
+    std::vector<Status> statuses(touched);
+    std::atomic<std::size_t> next{0};
+    auto drain = [&] {
+      EngineConfig config;
+      config.compressor = info.compressor;
+      auto created = Engine::create(std::move(config));
+      std::size_t t;
+      if (!created.ok()) {
+        while ((t = next.fetch_add(1)) < touched) statuses[t] = created.status();
+        return;
+      }
+      Engine engine = std::move(created).value();
+      Buffer scratch;
+      while ((t = next.fetch_add(1)) < touched) {
+        try {
+          emplace(engine, scratch, first_chunk + t);
+        } catch (...) {
+          statuses[t] = status_from_current_exception();
+        }
+      }
+    };
+    {
+      ThreadPool pool(workers);
+      std::vector<std::future<void>> done;
+      done.reserve(workers);
+      for (unsigned w = 0; w < workers; ++w) done.push_back(pool.submit(drain));
+      for (auto& f : done) f.get();
+    }
+    for (const Status& s : statuses)
+      if (!s.ok()) return s;
+    return Status();
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+}  // namespace fraz::archive::detail

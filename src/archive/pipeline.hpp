@@ -1,0 +1,130 @@
+#ifndef FRAZ_ARCHIVE_PIPELINE_HPP
+#define FRAZ_ARCHIVE_PIPELINE_HPP
+
+/// \file pipeline.hpp
+/// The transport-independent core of `fraz::archive`: one chunk-compression
+/// pipeline every writer shares and one chunk-decode core every reader
+/// shares.  Transports supply two small adapters —
+///
+///  - a `ByteSink` the writer appends the archive to (a growable Buffer for
+///    the in-memory transport, a FILE* for the streaming file transport);
+///  - a `ChunkSource` the reader fetches positioned byte ranges from (a raw
+///    pointer, an mmap'd view, or buffered positioned reads).
+///
+/// The write pipeline claims chunk indices under a bounded window so at most
+/// `workers + 1` chunk payloads are ever held in memory (claimed-but-not-yet
+/// -emitted), and emits payloads to the sink strictly in index order — which
+/// is what lets a file be written append-only while keeping the bytes
+/// identical to an in-memory pack at any worker count.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "archive/archive.hpp"
+#include "archive/format.hpp"
+#include "engine/engine.hpp"
+#include "ndarray/ndarray.hpp"
+#include "util/buffer.hpp"
+#include "util/status.hpp"
+
+namespace fraz::archive::detail {
+
+/// Writer-internal engines tune single-threaded: archive parallelism comes
+/// from chunks, and region-level cancellation races would otherwise make the
+/// chosen bound (and therefore the archive bytes) timing-dependent.  The one
+/// definition every transport shares.
+EngineConfig serial_tuning(EngineConfig config);
+
+/// Everything a writer must refuse at construction: unknown format
+/// versions, v1 with a backend the v1 manifest cannot name, and compressor
+/// names the v2 manifest cannot record.  Shared by both writer constructors
+/// and by write_archive (for configs that bypassed a constructor).
+Status validate_write_config(const ArchiveWriteConfig& config) noexcept;
+
+/// Append-only destination of one archive write.
+class ByteSink {
+public:
+  virtual ~ByteSink() = default;
+  /// Append \p size bytes; a non-ok Status aborts the write.
+  virtual Status append(const std::uint8_t* data, std::size_t size) noexcept = 0;
+  /// Total bytes appended so far.
+  virtual std::size_t bytes_written() const noexcept = 0;
+};
+
+/// Sink over a caller-owned Buffer (the in-memory transport).
+class BufferSink final : public ByteSink {
+public:
+  explicit BufferSink(Buffer& out) noexcept : out_(out) {}
+  Status append(const std::uint8_t* data, std::size_t size) noexcept override {
+    try {
+      out_.append(data, size);
+      return Status();
+    } catch (...) {
+      return status_from_current_exception();
+    }
+  }
+  std::size_t bytes_written() const noexcept override { return out_.size(); }
+
+private:
+  Buffer& out_;
+};
+
+/// Shards, tunes, compresses, and assembles one complete archive (either
+/// format version) through \p sink.  \p tune_engine provides the persistent
+/// chunk-0 warm start and \p carry the per-chunk previous-write bounds; both
+/// are updated on success.  This is the single write path behind
+/// ArchiveWriter (in-memory) and ArchiveFileWriter (streaming): format v2
+/// streams chunks to the sink as they finish; format v1 buffers the chunk
+/// region because its manifest precedes the chunks.
+Result<ArchiveWriteResult> write_archive(const ArchiveWriteConfig& config,
+                                         Engine& tune_engine, ChunkBoundCarry& carry,
+                                         const ArrayView& data, ByteSink& sink);
+
+/// Positioned-read abstraction of one archive's bytes.
+class ChunkSource {
+public:
+  virtual ~ChunkSource() = default;
+  /// Return a pointer to \p size bytes at absolute offset \p offset.
+  /// Zero-copy transports ignore \p scratch and return into their own
+  /// storage; buffered transports fill \p scratch and return its data.  The
+  /// pointer stays valid until the next fetch through the same scratch.
+  /// Throws CorruptStream (range) or IoError (transport failure).
+  virtual const std::uint8_t* fetch(std::size_t offset, std::size_t size,
+                                    Buffer& scratch) const = 0;
+};
+
+/// Zero-copy source over bytes already in memory.
+class MemorySource final : public ChunkSource {
+public:
+  MemorySource(const std::uint8_t* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+  const std::uint8_t* fetch(std::size_t offset, std::size_t size,
+                            Buffer& scratch) const override;
+
+private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+};
+
+/// Shape of chunk \p i of \p info ({extent_i, rest...}; last chunk short).
+Shape chunk_shape(const ArchiveInfo& info, std::size_t i);
+
+/// Validate chunk \p i's CRC and decode it (throwing helper shared by every
+/// reader).  \p scratch backs the fetch for buffered transports.
+NdArray decode_chunk(Engine& engine, const ChunkSource& source, const ArchiveInfo& info,
+                     std::size_t i, Buffer& scratch);
+
+/// Decode the slowest-axis planes [first, first + count) into \p out (whose
+/// shape must already be {count, rest...}), touching and validating only the
+/// chunks that cover the range.  \p threads > 1 decodes the touched chunks
+/// in parallel, one Engine per worker, each writing its disjoint plane
+/// window of \p out; \p serial_engine serves the single-threaded path.
+/// Backs both read_all (first = 0, count = n0) and read_range.
+Status read_planes(const ChunkSource& source, const ArchiveInfo& info,
+                   Engine& serial_engine, Buffer& serial_scratch, std::size_t first,
+                   std::size_t count, unsigned threads, NdArray& out) noexcept;
+
+}  // namespace fraz::archive::detail
+
+#endif  // FRAZ_ARCHIVE_PIPELINE_HPP

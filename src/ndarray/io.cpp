@@ -11,6 +11,30 @@ void write_raw(const std::string& path, const ArrayView& array) {
   if (!os) throw IoError("write_raw: write failed for '" + path + "'");
 }
 
+RawFileWriter::RawFileWriter(const std::string& path)
+    : os_(path, std::ios::binary), path_(path) {
+  if (!os_) throw IoError("RawFileWriter: cannot open '" + path + "'");
+}
+
+RawFileWriter::~RawFileWriter() = default;
+
+void RawFileWriter::append(const ArrayView& array) {
+  append_bytes(array.data(), array.size_bytes());
+}
+
+void RawFileWriter::append_bytes(const void* data, std::size_t size) {
+  if (!os_.is_open()) throw IoError("RawFileWriter: '" + path_ + "' is closed");
+  os_.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  if (!os_) throw IoError("RawFileWriter: write failed for '" + path_ + "'");
+  bytes_ += size;
+}
+
+void RawFileWriter::close() {
+  if (!os_.is_open()) return;
+  os_.close();
+  if (!os_) throw IoError("RawFileWriter: close failed for '" + path_ + "'");
+}
+
 NdArray read_raw(const std::string& path, DType dtype, Shape shape) {
   std::ifstream is(path, std::ios::binary | std::ios::ate);
   if (!is) throw IoError("read_raw: cannot open '" + path + "'");

@@ -6,6 +6,7 @@
 /// the scalars, shape supplied out of band (as the benchmark does with its
 /// published dimensions).
 
+#include <fstream>
 #include <string>
 
 #include "ndarray/ndarray.hpp"
@@ -19,6 +20,38 @@ void write_raw(const std::string& path, const ArrayView& array);
 /// SDRBench).  The file size must equal shape x dtype size; throws IoError /
 /// InvalidArgument otherwise.
 NdArray read_raw(const std::string& path, DType dtype, Shape shape);
+
+/// Incremental raw writer: open once, append slabs in order.  This is the
+/// output side of a streaming unpack — plane ranges decoded one window at a
+/// time land on disk without the whole reconstruction ever being resident.
+/// All methods throw IoError on filesystem failure.
+class RawFileWriter {
+public:
+  /// Create or truncate \p path.
+  explicit RawFileWriter(const std::string& path);
+
+  /// Closes the stream, swallowing errors (call close() to observe them).
+  ~RawFileWriter();
+
+  RawFileWriter(const RawFileWriter&) = delete;
+  RawFileWriter& operator=(const RawFileWriter&) = delete;
+
+  /// Append the array's scalars.
+  void append(const ArrayView& array);
+
+  /// Append \p size arbitrary bytes.
+  void append_bytes(const void* data, std::size_t size);
+
+  std::size_t bytes_written() const noexcept { return bytes_; }
+
+  /// Flush and close; throws IoError when the final flush fails.
+  void close();
+
+private:
+  std::ofstream os_;
+  std::string path_;
+  std::size_t bytes_ = 0;
+};
 
 }  // namespace fraz
 

@@ -38,9 +38,11 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "archive/archive.hpp"
+#include "archive/archive_file.hpp"
 #include "core/quality_tuner.hpp"
 #include "core/serialize.hpp"
 #include "core/tuner.hpp"
@@ -325,61 +327,88 @@ int cmd_pack(const Cli& cli) {
   config.chunk_extent = static_cast<std::size_t>(cli.get_int("chunk-extent"));
   config.threads = static_cast<unsigned>(cli.get_int("threads"));
 
-  auto writer = archive::ArchiveWriter::create(std::move(config));
+  // Stream the archive straight to disk: chunks are written as their
+  // compression tasks finish, so peak memory is O(chunk x workers) — the
+  // archive itself is never resident.
+  auto writer = archive::ArchiveFileWriter::create(std::move(config));
   if (!writer.ok()) throw_status(writer.status());
-  Buffer bytes;
-  const auto written = writer.value().write(field.view(), bytes);
+  const auto written = writer.value().write(cli.get_string("output"), field.view());
   if (!written.ok()) throw_status(written.status());
   const archive::ArchiveWriteResult& r = written.value();
-  write_file(cli.get_string("output"), bytes.data(), bytes.size());
 
-  std::printf("wrote %s: %zu -> %zu bytes in %zu chunks of %zu plane(s)\n",
-              cli.get_string("output").c_str(), r.raw_bytes, r.archive_bytes,
-              r.chunk_count, r.chunk_extent);
+  std::printf("wrote %s (format v%u): %zu -> %zu bytes in %zu chunks of %zu plane(s)\n",
+              cli.get_string("output").c_str(), static_cast<unsigned>(r.format_version),
+              r.raw_bytes, r.archive_bytes, r.chunk_count, r.chunk_extent);
   std::printf("aggregate ratio %.3f vs target %.3f (epsilon %.3f): %s\n",
               r.achieved_ratio, cli.get_double("target"), cli.get_double("epsilon"),
               r.in_band ? "in band" : "OUT OF BAND");
-  std::printf("chunks: %zu warm, %zu retrained, %.2fs\n", r.warm_chunks,
-              r.retrained_chunks, r.seconds);
+  std::printf("chunks: %zu warm, %zu retrained, %zu rate-fallback; peak %zu buffered "
+              "(%zu bytes), %.2fs\n",
+              r.warm_chunks, r.retrained_chunks, r.rate_fallback_chunks,
+              r.peak_buffered_chunks, r.peak_buffered_bytes, r.seconds);
   return r.in_band ? 0 : 2;
 }
 
 int cmd_unpack(const Cli& cli) {
-  const auto bytes = read_file(cli.get_string("input"));
-  auto reader = archive::ArchiveReader::open(bytes.data(), bytes.size());
+  // Positioned reads only: open() validates just the manifest and footer;
+  // chunk payloads are fetched (mmap or buffered) as requests touch them.
+  auto reader = archive::ArchiveFileReader::open(cli.get_string("input"));
   if (!reader.ok()) throw_status(reader.status());
+  const archive::ArchiveInfo& info = reader.value().info();
+  const auto threads = static_cast<unsigned>(cli.get_int("threads"));
 
-  Result<NdArray> decoded = [&]() -> Result<NdArray> {
-    const std::int64_t chunk = cli.get_int("chunk");
-    const std::string range = cli.get_string("range");
-    require(chunk < 0 || range.empty(), "--chunk and --range are mutually exclusive");
-    if (chunk >= 0) return reader.value().read_chunk(static_cast<std::size_t>(chunk));
-    if (!range.empty()) {
+  const std::int64_t chunk = cli.get_int("chunk");
+  const std::string range = cli.get_string("range");
+  require(chunk < 0 || range.empty(), "--chunk and --range are mutually exclusive");
+  if (chunk >= 0 || !range.empty()) {
+    Result<NdArray> decoded = [&]() -> Result<NdArray> {
+      if (chunk >= 0) return reader.value().read_chunk(static_cast<std::size_t>(chunk));
       std::size_t first = 0, count = 0;
       parse_range(range, first, count);
-      return reader.value().read_range(first, count);
-    }
-    return reader.value().read_all(static_cast<unsigned>(cli.get_int("threads")));
-  }();
-  if (!decoded.ok()) throw_status(decoded.status());
+      return reader.value().read_range(first, count, threads);
+    }();
+    if (!decoded.ok()) throw_status(decoded.status());
+    write_raw(cli.get_string("output"), decoded.value().view());
+    std::printf("wrote %s: %zu values (%s", cli.get_string("output").c_str(),
+                decoded.value().elements(), dtype_name(decoded.value().dtype()).c_str());
+    for (std::size_t d : decoded.value().shape()) std::printf(" x%zu", d);
+    std::printf(")\n");
+    return 0;
+  }
 
-  write_raw(cli.get_string("output"), decoded.value().view());
+  // Streaming full unpack: decode a window of chunks per pass (in parallel)
+  // and append it to the output, so peak memory is O(window x chunk), never
+  // O(raw) — the counterpart of the streaming pack.
+  unsigned workers = threads == 0 ? std::thread::hardware_concurrency() : threads;
+  if (workers == 0) workers = 1;
+  const std::size_t n0 = info.shape[0];
+  RawFileWriter out(cli.get_string("output"));
+  for (std::size_t c = 0; c < info.chunk_count; c += workers) {
+    const std::size_t first = c * info.chunk_extent;
+    const std::size_t last = std::min(n0, (c + workers) * info.chunk_extent);
+    auto window = reader.value().read_range(first, last - first, threads);
+    if (!window.ok()) throw_status(window.status());
+    out.append(window.value().view());
+  }
+  out.close();
   std::printf("wrote %s: %zu values (%s", cli.get_string("output").c_str(),
-              decoded.value().elements(), dtype_name(decoded.value().dtype()).c_str());
-  for (std::size_t d : decoded.value().shape()) std::printf(" x%zu", d);
+              shape_elements(info.shape), dtype_name(info.dtype).c_str());
+  for (std::size_t d : info.shape) std::printf(" x%zu", d);
   std::printf(")\n");
   return 0;
 }
 
 int cmd_info(const Cli& cli) {
-  const auto bytes = read_file(cli.get_string("input"));
-  auto reader = archive::ArchiveReader::open(bytes.data(), bytes.size());
+  // Only the manifest and footer are read — info on a TB-scale archive
+  // touches KBs of the file.
+  auto reader = archive::ArchiveFileReader::open(cli.get_string("input"));
   if (!reader.ok()) throw_status(reader.status());
   const archive::ArchiveInfo& info = reader.value().info();
 
   if (cli.get_flag("json")) {
     std::string out = "{";
-    out += "\"compressor\":" + json_escape(info.compressor);
+    out += "\"format_version\":" + std::to_string(info.version);
+    out += ",\"compressor\":" + json_escape(info.compressor);
     out += ",\"dtype\":" + json_escape(dtype_name(info.dtype));
     out += ",\"shape\":[";
     for (std::size_t d = 0; d < info.shape.size(); ++d)
@@ -404,6 +433,7 @@ int cmd_info(const Cli& cli) {
     return 0;
   }
 
+  std::printf("format version  %u\n", static_cast<unsigned>(info.version));
   std::printf("compressor      %s\n", info.compressor.c_str());
   std::printf("dtype           %s\n", dtype_name(info.dtype).c_str());
   std::printf("shape          ");
