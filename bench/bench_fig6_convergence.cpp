@@ -32,18 +32,24 @@ void run_case(const char* label, double target, const std::vector<ArrayView>& vi
   const SeriesResult series = tuner.tune_series(views);
 
   std::printf("\n[%s] target ratio %.1f, epsilon %.2f\n", label, target, cfg.epsilon);
-  Table t({"step", "achieved_ratio", "in_band", "retrained", "compress_calls"});
+  Table t({"step", "achieved_ratio", "in_band", "retrained", "compress_calls", "cache_hits"});
   int in_band = 0;
   for (std::size_t s = 0; s < series.steps.size(); ++s) {
     const auto& step = series.steps[s];
     const bool ok = step.result.feasible;
     in_band += ok;
     t.add_row({std::to_string(s), Table::num(step.result.achieved_ratio, 2), ok ? "yes" : "no",
-               step.retrained ? "yes" : "no", std::to_string(step.result.compress_calls)});
+               step.retrained ? "yes" : "no", std::to_string(step.result.compress_calls),
+               std::to_string(step.result.probe_cache_hits)});
   }
   t.print(std::cout);
-  std::printf("steps in band: %d/%zu, retrains: %d, total compress calls: %d\n", in_band,
-              series.steps.size(), series.retrain_count, series.total_compress_calls);
+  // "probes executed" is the cost the unified tuning stack minimizes: probes
+  // the searches consumed minus those the dedup cache served for free.
+  std::printf("steps in band: %d/%zu, retrains: %d, total compress calls: %d "
+              "(%d cache hits, %d probes executed)\n",
+              in_band, series.steps.size(), series.retrain_count,
+              series.total_compress_calls, series.total_probe_cache_hits,
+              series.total_compress_calls - series.total_probe_cache_hits);
 }
 
 }  // namespace

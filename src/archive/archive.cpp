@@ -10,7 +10,7 @@ namespace fraz::archive {
 // ------------------------------------------------------------------- writer
 
 ArchiveWriter::ArchiveWriter(ArchiveWriteConfig config)
-    : config_(std::move(config)), tune_engine_(detail::serial_tuning(config_.engine)) {
+    : config_(std::move(config)), state_(config_.engine) {
   // Fail construction, not the first write, on configs no write can accept
   // (unknown format version, v1 with a backend the format cannot name).
   const Status s = detail::validate_write_config(config_);
@@ -29,7 +29,7 @@ Result<ArchiveWriteResult> ArchiveWriter::write(const ArrayView& data,
                                                 Buffer& out) noexcept {
   out.clear();
   detail::BufferSink sink(out);
-  return detail::write_archive(config_, tune_engine_, carry_, data, sink);
+  return detail::write_archive(config_, state_, data, sink);
 }
 
 // ------------------------------------------------------------------- reader

@@ -99,6 +99,11 @@ struct ArchiveWriteResult {
   std::size_t warm_chunks = 0;
   std::size_t retrained_chunks = 0;
   std::size_t rate_fallback_chunks = 0;
+  /// Compressor probes actually spent tuning this write (chunk-0 training
+  /// plus every chunk engine's tuning), cache-served probes excluded.
+  std::size_t tuner_probe_calls = 0;
+  /// Tuning probes the writer's shared probe cache served for free.
+  std::size_t probe_cache_hits = 0;
   /// Peak number of chunk payloads the writer held in memory at once
   /// (claimed-but-unemitted); bounded by workers + 1, which is what makes
   /// the streaming transport's memory O(largest chunk × workers).
@@ -109,13 +114,24 @@ struct ArchiveWriteResult {
   std::vector<ChunkReport> chunks;
 };
 
-/// Warm-start state a writer carries across write() calls: each chunk of the
-/// previous write's geometry seeds the same chunk of the next (the time
-/// dimension of Algorithm 3).  Shared by the in-memory and file writers.
-struct ChunkBoundCarry {
+/// Warm-start state a writer carries across write() calls, shared by the
+/// in-memory and file transports: the persistent chunk-0 tuning engine plus
+/// the thread-safe stores every per-worker chunk engine adopts — a
+/// BoundStore holding the freshest feasible bound under a deterministic
+/// per-chunk key (the time dimension of Algorithm 3, one key per chunk so
+/// worker scheduling can never change which bound a chunk sees), and the
+/// ProbeCache that dedups tuning probes across chunks and writes.
+struct WriterWarmState {
+  explicit WriterWarmState(const EngineConfig& engine_config);
+
+  Engine tune_engine;   ///< persistent chunk-0 warm start across writes
+  BoundStorePtr bounds;
+  ProbeCachePtr probes;
+  /// Geometry the per-chunk keys were minted for; a write with a different
+  /// geometry invalidates them (chunk index would mean different planes).
   Shape shape;
   std::size_t extent = 0;
-  std::vector<double> bounds;
+  std::size_t chunk_count = 0;
 };
 
 /// Shards an array along its slowest dimension and compresses the chunks in
@@ -143,8 +159,7 @@ public:
 
 private:
   ArchiveWriteConfig config_;
-  Engine tune_engine_;  ///< persistent: carries the chunk-0 bound across writes
-  ChunkBoundCarry carry_;
+  WriterWarmState state_;  ///< persistent warm bounds + probe cache
 };
 
 /// Random-access reader over an archive held in memory.  The reader does not

@@ -59,8 +59,7 @@ public:
 
 private:
   ArchiveWriteConfig config_;
-  Engine tune_engine_;
-  ChunkBoundCarry carry_;
+  WriterWarmState state_;  ///< persistent warm bounds + probe cache
 };
 
 /// How ArchiveFileReader accesses the file's bytes.

@@ -19,10 +19,16 @@ namespace fraz::archive::detail {
 
 namespace {
 
-/// Field keys inside the writer's Engines; the tune key is stable across
-/// write() calls so the persistent engine warm-starts a whole time series.
+/// Field keys inside the writer's shared BoundStore; the tune key is stable
+/// across write() calls so the persistent engine warm-starts a whole time
+/// series, and every chunk gets its OWN key — per-chunk keys are what make
+/// sharing one store across workers deterministic: a chunk's warm bound
+/// depends only on the chunk index, never on which worker got it.
 constexpr const char* kTuneKey = "archive:chunk0";
-constexpr const char* kChunkKey = "archive:chunk";
+
+std::string chunk_field_key(std::size_t i) {
+  return "archive:chunk:" + std::to_string(i);
+}
 
 /// Chunk boundaries must depend on the data geometry only (never on worker
 /// count), so 1-thread and N-thread packs produce identical archives.
@@ -132,18 +138,21 @@ struct PipelineOutcome {
   std::size_t region_bytes = 0;
   std::size_t peak_buffered_chunks = 0;
   std::size_t peak_buffered_bytes = 0;
+  std::size_t tuner_probe_calls = 0;  ///< summed over the worker engines
+  std::size_t probe_cache_hits = 0;
 };
 
 /// The shared parallel chunk pipeline.  Workers claim chunk indices under a
 /// bounded window (claimed-but-unemitted ≤ workers + 1) and the completion
 /// path drains ready chunks to \p sink strictly in index order — append-only
 /// for the sink, bounded memory for the writer, bytes independent of worker
-/// count and transport.
+/// count and transport.  Every worker engine adopts \p state's BoundStore
+/// and ProbeCache; chunk i reads and commits only its own key, pre-seeded by
+/// write_archive, so the shared stores never make bytes scheduling-dependent.
 Result<PipelineOutcome> run_chunk_pipeline(const ArchiveWriteConfig& config,
+                                           const WriterWarmState& state,
                                            const ArrayView& data, std::size_t extent,
-                                           std::size_t chunk_count, double shared_bound,
-                                           const std::vector<double>* carry_bounds,
-                                           ByteSink& sink) noexcept {
+                                           std::size_t chunk_count, ByteSink& sink) noexcept {
   try {
     const unsigned workers = resolve_workers(config.threads, chunk_count);
     const std::size_t window = static_cast<std::size_t>(workers) + 1;
@@ -181,7 +190,15 @@ Result<PipelineOutcome> run_chunk_pipeline(const ArchiveWriteConfig& config,
         return;
       }
       Engine engine = std::move(created).value();
+      engine.adopt_bound_store(state.bounds);
+      engine.adopt_probe_cache(state.probes);
       pressio::CompressorPtr rate_backend;  // lazy, per-worker (not thread-safe)
+      const auto account_tuning = [&] {
+        // Under `mutex` (or after the workers joined): fold this engine's
+        // tuning spend into the pipeline totals exactly once per exit path.
+        outcome.tuner_probe_calls += engine.stats().tuner_probe_calls;
+        outcome.probe_cache_hits += engine.stats().probe_cache_hits;
+      };
       for (;;) {
         std::size_t i;
         {
@@ -189,7 +206,10 @@ Result<PipelineOutcome> run_chunk_pipeline(const ArchiveWriteConfig& config,
           claim_cv.wait(lock, [&] {
             return failed || claim_next >= chunk_count || claim_next < write_head + window;
           });
-          if (failed || claim_next >= chunk_count) return;
+          if (failed || claim_next >= chunk_count) {
+            account_tuning();
+            return;
+          }
           i = claim_next++;
           ++live_chunks;
           outcome.peak_buffered_chunks = std::max(outcome.peak_buffered_chunks, live_chunks);
@@ -197,12 +217,10 @@ Result<PipelineOutcome> run_chunk_pipeline(const ArchiveWriteConfig& config,
 
         Timer chunk_timer;
         const ArrayView slice = chunk_slice(data, extent, i);
-        const double seed = carry_bounds && (*carry_bounds)[i] > 0 ? (*carry_bounds)[i]
-                                                                   : shared_bound;
-        engine.seed_bound(kChunkKey, seed);
+        const std::string chunk_key = chunk_field_key(i);
         Buffer bytes;
         CompressOutcome chunk_outcome;
-        Status status = engine.compress(kChunkKey, slice, bytes, &chunk_outcome);
+        Status status = engine.compress(chunk_key, slice, bytes, &chunk_outcome);
         bool fell_back = false;
         if (status.ok() && try_rate_fallback && !chunk_outcome.in_band) {
           // The rescue backend inherits the user's zfp options; the rate
@@ -225,9 +243,13 @@ Result<PipelineOutcome> run_chunk_pipeline(const ArchiveWriteConfig& config,
         std::lock_guard lock(mutex);
         if (!status.ok()) {
           fail_locked(std::move(status));
+          account_tuning();
           return;
         }
-        if (failed) return;
+        if (failed) {
+          account_tuning();
+          return;
+        }
         Slot& slot = slots[i];
         slot.bytes = std::move(bytes);
         slot.outcome = chunk_outcome;
@@ -262,6 +284,7 @@ Result<PipelineOutcome> run_chunk_pipeline(const ArchiveWriteConfig& config,
           const Status sink_status = sink.append(head.bytes.data(), head_size);
           if (!sink_status.ok()) {
             fail_locked(sink_status);
+            account_tuning();
             return;
           }
           emitted_bytes += head_size;
@@ -298,6 +321,22 @@ EngineConfig serial_tuning(EngineConfig config) {
   return config;
 }
 
+}  // namespace fraz::archive::detail
+
+namespace fraz::archive {
+
+WriterWarmState::WriterWarmState(const EngineConfig& engine_config)
+    : tune_engine(detail::serial_tuning(engine_config)),
+      bounds(std::make_shared<BoundStore>()),
+      probes(std::make_shared<ProbeCache>()) {
+  tune_engine.adopt_bound_store(bounds);
+  tune_engine.adopt_probe_cache(probes);
+}
+
+}  // namespace fraz::archive
+
+namespace fraz::archive::detail {
+
 Status validate_write_config(const ArchiveWriteConfig& config) noexcept {
   try {
     if (config.format_version != 1 && config.format_version != 2)
@@ -318,8 +357,8 @@ Status validate_write_config(const ArchiveWriteConfig& config) noexcept {
 // ------------------------------------------------------------------- writer
 
 Result<ArchiveWriteResult> write_archive(const ArchiveWriteConfig& config,
-                                         Engine& tune_engine, ChunkBoundCarry& carry,
-                                         const ArrayView& data, ByteSink& sink) {
+                                         WriterWarmState& state, const ArrayView& data,
+                                         ByteSink& sink) {
   try {
     Timer timer;
     if (data.dims() == 0 || data.elements() == 0)
@@ -333,22 +372,37 @@ Result<ArchiveWriteResult> write_archive(const ArchiveWriteConfig& config,
                                    ? std::min(config.chunk_extent, n0)
                                    : auto_chunk_extent(n0, plane_bytes);
     const std::size_t chunk_count = (n0 + extent - 1) / extent;
+    const double target = config.engine.tuner.target_ratio;
+
+    // A geometry change re-maps chunk indices onto different planes, so the
+    // per-chunk warm keys of the previous geometry are meaningless — drop
+    // them (the chunk-0 tune key survives: it tracks the field, not a chunk).
+    if (state.shape != data.shape() || state.extent != extent) {
+      for (std::size_t i = 0; i < state.chunk_count; ++i)
+        state.bounds->erase(chunk_field_key(i), target);
+      state.shape = data.shape();
+      state.extent = extent;
+      state.chunk_count = chunk_count;
+    }
 
     // Shared warm-start bound: full ratio training runs on chunk 0 only (and
-    // only when the persistent engine's cache cannot satisfy it — packing a
+    // only when the persistent engine's store cannot satisfy it — packing a
     // drifting time series retrains a handful of times, not per archive).
-    Result<TuneResult> tuned = tune_engine.tune(kTuneKey, chunk_slice(data, extent, 0));
+    const EngineStats tune_before = state.tune_engine.stats();
+    Result<TuneResult> tuned = state.tune_engine.tune(kTuneKey, chunk_slice(data, extent, 0));
     if (!tuned.ok()) return tuned.status();
     const double shared_bound = tuned.value().error_bound;
 
-    // Each chunk is seeded with its own previous-write bound when the chunk
-    // geometry is unchanged (the time dimension of Algorithm 3), falling
-    // back to the shared chunk-0 bound — both depend only on the chunk
-    // index, so the bytes a chunk compresses to cannot depend on which
-    // worker handled it.
-    const bool carry_ok = carry.shape == data.shape() && carry.extent == extent &&
-                          carry.bounds.size() == chunk_count;
-    const std::vector<double>* carry_bounds = carry_ok ? &carry.bounds : nullptr;
+    // Deterministic per-chunk snapshot: before any worker runs, every chunk
+    // key holds exactly the bound its compression will warm-start from —
+    // its own previous-write bound when one is stored (the time dimension
+    // of Algorithm 3), else the fresh chunk-0 bound.  Seeds depend only on
+    // the chunk index, so the bytes a chunk compresses to cannot depend on
+    // which worker handled it or on how many workers ran.
+    for (std::size_t i = 0; i < chunk_count; ++i) {
+      const std::string key = chunk_field_key(i);
+      if (state.bounds->get(key, target) <= 0) state.bounds->put(key, target, shared_bound);
+    }
 
     PipelineOutcome pipe;
     Buffer manifest;
@@ -356,8 +410,7 @@ Result<ArchiveWriteResult> write_archive(const ArchiveWriteConfig& config,
     if (version == 2) {
       // Streaming layout: chunks flow straight to the sink, the manifest and
       // footer follow — the whole archive is assembled append-only.
-      auto piped = run_chunk_pipeline(config, data, extent, chunk_count, shared_bound,
-                                      carry_bounds, sink);
+      auto piped = run_chunk_pipeline(config, state, data, extent, chunk_count, sink);
       if (!piped.ok()) return piped.status();
       pipe = std::move(piped).value();
       manifest_offset = pipe.region_bytes;
@@ -366,8 +419,7 @@ Result<ArchiveWriteResult> write_archive(const ArchiveWriteConfig& config,
       // because the manifest precedes it on the wire.
       Buffer region;
       BufferSink region_sink(region);
-      auto piped = run_chunk_pipeline(config, data, extent, chunk_count, shared_bound,
-                                      carry_bounds, region_sink);
+      auto piped = run_chunk_pipeline(config, state, data, extent, chunk_count, region_sink);
       if (!piped.ok()) return piped.status();
       pipe = std::move(piped).value();
       std::vector<ChunkEntry> entries;
@@ -393,14 +445,16 @@ Result<ArchiveWriteResult> write_archive(const ArchiveWriteConfig& config,
       if (!s.ok()) return s;
     }
 
-    // Remember each chunk's bound for the next write of the same geometry.
-    carry.shape = data.shape();
-    carry.extent = extent;
-    carry.bounds.resize(chunk_count);
-    for (std::size_t i = 0; i < chunk_count; ++i)
-      carry.bounds[i] = pipe.chunks[i].tuned_bound;
+    // (Per-chunk warm bounds for the next write already live in the shared
+    // store: each chunk's engine committed its feasible bound under the
+    // chunk's own key as it finished.)
 
     ArchiveWriteResult result;
+    const EngineStats& tune_after = state.tune_engine.stats();
+    result.tuner_probe_calls =
+        pipe.tuner_probe_calls + (tune_after.tuner_probe_calls - tune_before.tuner_probe_calls);
+    result.probe_cache_hits =
+        pipe.probe_cache_hits + (tune_after.probe_cache_hits - tune_before.probe_cache_hits);
     result.format_version = version;
     result.chunk_count = chunk_count;
     result.chunk_extent = extent;

@@ -71,15 +71,17 @@ private:
 };
 
 /// Shards, tunes, compresses, and assembles one complete archive (either
-/// format version) through \p sink.  \p tune_engine provides the persistent
-/// chunk-0 warm start and \p carry the per-chunk previous-write bounds; both
-/// are updated on success.  This is the single write path behind
-/// ArchiveWriter (in-memory) and ArchiveFileWriter (streaming): format v2
-/// streams chunks to the sink as they finish; format v1 buffers the chunk
-/// region because its manifest precedes the chunks.
+/// format version) through \p sink.  \p state carries the persistent warm
+/// knowledge between write() calls: the chunk-0 tuning engine, the shared
+/// BoundStore of per-chunk warm bounds (every worker engine adopts it, each
+/// chunk reading/writing only its own deterministic key), and the shared
+/// probe dedup cache.  This is the single write path behind ArchiveWriter
+/// (in-memory) and ArchiveFileWriter (streaming): format v2 streams chunks
+/// to the sink as they finish; format v1 buffers the chunk region because
+/// its manifest precedes the chunks.
 Result<ArchiveWriteResult> write_archive(const ArchiveWriteConfig& config,
-                                         Engine& tune_engine, ChunkBoundCarry& carry,
-                                         const ArrayView& data, ByteSink& sink);
+                                         WriterWarmState& state, const ArrayView& data,
+                                         ByteSink& sink);
 
 /// Positioned-read abstraction of one archive's bytes.
 class ChunkSource {

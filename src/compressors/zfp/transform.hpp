@@ -17,18 +17,41 @@
 
 #include <array>
 #include <cstdint>
+#include <type_traits>
 
 namespace fraz::zfp_detail {
+
+/// The lifting arithmetic deliberately wraps — exact invertibility holds in
+/// two's complement modulo 2^width, and extreme coefficients do reach the
+/// wrap.  Signed overflow and pre-C++20 `<<` of negatives are undefined, so
+/// add/subtract/double route through the unsigned representation (identical
+/// bits on every real target); only the arithmetic right shifts stay signed.
+template <typename Int>
+Int wadd(Int a, Int b) noexcept {
+  using U = std::make_unsigned_t<Int>;
+  return static_cast<Int>(static_cast<U>(a) + static_cast<U>(b));
+}
+
+template <typename Int>
+Int wsub(Int a, Int b) noexcept {
+  using U = std::make_unsigned_t<Int>;
+  return static_cast<Int>(static_cast<U>(a) - static_cast<U>(b));
+}
+
+template <typename Int>
+Int dbl(Int v) noexcept {
+  return static_cast<Int>(static_cast<std::make_unsigned_t<Int>>(v) << 1);
+}
 
 /// Forward lift of 4 integers at stride \p s.
 template <typename Int>
 void fwd_lift(Int* p, std::size_t s) noexcept {
   Int x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
-  x += w; x >>= 1; w -= x;
-  z += y; z >>= 1; y -= z;
-  x += z; x >>= 1; z -= x;
-  w += y; w >>= 1; y -= w;
-  w += y >> 1; y -= w >> 1;
+  x = wadd(x, w); x >>= 1; w = wsub(w, x);
+  z = wadd(z, y); z >>= 1; y = wsub(y, z);
+  x = wadd(x, z); x >>= 1; z = wsub(z, x);
+  w = wadd(w, y); w >>= 1; y = wsub(y, w);
+  w = wadd(w, static_cast<Int>(y >> 1)); y = wsub(y, static_cast<Int>(w >> 1));
   p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
 }
 
@@ -36,11 +59,11 @@ void fwd_lift(Int* p, std::size_t s) noexcept {
 template <typename Int>
 void inv_lift(Int* p, std::size_t s) noexcept {
   Int x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
-  y += w >> 1; w -= y >> 1;
-  y += w; w <<= 1; w -= y;
-  z += x; x <<= 1; x -= z;
-  y += z; z <<= 1; z -= y;
-  w += x; x <<= 1; x -= w;
+  y = wadd(y, static_cast<Int>(w >> 1)); w = wsub(w, static_cast<Int>(y >> 1));
+  y = wadd(y, w); w = dbl(w); w = wsub(w, y);
+  z = wadd(z, x); x = dbl(x); x = wsub(x, z);
+  y = wadd(y, z); z = dbl(z); z = wsub(z, y);
+  w = wadd(w, x); x = dbl(x); x = wsub(x, w);
   p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
 }
 

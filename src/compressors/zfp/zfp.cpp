@@ -84,7 +84,9 @@ void encode_planes(BitWriter& writer, const UInt* coeffs, unsigned n, unsigned m
     unsigned m = std::min<std::int64_t>(n_sig, budget);
     budget -= m;
     writer.write_bits(plane, m);
-    plane >>= m;
+    // m can reach 64 (every coefficient significant): a full-width shift is
+    // undefined, and the intended result is an empty plane.
+    plane = m >= 64 ? 0 : plane >> m;
     // Group-tested remainder.
     while (n_sig < n && budget > 0) {
       --budget;

@@ -16,6 +16,7 @@ void OnlineTuner::commit(const StepOutcome& outcome) {
   stats_.retrains += outcome.retrained;
   stats_.frames_in_band += outcome.result.feasible;
   stats_.total_compress_calls += outcome.result.compress_calls;
+  stats_.probe_cache_hits += outcome.result.probe_cache_hits;
   stats_.last_ratio = outcome.result.achieved_ratio;
   stats_.ratio_ema = stats_.frames == 1
                          ? outcome.result.achieved_ratio

@@ -28,6 +28,9 @@ struct OnlineStats {
   std::size_t retrains = 0;
   std::size_t frames_in_band = 0;
   int total_compress_calls = 0;
+  /// Tuning probes served by the persistent probe cache (retrains on data
+  /// the stream has already measured cost nothing).
+  int probe_cache_hits = 0;
   /// Achieved ratio of the most recent frame.
   double last_ratio = 0;
   /// Exponential moving average of the achieved ratio (alpha = 0.2).

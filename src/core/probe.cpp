@@ -1,0 +1,319 @@
+#include "core/probe.hpp"
+
+#include <cstring>
+#include <exception>
+#include <future>
+#include <thread>
+
+#include "metrics/error_stats.hpp"
+#include "metrics/ssim.hpp"
+#include "opt/thread_pool.hpp"
+#include "util/error.hpp"
+#include "util/status.hpp"
+
+namespace fraz {
+
+namespace {
+
+/// SplitMix64-style finalizer: every key-combining step funnels through this
+/// so nearby inputs (consecutive bounds, one-bit data edits) land far apart.
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Word-at-a-time 64-bit content hash (FNV-flavoured with a strong
+/// finalizer).  Collision odds at cache scale (<= 2^16 entries) are
+/// negligible, and a collision costs a wrong cached ratio — so the full
+/// content is hashed, never a sample.
+std::uint64_t hash_bytes(const void* data, std::size_t size, std::uint64_t seed) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = seed ^ (0x9e3779b97f4a7c15ull * (size + 1));
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = mix64(h ^ w) + 0x2545f4914f6cdd1dull;
+  }
+  if (i < size) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, p + i, size - i);
+    h = mix64(h ^ w) + 0x2545f4914f6cdd1dull;
+  }
+  return mix64(h);
+}
+
+std::uint64_t hash_string(const std::string& s, std::uint64_t seed) noexcept {
+  return hash_bytes(s.data(), s.size(), seed);
+}
+
+std::uint64_t double_bits(double v) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+}  // namespace
+
+std::uint64_t data_fingerprint(const ArrayView& data) noexcept {
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(data.dtype()) + 0x64617461ull);
+  for (const std::size_t extent : data.shape()) h = mix64(h ^ extent);
+  return hash_bytes(data.data(), data.size_bytes(), h);
+}
+
+std::uint64_t compressor_fingerprint(const pressio::Compressor& compressor) {
+  std::uint64_t h = hash_string(compressor.name(), 0x636f6e66ull);
+  for (const auto& [key, value] : compressor.get_options()) {
+    h = hash_string(key, h);
+    h = mix64(h ^ value.index());
+    if (const auto* b = std::get_if<bool>(&value))
+      h = mix64(h ^ static_cast<std::uint64_t>(*b));
+    else if (const auto* i = std::get_if<std::int64_t>(&value))
+      h = mix64(h ^ static_cast<std::uint64_t>(*i));
+    else if (const auto* d = std::get_if<double>(&value))
+      h = mix64(h ^ double_bits(*d));
+    else
+      h = hash_string(std::get<std::string>(value), h);
+  }
+  return h;
+}
+
+// -------------------------------------------------------------- ProbeCache
+
+ProbeCache::ProbeCache(std::size_t max_entries)
+    : max_entries_(max_entries > 0 ? max_entries : 1) {}
+
+std::uint64_t ProbeCache::slot(std::uint64_t context, double bound) noexcept {
+  return mix64(context ^ double_bits(bound));
+}
+
+bool ProbeCache::lookup(std::uint64_t context, double bound, ProbeRecord& out) const noexcept {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(slot(context, bound));
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  out = it->second;
+  return true;
+}
+
+void ProbeCache::insert(std::uint64_t context, double bound, const ProbeRecord& record) {
+  std::lock_guard lock(mutex_);
+  // Wholesale reset when full: observations are recomputable, and a cheap
+  // deterministic policy beats LRU bookkeeping on this hot path.
+  if (entries_.size() >= max_entries_) entries_.clear();
+  entries_[slot(context, bound)] = record;
+}
+
+ProbeCache::Stats ProbeCache::stats() const noexcept {
+  std::lock_guard lock(mutex_);
+  return Stats{hits_, misses_, entries_.size()};
+}
+
+void ProbeCache::clear() noexcept {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+}
+
+// ----------------------------------------------------------- ProbeExecutor
+
+ProbeExecutor::ProbeExecutor(const pressio::Compressor& prototype, ProbeCachePtr cache,
+                             unsigned threads)
+    : prototype_(prototype.clone()),
+      config_fingerprint_(compressor_fingerprint(prototype)),
+      cache_(std::move(cache)),
+      threads_(threads == 0 ? std::max(1u, std::thread::hardware_concurrency()) : threads) {
+  require(cache_ != nullptr, "ProbeExecutor: cache must not be null");
+}
+
+std::uint64_t ProbeExecutor::context_key(const ArrayView& data) const noexcept {
+  return mix64(config_fingerprint_ ^ data_fingerprint(data));
+}
+
+std::unique_ptr<ProbeExecutor::Context> ProbeExecutor::checkout() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!idle_.empty()) {
+      auto context = std::move(idle_.back());
+      idle_.pop_back();
+      return context;
+    }
+  }
+  auto context = std::make_unique<Context>();
+  context->compressor = prototype_->clone();
+  return context;
+}
+
+void ProbeExecutor::checkin(std::unique_ptr<Context> context) {
+  std::lock_guard lock(mutex_);
+  idle_.push_back(std::move(context));
+}
+
+ProbeRecord ProbeExecutor::execute_ratio(Context& context, const ArrayView& data,
+                                         double bound) {
+  context.compressor->set_error_bound(bound);
+  const Status s = context.compressor->compress_into(data, context.scratch);
+  if (!s.ok()) throw_status(s);
+  ProbeRecord record;
+  record.ratio = static_cast<double>(data.size_bytes()) /
+                 static_cast<double>(context.scratch.size());
+  return record;
+}
+
+std::vector<ProbeOutcome> ProbeExecutor::probe_ratios(const ArrayView& data,
+                                                      std::uint64_t context,
+                                                      const std::vector<double>& bounds) {
+  std::vector<ProbeOutcome> out(bounds.size());
+
+  // Partition the batch: cache hits are answered immediately; the first
+  // occurrence of each novel bound becomes a miss to execute; repeats of a
+  // miss within the batch wait for that execution.
+  struct Miss {
+    std::size_t index;
+    double bound;
+  };
+  std::vector<Miss> misses;
+  std::vector<std::pair<std::size_t, std::size_t>> repeats;  // (index, miss slot)
+  std::unordered_map<std::uint64_t, std::size_t> batch_first;  // bound bits -> miss slot
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    ProbeRecord cached;
+    if (cache_->lookup(context, bounds[i], cached)) {
+      out[i] = ProbeOutcome{cached, true};
+      ++hits;
+      continue;
+    }
+    const auto [it, fresh] = batch_first.try_emplace(double_bits(bounds[i]), misses.size());
+    if (fresh) {
+      misses.push_back(Miss{i, bounds[i]});
+    } else {
+      repeats.emplace_back(i, it->second);
+      ++hits;
+    }
+  }
+
+  if (!misses.empty()) {
+    std::vector<ProbeRecord> records(misses.size());
+    if (threads_ <= 1 || misses.size() == 1) {
+      auto worker = checkout();
+      for (std::size_t m = 0; m < misses.size(); ++m)
+        records[m] = execute_ratio(*worker, data, misses[m].bound);
+      checkin(std::move(worker));
+    } else {
+      // Contiguous groups capped at the executor's thread budget; group 0
+      // runs on the calling thread so a waiting caller always contributes.
+      const std::size_t groups =
+          std::min<std::size_t>(threads_, misses.size());
+      auto run_group = [&](std::size_t g) {
+        auto worker = checkout();
+        for (std::size_t m = g; m < misses.size(); m += groups)
+          records[m] = execute_ratio(*worker, data, misses[m].bound);
+        checkin(std::move(worker));
+      };
+      std::vector<std::future<void>> pending;
+      pending.reserve(groups - 1);
+      for (std::size_t g = 1; g < groups; ++g)
+        pending.push_back(shared_thread_pool().submit([&run_group, g] { run_group(g); }));
+      std::exception_ptr first_error;
+      try {
+        run_group(0);
+      } catch (...) {
+        first_error = std::current_exception();
+      }
+      for (auto& f : pending) {
+        try {
+          f.get();
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      if (first_error) std::rethrow_exception(first_error);
+    }
+    for (std::size_t m = 0; m < misses.size(); ++m) {
+      cache_->insert(context, misses[m].bound, records[m]);
+      out[misses[m].index] = ProbeOutcome{records[m], false};
+    }
+  }
+  for (const auto& [index, slot] : repeats)
+    out[index] = ProbeOutcome{out[misses[slot].index].record, true};
+
+  std::lock_guard lock(mutex_);
+  executed_ += misses.size();
+  cache_hits_ += hits;
+  return out;
+}
+
+ProbeOutcome ProbeExecutor::probe_ratio(const ArrayView& data, std::uint64_t context,
+                                        double bound) {
+  ProbeRecord cached;
+  if (cache_->lookup(context, bound, cached)) {
+    std::lock_guard lock(mutex_);
+    ++cache_hits_;
+    return ProbeOutcome{cached, true};
+  }
+  auto worker = checkout();
+  ProbeRecord record;
+  try {
+    record = execute_ratio(*worker, data, bound);
+  } catch (...) {
+    checkin(std::move(worker));
+    throw;
+  }
+  checkin(std::move(worker));
+  cache_->insert(context, bound, record);
+  std::lock_guard lock(mutex_);
+  ++executed_;
+  return ProbeOutcome{record, false};
+}
+
+ProbeOutcome ProbeExecutor::probe_quality(const ArrayView& data, std::uint64_t context,
+                                          double bound, QualityMetric metric) {
+  // Quality observations live under a metric-tagged key so a ratio probe at
+  // the same bound can never masquerade as a quality measurement.
+  const std::uint64_t tagged =
+      mix64(context ^ (0x7175616cull + static_cast<std::uint64_t>(metric)));
+  ProbeRecord cached;
+  if (cache_->lookup(tagged, bound, cached)) {
+    std::lock_guard lock(mutex_);
+    ++cache_hits_;
+    return ProbeOutcome{cached, true};
+  }
+  auto worker = checkout();
+  ProbeRecord record;
+  try {
+    worker->compressor->set_error_bound(bound);
+    Status s = worker->compressor->compress_into(data, worker->scratch);
+    if (!s.ok()) throw_status(s);
+    s = worker->compressor->decompress_into(worker->scratch.data(), worker->scratch.size(),
+                                            worker->decoded);
+    if (!s.ok()) throw_status(s);
+    record.ratio = static_cast<double>(data.size_bytes()) /
+                   static_cast<double>(worker->scratch.size());
+    record.quality = metric == QualityMetric::kPsnrDb
+                         ? error_stats(data, worker->decoded.view()).psnr_db
+                         : ssim(data, worker->decoded.view());
+  } catch (...) {
+    checkin(std::move(worker));
+    throw;
+  }
+  checkin(std::move(worker));
+  cache_->insert(tagged, bound, record);
+  std::lock_guard lock(mutex_);
+  ++executed_;
+  return ProbeOutcome{record, false};
+}
+
+std::size_t ProbeExecutor::executed() const noexcept {
+  std::lock_guard lock(mutex_);
+  return executed_;
+}
+
+std::size_t ProbeExecutor::cache_hits() const noexcept {
+  std::lock_guard lock(mutex_);
+  return cache_hits_;
+}
+
+}  // namespace fraz

@@ -1,0 +1,158 @@
+#ifndef FRAZ_CORE_PROBE_HPP
+#define FRAZ_CORE_PROBE_HPP
+
+/// \file probe.hpp
+/// The shared probe layer under every tuner: one place that spends
+/// compressor evaluations, batched onto the shared thread pool and
+/// deduplicated through a cache keyed by (data fingerprint, compressor
+/// configuration, error bound).
+///
+/// The paper observes that probe evaluations dominate tuning cost and that
+/// overlapping regions re-evaluate the same bounds (§V-C).  Before this
+/// layer, four independent loops — the batch Tuner, the quality tuner, the
+/// online tuner, and the archive pipeline's per-chunk engines — each paid
+/// their own probes and held their own scratch.  Now the Tuner drives
+/// ask/tell SearchStates in lockstep rounds and submits one probe batch per
+/// round; identical (data, config, bound) triples anywhere in the process
+/// cost exactly one compression, and a deterministic backend makes a cached
+/// ratio indistinguishable from a fresh one — so caching can never change a
+/// tuned bound, only the number of compressions spent reaching it.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "ndarray/ndarray.hpp"
+#include "pressio/compressor.hpp"
+#include "util/buffer.hpp"
+
+namespace fraz {
+
+/// Fidelity metric a quality probe can measure (used by tune_for_quality).
+enum class QualityMetric {
+  kPsnrDb,  ///< peak signal-to-noise ratio in dB (higher = better)
+  kSsim,    ///< structural similarity in [0, 1] (higher = better); 2D/3D only
+};
+
+/// 64-bit content fingerprint of an array: dtype, shape, and every byte.
+/// A full pass over the data, but orders of magnitude cheaper than the
+/// compression probe it deduplicates.
+std::uint64_t data_fingerprint(const ArrayView& data) noexcept;
+
+/// Fingerprint of a compressor's identity and configuration (name plus the
+/// full option map).  The probe axis — the error bound — is keyed
+/// separately, so a prototype's current bound setting does not matter.
+std::uint64_t compressor_fingerprint(const pressio::Compressor& compressor);
+
+/// One cached probe observation.
+struct ProbeRecord {
+  double ratio = 0;       ///< raw bytes / compressed bytes at the probed bound
+  double quality = 0;     ///< metric value (quality probes only; else 0)
+};
+
+/// Thread-safe dedup cache of probe observations.  Bounded: when full it is
+/// cleared wholesale (cheap, deterministic, and correct — entries are pure
+/// recomputable observations).
+class ProbeCache {
+public:
+  explicit ProbeCache(std::size_t max_entries = 1u << 16);
+
+  /// Look up the record for (context key, bound[, metric tag]); true on hit.
+  bool lookup(std::uint64_t context, double bound, ProbeRecord& out) const noexcept;
+  /// Insert an observation (overwrites an identical key).
+  void insert(std::uint64_t context, double bound, const ProbeRecord& record);
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const noexcept;
+  void clear() noexcept;
+
+private:
+  static std::uint64_t slot(std::uint64_t context, double bound) noexcept;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, ProbeRecord> entries_;
+  std::size_t max_entries_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+using ProbeCachePtr = std::shared_ptr<ProbeCache>;
+
+/// One probe's outcome as seen by a search: the observation plus whether the
+/// cache (or an identical probe earlier in the same batch) already paid it.
+struct ProbeOutcome {
+  ProbeRecord record;
+  bool from_cache = false;
+};
+
+/// Executes probes for one compressor configuration: clones workers on
+/// demand (kept in an internal context pool so scratch buffers reach their
+/// zero-allocation steady state), batches misses onto the shared thread
+/// pool, and consults/feeds the shared ProbeCache.  Thread-safe; one
+/// executor may serve concurrent searches over different data.
+class ProbeExecutor {
+public:
+  /// \param prototype cloned once per worker context on demand.
+  /// \param cache shared dedup cache (non-null).
+  /// \param threads concurrency cap for one batch; 0 = hardware, 1 = inline.
+  ProbeExecutor(const pressio::Compressor& prototype, ProbeCachePtr cache,
+                unsigned threads);
+
+  /// Cache context key for \p data under this executor's compressor config.
+  /// Compute once per search and reuse across its rounds.
+  std::uint64_t context_key(const ArrayView& data) const noexcept;
+
+  /// Evaluate ratio probes for one batch of bounds (one search round).
+  /// Results are positionally aligned with \p bounds.  Duplicate bounds in
+  /// the batch and cache hits cost nothing; misses run concurrently up to
+  /// the thread cap on the shared pool.  Throws on compression failure.
+  std::vector<ProbeOutcome> probe_ratios(const ArrayView& data, std::uint64_t context,
+                                         const std::vector<double>& bounds);
+
+  /// Single ratio probe (prediction / warm paths).
+  ProbeOutcome probe_ratio(const ArrayView& data, std::uint64_t context, double bound);
+
+  /// Compress + decompress + metric probe for the quality tuner.  Cached
+  /// under a metric-tagged key; record.quality carries the metric value and
+  /// record.ratio the compression ratio of the same pass.
+  ProbeOutcome probe_quality(const ArrayView& data, std::uint64_t context, double bound,
+                             QualityMetric metric);
+
+  const ProbeCachePtr& cache() const noexcept { return cache_; }
+  /// Compressor invocations actually spent by this executor.
+  std::size_t executed() const noexcept;
+  /// Probes served without a compressor invocation.
+  std::size_t cache_hits() const noexcept;
+
+private:
+  /// Per-worker state: a backend clone plus reusable scratch.
+  struct Context {
+    pressio::CompressorPtr compressor;
+    Buffer scratch;
+    NdArray decoded;
+  };
+
+  std::unique_ptr<Context> checkout();
+  void checkin(std::unique_ptr<Context> context);
+  ProbeRecord execute_ratio(Context& context, const ArrayView& data, double bound);
+
+  pressio::CompressorPtr prototype_;
+  std::uint64_t config_fingerprint_;
+  ProbeCachePtr cache_;
+  unsigned threads_;
+
+  mutable std::mutex mutex_;          // guards idle_ and the counters
+  std::vector<std::unique_ptr<Context>> idle_;
+  std::size_t executed_ = 0;
+  std::size_t cache_hits_ = 0;
+};
+
+}  // namespace fraz
+
+#endif  // FRAZ_CORE_PROBE_HPP

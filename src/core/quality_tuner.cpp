@@ -2,30 +2,10 @@
 
 #include <cmath>
 
-#include "metrics/error_stats.hpp"
-#include "metrics/ssim.hpp"
 #include "opt/global_search.hpp"
-#include "util/buffer.hpp"
 #include "util/error.hpp"
-#include "util/status.hpp"
 
 namespace fraz {
-
-namespace {
-
-/// One compress+decompress+metric pass through the V2 entry points, reusing
-/// the caller's scratch buffers across evaluations.
-double measure_quality(const pressio::Compressor& compressor, const ArrayView& data,
-                       QualityMetric metric, Buffer& scratch, NdArray& decoded) {
-  Status s = compressor.compress_into(data, scratch);
-  if (!s.ok()) throw_status(s);
-  s = compressor.decompress_into(scratch.data(), scratch.size(), decoded);
-  if (!s.ok()) throw_status(s);
-  if (metric == QualityMetric::kPsnrDb) return error_stats(data, decoded.view()).psnr_db;
-  return ssim(data, decoded.view());
-}
-
-}  // namespace
 
 QualityTuneResult tune_for_quality(const pressio::Compressor& compressor,
                                    const ArrayView& data, const QualityTunerConfig& config) {
@@ -47,9 +27,10 @@ QualityTuneResult tune_for_quality(const pressio::Compressor& compressor,
   require(lo < hi, "tune_for_quality: empty search range");
 
   QualityTuneResult result;
-  const pressio::CompressorPtr worker = compressor.clone();
-  Buffer scratch;
-  NdArray decoded;
+  // The executor owns worker clone + scratch + decode reuse; quality probes
+  // are serial (each feeds the next proposal) so one context suffices.
+  ProbeExecutor executor(compressor, std::make_shared<ProbeCache>(), 1);
+  const std::uint64_t context = executor.context_key(data);
 
   // Quality falls as the bound grows, so the largest acceptable bound sits
   // at the quality ~= floor crossing.  Search log-space for the bound that
@@ -57,33 +38,37 @@ QualityTuneResult tune_for_quality(const pressio::Compressor& compressor,
   // are penalized by how far they miss; acceptable bounds are scored by the
   // bound itself (negated) so the optimizer prefers the most aggressive one.
   double best_bound = 0, best_quality = 0, best_ratio = 0;
-  auto objective = [&](double x) {
-    const double bound = std::exp(x);
-    worker->set_error_bound(bound);
-    const double quality = measure_quality(*worker, data, config.metric, scratch, decoded);
-    ++result.evaluations;
-    if (quality >= config.quality_floor && bound > best_bound) {
-      best_bound = bound;
-      best_quality = quality;
-      // The archive from the quality pass is still in scratch; its size IS
-      // the ratio confirmation (no extra compress pass needed).
-      best_ratio = static_cast<double>(data.size_bytes()) /
-                   static_cast<double>(scratch.size());
-    }
-    if (quality < config.quality_floor)
-      return (config.quality_floor - quality) / config.quality_floor;  // miss distance
-    // Acceptable: prefer larger bounds; stop once quality is close to the
-    // floor (within the slack) — further refinement cannot help much.
-    const double closeness = (quality - config.quality_floor) /
-                             (config.quality_floor * std::max(config.slack, 1e-9));
-    return -1.0 / (1.0 + closeness);
-  };
 
   opt::SearchOptions search;
   search.max_calls = config.max_evals;
   search.cutoff = -0.5;  // hit when quality within slack of the floor
   search.seed = config.seed;
-  opt::find_min_global(objective, std::log(lo), std::log(hi), search);
+  opt::SearchState state(std::log(lo), std::log(hi), search);
+  double x;
+  while (state.ask(x)) {
+    const double bound = std::exp(x);
+    const ProbeOutcome probe = executor.probe_quality(data, context, bound, config.metric);
+    const double quality = probe.record.quality;
+    ++result.evaluations;
+    if (quality >= config.quality_floor && bound > best_bound) {
+      best_bound = bound;
+      best_quality = quality;
+      // The quality pass measured its own archive; its ratio IS the
+      // confirmation (no extra compress pass needed).
+      best_ratio = probe.record.ratio;
+    }
+    double loss;
+    if (quality < config.quality_floor) {
+      loss = (config.quality_floor - quality) / config.quality_floor;  // miss distance
+    } else {
+      // Acceptable: prefer larger bounds; stop once quality is close to the
+      // floor (within the slack) — further refinement cannot help much.
+      const double closeness = (quality - config.quality_floor) /
+                               (config.quality_floor * std::max(config.slack, 1e-9));
+      loss = -1.0 / (1.0 + closeness);
+    }
+    state.tell(x, loss);
+  }
 
   result.error_bound = best_bound;
   result.quality = best_quality;

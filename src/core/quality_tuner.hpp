@@ -8,22 +8,20 @@
 /// particular SSIM in lossy compressed data required for valid results".
 ///
 /// The machinery is FRaZ's: a black-box objective over the error bound,
-/// searched with the cutoff-modified global optimizer.  The objective here
-/// runs compress+decompress and measures a fidelity metric; the tuner finds
-/// the *largest* bound (best ratio) whose quality still clears the floor.
+/// driven through the shared tuning stack — an ask/tell `opt::SearchState`
+/// whose quality probes (compress + decompress + metric) run through the
+/// same `ProbeExecutor`/`ProbeCache` layer the ratio tuner uses.  The tuner
+/// finds the *largest* bound (best ratio) whose quality still clears the
+/// floor.  (`QualityMetric` now lives in core/probe.hpp, next to the probe
+/// that measures it.)
 
 #include <cstdint>
 
+#include "core/probe.hpp"
 #include "ndarray/ndarray.hpp"
 #include "pressio/compressor.hpp"
 
 namespace fraz {
-
-/// Fidelity metric the search can target.
-enum class QualityMetric {
-  kPsnrDb,  ///< peak signal-to-noise ratio in dB (higher = better)
-  kSsim,    ///< structural similarity in [0, 1] (higher = better); 2D/3D only
-};
 
 /// Configuration of a quality-floor search.
 struct QualityTunerConfig {

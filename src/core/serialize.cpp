@@ -75,6 +75,8 @@ std::string to_json(const TuneResult& result) {
      << ",\"feasible\":" << (result.feasible ? "true" : "false")
      << ",\"from_prediction\":" << (result.from_prediction ? "true" : "false")
      << ",\"compress_calls\":" << result.compress_calls
+     << ",\"probe_cache_hits\":" << result.probe_cache_hits
+     << ",\"probes_executed\":" << (result.compress_calls - result.probe_cache_hits)
      << ",\"seconds\":" << json_number(result.seconds);
   if (!result.regions.empty()) {
     os << ",\"regions\":[";
@@ -85,6 +87,7 @@ std::string to_json(const TuneResult& result) {
          << ",\"best_bound\":" << json_number(r.best_bound)
          << ",\"best_ratio\":" << json_number(r.best_ratio)
          << ",\"compress_calls\":" << r.compress_calls
+         << ",\"cache_hits\":" << r.cache_hits
          << ",\"hit_cutoff\":" << (r.hit_cutoff ? "true" : "false")
          << ",\"cancelled\":" << (r.cancelled ? "true" : "false") << "}";
     }
@@ -98,6 +101,7 @@ std::string to_json(const SeriesResult& series) {
   std::ostringstream os;
   os << "{\"retrain_count\":" << series.retrain_count
      << ",\"total_compress_calls\":" << series.total_compress_calls
+     << ",\"total_probe_cache_hits\":" << series.total_probe_cache_hits
      << ",\"seconds\":" << json_number(series.seconds) << ",\"steps\":[";
   for (std::size_t i = 0; i < series.steps.size(); ++i) {
     if (i) os << ",";

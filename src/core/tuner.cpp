@@ -1,16 +1,12 @@
 #include "core/tuner.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <future>
-#include <mutex>
+#include <limits>
 
-#include "opt/cancel.hpp"
 #include "opt/global_search.hpp"
 #include "opt/thread_pool.hpp"
-#include "pressio/evaluate.hpp"
-#include "util/buffer.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -45,7 +41,13 @@ Status warm_archive_probe(pressio::Compressor& compressor, const ArrayView& data
 }
 
 Tuner::Tuner(const pressio::Compressor& prototype, TunerConfig config)
-    : prototype_(prototype.clone()), config_(config) {
+    : Tuner(prototype, config, std::make_shared<ProbeCache>()) {}
+
+Tuner::Tuner(const pressio::Compressor& prototype, TunerConfig config, ProbeCachePtr cache)
+    : prototype_(prototype.clone()),
+      config_(config),
+      cache_(std::move(cache)),
+      executor_(prototype, cache_, config_.threads) {
   require(config_.target_ratio > 1.0, "Tuner: target_ratio must exceed 1");
   require(config_.epsilon > 0 && config_.epsilon < 1, "Tuner: epsilon in (0, 1)");
   require(config_.regions >= 1, "Tuner: regions must be >= 1");
@@ -66,6 +68,10 @@ Region Tuner::search_range(const ArrayView& data) const {
 }
 
 TuneResult Tuner::tune(const ArrayView& data) const {
+  return train(data, executor_.context_key(data));
+}
+
+TuneResult Tuner::train(const ArrayView& data, std::uint64_t context) const {
   require(prototype_->supports_dims(data.dims()),
           "Tuner: compressor '" + prototype_->name() + "' does not support this rank");
   Timer timer;
@@ -80,86 +86,84 @@ TuneResult Tuner::tune(const ArrayView& data) const {
       make_error_bound_regions(search_lo, search_hi, config_.regions, config_.overlap);
   const double cutoff = loss_cutoff(config_.target_ratio, config_.epsilon);
 
-  CancelToken token;
-  std::atomic<int> total_calls{0};
-
-  // One task per region (paper Alg. 2): each clones the compressor, runs the
-  // cutoff-modified global search on its sub-range, and trips the shared
-  // cancellation token on success so outstanding work stops early.
-  auto run_region = [&](std::size_t index) -> RegionOutcome {
-    RegionOutcome outcome;
-    // Report the region in bound units even when searching in log space.
-    outcome.region = Region{to_bound(regions[index].lo), to_bound(regions[index].hi)};
-    if (token.cancelled()) {
-      outcome.cancelled = true;
-      return outcome;
-    }
-    const pressio::CompressorPtr compressor = prototype_->clone();
-
-    // One grow-only scratch per region, reused across every probe of this
-    // worker's search: after the first (largest) archive the inner loop
-    // performs no per-iteration output allocation.
-    Buffer scratch;
-    double best_dist = std::numeric_limits<double>::infinity();
-    auto objective = [&](double x) {
-      const double bound = to_bound(x);
-      compressor->set_error_bound(bound);
-      const auto probe = pressio::probe_ratio(*compressor, data, scratch);
-      ++total_calls;
-      ++outcome.compress_calls;
-      const double dist = std::abs(probe.ratio - config_.target_ratio);
-      if (dist < best_dist) {
-        best_dist = dist;
-        outcome.best_bound = bound;
-        outcome.best_ratio = probe.ratio;
-      }
-      return ratio_loss(probe.ratio, config_.target_ratio);
-    };
-
+  // One ask/tell stepper per region (paper Alg. 2), all advancing in
+  // lockstep: each round collects one proposal from every live region,
+  // evaluates the batch through the probe executor (dedup cache, shared
+  // pool), and feeds the observations back.  The round structure replaces
+  // the seed's one-blocked-thread-per-region layout and its racy
+  // cancellation: the winner's round is the last round, deterministically,
+  // so losing regions no longer drain their full budgets.
+  std::vector<opt::SearchState> states;
+  states.reserve(regions.size());
+  std::vector<RegionOutcome> outcomes(regions.size());
+  std::vector<double> best_dist(regions.size(), std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < regions.size(); ++i) {
     opt::SearchOptions search;
     search.max_calls = config_.max_evals_per_region;
     search.cutoff = cutoff;
-    search.seed = substream(config_.seed, index);
-    search.cancel = &token;
-    const opt::SearchResult sr =
-        opt::find_min_global(objective, regions[index].lo, regions[index].hi, search);
-
-    outcome.hit_cutoff = sr.hit_cutoff;
-    outcome.cancelled = sr.cancelled;
-    if (sr.hit_cutoff) token.cancel();
-    return outcome;
-  };
-
-  std::vector<RegionOutcome> outcomes(regions.size());
-  if (config_.threads == 1 || regions.size() == 1) {
-    for (std::size_t i = 0; i < regions.size(); ++i) outcomes[i] = run_region(i);
-  } else {
-    ThreadPool pool(config_.threads == 0
-                        ? std::min<unsigned>(static_cast<unsigned>(regions.size()),
-                                             std::thread::hardware_concurrency())
-                        : std::min<unsigned>(config_.threads,
-                                             static_cast<unsigned>(regions.size())));
-    std::vector<std::future<RegionOutcome>> futures;
-    futures.reserve(regions.size());
-    for (std::size_t i = 0; i < regions.size(); ++i)
-      futures.push_back(pool.submit([&, i] { return run_region(i); }));
-    for (std::size_t i = 0; i < futures.size(); ++i) outcomes[i] = futures[i].get();
+    search.seed = substream(config_.seed, i);
+    states.emplace_back(regions[i].lo, regions[i].hi, search);
+    // Report the region in bound units even when searching in log space.
+    outcomes[i].region = Region{to_bound(regions[i].lo), to_bound(regions[i].hi)};
   }
+
+  std::vector<std::size_t> round_region;
+  std::vector<double> round_x, round_bounds;
+  bool any_hit = false;
+  while (!any_hit) {
+    round_region.clear();
+    round_x.clear();
+    round_bounds.clear();
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      double x;
+      if (!states[i].done() && states[i].ask(x)) {
+        round_region.push_back(i);
+        round_x.push_back(x);
+        round_bounds.push_back(to_bound(x));
+      }
+    }
+    if (round_region.empty()) break;  // every region exhausted its budget
+
+    const std::vector<ProbeOutcome> probes =
+        executor_.probe_ratios(data, context, round_bounds);
+    for (std::size_t k = 0; k < round_region.size(); ++k) {
+      const std::size_t i = round_region[k];
+      const double ratio = probes[k].record.ratio;
+      states[i].tell(round_x[k], ratio_loss(ratio, config_.target_ratio));
+      RegionOutcome& outcome = outcomes[i];
+      ++outcome.compress_calls;
+      outcome.cache_hits += probes[k].from_cache;
+      const double dist = std::abs(ratio - config_.target_ratio);
+      if (dist < best_dist[i]) {
+        best_dist[i] = dist;
+        outcome.best_bound = round_bounds[k];
+        outcome.best_ratio = ratio;
+      }
+      if (states[i].done() && states[i].result().hit_cutoff) {
+        outcome.hit_cutoff = true;
+        any_hit = true;
+      }
+    }
+  }
+  if (any_hit)
+    for (std::size_t i = 0; i < states.size(); ++i)
+      if (!states[i].done()) outcomes[i].cancelled = true;
 
   // Result selection: prefer in-band outcomes; otherwise the observation
   // closest to the target ratio across every region (paper Alg. 2 tail).
   TuneResult result;
   result.regions = std::move(outcomes);
-  result.compress_calls = total_calls.load();
-  double best_dist = std::numeric_limits<double>::infinity();
+  double select_dist = std::numeric_limits<double>::infinity();
   for (const RegionOutcome& o : result.regions) {
+    result.compress_calls += o.compress_calls;
+    result.probe_cache_hits += o.cache_hits;
     if (o.compress_calls == 0) continue;
     const double dist = std::abs(o.best_ratio - config_.target_ratio);
     const bool better =
-        (o.hit_cutoff && !result.feasible) || (o.hit_cutoff == result.feasible && dist < best_dist);
+        (o.hit_cutoff && !result.feasible) || (o.hit_cutoff == result.feasible && dist < select_dist);
     if (better) {
       result.feasible = result.feasible || o.hit_cutoff;
-      best_dist = dist;
+      select_dist = dist;
       result.error_bound = o.best_bound;
       result.achieved_ratio = o.best_ratio;
     }
@@ -174,25 +178,22 @@ TuneResult Tuner::tune_with_prediction(const ArrayView& data, double predicted_b
   // Algorithm 1: when a prediction is available, try it before any training.
   if (predicted_bound > 0) {
     Timer timer;
-    // Cross-call scratch: steady-state series (every step a warm hit) must
-    // not allocate a fresh archive per step.  thread_local keeps the const
-    // API and the clone-per-worker threading model intact.
-    thread_local Buffer scratch;
-    const pressio::CompressorPtr compressor = prototype_->clone();
-    compressor->set_error_bound(predicted_bound);
-    const auto probe = pressio::probe_ratio(*compressor, data, scratch);
-    if (ratio_acceptable(probe.ratio, config_.target_ratio, config_.epsilon)) {
+    const std::uint64_t context = executor_.context_key(data);
+    const ProbeOutcome probe = executor_.probe_ratio(data, context, predicted_bound);
+    if (ratio_acceptable(probe.record.ratio, config_.target_ratio, config_.epsilon)) {
       TuneResult result;
       result.error_bound = predicted_bound;
-      result.achieved_ratio = probe.ratio;
+      result.achieved_ratio = probe.record.ratio;
       result.feasible = true;
       result.from_prediction = true;
       result.compress_calls = 1;
+      result.probe_cache_hits = probe.from_cache ? 1 : 0;
       result.seconds = timer.seconds();
       return result;
     }
-    TuneResult result = tune(data);
+    TuneResult result = train(data, context);
     result.compress_calls += 1;       // account for the failed prediction probe
+    result.probe_cache_hits += probe.from_cache ? 1 : 0;
     result.seconds = timer.seconds();  // total including the probe
     return result;
   }
@@ -213,6 +214,7 @@ SeriesResult Tuner::tune_series(const std::vector<ArrayView>& steps) const {
     // the acceptance band.
     if (outcome.result.feasible) prediction = outcome.result.error_bound;
     series.total_compress_calls += outcome.result.compress_calls;
+    series.total_probe_cache_hits += outcome.result.probe_cache_hits;
     series.steps.push_back(std::move(outcome));
   }
   series.seconds = timer.seconds();
@@ -222,10 +224,10 @@ SeriesResult Tuner::tune_series(const std::vector<ArrayView>& steps) const {
 std::map<std::string, SeriesResult> Tuner::tune_fields(
     const std::map<std::string, std::vector<ArrayView>>& fields) const {
   require(!fields.empty(), "Tuner::tune_fields: no fields");
-  // Fields are embarrassingly parallel (paper Alg. 3); each gets a pool slot.
-  // Region-level parallelism inside each field stays enabled, so total thread
-  // count is fields x regions — acceptable oversubscription, as the tasks are
-  // compression-bound.
+  // Fields stay embarrassingly parallel (paper Alg. 3) on a dedicated pool;
+  // the probe batches they generate all funnel through the shared thread
+  // pool, so total probe concurrency is hardware-bounded instead of
+  // fields x regions.
   ThreadPool pool(config_.threads == 0
                       ? std::min<unsigned>(static_cast<unsigned>(fields.size()),
                                            std::thread::hardware_concurrency())

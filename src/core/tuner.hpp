@@ -31,10 +31,12 @@
 #include <vector>
 
 #include "core/loss.hpp"
+#include "core/probe.hpp"
 #include "core/regions.hpp"
 #include "ndarray/ndarray.hpp"
 #include "pressio/compressor.hpp"
 #include "util/buffer.hpp"
+#include "util/seed.hpp"
 #include "util/status.hpp"
 
 namespace fraz {
@@ -72,10 +74,13 @@ struct TunerConfig {
   double overlap = 0.1;
   /// Iteration cap per region (the paper bounds iterations, not time).
   int max_evals_per_region = 24;
-  /// Worker threads for region/field parallelism; 0 = hardware concurrency.
+  /// Worker threads for probe/field parallelism; 0 = hardware concurrency.
+  /// Probe batches run on the shared opt thread pool capped at this count;
+  /// the tuned bound is bit-identical at every thread count (the region
+  /// searches advance in deterministic lockstep rounds).
   unsigned threads = 0;
   /// Deterministic seed.
-  std::uint64_t seed = 0x46526158u;
+  std::uint64_t seed = kDefaultSearchSeed;
   /// Search in log(error bound) space (extension over the paper, see
   /// DESIGN.md): compression-ratio curves typically span several decades of
   /// the bound axis, so the paper's linear region split leaves low-bound
@@ -90,7 +95,8 @@ struct RegionOutcome {
   Region region{};
   double best_bound = 0;    ///< e with ratio closest to target in this region
   double best_ratio = 0;    ///< ρr at best_bound
-  int compress_calls = 0;
+  int compress_calls = 0;   ///< probes this region's search consumed
+  int cache_hits = 0;       ///< of those, served by the probe cache for free
   bool hit_cutoff = false;  ///< landed inside the acceptance band
   bool cancelled = false;   ///< stopped early because another region won
 };
@@ -101,7 +107,8 @@ struct TuneResult {
   double achieved_ratio = 0; ///< ρr(e)
   bool feasible = false;     ///< true when inside the acceptance band
   bool from_prediction = false;  ///< satisfied by the warm-start probe alone
-  int compress_calls = 0;    ///< total compressor invocations
+  int compress_calls = 0;    ///< probes the search consumed (cache hits included)
+  int probe_cache_hits = 0;  ///< probes served without a compressor invocation
   double seconds = 0;        ///< wall time of the tuning
   std::vector<RegionOutcome> regions;  ///< per-region detail (empty when
                                        ///< satisfied by prediction)
@@ -117,17 +124,35 @@ struct StepOutcome {
 struct SeriesResult {
   std::vector<StepOutcome> steps;
   int retrain_count = 0;
-  int total_compress_calls = 0;
+  int total_compress_calls = 0;      ///< probes consumed (cache hits included)
+  int total_probe_cache_hits = 0;    ///< of those, served by the probe cache
   double seconds = 0;
 };
 
-/// The FRaZ autotuner.  Holds a prototype compressor (cloned per worker, see
-/// pressio::Compressor's thread-safety contract) and a configuration.
+/// The FRaZ autotuner.  Holds a prototype compressor (cloned per probe
+/// worker, see pressio::Compressor's thread-safety contract) and a
+/// configuration.
+///
+/// Since the ask/tell refactor the K region searches (paper Alg. 2) advance
+/// in deterministic lockstep rounds: each round asks every live region for
+/// its next proposal, evaluates the batch through a ProbeExecutor (dedup
+/// cache + shared thread pool), tells each region its observation, and
+/// cancels every region the moment one lands in the acceptance band.  The
+/// tuned bound is therefore bit-identical at any thread count, and losing
+/// regions stop after the winner's round instead of draining their budgets.
 class Tuner {
 public:
   Tuner(const pressio::Compressor& prototype, TunerConfig config);
 
+  /// Share a probe cache with other consumers (an Engine, an OnlineTuner):
+  /// identical (data, config, bound) probes anywhere in the process are then
+  /// paid once.  \p cache must not be null.
+  Tuner(const pressio::Compressor& prototype, TunerConfig config, ProbeCachePtr cache);
+
   const TunerConfig& config() const noexcept { return config_; }
+
+  /// The dedup cache this tuner consults and feeds.
+  const ProbeCachePtr& probe_cache() const noexcept { return cache_; }
 
   /// Algorithms 1+2: full parallel training on a single dataset.
   TuneResult tune(const ArrayView& data) const;
@@ -148,8 +173,18 @@ private:
   /// Resolve the [lo, hi] search range for \p data per config defaults.
   Region search_range(const ArrayView& data) const;
 
+  /// Full lockstep training with the probe-cache context already computed
+  /// (a context is a full pass over the data — callers that probed first
+  /// hand theirs down instead of paying the fingerprint twice).
+  TuneResult train(const ArrayView& data, std::uint64_t context) const;
+
   pressio::CompressorPtr prototype_;
   TunerConfig config_;
+  ProbeCachePtr cache_;
+  /// Thread-safe probe front end; mutable so const tuning entry points can
+  /// spend probes (tune() is logically const: identical inputs, identical
+  /// results, cache state only affects cost).
+  mutable ProbeExecutor executor_;
 };
 
 }  // namespace fraz

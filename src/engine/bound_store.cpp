@@ -1,0 +1,32 @@
+#include "engine/bound_store.hpp"
+
+namespace fraz {
+
+double BoundStore::get(const std::string& field, double target_ratio) const noexcept {
+  std::lock_guard lock(mutex_);
+  const auto it = bounds_.find(Key{field, target_ratio});
+  return it != bounds_.end() ? it->second : 0.0;
+}
+
+void BoundStore::put(const std::string& field, double target_ratio, double bound) {
+  if (!(bound > 0)) return;
+  std::lock_guard lock(mutex_);
+  bounds_[Key{field, target_ratio}] = bound;
+}
+
+void BoundStore::erase(const std::string& field, double target_ratio) noexcept {
+  std::lock_guard lock(mutex_);
+  bounds_.erase(Key{field, target_ratio});
+}
+
+void BoundStore::clear() noexcept {
+  std::lock_guard lock(mutex_);
+  bounds_.clear();
+}
+
+std::size_t BoundStore::size() const noexcept {
+  std::lock_guard lock(mutex_);
+  return bounds_.size();
+}
+
+}  // namespace fraz

@@ -1,0 +1,54 @@
+#ifndef FRAZ_ENGINE_BOUND_STORE_HPP
+#define FRAZ_ENGINE_BOUND_STORE_HPP
+
+/// \file bound_store.hpp
+/// The (field, target-ratio) -> last-feasible-error-bound store — the
+/// paper's Algorithm 3 warm-start state, extracted from Engine into a
+/// standalone, thread-safe object so it can be SHARED.
+///
+/// An Engine is deliberately not thread-safe (one per worker), but its warm
+/// bounds are pure, monotone-improving knowledge about the data: an archive
+/// writer gives every per-worker Engine the same store, so every chunk —
+/// not only chunk 0 — warm-starts from the freshest feasible bound recorded
+/// for *its own* deterministic key.  Because each consumer reads and writes
+/// its own keys, sharing never makes results depend on worker scheduling.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace fraz {
+
+/// Thread-safe map of the last feasible error bound per (field, target).
+class BoundStore {
+public:
+  /// Last feasible bound for the key; 0 when none is known.
+  double get(const std::string& field, double target_ratio) const noexcept;
+
+  /// Record a feasible bound (Algorithm 3's carry rule: only a bound that
+  /// satisfied the acceptance band is worth warm-starting from).  A
+  /// non-positive \p bound is ignored.
+  void put(const std::string& field, double target_ratio, double bound);
+
+  /// Forget one key (e.g. a cached bound proven stale by a drift probe).
+  void erase(const std::string& field, double target_ratio) noexcept;
+
+  /// Forget everything (e.g. at a simulation restart).
+  void clear() noexcept;
+
+  std::size_t size() const noexcept;
+
+private:
+  using Key = std::pair<std::string, double>;
+
+  mutable std::mutex mutex_;
+  std::map<Key, double> bounds_;
+};
+
+using BoundStorePtr = std::shared_ptr<BoundStore>;
+
+}  // namespace fraz
+
+#endif  // FRAZ_ENGINE_BOUND_STORE_HPP

@@ -7,10 +7,12 @@ namespace fraz {
 
 Engine::Engine(EngineConfig config)
     : config_(std::move(config)),
-      compressor_(pressio::registry().create(config_.compressor, config_.compressor_options)) {
+      compressor_(pressio::registry().create(config_.compressor, config_.compressor_options)),
+      bounds_(std::make_shared<BoundStore>()),
+      probe_cache_(std::make_shared<ProbeCache>()) {
   // Fail construction, not first use, on a nonsensical tuner config: the
   // Tuner constructor is the validator, so run it once here.
-  (void)Tuner(*compressor_, config_.tuner);
+  (void)Tuner(*compressor_, config_.tuner, probe_cache_);
 }
 
 Result<Engine> Engine::create(EngineConfig config) noexcept {
@@ -21,27 +23,35 @@ Result<Engine> Engine::create(EngineConfig config) noexcept {
   }
 }
 
+void Engine::adopt_bound_store(BoundStorePtr store) noexcept {
+  if (store) bounds_ = std::move(store);
+}
+
+void Engine::adopt_probe_cache(ProbeCachePtr cache) noexcept {
+  if (cache) probe_cache_ = std::move(cache);
+}
+
 Result<TuneResult> Engine::tune(const std::string& field, const ArrayView& data,
                                 double target_ratio) noexcept {
   try {
     TunerConfig cfg = config_.tuner;
     cfg.target_ratio = target_ratio;
-    const Tuner tuner(*compressor_, cfg);
+    const Tuner tuner(*compressor_, cfg, probe_cache_);
 
-    const BoundKey key{field, target_ratio};
-    const auto cached = bound_cache_.find(key);
-    const double prediction = cached != bound_cache_.end() ? cached->second : 0.0;
+    const double prediction = bounds_->get(field, target_ratio);
 
     TuneResult result = tuner.tune_with_prediction(data, prediction);
     ++stats_.tunes;
-    stats_.tuner_probe_calls += static_cast<std::size_t>(result.compress_calls);
+    stats_.tuner_probe_calls +=
+        static_cast<std::size_t>(result.compress_calls - result.probe_cache_hits);
+    stats_.probe_cache_hits += static_cast<std::size_t>(result.probe_cache_hits);
     if (result.from_prediction)
       ++stats_.warm_hits;
     else
       ++stats_.retrains;
     // Algorithm 3's carry rule: only a bound that satisfied the acceptance
     // band is worth warm-starting the next call with.
-    if (result.feasible) bound_cache_[key] = result.error_bound;
+    if (result.feasible) bounds_->put(field, target_ratio, result.error_bound);
     return result;
   } catch (...) {
     return status_from_current_exception();
@@ -55,25 +65,23 @@ Status Engine::compress(const std::string& field, const ArrayView& data, Buffer&
   // tune() here would compress twice per steady-state frame — once for the
   // probe, once for the archive — on identical bytes.
   const double target = config_.tuner.target_ratio;
-  const BoundKey key{field, target};
-  const auto cached = bound_cache_.find(key);
-  if (cached != bound_cache_.end()) {
+  const double cached = bounds_->get(field, target);
+  if (cached > 0) {
     WarmArchive warm;
-    const Status s = warm_archive_probe(*compressor_, data, cached->second, target,
+    const Status s = warm_archive_probe(*compressor_, data, cached, target,
                                         config_.tuner.epsilon, out, warm);
     if (!s.ok()) return s;
     ++stats_.compress_calls;
     if (warm.in_band) {
       ++stats_.tunes;
       ++stats_.warm_hits;
-      if (outcome)
-        *outcome = CompressOutcome{cached->second, warm.ratio, true, false, true};
+      if (outcome) *outcome = CompressOutcome{cached, warm.ratio, true, false, true};
       return Status();
     }
     // Drift: the cached bound is proven stale — drop it so the retraining
     // tune() below goes straight to full training instead of re-probing the
     // very bound this archive just measured out-of-band.
-    bound_cache_.erase(key);
+    bounds_->erase(field, target);
   }
   Result<TuneResult> tuned = tune(field, data);
   if (!tuned.ok()) return tuned.status();
@@ -126,12 +134,11 @@ Result<pressio::FidelityReport> Engine::evaluate(const std::string& field,
 void Engine::seed_bound(const std::string& field, double target_ratio,
                         double bound) noexcept {
   if (!(bound > 0)) return;
-  bound_cache_[BoundKey{field, target_ratio}] = bound;
+  bounds_->put(field, target_ratio, bound);
 }
 
 double Engine::cached_bound(const std::string& field, double target_ratio) const noexcept {
-  const auto it = bound_cache_.find(BoundKey{field, target_ratio});
-  return it != bound_cache_.end() ? it->second : 0.0;
+  return bounds_->get(field, target_ratio);
 }
 
 }  // namespace fraz

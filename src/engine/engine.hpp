@@ -17,11 +17,12 @@
 /// and a service treats failure as data, not as control flow.
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <utility>
 
+#include "core/probe.hpp"
 #include "core/tuner.hpp"
+#include "engine/bound_store.hpp"
 #include "pressio/compressor.hpp"
 #include "pressio/evaluate.hpp"
 #include "util/buffer.hpp"
@@ -48,7 +49,11 @@ struct EngineStats {
   std::size_t retrains = 0;         ///< fell back to full training
   std::size_t compress_calls = 0;   ///< archive-producing compressions
   std::size_t decompress_calls = 0;
-  std::size_t tuner_probe_calls = 0;  ///< compressor probes spent inside tuning
+  /// Compressor invocations actually spent inside tuning (probes the shared
+  /// cache served for free are excluded — they cost no compression).
+  std::size_t tuner_probe_calls = 0;
+  /// Tuning probes the shared probe cache answered without a compression.
+  std::size_t probe_cache_hits = 0;
 };
 
 /// Per-call detail of one Engine::compress (what the archive writer records
@@ -62,8 +67,11 @@ struct CompressOutcome {
 };
 
 /// Facade over registry + tuner + bound cache.  Not thread-safe; give each
-/// worker its own Engine (construction is cheap, the cache is the only
-/// state worth sharing and can be rebuilt from one probe per field).
+/// worker its own Engine.  The two caches — the warm BoundStore and the
+/// dedup ProbeCache — ARE thread-safe and are meant to be shared: sibling
+/// worker Engines adopt one store so every worker warm-starts from the
+/// freshest feasible bounds and identical probes are paid once
+/// (adopt_bound_store / adopt_probe_cache).
 class Engine {
 public:
   /// Non-throwing factory: unknown backend names or invalid options come
@@ -122,18 +130,27 @@ public:
   }
   void seed_bound(const std::string& field, double target_ratio, double bound) noexcept;
 
-  /// Drop every cached bound (e.g. at a simulation restart).
-  void clear_cache() noexcept { bound_cache_.clear(); }
+  /// Drop every cached bound (e.g. at a simulation restart).  Affects the
+  /// adopted store — siblings sharing it forget too.
+  void clear_cache() noexcept { bounds_->clear(); }
+
+  /// Share warm-bound knowledge with sibling Engines: replace this Engine's
+  /// store with \p store (non-null).  Existing entries of the old store are
+  /// not migrated.
+  void adopt_bound_store(BoundStorePtr store) noexcept;
+  const BoundStorePtr& bound_store() const noexcept { return bounds_; }
+
+  /// Share the probe dedup cache with sibling Engines / tuners (non-null).
+  void adopt_probe_cache(ProbeCachePtr cache) noexcept;
+  const ProbeCachePtr& probe_cache() const noexcept { return probe_cache_; }
 
   const EngineStats& stats() const noexcept { return stats_; }
 
 private:
-  /// Cache key: field identity x target ratio.
-  using BoundKey = std::pair<std::string, double>;
-
   EngineConfig config_;
   pressio::CompressorPtr compressor_;
-  std::map<BoundKey, double> bound_cache_;  ///< last feasible bound per key
+  BoundStorePtr bounds_;        ///< last feasible bound per (field, target)
+  ProbeCachePtr probe_cache_;   ///< dedup cache fed to every tuning pass
   EngineStats stats_;
 };
 

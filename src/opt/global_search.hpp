@@ -19,6 +19,14 @@
 /// soon as the objective drops to `cutoff` (paper §V-B.3), because an error
 /// bound whose achieved ratio is inside the acceptance band is good enough.
 ///
+/// The search core is an explicit-state **ask/tell stepper** (`SearchState`):
+/// `ask()` proposes the next x, `tell(x, f)` observes the evaluation.  This
+/// inversion is what lets an orchestrator drive K region searches in
+/// lockstep and evaluate one batch of proposals per round on a thread pool
+/// (the tuner's ProbeExecutor), instead of dedicating one blocked thread per
+/// region.  `find_min_global` remains as the thin ask-evaluate-tell wrapper
+/// and is bit-identical to the historical callback-driven loop for any seed.
+///
 /// Every random draw comes from a seeded xoshiro generator, so results are
 /// bit-reproducible for a given seed.
 
@@ -28,6 +36,8 @@
 #include <vector>
 
 #include "opt/cancel.hpp"
+#include "util/rng.hpp"
+#include "util/seed.hpp"
 
 namespace fraz::opt {
 
@@ -40,7 +50,7 @@ struct SearchOptions {
   /// Default never triggers.
   double cutoff = -1e300;
   /// Deterministic seed.
-  std::uint64_t seed = 0x46526158;  // "FRaX"
+  std::uint64_t seed = kDefaultSearchSeed;
   /// Optional cooperative cancellation (checked before every evaluation).
   const CancelToken* cancel = nullptr;
   /// Candidate pool size per global step.
@@ -58,7 +68,65 @@ struct SearchResult {
   std::vector<std::pair<double, double>> history;
 };
 
+/// Explicit-state search over [lo, hi]: the caller owns the evaluation loop.
+///
+///   SearchState state(lo, hi, options);
+///   double x;
+///   while (state.ask(x)) state.tell(x, f(x));
+///   use(state.result());
+///
+/// `ask` is idempotent until the pending proposal is answered by `tell`, so
+/// an orchestrator may hold one outstanding proposal per region while a
+/// batch evaluates elsewhere.  Requires lo < hi and max_calls >= 1 (throws
+/// InvalidArgument otherwise).
+class SearchState {
+public:
+  SearchState(double lo, double hi, SearchOptions options = {});
+
+  /// Propose the next x to evaluate.  Returns false — and leaves \p x
+  /// untouched — once the search is finished: the evaluation budget is
+  /// spent, the cutoff was hit, or the cancel token tripped.
+  bool ask(double& x);
+
+  /// Observe f(x) for the proposal most recently returned by ask().
+  /// \p x must be that proposal (InvalidArgument otherwise).
+  void tell(double x, double f);
+
+  /// True once no further proposals will be issued.
+  bool done() const noexcept { return done_; }
+
+  /// Running best/history; final once done().
+  const SearchResult& result() const noexcept { return result_; }
+
+private:
+  /// Evaluated sample.
+  struct Sample {
+    double x;
+    double f;
+  };
+
+  /// The proposal policy: seed phase (interior point, lo, hi), then
+  /// alternating LIPO global and quadratic local steps with collision
+  /// substitution — the exact sequence of the historical loop.
+  double next_proposal();
+
+  double lo_;
+  double hi_;
+  double span_;
+  double min_gap_;
+  SearchOptions options_;
+  Rng rng_;
+  std::vector<Sample> samples_;
+  SearchResult result_;
+  bool global_step_ = true;
+  bool done_ = false;
+  bool pending_ = false;
+  double pending_x_ = 0;
+};
+
 /// Minimize \p f over [lo, hi].  Requires lo < hi and max_calls >= 1.
+/// Thin wrapper over SearchState; results are bit-identical to driving the
+/// stepper by hand.
 SearchResult find_min_global(const std::function<double(double)>& f, double lo, double hi,
                              const SearchOptions& options = {});
 

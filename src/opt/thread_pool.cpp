@@ -19,6 +19,13 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+ThreadPool& shared_thread_pool() {
+  // Function-local static: constructed on first use, torn down at exit after
+  // main's pools have drained (no task outlives the submitter's future wait).
+  static ThreadPool pool(0);
+  return pool;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

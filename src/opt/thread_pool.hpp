@@ -57,6 +57,14 @@ private:
   bool stopping_ = false;
 };
 
+/// The process-wide pool probe batches share (hardware-sized, lazily
+/// created).  Orchestrators that must *cap* concurrency keep their own small
+/// pools; leaf work — batched compressor probes from any number of
+/// concurrent tuners — lands here so total probe concurrency is bounded by
+/// the hardware instead of multiplying per caller.  Tasks submitted here
+/// must never block on other shared-pool tasks.
+ThreadPool& shared_thread_pool();
+
 }  // namespace fraz
 
 #endif  // FRAZ_OPT_THREAD_POOL_HPP

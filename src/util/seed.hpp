@@ -1,0 +1,20 @@
+#ifndef FRAZ_UTIL_SEED_HPP
+#define FRAZ_UTIL_SEED_HPP
+
+/// \file seed.hpp
+/// The one default seed every search-stack layer shares.  SearchOptions,
+/// TunerConfig, and the CLI's --seed flag all used to repeat the literal
+/// 0x46526158 independently; a drifted copy would silently break the
+/// "identical inputs, identical tuned bounds" reproducibility contract, so
+/// the constant lives exactly once.
+
+#include <cstdint>
+
+namespace fraz {
+
+/// Default seed of the deterministic search stack ("FRaX" in ASCII).
+inline constexpr std::uint64_t kDefaultSearchSeed = 0x46526158ull;
+
+}  // namespace fraz
+
+#endif  // FRAZ_UTIL_SEED_HPP

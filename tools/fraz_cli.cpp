@@ -54,6 +54,7 @@
 #include "util/buffer.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/seed.hpp"
 
 namespace {
 
@@ -180,7 +181,14 @@ int cmd_tune(const Cli& cli) {
   const TuneResult& r = tuned.value();
 
   if (cli.get_flag("json")) {
-    std::printf("%s\n", to_json(r).c_str());
+    // to_json(r) carries the per-tune probe counters; wrap it with the
+    // engine-level aggregates so bench trajectories can track tuning cost.
+    std::string out = to_json(r);
+    out.pop_back();  // strip the closing '}' to append engine counters
+    out += ",\"tuner_probe_calls\":" + std::to_string(engine.stats().tuner_probe_calls);
+    out += ",\"engine_probe_cache_hits\":" + std::to_string(engine.stats().probe_cache_hits);
+    out += "}";
+    std::printf("%s\n", out.c_str());
   } else {
     std::printf("compressor      %s\n", engine.compressor_name().c_str());
     std::printf("target ratio    %.3f (epsilon %.3f)\n", engine.config().tuner.target_ratio,
@@ -188,7 +196,9 @@ int cmd_tune(const Cli& cli) {
     std::printf("error bound     %.9g\n", r.error_bound);
     std::printf("achieved ratio  %.3f\n", r.achieved_ratio);
     std::printf("feasible        %s\n", r.feasible ? "yes" : "no (closest reported)");
-    std::printf("compress calls  %d in %.2fs\n", r.compress_calls, r.seconds);
+    std::printf("compress calls  %d (%d cache hits, %d executed) in %.2fs\n",
+                r.compress_calls, r.probe_cache_hits,
+                r.compress_calls - r.probe_cache_hits, r.seconds);
   }
   return r.feasible ? 0 : 2;
 }
@@ -336,6 +346,29 @@ int cmd_pack(const Cli& cli) {
   if (!written.ok()) throw_status(written.status());
   const archive::ArchiveWriteResult& r = written.value();
 
+  if (cli.get_flag("json")) {
+    std::string out = "{";
+    out += "\"output\":" + json_escape(cli.get_string("output"));
+    out += ",\"format_version\":" + std::to_string(r.format_version);
+    out += ",\"raw_bytes\":" + std::to_string(r.raw_bytes);
+    out += ",\"archive_bytes\":" + std::to_string(r.archive_bytes);
+    out += ",\"chunk_count\":" + std::to_string(r.chunk_count);
+    out += ",\"chunk_extent\":" + std::to_string(r.chunk_extent);
+    out += ",\"achieved_ratio\":" + json_number(r.achieved_ratio);
+    out += std::string(",\"in_band\":") + (r.in_band ? "true" : "false");
+    out += ",\"warm_chunks\":" + std::to_string(r.warm_chunks);
+    out += ",\"retrained_chunks\":" + std::to_string(r.retrained_chunks);
+    out += ",\"rate_fallback_chunks\":" + std::to_string(r.rate_fallback_chunks);
+    out += ",\"tuner_probe_calls\":" + std::to_string(r.tuner_probe_calls);
+    out += ",\"probe_cache_hits\":" + std::to_string(r.probe_cache_hits);
+    out += ",\"peak_buffered_chunks\":" + std::to_string(r.peak_buffered_chunks);
+    out += ",\"peak_buffered_bytes\":" + std::to_string(r.peak_buffered_bytes);
+    out += ",\"seconds\":" + json_number(r.seconds);
+    out += "}";
+    std::printf("%s\n", out.c_str());
+    return r.in_band ? 0 : 2;
+  }
+
   std::printf("wrote %s (format v%u): %zu -> %zu bytes in %zu chunks of %zu plane(s)\n",
               cli.get_string("output").c_str(), static_cast<unsigned>(r.format_version),
               r.raw_bytes, r.archive_bytes, r.chunk_count, r.chunk_extent);
@@ -346,6 +379,8 @@ int cmd_pack(const Cli& cli) {
               "(%zu bytes), %.2fs\n",
               r.warm_chunks, r.retrained_chunks, r.rate_fallback_chunks,
               r.peak_buffered_chunks, r.peak_buffered_bytes, r.seconds);
+  std::printf("tuning: %zu probes executed, %zu served by the probe cache\n",
+              r.tuner_probe_calls, r.probe_cache_hits);
   return r.in_band ? 0 : 2;
 }
 
@@ -475,9 +510,10 @@ int main(int argc, char** argv) {
     cli.add_double("bound", 0.0, "explicit error bound (skip tuning when > 0)");
     cli.add_double("max-bound", 0.0, "U: maximum allowed error bound (0 = auto)");
     cli.add_int("regions", 12, "error-bound search regions (paper default 12)");
-    cli.add_int("seed", 0x46526158, "deterministic search seed");
+    cli.add_int("seed", static_cast<std::int64_t>(kDefaultSearchSeed),
+                "deterministic search seed");
     cli.add_flag("verify", "after compress: decompress and check the bound");
-    cli.add_flag("json", "tune/info: emit the result as JSON");
+    cli.add_flag("json", "tune/pack/info: emit the result as JSON");
     cli.add_int("chunk-extent", 0, "pack: slowest-axis planes per chunk (0 = auto)");
     cli.add_int("threads", 0, "pack/unpack: worker threads (0 = hardware)");
     cli.add_int("chunk", -1, "unpack: extract a single chunk by index");
