@@ -7,15 +7,36 @@
 
 namespace fraz::archive {
 
+// ------------------------------------------------------------ field session
+
+Status FieldSession::push(const ArrayView& slab) noexcept {
+  const std::shared_ptr<detail::ArchiveAssembler> assembler = assembler_.lock();
+  if (!assembler) return Status::invalid_argument("archive: field session is closed");
+  return assembler->push(slab);
+}
+
+Result<FieldWriteReport> FieldSession::close() noexcept {
+  const std::shared_ptr<detail::ArchiveAssembler> assembler = assembler_.lock();
+  if (!assembler) return Status::invalid_argument("archive: field session is closed");
+  Result<FieldWriteReport> report = assembler->close_field();
+  if (report.ok()) assembler_.reset();
+  return report;
+}
+
 // ------------------------------------------------------------------- writer
 
 ArchiveWriter::ArchiveWriter(ArchiveWriteConfig config)
-    : config_(std::move(config)), state_(config_.engine) {
+    : config_(std::move(config)),
+      state_(std::make_unique<WriterWarmState>(config_.engine)) {
   // Fail construction, not the first write, on configs no write can accept
   // (unknown format version, v1 with a backend the format cannot name).
   const Status s = detail::validate_write_config(config_);
   if (!s.ok()) throw_status(s);
 }
+
+ArchiveWriter::ArchiveWriter(ArchiveWriter&&) noexcept = default;
+ArchiveWriter& ArchiveWriter::operator=(ArchiveWriter&&) noexcept = default;
+ArchiveWriter::~ArchiveWriter() = default;
 
 Result<ArchiveWriter> ArchiveWriter::create(ArchiveWriteConfig config) noexcept {
   try {
@@ -27,16 +48,63 @@ Result<ArchiveWriter> ArchiveWriter::create(ArchiveWriteConfig config) noexcept 
 
 Result<ArchiveWriteResult> ArchiveWriter::write(const ArrayView& data,
                                                 Buffer& out) noexcept {
+  if (build_)
+    return Status::invalid_argument(
+        "archive: a multi-field build is in progress; finish() or cancel() first");
   out.clear();
   detail::BufferSink sink(out);
-  return detail::write_archive(config_, state_, data, sink);
+  return detail::write_archive(config_, *state_, data, sink);
+}
+
+Status ArchiveWriter::begin(Buffer& out, std::uint8_t version) noexcept {
+  try {
+    if (build_)
+      return Status::invalid_argument(
+          "archive: a build is already in progress; finish() or cancel() first");
+    ArchiveWriteConfig versioned = config_;
+    versioned.format_version = version;
+    const Status s = detail::validate_write_config(versioned);
+    if (!s.ok()) return s;
+    out.clear();
+    build_sink_ = std::make_unique<detail::BufferSink>(out);
+    build_ = std::make_shared<detail::ArchiveAssembler>(config_, *state_, *build_sink_,
+                                                        version);
+    return Status();
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<FieldSession> ArchiveWriter::open_field(const std::string& name,
+                                               const FieldDesc& desc) noexcept {
+  if (!build_)
+    return Status::invalid_argument("archive: no build in progress; call begin() first");
+  const Status s = build_->open_field(name, desc);
+  if (!s.ok()) return s;
+  return FieldSession(std::weak_ptr<detail::ArchiveAssembler>(build_));
+}
+
+Result<ArchiveWriteResult> ArchiveWriter::finish() noexcept {
+  if (!build_)
+    return Status::invalid_argument("archive: no build in progress; call begin() first");
+  Result<ArchiveWriteResult> result = build_->finish();
+  if (result.ok()) {
+    build_.reset();
+    build_sink_.reset();
+  }
+  return result;
+}
+
+void ArchiveWriter::cancel() noexcept {
+  build_.reset();
+  build_sink_.reset();
 }
 
 // ------------------------------------------------------------------- reader
 
 ArchiveReader::ArchiveReader(const std::uint8_t* data, std::size_t size,
-                             ArchiveInfo info, Engine engine)
-    : data_(data), size_(size), info_(std::move(info)), engine_(std::move(engine)) {}
+                             ArchiveInfo info, std::vector<Engine> engines)
+    : data_(data), size_(size), info_(std::move(info)), engines_(std::move(engines)) {}
 
 Result<ArchiveReader> ArchiveReader::open(const std::uint8_t* data,
                                           std::size_t size) noexcept {
@@ -46,42 +114,67 @@ Result<ArchiveReader> ArchiveReader::open(const std::uint8_t* data,
     ArchiveInfo info =
         parse_manifest(data + footer.manifest_offset, footer.manifest_size, footer);
 
-    EngineConfig engine_config;
-    engine_config.compressor = info.compressor;
-    Engine engine(std::move(engine_config));
-    return ArchiveReader(data, size, std::move(info), std::move(engine));
+    // One serial-path Engine per field, created eagerly so an archive whose
+    // backend is not registered fails open(), not the first read.
+    std::vector<Engine> engines;
+    engines.reserve(info.fields.size());
+    for (const FieldInfo& field : info.fields) {
+      EngineConfig engine_config;
+      engine_config.compressor = field.compressor;
+      auto engine = Engine::create(std::move(engine_config));
+      if (!engine.ok()) return engine.status();
+      engines.push_back(std::move(engine).value());
+    }
+    return ArchiveReader(data, size, std::move(info), std::move(engines));
   } catch (...) {
     return status_from_current_exception();
   }
+}
+
+Result<std::size_t> ArchiveReader::field_index(const std::string& name) const noexcept {
+  if (const FieldInfo* field = find_field(info_, name))
+    return static_cast<std::size_t>(field - info_.fields.data());
+  return Status::invalid_argument("archive: no field named '" + name + "'");
 }
 
 Shape ArchiveReader::chunk_shape(std::size_t i) const {
-  return detail::chunk_shape(info_, i);
+  return detail::chunk_shape(info_.fields.front(), i);
 }
 
-Result<NdArray> ArchiveReader::read_chunk(std::size_t i) noexcept {
+Shape ArchiveReader::chunk_shape(const std::string& field, std::size_t i) const {
+  const FieldInfo* f = find_field(info_, field);
+  require(f != nullptr, "archive: no field named '" + field + "'");
+  return detail::chunk_shape(*f, i);
+}
+
+Result<NdArray> ArchiveReader::read_field_chunk(std::size_t field,
+                                                std::size_t i) noexcept {
   try {
-    if (i >= info_.chunk_count)
+    const FieldInfo& f = info_.fields[field];
+    if (i >= f.chunk_count)
       return Status::invalid_argument("archive: chunk index out of range");
     const detail::MemorySource source(data_, size_);
-    return detail::decode_chunk(engine_, source, info_, i, scratch_);
+    return detail::decode_chunk(engines_[field], source, f, info_.chunk_region, i,
+                                scratch_);
   } catch (...) {
     return status_from_current_exception();
   }
 }
 
-Result<NdArray> ArchiveReader::read_range(std::size_t first, std::size_t count,
-                                          unsigned threads) noexcept {
+Result<NdArray> ArchiveReader::read_field_range(std::size_t field, std::size_t first,
+                                                std::size_t count,
+                                                unsigned threads) noexcept {
   try {
-    const std::size_t n0 = info_.shape[0];
+    const FieldInfo& f = info_.fields[field];
+    const std::size_t n0 = f.shape[0];
     if (count == 0 || first >= n0 || count > n0 - first)
       return Status::invalid_argument("archive: plane range out of bounds");
-    Shape out_shape = info_.shape;
+    Shape out_shape = f.shape;
     out_shape[0] = count;
-    NdArray out(info_.dtype, std::move(out_shape));
+    NdArray out(f.dtype, std::move(out_shape));
     const detail::MemorySource source(data_, size_);
-    const Status s = detail::read_planes(source, info_, engine_, scratch_, first, count,
-                                         threads, out);
+    const Status s = detail::read_planes(source, f, info_.chunk_region, engines_[field],
+                                         scratch_, first, count, threads, out);
     if (!s.ok()) return s;
     return out;
   } catch (...) {
@@ -89,8 +182,39 @@ Result<NdArray> ArchiveReader::read_range(std::size_t first, std::size_t count,
   }
 }
 
+Result<NdArray> ArchiveReader::read_chunk(std::size_t i) noexcept {
+  return read_field_chunk(0, i);
+}
+
+Result<NdArray> ArchiveReader::read_chunk(const std::string& field,
+                                          std::size_t i) noexcept {
+  const Result<std::size_t> index = field_index(field);
+  if (!index.ok()) return index.status();
+  return read_field_chunk(index.value(), i);
+}
+
+Result<NdArray> ArchiveReader::read_range(std::size_t first, std::size_t count,
+                                          unsigned threads) noexcept {
+  return read_field_range(0, first, count, threads);
+}
+
+Result<NdArray> ArchiveReader::read_range(const std::string& field, std::size_t first,
+                                          std::size_t count, unsigned threads) noexcept {
+  const Result<std::size_t> index = field_index(field);
+  if (!index.ok()) return index.status();
+  return read_field_range(index.value(), first, count, threads);
+}
+
 Result<NdArray> ArchiveReader::read_all(unsigned threads) noexcept {
-  return read_range(0, info_.shape[0], threads);
+  return read_field_range(0, 0, info_.fields.front().shape[0], threads);
+}
+
+Result<NdArray> ArchiveReader::read_all(const std::string& field,
+                                        unsigned threads) noexcept {
+  const Result<std::size_t> index = field_index(field);
+  if (!index.ok()) return index.status();
+  return read_field_range(index.value(), 0, info_.fields[index.value()].shape[0],
+                          threads);
 }
 
 }  // namespace fraz::archive

@@ -8,19 +8,30 @@
 /// FRaZ's ratio guarantee is framed per whole field, but production stores
 /// (cf. C-Blosc2's super-chunk/frame design) shard data into independently
 /// compressed, checksummed chunks so large campaigns get parallel compression
-/// and random access without full decompression.  An archive shards an array
-/// along its slowest dimension, compresses every chunk through a `fraz::Engine`
-/// on the shared thread pool, and enforces the fixed ratio at the *archive*
-/// level: per-chunk ratios may drift inside (or even out of) the band, the
-/// aggregate raw/archive ratio is what must land in ρt(1±ε) and is recorded
-/// in the footer.
+/// and random access without full decompression.  An archive shards each
+/// field along its slowest dimension, compresses every chunk through a
+/// `fraz::Engine` on the shared thread pool, and enforces the fixed ratio at
+/// the *archive* level: per-chunk ratios may drift inside (or even out of)
+/// the band, the aggregate raw/archive ratio is what must land in ρt(1±ε)
+/// and is recorded in the footer.
 ///
-/// The wire format (v2 chunks-first streaming layout, v1 manifest-first
-/// legacy layout) is documented in `archive/format.hpp`; the file-backed
-/// transport that streams chunks to disk as they finish lives in
-/// `archive/archive_file.hpp`.  All transports share one chunk pipeline and
-/// one manifest codec, so in-memory and file-backed packs of the same data
-/// are byte-identical.
+/// **Ingestion is push-based.**  Data enters through a FieldSession:
+/// `begin()` starts a build, `open_field(name, desc)` declares one field's
+/// geometry, and the caller push()es planes or slabs as they arrive —
+/// simulation time steps, instrument planes — in any slab granularity.  The
+/// session assembles chunk rows and hands each completed row to the parallel
+/// chunk pipeline immediately, so writer *input* memory is O(chunk-row ×
+/// workers), never O(field).  `write(ArrayView)` remains as a thin
+/// compatibility wrapper: one session fed a single slab (byte-identical
+/// archives, gated by test).  A v3 archive holds any number of named fields;
+/// v1/v2 single-field archives remain fully readable and writable.
+///
+/// The wire formats (v3 multi-field and v2 single-field chunks-first
+/// streaming layouts, v1 manifest-first legacy layout) are documented in
+/// `archive/format.hpp`; the file-backed transport that streams chunks to
+/// disk as they finish lives in `archive/archive_file.hpp`.  All transports
+/// share one chunk pipeline and one manifest codec, so in-memory and
+/// file-backed packs of the same data are byte-identical.
 ///
 /// Seekability: the manifest and footer carry their own CRCs, chunk CRCs live
 /// in the manifest, and chunk payloads are validated only when touched — a
@@ -29,9 +40,12 @@
 /// Determinism: chunk boundaries depend only on (shape, dtype, chunk_extent),
 /// every chunk warm-starts from the same chunk-0 bound, and tuning inside the
 /// writer is forced single-threaded — so packing with 1 worker and N workers
-/// yields byte-identical archives.
+/// yields byte-identical archives, whether the data arrived as one array or
+/// plane by plane.
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -43,6 +57,12 @@
 
 namespace fraz::archive {
 
+namespace detail {
+class ArchiveAssembler;
+class ByteSink;
+class BufferSink;
+}  // namespace detail
+
 /// Construction-time configuration of an archive writer (both transports).
 struct ArchiveWriteConfig {
   /// Backend + tuning knobs; engine.tuner.target_ratio/epsilon define the
@@ -52,16 +72,18 @@ struct ArchiveWriteConfig {
   /// bytes) independent of worker count.
   EngineConfig engine;
   /// Slowest-axis planes per chunk; 0 picks a policy from the shape alone
-  /// (~16 chunks, at least 4 KiB of raw data each).
+  /// (~16 chunks, at least 4 KiB of raw data each).  Per-field overrides go
+  /// through FieldDesc::chunk_extent.
   std::size_t chunk_extent = 0;
   /// Chunk-compression workers; 0 selects hardware concurrency.  Never
   /// affects the output bytes.
   unsigned threads = 0;
-  /// On-disk format to emit.  v2 (default) is the chunks-first streaming
-  /// layout and records the backend by registry name, so user plugins
-  /// round-trip; v1 is the legacy manifest-first layout restricted to the
-  /// four built-in backends (and cannot stream — the whole chunk region is
-  /// buffered before the manifest is written).
+  /// On-disk format write() emits.  v2 (default) is the chunks-first
+  /// streaming layout and records the backend by registry name, so user
+  /// plugins round-trip; v1 is the legacy manifest-first layout restricted
+  /// to the four built-in backends (and cannot stream — the whole chunk
+  /// region is buffered before the manifest is written).  Multi-field
+  /// builds started with begin() default to v3.
   std::uint8_t format_version = kFormatVersion;
   /// When the backend is "zfp" and a chunk's accuracy-mode ratio misses the
   /// acceptance band (ZFP's bit-plane treads are too coarse on small chunks
@@ -70,6 +92,17 @@ struct ArchiveWriteConfig {
   /// aggregate band.  Rate-mode chunks trade the pointwise error bound for
   /// the ratio guarantee; disable to keep every chunk error-bounded.
   bool zfp_rate_fallback = true;
+};
+
+/// Geometry of one field to be ingested through a FieldSession.
+struct FieldDesc {
+  DType dtype{};
+  /// Full logical shape, slowest axis first.  push() delivers slabs of
+  /// complete slowest-axis planes until shape[0] planes have arrived.
+  Shape shape;
+  /// Slowest-axis planes per chunk; 0 defers to the writer config (and its
+  /// auto policy).
+  std::size_t chunk_extent = 0;
 };
 
 /// Writer-side detail of one chunk (ChunkEntry plus how it was produced).
@@ -87,12 +120,31 @@ struct ChunkReport {
   bool rate_fallback = false; ///< rescued by the ZFP fixed-rate fallback
 };
 
-/// Outcome of one archive write (either transport).
+/// Writer-side outcome of one field's ingestion session.
+struct FieldWriteReport {
+  std::string name;
+  DType dtype{};
+  Shape shape;
+  std::size_t chunk_extent = 0;
+  std::size_t chunk_count = 0;
+  std::size_t raw_bytes = 0;
+  std::size_t payload_bytes = 0;  ///< compressed chunk bytes of this field
+  double payload_ratio = 0;       ///< raw / payload — the manifest's per-field ratio
+  bool in_band = false;           ///< payload_ratio within the band (informational)
+  std::size_t warm_chunks = 0;
+  std::size_t retrained_chunks = 0;
+  std::size_t rate_fallback_chunks = 0;
+  std::vector<ChunkReport> chunks;  ///< offsets absolute within the chunk region
+};
+
+/// Outcome of one archive write (either transport).  The flat members mirror
+/// the archive totals (and fields[0]'s geometry), `fields` the per-field
+/// breakdown.
 struct ArchiveWriteResult {
   std::uint8_t format_version = 0;
-  std::size_t chunk_count = 0;
-  std::size_t chunk_extent = 0;
-  std::size_t raw_bytes = 0;
+  std::size_t chunk_count = 0;      ///< fields[0]'s chunk count
+  std::size_t chunk_extent = 0;     ///< fields[0]'s chunk extent
+  std::size_t raw_bytes = 0;        ///< total across every field
   std::size_t archive_bytes = 0;
   double achieved_ratio = 0;  ///< raw / archive — the footer's aggregate ratio
   bool in_band = false;       ///< aggregate ratio within ρt(1±ε)
@@ -110,38 +162,89 @@ struct ArchiveWriteResult {
   std::size_t peak_buffered_chunks = 0;
   /// Peak bytes of completed-but-unemitted chunk payloads.
   std::size_t peak_buffered_bytes = 0;
+  /// Peak bytes of raw *input* the writer owned at once: queued and
+  /// in-compression chunk rows plus the session's staging row.  Bounded by
+  /// (workers + 2) chunk rows — the push path never materializes a field.
+  std::size_t peak_staged_bytes = 0;
   double seconds = 0;
-  std::vector<ChunkReport> chunks;
+  std::vector<ChunkReport> chunks;       ///< every chunk, all fields, in write order
+  std::vector<FieldWriteReport> fields;  ///< per-field breakdown, in write order
 };
 
-/// Warm-start state a writer carries across write() calls, shared by the
-/// in-memory and file transports: the persistent chunk-0 tuning engine plus
-/// the thread-safe stores every per-worker chunk engine adopts — a
-/// BoundStore holding the freshest feasible bound under a deterministic
-/// per-chunk key (the time dimension of Algorithm 3, one key per chunk so
-/// worker scheduling can never change which bound a chunk sees), and the
-/// ProbeCache that dedups tuning probes across chunks and writes.
+/// Warm-start state a writer carries across write() calls and field
+/// sessions, shared by the in-memory and file transports: the persistent
+/// chunk-0 tuning engine plus the thread-safe stores every per-worker chunk
+/// engine adopts — a BoundStore holding the freshest feasible bound under a
+/// deterministic per-(field, chunk) key (the time dimension of Algorithm 3;
+/// one key per chunk so worker scheduling can never change which bound a
+/// chunk sees, one namespace per field so fields warm-start independently),
+/// and the ProbeCache that dedups tuning probes across chunks, fields, and
+/// writes.
 struct WriterWarmState {
   explicit WriterWarmState(const EngineConfig& engine_config);
 
-  Engine tune_engine;   ///< persistent chunk-0 warm start across writes
+  Engine tune_engine;   ///< persistent per-field chunk-0 warm start
   BoundStorePtr bounds;
   ProbeCachePtr probes;
-  /// Geometry the per-chunk keys were minted for; a write with a different
-  /// geometry invalidates them (chunk index would mean different planes).
-  Shape shape;
-  std::size_t extent = 0;
-  std::size_t chunk_count = 0;
+
+  /// Chunk-grid geometry a field's per-chunk warm keys were minted for; an
+  /// ingest of the same field with a different geometry invalidates them
+  /// (the chunk index would map onto different planes).
+  struct FieldGeometry {
+    Shape shape;
+    std::size_t extent = 0;
+    std::size_t chunk_count = 0;
+  };
+  std::map<std::string, FieldGeometry> fields;
 };
 
-/// Shards an array along its slowest dimension and compresses the chunks in
+/// Handle to one field's in-progress ingestion: push planes/slabs as they
+/// arrive, then close().  Obtained from a writer's open_field(); the handle
+/// tracks its build weakly, so a session that outlives the build (after
+/// cancel() or writer destruction) degrades to "session is closed" errors
+/// instead of dangling.  Move-only; always close() before dropping — an
+/// unclosed field keeps its build from finishing.
+class FieldSession {
+public:
+  FieldSession() noexcept = default;  ///< disengaged
+  FieldSession(FieldSession&& other) noexcept = default;
+  FieldSession& operator=(FieldSession&& other) noexcept = default;
+  FieldSession(const FieldSession&) = delete;
+  FieldSession& operator=(const FieldSession&) = delete;
+  ~FieldSession() = default;
+
+  bool open() const noexcept { return !assembler_.expired(); }
+
+  /// Ingest \p slab: one or more complete slowest-axis planes, shaped
+  /// {k, rest...} with the field's trailing extents and dtype.  Completed
+  /// chunk rows dispatch to the parallel pipeline immediately; push blocks
+  /// only when the pipeline's bounded window is full (which is what bounds
+  /// the writer's input memory).  The slab is copied — the caller may reuse
+  /// its buffer the moment push returns.
+  Status push(const ArrayView& slab) noexcept;
+
+  /// Finish the field: waits for its chunks to be compressed and emitted.
+  /// Fails (and stays open) if fewer than shape[0] planes were pushed.
+  Result<FieldWriteReport> close() noexcept;
+
+private:
+  friend class ArchiveWriter;
+  friend class ArchiveFileWriter;
+  explicit FieldSession(std::weak_ptr<detail::ArchiveAssembler> assembler) noexcept
+      : assembler_(std::move(assembler)) {}
+
+  std::weak_ptr<detail::ArchiveAssembler> assembler_;
+};
+
+/// Shards fields along their slowest dimension and compresses the chunks in
 /// parallel, one Engine per worker.  Warm-starting is Algorithm 3's reuse
-/// applied twice: within a write, every chunk starts from the bound tuned on
-/// chunk 0; across write() calls (a time series packed through one writer),
-/// each chunk starts from the bound *it* used last step.  Both seeds depend
-/// only on chunk identity — never on which worker handles a chunk — so a
-/// whole campaign pays full ratio training roughly once and the archives
-/// stay byte-identical at any worker count.
+/// applied twice: within a field, every chunk starts from the bound tuned on
+/// that field's chunk 0; across write() calls / sessions for the same field
+/// name (a time series packed through one writer), each chunk starts from
+/// the bound *it* used last step.  Both seeds depend only on (field, chunk)
+/// identity — never on which worker handles a chunk — so a whole campaign
+/// pays full ratio training roughly once per field and the archives stay
+/// byte-identical at any worker count.
 class ArchiveWriter {
 public:
   /// Non-throwing factory; unknown backends / invalid tuner configs come
@@ -151,22 +254,53 @@ public:
   /// Throwing convenience constructor (setup code, tests).
   explicit ArchiveWriter(ArchiveWriteConfig config);
 
+  ArchiveWriter(ArchiveWriter&&) noexcept;
+  ArchiveWriter& operator=(ArchiveWriter&&) noexcept;
+  ~ArchiveWriter();
+
   const ArchiveWriteConfig& config() const noexcept { return config_; }
 
-  /// Compress \p data into a complete archive in the caller's reusable
-  /// \p out.  Non-throwing; on failure \p out is unspecified.
+  /// Compress \p data into a complete single-field archive in the caller's
+  /// reusable \p out — a thin compatibility wrapper over one FieldSession
+  /// fed the whole array (same bytes, gated by test).  Non-throwing; on
+  /// failure \p out is unspecified.  Fails while a begin() build is active.
   Result<ArchiveWriteResult> write(const ArrayView& data, Buffer& out) noexcept;
+
+  /// Start a streaming multi-field build into \p out (cleared; it must
+  /// outlive the build).  \p version defaults to the v3 multi-field layout;
+  /// v2/v1 are accepted for single-field builds.  Fails if a build is
+  /// already in progress.
+  Status begin(Buffer& out, std::uint8_t version = kFormatVersionMultiField) noexcept;
+
+  /// Declare the next field of the current build and get its ingestion
+  /// session.  One field is open at a time; names must be unique within the
+  /// build (and are the warm-start namespace across builds).
+  Result<FieldSession> open_field(const std::string& name, const FieldDesc& desc) noexcept;
+
+  /// Seal the build: write the field-table manifest and footer.  Every
+  /// opened field must have been closed.  On failure the build stays active
+  /// — close the offending field and retry, or cancel().
+  Result<ArchiveWriteResult> finish() noexcept;
+
+  /// Abandon an in-progress build (the output buffer is left holding a
+  /// partial, unreadable archive).  No-op when no build is active.
+  void cancel() noexcept;
 
 private:
   ArchiveWriteConfig config_;
-  WriterWarmState state_;  ///< persistent warm bounds + probe cache
+  /// Heap-allocated so sessions and assemblers can hold stable references
+  /// across writer moves.
+  std::unique_ptr<WriterWarmState> state_;
+  std::unique_ptr<detail::BufferSink> build_sink_;     ///< active build only
+  std::shared_ptr<detail::ArchiveAssembler> build_;    ///< active build only
 };
 
 /// Random-access reader over an archive held in memory.  The reader does not
 /// own the bytes; they must outlive it.  open() validates manifest and
 /// footer only — chunk payloads are checked (CRC + backend validation) by
 /// exactly the reads that touch them, so corruption in one chunk leaves
-/// every other chunk readable.  Reads both format versions.
+/// every other chunk readable.  Reads all format versions; the unnamed
+/// read methods serve fields()[0] (the only field of a v1/v2 archive).
 class ArchiveReader {
 public:
   /// Validate manifest + footer and build the chunk index.
@@ -174,32 +308,46 @@ public:
 
   const ArchiveInfo& info() const noexcept { return info_; }
 
+  /// Field table of the archive (one synthesized entry for v1/v2).
+  const std::vector<FieldInfo>& fields() const noexcept { return info_.fields; }
+
   /// Shape of chunk \p i ({extent_i, rest...}; the last chunk may be short).
   Shape chunk_shape(std::size_t i) const;
+  Shape chunk_shape(const std::string& field, std::size_t i) const;
 
-  /// Decompress the whole archive.  \p threads > 1 decodes chunks in
-  /// parallel, one Engine per worker; 0 selects hardware concurrency.
+  /// Decompress a whole field.  \p threads > 1 decodes chunks in parallel,
+  /// one Engine per worker; 0 selects hardware concurrency.
   Result<NdArray> read_all(unsigned threads = 1) noexcept;
+  Result<NdArray> read_all(const std::string& field, unsigned threads = 1) noexcept;
 
-  /// Decompress exactly chunk \p i, validating only its bytes.
+  /// Decompress exactly chunk \p i of a field, validating only its bytes.
   Result<NdArray> read_chunk(std::size_t i) noexcept;
+  Result<NdArray> read_chunk(const std::string& field, std::size_t i) noexcept;
 
-  /// Decompress the slowest-axis plane range [first, first + count),
-  /// touching (and validating) only the chunks that cover it.  Wide ranges
-  /// decode their chunks in parallel when \p threads allows (same semantics
-  /// as read_all; output ordering and per-chunk CRC isolation preserved).
+  /// Decompress the slowest-axis plane range [first, first + count) of a
+  /// field, touching (and validating) only the chunks that cover it.  Wide
+  /// ranges decode their chunks in parallel when \p threads allows (same
+  /// semantics as read_all; output ordering and per-chunk CRC isolation
+  /// preserved).
   Result<NdArray> read_range(std::size_t first, std::size_t count,
                              unsigned threads = 1) noexcept;
+  Result<NdArray> read_range(const std::string& field, std::size_t first,
+                             std::size_t count, unsigned threads = 1) noexcept;
 
 private:
   ArchiveReader(const std::uint8_t* data, std::size_t size, ArchiveInfo info,
-                Engine engine);
+                std::vector<Engine> engines);
+
+  Result<std::size_t> field_index(const std::string& name) const noexcept;
+  Result<NdArray> read_field_range(std::size_t field, std::size_t first,
+                                   std::size_t count, unsigned threads) noexcept;
+  Result<NdArray> read_field_chunk(std::size_t field, std::size_t i) noexcept;
 
   const std::uint8_t* data_;
   std::size_t size_;
   ArchiveInfo info_;
-  Engine engine_;   ///< serial decode path; workers clone their own
-  Buffer scratch_;  ///< fetch scratch for the serial path
+  std::vector<Engine> engines_;  ///< serial decode path, one per field
+  Buffer scratch_;               ///< fetch scratch for the serial path
 };
 
 }  // namespace fraz::archive

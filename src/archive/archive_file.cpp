@@ -27,7 +27,7 @@ namespace detail {
 namespace {
 
 std::string errno_message(const std::string& what, const std::string& path) {
-  return what + " '" + path + "': " + std::strerror(errno);
+  return what + " '" + path + "': " + errno_detail(errno);
 }
 
 #if !FRAZ_ARCHIVE_HAS_MMAP
@@ -47,6 +47,19 @@ std::int64_t size_of(std::FILE* file) {
 #endif
 
 }  // namespace
+
+Status FileSink::append(const std::uint8_t* data, std::size_t size) noexcept {
+  if (size != 0 && std::fwrite(data, 1, size, file_) != size) {
+    // Capture errno at the failing fwrite — before any other call can
+    // clobber it — so the Status carries the real OS detail (ENOSPC, EIO,
+    // EBADF, ...), not a stale or reset value.
+    const int write_errno = errno;
+    return Status::io_error("archive: write failed after " + std::to_string(written_) +
+                            " bytes: " + errno_detail(write_errno));
+  }
+  written_ += size;
+  return Status();
+}
 
 /// Positioned-read source over an archive file: an mmap'd view where the
 /// platform provides one; the buffered fallback uses pread on POSIX —
@@ -164,38 +177,54 @@ private:
 #endif
 };
 
-namespace {
-
-/// Append-only sink over a FILE* (the streaming write transport).
-class FileSink final : public ByteSink {
-public:
-  explicit FileSink(std::FILE* file) noexcept : file_(file) {}
-
-  Status append(const std::uint8_t* data, std::size_t size) noexcept override {
-    if (size != 0 && std::fwrite(data, 1, size, file_) != size)
-      return Status::io_error("archive: write failed: " +
-                              std::string(std::strerror(errno)));
-    written_ += size;
-    return Status();
-  }
-
-  std::size_t bytes_written() const noexcept override { return written_; }
-
-private:
-  std::FILE* file_;
-  std::size_t written_ = 0;
-};
-
-}  // namespace
-
 }  // namespace detail
 
 // ------------------------------------------------------------------- writer
 
+/// One streaming build: the open file, its sink, and the shared assembler
+/// (shared so FieldSession handles can track it weakly).  Destroying a
+/// build whose handle is still live is abandonment — every teardown path
+/// (cancel, writer destruction, move-assignment over an active build) joins
+/// the pipeline, closes the handle, and removes the partial file, so no
+/// path can leak the descriptor or strand a corrupt archive.
+struct ArchiveFileWriter::Build {
+  Build(std::FILE* handle, std::string file_path, const ArchiveWriteConfig& config,
+        WriterWarmState& state, std::uint8_t version)
+      : file(handle),
+        path(std::move(file_path)),
+        sink(handle),
+        assembler(std::make_shared<detail::ArchiveAssembler>(config, state, sink,
+                                                             version)) {}
+
+  ~Build() {
+    // Join the pipeline workers before the handle they emit through closes;
+    // a successful finish() nulls `file` first and skips this entirely.
+    assembler.reset();
+    if (file) {
+      std::fclose(file);
+      std::remove(path.c_str());
+    }
+  }
+
+  std::FILE* file;
+  std::string path;
+  detail::FileSink sink;
+  std::shared_ptr<detail::ArchiveAssembler> assembler;
+};
+
 ArchiveFileWriter::ArchiveFileWriter(ArchiveWriteConfig config)
-    : config_(std::move(config)), state_(config_.engine) {
+    : config_(std::move(config)),
+      state_(std::make_unique<WriterWarmState>(config_.engine)) {
   const Status s = detail::validate_write_config(config_);
   if (!s.ok()) throw_status(s);
+}
+
+ArchiveFileWriter::ArchiveFileWriter(ArchiveFileWriter&&) noexcept = default;
+ArchiveFileWriter& ArchiveFileWriter::operator=(ArchiveFileWriter&&) noexcept = default;
+
+ArchiveFileWriter::~ArchiveFileWriter() {
+  // An abandoned build must not leak its handle or leave a partial archive.
+  cancel();
 }
 
 Result<ArchiveFileWriter> ArchiveFileWriter::create(ArchiveWriteConfig config) noexcept {
@@ -208,26 +237,91 @@ Result<ArchiveFileWriter> ArchiveFileWriter::create(ArchiveWriteConfig config) n
 
 Result<ArchiveWriteResult> ArchiveFileWriter::write(const std::string& path,
                                                     const ArrayView& data) noexcept {
+  if (build_)
+    return Status::invalid_argument(
+        "archive: a multi-field build is in progress; finish() or cancel() first");
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (!file)
     return Status::io_error(detail::errno_message("archive: cannot open", path));
   detail::FileSink sink(file);
-  Result<ArchiveWriteResult> result = detail::write_archive(config_, state_, data, sink);
+  Result<ArchiveWriteResult> result = detail::write_archive(config_, *state_, data, sink);
+  // Capture each failing call's errno immediately: a succeeding fclose after
+  // a failed fflush would otherwise clobber the detail worth reporting.
   const bool flushed = std::fflush(file) == 0;
+  const int flush_errno = flushed ? 0 : errno;
   const bool closed = std::fclose(file) == 0;
+  const int close_errno = closed ? 0 : errno;
   if (result.ok() && !(flushed && closed))
-    result = Status::io_error(detail::errno_message("archive: cannot finish", path));
+    result = Status::io_error("archive: cannot finish '" + path + "': " +
+                              errno_detail(flushed ? close_errno : flush_errno));
   // Never leave a partial archive behind: its footer chain would fail open()
   // anyway, and a campaign retries by path.
   if (!result.ok()) std::remove(path.c_str());
   return result;
 }
 
+Status ArchiveFileWriter::begin(const std::string& path, std::uint8_t version) noexcept {
+  try {
+    if (build_)
+      return Status::invalid_argument(
+          "archive: a build is already in progress; finish() or cancel() first");
+    ArchiveWriteConfig versioned = config_;
+    versioned.format_version = version;
+    const Status s = detail::validate_write_config(versioned);
+    if (!s.ok()) return s;
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (!file)
+      return Status::io_error(detail::errno_message("archive: cannot open", path));
+    build_ = std::make_unique<Build>(file, path, config_, *state_, version);
+    return Status();
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<FieldSession> ArchiveFileWriter::open_field(const std::string& name,
+                                                   const FieldDesc& desc) noexcept {
+  if (!build_)
+    return Status::invalid_argument("archive: no build in progress; call begin() first");
+  const Status s = build_->assembler->open_field(name, desc);
+  if (!s.ok()) return s;
+  return FieldSession(std::weak_ptr<detail::ArchiveAssembler>(build_->assembler));
+}
+
+Result<ArchiveWriteResult> ArchiveFileWriter::finish() noexcept {
+  if (!build_)
+    return Status::invalid_argument("archive: no build in progress; call begin() first");
+  Result<ArchiveWriteResult> result = build_->assembler->finish();
+  // Assembler-level failure (field still open, sticky pipeline error): keep
+  // the build so the caller can close the field and retry, or cancel().
+  if (!result.ok()) return result;
+  const std::string path = build_->path;
+  std::FILE* file = build_->file;
+  build_->file = nullptr;
+  build_.reset();
+  // Capture each failing call's errno immediately: a succeeding fclose after
+  // a failed fflush would otherwise clobber the detail worth reporting.
+  const bool flushed = std::fflush(file) == 0;
+  const int flush_errno = flushed ? 0 : errno;
+  const bool closed = std::fclose(file) == 0;
+  const int close_errno = closed ? 0 : errno;
+  if (!(flushed && closed)) {
+    std::remove(path.c_str());
+    return Status::io_error("archive: cannot finish '" + path + "': " +
+                            errno_detail(flushed ? close_errno : flush_errno));
+  }
+  return result;
+}
+
+void ArchiveFileWriter::cancel() noexcept {
+  build_.reset();  // ~Build joins the pipeline, closes, and removes the file
+}
+
 // ------------------------------------------------------------------- reader
 
 ArchiveFileReader::ArchiveFileReader(std::unique_ptr<detail::FileSource> source,
-                                     ArchiveInfo info, Engine engine)
-    : source_(std::move(source)), info_(std::move(info)), engine_(std::move(engine)) {}
+                                     ArchiveInfo info, std::vector<Engine> engines)
+    : source_(std::move(source)), info_(std::move(info)), engines_(std::move(engines)) {}
 
 ArchiveFileReader::ArchiveFileReader(ArchiveFileReader&&) noexcept = default;
 ArchiveFileReader& ArchiveFileReader::operator=(ArchiveFileReader&&) noexcept = default;
@@ -249,12 +343,16 @@ Result<ArchiveFileReader> ArchiveFileReader::open(const std::string& path,
         source->fetch(footer.manifest_offset, footer.manifest_size, manifest_scratch);
     ArchiveInfo info = parse_manifest(manifest, footer.manifest_size, footer);
 
-    EngineConfig engine_config;
-    engine_config.compressor = info.compressor;
-    auto engine = Engine::create(std::move(engine_config));
-    if (!engine.ok()) return engine.status();
-    return ArchiveFileReader(std::move(source), std::move(info),
-                             std::move(engine).value());
+    std::vector<Engine> engines;
+    engines.reserve(info.fields.size());
+    for (const FieldInfo& field : info.fields) {
+      EngineConfig engine_config;
+      engine_config.compressor = field.compressor;
+      auto engine = Engine::create(std::move(engine_config));
+      if (!engine.ok()) return engine.status();
+      engines.push_back(std::move(engine).value());
+    }
+    return ArchiveFileReader(std::move(source), std::move(info), std::move(engines));
   } catch (...) {
     return status_from_current_exception();
   }
@@ -262,31 +360,48 @@ Result<ArchiveFileReader> ArchiveFileReader::open(const std::string& path,
 
 bool ArchiveFileReader::mapped() const noexcept { return source_->mapped(); }
 
-Shape ArchiveFileReader::chunk_shape(std::size_t i) const {
-  return detail::chunk_shape(info_, i);
+Result<std::size_t> ArchiveFileReader::field_index(const std::string& name) const noexcept {
+  if (const FieldInfo* field = find_field(info_, name))
+    return static_cast<std::size_t>(field - info_.fields.data());
+  return Status::invalid_argument("archive: no field named '" + name + "'");
 }
 
-Result<NdArray> ArchiveFileReader::read_chunk(std::size_t i) noexcept {
+Shape ArchiveFileReader::chunk_shape(std::size_t i) const {
+  return detail::chunk_shape(info_.fields.front(), i);
+}
+
+Shape ArchiveFileReader::chunk_shape(const std::string& field, std::size_t i) const {
+  const FieldInfo* f = find_field(info_, field);
+  require(f != nullptr, "archive: no field named '" + field + "'");
+  return detail::chunk_shape(*f, i);
+}
+
+Result<NdArray> ArchiveFileReader::read_field_chunk(std::size_t field,
+                                                    std::size_t i) noexcept {
   try {
-    if (i >= info_.chunk_count)
+    const FieldInfo& f = info_.fields[field];
+    if (i >= f.chunk_count)
       return Status::invalid_argument("archive: chunk index out of range");
-    return detail::decode_chunk(engine_, *source_, info_, i, scratch_);
+    return detail::decode_chunk(engines_[field], *source_, f, info_.chunk_region, i,
+                                scratch_);
   } catch (...) {
     return status_from_current_exception();
   }
 }
 
-Result<NdArray> ArchiveFileReader::read_range(std::size_t first, std::size_t count,
-                                              unsigned threads) noexcept {
+Result<NdArray> ArchiveFileReader::read_field_range(std::size_t field, std::size_t first,
+                                                    std::size_t count,
+                                                    unsigned threads) noexcept {
   try {
-    const std::size_t n0 = info_.shape[0];
+    const FieldInfo& f = info_.fields[field];
+    const std::size_t n0 = f.shape[0];
     if (count == 0 || first >= n0 || count > n0 - first)
       return Status::invalid_argument("archive: plane range out of bounds");
-    Shape out_shape = info_.shape;
+    Shape out_shape = f.shape;
     out_shape[0] = count;
-    NdArray out(info_.dtype, std::move(out_shape));
-    const Status s = detail::read_planes(*source_, info_, engine_, scratch_, first, count,
-                                         threads, out);
+    NdArray out(f.dtype, std::move(out_shape));
+    const Status s = detail::read_planes(*source_, f, info_.chunk_region, engines_[field],
+                                         scratch_, first, count, threads, out);
     if (!s.ok()) return s;
     return out;
   } catch (...) {
@@ -294,8 +409,40 @@ Result<NdArray> ArchiveFileReader::read_range(std::size_t first, std::size_t cou
   }
 }
 
+Result<NdArray> ArchiveFileReader::read_chunk(std::size_t i) noexcept {
+  return read_field_chunk(0, i);
+}
+
+Result<NdArray> ArchiveFileReader::read_chunk(const std::string& field,
+                                              std::size_t i) noexcept {
+  const Result<std::size_t> index = field_index(field);
+  if (!index.ok()) return index.status();
+  return read_field_chunk(index.value(), i);
+}
+
+Result<NdArray> ArchiveFileReader::read_range(std::size_t first, std::size_t count,
+                                              unsigned threads) noexcept {
+  return read_field_range(0, first, count, threads);
+}
+
+Result<NdArray> ArchiveFileReader::read_range(const std::string& field,
+                                              std::size_t first, std::size_t count,
+                                              unsigned threads) noexcept {
+  const Result<std::size_t> index = field_index(field);
+  if (!index.ok()) return index.status();
+  return read_field_range(index.value(), first, count, threads);
+}
+
 Result<NdArray> ArchiveFileReader::read_all(unsigned threads) noexcept {
-  return read_range(0, info_.shape[0], threads);
+  return read_field_range(0, 0, info_.fields.front().shape[0], threads);
+}
+
+Result<NdArray> ArchiveFileReader::read_all(const std::string& field,
+                                            unsigned threads) noexcept {
+  const Result<std::size_t> index = field_index(field);
+  if (!index.ok()) return index.status();
+  return read_field_range(index.value(), 0, info_.fields[index.value()].shape[0],
+                          threads);
 }
 
 }  // namespace fraz::archive

@@ -23,21 +23,21 @@ void encode_chunk_index(const std::vector<ChunkEntry>& chunks, Buffer& out) {
   }
 }
 
-/// Parse the per-chunk index shared by both manifest layouts, validating
-/// contiguity against the footer's chunk-region size.
-void parse_chunk_index(const std::uint8_t* p, std::size_t size, std::size_t& pos,
-                       const Footer& footer, ArchiveInfo& info) {
-  info.chunk_count = get_varint(p, size, pos);
-  const std::size_t n0 = info.shape[0];
-  if (info.chunk_extent == 0 || info.chunk_extent > n0)
+/// Parse one field's chunk index (shared by every manifest layout),
+/// validating contiguity from \p running — absolute within the chunk region,
+/// so multi-field spans chain through it — and geometry against the field.
+void parse_field_chunk_index(const std::uint8_t* p, std::size_t size, std::size_t& pos,
+                             FieldInfo& field, std::size_t& running) {
+  field.chunk_count = get_varint(p, size, pos);
+  const std::size_t n0 = field.shape[0];
+  if (field.chunk_extent == 0 || field.chunk_extent > n0)
     throw CorruptStream("archive: bad chunk extent");
-  if (info.chunk_count != (n0 + info.chunk_extent - 1) / info.chunk_extent)
+  if (field.chunk_count != (n0 + field.chunk_extent - 1) / field.chunk_extent)
     throw CorruptStream("archive: chunk count does not match shape");
-  if (info.raw_bytes != shape_elements(info.shape) * dtype_size(info.dtype))
-    throw CorruptStream("archive: raw size does not match shape");
-  std::size_t running = 0;
-  info.chunks.reserve(info.chunk_count);
-  for (std::size_t i = 0; i < info.chunk_count; ++i) {
+  field.raw_bytes = shape_elements(field.shape) * dtype_size(field.dtype);
+  field.payload_bytes = 0;
+  field.chunks.reserve(field.chunk_count);
+  for (std::size_t i = 0; i < field.chunk_count; ++i) {
     ChunkEntry entry;
     entry.offset = get_varint(p, size, pos);
     entry.size = get_varint(p, size, pos);
@@ -46,10 +46,29 @@ void parse_chunk_index(const std::uint8_t* p, std::size_t size, std::size_t& pos
     if (entry.offset != running || entry.size == 0)
       throw CorruptStream("archive: chunk index is not contiguous");
     running += entry.size;
-    info.chunks.push_back(entry);
+    field.payload_bytes += entry.size;
+    field.chunks.push_back(entry);
   }
+}
+
+/// Mirror fields[0] into the flat single-field members and sanity-check the
+/// totals the footer recorded against what the field table implies.
+void finalize_fields(ArchiveInfo& info, const Footer& footer, std::size_t running) {
   if (running != footer.region_bytes)
     throw CorruptStream("archive: chunk region size mismatch");
+  std::size_t raw_total = 0;
+  for (const FieldInfo& field : info.fields) raw_total += field.raw_bytes;
+  if (raw_total != footer.raw_bytes)
+    throw CorruptStream("archive: raw size does not match the field shapes");
+  const FieldInfo& first = info.fields.front();
+  info.compressor = first.compressor;
+  info.dtype = first.dtype;
+  info.shape = first.shape;
+  info.chunk_extent = first.chunk_extent;
+  info.chunk_count = first.chunk_count;
+  info.target_ratio = first.target_ratio;
+  info.epsilon = first.epsilon;
+  info.chunks = first.chunks;
 }
 
 bool try_parse_footer_v2(const std::uint8_t* tail, std::size_t tail_size,
@@ -173,7 +192,9 @@ void encode_footer(std::uint8_t version, std::size_t manifest_offset,
     put_u32(out, kFooterMagicV1);
     put_u64(out, manifest_size);
   } else {
-    require(version == 2, "archive: unsupported format version");
+    // v2 and v3 share the FRz2 trailer; the manifest's version byte is what
+    // distinguishes the layouts.
+    require(version == 2 || version == 3, "archive: unsupported format version");
     put_u32(out, kFooterMagicV2);
     put_u64(out, manifest_offset);
     put_u64(out, manifest_size);
@@ -194,6 +215,70 @@ Footer parse_footer(const std::uint8_t* tail, std::size_t tail_size,
   throw CorruptStream("archive: bad or corrupt footer");
 }
 
+namespace {
+
+/// Read a length-prefixed string (shared by the v2 compressor name and the
+/// v3 name fields).
+std::string parse_short_string(const std::uint8_t* p, std::size_t size, std::size_t& pos,
+                               const char* what) {
+  const std::uint64_t length = get_varint(p, size, pos);
+  if (length == 0 || length > 256 || pos + length > size)
+    throw CorruptStream(std::string("archive: bad ") + what);
+  std::string value(reinterpret_cast<const char*>(p) + pos,
+                    static_cast<std::size_t>(length));
+  pos += static_cast<std::size_t>(length);
+  return value;
+}
+
+DType parse_dtype_tag(std::uint8_t tag) {
+  if (tag > 1) throw CorruptStream("archive: bad dtype tag");
+  return tag == 0 ? DType::kFloat32 : DType::kFloat64;
+}
+
+Shape parse_shape(const std::uint8_t* p, std::size_t size, std::size_t& pos) {
+  const std::uint64_t ndims = get_varint(p, size, pos);
+  if (ndims == 0 || ndims > 8) throw CorruptStream("archive: bad rank");
+  Shape shape(ndims);
+  for (auto& d : shape) {
+    d = get_varint(p, size, pos);
+    if (d == 0) throw CorruptStream("archive: zero extent");
+  }
+  return shape;
+}
+
+}  // namespace
+
+void encode_manifest_fields(const std::vector<FieldInfo>& fields, Buffer& out) {
+  require(!fields.empty(), "archive: a v3 manifest needs at least one field");
+  out.clear();
+  put_u32(out, kManifestMagic);
+  out.push_back(3);
+  put_varint(out, fields.size());
+  for (const FieldInfo& field : fields) {
+    require(!field.name.empty() && field.name.size() <= 256,
+            "archive: field name must be 1..256 bytes");
+    put_varint(out, field.name.size());
+    out.append(field.name.data(), field.name.size());
+    out.push_back(field.dtype == DType::kFloat32 ? 0 : 1);
+    put_varint(out, field.shape.size());
+    for (std::size_t d : field.shape) put_varint(out, d);
+    put_varint(out, field.compressor.size());
+    out.append(field.compressor.data(), field.compressor.size());
+    put_f64(out, field.target_ratio);
+    put_f64(out, field.epsilon);
+    put_f64(out, field.payload_ratio);
+    put_varint(out, field.chunk_extent);
+    encode_chunk_index(field.chunks, out);
+  }
+  put_u32(out, crc32(out.data(), out.size()));
+}
+
+const FieldInfo* find_field(const ArchiveInfo& info, const std::string& name) noexcept {
+  for (const FieldInfo& field : info.fields)
+    if (field.name == name) return &field;
+  return nullptr;
+}
+
 ArchiveInfo parse_manifest(const std::uint8_t* manifest, std::size_t size,
                            const Footer& footer) {
   ArchiveInfo info;
@@ -205,9 +290,11 @@ ArchiveInfo parse_manifest(const std::uint8_t* manifest, std::size_t size,
   if (footer.version == 1) {
     const Container frame = open_container(manifest, size);
     info.version = 1;
-    info.compressor = backend_name(frame.id);
-    info.dtype = frame.dtype;
-    info.shape = frame.shape;
+    FieldInfo field;
+    field.name = kDefaultFieldName;
+    field.compressor = backend_name(frame.id);
+    field.dtype = frame.dtype;
+    field.shape = frame.shape;
     const std::uint8_t* p = frame.payload;
     const std::size_t psize = frame.payload_size;
     std::size_t pos = 0;
@@ -215,15 +302,21 @@ ArchiveInfo parse_manifest(const std::uint8_t* manifest, std::size_t size,
       throw CorruptStream("archive: bad manifest magic");
     if (pos >= psize) throw CorruptStream("archive: truncated manifest");
     if (p[pos++] != 1) throw CorruptStream("archive: unsupported format version");
-    info.target_ratio = get_f64(p, psize, pos);
-    info.epsilon = get_f64(p, psize, pos);
-    info.chunk_extent = get_varint(p, psize, pos);
-    parse_chunk_index(p, psize, pos, footer, info);
+    field.target_ratio = get_f64(p, psize, pos);
+    field.epsilon = get_f64(p, psize, pos);
+    field.chunk_extent = get_varint(p, psize, pos);
+    std::size_t running = 0;
+    parse_field_chunk_index(p, psize, pos, field, running);
     if (pos != psize) throw CorruptStream("archive: trailing manifest bytes");
+    field.payload_ratio = static_cast<double>(field.raw_bytes) /
+                          static_cast<double>(field.payload_bytes);
+    info.fields.push_back(std::move(field));
+    finalize_fields(info, footer, running);
     return info;
   }
 
-  // v2: self-framed manifest block with its own trailing CRC.
+  // v2/v3: self-framed manifest block with its own trailing CRC; the version
+  // byte after the magic selects the single-field or field-table body.
   std::size_t pos = 0;
   if (size < 16) throw CorruptStream("archive: truncated manifest");
   if (get_u32(manifest, size, pos) != kManifestMagic)
@@ -235,28 +328,50 @@ ArchiveInfo parse_manifest(const std::uint8_t* manifest, std::size_t size,
   if (crc32(manifest, size - 4) != stored_crc)
     throw CorruptStream("archive: manifest checksum mismatch");
   info.version = manifest[pos++];
-  if (info.version != 2) throw CorruptStream("archive: unsupported format version");
-  const std::uint8_t dtype_tag = manifest[pos++];
-  if (dtype_tag > 1) throw CorruptStream("archive: bad dtype tag");
-  info.dtype = dtype_tag == 0 ? DType::kFloat32 : DType::kFloat64;
-  const std::uint64_t ndims = get_varint(manifest, size, pos);
-  if (ndims == 0 || ndims > 8) throw CorruptStream("archive: bad rank");
-  info.shape.resize(ndims);
-  for (auto& d : info.shape) {
-    d = get_varint(manifest, size, pos);
-    if (d == 0) throw CorruptStream("archive: zero extent");
+
+  if (info.version == 2) {
+    FieldInfo field;
+    field.name = kDefaultFieldName;
+    field.dtype = parse_dtype_tag(manifest[pos++]);
+    field.shape = parse_shape(manifest, size, pos);
+    field.compressor = parse_short_string(manifest, size, pos, "compressor name");
+    field.target_ratio = get_f64(manifest, size, pos);
+    field.epsilon = get_f64(manifest, size, pos);
+    field.chunk_extent = get_varint(manifest, size, pos);
+    std::size_t running = 0;
+    parse_field_chunk_index(manifest, size, pos, field, running);
+    if (pos + 4 != size) throw CorruptStream("archive: trailing manifest bytes");
+    field.payload_ratio = static_cast<double>(field.raw_bytes) /
+                          static_cast<double>(field.payload_bytes);
+    info.fields.push_back(std::move(field));
+    finalize_fields(info, footer, running);
+    return info;
   }
-  const std::uint64_t name_size = get_varint(manifest, size, pos);
-  if (name_size == 0 || name_size > 256 || pos + name_size > size)
-    throw CorruptStream("archive: bad compressor name");
-  info.compressor.assign(reinterpret_cast<const char*>(manifest) + pos,
-                         static_cast<std::size_t>(name_size));
-  pos += static_cast<std::size_t>(name_size);
-  info.target_ratio = get_f64(manifest, size, pos);
-  info.epsilon = get_f64(manifest, size, pos);
-  info.chunk_extent = get_varint(manifest, size, pos);
-  parse_chunk_index(manifest, size, pos, footer, info);
+
+  if (info.version != 3) throw CorruptStream("archive: unsupported format version");
+  const std::uint64_t field_count = get_varint(manifest, size, pos);
+  if (field_count == 0 || field_count > kMaxFields)
+    throw CorruptStream("archive: bad field count");
+  std::size_t running = 0;
+  info.fields.reserve(static_cast<std::size_t>(field_count));
+  for (std::uint64_t i = 0; i < field_count; ++i) {
+    FieldInfo field;
+    field.name = parse_short_string(manifest, size, pos, "field name");
+    if (find_field(info, field.name))
+      throw CorruptStream("archive: duplicate field name '" + field.name + "'");
+    if (pos + 2 > size) throw CorruptStream("archive: truncated manifest");
+    field.dtype = parse_dtype_tag(manifest[pos++]);
+    field.shape = parse_shape(manifest, size, pos);
+    field.compressor = parse_short_string(manifest, size, pos, "compressor name");
+    field.target_ratio = get_f64(manifest, size, pos);
+    field.epsilon = get_f64(manifest, size, pos);
+    field.payload_ratio = get_f64(manifest, size, pos);
+    field.chunk_extent = get_varint(manifest, size, pos);
+    parse_field_chunk_index(manifest, size, pos, field, running);
+    info.fields.push_back(std::move(field));
+  }
   if (pos + 4 != size) throw CorruptStream("archive: trailing manifest bytes");
+  finalize_fields(info, footer, running);
   return info;
 }
 

@@ -45,8 +45,33 @@
 ///                  f64  achieved aggregate ratio (raw / archive)
 ///                  u32  CRC-32 over the 44 footer bytes before it
 ///
-/// A reader locates the footer from the end of the byte stream (v2 tried
-/// first, then v1), so both layouts stay readable through one parse path.
+/// **Format v3** (multi-field, chunks-first — the streaming layout):
+///
+///   [chunks]     concatenated chunk payloads of EVERY field, in field write
+///                order, starting at offset 0.  Fields are ingested one at a
+///                time (push-based sessions), so each field's chunks form a
+///                contiguous span and the spans tile the region in manifest
+///                order.  Chunk offsets are absolute within the region.
+///   [manifest]   a self-framed field table:
+///                  u32     manifest magic 'FRzM'
+///                  u8      archive format version (3)
+///                  varint  field count
+///                  per field:
+///                    varint  name length, then the field name (unique)
+///                    u8      dtype tag (0 = f32, 1 = f64)
+///                    varint  ndims, then varint extents (slowest first)
+///                    varint  compressor-name length, then the registry name
+///                    f64     target ratio ρt,  f64 epsilon ε
+///                    f64     per-field aggregate payload ratio (raw/payload)
+///                    varint  chunk extent,  varint chunk count
+///                    per chunk: varint offset, varint size, f64 bound, u32 CRC
+///                  u32     CRC-32 over every preceding manifest byte
+///   [footer]     the same 48-byte 'FRz2' trailer as v2 (raw/archive bytes
+///                are totals across fields); the manifest's version byte is
+///                what distinguishes a v3 archive from a v2 one.
+///
+/// A reader locates the footer from the end of the byte stream (v2/v3 trailer
+/// tried first, then v1), so all layouts stay readable through one parse path.
 
 #include <cstdint>
 #include <string>
@@ -58,10 +83,22 @@
 
 namespace fraz::archive {
 
-/// Archive format version written by default.
+/// Archive format version written by default (single-field packs).
 inline constexpr std::uint8_t kFormatVersion = 2;
 
-/// Size of the fixed trailer of the current (v2) format.
+/// Format version of multi-field archives (the field-table manifest).
+inline constexpr std::uint8_t kFormatVersionMultiField = 3;
+
+/// Field name single-field (v1/v2) archives are presented under, and the
+/// name the compatibility write(ArrayView) path ingests as.
+inline constexpr const char* kDefaultFieldName = "data";
+
+/// Maximum fields a v3 archive may hold — enforced symmetrically by the
+/// writer (open_field) and the parser, so a build that succeeds always
+/// produces an archive its own readers open.
+inline constexpr std::size_t kMaxFields = 4096;
+
+/// Size of the fixed trailer of the current (v2/v3) formats.
 inline constexpr std::size_t kFooterBytes = 48;
 
 /// Size of the v1 trailer (still readable).
@@ -77,26 +114,50 @@ struct ChunkEntry {
   std::uint32_t crc = 0;      ///< CRC-32 of the chunk's bytes
 };
 
-/// Parsed archive metadata (manifest + footer; chunk payloads untouched).
-struct ArchiveInfo {
-  std::uint8_t version = 0;     ///< on-disk format version (1 or 2)
+/// One named field of an archive: its geometry, backend, tuning band, and
+/// chunk index.  v1/v2 archives present their single array as a field named
+/// kDefaultFieldName so every reader API is uniform across versions.
+struct FieldInfo {
+  std::string name;
   std::string compressor;       ///< registry name of the backend
   DType dtype{};
-  Shape shape;                  ///< full logical shape
+  Shape shape;                  ///< full logical shape of this field
+  std::size_t chunk_extent = 0;
+  std::size_t chunk_count = 0;
+  double target_ratio = 0;
+  double epsilon = 0;
+  std::size_t raw_bytes = 0;    ///< uncompressed bytes of this field
+  std::size_t payload_bytes = 0;///< sum of this field's chunk sizes
+  double payload_ratio = 0;     ///< per-field aggregate: raw / payload bytes
+  std::vector<ChunkEntry> chunks;  ///< offsets absolute within the chunk region
+};
+
+/// Parsed archive metadata (manifest + footer; chunk payloads untouched).
+/// The flat members mirror fields[0] (every archive has at least one field),
+/// so single-field consumers keep working; totals (raw_bytes, archive_bytes,
+/// achieved_ratio) always come from the footer and cover every field.
+struct ArchiveInfo {
+  std::uint8_t version = 0;     ///< on-disk format version (1, 2, or 3)
+  std::string compressor;       ///< registry name of fields[0]'s backend
+  DType dtype{};
+  Shape shape;                  ///< full logical shape of fields[0]
   std::size_t chunk_region = 0; ///< byte offset where the chunk region starts
   std::size_t chunk_extent = 0;
   std::size_t chunk_count = 0;
   double target_ratio = 0;
   double epsilon = 0;
-  std::size_t raw_bytes = 0;
+  std::size_t raw_bytes = 0;    ///< total raw bytes across every field
   std::size_t archive_bytes = 0;
   double achieved_ratio = 0;    ///< aggregate ratio recorded in the footer
-  std::vector<ChunkEntry> chunks;
+  std::vector<ChunkEntry> chunks;  ///< fields[0]'s chunk index
+  std::vector<FieldInfo> fields;   ///< every field (size 1 for v1/v2)
 };
 
 /// Parsed footer: the trust anchor that locates the other two regions.
 struct Footer {
-  std::uint8_t version = 0;        ///< layout the footer belongs to (1 or 2)
+  /// Trailer layout (1 or 2).  v3 archives share the v2 trailer — the
+  /// manifest's own version byte is what distinguishes them.
+  std::uint8_t version = 0;
   std::size_t footer_bytes = 0;    ///< 40 (v1) or 48 (v2)
   std::size_t manifest_offset = 0;
   std::size_t manifest_size = 0;
@@ -121,6 +182,14 @@ void encode_manifest(std::uint8_t version, const std::string& compressor, DType 
                      const Shape& shape, double target_ratio, double epsilon,
                      std::size_t chunk_extent, const std::vector<ChunkEntry>& chunks,
                      Buffer& out);
+
+/// Encode the v3 multi-field manifest (field table) into \p out (cleared
+/// first).  Field names must be unique, 1..256 bytes; chunk offsets must be
+/// absolute within the chunk region and tile it in field order.
+void encode_manifest_fields(const std::vector<FieldInfo>& fields, Buffer& out);
+
+/// Field named \p name in \p info, or nullptr when absent.
+const FieldInfo* find_field(const ArchiveInfo& info, const std::string& name) noexcept;
 
 /// Append the fixed trailer for \p version to \p out.  For v1,
 /// \p manifest_offset is ignored (the manifest starts at 0 by construction

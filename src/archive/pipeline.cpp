@@ -5,6 +5,7 @@
 #include <cmath>
 #include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <future>
 #include <mutex>
 
@@ -19,15 +20,19 @@ namespace fraz::archive::detail {
 
 namespace {
 
-/// Field keys inside the writer's shared BoundStore; the tune key is stable
-/// across write() calls so the persistent engine warm-starts a whole time
-/// series, and every chunk gets its OWN key — per-chunk keys are what make
-/// sharing one store across workers deterministic: a chunk's warm bound
-/// depends only on the chunk index, never on which worker got it.
-constexpr const char* kTuneKey = "archive:chunk0";
+/// Field keys inside the writer's shared BoundStore.  The tune key is stable
+/// across builds so the persistent engine warm-starts a whole time series of
+/// the same field, and every chunk gets its OWN key — per-(field, chunk)
+/// keys are what make sharing one store across workers deterministic: a
+/// chunk's warm bound depends only on its field and index, never on which
+/// worker got it — and what lets each field of a multi-field archive
+/// warm-start independently.
+std::string field_tune_key(const std::string& field) {
+  return "archive:" + field + ":chunk0";
+}
 
-std::string chunk_field_key(std::size_t i) {
-  return "archive:chunk:" + std::to_string(i);
+std::string chunk_field_key(const std::string& field, std::size_t i) {
+  return "archive:" + field + ":chunk:" + std::to_string(i);
 }
 
 /// Chunk boundaries must depend on the data geometry only (never on worker
@@ -45,18 +50,6 @@ unsigned resolve_workers(unsigned requested, std::size_t tasks) {
   unsigned w = requested == 0 ? std::thread::hardware_concurrency() : requested;
   if (w == 0) w = 1;
   return static_cast<unsigned>(std::min<std::size_t>(w, tasks));
-}
-
-/// Non-owning view of the slowest-axis slice [i*extent, i*extent+planes).
-ArrayView chunk_slice(const ArrayView& data, std::size_t extent, std::size_t i) {
-  const Shape& shape = data.shape();
-  const std::size_t n0 = shape[0];
-  const std::size_t plane_bytes = data.size_bytes() / n0;
-  const std::size_t first = i * extent;
-  Shape slice_shape = shape;
-  slice_shape[0] = std::min(extent, n0 - first);
-  const auto* base = static_cast<const std::uint8_t*>(data.data());
-  return ArrayView(base + first * plane_bytes, data.dtype(), std::move(slice_shape));
 }
 
 /// Deterministic estimate of the non-chunk archive bytes one chunk is
@@ -122,7 +115,7 @@ Status zfp_rate_rescue(pressio::Compressor& rate_backend, const ArrayView& slice
   }
 }
 
-/// Everything run_chunk_pipeline tracks per chunk before emission.
+/// Everything the pipeline tracks per chunk before emission.
 struct Slot {
   Buffer bytes;
   CompressOutcome outcome;
@@ -133,192 +126,691 @@ struct Slot {
   bool ready = false;
 };
 
+/// What one field's pipeline hands back to the assembler at close.
 struct PipelineOutcome {
   std::vector<ChunkReport> chunks;
-  std::size_t region_bytes = 0;
+  std::size_t region_bytes = 0;       ///< compressed bytes this field emitted
   std::size_t peak_buffered_chunks = 0;
   std::size_t peak_buffered_bytes = 0;
+  std::size_t peak_staged_bytes = 0;  ///< peak raw chunk-row bytes held at once
   std::size_t tuner_probe_calls = 0;  ///< summed over the worker engines
   std::size_t probe_cache_hits = 0;
 };
 
-/// The shared parallel chunk pipeline.  Workers claim chunk indices under a
-/// bounded window (claimed-but-unemitted ≤ workers + 1) and the completion
-/// path drains ready chunks to \p sink strictly in index order — append-only
-/// for the sink, bounded memory for the writer, bytes independent of worker
-/// count and transport.  Every worker engine adopts \p state's BoundStore
-/// and ProbeCache; chunk i reads and commits only its own key, pre-seeded by
-/// write_archive, so the shared stores never make bytes scheduling-dependent.
-Result<PipelineOutcome> run_chunk_pipeline(const ArchiveWriteConfig& config,
-                                           const WriterWarmState& state,
-                                           const ArrayView& data, std::size_t extent,
-                                           std::size_t chunk_count, ByteSink& sink) noexcept {
-  try {
-    const unsigned workers = resolve_workers(config.threads, chunk_count);
-    const std::size_t window = static_cast<std::size_t>(workers) + 1;
-    const bool try_rate_fallback =
-        config.zfp_rate_fallback && config.engine.compressor == "zfp";
-    const double overhead = per_chunk_overhead(data.shape(), chunk_count);
+}  // namespace
 
-    std::mutex mutex;
-    std::condition_variable claim_cv;
-    std::size_t claim_next = 0;
-    std::size_t write_head = 0;
-    std::size_t live_chunks = 0;       // claimed but not yet emitted
-    std::size_t live_bytes = 0;        // completed-but-unemitted payload bytes
-    std::size_t emitted_bytes = 0;
-    bool failed = false;
-    Status failure;
+/// The shared parallel chunk pipeline, push mode: the assembler submits
+/// owned chunk rows in index order; submit() admits rows under a bounded
+/// window (submitted-but-unemitted ≤ workers + 1 — which bounds both the
+/// raw rows staged and the compressed payloads buffered) and the completion
+/// path drains ready chunks to the sink strictly in index order —
+/// append-only for the sink, bounded memory for the writer, bytes
+/// independent of worker count and transport.  Every worker engine adopts
+/// the warm state's BoundStore and ProbeCache; chunk i reads and commits
+/// only its own (field, i) key, pre-seeded by the assembler, so the shared
+/// stores never make bytes scheduling-dependent.
+class ChunkPipeline {
+public:
+  ChunkPipeline(const ArchiveWriteConfig& config, const WriterWarmState& state,
+                std::string field_name, const Shape& field_shape,
+                std::size_t chunk_count, std::size_t base_offset, ByteSink& sink)
+      : config_(config),
+        state_(state),
+        field_name_(std::move(field_name)),
+        chunk_count_(chunk_count),
+        base_offset_(base_offset),
+        sink_(sink),
+        workers_(resolve_workers(config.threads, chunk_count)),
+        window_(static_cast<std::size_t>(workers_) + 1),
+        try_rate_fallback_(config.zfp_rate_fallback && config.engine.compressor == "zfp"),
+        overhead_(per_chunk_overhead(field_shape, chunk_count)) {
+    slots_.resize(chunk_count_);
+    outcome_.chunks.resize(chunk_count_);
+    pool_ = std::make_unique<ThreadPool>(workers_);
+    futures_.reserve(workers_);
+    for (unsigned w = 0; w < workers_; ++w)
+      futures_.push_back(pool_->submit([this] { worker(); }));
+  }
 
-    std::vector<Slot> slots(chunk_count);
-    PipelineOutcome outcome;
-    outcome.chunks.resize(chunk_count);
-
-    auto fail_locked = [&](Status status) {
-      if (!failed) {
-        failed = true;
-        failure = std::move(status);
+  ~ChunkPipeline() {
+    if (!joined_) {
+      // Abandoned build: poison the pipeline so workers drop the backlog
+      // instead of compressing and emitting it, then join.
+      {
+        std::lock_guard lock(mutex_);
+        fail_locked(Status::internal("archive: build abandoned"));
       }
-      claim_cv.notify_all();
-    };
+      (void)shut_down();
+    }
+  }
 
-    auto worker_fn = [&] {
-      auto created = Engine::create(serial_tuning(config.engine));
-      if (!created.ok()) {
-        std::lock_guard lock(mutex);
-        fail_locked(created.status());
+  ChunkPipeline(const ChunkPipeline&) = delete;
+  ChunkPipeline& operator=(const ChunkPipeline&) = delete;
+
+  /// Take ownership of the next chunk row.  Blocks while the window is full
+  /// — this back-pressure is the writer's input-memory bound.
+  Status submit(NdArray row) noexcept {
+    try {
+      std::unique_lock lock(mutex_);
+      space_cv_.wait(lock, [&] { return failed_ || live_chunks_ < window_; });
+      if (failed_) return failure_;
+      if (submit_next_ >= chunk_count_)
+        return Status::internal("archive: more chunk rows than the field declared");
+      ++live_chunks_;
+      outcome_.peak_buffered_chunks = std::max(outcome_.peak_buffered_chunks, live_chunks_);
+      staged_bytes_ += row.size_bytes();
+      outcome_.peak_staged_bytes = std::max(outcome_.peak_staged_bytes, staged_bytes_);
+      queue_.emplace_back(submit_next_++, std::move(row));
+      work_cv_.notify_one();
+      return Status();
+    } catch (...) {
+      return status_from_current_exception();
+    }
+  }
+
+  /// Drain the pipeline and return the field's chunk reports.
+  Result<PipelineOutcome> finish() noexcept {
+    try {
+      const Status join_status = shut_down();
+      if (!join_status.ok()) return join_status;
+      // Post-join: the workers are gone, so the state is ours without a lock.
+      if (failed_) return failure_;
+      if (write_head_ != chunk_count_)
+        return Status::internal(
+            "archive: chunk pipeline closed before every chunk was emitted");
+      outcome_.region_bytes = emitted_bytes_;
+      return std::move(outcome_);
+    } catch (...) {
+      return status_from_current_exception();
+    }
+  }
+
+private:
+  Status shut_down() noexcept {
+    if (joined_) return Status();
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    work_cv_.notify_all();
+    Status status;
+    for (auto& f : futures_) {
+      try {
+        f.get();
+      } catch (...) {
+        status = status_from_current_exception();
+      }
+    }
+    futures_.clear();
+    pool_.reset();
+    joined_ = true;
+    return status;
+  }
+
+  void fail_locked(Status status) {
+    if (!failed_) {
+      failed_ = true;
+      failure_ = std::move(status);
+    }
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  void worker() {
+    auto created = Engine::create(serial_tuning(config_.engine));
+    if (!created.ok()) {
+      std::lock_guard lock(mutex_);
+      fail_locked(created.status());
+      return;
+    }
+    Engine engine = std::move(created).value();
+    engine.adopt_bound_store(state_.bounds);
+    engine.adopt_probe_cache(state_.probes);
+    pressio::CompressorPtr rate_backend;  // lazy, per-worker (not thread-safe)
+    const auto account_tuning = [&] {
+      // Under `mutex_` (or after the workers joined): fold this engine's
+      // tuning spend into the pipeline totals exactly once per exit path.
+      outcome_.tuner_probe_calls += engine.stats().tuner_probe_calls;
+      outcome_.probe_cache_hits += engine.stats().probe_cache_hits;
+    };
+    for (;;) {
+      std::size_t i = 0;
+      NdArray row;
+      {
+        std::unique_lock lock(mutex_);
+        work_cv_.wait(lock, [&] { return failed_ || closed_ || !queue_.empty(); });
+        if (failed_ || (queue_.empty() && closed_)) {
+          account_tuning();
+          return;
+        }
+        i = queue_.front().first;
+        row = std::move(queue_.front().second);
+        queue_.pop_front();
+      }
+
+      Timer chunk_timer;
+      const ArrayView slice = row.view();
+      const std::string chunk_key = chunk_field_key(field_name_, i);
+      Buffer bytes;
+      CompressOutcome chunk_outcome;
+      Status status = engine.compress(chunk_key, slice, bytes, &chunk_outcome);
+      bool fell_back = false;
+      if (status.ok() && try_rate_fallback_ && !chunk_outcome.in_band) {
+        // The rescue backend inherits the user's zfp options; the rate
+        // search overrides only zfp:mode / zfp:rate per probe.
+        try {
+          if (!rate_backend)
+            rate_backend =
+                pressio::registry().create("zfp", config_.engine.compressor_options);
+          status = zfp_rate_rescue(*rate_backend, slice, config_.engine.tuner.target_ratio,
+                                   config_.engine.tuner.epsilon, overhead_, bytes, fell_back);
+        } catch (...) {
+          status = status_from_current_exception();
+        }
+      }
+      // Checksum and ratio are per-payload and deterministic — compute them
+      // here so the lock below covers only ordering and emission.
+      const std::uint32_t crc = status.ok() ? crc32(bytes.data(), bytes.size()) : 0;
+      const double ratio = status.ok() && bytes.size() > 0
+                               ? static_cast<double>(slice.size_bytes()) /
+                                     static_cast<double>(bytes.size())
+                               : 0;
+      const double seconds = chunk_timer.seconds();
+      const std::size_t row_bytes = row.size_bytes();
+      row = NdArray();  // release the raw input row before taking the lock
+
+      std::lock_guard lock(mutex_);
+      staged_bytes_ -= row_bytes;
+      if (!status.ok()) {
+        fail_locked(std::move(status));
+        account_tuning();
         return;
       }
-      Engine engine = std::move(created).value();
-      engine.adopt_bound_store(state.bounds);
-      engine.adopt_probe_cache(state.probes);
-      pressio::CompressorPtr rate_backend;  // lazy, per-worker (not thread-safe)
-      const auto account_tuning = [&] {
-        // Under `mutex` (or after the workers joined): fold this engine's
-        // tuning spend into the pipeline totals exactly once per exit path.
-        outcome.tuner_probe_calls += engine.stats().tuner_probe_calls;
-        outcome.probe_cache_hits += engine.stats().probe_cache_hits;
-      };
-      for (;;) {
-        std::size_t i;
-        {
-          std::unique_lock lock(mutex);
-          claim_cv.wait(lock, [&] {
-            return failed || claim_next >= chunk_count || claim_next < write_head + window;
-          });
-          if (failed || claim_next >= chunk_count) {
-            account_tuning();
-            return;
-          }
-          i = claim_next++;
-          ++live_chunks;
-          outcome.peak_buffered_chunks = std::max(outcome.peak_buffered_chunks, live_chunks);
-        }
-
-        Timer chunk_timer;
-        const ArrayView slice = chunk_slice(data, extent, i);
-        const std::string chunk_key = chunk_field_key(i);
-        Buffer bytes;
-        CompressOutcome chunk_outcome;
-        Status status = engine.compress(chunk_key, slice, bytes, &chunk_outcome);
-        bool fell_back = false;
-        if (status.ok() && try_rate_fallback && !chunk_outcome.in_band) {
-          // The rescue backend inherits the user's zfp options; the rate
-          // search overrides only zfp:mode / zfp:rate per probe.
-          if (!rate_backend)
-            rate_backend = pressio::registry().create(
-                "zfp", config.engine.compressor_options);
-          status = zfp_rate_rescue(*rate_backend, slice, config.engine.tuner.target_ratio,
-                                   config.engine.tuner.epsilon, overhead, bytes, fell_back);
-        }
-        // Checksum and ratio are per-payload and deterministic — compute them
-        // here so the lock below covers only ordering and emission.
-        const std::uint32_t crc = status.ok() ? crc32(bytes.data(), bytes.size()) : 0;
-        const double ratio = status.ok() && bytes.size() > 0
-                                 ? static_cast<double>(slice.size_bytes()) /
-                                       static_cast<double>(bytes.size())
-                                 : 0;
-        const double seconds = chunk_timer.seconds();
-
-        std::lock_guard lock(mutex);
-        if (!status.ok()) {
-          fail_locked(std::move(status));
-          account_tuning();
-          return;
-        }
-        if (failed) {
-          account_tuning();
-          return;
-        }
-        Slot& slot = slots[i];
-        slot.bytes = std::move(bytes);
-        slot.outcome = chunk_outcome;
-        slot.crc = crc;
-        slot.ratio = ratio;
-        slot.seconds = seconds;
-        slot.rate_fallback = fell_back;
-        slot.ready = true;
-        live_bytes += slot.bytes.size();
-        outcome.peak_buffered_bytes = std::max(outcome.peak_buffered_bytes, live_bytes);
-        // Drain every ready chunk at the write head: emission is strictly in
-        // index order regardless of completion order.
-        while (write_head < chunk_count && slots[write_head].ready) {
-          Slot& head = slots[write_head];
-          const std::size_t head_size = head.bytes.size();
-          ChunkReport& report = outcome.chunks[write_head];
-          report.entry.offset = emitted_bytes;
-          report.entry.size = head_size;
-          // A rate-mode payload honours no pointwise bound — record 0 in the
-          // manifest so readers cannot mistake the abandoned accuracy bound
-          // for a guarantee; the tuned bound still seeds the next write.
-          report.entry.error_bound = head.rate_fallback ? 0 : head.outcome.error_bound;
-          report.tuned_bound = head.outcome.error_bound;
-          report.entry.crc = head.crc;
-          report.ratio = head.ratio;
-          report.seconds = head.seconds;
-          report.warm = head.outcome.warm;
-          report.retrained = head.outcome.retrained;
-          report.rate_fallback = head.rate_fallback;
-          report.in_band = ratio_acceptable(report.ratio, config.engine.tuner.target_ratio,
-                                            config.engine.tuner.epsilon);
-          const Status sink_status = sink.append(head.bytes.data(), head_size);
-          if (!sink_status.ok()) {
-            fail_locked(sink_status);
-            account_tuning();
-            return;
-          }
-          emitted_bytes += head_size;
-          live_bytes -= head_size;
-          --live_chunks;
-          Buffer().swap(head.bytes);  // release the payload's memory
-          ++write_head;
-        }
-        claim_cv.notify_all();
+      if (failed_) {
+        account_tuning();
+        return;
       }
-    };
-
-    if (workers <= 1) {
-      worker_fn();
-    } else {
-      ThreadPool pool(workers);
-      std::vector<std::future<void>> done;
-      done.reserve(workers);
-      for (unsigned w = 0; w < workers; ++w) done.push_back(pool.submit(worker_fn));
-      for (auto& f : done) f.get();
+      Slot& slot = slots_[i];
+      slot.bytes = std::move(bytes);
+      slot.outcome = chunk_outcome;
+      slot.crc = crc;
+      slot.ratio = ratio;
+      slot.seconds = seconds;
+      slot.rate_fallback = fell_back;
+      slot.ready = true;
+      live_bytes_ += slot.bytes.size();
+      outcome_.peak_buffered_bytes = std::max(outcome_.peak_buffered_bytes, live_bytes_);
+      // Drain every ready chunk at the write head: emission is strictly in
+      // index order regardless of completion order.
+      while (write_head_ < chunk_count_ && slots_[write_head_].ready) {
+        Slot& head = slots_[write_head_];
+        const std::size_t head_size = head.bytes.size();
+        ChunkReport& report = outcome_.chunks[write_head_];
+        report.entry.offset = base_offset_ + emitted_bytes_;
+        report.entry.size = head_size;
+        // A rate-mode payload honours no pointwise bound — record 0 in the
+        // manifest so readers cannot mistake the abandoned accuracy bound
+        // for a guarantee; the tuned bound still seeds the next write.
+        report.entry.error_bound = head.rate_fallback ? 0 : head.outcome.error_bound;
+        report.tuned_bound = head.outcome.error_bound;
+        report.entry.crc = head.crc;
+        report.ratio = head.ratio;
+        report.seconds = head.seconds;
+        report.warm = head.outcome.warm;
+        report.retrained = head.outcome.retrained;
+        report.rate_fallback = head.rate_fallback;
+        report.in_band = ratio_acceptable(report.ratio, config_.engine.tuner.target_ratio,
+                                          config_.engine.tuner.epsilon);
+        const Status sink_status = sink_.append(head.bytes.data(), head_size);
+        if (!sink_status.ok()) {
+          fail_locked(sink_status);
+          account_tuning();
+          return;
+        }
+        emitted_bytes_ += head_size;
+        live_bytes_ -= head_size;
+        --live_chunks_;
+        Buffer().swap(head.bytes);  // release the payload's memory
+        ++write_head_;
+      }
+      space_cv_.notify_all();
     }
-    if (failed) return failure;
-    outcome.region_bytes = emitted_bytes;
-    return outcome;
+  }
+
+  const ArchiveWriteConfig& config_;
+  const WriterWarmState& state_;
+  const std::string field_name_;
+  const std::size_t chunk_count_;
+  const std::size_t base_offset_;  ///< this field's base within the chunk region
+  ByteSink& sink_;
+  const unsigned workers_;
+  const std::size_t window_;
+  const bool try_rate_fallback_;
+  const double overhead_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< workers wait for queued rows
+  std::condition_variable space_cv_;  ///< submit waits for window space
+  std::deque<std::pair<std::size_t, NdArray>> queue_;
+  std::vector<Slot> slots_;
+  PipelineOutcome outcome_;
+  std::size_t submit_next_ = 0;
+  std::size_t write_head_ = 0;
+  std::size_t live_chunks_ = 0;   ///< submitted but not yet emitted
+  std::size_t live_bytes_ = 0;    ///< completed-but-unemitted payload bytes
+  std::size_t staged_bytes_ = 0;  ///< queued + in-compression raw row bytes
+  std::size_t emitted_bytes_ = 0;
+  bool closed_ = false;
+  bool failed_ = false;
+  bool joined_ = false;
+  Status failure_;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::future<void>> futures_;
+};
+
+EngineConfig serial_tuning(EngineConfig config) {
+  config.tuner.threads = 1;
+  return config;
+}
+
+Status validate_write_config(const ArchiveWriteConfig& config) noexcept {
+  try {
+    if (config.format_version < 1 || config.format_version > kFormatVersionMultiField)
+      return Status::invalid_argument("archive: unsupported format version " +
+                                      std::to_string(config.format_version));
+    // v1's manifest records the backend as a CompressorId (built-ins only);
+    // v2/v3 record the registry name, whose encoding caps it at 256 bytes.
+    if (config.format_version == 1) (void)backend_id(config.engine.compressor);
+    if (config.engine.compressor.empty() || config.engine.compressor.size() > 256)
+      return Status::invalid_argument(
+          "archive: compressor name must be 1..256 bytes to be recorded");
+    return Status();
   } catch (...) {
     return status_from_current_exception();
   }
 }
 
-}  // namespace
+// ---------------------------------------------------------------- assembler
 
-EngineConfig serial_tuning(EngineConfig config) {
-  config.tuner.threads = 1;
-  return config;
+/// One field mid-ingestion: its geometry, the single staged chunk row, and
+/// the pipeline compressing completed rows.
+struct ArchiveAssembler::OpenField {
+  std::string name;
+  DType dtype{};
+  Shape shape;
+  std::size_t extent = 0;
+  std::size_t chunk_count = 0;
+  std::size_t plane_bytes = 0;
+  std::size_t stage_row_bytes = 0;  ///< full chunk-row allocation (memory bound)
+  std::size_t pushed_planes = 0;    ///< total planes received
+  std::size_t staged_planes = 0;    ///< planes in the current stage row
+  std::size_t next_chunk = 0;       ///< index of the row being staged
+  bool tuned = false;
+  NdArray stage;                    ///< the ONE chunk row being assembled
+  std::unique_ptr<ChunkPipeline> pipeline;
+  EngineStats tune_stats_before;    ///< tune-engine counters at open
+};
+
+ArchiveAssembler::ArchiveAssembler(const ArchiveWriteConfig& config,
+                                   WriterWarmState& state, ByteSink& sink,
+                                   std::uint8_t version)
+    : config_(config), state_(state), sink_(&sink), version_(version) {
+  if (version_ == 1) {
+    // Legacy manifest-first layout: the chunk region must be buffered
+    // because the manifest precedes it on the wire.
+    region_sink_ = std::make_unique<BufferSink>(region_);
+    chunk_sink_ = region_sink_.get();
+  } else {
+    chunk_sink_ = sink_;
+  }
+}
+
+ArchiveAssembler::~ArchiveAssembler() = default;
+
+Status ArchiveAssembler::open_field(const std::string& name,
+                                    const FieldDesc& desc) noexcept {
+  try {
+    if (!failed_.ok()) return failed_;
+    if (finished_) return Status::invalid_argument("archive: build already finished");
+    if (open_)
+      return Status::invalid_argument("archive: field '" + open_->name +
+                                      "' is still open; close it first");
+    if (name.empty() || name.size() > 256)
+      return Status::invalid_argument("archive: field name must be 1..256 bytes");
+    if (manifest_fields_.size() >= kMaxFields)
+      return Status::invalid_argument("archive: at most " +
+                                      std::to_string(kMaxFields) +
+                                      " fields per archive");
+    for (const FieldInfo& field : manifest_fields_)
+      if (field.name == name)
+        return Status::invalid_argument("archive: duplicate field name '" + name + "'");
+    if (version_ != kFormatVersionMultiField && !manifest_fields_.empty())
+      return Status::invalid_argument(
+          "archive: format v" + std::to_string(version_) +
+          " holds exactly one field (build with v3 for multi-field archives)");
+    if (desc.shape.empty() || desc.shape.size() > 8)
+      return Status::invalid_argument("archive: field rank must be 1..8");
+    if (shape_elements(desc.shape) == 0)
+      return Status::invalid_argument("archive: cannot pack an empty array");
+
+    auto field = std::make_unique<OpenField>();
+    field->name = name;
+    field->dtype = desc.dtype;
+    field->shape = desc.shape;
+    const std::size_t n0 = desc.shape[0];
+    field->plane_bytes =
+        (shape_elements(desc.shape) / n0) * dtype_size(desc.dtype);
+    const std::size_t requested =
+        desc.chunk_extent > 0 ? desc.chunk_extent : config_.chunk_extent;
+    field->extent = requested > 0 ? std::min(requested, n0)
+                                  : auto_chunk_extent(n0, field->plane_bytes);
+    field->chunk_count = (n0 + field->extent - 1) / field->extent;
+    field->stage_row_bytes = std::min(field->extent, n0) * field->plane_bytes;
+
+    // A geometry change re-maps chunk indices onto different planes, so the
+    // per-chunk warm keys of the previous geometry are meaningless — drop
+    // them (the chunk-0 tune key survives: it tracks the field, not a chunk).
+    const double target = config_.engine.tuner.target_ratio;
+    WriterWarmState::FieldGeometry& geometry = state_.fields[name];
+    if (geometry.shape != desc.shape || geometry.extent != field->extent) {
+      for (std::size_t i = 0; i < geometry.chunk_count; ++i)
+        state_.bounds->erase(chunk_field_key(name, i), target);
+      geometry.shape = desc.shape;
+      geometry.extent = field->extent;
+      geometry.chunk_count = field->chunk_count;
+    }
+
+    Shape row_shape = desc.shape;
+    row_shape[0] = std::min(field->extent, n0);
+    field->stage = NdArray(desc.dtype, std::move(row_shape));
+    field->tune_stats_before = state_.tune_engine.stats();
+    open_ = std::move(field);
+    return Status();
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Status ArchiveAssembler::push(const ArrayView& slab) noexcept {
+  try {
+    if (!failed_.ok()) return failed_;
+    if (!open_) return Status::invalid_argument("archive: no field session is open");
+    OpenField& field = *open_;
+    if (slab.dtype() != field.dtype)
+      return Status::invalid_argument("archive: slab dtype does not match field '" +
+                                      field.name + "'");
+    if (slab.dims() != field.shape.size())
+      return Status::invalid_argument("archive: slab rank does not match field '" +
+                                      field.name + "'");
+    for (std::size_t d = 1; d < field.shape.size(); ++d)
+      if (slab.shape()[d] != field.shape[d])
+        return Status::invalid_argument(
+            "archive: slab plane shape does not match field '" + field.name + "'");
+    const std::size_t planes = slab.shape()[0];
+    if (planes == 0)
+      return Status::invalid_argument("archive: slab must hold at least one plane");
+    if (field.pushed_planes + planes > field.shape[0])
+      return Status::invalid_argument(
+          "archive: field '" + field.name + "' overflows its declared " +
+          std::to_string(field.shape[0]) + " planes");
+
+    // Stage planes into the current chunk row; dispatch each row the moment
+    // it completes.  The slab is copied, so the caller's buffer is free for
+    // the next acquisition as soon as push returns.
+    const auto* src = static_cast<const std::uint8_t*>(slab.data());
+    std::size_t remaining = planes;
+    while (remaining > 0) {
+      const std::size_t room = field.stage.shape()[0] - field.staged_planes;
+      const std::size_t take = std::min(room, remaining);
+      std::memcpy(static_cast<std::uint8_t*>(field.stage.data()) +
+                      field.staged_planes * field.plane_bytes,
+                  src, take * field.plane_bytes);
+      src += take * field.plane_bytes;
+      field.staged_planes += take;
+      field.pushed_planes += take;
+      remaining -= take;
+      if (field.staged_planes == field.stage.shape()[0]) {
+        const Status s = submit_stage();
+        if (!s.ok()) {
+          failed_ = s;
+          return s;
+        }
+      }
+    }
+    return Status();
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Status ArchiveAssembler::submit_stage() noexcept {
+  try {
+    OpenField& field = *open_;
+    if (!field.tuned) {
+      // Chunk 0 is complete: run the field's shared ratio training (or its
+      // warm confirmation) and seed every chunk key BEFORE any worker
+      // compresses.  Deterministic per-chunk snapshot: each key holds
+      // exactly the bound its compression will warm-start from — its own
+      // previous-build bound when one is stored (the time dimension of
+      // Algorithm 3), else the fresh chunk-0 bound.  Seeds depend only on
+      // (field, chunk index), so the bytes a chunk compresses to cannot
+      // depend on which worker handled it or on how many workers ran.
+      Result<TuneResult> tuned =
+          state_.tune_engine.tune(field_tune_key(field.name), field.stage.view());
+      if (!tuned.ok()) return tuned.status();
+      const double shared_bound = tuned.value().error_bound;
+      const double target = config_.engine.tuner.target_ratio;
+      for (std::size_t i = 0; i < field.chunk_count; ++i) {
+        const std::string key = chunk_field_key(field.name, i);
+        if (state_.bounds->get(key, target) <= 0)
+          state_.bounds->put(key, target, shared_bound);
+      }
+      field.pipeline = std::make_unique<ChunkPipeline>(
+          config_, state_, field.name, field.shape, field.chunk_count,
+          chunk_bytes_emitted_, *chunk_sink_);
+      field.tuned = true;
+    }
+
+    NdArray row = std::move(field.stage);
+    ++field.next_chunk;
+    field.staged_planes = 0;
+    if (field.next_chunk < field.chunk_count) {
+      Shape row_shape = field.shape;
+      row_shape[0] = std::min(field.extent,
+                              field.shape[0] - field.next_chunk * field.extent);
+      field.stage = NdArray(field.dtype, std::move(row_shape));
+    } else {
+      field.stage = NdArray();
+    }
+    return field.pipeline->submit(std::move(row));
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<FieldWriteReport> ArchiveAssembler::close_field() noexcept {
+  try {
+    if (!failed_.ok()) return failed_;
+    if (!open_) return Status::invalid_argument("archive: no field session is open");
+    OpenField& field = *open_;
+    if (field.pushed_planes != field.shape[0])
+      return Status::invalid_argument(
+          "archive: field '" + field.name + "' is incomplete: " +
+          std::to_string(field.pushed_planes) + " of " +
+          std::to_string(field.shape[0]) + " planes pushed");
+
+    Result<PipelineOutcome> piped = field.pipeline->finish();
+    if (!piped.ok()) {
+      failed_ = piped.status();
+      return failed_;
+    }
+    PipelineOutcome outcome = std::move(piped).value();
+
+    FieldInfo manifest_field;
+    manifest_field.name = field.name;
+    manifest_field.compressor = config_.engine.compressor;
+    manifest_field.dtype = field.dtype;
+    manifest_field.shape = field.shape;
+    manifest_field.chunk_extent = field.extent;
+    manifest_field.chunk_count = field.chunk_count;
+    manifest_field.target_ratio = config_.engine.tuner.target_ratio;
+    manifest_field.epsilon = config_.engine.tuner.epsilon;
+    manifest_field.raw_bytes = shape_elements(field.shape) * dtype_size(field.dtype);
+    manifest_field.payload_bytes = outcome.region_bytes;
+    manifest_field.payload_ratio = static_cast<double>(manifest_field.raw_bytes) /
+                                   static_cast<double>(manifest_field.payload_bytes);
+    manifest_field.chunks.reserve(outcome.chunks.size());
+    for (const ChunkReport& report : outcome.chunks)
+      manifest_field.chunks.push_back(report.entry);
+
+    FieldWriteReport report;
+    report.name = field.name;
+    report.dtype = field.dtype;
+    report.shape = field.shape;
+    report.chunk_extent = field.extent;
+    report.chunk_count = field.chunk_count;
+    report.raw_bytes = manifest_field.raw_bytes;
+    report.payload_bytes = manifest_field.payload_bytes;
+    report.payload_ratio = manifest_field.payload_ratio;
+    report.in_band = ratio_acceptable(report.payload_ratio,
+                                      config_.engine.tuner.target_ratio,
+                                      config_.engine.tuner.epsilon);
+    for (const ChunkReport& chunk : outcome.chunks) {
+      report.warm_chunks += chunk.warm;
+      report.retrained_chunks += chunk.retrained;
+      report.rate_fallback_chunks += chunk.rate_fallback;
+    }
+    report.chunks = std::move(outcome.chunks);
+    all_chunks_.insert(all_chunks_.end(), report.chunks.begin(), report.chunks.end());
+
+    const EngineStats& tune_after = state_.tune_engine.stats();
+    tuner_probe_calls_ += outcome.tuner_probe_calls +
+                          (tune_after.tuner_probe_calls -
+                           field.tune_stats_before.tuner_probe_calls);
+    probe_cache_hits_ += outcome.probe_cache_hits +
+                         (tune_after.probe_cache_hits -
+                          field.tune_stats_before.probe_cache_hits);
+    peak_buffered_chunks_ = std::max(peak_buffered_chunks_, outcome.peak_buffered_chunks);
+    peak_buffered_bytes_ = std::max(peak_buffered_bytes_, outcome.peak_buffered_bytes);
+    peak_staged_bytes_ = std::max(peak_staged_bytes_,
+                                  outcome.peak_staged_bytes + field.stage_row_bytes);
+    chunk_bytes_emitted_ += manifest_field.payload_bytes;
+    total_raw_bytes_ += manifest_field.raw_bytes;
+
+    manifest_fields_.push_back(std::move(manifest_field));
+    reports_.push_back(std::move(report));
+    open_.reset();
+    return reports_.back();
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<ArchiveWriteResult> ArchiveAssembler::finish() noexcept {
+  try {
+    if (!failed_.ok()) return failed_;
+    if (finished_) return Status::invalid_argument("archive: build already finished");
+    if (open_)
+      return Status::invalid_argument("archive: field '" + open_->name +
+                                      "' is still open; close it before finish");
+    if (manifest_fields_.empty())
+      return Status::invalid_argument("archive: build holds no fields");
+
+    const auto append = [&](const Buffer& block) {
+      const Status s = sink_->append(block.data(), block.size());
+      if (!s.ok()) failed_ = s;
+      return s;
+    };
+
+    Buffer manifest;
+    std::size_t manifest_offset = 0;
+    const FieldInfo& first = manifest_fields_.front();
+    if (version_ == 1) {
+      encode_manifest(1, first.compressor, first.dtype, first.shape, first.target_ratio,
+                      first.epsilon, first.chunk_extent, first.chunks, manifest);
+      if (!append(manifest).ok()) return failed_;
+      if (!append(region_).ok()) return failed_;
+    } else if (version_ == 2) {
+      manifest_offset = chunk_bytes_emitted_;
+      encode_manifest(2, first.compressor, first.dtype, first.shape, first.target_ratio,
+                      first.epsilon, first.chunk_extent, first.chunks, manifest);
+      if (!append(manifest).ok()) return failed_;
+    } else {
+      manifest_offset = chunk_bytes_emitted_;
+      encode_manifest_fields(manifest_fields_, manifest);
+      if (!append(manifest).ok()) return failed_;
+    }
+
+    ArchiveWriteResult result;
+    result.format_version = version_;
+    result.chunk_count = first.chunk_count;
+    result.chunk_extent = first.chunk_extent;
+    result.raw_bytes = total_raw_bytes_;
+    const std::size_t footer_bytes = version_ == 1 ? kFooterBytesV1 : kFooterBytes;
+    result.archive_bytes = sink_->bytes_written() + footer_bytes;
+    result.achieved_ratio = static_cast<double>(result.raw_bytes) /
+                            static_cast<double>(result.archive_bytes);
+    result.in_band = ratio_acceptable(result.achieved_ratio,
+                                      config_.engine.tuner.target_ratio,
+                                      config_.engine.tuner.epsilon);
+    for (const FieldWriteReport& report : reports_) {
+      result.warm_chunks += report.warm_chunks;
+      result.retrained_chunks += report.retrained_chunks;
+      result.rate_fallback_chunks += report.rate_fallback_chunks;
+    }
+    result.tuner_probe_calls = tuner_probe_calls_;
+    result.probe_cache_hits = probe_cache_hits_;
+    result.peak_buffered_chunks = peak_buffered_chunks_;
+    result.peak_buffered_bytes = peak_buffered_bytes_;
+    result.peak_staged_bytes = peak_staged_bytes_;
+    result.chunks = std::move(all_chunks_);
+    result.fields = std::move(reports_);
+
+    Buffer footer;
+    encode_footer(version_, manifest_offset, manifest.size(), result.raw_bytes,
+                  result.archive_bytes, result.achieved_ratio, footer);
+    if (!append(footer).ok()) return failed_;
+
+    result.seconds = timer_.seconds();
+    finished_ = true;
+    return result;
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+// ---------------------------------------------------- compatibility wrapper
+
+Result<ArchiveWriteResult> write_archive(const ArchiveWriteConfig& config,
+                                         WriterWarmState& state, const ArrayView& data,
+                                         ByteSink& sink) {
+  try {
+    if (data.dims() == 0 || data.elements() == 0)
+      return Status::invalid_argument("archive: cannot pack an empty array");
+    const Status config_status = validate_write_config(config);
+    if (!config_status.ok()) return config_status;
+    // The whole write path IS one field session: write(ArrayView) just
+    // pushes the entire array as a single slab.  This stages one extra
+    // memcpy pass over the input (chunk rows are owned by the pipeline so
+    // pushed data never needs to outlive push()) — measured noise next to
+    // chunk compression (bench_archive_stream), and the price of having
+    // exactly one write path to keep byte-identical.
+    ArchiveAssembler assembler(config, state, sink, config.format_version);
+    FieldDesc desc;
+    desc.dtype = data.dtype();
+    desc.shape = data.shape();
+    desc.chunk_extent = config.chunk_extent;
+    Status s = assembler.open_field(kDefaultFieldName, desc);
+    if (!s.ok()) return s;
+    s = assembler.push(data);
+    if (!s.ok()) return s;
+    const Result<FieldWriteReport> closed = assembler.close_field();
+    if (!closed.ok()) return closed.status();
+    return assembler.finish();
+  } catch (...) {
+    return status_from_current_exception();
+  }
 }
 
 }  // namespace fraz::archive::detail
@@ -337,157 +829,6 @@ WriterWarmState::WriterWarmState(const EngineConfig& engine_config)
 
 namespace fraz::archive::detail {
 
-Status validate_write_config(const ArchiveWriteConfig& config) noexcept {
-  try {
-    if (config.format_version != 1 && config.format_version != 2)
-      return Status::invalid_argument("archive: unsupported format version " +
-                                      std::to_string(config.format_version));
-    // v1's manifest records the backend as a CompressorId (built-ins only);
-    // v2 records the registry name, whose encoding caps it at 256 bytes.
-    if (config.format_version == 1) (void)backend_id(config.engine.compressor);
-    if (config.engine.compressor.empty() || config.engine.compressor.size() > 256)
-      return Status::invalid_argument(
-          "archive: compressor name must be 1..256 bytes to be recorded");
-    return Status();
-  } catch (...) {
-    return status_from_current_exception();
-  }
-}
-
-// ------------------------------------------------------------------- writer
-
-Result<ArchiveWriteResult> write_archive(const ArchiveWriteConfig& config,
-                                         WriterWarmState& state, const ArrayView& data,
-                                         ByteSink& sink) {
-  try {
-    Timer timer;
-    if (data.dims() == 0 || data.elements() == 0)
-      return Status::invalid_argument("archive: cannot pack an empty array");
-    const Status config_status = validate_write_config(config);
-    if (!config_status.ok()) return config_status;
-    const std::uint8_t version = config.format_version;
-    const std::size_t n0 = data.shape()[0];
-    const std::size_t plane_bytes = data.size_bytes() / n0;
-    const std::size_t extent = config.chunk_extent > 0
-                                   ? std::min(config.chunk_extent, n0)
-                                   : auto_chunk_extent(n0, plane_bytes);
-    const std::size_t chunk_count = (n0 + extent - 1) / extent;
-    const double target = config.engine.tuner.target_ratio;
-
-    // A geometry change re-maps chunk indices onto different planes, so the
-    // per-chunk warm keys of the previous geometry are meaningless — drop
-    // them (the chunk-0 tune key survives: it tracks the field, not a chunk).
-    if (state.shape != data.shape() || state.extent != extent) {
-      for (std::size_t i = 0; i < state.chunk_count; ++i)
-        state.bounds->erase(chunk_field_key(i), target);
-      state.shape = data.shape();
-      state.extent = extent;
-      state.chunk_count = chunk_count;
-    }
-
-    // Shared warm-start bound: full ratio training runs on chunk 0 only (and
-    // only when the persistent engine's store cannot satisfy it — packing a
-    // drifting time series retrains a handful of times, not per archive).
-    const EngineStats tune_before = state.tune_engine.stats();
-    Result<TuneResult> tuned = state.tune_engine.tune(kTuneKey, chunk_slice(data, extent, 0));
-    if (!tuned.ok()) return tuned.status();
-    const double shared_bound = tuned.value().error_bound;
-
-    // Deterministic per-chunk snapshot: before any worker runs, every chunk
-    // key holds exactly the bound its compression will warm-start from —
-    // its own previous-write bound when one is stored (the time dimension
-    // of Algorithm 3), else the fresh chunk-0 bound.  Seeds depend only on
-    // the chunk index, so the bytes a chunk compresses to cannot depend on
-    // which worker handled it or on how many workers ran.
-    for (std::size_t i = 0; i < chunk_count; ++i) {
-      const std::string key = chunk_field_key(i);
-      if (state.bounds->get(key, target) <= 0) state.bounds->put(key, target, shared_bound);
-    }
-
-    PipelineOutcome pipe;
-    Buffer manifest;
-    std::size_t manifest_offset = 0;
-    if (version == 2) {
-      // Streaming layout: chunks flow straight to the sink, the manifest and
-      // footer follow — the whole archive is assembled append-only.
-      auto piped = run_chunk_pipeline(config, state, data, extent, chunk_count, sink);
-      if (!piped.ok()) return piped.status();
-      pipe = std::move(piped).value();
-      manifest_offset = pipe.region_bytes;
-    } else {
-      // Legacy manifest-first layout: the chunk region must be buffered
-      // because the manifest precedes it on the wire.
-      Buffer region;
-      BufferSink region_sink(region);
-      auto piped = run_chunk_pipeline(config, state, data, extent, chunk_count, region_sink);
-      if (!piped.ok()) return piped.status();
-      pipe = std::move(piped).value();
-      std::vector<ChunkEntry> entries;
-      entries.reserve(chunk_count);
-      for (const ChunkReport& report : pipe.chunks) entries.push_back(report.entry);
-      encode_manifest(1, config.engine.compressor, data.dtype(), data.shape(),
-                      config.engine.tuner.target_ratio, config.engine.tuner.epsilon, extent,
-                      entries, manifest);
-      Status s = sink.append(manifest.data(), manifest.size());
-      if (!s.ok()) return s;
-      s = sink.append(region.data(), region.size());
-      if (!s.ok()) return s;
-    }
-
-    if (version == 2) {
-      std::vector<ChunkEntry> entries;
-      entries.reserve(chunk_count);
-      for (const ChunkReport& report : pipe.chunks) entries.push_back(report.entry);
-      encode_manifest(2, config.engine.compressor, data.dtype(), data.shape(),
-                      config.engine.tuner.target_ratio, config.engine.tuner.epsilon, extent,
-                      entries, manifest);
-      const Status s = sink.append(manifest.data(), manifest.size());
-      if (!s.ok()) return s;
-    }
-
-    // (Per-chunk warm bounds for the next write already live in the shared
-    // store: each chunk's engine committed its feasible bound under the
-    // chunk's own key as it finished.)
-
-    ArchiveWriteResult result;
-    const EngineStats& tune_after = state.tune_engine.stats();
-    result.tuner_probe_calls =
-        pipe.tuner_probe_calls + (tune_after.tuner_probe_calls - tune_before.tuner_probe_calls);
-    result.probe_cache_hits =
-        pipe.probe_cache_hits + (tune_after.probe_cache_hits - tune_before.probe_cache_hits);
-    result.format_version = version;
-    result.chunk_count = chunk_count;
-    result.chunk_extent = extent;
-    result.raw_bytes = data.size_bytes();
-    result.peak_buffered_chunks = pipe.peak_buffered_chunks;
-    result.peak_buffered_bytes = pipe.peak_buffered_bytes;
-    const std::size_t footer_bytes = version == 1 ? kFooterBytesV1 : kFooterBytes;
-    result.archive_bytes = sink.bytes_written() + footer_bytes;
-    result.achieved_ratio = static_cast<double>(result.raw_bytes) /
-                            static_cast<double>(result.archive_bytes);
-    result.in_band = ratio_acceptable(result.achieved_ratio,
-                                      config.engine.tuner.target_ratio,
-                                      config.engine.tuner.epsilon);
-    for (ChunkReport& report : pipe.chunks) {
-      result.warm_chunks += report.warm;
-      result.retrained_chunks += report.retrained;
-      result.rate_fallback_chunks += report.rate_fallback;
-    }
-    result.chunks = std::move(pipe.chunks);
-
-    Buffer footer;
-    encode_footer(version, manifest_offset, manifest.size(), result.raw_bytes,
-                  result.archive_bytes, result.achieved_ratio, footer);
-    const Status s = sink.append(footer.data(), footer.size());
-    if (!s.ok()) return s;
-
-    result.seconds = timer.seconds();
-    return result;
-  } catch (...) {
-    return status_from_current_exception();
-  }
-}
-
 // ------------------------------------------------------------------- reader
 
 const std::uint8_t* MemorySource::fetch(std::size_t offset, std::size_t size,
@@ -498,45 +839,46 @@ const std::uint8_t* MemorySource::fetch(std::size_t offset, std::size_t size,
   return data_ + offset;
 }
 
-Shape chunk_shape(const ArchiveInfo& info, std::size_t i) {
-  require(i < info.chunk_count, "archive: chunk index out of range");
-  Shape shape = info.shape;
-  shape[0] = std::min(info.chunk_extent, info.shape[0] - i * info.chunk_extent);
+Shape chunk_shape(const FieldInfo& field, std::size_t i) {
+  require(i < field.chunk_count, "archive: chunk index out of range");
+  Shape shape = field.shape;
+  shape[0] = std::min(field.chunk_extent, field.shape[0] - i * field.chunk_extent);
   return shape;
 }
 
-NdArray decode_chunk(Engine& engine, const ChunkSource& source, const ArchiveInfo& info,
-                     std::size_t i, Buffer& scratch) {
-  const ChunkEntry& entry = info.chunks[i];
+NdArray decode_chunk(Engine& engine, const ChunkSource& source, const FieldInfo& field,
+                     std::size_t chunk_region, std::size_t i, Buffer& scratch) {
+  const ChunkEntry& entry = field.chunks[i];
   const std::uint8_t* chunk =
-      source.fetch(info.chunk_region + entry.offset, entry.size, scratch);
+      source.fetch(chunk_region + entry.offset, entry.size, scratch);
   if (crc32(chunk, entry.size) != entry.crc)
     throw CorruptStream("archive: chunk " + std::to_string(i) + " failed its checksum");
   Result<NdArray> decoded = engine.decompress(chunk, entry.size);
   if (!decoded.ok())
     throw CorruptStream("archive: chunk " + std::to_string(i) + ": " +
                         decoded.status().to_string());
-  if (decoded.value().dtype() != info.dtype ||
-      decoded.value().shape() != chunk_shape(info, i))
+  if (decoded.value().dtype() != field.dtype ||
+      decoded.value().shape() != chunk_shape(field, i))
     throw CorruptStream("archive: chunk " + std::to_string(i) +
                         " decoded to an unexpected shape");
   return std::move(decoded).value();
 }
 
-Status read_planes(const ChunkSource& source, const ArchiveInfo& info,
-                   Engine& serial_engine, Buffer& serial_scratch, std::size_t first,
-                   std::size_t count, unsigned threads, NdArray& out) noexcept {
+Status read_planes(const ChunkSource& source, const FieldInfo& field,
+                   std::size_t chunk_region, Engine& serial_engine,
+                   Buffer& serial_scratch, std::size_t first, std::size_t count,
+                   unsigned threads, NdArray& out) noexcept {
   try {
-    const std::size_t n0 = info.shape[0];
+    const std::size_t n0 = field.shape[0];
     const std::size_t plane_bytes =
-        (shape_elements(info.shape) / n0) * dtype_size(info.dtype);
-    const std::size_t extent = info.chunk_extent;
+        (shape_elements(field.shape) / n0) * dtype_size(field.dtype);
+    const std::size_t extent = field.chunk_extent;
     const std::size_t first_chunk = first / extent;
     const std::size_t last_chunk = (first + count - 1) / extent;
     const std::size_t touched = last_chunk - first_chunk + 1;
 
     auto emplace = [&](Engine& engine, Buffer& scratch, std::size_t c) {
-      const NdArray chunk = decode_chunk(engine, source, info, c, scratch);
+      const NdArray chunk = decode_chunk(engine, source, field, chunk_region, c, scratch);
       const std::size_t chunk_first = c * extent;
       const std::size_t lo = std::max(first, chunk_first);
       const std::size_t hi = std::min(first + count, chunk_first + chunk.shape()[0]);
@@ -559,7 +901,7 @@ Status read_planes(const ChunkSource& source, const ArchiveInfo& info,
     std::atomic<std::size_t> next{0};
     auto drain = [&] {
       EngineConfig config;
-      config.compressor = info.compressor;
+      config.compressor = field.compressor;
       auto created = Engine::create(std::move(config));
       std::size_t t;
       if (!created.ok()) {

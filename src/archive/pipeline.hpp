@@ -2,22 +2,27 @@
 #define FRAZ_ARCHIVE_PIPELINE_HPP
 
 /// \file pipeline.hpp
-/// The transport-independent core of `fraz::archive`: one chunk-compression
-/// pipeline every writer shares and one chunk-decode core every reader
-/// shares.  Transports supply two small adapters —
+/// The transport-independent core of `fraz::archive`: one push-based
+/// archive assembler every writer shares and one chunk-decode core every
+/// reader shares.  Transports supply two small adapters —
 ///
 ///  - a `ByteSink` the writer appends the archive to (a growable Buffer for
 ///    the in-memory transport, a FILE* for the streaming file transport);
 ///  - a `ChunkSource` the reader fetches positioned byte ranges from (a raw
 ///    pointer, an mmap'd view, or buffered positioned reads).
 ///
-/// The write pipeline claims chunk indices under a bounded window so at most
-/// `workers + 1` chunk payloads are ever held in memory (claimed-but-not-yet
-/// -emitted), and emits payloads to the sink strictly in index order — which
-/// is what lets a file be written append-only while keeping the bytes
-/// identical to an in-memory pack at any worker count.
+/// The assembler is the engine behind both the push-based FieldSession API
+/// and the `write(ArrayView)` compatibility wrapper: callers push slabs, the
+/// assembler stages exactly one chunk row per open field and dispatches each
+/// completed row into the parallel chunk pipeline, which admits rows under a
+/// bounded window (submitted-but-unemitted ≤ workers + 1) and emits payloads
+/// to the sink strictly in index order — which is what lets a file be
+/// written append-only while keeping the bytes identical to an in-memory
+/// pack at any worker count, and what bounds writer input memory to
+/// O(chunk-row × workers) however the data arrives.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +32,7 @@
 #include "ndarray/ndarray.hpp"
 #include "util/buffer.hpp"
 #include "util/status.hpp"
+#include "util/timer.hpp"
 
 namespace fraz::archive::detail {
 
@@ -38,8 +44,9 @@ EngineConfig serial_tuning(EngineConfig config);
 
 /// Everything a writer must refuse at construction: unknown format
 /// versions, v1 with a backend the v1 manifest cannot name, and compressor
-/// names the v2 manifest cannot record.  Shared by both writer constructors
-/// and by write_archive (for configs that bypassed a constructor).
+/// names the v2/v3 manifests cannot record.  Shared by both writer
+/// constructors and by write_archive (for configs that bypassed a
+/// constructor).
 Status validate_write_config(const ArchiveWriteConfig& config) noexcept;
 
 /// Append-only destination of one archive write.
@@ -70,15 +77,74 @@ private:
   Buffer& out_;
 };
 
-/// Shards, tunes, compresses, and assembles one complete archive (either
-/// format version) through \p sink.  \p state carries the persistent warm
-/// knowledge between write() calls: the chunk-0 tuning engine, the shared
-/// BoundStore of per-chunk warm bounds (every worker engine adopts it, each
-/// chunk reading/writing only its own deterministic key), and the shared
-/// probe dedup cache.  This is the single write path behind ArchiveWriter
-/// (in-memory) and ArchiveFileWriter (streaming): format v2 streams chunks
-/// to the sink as they finish; format v1 buffers the chunk region because
-/// its manifest precedes the chunks.
+class ChunkPipeline;
+
+/// Transport-independent build of one complete archive (any format version)
+/// through a ByteSink.  Fields are ingested one at a time: open_field()
+/// declares the geometry (and invalidates stale per-chunk warm keys),
+/// push() stages planes into the current chunk row and dispatches completed
+/// rows to the parallel pipeline, close_field() drains the field, finish()
+/// seals manifest + footer.  v1/v2 accept exactly one field; v1 buffers the
+/// chunk region internally because its manifest precedes the chunks on the
+/// wire.
+///
+/// \p state carries the persistent warm knowledge between builds: the
+/// per-field chunk-0 tuning engine, the shared BoundStore of per-(field,
+/// chunk) warm bounds (every worker engine adopts it, each chunk
+/// reading/writing only its own deterministic key), and the shared probe
+/// dedup cache.  This is the single write path behind ArchiveWriter
+/// (in-memory) and ArchiveFileWriter (streaming).
+class ArchiveAssembler {
+public:
+  ArchiveAssembler(const ArchiveWriteConfig& config, WriterWarmState& state,
+                   ByteSink& sink, std::uint8_t version);
+  ~ArchiveAssembler();
+
+  ArchiveAssembler(const ArchiveAssembler&) = delete;
+  ArchiveAssembler& operator=(const ArchiveAssembler&) = delete;
+
+  Status open_field(const std::string& name, const FieldDesc& desc) noexcept;
+  Status push(const ArrayView& slab) noexcept;
+  Result<FieldWriteReport> close_field() noexcept;
+  Result<ArchiveWriteResult> finish() noexcept;
+
+  bool field_open() const noexcept { return open_ != nullptr; }
+
+private:
+  struct OpenField;
+
+  /// Dispatch the staged chunk row (tuning + seeding the field first when it
+  /// is chunk 0) and stage the next row.
+  Status submit_stage() noexcept;
+
+  const ArchiveWriteConfig config_;
+  WriterWarmState& state_;
+  ByteSink* sink_;              ///< where the finished archive lands
+  ByteSink* chunk_sink_;        ///< where chunk payloads go (= sink_ except v1)
+  Buffer region_;               ///< v1 only: buffered chunk region
+  std::unique_ptr<BufferSink> region_sink_;
+  const std::uint8_t version_;
+  Timer timer_;
+
+  std::unique_ptr<OpenField> open_;
+  std::vector<FieldInfo> manifest_fields_;   ///< closed fields, write order
+  std::vector<FieldWriteReport> reports_;
+  std::vector<ChunkReport> all_chunks_;
+  std::size_t chunk_bytes_emitted_ = 0;      ///< absolute base of the next field
+  std::size_t total_raw_bytes_ = 0;
+  std::size_t tuner_probe_calls_ = 0;
+  std::size_t probe_cache_hits_ = 0;
+  std::size_t peak_buffered_chunks_ = 0;
+  std::size_t peak_buffered_bytes_ = 0;
+  std::size_t peak_staged_bytes_ = 0;
+  bool finished_ = false;
+  Status failed_;               ///< sticky: first failure poisons the build
+};
+
+/// Shards, tunes, compresses, and assembles one complete single-field
+/// archive (any format version) through \p sink — the compatibility path
+/// behind write(ArrayView), implemented as one ArchiveAssembler session fed
+/// the whole array under the default field name.
 Result<ArchiveWriteResult> write_archive(const ArchiveWriteConfig& config,
                                          WriterWarmState& state, const ArrayView& data,
                                          ByteSink& sink);
@@ -109,23 +175,26 @@ private:
   std::size_t size_;
 };
 
-/// Shape of chunk \p i of \p info ({extent_i, rest...}; last chunk short).
-Shape chunk_shape(const ArchiveInfo& info, std::size_t i);
+/// Shape of chunk \p i of \p field ({extent_i, rest...}; last chunk short).
+Shape chunk_shape(const FieldInfo& field, std::size_t i);
 
 /// Validate chunk \p i's CRC and decode it (throwing helper shared by every
-/// reader).  \p scratch backs the fetch for buffered transports.
-NdArray decode_chunk(Engine& engine, const ChunkSource& source, const ArchiveInfo& info,
-                     std::size_t i, Buffer& scratch);
+/// reader).  \p chunk_region is the archive's chunk-region base offset;
+/// \p scratch backs the fetch for buffered transports.
+NdArray decode_chunk(Engine& engine, const ChunkSource& source, const FieldInfo& field,
+                     std::size_t chunk_region, std::size_t i, Buffer& scratch);
 
-/// Decode the slowest-axis planes [first, first + count) into \p out (whose
-/// shape must already be {count, rest...}), touching and validating only the
-/// chunks that cover the range.  \p threads > 1 decodes the touched chunks
-/// in parallel, one Engine per worker, each writing its disjoint plane
-/// window of \p out; \p serial_engine serves the single-threaded path.
-/// Backs both read_all (first = 0, count = n0) and read_range.
-Status read_planes(const ChunkSource& source, const ArchiveInfo& info,
-                   Engine& serial_engine, Buffer& serial_scratch, std::size_t first,
-                   std::size_t count, unsigned threads, NdArray& out) noexcept;
+/// Decode the slowest-axis planes [first, first + count) of \p field into
+/// \p out (whose shape must already be {count, rest...}), touching and
+/// validating only the chunks that cover the range.  \p threads > 1 decodes
+/// the touched chunks in parallel, one Engine per worker, each writing its
+/// disjoint plane window of \p out; \p serial_engine serves the
+/// single-threaded path.  Backs both read_all (first = 0, count = n0) and
+/// read_range for every field.
+Status read_planes(const ChunkSource& source, const FieldInfo& field,
+                   std::size_t chunk_region, Engine& serial_engine,
+                   Buffer& serial_scratch, std::size_t first, std::size_t count,
+                   unsigned threads, NdArray& out) noexcept;
 
 }  // namespace fraz::archive::detail
 

@@ -1,5 +1,6 @@
 #include "core/probe.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <exception>
 #include <future>
@@ -82,18 +83,34 @@ std::uint64_t compressor_fingerprint(const pressio::Compressor& compressor) {
 // -------------------------------------------------------------- ProbeCache
 
 ProbeCache::ProbeCache(std::size_t max_entries)
-    : max_entries_(max_entries > 0 ? max_entries : 1) {}
+    : generation_budget_(std::max<std::size_t>(max_entries / 2, 1)) {}
 
 std::uint64_t ProbeCache::slot(std::uint64_t context, double bound) noexcept {
   return mix64(context ^ double_bits(bound));
 }
 
+void ProbeCache::rotate_if_full_locked() const {
+  if (current_.size() < generation_budget_) return;
+  previous_ = std::move(current_);
+  current_.clear();
+}
+
 bool ProbeCache::lookup(std::uint64_t context, double bound, ProbeRecord& out) const noexcept {
   std::lock_guard lock(mutex_);
-  const auto it = entries_.find(slot(context, bound));
-  if (it == entries_.end()) {
-    ++misses_;
-    return false;
+  const std::uint64_t key = slot(context, bound);
+  auto it = current_.find(key);
+  if (it == current_.end()) {
+    const auto prev = previous_.find(key);
+    if (prev == previous_.end()) {
+      ++misses_;
+      return false;
+    }
+    // A hit in the old generation means the entry is hot again — promote it
+    // so the next rotation cannot drop it.
+    const ProbeRecord record = prev->second;
+    previous_.erase(prev);
+    rotate_if_full_locked();
+    it = current_.emplace(key, record).first;
   }
   ++hits_;
   out = it->second;
@@ -102,20 +119,25 @@ bool ProbeCache::lookup(std::uint64_t context, double bound, ProbeRecord& out) c
 
 void ProbeCache::insert(std::uint64_t context, double bound, const ProbeRecord& record) {
   std::lock_guard lock(mutex_);
-  // Wholesale reset when full: observations are recomputable, and a cheap
-  // deterministic policy beats LRU bookkeeping on this hot path.
-  if (entries_.size() >= max_entries_) entries_.clear();
-  entries_[slot(context, bound)] = record;
+  const std::uint64_t key = slot(context, bound);
+  // Rotate first, then purge: one key must never live in both generations
+  // (a rotation could carry a stale copy of this key into previous_, where
+  // it would shadow the fresh observation after the next rotation and
+  // double-count in stats).
+  rotate_if_full_locked();
+  previous_.erase(key);
+  current_[key] = record;
 }
 
 ProbeCache::Stats ProbeCache::stats() const noexcept {
   std::lock_guard lock(mutex_);
-  return Stats{hits_, misses_, entries_.size()};
+  return Stats{hits_, misses_, current_.size() + previous_.size()};
 }
 
 void ProbeCache::clear() noexcept {
   std::lock_guard lock(mutex_);
-  entries_.clear();
+  current_.clear();
+  previous_.clear();
 }
 
 // ----------------------------------------------------------- ProbeExecutor

@@ -52,14 +52,22 @@ struct ProbeRecord {
   double quality = 0;     ///< metric value (quality probes only; else 0)
 };
 
-/// Thread-safe dedup cache of probe observations.  Bounded: when full it is
-/// cleared wholesale (cheap, deterministic, and correct — entries are pure
-/// recomputable observations).
+/// Thread-safe dedup cache of probe observations.  Bounded by a
+/// two-generation scheme: entries live in a *current* generation; when that
+/// generation reaches half the budget it becomes the *previous* generation
+/// (dropping whatever the old previous one still held), and a hit in the
+/// previous generation promotes the entry back into the current one.  An
+/// entry touched at least once per generation therefore survives
+/// indefinitely, while cold entries age out — long multi-field campaigns
+/// keep their hot probes instead of losing everything to a wholesale clear.
+/// Eviction is deterministic (driven purely by the insert sequence) and can
+/// never change a tuned bound, only the number of compressions spent.
 class ProbeCache {
 public:
   explicit ProbeCache(std::size_t max_entries = 1u << 16);
 
   /// Look up the record for (context key, bound[, metric tag]); true on hit.
+  /// A hit in the previous generation promotes the entry.
   bool lookup(std::uint64_t context, double bound, ProbeRecord& out) const noexcept;
   /// Insert an observation (overwrites an identical key).
   void insert(std::uint64_t context, double bound, const ProbeRecord& record);
@@ -74,10 +82,15 @@ public:
 
 private:
   static std::uint64_t slot(std::uint64_t context, double bound) noexcept;
+  /// Rotate generations once the current one fills its half-budget.
+  void rotate_if_full_locked() const;
 
   mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, ProbeRecord> entries_;
-  std::size_t max_entries_;
+  // lookup() promotes hot entries, so both generations mutate under a const
+  // interface; the mutex makes that promotion safe.
+  mutable std::unordered_map<std::uint64_t, ProbeRecord> current_;
+  mutable std::unordered_map<std::uint64_t, ProbeRecord> previous_;
+  std::size_t generation_budget_;  ///< max entries per generation (half the total)
   mutable std::size_t hits_ = 0;
   mutable std::size_t misses_ = 0;
 };

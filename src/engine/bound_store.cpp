@@ -1,6 +1,20 @@
 #include "engine/bound_store.hpp"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "codec/checksum.hpp"
+#include "codec/varint.hpp"
+
 namespace fraz {
+
+namespace {
+
+constexpr std::uint32_t kBoundStoreMagic = 0x427a5246u;  // "FRzB" little-endian
+constexpr std::uint8_t kBoundStoreVersion = 1;
+
+}  // namespace
 
 double BoundStore::get(const std::string& field, double target_ratio) const noexcept {
   std::lock_guard lock(mutex_);
@@ -27,6 +41,107 @@ void BoundStore::clear() noexcept {
 std::size_t BoundStore::size() const noexcept {
   std::lock_guard lock(mutex_);
   return bounds_.size();
+}
+
+void BoundStore::serialize(Buffer& out) const {
+  std::lock_guard lock(mutex_);
+  out.clear();
+  put_u32(out, kBoundStoreMagic);
+  out.push_back(kBoundStoreVersion);
+  put_varint(out, bounds_.size());
+  for (const auto& [key, bound] : bounds_) {
+    put_varint(out, key.first.size());
+    out.append(key.first.data(), key.first.size());
+    put_f64(out, key.second);
+    put_f64(out, bound);
+  }
+  put_u32(out, crc32(out.data(), out.size()));
+}
+
+Status BoundStore::deserialize(const std::uint8_t* data, std::size_t size) noexcept {
+  try {
+    // Parse into a scratch map first: a corrupt block must never leave the
+    // store half-replaced.  Minimum block: magic + version + varint(0) + CRC
+    // — an empty store is a valid checkpoint.
+    if (size < 10) return Status::corrupt_stream("bound store: block too small");
+    std::size_t pos = 0;
+    if (get_u32(data, size, pos) != kBoundStoreMagic)
+      return Status::corrupt_stream("bound store: bad magic");
+    const std::uint32_t stored_crc = [&] {
+      std::size_t p = size - 4;
+      return get_u32(data, size, p);
+    }();
+    if (crc32(data, size - 4) != stored_crc)
+      return Status::corrupt_stream("bound store: checksum mismatch");
+    if (data[pos++] != kBoundStoreVersion)
+      return Status::corrupt_stream("bound store: unsupported version");
+    const std::uint64_t count = get_varint(data, size, pos);
+    std::map<Key, double> parsed;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      // No arbitrary length cap: put() accepts any field key, so load()
+      // must accept whatever save() wrote — the CRC plus this bounds check
+      // are what guard against a malformed block.
+      const std::uint64_t name_size = get_varint(data, size, pos);
+      if (pos + name_size > size)
+        return Status::corrupt_stream("bound store: bad field name");
+      std::string field(reinterpret_cast<const char*>(data) + pos,
+                        static_cast<std::size_t>(name_size));
+      pos += static_cast<std::size_t>(name_size);
+      const double target = get_f64(data, size, pos);
+      const double bound = get_f64(data, size, pos);
+      if (!(bound > 0)) return Status::corrupt_stream("bound store: non-positive bound");
+      parsed[Key{std::move(field), target}] = bound;
+    }
+    if (pos + 4 != size) return Status::corrupt_stream("bound store: trailing bytes");
+    std::lock_guard lock(mutex_);
+    bounds_ = std::move(parsed);
+    return Status();
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Status BoundStore::save(const std::string& path) const noexcept {
+  try {
+    Buffer block;
+    serialize(block);
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (!file)
+      return Status::io_error("bound store: cannot open '" + path +
+                              "': " + errno_detail(errno));
+    const bool wrote =
+        block.size() == 0 || std::fwrite(block.data(), 1, block.size(), file) == block.size();
+    const int write_errno = wrote ? 0 : errno;
+    const bool closed = std::fclose(file) == 0;
+    const int close_errno = closed ? 0 : errno;
+    if (wrote && closed) return Status();
+    std::remove(path.c_str());
+    return Status::io_error("bound store: cannot write '" + path +
+                            "': " + errno_detail(wrote ? close_errno : write_errno));
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Status BoundStore::load(const std::string& path) noexcept {
+  try {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (!file)
+      return Status::io_error("bound store: cannot open '" + path +
+                              "': " + errno_detail(errno));
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t chunk[4096];
+    std::size_t got;
+    while ((got = std::fread(chunk, 1, sizeof chunk, file)) > 0)
+      bytes.insert(bytes.end(), chunk, chunk + got);
+    const bool read_ok = std::ferror(file) == 0;
+    std::fclose(file);
+    if (!read_ok)
+      return Status::io_error("bound store: cannot read '" + path + "'");
+    return deserialize(bytes.data(), bytes.size());
+  } catch (...) {
+    return status_from_current_exception();
+  }
 }
 
 }  // namespace fraz

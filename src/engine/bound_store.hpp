@@ -13,11 +13,15 @@
 /// for *its own* deterministic key.  Because each consumer reads and writes
 /// its own keys, sharing never makes results depend on worker scheduling.
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
+
+#include "util/buffer.hpp"
+#include "util/status.hpp"
 
 namespace fraz {
 
@@ -39,6 +43,26 @@ public:
   void clear() noexcept;
 
   std::size_t size() const noexcept;
+
+  /// Serialize every entry into \p out (cleared first): a self-framed block
+  /// — magic 'FRzB', version, entry count, (field, target, bound) triples,
+  /// trailing CRC-32.  Targets and bounds round-trip bit-exactly, so a
+  /// restored campaign warm-starts from precisely the bounds it saved.
+  void serialize(Buffer& out) const;
+
+  /// Replace this store's contents with a previously serialized block.
+  /// Framing, checksum, or version failures come back as a Status and leave
+  /// the store untouched; this never throws.
+  Status deserialize(const std::uint8_t* data, std::size_t size) noexcept;
+
+  /// serialize() to a file, so a restarted campaign can warm-start from the
+  /// bounds of its previous run.  Filesystem failures come back as Status.
+  Status save(const std::string& path) const noexcept;
+
+  /// deserialize() from a file written by save().  A missing file is
+  /// IoError; a corrupt one is CorruptStream; neither throws and neither
+  /// modifies the store.
+  Status load(const std::string& path) noexcept;
 
 private:
   using Key = std::pair<std::string, double>;

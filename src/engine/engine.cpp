@@ -45,10 +45,15 @@ Result<TuneResult> Engine::tune(const std::string& field, const ArrayView& data,
     stats_.tuner_probe_calls +=
         static_cast<std::size_t>(result.compress_calls - result.probe_cache_hits);
     stats_.probe_cache_hits += static_cast<std::size_t>(result.probe_cache_hits);
-    if (result.from_prediction)
+    EngineFieldStats& per_field = field_stats_[field];
+    ++per_field.tunes;
+    if (result.from_prediction) {
       ++stats_.warm_hits;
-    else
+      ++per_field.warm_hits;
+    } else {
       ++stats_.retrains;
+      ++per_field.retrains;
+    }
     // Algorithm 3's carry rule: only a bound that satisfied the acceptance
     // band is worth warm-starting the next call with.
     if (result.feasible) bounds_->put(field, target_ratio, result.error_bound);
@@ -72,9 +77,13 @@ Status Engine::compress(const std::string& field, const ArrayView& data, Buffer&
                                         config_.tuner.epsilon, out, warm);
     if (!s.ok()) return s;
     ++stats_.compress_calls;
+    ++field_stats_[field].compress_calls;
     if (warm.in_band) {
       ++stats_.tunes;
       ++stats_.warm_hits;
+      EngineFieldStats& per_field = field_stats_[field];
+      ++per_field.tunes;
+      ++per_field.warm_hits;
       if (outcome) *outcome = CompressOutcome{cached, warm.ratio, true, false, true};
       return Status();
     }
@@ -87,6 +96,7 @@ Status Engine::compress(const std::string& field, const ArrayView& data, Buffer&
   if (!tuned.ok()) return tuned.status();
   const Status s = compress_at(tuned.value().error_bound, data, out);
   if (!s.ok()) return s;
+  ++field_stats_[field].compress_calls;
   if (outcome) {
     const double ratio =
         static_cast<double>(data.size_bytes()) / static_cast<double>(out.size());

@@ -17,6 +17,7 @@
 /// and a service treats failure as data, not as control flow.
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <utility>
 
@@ -54,6 +55,17 @@ struct EngineStats {
   std::size_t tuner_probe_calls = 0;
   /// Tuning probes the shared probe cache answered without a compression.
   std::size_t probe_cache_hits = 0;
+};
+
+/// Per-field slice of an Engine's counters, keyed by the field name handed
+/// to tune()/compress() — what a multi-field campaign reports per stream.
+/// (compress_at and decompress are field-less and tracked only in the
+/// aggregate EngineStats.)
+struct EngineFieldStats {
+  std::size_t tunes = 0;
+  std::size_t warm_hits = 0;
+  std::size_t retrains = 0;
+  std::size_t compress_calls = 0;
 };
 
 /// Per-call detail of one Engine::compress (what the archive writer records
@@ -146,12 +158,19 @@ public:
 
   const EngineStats& stats() const noexcept { return stats_; }
 
+  /// Per-field breakdown of the aggregate counters (empty until a field is
+  /// tuned or compressed through this Engine).
+  const std::map<std::string, EngineFieldStats>& field_stats() const noexcept {
+    return field_stats_;
+  }
+
 private:
   EngineConfig config_;
   pressio::CompressorPtr compressor_;
   BoundStorePtr bounds_;        ///< last feasible bound per (field, target)
   ProbeCachePtr probe_cache_;   ///< dedup cache fed to every tuning pass
   EngineStats stats_;
+  std::map<std::string, EngineFieldStats> field_stats_;
 };
 
 }  // namespace fraz

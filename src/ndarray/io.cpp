@@ -1,5 +1,6 @@
 #include "ndarray/io.hpp"
 
+#include <algorithm>
 #include <fstream>
 
 namespace fraz {
@@ -33,6 +34,33 @@ void RawFileWriter::close() {
   if (!os_.is_open()) return;
   os_.close();
   if (!os_) throw IoError("RawFileWriter: close failed for '" + path_ + "'");
+}
+
+RawFileReader::RawFileReader(const std::string& path, DType dtype, Shape shape)
+    : is_(path, std::ios::binary | std::ios::ate), path_(path), dtype_(dtype),
+      shape_(std::move(shape)) {
+  if (!is_) throw IoError("RawFileReader: cannot open '" + path + "'");
+  require(!shape_.empty() && shape_elements(shape_) > 0,
+          "RawFileReader: shape must be non-empty");
+  const auto file_size = static_cast<std::size_t>(is_.tellg());
+  plane_bytes_ = (shape_elements(shape_) / shape_[0]) * dtype_size(dtype_);
+  require(file_size == shape_elements(shape_) * dtype_size(dtype_),
+          "RawFileReader: file size does not match shape for '" + path + "'");
+  is_.seekg(0);
+}
+
+ArrayView RawFileReader::next(std::size_t max_planes) {
+  require(max_planes >= 1, "RawFileReader: max_planes must be >= 1");
+  require(planes_remaining() > 0, "RawFileReader: '" + path_ + "' is exhausted");
+  const std::size_t planes = std::min(max_planes, planes_remaining());
+  slab_.resize(planes * plane_bytes_);
+  is_.read(reinterpret_cast<char*>(slab_.data()),
+           static_cast<std::streamsize>(slab_.size()));
+  if (!is_) throw IoError("RawFileReader: short read from '" + path_ + "'");
+  planes_read_ += planes;
+  Shape slab_shape = shape_;
+  slab_shape[0] = planes;
+  return ArrayView(slab_.data(), dtype_, std::move(slab_shape));
 }
 
 NdArray read_raw(const std::string& path, DType dtype, Shape shape) {

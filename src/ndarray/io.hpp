@@ -53,6 +53,37 @@ private:
   std::size_t bytes_ = 0;
 };
 
+/// Incremental raw reader: open once, read slowest-axis plane slabs in
+/// order.  This is the input side of a streaming pack — slabs feed an
+/// archive FieldSession one chunk row at a time without the whole field
+/// ever being resident.  All methods throw IoError / InvalidArgument.
+class RawFileReader {
+public:
+  /// Open \p path and validate its size against shape × dtype size.
+  RawFileReader(const std::string& path, DType dtype, Shape shape);
+
+  RawFileReader(const RawFileReader&) = delete;
+  RawFileReader& operator=(const RawFileReader&) = delete;
+
+  const Shape& shape() const noexcept { return shape_; }
+  std::size_t planes_remaining() const noexcept { return shape_[0] - planes_read_; }
+
+  /// Read the next min(max_planes, planes_remaining()) planes into an
+  /// internal buffer and return a view shaped {k, rest...}.  The view stays
+  /// valid until the next call.  Requires max_planes >= 1 and at least one
+  /// plane remaining.
+  ArrayView next(std::size_t max_planes);
+
+private:
+  std::ifstream is_;
+  std::string path_;
+  DType dtype_;
+  Shape shape_;
+  std::size_t plane_bytes_ = 0;
+  std::size_t planes_read_ = 0;
+  std::vector<std::uint8_t> slab_;
+};
+
 }  // namespace fraz
 
 #endif  // FRAZ_NDARRAY_IO_HPP

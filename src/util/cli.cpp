@@ -10,19 +10,23 @@ namespace fraz {
 Cli::Cli(std::string description) : description_(std::move(description)) {}
 
 void Cli::add_string(const std::string& name, std::string default_value, std::string help) {
-  options_[name] = Option{Option::Kind::kString, std::move(default_value), std::move(help)};
+  options_[name] = Option{Option::Kind::kString, std::move(default_value), std::move(help), {}};
 }
 
 void Cli::add_double(const std::string& name, double default_value, std::string help) {
-  options_[name] = Option{Option::Kind::kDouble, std::to_string(default_value), std::move(help)};
+  options_[name] = Option{Option::Kind::kDouble, std::to_string(default_value), std::move(help), {}};
 }
 
 void Cli::add_int(const std::string& name, std::int64_t default_value, std::string help) {
-  options_[name] = Option{Option::Kind::kInt, std::to_string(default_value), std::move(help)};
+  options_[name] = Option{Option::Kind::kInt, std::to_string(default_value), std::move(help), {}};
 }
 
 void Cli::add_flag(const std::string& name, std::string help) {
-  options_[name] = Option{Option::Kind::kBool, "0", std::move(help)};
+  options_[name] = Option{Option::Kind::kBool, "0", std::move(help), {}};
+}
+
+void Cli::add_list(const std::string& name, std::string help) {
+  options_[name] = Option{Option::Kind::kList, "", std::move(help), {}};
 }
 
 bool Cli::parse(int argc, const char* const* argv) {
@@ -51,7 +55,10 @@ bool Cli::parse(int argc, const char* const* argv) {
         require(i + 1 < argc, "Cli: flag '--" + arg + "' requires a value");
         value = argv[++i];
       }
-      it->second.value = value;
+      if (it->second.kind == Option::Kind::kList)
+        it->second.values.push_back(value);
+      else
+        it->second.value = value;
     }
   }
   return true;
@@ -80,9 +87,17 @@ bool Cli::get_flag(const std::string& name) const {
   return find(name, Option::Kind::kBool).value != "0";
 }
 
+const std::vector<std::string>& Cli::get_list(const std::string& name) const {
+  return find(name, Option::Kind::kList).values;
+}
+
 void Cli::print_help() const {
   std::printf("%s\n\nusage: %s [flags]\n\nflags:\n", description_.c_str(), program_.c_str());
   for (const auto& [name, opt] : options_) {
+    if (opt.kind == Option::Kind::kList) {
+      std::printf("  --%-24s %s (repeatable)\n", name.c_str(), opt.help.c_str());
+      continue;
+    }
     std::printf("  --%-24s %s (default: %s)\n", name.c_str(), opt.help.c_str(),
                 opt.kind == Option::Kind::kBool ? (opt.value == "0" ? "off" : "on")
                                                 : opt.value.c_str());

@@ -28,6 +28,8 @@ public:
   void add_int(const std::string& name, std::int64_t default_value, std::string help);
   /// Register a boolean switch (present => true).
   void add_flag(const std::string& name, std::string help);
+  /// Register a repeatable string flag (each occurrence appends a value).
+  void add_list(const std::string& name, std::string help);
 
   /// Parse argv.  Returns false when --help was requested (help text printed
   /// to stdout); throws InvalidArgument on unknown or malformed flags.
@@ -37,12 +39,15 @@ public:
   double get_double(const std::string& name) const;
   std::int64_t get_int(const std::string& name) const;
   bool get_flag(const std::string& name) const;
+  /// Every value a repeatable flag received, in command-line order.
+  const std::vector<std::string>& get_list(const std::string& name) const;
 
 private:
   struct Option {
-    enum class Kind { kString, kDouble, kInt, kBool } kind;
-    std::string value;  // canonical textual value
+    enum class Kind { kString, kDouble, kInt, kBool, kList } kind;
+    std::string value;  // canonical textual value (unused for kList)
     std::string help;
+    std::vector<std::string> values;  // kList occurrences
   };
   const Option& find(const std::string& name, Option::Kind kind) const;
   void print_help() const;

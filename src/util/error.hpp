@@ -2,8 +2,10 @@
 #define FRAZ_UTIL_ERROR_HPP
 
 /// \file error.hpp
-/// Exception hierarchy shared by all fraz libraries.
+/// Exception hierarchy shared by all fraz libraries, plus the errno
+/// rendering helper every filesystem error message goes through.
 
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
@@ -48,6 +50,13 @@ namespace detail {
 /// with \p what when \p cond is false.
 inline void require(bool cond, const std::string& what) {
   if (!cond) detail::throw_invalid(what);
+}
+
+/// Render \p err the way strerror would, but never claim "Success" for a
+/// failure whose errno a C library call did not set.  Capture errno at the
+/// failing call — before any other call can clobber it — and pass it here.
+inline std::string errno_detail(int err) {
+  return err != 0 ? std::strerror(err) : "unknown I/O error";
 }
 
 }  // namespace fraz

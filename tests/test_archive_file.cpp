@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -243,6 +244,26 @@ TEST(ArchiveFile, V1ArchivesReadableThroughTheFileReader) {
     ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
     EXPECT_EQ(decoded.value().shape(), field.shape());
   }
+}
+
+TEST(ArchiveFile, SinkFailuresCarryTheOsErrorDetail) {
+  // The fwrite path must map errno into the Status message at the failing
+  // call, not whatever a later library call left behind.  A stream opened
+  // read-only makes fwrite fail deterministically with EBADF.
+  TempFiles tmp;
+  const std::string path = tmp.make("sink_errno");
+  dump(path, reinterpret_cast<const std::uint8_t*>("seed"), 4);
+  std::FILE* readonly = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(readonly, nullptr);
+  archive::detail::FileSink sink(readonly);
+  const std::uint8_t byte = 0x42;
+  const Status s = sink.append(&byte, 1);
+  std::fclose(readonly);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_NE(s.message().find(std::strerror(EBADF)), std::string::npos)
+      << "status lost the OS error detail: " << s.message();
+  EXPECT_EQ(sink.bytes_written(), 0u);
 }
 
 TEST(ArchiveFile, WriteFailureLeavesNoPartialFile) {

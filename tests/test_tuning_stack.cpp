@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 
 #include "core/probe.hpp"
 #include "core/tuner.hpp"
@@ -22,6 +23,12 @@ namespace fraz {
 namespace {
 
 using testhelpers::make_field;
+
+/// One bound-store checkpoint file, removed on scope exit.
+struct TempBoundFile {
+  std::string path = "fraz_test_bound_store.tmp";
+  ~TempBoundFile() { std::remove(path.c_str()); }
+};
 
 // ------------------------------------------------------- ask/tell stepper
 
@@ -304,6 +311,130 @@ TEST(Engine, Fig6WorkloadSpendsNoMoreProbesThanTheSeedImplementation) {
       << "unified tuning stack spends more probes than the seed implementation";
   EXPECT_GE(engine.stats().warm_hits, arrays.size() / 2)
       << "warm-start reuse regressed on a mildly drifting series";
+}
+
+TEST(ProbeCache, GenerationalEvictionRetainsHotEntries) {
+  // The clear-when-full policy dropped a long campaign's whole working set;
+  // the generational scheme must keep entries that are touched at least once
+  // per generation while still bounding the total.
+  ProbeCache cache(8);
+  cache.insert(1, 0.5, ProbeRecord{42.0, 0});
+  ProbeRecord out;
+  for (int i = 0; i < 200; ++i) {
+    cache.insert(1000 + i, 0.5, ProbeRecord{1.0 * i, 0});
+    ASSERT_TRUE(cache.lookup(1, 0.5, out)) << "hot entry evicted after insert " << i;
+    EXPECT_EQ(out.ratio, 42.0);
+  }
+  EXPECT_LE(cache.stats().entries, 8u);
+  // A cold early entry aged out; the most recent inserts are still present.
+  EXPECT_FALSE(cache.lookup(1000, 0.5, out));
+  EXPECT_TRUE(cache.lookup(1000 + 199, 0.5, out));
+}
+
+TEST(ProbeCache, OverwriteWinsAcrossGenerations) {
+  // An insert must shadow any stale copy of the same key that survived in
+  // the previous generation.
+  ProbeCache cache(4);
+  cache.insert(7, 1.0, ProbeRecord{1.0, 0});
+  for (int i = 0; i < 3; ++i) cache.insert(100 + i, 1.0, ProbeRecord{0.0, 0});
+  cache.insert(7, 1.0, ProbeRecord{2.0, 0});  // overwrite after a rotation
+  ProbeRecord out;
+  ASSERT_TRUE(cache.lookup(7, 1.0, out));
+  EXPECT_EQ(out.ratio, 2.0);
+}
+
+TEST(BoundStore, SaveLoadRoundTripsBitExactly) {
+  TempBoundFile tmp;
+  BoundStore store;
+  store.put("CLOUD", 10.0, 1.25e-3);
+  store.put("CLOUD", 20.0, 7.5e-4);
+  store.put("archive:data:chunk:3", 10.0, 0x1.fff3p-11);
+  ASSERT_TRUE(store.save(tmp.path).ok());
+
+  BoundStore restored;
+  restored.put("stale", 1.0, 0.5);  // replaced wholesale by load
+  const Status loaded = restored.load(tmp.path);
+  ASSERT_TRUE(loaded.ok()) << loaded.to_string();
+  EXPECT_EQ(restored.size(), 3u);
+  EXPECT_EQ(restored.get("stale", 1.0), 0.0);
+  EXPECT_EQ(restored.get("CLOUD", 10.0), 1.25e-3);
+  EXPECT_EQ(restored.get("CLOUD", 20.0), 7.5e-4);
+  EXPECT_EQ(restored.get("archive:data:chunk:3", 10.0), 0x1.fff3p-11);
+}
+
+TEST(BoundStore, EmptyStoreRoundTrips) {
+  // A campaign may checkpoint before any tuning (or after clear()); the
+  // empty block is a valid checkpoint, not corruption.
+  TempBoundFile tmp;
+  BoundStore empty;
+  ASSERT_TRUE(empty.save(tmp.path).ok());
+  BoundStore restored;
+  restored.put("stale", 1.0, 0.5);
+  const Status loaded = restored.load(tmp.path);
+  ASSERT_TRUE(loaded.ok()) << loaded.to_string();
+  EXPECT_EQ(restored.size(), 0u);
+}
+
+TEST(BoundStore, CorruptOrMissingFilesLoadAsStatusesNotThrows) {
+  TempBoundFile tmp;
+  BoundStore store;
+  store.put("f", 10.0, 1e-3);
+
+  // Missing file: IoError.
+  const Status missing = store.load("fraz_test_definitely_missing_bounds.tmp");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.code(), StatusCode::kIoError);
+  EXPECT_EQ(store.get("f", 10.0), 1e-3) << "failed load must not clear the store";
+
+  ASSERT_TRUE(store.save(tmp.path).ok());
+  // Corrupt every byte position in turn: load must return CorruptStream and
+  // leave the store untouched — never throw, never half-load.
+  Buffer block;
+  store.serialize(block);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    Buffer bad;
+    bad.append(block.data(), block.size());
+    bad.data()[i] ^= 0x5a;
+    BoundStore victim;
+    victim.put("keep", 2.0, 0.25);
+    const Status s = victim.deserialize(bad.data(), bad.size());
+    ASSERT_FALSE(s.ok()) << "byte " << i;
+    EXPECT_EQ(victim.get("keep", 2.0), 0.25) << "byte " << i;
+  }
+  // Truncations too.
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{4}, block.size() - 1}) {
+    BoundStore victim;
+    EXPECT_FALSE(victim.deserialize(block.data(), keep).ok()) << keep;
+  }
+}
+
+TEST(Engine, PerFieldStatsTrackEachStream) {
+  const NdArray cloud = make_field(DType::kFloat32, {24, 18});
+  const NdArray wind = make_field(DType::kFloat32, {24, 18}, 30.0);
+  Engine engine([] {
+    EngineConfig config;
+    config.compressor = "sz";
+    config.tuner.target_ratio = 5.0;
+    return config;
+  }());
+  Buffer out;
+  ASSERT_TRUE(engine.compress("CLOUD", cloud.view(), out).ok());
+  ASSERT_TRUE(engine.compress("CLOUD", cloud.view(), out).ok());
+  ASSERT_TRUE(engine.compress("WIND", wind.view(), out).ok());
+
+  const auto& per_field = engine.field_stats();
+  ASSERT_EQ(per_field.count("CLOUD"), 1u);
+  ASSERT_EQ(per_field.count("WIND"), 1u);
+  EXPECT_EQ(per_field.at("CLOUD").compress_calls, 2u);
+  EXPECT_EQ(per_field.at("WIND").compress_calls, 1u);
+  EXPECT_GE(per_field.at("CLOUD").warm_hits, 1u)
+      << "the second identical CLOUD frame should warm-start";
+  EXPECT_GE(per_field.at("WIND").retrains, 1u)
+      << "WIND is a different stream and pays its own training";
+  // The per-field slices sum to the aggregate counters.
+  std::size_t tunes = 0;
+  for (const auto& [name, stats] : per_field) tunes += stats.tunes;
+  EXPECT_EQ(tunes, engine.stats().tunes);
 }
 
 TEST(Engine, StatsSplitExecutedProbesFromCacheHits) {

@@ -11,11 +11,16 @@
 ///   pack        shard a raw binary file into a chunked, seekable archive
 ///               compressed in parallel at the target aggregate ratio
 ///               (exit 0 = aggregate ratio in the band, 2 = out of band,
-///               mirroring `tune`'s feasible/closest exit codes)
-///   unpack      reconstruct raw data from a chunked archive (whole file,
-///               --chunk i, or --range a:b over the slowest axis)
-///   info        print a chunked archive's manifest, index, and footer
-///               (--json emits the record machine-readably)
+///               mirroring `tune`'s feasible/closest exit codes).  Repeat
+///               --field NAME=PATH[:DIMS[:DTYPE]] to stream several named
+///               fields into one v3 multi-field archive — each field is
+///               pushed through an ingestion session in chunk-row slabs, so
+///               no field is ever fully resident
+///   unpack      reconstruct raw data from a chunked archive (whole field,
+///               --chunk i, or --range a:b over the slowest axis; --field
+///               NAME selects a field of a multi-field archive)
+///   info        print a chunked archive's manifest, field table, chunk
+///               index, and footer (--json emits the record machine-readably)
 ///   backends    list registered backends with their capabilities
 ///               (--json emits machine-readable capability records)
 ///
@@ -35,6 +40,7 @@
 ///   fraz decompress --input CLOUDf48.fraz --compressor sz --output out.bin
 ///   fraz inspect --input CLOUDf48.fraz
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -323,10 +329,8 @@ void parse_range(const std::string& spec, std::size_t& first, std::size_t& count
   count -= first;
 }
 
-int cmd_pack(const Cli& cli) {
-  const NdArray field = read_raw(cli.get_string("input"),
-                                 dtype_from_name(cli.get_string("dtype")),
-                                 parse_dims(cli.get_string("dims")));
+/// The pack flags shared by the single-field and multi-field paths.
+archive::ArchiveWriteConfig pack_config(const Cli& cli) {
   archive::ArchiveWriteConfig config;
   config.engine.compressor = cli.get_string("compressor");
   config.engine.tuner.target_ratio = cli.get_double("target");
@@ -336,52 +340,161 @@ int cmd_pack(const Cli& cli) {
   config.engine.tuner.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   config.chunk_extent = static_cast<std::size_t>(cli.get_int("chunk-extent"));
   config.threads = static_cast<unsigned>(cli.get_int("threads"));
+  return config;
+}
 
-  // Stream the archive straight to disk: chunks are written as their
-  // compression tasks finish, so peak memory is O(chunk x workers) — the
-  // archive itself is never resident.
-  auto writer = archive::ArchiveFileWriter::create(std::move(config));
-  if (!writer.ok()) throw_status(writer.status());
-  const auto written = writer.value().write(cli.get_string("output"), field.view());
-  if (!written.ok()) throw_status(written.status());
-  const archive::ArchiveWriteResult& r = written.value();
-
-  if (cli.get_flag("json")) {
-    std::string out = "{";
-    out += "\"output\":" + json_escape(cli.get_string("output"));
-    out += ",\"format_version\":" + std::to_string(r.format_version);
-    out += ",\"raw_bytes\":" + std::to_string(r.raw_bytes);
-    out += ",\"archive_bytes\":" + std::to_string(r.archive_bytes);
-    out += ",\"chunk_count\":" + std::to_string(r.chunk_count);
-    out += ",\"chunk_extent\":" + std::to_string(r.chunk_extent);
-    out += ",\"achieved_ratio\":" + json_number(r.achieved_ratio);
-    out += std::string(",\"in_band\":") + (r.in_band ? "true" : "false");
-    out += ",\"warm_chunks\":" + std::to_string(r.warm_chunks);
-    out += ",\"retrained_chunks\":" + std::to_string(r.retrained_chunks);
-    out += ",\"rate_fallback_chunks\":" + std::to_string(r.rate_fallback_chunks);
-    out += ",\"tuner_probe_calls\":" + std::to_string(r.tuner_probe_calls);
-    out += ",\"probe_cache_hits\":" + std::to_string(r.probe_cache_hits);
-    out += ",\"peak_buffered_chunks\":" + std::to_string(r.peak_buffered_chunks);
-    out += ",\"peak_buffered_bytes\":" + std::to_string(r.peak_buffered_bytes);
-    out += ",\"seconds\":" + json_number(r.seconds);
+/// Render a pack result (and its per-field breakdown) as JSON.
+std::string pack_json(const Cli& cli, const archive::ArchiveWriteResult& r) {
+  std::string out = "{";
+  out += "\"output\":" + json_escape(cli.get_string("output"));
+  out += ",\"format_version\":" + std::to_string(r.format_version);
+  out += ",\"raw_bytes\":" + std::to_string(r.raw_bytes);
+  out += ",\"archive_bytes\":" + std::to_string(r.archive_bytes);
+  out += ",\"chunk_count\":" + std::to_string(r.chunk_count);
+  out += ",\"chunk_extent\":" + std::to_string(r.chunk_extent);
+  out += ",\"achieved_ratio\":" + json_number(r.achieved_ratio);
+  out += std::string(",\"in_band\":") + (r.in_band ? "true" : "false");
+  out += ",\"warm_chunks\":" + std::to_string(r.warm_chunks);
+  out += ",\"retrained_chunks\":" + std::to_string(r.retrained_chunks);
+  out += ",\"rate_fallback_chunks\":" + std::to_string(r.rate_fallback_chunks);
+  out += ",\"tuner_probe_calls\":" + std::to_string(r.tuner_probe_calls);
+  out += ",\"probe_cache_hits\":" + std::to_string(r.probe_cache_hits);
+  out += ",\"peak_buffered_chunks\":" + std::to_string(r.peak_buffered_chunks);
+  out += ",\"peak_buffered_bytes\":" + std::to_string(r.peak_buffered_bytes);
+  out += ",\"peak_staged_bytes\":" + std::to_string(r.peak_staged_bytes);
+  out += ",\"fields\":[";
+  for (std::size_t i = 0; i < r.fields.size(); ++i) {
+    const archive::FieldWriteReport& f = r.fields[i];
+    if (i) out += ",";
+    out += "{\"name\":" + json_escape(f.name);
+    out += ",\"dtype\":" + json_escape(dtype_name(f.dtype));
+    out += ",\"raw_bytes\":" + std::to_string(f.raw_bytes);
+    out += ",\"payload_bytes\":" + std::to_string(f.payload_bytes);
+    out += ",\"payload_ratio\":" + json_number(f.payload_ratio);
+    out += ",\"chunk_count\":" + std::to_string(f.chunk_count);
+    out += ",\"chunk_extent\":" + std::to_string(f.chunk_extent);
+    out += ",\"warm_chunks\":" + std::to_string(f.warm_chunks);
+    out += ",\"retrained_chunks\":" + std::to_string(f.retrained_chunks);
+    out += ",\"rate_fallback_chunks\":" + std::to_string(f.rate_fallback_chunks);
     out += "}";
-    std::printf("%s\n", out.c_str());
+  }
+  out += "],\"seconds\":" + json_number(r.seconds);
+  out += "}";
+  return out;
+}
+
+int report_pack(const Cli& cli, const archive::ArchiveWriteResult& r) {
+  if (cli.get_flag("json")) {
+    std::printf("%s\n", pack_json(cli, r).c_str());
     return r.in_band ? 0 : 2;
   }
-
-  std::printf("wrote %s (format v%u): %zu -> %zu bytes in %zu chunks of %zu plane(s)\n",
+  std::printf("wrote %s (format v%u): %zu -> %zu bytes, %zu field(s)\n",
               cli.get_string("output").c_str(), static_cast<unsigned>(r.format_version),
-              r.raw_bytes, r.archive_bytes, r.chunk_count, r.chunk_extent);
+              r.raw_bytes, r.archive_bytes, r.fields.size());
+  for (const archive::FieldWriteReport& f : r.fields)
+    std::printf("  field '%s': %zu -> %zu bytes (ratio %.3f) in %zu chunks of %zu "
+                "plane(s)\n",
+                f.name.c_str(), f.raw_bytes, f.payload_bytes, f.payload_ratio,
+                f.chunk_count, f.chunk_extent);
   std::printf("aggregate ratio %.3f vs target %.3f (epsilon %.3f): %s\n",
               r.achieved_ratio, cli.get_double("target"), cli.get_double("epsilon"),
               r.in_band ? "in band" : "OUT OF BAND");
   std::printf("chunks: %zu warm, %zu retrained, %zu rate-fallback; peak %zu buffered "
-              "(%zu bytes), %.2fs\n",
+              "(%zu bytes out, %zu bytes staged in), %.2fs\n",
               r.warm_chunks, r.retrained_chunks, r.rate_fallback_chunks,
-              r.peak_buffered_chunks, r.peak_buffered_bytes, r.seconds);
+              r.peak_buffered_chunks, r.peak_buffered_bytes, r.peak_staged_bytes,
+              r.seconds);
   std::printf("tuning: %zu probes executed, %zu served by the probe cache\n",
               r.tuner_probe_calls, r.probe_cache_hits);
   return r.in_band ? 0 : 2;
+}
+
+/// One --field occurrence: NAME=PATH[:DIMS[:DTYPE]], dims/dtype defaulting
+/// to the global flags.
+struct FieldSpec {
+  std::string name;
+  std::string path;
+  Shape dims;
+  DType dtype;
+};
+
+FieldSpec parse_field_spec(const std::string& spec, const Cli& cli) {
+  const std::size_t eq = spec.find('=');
+  require(eq != std::string::npos && eq > 0 && eq + 1 < spec.size(),
+          "--field must look like NAME=PATH[:DIMS[:DTYPE]]: '" + spec + "'");
+  FieldSpec out;
+  out.name = spec.substr(0, eq);
+  std::string rest = spec.substr(eq + 1);
+  std::string dims = cli.get_string("dims");
+  std::string dtype = cli.get_string("dtype");
+  // Strip optional suffixes from the right so paths may contain colons.
+  auto last_token = [&rest]() -> std::string {
+    const std::size_t colon = rest.rfind(':');
+    return colon == std::string::npos ? std::string() : rest.substr(colon + 1);
+  };
+  if (const std::string token = last_token(); token == "f32" || token == "f64") {
+    dtype = token;
+    rest.resize(rest.rfind(':'));
+  }
+  if (const std::string token = last_token();
+      !token.empty() && token.find_first_not_of("0123456789x") == std::string::npos) {
+    dims = token;
+    rest.resize(rest.rfind(':'));
+  }
+  require(!rest.empty(), "--field is missing its path: '" + spec + "'");
+  out.path = rest;
+  out.dims = parse_dims(dims);
+  out.dtype = dtype_from_name(dtype);
+  return out;
+}
+
+/// Multi-field pack: stream every --field through an ingestion session in
+/// chunk-row-sized slabs — no field is ever fully resident, in memory terms
+/// the pack is O(chunk-row x workers) end to end.
+int cmd_pack_fields(const Cli& cli, const std::vector<std::string>& specs) {
+  auto writer = archive::ArchiveFileWriter::create(pack_config(cli));
+  if (!writer.ok()) throw_status(writer.status());
+  Status s = writer.value().begin(cli.get_string("output"));
+  if (!s.ok()) throw_status(s);
+  for (const std::string& raw_spec : specs) {
+    const FieldSpec spec = parse_field_spec(raw_spec, cli);
+    RawFileReader raw(spec.path, spec.dtype, spec.dims);
+    archive::FieldDesc desc;
+    desc.dtype = spec.dtype;
+    desc.shape = spec.dims;
+    auto session = writer.value().open_field(spec.name, desc);
+    if (!session.ok()) throw_status(session.status());
+    const std::size_t plane_bytes =
+        (shape_elements(spec.dims) / spec.dims[0]) * dtype_size(spec.dtype);
+    const std::size_t slab_planes =
+        std::max<std::size_t>(1, (4u << 20) / std::max<std::size_t>(plane_bytes, 1));
+    while (raw.planes_remaining() > 0) {
+      s = session.value().push(raw.next(slab_planes));
+      if (!s.ok()) throw_status(s);
+    }
+    const auto report = session.value().close();
+    if (!report.ok()) throw_status(report.status());
+  }
+  const auto written = writer.value().finish();
+  if (!written.ok()) throw_status(written.status());
+  return report_pack(cli, written.value());
+}
+
+int cmd_pack(const Cli& cli) {
+  if (const auto& specs = cli.get_list("field"); !specs.empty())
+    return cmd_pack_fields(cli, specs);
+
+  const NdArray field = read_raw(cli.get_string("input"),
+                                 dtype_from_name(cli.get_string("dtype")),
+                                 parse_dims(cli.get_string("dims")));
+  // Stream the archive straight to disk: chunks are written as their
+  // compression tasks finish, so peak memory is O(chunk x workers) — the
+  // archive itself is never resident.
+  auto writer = archive::ArchiveFileWriter::create(pack_config(cli));
+  if (!writer.ok()) throw_status(writer.status());
+  const auto written = writer.value().write(cli.get_string("output"), field.view());
+  if (!written.ok()) throw_status(written.status());
+  return report_pack(cli, written.value());
 }
 
 int cmd_unpack(const Cli& cli) {
@@ -389,18 +502,27 @@ int cmd_unpack(const Cli& cli) {
   // chunk payloads are fetched (mmap or buffered) as requests touch them.
   auto reader = archive::ArchiveFileReader::open(cli.get_string("input"));
   if (!reader.ok()) throw_status(reader.status());
-  const archive::ArchiveInfo& info = reader.value().info();
   const auto threads = static_cast<unsigned>(cli.get_int("threads"));
+
+  // --field selects one field of a multi-field archive; the default is the
+  // archive's first (and for v1/v2, only) field.
+  const auto& field_flags = cli.get_list("field");
+  require(field_flags.size() <= 1, "unpack takes at most one --field");
+  const std::string field_name =
+      field_flags.empty() ? reader.value().fields().front().name : field_flags[0];
+  const archive::FieldInfo* field = archive::find_field(reader.value().info(), field_name);
+  require(field != nullptr, "no field named '" + field_name + "' in the archive");
 
   const std::int64_t chunk = cli.get_int("chunk");
   const std::string range = cli.get_string("range");
   require(chunk < 0 || range.empty(), "--chunk and --range are mutually exclusive");
   if (chunk >= 0 || !range.empty()) {
     Result<NdArray> decoded = [&]() -> Result<NdArray> {
-      if (chunk >= 0) return reader.value().read_chunk(static_cast<std::size_t>(chunk));
+      if (chunk >= 0)
+        return reader.value().read_chunk(field_name, static_cast<std::size_t>(chunk));
       std::size_t first = 0, count = 0;
       parse_range(range, first, count);
-      return reader.value().read_range(first, count, threads);
+      return reader.value().read_range(field_name, first, count, threads);
     }();
     if (!decoded.ok()) throw_status(decoded.status());
     write_raw(cli.get_string("output"), decoded.value().view());
@@ -416,19 +538,19 @@ int cmd_unpack(const Cli& cli) {
   // O(raw) — the counterpart of the streaming pack.
   unsigned workers = threads == 0 ? std::thread::hardware_concurrency() : threads;
   if (workers == 0) workers = 1;
-  const std::size_t n0 = info.shape[0];
+  const std::size_t n0 = field->shape[0];
   RawFileWriter out(cli.get_string("output"));
-  for (std::size_t c = 0; c < info.chunk_count; c += workers) {
-    const std::size_t first = c * info.chunk_extent;
-    const std::size_t last = std::min(n0, (c + workers) * info.chunk_extent);
-    auto window = reader.value().read_range(first, last - first, threads);
+  for (std::size_t c = 0; c < field->chunk_count; c += workers) {
+    const std::size_t first = c * field->chunk_extent;
+    const std::size_t last = std::min(n0, (c + workers) * field->chunk_extent);
+    auto window = reader.value().read_range(field_name, first, last - first, threads);
     if (!window.ok()) throw_status(window.status());
     out.append(window.value().view());
   }
   out.close();
   std::printf("wrote %s: %zu values (%s", cli.get_string("output").c_str(),
-              shape_elements(info.shape), dtype_name(info.dtype).c_str());
-  for (std::size_t d : info.shape) std::printf(" x%zu", d);
+              shape_elements(field->shape), dtype_name(field->dtype).c_str());
+  for (std::size_t d : field->shape) std::printf(" x%zu", d);
   std::printf(")\n");
   return 0;
 }
@@ -455,7 +577,35 @@ int cmd_info(const Cli& cli) {
     out += ",\"raw_bytes\":" + std::to_string(info.raw_bytes);
     out += ",\"archive_bytes\":" + std::to_string(info.archive_bytes);
     out += ",\"achieved_ratio\":" + std::to_string(info.achieved_ratio);
-    out += ",\"chunks\":[";
+    out += ",\"field_count\":" + std::to_string(info.fields.size());
+    out += ",\"fields\":[";
+    for (std::size_t f = 0; f < info.fields.size(); ++f) {
+      const archive::FieldInfo& field = info.fields[f];
+      if (f) out += ",";
+      out += "{\"name\":" + json_escape(field.name);
+      out += ",\"compressor\":" + json_escape(field.compressor);
+      out += ",\"dtype\":" + json_escape(dtype_name(field.dtype));
+      out += ",\"shape\":[";
+      for (std::size_t d = 0; d < field.shape.size(); ++d)
+        out += (d ? "," : "") + std::to_string(field.shape[d]);
+      out += "],\"chunk_extent\":" + std::to_string(field.chunk_extent);
+      out += ",\"chunk_count\":" + std::to_string(field.chunk_count);
+      out += ",\"target_ratio\":" + std::to_string(field.target_ratio);
+      out += ",\"epsilon\":" + std::to_string(field.epsilon);
+      out += ",\"raw_bytes\":" + std::to_string(field.raw_bytes);
+      out += ",\"payload_bytes\":" + std::to_string(field.payload_bytes);
+      out += ",\"payload_ratio\":" + std::to_string(field.payload_ratio);
+      out += ",\"chunks\":[";
+      for (std::size_t i = 0; i < field.chunks.size(); ++i) {
+        const archive::ChunkEntry& c = field.chunks[i];
+        if (i) out += ",";
+        out += "{\"offset\":" + std::to_string(c.offset) +
+               ",\"size\":" + std::to_string(c.size) +
+               ",\"error_bound\":" + std::to_string(c.error_bound) + "}";
+      }
+      out += "]}";
+    }
+    out += "],\"chunks\":[";
     for (std::size_t i = 0; i < info.chunks.size(); ++i) {
       const archive::ChunkEntry& c = info.chunks[i];
       if (i) out += ",";
@@ -469,19 +619,22 @@ int cmd_info(const Cli& cli) {
   }
 
   std::printf("format version  %u\n", static_cast<unsigned>(info.version));
-  std::printf("compressor      %s\n", info.compressor.c_str());
-  std::printf("dtype           %s\n", dtype_name(info.dtype).c_str());
-  std::printf("shape          ");
-  for (std::size_t d : info.shape) std::printf(" %zu", d);
-  std::printf("\nchunking        %zu chunk(s) of %zu plane(s) along the slowest axis\n",
-              info.chunk_count, info.chunk_extent);
-  std::printf("target ratio    %.3f (epsilon %.3f)\n", info.target_ratio, info.epsilon);
+  std::printf("fields          %zu\n", info.fields.size());
   std::printf("aggregate ratio %.3f (%zu -> %zu bytes)\n", info.achieved_ratio,
               info.raw_bytes, info.archive_bytes);
-  std::printf("%-6s %-10s %-10s %s\n", "chunk", "offset", "bytes", "error_bound");
-  for (std::size_t i = 0; i < info.chunks.size(); ++i)
-    std::printf("%-6zu %-10zu %-10zu %.9g\n", i, info.chunks[i].offset,
-                info.chunks[i].size, info.chunks[i].error_bound);
+  for (const archive::FieldInfo& field : info.fields) {
+    std::printf("field '%s'      %s [%s", field.name.c_str(), field.compressor.c_str(),
+                dtype_name(field.dtype).c_str());
+    for (std::size_t d : field.shape) std::printf(" x%zu", d);
+    std::printf("], %zu chunk(s) of %zu plane(s), target %.3f (epsilon %.3f), "
+                "ratio %.3f (%zu -> %zu bytes)\n",
+                field.chunk_count, field.chunk_extent, field.target_ratio, field.epsilon,
+                field.payload_ratio, field.raw_bytes, field.payload_bytes);
+    std::printf("  %-6s %-10s %-10s %s\n", "chunk", "offset", "bytes", "error_bound");
+    for (std::size_t i = 0; i < field.chunks.size(); ++i)
+      std::printf("  %-6zu %-10zu %-10zu %.9g\n", i, field.chunks[i].offset,
+                  field.chunks[i].size, field.chunks[i].error_bound);
+  }
   return 0;
 }
 
@@ -516,12 +669,17 @@ int main(int argc, char** argv) {
     cli.add_flag("json", "tune/pack/info: emit the result as JSON");
     cli.add_int("chunk-extent", 0, "pack: slowest-axis planes per chunk (0 = auto)");
     cli.add_int("threads", 0, "pack/unpack: worker threads (0 = hardware)");
+    cli.add_list("field", "pack: NAME=PATH[:DIMS[:DTYPE]], repeatable, streams each "
+                          "field into one v3 archive; unpack: field to extract");
     cli.add_int("chunk", -1, "unpack: extract a single chunk by index");
     cli.add_string("range", "", "unpack: slowest-axis plane range first:end");
     cli.add_string("metric", "psnr", "quality: psnr|ssim");
     cli.add_double("floor", 60.0, "quality: minimum acceptable metric value");
     if (!cli.parse(argc - 1, argv + 1)) return 0;
-    require(!cli.get_string("input").empty(), "--input is required");
+    // Multi-field pack names its inputs per --field; everything else reads
+    // one --input file.
+    const bool multi_field_pack = subcommand == "pack" && !cli.get_list("field").empty();
+    require(multi_field_pack || !cli.get_string("input").empty(), "--input is required");
 
     if (subcommand == "tune") return cmd_tune(cli);
     if (subcommand == "quality") return cmd_quality(cli);
