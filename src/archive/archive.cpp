@@ -102,10 +102,6 @@ void ArchiveWriter::cancel() noexcept {
 
 // ------------------------------------------------------------------- reader
 
-ArchiveReader::ArchiveReader(const std::uint8_t* data, std::size_t size,
-                             ArchiveInfo info, std::vector<Engine> engines)
-    : data_(data), size_(size), info_(std::move(info)), engines_(std::move(engines)) {}
-
 Result<ArchiveReader> ArchiveReader::open(const std::uint8_t* data,
                                           std::size_t size) noexcept {
   try {
@@ -114,107 +110,51 @@ Result<ArchiveReader> ArchiveReader::open(const std::uint8_t* data,
     ArchiveInfo info =
         parse_manifest(data + footer.manifest_offset, footer.manifest_size, footer);
 
-    // One serial-path Engine per field, created eagerly so an archive whose
-    // backend is not registered fails open(), not the first read.
-    std::vector<Engine> engines;
-    engines.reserve(info.fields.size());
-    for (const FieldInfo& field : info.fields) {
-      EngineConfig engine_config;
-      engine_config.compressor = field.compressor;
-      auto engine = Engine::create(std::move(engine_config));
-      if (!engine.ok()) return engine.status();
-      engines.push_back(std::move(engine).value());
-    }
-    return ArchiveReader(data, size, std::move(info), std::move(engines));
+    // ReaderCore creates one serial-path Engine per field eagerly, so an
+    // archive whose backend is not registered fails open(), not the first
+    // read.
+    auto core = detail::ReaderCore::create(std::move(info));
+    if (!core.ok()) return core.status();
+    return ArchiveReader(data, size, std::move(core).value());
   } catch (...) {
     return status_from_current_exception();
   }
-}
-
-Result<std::size_t> ArchiveReader::field_index(const std::string& name) const noexcept {
-  if (const FieldInfo* field = find_field(info_, name))
-    return static_cast<std::size_t>(field - info_.fields.data());
-  return Status::invalid_argument("archive: no field named '" + name + "'");
 }
 
 Shape ArchiveReader::chunk_shape(std::size_t i) const {
-  return detail::chunk_shape(info_.fields.front(), i);
+  return core_.shape_of_chunk(std::size_t{0}, i);
 }
 
 Shape ArchiveReader::chunk_shape(const std::string& field, std::size_t i) const {
-  const FieldInfo* f = find_field(info_, field);
-  require(f != nullptr, "archive: no field named '" + field + "'");
-  return detail::chunk_shape(*f, i);
-}
-
-Result<NdArray> ArchiveReader::read_field_chunk(std::size_t field,
-                                                std::size_t i) noexcept {
-  try {
-    const FieldInfo& f = info_.fields[field];
-    if (i >= f.chunk_count)
-      return Status::invalid_argument("archive: chunk index out of range");
-    const detail::MemorySource source(data_, size_);
-    return detail::decode_chunk(engines_[field], source, f, info_.chunk_region, i,
-                                scratch_);
-  } catch (...) {
-    return status_from_current_exception();
-  }
-}
-
-Result<NdArray> ArchiveReader::read_field_range(std::size_t field, std::size_t first,
-                                                std::size_t count,
-                                                unsigned threads) noexcept {
-  try {
-    const FieldInfo& f = info_.fields[field];
-    const std::size_t n0 = f.shape[0];
-    if (count == 0 || first >= n0 || count > n0 - first)
-      return Status::invalid_argument("archive: plane range out of bounds");
-    Shape out_shape = f.shape;
-    out_shape[0] = count;
-    NdArray out(f.dtype, std::move(out_shape));
-    const detail::MemorySource source(data_, size_);
-    const Status s = detail::read_planes(source, f, info_.chunk_region, engines_[field],
-                                         scratch_, first, count, threads, out);
-    if (!s.ok()) return s;
-    return out;
-  } catch (...) {
-    return status_from_current_exception();
-  }
+  return core_.shape_of_chunk(field, i);
 }
 
 Result<NdArray> ArchiveReader::read_chunk(std::size_t i) noexcept {
-  return read_field_chunk(0, i);
+  return core_.read_chunk(source_, std::size_t{0}, i);
 }
 
 Result<NdArray> ArchiveReader::read_chunk(const std::string& field,
                                           std::size_t i) noexcept {
-  const Result<std::size_t> index = field_index(field);
-  if (!index.ok()) return index.status();
-  return read_field_chunk(index.value(), i);
+  return core_.read_chunk(source_, field, i);
 }
 
 Result<NdArray> ArchiveReader::read_range(std::size_t first, std::size_t count,
                                           unsigned threads) noexcept {
-  return read_field_range(0, first, count, threads);
+  return core_.read_range(source_, std::size_t{0}, first, count, threads);
 }
 
 Result<NdArray> ArchiveReader::read_range(const std::string& field, std::size_t first,
                                           std::size_t count, unsigned threads) noexcept {
-  const Result<std::size_t> index = field_index(field);
-  if (!index.ok()) return index.status();
-  return read_field_range(index.value(), first, count, threads);
+  return core_.read_range(source_, field, first, count, threads);
 }
 
 Result<NdArray> ArchiveReader::read_all(unsigned threads) noexcept {
-  return read_field_range(0, 0, info_.fields.front().shape[0], threads);
+  return core_.read_all(source_, std::size_t{0}, threads);
 }
 
 Result<NdArray> ArchiveReader::read_all(const std::string& field,
                                         unsigned threads) noexcept {
-  const Result<std::size_t> index = field_index(field);
-  if (!index.ok()) return index.status();
-  return read_field_range(index.value(), 0, info_.fields[index.value()].shape[0],
-                          threads);
+  return core_.read_all(source_, field, threads);
 }
 
 }  // namespace fraz::archive

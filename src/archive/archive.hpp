@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "archive/format.hpp"
+#include "archive/reader_core.hpp"
 #include "engine/engine.hpp"
 #include "ndarray/ndarray.hpp"
 #include "util/buffer.hpp"
@@ -286,6 +287,10 @@ public:
   /// partial, unreadable archive).  No-op when no build is active.
   void cancel() noexcept;
 
+  /// The writer's persistent per-(field, chunk) warm-bound store — the state
+  /// worth saving between tuning-campaign runs (see BoundStore::save/load).
+  const BoundStorePtr& bound_store() const noexcept { return state_->bounds; }
+
 private:
   ArchiveWriteConfig config_;
   /// Heap-allocated so sessions and assemblers can hold stable references
@@ -306,10 +311,10 @@ public:
   /// Validate manifest + footer and build the chunk index.
   static Result<ArchiveReader> open(const std::uint8_t* data, std::size_t size) noexcept;
 
-  const ArchiveInfo& info() const noexcept { return info_; }
+  const ArchiveInfo& info() const noexcept { return core_.info(); }
 
   /// Field table of the archive (one synthesized entry for v1/v2).
-  const std::vector<FieldInfo>& fields() const noexcept { return info_.fields; }
+  const std::vector<FieldInfo>& fields() const noexcept { return core_.fields(); }
 
   /// Shape of chunk \p i ({extent_i, rest...}; the last chunk may be short).
   Shape chunk_shape(std::size_t i) const;
@@ -335,19 +340,12 @@ public:
                              std::size_t count, unsigned threads = 1) noexcept;
 
 private:
-  ArchiveReader(const std::uint8_t* data, std::size_t size, ArchiveInfo info,
-                std::vector<Engine> engines);
+  ArchiveReader(const std::uint8_t* data, std::size_t size,
+                detail::ReaderCore core) noexcept
+      : source_(data, size), core_(std::move(core)) {}
 
-  Result<std::size_t> field_index(const std::string& name) const noexcept;
-  Result<NdArray> read_field_range(std::size_t field, std::size_t first,
-                                   std::size_t count, unsigned threads) noexcept;
-  Result<NdArray> read_field_chunk(std::size_t field, std::size_t i) noexcept;
-
-  const std::uint8_t* data_;
-  std::size_t size_;
-  ArchiveInfo info_;
-  std::vector<Engine> engines_;  ///< serial decode path, one per field
-  Buffer scratch_;               ///< fetch scratch for the serial path
+  detail::MemorySource source_;  ///< zero-copy view of the caller's bytes
+  detail::ReaderCore core_;      ///< shared per-field read dispatch
 };
 
 }  // namespace fraz::archive

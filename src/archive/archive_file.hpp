@@ -107,6 +107,10 @@ public:
   /// No-op when no build is active.
   void cancel() noexcept;
 
+  /// The writer's persistent per-(field, chunk) warm-bound store — the state
+  /// worth saving between tuning-campaign runs (see BoundStore::save/load).
+  const BoundStorePtr& bound_store() const noexcept { return state_->bounds; }
+
 private:
   struct Build;
 
@@ -138,13 +142,18 @@ public:
   ArchiveFileReader& operator=(ArchiveFileReader&&) noexcept;
   ~ArchiveFileReader();
 
-  const ArchiveInfo& info() const noexcept { return info_; }
+  const ArchiveInfo& info() const noexcept { return core_.info(); }
 
   /// Field table of the archive (one synthesized entry for v1/v2).
-  const std::vector<FieldInfo>& fields() const noexcept { return info_.fields; }
+  const std::vector<FieldInfo>& fields() const noexcept { return core_.fields(); }
 
   /// True when this reader serves fetches through an mmap'd view.
   bool mapped() const noexcept;
+
+  /// The reader's positioned-read source (mmap'd view or positioned reads).
+  /// Thread-safe for concurrent fetches; this is what lets serve::ReaderPool
+  /// decode chunks from many threads over one open file.
+  const detail::ChunkSource& chunk_source() const noexcept;
 
   /// Shape of chunk \p i ({extent_i, rest...}; the last chunk may be short).
   Shape chunk_shape(std::size_t i) const;
@@ -168,18 +177,11 @@ public:
                              std::size_t count, unsigned threads = 1) noexcept;
 
 private:
-  ArchiveFileReader(std::unique_ptr<detail::FileSource> source, ArchiveInfo info,
-                    std::vector<Engine> engines);
+  ArchiveFileReader(std::unique_ptr<detail::FileSource> source,
+                    detail::ReaderCore core) noexcept;
 
-  Result<std::size_t> field_index(const std::string& name) const noexcept;
-  Result<NdArray> read_field_range(std::size_t field, std::size_t first,
-                                   std::size_t count, unsigned threads) noexcept;
-  Result<NdArray> read_field_chunk(std::size_t field, std::size_t i) noexcept;
-
-  std::unique_ptr<detail::FileSource> source_;
-  ArchiveInfo info_;
-  std::vector<Engine> engines_;  ///< serial decode path, one per field
-  Buffer scratch_;               ///< fetch scratch for the serial path
+  std::unique_ptr<detail::FileSource> source_;  ///< mmap or positioned reads
+  detail::ReaderCore core_;                     ///< shared per-field read dispatch
 };
 
 }  // namespace fraz::archive

@@ -2,14 +2,12 @@
 #define FRAZ_ARCHIVE_PIPELINE_HPP
 
 /// \file pipeline.hpp
-/// The transport-independent core of `fraz::archive`: one push-based
-/// archive assembler every writer shares and one chunk-decode core every
-/// reader shares.  Transports supply two small adapters —
-///
-///  - a `ByteSink` the writer appends the archive to (a growable Buffer for
-///    the in-memory transport, a FILE* for the streaming file transport);
-///  - a `ChunkSource` the reader fetches positioned byte ranges from (a raw
-///    pointer, an mmap'd view, or buffered positioned reads).
+/// The transport-independent write core of `fraz::archive`: the push-based
+/// archive assembler every writer shares.  Transports supply one small
+/// adapter — a `ByteSink` the writer appends the archive to (a growable
+/// Buffer for the in-memory transport, a FILE* for the streaming file
+/// transport).  The matching read-side core (`ChunkSource` + `ReaderCore`)
+/// lives in `archive/reader_core.hpp`.
 ///
 /// The assembler is the engine behind both the push-based FieldSession API
 /// and the `write(ArrayView)` compatibility wrapper: callers push slabs, the
@@ -148,53 +146,6 @@ private:
 Result<ArchiveWriteResult> write_archive(const ArchiveWriteConfig& config,
                                          WriterWarmState& state, const ArrayView& data,
                                          ByteSink& sink);
-
-/// Positioned-read abstraction of one archive's bytes.
-class ChunkSource {
-public:
-  virtual ~ChunkSource() = default;
-  /// Return a pointer to \p size bytes at absolute offset \p offset.
-  /// Zero-copy transports ignore \p scratch and return into their own
-  /// storage; buffered transports fill \p scratch and return its data.  The
-  /// pointer stays valid until the next fetch through the same scratch.
-  /// Throws CorruptStream (range) or IoError (transport failure).
-  virtual const std::uint8_t* fetch(std::size_t offset, std::size_t size,
-                                    Buffer& scratch) const = 0;
-};
-
-/// Zero-copy source over bytes already in memory.
-class MemorySource final : public ChunkSource {
-public:
-  MemorySource(const std::uint8_t* data, std::size_t size) noexcept
-      : data_(data), size_(size) {}
-  const std::uint8_t* fetch(std::size_t offset, std::size_t size,
-                            Buffer& scratch) const override;
-
-private:
-  const std::uint8_t* data_;
-  std::size_t size_;
-};
-
-/// Shape of chunk \p i of \p field ({extent_i, rest...}; last chunk short).
-Shape chunk_shape(const FieldInfo& field, std::size_t i);
-
-/// Validate chunk \p i's CRC and decode it (throwing helper shared by every
-/// reader).  \p chunk_region is the archive's chunk-region base offset;
-/// \p scratch backs the fetch for buffered transports.
-NdArray decode_chunk(Engine& engine, const ChunkSource& source, const FieldInfo& field,
-                     std::size_t chunk_region, std::size_t i, Buffer& scratch);
-
-/// Decode the slowest-axis planes [first, first + count) of \p field into
-/// \p out (whose shape must already be {count, rest...}), touching and
-/// validating only the chunks that cover the range.  \p threads > 1 decodes
-/// the touched chunks in parallel, one Engine per worker, each writing its
-/// disjoint plane window of \p out; \p serial_engine serves the
-/// single-threaded path.  Backs both read_all (first = 0, count = n0) and
-/// read_range for every field.
-Status read_planes(const ChunkSource& source, const FieldInfo& field,
-                   std::size_t chunk_region, Engine& serial_engine,
-                   Buffer& serial_scratch, std::size_t first, std::size_t count,
-                   unsigned threads, NdArray& out) noexcept;
 
 }  // namespace fraz::archive::detail
 

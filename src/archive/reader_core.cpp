@@ -1,0 +1,225 @@
+#include "archive/reader_core.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "codec/checksum.hpp"
+#include "opt/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace fraz::archive::detail {
+
+namespace {
+
+unsigned resolve_workers(unsigned requested, std::size_t tasks) {
+  unsigned w = requested == 0 ? std::thread::hardware_concurrency() : requested;
+  if (w == 0) w = 1;
+  return static_cast<unsigned>(std::min<std::size_t>(w, tasks));
+}
+
+}  // namespace
+
+const std::uint8_t* MemorySource::fetch(std::size_t offset, std::size_t size,
+                                        Buffer& scratch) const {
+  (void)scratch;
+  if (offset > size_ || size > size_ - offset)
+    throw CorruptStream("archive: read beyond the end of the archive");
+  return data_ + offset;
+}
+
+Shape chunk_shape(const FieldInfo& field, std::size_t i) {
+  require(i < field.chunk_count, "archive: chunk index out of range");
+  Shape shape = field.shape;
+  shape[0] = std::min(field.chunk_extent, field.shape[0] - i * field.chunk_extent);
+  return shape;
+}
+
+NdArray decode_chunk(Engine& engine, const ChunkSource& source, const FieldInfo& field,
+                     std::size_t chunk_region, std::size_t i, Buffer& scratch) {
+  const ChunkEntry& entry = field.chunks[i];
+  const std::uint8_t* chunk =
+      source.fetch(chunk_region + entry.offset, entry.size, scratch);
+  if (crc32(chunk, entry.size) != entry.crc)
+    throw CorruptStream("archive: chunk " + std::to_string(i) + " failed its checksum");
+  Result<NdArray> decoded = engine.decompress(chunk, entry.size);
+  if (!decoded.ok())
+    throw CorruptStream("archive: chunk " + std::to_string(i) + ": " +
+                        decoded.status().to_string());
+  if (decoded.value().dtype() != field.dtype ||
+      decoded.value().shape() != chunk_shape(field, i))
+    throw CorruptStream("archive: chunk " + std::to_string(i) +
+                        " decoded to an unexpected shape");
+  return std::move(decoded).value();
+}
+
+Status read_planes(const ChunkSource& source, const FieldInfo& field,
+                   std::size_t chunk_region, Engine& serial_engine,
+                   Buffer& serial_scratch, std::size_t first, std::size_t count,
+                   unsigned threads, NdArray& out) noexcept {
+  try {
+    const std::size_t n0 = field.shape[0];
+    const std::size_t plane_bytes =
+        (shape_elements(field.shape) / n0) * dtype_size(field.dtype);
+    const std::size_t extent = field.chunk_extent;
+    const std::size_t first_chunk = first / extent;
+    const std::size_t last_chunk = (first + count - 1) / extent;
+    const std::size_t touched = last_chunk - first_chunk + 1;
+
+    auto emplace = [&](Engine& engine, Buffer& scratch, std::size_t c) {
+      const NdArray chunk = decode_chunk(engine, source, field, chunk_region, c, scratch);
+      const std::size_t chunk_first = c * extent;
+      const std::size_t lo = std::max(first, chunk_first);
+      const std::size_t hi = std::min(first + count, chunk_first + chunk.shape()[0]);
+      std::memcpy(static_cast<std::uint8_t*>(out.data()) + (lo - first) * plane_bytes,
+                  static_cast<const std::uint8_t*>(chunk.data()) +
+                      (lo - chunk_first) * plane_bytes,
+                  (hi - lo) * plane_bytes);
+    };
+
+    const unsigned workers = resolve_workers(threads, touched);
+    if (threads == 1 || workers <= 1) {
+      for (std::size_t c = first_chunk; c <= last_chunk; ++c)
+        emplace(serial_engine, serial_scratch, c);
+      return Status();
+    }
+
+    // Parallel decode: touched chunks write disjoint plane windows of `out`,
+    // so the only coordination needed is the shared chunk counter.
+    std::vector<Status> statuses(touched);
+    std::atomic<std::size_t> next{0};
+    auto drain = [&] {
+      EngineConfig config;
+      config.compressor = field.compressor;
+      auto created = Engine::create(std::move(config));
+      std::size_t t;
+      if (!created.ok()) {
+        while ((t = next.fetch_add(1)) < touched) statuses[t] = created.status();
+        return;
+      }
+      Engine engine = std::move(created).value();
+      Buffer scratch;
+      while ((t = next.fetch_add(1)) < touched) {
+        try {
+          emplace(engine, scratch, first_chunk + t);
+        } catch (...) {
+          statuses[t] = status_from_current_exception();
+        }
+      }
+    };
+    {
+      ThreadPool pool(workers);
+      std::vector<std::future<void>> done;
+      done.reserve(workers);
+      for (unsigned w = 0; w < workers; ++w) done.push_back(pool.submit(drain));
+      for (auto& f : done) f.get();
+    }
+    for (const Status& s : statuses)
+      if (!s.ok()) return s;
+    return Status();
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+// --------------------------------------------------------------- ReaderCore
+
+Result<ReaderCore> ReaderCore::create(ArchiveInfo info) noexcept {
+  try {
+    std::vector<Engine> engines;
+    engines.reserve(info.fields.size());
+    for (const FieldInfo& field : info.fields) {
+      EngineConfig engine_config;
+      engine_config.compressor = field.compressor;
+      auto engine = Engine::create(std::move(engine_config));
+      if (!engine.ok()) return engine.status();
+      engines.push_back(std::move(engine).value());
+    }
+    return ReaderCore(std::move(info), std::move(engines));
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<std::size_t> ReaderCore::field_index(const std::string& name) const noexcept {
+  if (const FieldInfo* field = find_field(info_, name))
+    return static_cast<std::size_t>(field - info_.fields.data());
+  return Status::invalid_argument("archive: no field named '" + name + "'");
+}
+
+Shape ReaderCore::shape_of_chunk(std::size_t field, std::size_t i) const {
+  require(field < info_.fields.size(), "archive: field index out of range");
+  return chunk_shape(info_.fields[field], i);
+}
+
+Shape ReaderCore::shape_of_chunk(const std::string& field, std::size_t i) const {
+  const FieldInfo* f = find_field(info_, field);
+  require(f != nullptr, "archive: no field named '" + field + "'");
+  return chunk_shape(*f, i);
+}
+
+Result<NdArray> ReaderCore::read_chunk(const ChunkSource& source, std::size_t field,
+                                       std::size_t i) noexcept {
+  try {
+    const FieldInfo& f = info_.fields[field];
+    if (i >= f.chunk_count)
+      return Status::invalid_argument("archive: chunk index out of range");
+    return decode_chunk(engines_[field], source, f, info_.chunk_region, i, scratch_);
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<NdArray> ReaderCore::read_chunk(const ChunkSource& source,
+                                       const std::string& field,
+                                       std::size_t i) noexcept {
+  const Result<std::size_t> index = field_index(field);
+  if (!index.ok()) return index.status();
+  return read_chunk(source, index.value(), i);
+}
+
+Result<NdArray> ReaderCore::read_range(const ChunkSource& source, std::size_t field,
+                                       std::size_t first, std::size_t count,
+                                       unsigned threads) noexcept {
+  try {
+    const FieldInfo& f = info_.fields[field];
+    const std::size_t n0 = f.shape[0];
+    if (count == 0 || first >= n0 || count > n0 - first)
+      return Status::invalid_argument("archive: plane range out of bounds");
+    Shape out_shape = f.shape;
+    out_shape[0] = count;
+    NdArray out(f.dtype, std::move(out_shape));
+    const Status s = read_planes(source, f, info_.chunk_region, engines_[field],
+                                 scratch_, first, count, threads, out);
+    if (!s.ok()) return s;
+    return out;
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<NdArray> ReaderCore::read_range(const ChunkSource& source,
+                                       const std::string& field, std::size_t first,
+                                       std::size_t count, unsigned threads) noexcept {
+  const Result<std::size_t> index = field_index(field);
+  if (!index.ok()) return index.status();
+  return read_range(source, index.value(), first, count, threads);
+}
+
+Result<NdArray> ReaderCore::read_all(const ChunkSource& source, std::size_t field,
+                                     unsigned threads) noexcept {
+  return read_range(source, field, 0, info_.fields[field].shape[0], threads);
+}
+
+Result<NdArray> ReaderCore::read_all(const ChunkSource& source,
+                                     const std::string& field,
+                                     unsigned threads) noexcept {
+  const Result<std::size_t> index = field_index(field);
+  if (!index.ok()) return index.status();
+  return read_all(source, index.value(), threads);
+}
+
+}  // namespace fraz::archive::detail

@@ -1,0 +1,120 @@
+#include "serve/chunk_cache.hpp"
+
+#include <atomic>
+
+namespace fraz::serve {
+
+ChunkCache::ChunkCache(std::size_t byte_budget)
+    : byte_budget_(byte_budget), generation_budget_(byte_budget / 2) {}
+
+std::uint64_t ChunkCache::next_archive_id() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::size_t ChunkCache::bytes_of(const Generation& generation) noexcept {
+  std::size_t total = 0;
+  for (const auto& [key, chunk] : generation) total += chunk->size_bytes();
+  return total;
+}
+
+void ChunkCache::rotate_if_full_locked(std::size_t incoming_bytes) const {
+  if (current_bytes_ + incoming_bytes <= generation_budget_) return;
+  previous_ = std::move(current_);
+  previous_bytes_ = current_bytes_;
+  current_.clear();
+  current_bytes_ = 0;
+  ++rotations_;
+}
+
+std::shared_ptr<const NdArray> ChunkCache::lookup(const ChunkKey& key) const noexcept {
+  std::lock_guard lock(mutex_);
+  auto it = current_.find(key);
+  if (it == current_.end()) {
+    const auto prev = previous_.find(key);
+    if (prev == previous_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    // Hot again — promote so the next rotation cannot drop it.
+    std::shared_ptr<const NdArray> chunk = prev->second;
+    previous_bytes_ -= chunk->size_bytes();
+    previous_.erase(prev);
+    rotate_if_full_locked(chunk->size_bytes());
+    it = current_.emplace(key, std::move(chunk)).first;
+    current_bytes_ += it->second->size_bytes();
+  }
+  ++hits_;
+  return it->second;
+}
+
+bool ChunkCache::contains(const ChunkKey& key) const noexcept {
+  std::lock_guard lock(mutex_);
+  return current_.count(key) != 0 || previous_.count(key) != 0;
+}
+
+void ChunkCache::insert(const ChunkKey& key, std::shared_ptr<const NdArray> chunk) {
+  if (!chunk) return;
+  const std::size_t bytes = chunk->size_bytes();
+  std::lock_guard lock(mutex_);
+  // A chunk that alone overflows a generation would evict everything and
+  // then be dropped on the next rotation anyway; skip it outright (and a
+  // zero budget makes every chunk uncacheable — caching disabled).
+  if (bytes > generation_budget_) {
+    ++uncacheable_;
+    return;
+  }
+  // Rotate first, then purge: one key must never live in both generations
+  // (a rotation could carry a stale copy into previous_, where it would
+  // shadow a fresh decode after the next rotation).
+  rotate_if_full_locked(bytes);
+  const auto prev = previous_.find(key);
+  if (prev != previous_.end()) {
+    previous_bytes_ -= prev->second->size_bytes();
+    previous_.erase(prev);
+  }
+  const auto cur = current_.find(key);
+  if (cur != current_.end()) {
+    current_bytes_ -= cur->second->size_bytes();
+    cur->second = std::move(chunk);
+  } else {
+    current_.emplace(key, std::move(chunk));
+  }
+  current_bytes_ += bytes;
+}
+
+void ChunkCache::erase_archive(std::uint64_t archive) noexcept {
+  std::lock_guard lock(mutex_);
+  for (Generation* generation : {&current_, &previous_}) {
+    for (auto it = generation->begin(); it != generation->end();) {
+      if (it->first.archive == archive)
+        it = generation->erase(it);
+      else
+        ++it;
+    }
+  }
+  current_bytes_ = bytes_of(current_);
+  previous_bytes_ = bytes_of(previous_);
+}
+
+void ChunkCache::clear() noexcept {
+  std::lock_guard lock(mutex_);
+  current_.clear();
+  previous_.clear();
+  current_bytes_ = 0;
+  previous_bytes_ = 0;
+}
+
+ChunkCache::Stats ChunkCache::stats() const noexcept {
+  std::lock_guard lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.entries = current_.size() + previous_.size();
+  stats.resident_bytes = current_bytes_ + previous_bytes_;
+  stats.rotations = rotations_;
+  stats.uncacheable = uncacheable_;
+  return stats;
+}
+
+}  // namespace fraz::serve

@@ -1,0 +1,134 @@
+#ifndef FRAZ_SERVE_CHUNK_CACHE_HPP
+#define FRAZ_SERVE_CHUNK_CACHE_HPP
+
+/// \file chunk_cache.hpp
+/// Shared decoded-chunk cache of the serve subsystem.
+///
+/// Serving workloads are decode-bound (SZx, PAPERS.md): when many clients
+/// slice the same archive, the first-order win is paying each chunk's
+/// decompression once and handing every later reader the decoded planes.
+/// ChunkCache holds decoded chunks as shared immutable arrays keyed by
+/// (archive-id, field, chunk), bounded by a byte budget under the same
+/// deterministic two-generation scheme ProbeCache uses for probe records:
+/// entries land in a *current* generation; when that generation reaches half
+/// the budget it becomes the *previous* generation (dropping whatever the old
+/// previous one held), and a hit in the previous generation promotes the
+/// entry back into the current one.  A chunk touched at least once per
+/// generation survives indefinitely; cold chunks age out two generations
+/// after their last touch.  Eviction is driven purely by the insert/promote
+/// sequence — never by wall-clock time — so a replayed request sequence
+/// evicts identically, which is what makes cache behaviour testable.
+///
+/// Entries are `shared_ptr<const NdArray>`: eviction never invalidates a
+/// reader mid-copy, it only drops the cache's reference.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "ndarray/ndarray.hpp"
+
+namespace fraz::serve {
+
+/// Identity of one decoded chunk: which open archive (ReaderPool instance),
+/// which field, which chunk.  Archive ids come from ChunkCache::next_archive_id
+/// so two pools over the same path never alias each other's entries.
+struct ChunkKey {
+  std::uint64_t archive = 0;
+  std::uint32_t field = 0;
+  std::uint64_t chunk = 0;
+
+  bool operator==(const ChunkKey& other) const noexcept {
+    return archive == other.archive && field == other.field && chunk == other.chunk;
+  }
+};
+
+struct ChunkKeyHash {
+  std::size_t operator()(const ChunkKey& key) const noexcept {
+    // splitmix64-style mix of the three coordinates.
+    std::uint64_t h = key.archive * 0x9e3779b97f4a7c15ull;
+    h ^= (static_cast<std::uint64_t>(key.field) + 0xbf58476d1ce4e5b9ull) * 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    h ^= (key.chunk + 0x9e3779b97f4a7c15ull) * 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 29;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Thread-safe byte-budgeted cache of decoded chunks (see file comment for
+/// the two-generation eviction contract).  A byte budget of 0 disables
+/// caching entirely — every lookup misses, every insert is dropped — which
+/// is how the bench measures the cold decode-per-call floor.
+class ChunkCache {
+public:
+  /// \param byte_budget total decoded bytes the cache may hold (both
+  /// generations together).  Each generation holds half; a single chunk
+  /// larger than half the budget is uncacheable and silently skipped
+  /// (counted in stats().uncacheable).
+  explicit ChunkCache(std::size_t byte_budget = kDefaultByteBudget);
+
+  static constexpr std::size_t kDefaultByteBudget = 256ull << 20;  ///< 256 MiB
+
+  /// Process-unique archive id for a new ReaderPool.
+  static std::uint64_t next_archive_id() noexcept;
+
+  /// The decoded chunk for \p key, or nullptr on miss.  A hit in the
+  /// previous generation promotes the entry into the current one.
+  std::shared_ptr<const NdArray> lookup(const ChunkKey& key) const noexcept;
+
+  /// True when \p key is resident (either generation).  A pure peek: no
+  /// promotion, no hit/miss accounting — prefetchers use this to skip work
+  /// without skewing stats or pinning entries.
+  bool contains(const ChunkKey& key) const noexcept;
+
+  /// Insert a decoded chunk (overwrites an identical key).  Chunks at or
+  /// above the per-generation budget are not cached.
+  void insert(const ChunkKey& key, std::shared_ptr<const NdArray> chunk);
+
+  /// Drop every entry of \p archive (a ReaderPool closing).
+  void erase_archive(std::uint64_t archive) noexcept;
+
+  void clear() noexcept;
+
+  std::size_t byte_budget() const noexcept { return byte_budget_; }
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t entries = 0;         ///< resident chunks, both generations
+    std::size_t resident_bytes = 0;  ///< decoded bytes held, both generations
+    std::size_t rotations = 0;       ///< generation turnovers so far
+    std::size_t uncacheable = 0;     ///< inserts skipped as larger than a generation
+  };
+  Stats stats() const noexcept;
+
+private:
+  using Generation =
+      std::unordered_map<ChunkKey, std::shared_ptr<const NdArray>, ChunkKeyHash>;
+
+  /// Rotate once current_ has filled its half-budget: current_ becomes
+  /// previous_ (dropping the old previous_ and its bytes).
+  void rotate_if_full_locked(std::size_t incoming_bytes) const;
+  static std::size_t bytes_of(const Generation& generation) noexcept;
+
+  mutable std::mutex mutex_;
+  // lookup() promotes hot entries, so both generations mutate under a const
+  // interface; the mutex makes that promotion safe.
+  mutable Generation current_;
+  mutable Generation previous_;
+  mutable std::size_t current_bytes_ = 0;
+  mutable std::size_t previous_bytes_ = 0;
+  std::size_t byte_budget_;
+  std::size_t generation_budget_;  ///< max bytes per generation (half the total)
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+  mutable std::size_t rotations_ = 0;
+  mutable std::size_t uncacheable_ = 0;
+};
+
+using ChunkCachePtr = std::shared_ptr<ChunkCache>;
+
+}  // namespace fraz::serve
+
+#endif  // FRAZ_SERVE_CHUNK_CACHE_HPP

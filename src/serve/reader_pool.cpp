@@ -1,0 +1,325 @@
+#include "serve/reader_pool.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "archive/reader_core.hpp"
+#include "opt/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace fraz::serve {
+
+using archive::ArchiveFileReader;
+using archive::FieldInfo;
+
+// --------------------------------------------------------------- ReaderPool
+
+ReaderPool::ReaderPool(ArchiveFileReader reader, ReaderPoolConfig config,
+                       ChunkCachePtr cache)
+    : reader_(std::move(reader)),
+      config_(std::move(config)),
+      cache_(std::move(cache)),
+      archive_id_(ChunkCache::next_archive_id()),
+      free_contexts_(reader_.fields().size()) {}
+
+ReaderPool::~ReaderPool() {
+  // Prefetch tasks hold shared_ptr ownership, so none can be running here;
+  // retire this pool's cache entries so a shared cache does not carry dead
+  // archives.
+  cache_->erase_archive(archive_id_);
+}
+
+Result<std::shared_ptr<ReaderPool>> ReaderPool::open(const std::string& path,
+                                                     ReaderPoolConfig config) noexcept {
+  try {
+    auto reader = ArchiveFileReader::open(path, config.mode);
+    if (!reader.ok()) return reader.status();
+    ChunkCachePtr cache = config.cache;
+    if (!cache) cache = std::make_shared<ChunkCache>(config.cache_bytes);
+    return std::shared_ptr<ReaderPool>(
+        new ReaderPool(std::move(reader).value(), std::move(config), std::move(cache)));
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<std::size_t> ReaderPool::field_index(const std::string& name) const noexcept {
+  const std::vector<FieldInfo>& fields = reader_.fields();
+  for (std::size_t i = 0; i < fields.size(); ++i)
+    if (fields[i].name == name) return i;
+  return Status::invalid_argument("serve: no field named '" + name + "'");
+}
+
+Result<std::unique_ptr<ReaderPool::Context>> ReaderPool::checkout_context(
+    std::size_t field) noexcept {
+  {
+    std::lock_guard lock(context_mutex_);
+    if (!free_contexts_[field].empty()) {
+      std::unique_ptr<Context> context = std::move(free_contexts_[field].back());
+      free_contexts_[field].pop_back();
+      return context;
+    }
+  }
+  try {
+    EngineConfig engine_config;
+    engine_config.compressor = reader_.fields()[field].compressor;
+    auto engine = Engine::create(std::move(engine_config));
+    if (!engine.ok()) return engine.status();
+    return std::make_unique<Context>(Context{std::move(engine).value(), Buffer()});
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+void ReaderPool::checkin_context(std::size_t field,
+                                 std::unique_ptr<Context> context) noexcept {
+  try {
+    std::lock_guard lock(context_mutex_);
+    free_contexts_[field].push_back(std::move(context));
+  } catch (...) {
+    // Dropping the context is safe — the next decode just rebuilds one.
+  }
+}
+
+Result<std::shared_ptr<const NdArray>> ReaderPool::chunk(std::size_t field,
+                                                         std::size_t i) noexcept {
+  try {
+    const std::vector<FieldInfo>& fields = reader_.fields();
+    if (field >= fields.size())
+      return Status::invalid_argument("serve: field index out of range");
+    if (i >= fields[field].chunk_count)
+      return Status::invalid_argument("serve: chunk index out of range");
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.requests;
+    }
+
+    const ChunkKey key{archive_id_, static_cast<std::uint32_t>(field), i};
+    if (std::shared_ptr<const NdArray> cached = cache_->lookup(key)) {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.cache_hits;
+      return cached;
+    }
+
+    // Miss: either become the decoding owner for this chunk or wait on the
+    // thread that already is.
+    std::shared_ptr<InFlight> flight;
+    bool owner = false;
+    {
+      std::lock_guard lock(inflight_mutex_);
+      auto it = inflight_.find(key);
+      if (it != inflight_.end()) {
+        flight = it->second;
+      } else {
+        flight = std::make_shared<InFlight>();
+        inflight_.emplace(key, flight);
+        owner = true;
+      }
+    }
+
+    if (!owner) {
+      std::unique_lock lock(flight->mutex);
+      flight->done_cv.wait(lock, [&] { return flight->done; });
+      {
+        std::lock_guard stats_lock(stats_mutex_);
+        ++stats_.wait_hits;
+      }
+      if (!flight->status.ok()) return flight->status;
+      return flight->value;
+    }
+
+    // Owner path.  Re-check the cache first: a previous owner may have
+    // inserted and retired between our lookup miss and our registration —
+    // without this check that window would decode the chunk twice.
+    std::shared_ptr<const NdArray> value = cache_->lookup(key);
+    Status status;
+    if (value) {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.cache_hits;
+    } else {
+      auto context = checkout_context(field);
+      if (!context.ok()) {
+        status = context.status();
+      } else {
+        try {
+          NdArray decoded = archive::detail::decode_chunk(
+              context.value()->engine, reader_.chunk_source(), fields[field],
+              reader_.info().chunk_region, i, context.value()->scratch);
+          value = std::make_shared<const NdArray>(std::move(decoded));
+        } catch (...) {
+          status = status_from_current_exception();
+        }
+        checkin_context(field, std::move(context).value());
+      }
+      if (value) {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.decoded_chunks;
+      }
+    }
+
+    // Publish to the cache before retiring the in-flight entry, so a thread
+    // that misses the retired entry finds the chunk resident instead of
+    // starting a second decode.
+    if (value) cache_->insert(key, value);
+    {
+      std::lock_guard lock(inflight_mutex_);
+      inflight_.erase(key);
+    }
+    {
+      std::lock_guard lock(flight->mutex);
+      flight->status = status;
+      flight->value = value;
+      flight->done = true;
+    }
+    flight->done_cv.notify_all();
+
+    if (!status.ok()) return status;
+    return value;
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+void ReaderPool::prefetch(std::size_t field, std::size_t i) noexcept {
+  try {
+    if (!config_.prefetch) return;
+    const std::vector<FieldInfo>& fields = reader_.fields();
+    if (field >= fields.size() || i >= fields[field].chunk_count) return;
+    const ChunkKey key{archive_id_, static_cast<std::uint32_t>(field), i};
+    if (cache_->contains(key)) return;
+    {
+      std::lock_guard lock(inflight_mutex_);
+      if (inflight_.count(key) != 0) return;
+    }
+    {
+      std::lock_guard lock(prefetch_mutex_);
+      ++prefetch_outstanding_;
+    }
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.prefetch_issued;
+    }
+    // The task holds shared ownership, so a prefetch can never outlive its
+    // pool.  It may briefly wait on a chunk another *running* thread is
+    // decoding — in-flight owners are always actively executing, never
+    // queued behind this task, so the shared pool cannot deadlock on it.
+    std::shared_ptr<ReaderPool> self = shared_from_this();
+    shared_thread_pool().submit([self, field, i] {
+      self->chunk(field, i);  // failures surface on the eventual read
+      std::lock_guard lock(self->prefetch_mutex_);
+      if (--self->prefetch_outstanding_ == 0) self->prefetch_cv_.notify_all();
+    });
+  } catch (...) {
+    // Prefetch is a hint; losing one costs a cold decode later, nothing more.
+  }
+}
+
+void ReaderPool::drain_prefetches() noexcept {
+  std::unique_lock lock(prefetch_mutex_);
+  prefetch_cv_.wait(lock, [&] { return prefetch_outstanding_ == 0; });
+}
+
+ReaderPool::Stats ReaderPool::stats() const noexcept {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+// ------------------------------------------------------------- ReaderHandle
+
+const archive::ArchiveInfo& ReaderHandle::info() const noexcept {
+  return pool_->info();
+}
+
+const std::vector<FieldInfo>& ReaderHandle::fields() const noexcept {
+  return pool_->fields();
+}
+
+Result<NdArray> ReaderHandle::read_range(std::size_t field, std::size_t first,
+                                         std::size_t count) noexcept {
+  try {
+    const std::vector<FieldInfo>& fields = pool_->fields();
+    if (field >= fields.size())
+      return Status::invalid_argument("serve: field index out of range");
+    const FieldInfo& f = fields[field];
+    const std::size_t n0 = f.shape[0];
+    if (count == 0 || first >= n0 || count > n0 - first)
+      return Status::invalid_argument("serve: plane range out of bounds");
+
+    Shape out_shape = f.shape;
+    out_shape[0] = count;
+    NdArray out(f.dtype, std::move(out_shape));
+    const std::size_t plane_bytes =
+        (shape_elements(f.shape) / n0) * dtype_size(f.dtype);
+    const std::size_t extent = f.chunk_extent;
+    const std::size_t first_chunk = first / extent;
+    const std::size_t last_chunk = (first + count - 1) / extent;
+
+    for (std::size_t c = first_chunk; c <= last_chunk; ++c) {
+      auto chunk = pool_->chunk(field, c);
+      if (!chunk.ok()) return chunk.status();
+      const NdArray& decoded = *chunk.value();
+      const std::size_t chunk_first = c * extent;
+      const std::size_t lo = std::max(first, chunk_first);
+      const std::size_t hi = std::min(first + count, chunk_first + decoded.shape()[0]);
+      std::memcpy(static_cast<std::uint8_t*>(out.data()) + (lo - first) * plane_bytes,
+                  static_cast<const std::uint8_t*>(decoded.data()) +
+                      (lo - chunk_first) * plane_bytes,
+                  (hi - lo) * plane_bytes);
+    }
+
+    // Sequential-scan readahead: the second consecutive read that starts
+    // exactly where the previous one ended arms prefetch of the chunk after
+    // the last one this read touched.
+    if (field == last_field_ && first == next_plane_)
+      ++streak_;
+    else
+      streak_ = 1;
+    last_field_ = field;
+    next_plane_ = first + count;
+    if (streak_ >= 2 && last_chunk + 1 < f.chunk_count)
+      pool_->prefetch(field, last_chunk + 1);
+
+    return out;
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<NdArray> ReaderHandle::read_range(const std::string& field, std::size_t first,
+                                         std::size_t count) noexcept {
+  const Result<std::size_t> index = pool_->field_index(field);
+  if (!index.ok()) return index.status();
+  return read_range(index.value(), first, count);
+}
+
+Result<NdArray> ReaderHandle::read_chunk(std::size_t field, std::size_t i) noexcept {
+  try {
+    auto chunk = pool_->chunk(field, i);
+    if (!chunk.ok()) return chunk.status();
+    return NdArray(*chunk.value());  // owned copy; the cache keeps the shared one
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<NdArray> ReaderHandle::read_chunk(const std::string& field,
+                                         std::size_t i) noexcept {
+  const Result<std::size_t> index = pool_->field_index(field);
+  if (!index.ok()) return index.status();
+  return read_chunk(index.value(), i);
+}
+
+Result<NdArray> ReaderHandle::read_all(std::size_t field) noexcept {
+  const std::vector<FieldInfo>& fields = pool_->fields();
+  if (field >= fields.size())
+    return Status::invalid_argument("serve: field index out of range");
+  return read_range(field, 0, fields[field].shape[0]);
+}
+
+Result<NdArray> ReaderHandle::read_all(const std::string& field) noexcept {
+  const Result<std::size_t> index = pool_->field_index(field);
+  if (!index.ok()) return index.status();
+  return read_all(index.value());
+}
+
+}  // namespace fraz::serve

@@ -1,0 +1,329 @@
+#include "serve/server.hpp"
+
+#include <cstring>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/serialize.hpp"
+#include "ndarray/dtype.hpp"
+#include "util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FRAZ_SERVE_HAS_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define FRAZ_SERVE_HAS_SOCKETS 0
+#endif
+
+namespace fraz::serve {
+
+namespace {
+
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream stream(line);
+  std::string word;
+  while (stream >> word) words.push_back(word);
+  return words;
+}
+
+/// Strict non-negative integer parse; protocol requests carry no signs,
+/// no hex, no trailing junk.
+bool parse_index(const std::string& word, std::size_t& out) {
+  if (word.empty() || word.size() > 19) return false;
+  std::size_t value = 0;
+  for (const char c : word) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+std::string shape_json(const Shape& shape) {
+  std::string json = "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) json += ",";
+    json += std::to_string(shape[i]);
+  }
+  return json + "]";
+}
+
+std::string info_json(const ReaderPool& pool) {
+  const archive::ArchiveInfo& info = pool.info();
+  std::string json =
+      "{\"format_version\":" + std::to_string(info.version) + ",\"fields\":[";
+  for (std::size_t i = 0; i < info.fields.size(); ++i) {
+    const archive::FieldInfo& f = info.fields[i];
+    if (i) json += ",";
+    json += "{\"name\":" + json_escape(f.name) + ",\"dtype\":\"" +
+            dtype_name(f.dtype) + "\",\"shape\":" + shape_json(f.shape) +
+            ",\"chunk_extent\":" + std::to_string(f.chunk_extent) +
+            ",\"chunk_count\":" + std::to_string(f.chunk_count) + "}";
+  }
+  return json + "]}";
+}
+
+std::string stats_json(const ReaderPool& pool, const ServeStats& session) {
+  const ReaderPool::Stats ps = pool.stats();
+  const ChunkCache::Stats cs = pool.cache()->stats();
+  return "{\"requests\":" + std::to_string(session.requests) +
+         ",\"errors\":" + std::to_string(session.errors) +
+         ",\"bytes_out\":" + std::to_string(session.bytes_out) +
+         ",\"pool\":{\"requests\":" + std::to_string(ps.requests) +
+         ",\"cache_hits\":" + std::to_string(ps.cache_hits) +
+         ",\"wait_hits\":" + std::to_string(ps.wait_hits) +
+         ",\"decoded_chunks\":" + std::to_string(ps.decoded_chunks) +
+         ",\"prefetch_issued\":" + std::to_string(ps.prefetch_issued) +
+         "},\"cache\":{\"hits\":" + std::to_string(cs.hits) +
+         ",\"misses\":" + std::to_string(cs.misses) +
+         ",\"entries\":" + std::to_string(cs.entries) +
+         ",\"resident_bytes\":" + std::to_string(cs.resident_bytes) +
+         ",\"rotations\":" + std::to_string(cs.rotations) + "}}";
+}
+
+/// Frame and send one decoded array: status line, then the raw bytes.
+Status send_array(Transport& transport, const NdArray& array, ServeStats& session) {
+  std::string head = "OK " + std::to_string(array.size_bytes()) + " " +
+                     dtype_name(array.dtype());
+  for (const std::size_t extent : array.shape()) head += " " + std::to_string(extent);
+  Status s = transport.write_line(head);
+  if (!s.ok()) return s;
+  s = transport.write_bytes(array.data(), array.size_bytes());
+  if (!s.ok()) return s;
+  session.bytes_out += array.size_bytes();
+  return transport.flush();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- transport
+
+Status Transport::write_line(const std::string& line) noexcept {
+  try {
+    std::string framed = line;
+    framed += '\n';
+    return write_bytes(framed.data(), framed.size());
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+bool StreamTransport::read_line(std::string& line) {
+  return static_cast<bool>(std::getline(in_, line));
+}
+
+Status StreamTransport::write_bytes(const void* data, std::size_t size) noexcept {
+  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  if (!out_) return Status::io_error("serve: write failed");
+  return Status();
+}
+
+Status StreamTransport::flush() noexcept {
+  out_.flush();
+  if (!out_) return Status::io_error("serve: flush failed");
+  return Status();
+}
+
+// --------------------------------------------------------------- connection
+
+Status serve_connection(const std::shared_ptr<ReaderPool>& pool, Transport& transport,
+                        ServeStats* stats) noexcept {
+  try {
+    ReaderHandle handle = pool->handle();
+    ServeStats session;
+    std::string line;
+    Status transport_status;
+
+    while (transport.read_line(line)) {
+      const std::vector<std::string> words = split_words(line);
+      if (words.empty()) continue;  // blank lines are keep-alive noise
+      ++session.requests;
+      const std::string& verb = words[0];
+
+      auto reply_error = [&](const std::string& message) {
+        ++session.errors;
+        Status s = transport.write_line("ERR " + message);
+        if (s.ok()) s = transport.flush();
+        return s;
+      };
+
+      if (verb == "QUIT") {
+        transport_status = transport.write_line("OK bye");
+        if (transport_status.ok()) transport_status = transport.flush();
+        break;
+      } else if (verb == "PING") {
+        transport_status = transport.write_line("PONG");
+        if (transport_status.ok()) transport_status = transport.flush();
+      } else if (verb == "INFO") {
+        transport_status = transport.write_line("OK " + info_json(*pool));
+        if (transport_status.ok()) transport_status = transport.flush();
+      } else if (verb == "STATS") {
+        transport_status = transport.write_line("OK " + stats_json(*pool, session));
+        if (transport_status.ok()) transport_status = transport.flush();
+      } else if (verb == "GET") {
+        std::size_t first = 0, count = 0;
+        if (words.size() != 4 || !parse_index(words[2], first) ||
+            !parse_index(words[3], count)) {
+          transport_status = reply_error("usage: GET <field> <first> <count>");
+        } else {
+          Result<NdArray> range = handle.read_range(words[1], first, count);
+          transport_status = range.ok()
+                                 ? send_array(transport, range.value(), session)
+                                 : reply_error(range.status().to_string());
+        }
+      } else if (verb == "CHUNK") {
+        std::size_t index = 0;
+        if (words.size() != 3 || !parse_index(words[2], index)) {
+          transport_status = reply_error("usage: CHUNK <field> <i>");
+        } else {
+          Result<NdArray> chunk = handle.read_chunk(words[1], index);
+          transport_status = chunk.ok()
+                                 ? send_array(transport, chunk.value(), session)
+                                 : reply_error(chunk.status().to_string());
+        }
+      } else {
+        transport_status = reply_error("unknown request '" + verb + "'");
+      }
+      if (!transport_status.ok()) break;  // peer is gone; stop serving it
+    }
+
+    if (stats) {
+      stats->requests += session.requests;
+      stats->errors += session.errors;
+      stats->bytes_out += session.bytes_out;
+    }
+    return transport_status;
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+// ---------------------------------------------------------------------- tcp
+
+#if FRAZ_SERVE_HAS_SOCKETS
+
+namespace {
+
+/// Transport over one accepted socket: buffered line reads, direct writes.
+class FdTransport final : public Transport {
+public:
+  explicit FdTransport(int fd) noexcept : fd_(fd) {}
+  ~FdTransport() override { ::close(fd_); }
+
+  bool read_line(std::string& line) override {
+    line.clear();
+    while (true) {
+      const auto newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        return true;
+      }
+      char chunk[4096];
+      const ::ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  Status write_bytes(const void* data, std::size_t size) noexcept override {
+    const char* cursor = static_cast<const char*>(data);
+    std::size_t left = size;
+    while (left > 0) {
+      const ::ssize_t n = ::write(fd_, cursor, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::io_error("serve: socket write failed: " +
+                                std::string(std::strerror(errno)));
+      }
+      cursor += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    return Status();
+  }
+
+  Status flush() noexcept override { return Status(); }  // unbuffered writes
+
+private:
+  int fd_;
+  std::string buffer_;
+};
+
+}  // namespace
+
+Status serve_tcp(const std::shared_ptr<ReaderPool>& pool, std::uint16_t port,
+                 ServeStats* stats,
+                 const std::function<void(std::uint16_t)>& on_listening) noexcept {
+  try {
+    const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listener < 0)
+      return Status::io_error("serve: cannot create socket: " +
+                              std::string(std::strerror(errno)));
+    const int one = 1;
+    ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(port);
+    if (::bind(listener, reinterpret_cast<sockaddr*>(&address), sizeof address) != 0 ||
+        ::listen(listener, 16) != 0) {
+      const Status s = Status::io_error("serve: cannot listen on port " +
+                                        std::to_string(port) + ": " +
+                                        std::string(std::strerror(errno)));
+      ::close(listener);
+      return s;
+    }
+    socklen_t address_size = sizeof address;
+    if (::getsockname(listener, reinterpret_cast<sockaddr*>(&address),
+                      &address_size) == 0 &&
+        on_listening)
+      on_listening(ntohs(address.sin_port));
+
+    // Shared session counters need a lock once connections are threads.
+    std::mutex stats_mutex;
+    std::vector<std::thread> connections;
+    while (true) {
+      const int fd = ::accept(listener, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // listener torn down (signal/shutdown): stop accepting
+      }
+      connections.emplace_back([pool, fd, stats, &stats_mutex] {
+        FdTransport transport(fd);
+        ServeStats session;
+        serve_connection(pool, transport, &session);
+        if (stats) {
+          std::lock_guard lock(stats_mutex);
+          stats->requests += session.requests;
+          stats->errors += session.errors;
+          stats->bytes_out += session.bytes_out;
+        }
+      });
+    }
+    ::close(listener);
+    for (std::thread& connection : connections) connection.join();
+    return Status();
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+#else  // !FRAZ_SERVE_HAS_SOCKETS
+
+Status serve_tcp(const std::shared_ptr<ReaderPool>&, std::uint16_t, ServeStats*,
+                 const std::function<void(std::uint16_t)>&) noexcept {
+  return Status::unsupported("serve: TCP serving requires POSIX sockets");
+}
+
+#endif
+
+}  // namespace fraz::serve

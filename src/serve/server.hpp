@@ -1,0 +1,95 @@
+#ifndef FRAZ_SERVE_SERVER_HPP
+#define FRAZ_SERVE_SERVER_HPP
+
+/// \file server.hpp
+/// The `fraz serve` request loop: a line-delimited protocol over any
+/// byte transport, serving decoded ranges out of one ReaderPool.
+///
+/// Protocol (requests are single lines, fields are space-separated):
+///
+///     GET <field> <first> <count>   decoded plane range of a named field
+///     CHUNK <field> <i>             decoded chunk i of a named field
+///     INFO                          archive metadata as one JSON line
+///     STATS                         pool + cache counters as one JSON line
+///     PING                          liveness probe
+///     QUIT                          close the connection
+///
+/// Data responses are framed as a status line followed by raw little-endian
+/// payload bytes:
+///
+///     OK <nbytes> <dtype> <d0> [<d1> ...]\n<nbytes raw bytes>
+///
+/// INFO/STATS/PING answer with `OK <json>` / `PONG` lines and no payload.
+/// Errors answer `ERR <message>` and leave the connection open — a bad
+/// request must not tear down a client's session.  One connection is one
+/// ReaderHandle, so sequential scans get readahead per client.
+///
+/// Transports: stdin/stdout (the default — inetd-style, trivially
+/// scriptable) and a minimal TCP accept loop on POSIX, one thread per
+/// connection, all connections sharing the pool's decoded-chunk cache.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "serve/reader_pool.hpp"
+
+namespace fraz::serve {
+
+/// Byte transport one connection speaks over.
+class Transport {
+public:
+  virtual ~Transport() = default;
+  /// Read one request line (without the newline); false on EOF/error.
+  virtual bool read_line(std::string& line) = 0;
+  /// Write raw bytes.
+  virtual Status write_bytes(const void* data, std::size_t size) noexcept = 0;
+  /// Flush buffered output to the peer (end of one response).
+  virtual Status flush() noexcept = 0;
+
+  /// Write \p line plus a newline.
+  Status write_line(const std::string& line) noexcept;
+};
+
+/// Transport over an iostream pair (stdin/stdout, test stringstreams).
+class StreamTransport final : public Transport {
+public:
+  StreamTransport(std::istream& in, std::ostream& out) noexcept : in_(in), out_(out) {}
+  bool read_line(std::string& line) override;
+  Status write_bytes(const void* data, std::size_t size) noexcept override;
+  Status flush() noexcept override;
+
+private:
+  std::istream& in_;
+  std::ostream& out_;
+};
+
+/// Counters of one serve session (all connections of a serve_tcp run, or
+/// the single stdin connection).
+struct ServeStats {
+  std::size_t requests = 0;   ///< lines processed, PING/QUIT included
+  std::size_t errors = 0;     ///< ERR responses sent
+  std::size_t bytes_out = 0;  ///< payload bytes written (frames excluded)
+};
+
+/// Serve one connection until QUIT or EOF.  Protocol errors are reported to
+/// the peer and the loop continues; only transport failure or QUIT/EOF ends
+/// it.  \p stats accumulates across calls when shared.
+Status serve_connection(const std::shared_ptr<ReaderPool>& pool, Transport& transport,
+                        ServeStats* stats = nullptr) noexcept;
+
+/// POSIX TCP accept loop: listen on loopback \p port (0 picks an ephemeral
+/// port), one thread per connection, every connection sharing \p pool.
+/// \p on_listening (may be null) is invoked with the bound port once the
+/// socket is accepting — the only way a caller of this blocking loop can
+/// learn an ephemeral port.  Runs until accept fails (e.g. the process is
+/// signalled).  On non-POSIX platforms returns Unsupported.
+Status serve_tcp(const std::shared_ptr<ReaderPool>& pool, std::uint16_t port,
+                 ServeStats* stats = nullptr,
+                 const std::function<void(std::uint16_t)>& on_listening = {}) noexcept;
+
+}  // namespace fraz::serve
+
+#endif  // FRAZ_SERVE_SERVER_HPP

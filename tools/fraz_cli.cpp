@@ -21,6 +21,10 @@
 ///               NAME selects a field of a multi-field archive)
 ///   info        print a chunked archive's manifest, field table, chunk
 ///               index, and footer (--json emits the record machine-readably)
+///   serve       map a chunked archive once and answer line-delimited read
+///               requests (GET field first count, CHUNK field i, INFO,
+///               STATS) over stdin/stdout or --port, with a shared
+///               decoded-chunk cache and sequential readahead
 ///   backends    list registered backends with their capabilities
 ///               (--json emits machine-readable capability records)
 ///
@@ -43,6 +47,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,6 +62,8 @@
 #include "ndarray/io.hpp"
 #include "pressio/evaluate.hpp"
 #include "pressio/registry.hpp"
+#include "serve/reader_pool.hpp"
+#include "serve/server.hpp"
 #include "util/buffer.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -343,6 +350,33 @@ archive::ArchiveWriteConfig pack_config(const Cli& cli) {
   return config;
 }
 
+/// Restartable tuning campaigns: --bounds-in seeds the writer's warm-bound
+/// store before the pack, --bounds-out saves it after.  A missing input
+/// store is a cold start, not an error — the first run of a campaign has
+/// nothing to restore; a *corrupt* store is a hard error (silently packing
+/// cold would waste the probes the caller tried to save).
+template <typename Writer>
+void load_bounds(const Cli& cli, const Writer& writer) {
+  const std::string path = cli.get_string("bounds-in");
+  if (path.empty()) return;
+  const Status s = writer.bound_store()->load(path);
+  if (s.ok()) return;
+  if (s.code() == StatusCode::kIoError) {
+    std::fprintf(stderr, "warning: no warm-bound store at '%s'; tuning cold\n",
+                 path.c_str());
+    return;
+  }
+  throw_status(s);
+}
+
+template <typename Writer>
+void save_bounds(const Cli& cli, const Writer& writer) {
+  const std::string path = cli.get_string("bounds-out");
+  if (path.empty()) return;
+  const Status s = writer.bound_store()->save(path);
+  if (!s.ok()) throw_status(s);
+}
+
 /// Render a pack result (and its per-field breakdown) as JSON.
 std::string pack_json(const Cli& cli, const archive::ArchiveWriteResult& r) {
   std::string out = "{";
@@ -454,6 +488,7 @@ FieldSpec parse_field_spec(const std::string& spec, const Cli& cli) {
 int cmd_pack_fields(const Cli& cli, const std::vector<std::string>& specs) {
   auto writer = archive::ArchiveFileWriter::create(pack_config(cli));
   if (!writer.ok()) throw_status(writer.status());
+  load_bounds(cli, writer.value());
   Status s = writer.value().begin(cli.get_string("output"));
   if (!s.ok()) throw_status(s);
   for (const std::string& raw_spec : specs) {
@@ -477,6 +512,7 @@ int cmd_pack_fields(const Cli& cli, const std::vector<std::string>& specs) {
   }
   const auto written = writer.value().finish();
   if (!written.ok()) throw_status(written.status());
+  save_bounds(cli, writer.value());
   return report_pack(cli, written.value());
 }
 
@@ -492,8 +528,10 @@ int cmd_pack(const Cli& cli) {
   // archive itself is never resident.
   auto writer = archive::ArchiveFileWriter::create(pack_config(cli));
   if (!writer.ok()) throw_status(writer.status());
+  load_bounds(cli, writer.value());
   const auto written = writer.value().write(cli.get_string("output"), field.view());
   if (!written.ok()) throw_status(written.status());
+  save_bounds(cli, writer.value());
   return report_pack(cli, written.value());
 }
 
@@ -552,6 +590,38 @@ int cmd_unpack(const Cli& cli) {
               shape_elements(field->shape), dtype_name(field->dtype).c_str());
   for (std::size_t d : field->shape) std::printf(" x%zu", d);
   std::printf(")\n");
+  return 0;
+}
+
+int cmd_serve(const Cli& cli) {
+  serve::ReaderPoolConfig config;
+  const std::int64_t cache_mb = cli.get_int("cache-mb");
+  require(cache_mb >= 0, "--cache-mb must be >= 0 (0 disables caching)");
+  config.cache_bytes = static_cast<std::size_t>(cache_mb) << 20;
+  config.prefetch = !cli.get_flag("no-prefetch");
+  auto pool = serve::ReaderPool::open(cli.get_string("input"), config);
+  if (!pool.ok()) throw_status(pool.status());
+
+  serve::ServeStats stats;
+  Status served;
+  const std::int64_t port = cli.get_int("port");
+  if (port >= 0) {
+    require(port <= 65535, "--port must be 0..65535 (0 picks an ephemeral port)");
+    served = serve::serve_tcp(
+        pool.value(), static_cast<std::uint16_t>(port), &stats, [](std::uint16_t bound) {
+          // Announce on stderr so scripted clients can scrape the ephemeral
+          // port without disturbing any stdout the caller may be piping.
+          std::fprintf(stderr, "serving on 127.0.0.1:%u\n", static_cast<unsigned>(bound));
+          std::fflush(stderr);
+        });
+  } else {
+    // inetd-style default: one connection over stdin/stdout.
+    serve::StreamTransport transport(std::cin, std::cout);
+    served = serve::serve_connection(pool.value(), transport, &stats);
+  }
+  if (!served.ok()) throw_status(served);
+  std::fprintf(stderr, "served %zu request(s), %zu error(s), %zu payload byte(s)\n",
+               stats.requests, stats.errors, stats.bytes_out);
   return 0;
 }
 
@@ -644,7 +714,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: fraz "
-                 "<tune|quality|compress|decompress|inspect|pack|unpack|info|backends> "
+                 "<tune|quality|compress|decompress|inspect|pack|unpack|info|serve|"
+                 "backends> "
                  "[flags]\nrun 'fraz <subcommand> --help' for flags\n");
     return 1;
   }
@@ -675,6 +746,11 @@ int main(int argc, char** argv) {
     cli.add_string("range", "", "unpack: slowest-axis plane range first:end");
     cli.add_string("metric", "psnr", "quality: psnr|ssim");
     cli.add_double("floor", 60.0, "quality: minimum acceptable metric value");
+    cli.add_string("bounds-in", "", "pack: warm-bound store to restore before tuning");
+    cli.add_string("bounds-out", "", "pack: save the warm-bound store here afterwards");
+    cli.add_int("cache-mb", 256, "serve: decoded-chunk cache budget in MiB (0 = off)");
+    cli.add_flag("no-prefetch", "serve: disable sequential-scan readahead");
+    cli.add_int("port", -1, "serve: TCP port (0 = ephemeral; default stdin/stdout)");
     if (!cli.parse(argc - 1, argv + 1)) return 0;
     // Multi-field pack names its inputs per --field; everything else reads
     // one --input file.
@@ -689,6 +765,7 @@ int main(int argc, char** argv) {
     if (subcommand == "pack") return cmd_pack(cli);
     if (subcommand == "unpack") return cmd_unpack(cli);
     if (subcommand == "info") return cmd_info(cli);
+    if (subcommand == "serve") return cmd_serve(cli);
     std::fprintf(stderr, "unknown subcommand '%s'\n", subcommand.c_str());
     return 1;
   } catch (const fraz::Error& e) {
