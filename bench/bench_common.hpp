@@ -13,6 +13,7 @@
 #include "pressio/evaluate.hpp"
 #include "pressio/registry.hpp"
 #include "util/cli.hpp"
+#include "util/json_writer.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -32,6 +33,14 @@ inline data::SuiteScale parse_scale(const std::string& name) {
   if (name == "tiny") return data::SuiteScale::kTiny;
   if (name == "medium") return data::SuiteScale::kMedium;
   return data::SuiteScale::kSmall;
+}
+
+/// Emit a bench's machine-parsable result line: one JSON object built with
+/// the shared JsonWriter (escaping and comma placement handled centrally),
+/// printed on its own line after a blank separator so log scrapers can grab
+/// the last line of output.
+inline void json_line(const JsonWriter& writer) {
+  std::printf("\n%s\n", writer.str().c_str());
 }
 
 /// Compression ratio at a given error bound (one compress call).  The

@@ -11,9 +11,12 @@
 ///  - **warm**: the default cache, pre-touched once, so every request is a
 ///    cache hit plus a plane-window copy.
 ///
-/// Reported per mode: aggregate QPS and per-request latency p50/p99.
-/// Expected shape: warm QPS >= ~5x cold QPS at 8 threads (the acceptance
-/// floor, enforced under --check).  Output ends with one JSON line.
+/// Reported per mode: aggregate QPS and per-request latency p50/p99.  A
+/// third pass re-runs the warm mix with the FRAZ_TELEMETRY_OFF kill-switch
+/// engaged, so the telemetry layer's hot-path overhead is measured directly.
+/// Expected shape: warm QPS >= ~5x cold QPS at 8 threads, and
+/// telemetry-enabled warm QPS within 10% of the kill-switched run (both
+/// floors enforced under --check).  Output ends with one JSON line.
 
 #include <algorithm>
 #include <cstdio>
@@ -25,6 +28,7 @@
 #include "archive/archive_file.hpp"
 #include "bench_common.hpp"
 #include "serve/reader_pool.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -44,19 +48,25 @@ double percentile(std::vector<double>& sorted_ms, double q) {
 }
 
 /// Run \p threads clients, each issuing \p per_thread random plane-range
-/// reads from a deterministic per-thread stream, against one pool.
+/// reads from a deterministic per-thread stream, against one pool.  The
+/// wall clock starts at a ready barrier, so thread spawn cost never counts
+/// as serving time (warm requests are sub-microsecond — spawn would
+/// otherwise dominate the measurement).
 ModeResult run_mode(const std::shared_ptr<serve::ReaderPool>& pool, unsigned threads,
                     unsigned per_thread, bool& ok) {
   const std::size_t n0 = pool->fields()[0].shape[0];
   const std::size_t extent = pool->fields()[0].chunk_extent;
   std::vector<std::vector<double>> latencies_ms(threads);
   std::vector<std::thread> clients;
-  Timer wall;
+  std::atomic<unsigned> ready{0};
+  std::atomic<bool> go{false};
   for (unsigned t = 0; t < threads; ++t)
     clients.emplace_back([&, t] {
       std::mt19937 rng(7000 + t);
       serve::ReaderHandle handle = pool->handle();
       latencies_ms[t].reserve(per_thread);
+      ready.fetch_add(1, std::memory_order_relaxed);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
       for (unsigned q = 0; q < per_thread; ++q) {
         // Chunk-sized windows at random offsets: the slicing access pattern
         // of a visualization or analysis client.
@@ -69,6 +79,9 @@ ModeResult run_mode(const std::shared_ptr<serve::ReaderPool>& pool, unsigned thr
         latencies_ms[t].push_back(request.seconds() * 1e3);
       }
     });
+  while (ready.load(std::memory_order_relaxed) < threads) std::this_thread::yield();
+  Timer wall;
+  go.store(true, std::memory_order_release);
   for (std::thread& client : clients) client.join();
   const double elapsed = wall.seconds();
 
@@ -81,6 +94,20 @@ ModeResult run_mode(const std::shared_ptr<serve::ReaderPool>& pool, unsigned thr
   result.p50_ms = percentile(all_ms, 0.5);
   result.p99_ms = percentile(all_ms, 0.99);
   return result;
+}
+
+/// Best of \p rounds runs.  Warm requests finish in well under a
+/// microsecond, so a single scheduler hiccup can halve one round's QPS;
+/// the best round is each mode's steady-state capability, which is what
+/// the warm-vs-kill-switched overhead comparison needs.
+ModeResult best_mode(const std::shared_ptr<serve::ReaderPool>& pool, unsigned threads,
+                     unsigned per_thread, unsigned rounds, bool& ok) {
+  ModeResult best;
+  for (unsigned r = 0; r < rounds && ok; ++r) {
+    const ModeResult round = run_mode(pool, threads, per_thread, ok);
+    if (round.qps > best.qps) best = round;
+  }
+  return best;
 }
 
 }  // namespace
@@ -96,7 +123,8 @@ int main(int argc, char** argv) {
   cli.add_int("requests", 200, "requests per thread per mode");
   cli.add_string("path", "bench_serve_concurrent.fraza", "scratch archive path");
   cli.add_flag("smoke", "tiny fast run for CI (overrides scale/threads/requests)");
-  cli.add_flag("check", "exit nonzero unless warm QPS >= 5x cold QPS");
+  cli.add_flag("check", "exit nonzero unless warm QPS >= 5x cold QPS and "
+                        "telemetry costs < 10% of kill-switched warm QPS");
   if (!cli.parse(argc, argv)) return 0;
 
   const bool smoke = cli.get_flag("smoke");
@@ -130,7 +158,7 @@ int main(int argc, char** argv) {
               static_cast<double>(field.size_bytes()) / 1e6);
 
   bool ok = true;
-  ModeResult cold, warm;
+  ModeResult cold, warm, warm_off;
 
   {
     serve::ReaderPoolConfig pool_config;
@@ -148,7 +176,24 @@ int main(int argc, char** argv) {
     // serving, not the one-time fill.
     for (std::size_t i = 0; i < pool.value()->fields()[0].chunk_count; ++i)
       if (!pool.value()->chunk(0, i).ok()) return 1;
-    warm = run_mode(pool.value(), threads, per_thread, ok);
+    // Warm requests are ~1000x cheaper than cold decodes: scale the request
+    // count up so each round runs ~10ms+, interleave telemetry-on and
+    // kill-switched rounds (so CPU frequency / cache warm-up drift hits
+    // both modes equally), and take the best round per mode — otherwise
+    // the comparison below measures scheduler noise instead of the
+    // telemetry layer.
+    const unsigned warm_per_thread = per_thread * 200;
+    best_mode(pool.value(), threads, warm_per_thread, 1, ok);  // untimed warm-up
+    for (unsigned round = 0; round < 3 && ok; ++round) {
+      const ModeResult on = run_mode(pool.value(), threads, warm_per_thread, ok);
+      if (on.qps > warm.qps) warm = on;
+      // Same warm pool, kill-switch engaged: the delta is the telemetry
+      // layer's whole hot-path cost (counters, spans, clock reads).
+      telemetry::set_enabled(false);
+      const ModeResult off = run_mode(pool.value(), threads, warm_per_thread, ok);
+      telemetry::set_enabled(true);
+      if (off.qps > warm_off.qps) warm_off = off;
+    }
   }
   std::remove(path.c_str());
   if (!ok) {
@@ -157,22 +202,48 @@ int main(int argc, char** argv) {
   }
 
   const double speedup = cold.qps > 0 ? warm.qps / cold.qps : 0;
-  std::printf("%-6s %-12s %-12s %-12s\n", "mode", "qps", "p50_ms", "p99_ms");
-  std::printf("%-6s %-12.0f %-12.3f %-12.3f\n", "cold", cold.qps, cold.p50_ms,
+  const double telemetry_cost_pct =
+      warm_off.qps > 0 ? (1.0 - warm.qps / warm_off.qps) * 100.0 : 0;
+  std::printf("%-9s %-12s %-12s %-12s\n", "mode", "qps", "p50_ms", "p99_ms");
+  std::printf("%-9s %-12.0f %-12.3f %-12.3f\n", "cold", cold.qps, cold.p50_ms,
               cold.p99_ms);
-  std::printf("%-6s %-12.0f %-12.3f %-12.3f\n", "warm", warm.qps, warm.p50_ms,
+  std::printf("%-9s %-12.0f %-12.3f %-12.3f\n", "warm", warm.qps, warm.p50_ms,
               warm.p99_ms);
-  std::printf("warm/cold speedup: %.1fx\n", speedup);
+  std::printf("%-9s %-12.0f %-12.3f %-12.3f\n", "warm-off", warm_off.qps,
+              warm_off.p50_ms, warm_off.p99_ms);
+  std::printf("warm/cold speedup: %.1fx; telemetry cost: %.1f%% of warm QPS\n",
+              speedup, telemetry_cost_pct);
 
-  std::printf("\n{\"bench\":\"serve_concurrent\",\"threads\":%u,\"requests\":%u,"
-              "\"cold\":{\"qps\":%.1f,\"p50_ms\":%.4f,\"p99_ms\":%.4f},"
-              "\"warm\":{\"qps\":%.1f,\"p50_ms\":%.4f,\"p99_ms\":%.4f},"
-              "\"speedup\":%.2f}\n",
-              threads, threads * per_thread, cold.qps, cold.p50_ms, cold.p99_ms,
-              warm.qps, warm.p50_ms, warm.p99_ms, speedup);
+  JsonWriter jw;
+  const auto mode_json = [&jw](const char* name, const ModeResult& mode) {
+    jw.key(name)
+        .begin_object()
+        .field("qps", mode.qps)
+        .field("p50_ms", mode.p50_ms)
+        .field("p99_ms", mode.p99_ms)
+        .end_object();
+  };
+  jw.begin_object()
+      .field("bench", "serve_concurrent")
+      .field("threads", threads)
+      .field("requests", threads * per_thread);
+  mode_json("cold", cold);
+  mode_json("warm", warm);
+  mode_json("warm_telemetry_off", warm_off);
+  jw.field("speedup", speedup)
+      .field("telemetry_cost_pct", telemetry_cost_pct)
+      .end_object();
+  bench::json_line(jw);
 
   if (cli.get_flag("check") && speedup < 5.0) {
     std::fprintf(stderr, "FAIL: warm/cold speedup %.2f below the 5x floor\n", speedup);
+    return 1;
+  }
+  if (cli.get_flag("check") && warm.qps < 0.9 * warm_off.qps) {
+    std::fprintf(stderr,
+                 "FAIL: telemetry-enabled warm QPS %.0f below 90%% of the "
+                 "kill-switched %.0f\n",
+                 warm.qps, warm_off.qps);
     return 1;
   }
   return 0;

@@ -13,12 +13,42 @@
 #include "core/loss.hpp"
 #include "opt/thread_pool.hpp"
 #include "pressio/registry.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
 namespace fraz::archive::detail {
 
 namespace {
+
+// Process-wide pack-plane metrics.  ArchiveWriteResult keeps its own plain
+// counters (CI gates warm_chunks on them); these registry twins are bumped at
+// the same sites so METRICS / --json expositions see every pipeline.
+telemetry::Counter& chunks_counter() {
+  static telemetry::Counter& c = telemetry::global().counter("pack.chunks");
+  return c;
+}
+
+telemetry::Counter& warm_chunks_counter() {
+  static telemetry::Counter& c = telemetry::global().counter("pack.warm_chunks");
+  return c;
+}
+
+telemetry::Counter& retrained_chunks_counter() {
+  static telemetry::Counter& c = telemetry::global().counter("pack.retrained_chunks");
+  return c;
+}
+
+telemetry::Counter& rate_fallback_counter() {
+  static telemetry::Counter& c =
+      telemetry::global().counter("pack.rate_fallback_chunks");
+  return c;
+}
+
+telemetry::Gauge& staged_bytes_gauge() {
+  static telemetry::Gauge& g = telemetry::global().gauge("pack.staged_bytes");
+  return g;
+}
 
 /// Field keys inside the writer's shared BoundStore.  The tune key is stable
 /// across builds so the persistent engine warm-starts a whole time series of
@@ -200,6 +230,7 @@ public:
       outcome_.peak_buffered_chunks = std::max(outcome_.peak_buffered_chunks, live_chunks_);
       staged_bytes_ += row.size_bytes();
       outcome_.peak_staged_bytes = std::max(outcome_.peak_staged_bytes, staged_bytes_);
+      staged_bytes_gauge().add(static_cast<std::int64_t>(row.size_bytes()));
       queue_.emplace_back(submit_next_++, std::move(row));
       work_cv_.notify_one();
       return Status();
@@ -293,19 +324,24 @@ private:
       const std::string chunk_key = chunk_field_key(field_name_, i);
       Buffer bytes;
       CompressOutcome chunk_outcome;
-      Status status = engine.compress(chunk_key, slice, bytes, &chunk_outcome);
+      Status status;
       bool fell_back = false;
-      if (status.ok() && try_rate_fallback_ && !chunk_outcome.in_band) {
-        // The rescue backend inherits the user's zfp options; the rate
-        // search overrides only zfp:mode / zfp:rate per probe.
-        try {
-          if (!rate_backend)
-            rate_backend =
-                pressio::registry().create("zfp", config_.engine.compressor_options);
-          status = zfp_rate_rescue(*rate_backend, slice, config_.engine.tuner.target_ratio,
-                                   config_.engine.tuner.epsilon, overhead_, bytes, fell_back);
-        } catch (...) {
-          status = status_from_current_exception();
+      {
+        TELEM_SPAN("pack.compress_us");
+        status = engine.compress(chunk_key, slice, bytes, &chunk_outcome);
+        if (status.ok() && try_rate_fallback_ && !chunk_outcome.in_band) {
+          // The rescue backend inherits the user's zfp options; the rate
+          // search overrides only zfp:mode / zfp:rate per probe.
+          try {
+            if (!rate_backend)
+              rate_backend =
+                  pressio::registry().create("zfp", config_.engine.compressor_options);
+            status =
+                zfp_rate_rescue(*rate_backend, slice, config_.engine.tuner.target_ratio,
+                                config_.engine.tuner.epsilon, overhead_, bytes, fell_back);
+          } catch (...) {
+            status = status_from_current_exception();
+          }
         }
       }
       // Checksum and ratio are per-payload and deterministic — compute them
@@ -321,6 +357,7 @@ private:
 
       std::lock_guard lock(mutex_);
       staged_bytes_ -= row_bytes;
+      staged_bytes_gauge().sub(static_cast<std::int64_t>(row_bytes));
       if (!status.ok()) {
         fail_locked(std::move(status));
         account_tuning();
@@ -361,7 +398,15 @@ private:
         report.rate_fallback = head.rate_fallback;
         report.in_band = ratio_acceptable(report.ratio, config_.engine.tuner.target_ratio,
                                           config_.engine.tuner.epsilon);
-        const Status sink_status = sink_.append(head.bytes.data(), head_size);
+        chunks_counter().add();
+        if (report.warm) warm_chunks_counter().add();
+        if (report.retrained) retrained_chunks_counter().add();
+        if (report.rate_fallback) rate_fallback_counter().add();
+        Status sink_status;
+        {
+          TELEM_SPAN("pack.emit_us");
+          sink_status = sink_.append(head.bytes.data(), head_size);
+        }
         if (!sink_status.ok()) {
           fail_locked(sink_status);
           account_tuning();
@@ -563,9 +608,14 @@ Status ArchiveAssembler::push(const ArrayView& slab) noexcept {
     while (remaining > 0) {
       const std::size_t room = field.stage.shape()[0] - field.staged_planes;
       const std::size_t take = std::min(room, remaining);
-      std::memcpy(static_cast<std::uint8_t*>(field.stage.data()) +
-                      field.staged_planes * field.plane_bytes,
-                  src, take * field.plane_bytes);
+      {
+        // Only the staging copy — submit_stage (tuning + pipeline hand-off)
+        // is accounted by the compress/emit spans downstream.
+        TELEM_SPAN("pack.stage_us");
+        std::memcpy(static_cast<std::uint8_t*>(field.stage.data()) +
+                        field.staged_planes * field.plane_bytes,
+                    src, take * field.plane_bytes);
+      }
       src += take * field.plane_bytes;
       field.staged_planes += take;
       field.pushed_planes += take;

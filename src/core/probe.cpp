@@ -9,12 +9,28 @@
 #include "metrics/error_stats.hpp"
 #include "metrics/ssim.hpp"
 #include "opt/thread_pool.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/status.hpp"
 
 namespace fraz {
 
 namespace {
+
+telemetry::Counter& probes_executed_counter() {
+  static telemetry::Counter& c = telemetry::global().counter("tune.probes_executed");
+  return c;
+}
+
+telemetry::Counter& probe_cache_hits_counter() {
+  static telemetry::Counter& c = telemetry::global().counter("tune.probe_cache_hits");
+  return c;
+}
+
+telemetry::Counter& probes_deduped_counter() {
+  static telemetry::Counter& c = telemetry::global().counter("tune.probes_deduped");
+  return c;
+}
 
 /// SplitMix64-style finalizer: every key-combining step funnels through this
 /// so nearby inputs (consecutive bounds, one-bit data edits) land far apart.
@@ -176,12 +192,14 @@ void ProbeExecutor::checkin(std::unique_ptr<Context> context) {
 
 ProbeRecord ProbeExecutor::execute_ratio(Context& context, const ArrayView& data,
                                          double bound) {
+  TELEM_SPAN("tune.probe_us");
   context.compressor->set_error_bound(bound);
   const Status s = context.compressor->compress_into(data, context.scratch);
   if (!s.ok()) throw_status(s);
   ProbeRecord record;
   record.ratio = static_cast<double>(data.size_bytes()) /
                  static_cast<double>(context.scratch.size());
+  probes_executed_counter().add();
   return record;
 }
 
@@ -262,6 +280,12 @@ std::vector<ProbeOutcome> ProbeExecutor::probe_ratios(const ArrayView& data,
   for (const auto& [index, slot] : repeats)
     out[index] = ProbeOutcome{out[misses[slot].index].record, true};
 
+  // `hits` folds genuine cache hits and in-batch repeats together (that is
+  // the executor's contract); telemetry splits them so dedup savings are
+  // visible separately from cache reuse.
+  probe_cache_hits_counter().add(hits - repeats.size());
+  probes_deduped_counter().add(repeats.size());
+
   std::lock_guard lock(mutex_);
   executed_ += misses.size();
   cache_hits_ += hits;
@@ -272,6 +296,7 @@ ProbeOutcome ProbeExecutor::probe_ratio(const ArrayView& data, std::uint64_t con
                                         double bound) {
   ProbeRecord cached;
   if (cache_->lookup(context, bound, cached)) {
+    probe_cache_hits_counter().add();
     std::lock_guard lock(mutex_);
     ++cache_hits_;
     return ProbeOutcome{cached, true};
@@ -299,6 +324,7 @@ ProbeOutcome ProbeExecutor::probe_quality(const ArrayView& data, std::uint64_t c
       mix64(context ^ (0x7175616cull + static_cast<std::uint64_t>(metric)));
   ProbeRecord cached;
   if (cache_->lookup(tagged, bound, cached)) {
+    probe_cache_hits_counter().add();
     std::lock_guard lock(mutex_);
     ++cache_hits_;
     return ProbeOutcome{cached, true};
@@ -306,6 +332,7 @@ ProbeOutcome ProbeExecutor::probe_quality(const ArrayView& data, std::uint64_t c
   auto worker = checkout();
   ProbeRecord record;
   try {
+    TELEM_SPAN("tune.probe_us");
     worker->compressor->set_error_bound(bound);
     Status s = worker->compressor->compress_into(data, worker->scratch);
     if (!s.ok()) throw_status(s);
@@ -323,6 +350,7 @@ ProbeOutcome ProbeExecutor::probe_quality(const ArrayView& data, std::uint64_t c
   }
   checkin(std::move(worker));
   cache_->insert(tagged, bound, record);
+  probes_executed_counter().add();
   std::lock_guard lock(mutex_);
   ++executed_;
   return ProbeOutcome{record, false};

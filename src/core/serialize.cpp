@@ -1,51 +1,8 @@
 #include "core/serialize.hpp"
 
-#include <cmath>
-#include <cstdio>
 #include <sstream>
 
 namespace fraz {
-
-std::string json_escape(const std::string& text) {
-  std::string out = "\"";
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
-
-std::string json_number(double value) {
-  if (std::isnan(value)) return "\"nan\"";
-  if (std::isinf(value)) return value > 0 ? "\"inf\"" : "\"-inf\"";
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", value);
-  return buf;
-}
 
 std::string to_json(const pressio::Options& options) {
   std::ostringstream os;

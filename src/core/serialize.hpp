@@ -4,22 +4,16 @@
 /// \file serialize.hpp
 /// JSON rendering of tuner results and option maps, so workflows can consume
 /// FRaZ output programmatically (the CLI's --json mode, experiment logs).
-/// Hand-rolled writer: flat structures only, RFC 8259-conformant escaping
-/// and locale-independent number formatting.
+/// Escaping and number formatting live in util/json_writer.hpp (re-exported
+/// here: json_escape, json_number).
 
 #include <string>
 
 #include "core/tuner.hpp"
 #include "pressio/options.hpp"
+#include "util/json_writer.hpp"
 
 namespace fraz {
-
-/// JSON string literal with escaping.
-std::string json_escape(const std::string& text);
-
-/// Locale-independent JSON number (handles infinities/NaN as strings, which
-/// JSON cannot represent natively).
-std::string json_number(double value);
 
 /// Render an option map as one flat JSON object.
 std::string to_json(const pressio::Options& options);

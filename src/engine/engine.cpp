@@ -2,8 +2,31 @@
 
 #include "core/loss.hpp"
 #include "pressio/registry.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fraz {
+
+namespace {
+
+// EngineStats stays a plain per-instance struct — its deltas are functional
+// (the archive pipeline accounts warm/retrained chunks from them) — so the
+// registry gets parallel process-wide totals bumped at the same sites.
+telemetry::Counter& tunes_counter() {
+  static telemetry::Counter& c = telemetry::global().counter("engine.tunes");
+  return c;
+}
+
+telemetry::Counter& warm_hits_counter() {
+  static telemetry::Counter& c = telemetry::global().counter("engine.warm_hits");
+  return c;
+}
+
+telemetry::Counter& retrains_counter() {
+  static telemetry::Counter& c = telemetry::global().counter("engine.retrains");
+  return c;
+}
+
+}  // namespace
 
 Engine::Engine(EngineConfig config)
     : config_(std::move(config)),
@@ -42,6 +65,7 @@ Result<TuneResult> Engine::tune(const std::string& field, const ArrayView& data,
 
     TuneResult result = tuner.tune_with_prediction(data, prediction);
     ++stats_.tunes;
+    tunes_counter().add();
     stats_.tuner_probe_calls +=
         static_cast<std::size_t>(result.compress_calls - result.probe_cache_hits);
     stats_.probe_cache_hits += static_cast<std::size_t>(result.probe_cache_hits);
@@ -50,9 +74,11 @@ Result<TuneResult> Engine::tune(const std::string& field, const ArrayView& data,
     if (result.from_prediction) {
       ++stats_.warm_hits;
       ++per_field.warm_hits;
+      warm_hits_counter().add();
     } else {
       ++stats_.retrains;
       ++per_field.retrains;
+      retrains_counter().add();
     }
     // Algorithm 3's carry rule: only a bound that satisfied the acceptance
     // band is worth warm-starting the next call with.
@@ -81,6 +107,8 @@ Status Engine::compress(const std::string& field, const ArrayView& data, Buffer&
     if (warm.in_band) {
       ++stats_.tunes;
       ++stats_.warm_hits;
+      tunes_counter().add();
+      warm_hits_counter().add();
       EngineFieldStats& per_field = field_stats_[field];
       ++per_field.tunes;
       ++per_field.warm_hits;

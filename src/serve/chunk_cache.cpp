@@ -4,12 +4,41 @@
 
 namespace fraz::serve {
 
+namespace {
+
+telemetry::Gauge& resident_bytes_gauge() {
+  static telemetry::Gauge& g =
+      telemetry::global().gauge("serve.cache.resident_bytes");
+  return g;
+}
+
+}  // namespace
+
 ChunkCache::ChunkCache(std::size_t byte_budget)
-    : byte_budget_(byte_budget), generation_budget_(byte_budget / 2) {}
+    : byte_budget_(byte_budget),
+      generation_budget_(byte_budget / 2),
+      hits_(telemetry::global().instanced_counter("serve.cache.hits")),
+      misses_(telemetry::global().instanced_counter("serve.cache.misses")),
+      rotations_(telemetry::global().instanced_counter("serve.cache.rotations")),
+      uncacheable_(telemetry::global().instanced_counter("serve.cache.uncacheable")) {}
+
+ChunkCache::~ChunkCache() {
+  // Return this cache's published resident bytes so shared-gauge totals
+  // across other caches stay correct.
+  resident_bytes_gauge().add(-published_resident_);
+}
 
 std::uint64_t ChunkCache::next_archive_id() noexcept {
   static std::atomic<std::uint64_t> counter{0};
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void ChunkCache::sync_resident_locked() const {
+  if (!telemetry::enabled()) return;
+  const auto total =
+      static_cast<std::int64_t>(current_bytes_ + previous_bytes_);
+  resident_bytes_gauge().add(total - published_resident_);
+  published_resident_ = total;
 }
 
 std::size_t ChunkCache::bytes_of(const Generation& generation) noexcept {
@@ -24,28 +53,38 @@ void ChunkCache::rotate_if_full_locked(std::size_t incoming_bytes) const {
   previous_bytes_ = current_bytes_;
   current_.clear();
   current_bytes_ = 0;
-  ++rotations_;
+  rotations_.add();
 }
 
 std::shared_ptr<const NdArray> ChunkCache::lookup(const ChunkKey& key) const noexcept {
-  std::lock_guard lock(mutex_);
-  auto it = current_.find(key);
-  if (it == current_.end()) {
-    const auto prev = previous_.find(key);
-    if (prev == previous_.end()) {
-      ++misses_;
-      return nullptr;
+  // Counters are bumped after the mutex is released: at warm saturation the
+  // lock is the throughput bound, so the critical section stays map-only.
+  std::shared_ptr<const NdArray> result;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = current_.find(key);
+    if (it == current_.end()) {
+      const auto prev = previous_.find(key);
+      if (prev == previous_.end()) {
+        misses_.add();
+        return nullptr;
+      }
+      // Hot again — promote so the next rotation cannot drop it.
+      std::shared_ptr<const NdArray> chunk = prev->second;
+      previous_bytes_ -= chunk->size_bytes();
+      previous_.erase(prev);
+      rotate_if_full_locked(chunk->size_bytes());
+      it = current_.emplace(key, std::move(chunk)).first;
+      current_bytes_ += it->second->size_bytes();
+      // The rotation above can drop a whole generation; publish the change.
+      // A plain current-generation hit never moves bytes, so the warm hot
+      // path never touches the shared gauge.
+      sync_resident_locked();
     }
-    // Hot again — promote so the next rotation cannot drop it.
-    std::shared_ptr<const NdArray> chunk = prev->second;
-    previous_bytes_ -= chunk->size_bytes();
-    previous_.erase(prev);
-    rotate_if_full_locked(chunk->size_bytes());
-    it = current_.emplace(key, std::move(chunk)).first;
-    current_bytes_ += it->second->size_bytes();
+    result = it->second;
   }
-  ++hits_;
-  return it->second;
+  hits_.add();
+  return result;
 }
 
 bool ChunkCache::contains(const ChunkKey& key) const noexcept {
@@ -61,7 +100,7 @@ void ChunkCache::insert(const ChunkKey& key, std::shared_ptr<const NdArray> chun
   // then be dropped on the next rotation anyway; skip it outright (and a
   // zero budget makes every chunk uncacheable — caching disabled).
   if (bytes > generation_budget_) {
-    ++uncacheable_;
+    uncacheable_.add();
     return;
   }
   // Rotate first, then purge: one key must never live in both generations
@@ -81,6 +120,7 @@ void ChunkCache::insert(const ChunkKey& key, std::shared_ptr<const NdArray> chun
     current_.emplace(key, std::move(chunk));
   }
   current_bytes_ += bytes;
+  sync_resident_locked();
 }
 
 void ChunkCache::erase_archive(std::uint64_t archive) noexcept {
@@ -95,6 +135,7 @@ void ChunkCache::erase_archive(std::uint64_t archive) noexcept {
   }
   current_bytes_ = bytes_of(current_);
   previous_bytes_ = bytes_of(previous_);
+  sync_resident_locked();
 }
 
 void ChunkCache::clear() noexcept {
@@ -103,17 +144,18 @@ void ChunkCache::clear() noexcept {
   previous_.clear();
   current_bytes_ = 0;
   previous_bytes_ = 0;
+  sync_resident_locked();
 }
 
 ChunkCache::Stats ChunkCache::stats() const noexcept {
   std::lock_guard lock(mutex_);
   Stats stats;
-  stats.hits = hits_;
-  stats.misses = misses_;
+  stats.hits = static_cast<std::size_t>(hits_.value());
+  stats.misses = static_cast<std::size_t>(misses_.value());
   stats.entries = current_.size() + previous_.size();
   stats.resident_bytes = current_bytes_ + previous_bytes_;
-  stats.rotations = rotations_;
-  stats.uncacheable = uncacheable_;
+  stats.rotations = static_cast<std::size_t>(rotations_.value());
+  stats.uncacheable = static_cast<std::size_t>(uncacheable_.value());
   return stats;
 }
 

@@ -28,6 +28,7 @@
 #include <unordered_map>
 
 #include "ndarray/ndarray.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fraz::serve {
 
@@ -67,6 +68,7 @@ public:
   /// larger than half the budget is uncacheable and silently skipped
   /// (counted in stats().uncacheable).
   explicit ChunkCache(std::size_t byte_budget = kDefaultByteBudget);
+  ~ChunkCache();
 
   static constexpr std::size_t kDefaultByteBudget = 256ull << 20;  ///< 256 MiB
 
@@ -93,6 +95,10 @@ public:
 
   std::size_t byte_budget() const noexcept { return byte_budget_; }
 
+  /// Counter values come from the telemetry layer (instanced registry
+  /// counters: this cache's own instances of the serve.cache.* names, which
+  /// exposition sums across caches), so they freeze while FRAZ_TELEMETRY_OFF
+  /// is set.
   struct Stats {
     std::size_t hits = 0;
     std::size_t misses = 0;
@@ -111,6 +117,9 @@ private:
   /// previous_ (dropping the old previous_ and its bytes).
   void rotate_if_full_locked(std::size_t incoming_bytes) const;
   static std::size_t bytes_of(const Generation& generation) noexcept;
+  /// Publish the resident-bytes level to the serve.cache.resident_bytes
+  /// gauge as a delta from the last published value (mutex_ held).
+  void sync_resident_locked() const;
 
   mutable std::mutex mutex_;
   // lookup() promotes hot entries, so both generations mutate under a const
@@ -121,10 +130,11 @@ private:
   mutable std::size_t previous_bytes_ = 0;
   std::size_t byte_budget_;
   std::size_t generation_budget_;  ///< max bytes per generation (half the total)
-  mutable std::size_t hits_ = 0;
-  mutable std::size_t misses_ = 0;
-  mutable std::size_t rotations_ = 0;
-  mutable std::size_t uncacheable_ = 0;
+  telemetry::Counter& hits_;
+  telemetry::Counter& misses_;
+  telemetry::Counter& rotations_;
+  telemetry::Counter& uncacheable_;
+  mutable std::int64_t published_resident_ = 0;  ///< gauge's view of this cache
 };
 
 using ChunkCachePtr = std::shared_ptr<ChunkCache>;

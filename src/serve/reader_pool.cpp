@@ -5,6 +5,7 @@
 
 #include "archive/reader_core.hpp"
 #include "opt/thread_pool.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace fraz::serve {
@@ -20,7 +21,18 @@ ReaderPool::ReaderPool(ArchiveFileReader reader, ReaderPoolConfig config,
       config_(std::move(config)),
       cache_(std::move(cache)),
       archive_id_(ChunkCache::next_archive_id()),
-      free_contexts_(reader_.fields().size()) {}
+      free_contexts_(reader_.fields().size()),
+      requests_(telemetry::global().instanced_counter("serve.pool.requests")),
+      cache_hits_(telemetry::global().instanced_counter("serve.pool.cache_hits")),
+      wait_hits_(telemetry::global().instanced_counter("serve.pool.wait_hits")),
+      decoded_chunks_(telemetry::global().instanced_counter("serve.pool.decoded_chunks")),
+      prefetch_issued_(
+          telemetry::global().instanced_counter("serve.pool.prefetch_issued")) {
+  // Pre-register the serve histograms so a METRICS exposition lists them
+  // (with zero counts) before the first request ever lands.
+  telemetry::global().histogram("serve.request_us");
+  telemetry::global().histogram("serve.decode_us");
+}
 
 ReaderPool::~ReaderPool() {
   // Prefetch tasks hold shared_ptr ownership, so none can be running here;
@@ -89,15 +101,11 @@ Result<std::shared_ptr<const NdArray>> ReaderPool::chunk(std::size_t field,
       return Status::invalid_argument("serve: field index out of range");
     if (i >= fields[field].chunk_count)
       return Status::invalid_argument("serve: chunk index out of range");
-    {
-      std::lock_guard lock(stats_mutex_);
-      ++stats_.requests;
-    }
+    requests_.add();
 
     const ChunkKey key{archive_id_, static_cast<std::uint32_t>(field), i};
     if (std::shared_ptr<const NdArray> cached = cache_->lookup(key)) {
-      std::lock_guard lock(stats_mutex_);
-      ++stats_.cache_hits;
+      cache_hits_.add();
       return cached;
     }
 
@@ -120,10 +128,7 @@ Result<std::shared_ptr<const NdArray>> ReaderPool::chunk(std::size_t field,
     if (!owner) {
       std::unique_lock lock(flight->mutex);
       flight->done_cv.wait(lock, [&] { return flight->done; });
-      {
-        std::lock_guard stats_lock(stats_mutex_);
-        ++stats_.wait_hits;
-      }
+      wait_hits_.add();
       if (!flight->status.ok()) return flight->status;
       return flight->value;
     }
@@ -134,14 +139,14 @@ Result<std::shared_ptr<const NdArray>> ReaderPool::chunk(std::size_t field,
     std::shared_ptr<const NdArray> value = cache_->lookup(key);
     Status status;
     if (value) {
-      std::lock_guard lock(stats_mutex_);
-      ++stats_.cache_hits;
+      cache_hits_.add();
     } else {
       auto context = checkout_context(field);
       if (!context.ok()) {
         status = context.status();
       } else {
         try {
+          TELEM_SPAN("serve.decode_us");
           NdArray decoded = archive::detail::decode_chunk(
               context.value()->engine, reader_.chunk_source(), fields[field],
               reader_.info().chunk_region, i, context.value()->scratch);
@@ -151,10 +156,7 @@ Result<std::shared_ptr<const NdArray>> ReaderPool::chunk(std::size_t field,
         }
         checkin_context(field, std::move(context).value());
       }
-      if (value) {
-        std::lock_guard lock(stats_mutex_);
-        ++stats_.decoded_chunks;
-      }
+      if (value) decoded_chunks_.add();
     }
 
     // Publish to the cache before retiring the in-flight entry, so a thread
@@ -195,10 +197,7 @@ void ReaderPool::prefetch(std::size_t field, std::size_t i) noexcept {
       std::lock_guard lock(prefetch_mutex_);
       ++prefetch_outstanding_;
     }
-    {
-      std::lock_guard lock(stats_mutex_);
-      ++stats_.prefetch_issued;
-    }
+    prefetch_issued_.add();
     // The task holds shared ownership, so a prefetch can never outlive its
     // pool.  It may briefly wait on a chunk another *running* thread is
     // decoding — in-flight owners are always actively executing, never
@@ -220,8 +219,13 @@ void ReaderPool::drain_prefetches() noexcept {
 }
 
 ReaderPool::Stats ReaderPool::stats() const noexcept {
-  std::lock_guard lock(stats_mutex_);
-  return stats_;
+  Stats stats;
+  stats.requests = static_cast<std::size_t>(requests_.value());
+  stats.cache_hits = static_cast<std::size_t>(cache_hits_.value());
+  stats.wait_hits = static_cast<std::size_t>(wait_hits_.value());
+  stats.decoded_chunks = static_cast<std::size_t>(decoded_chunks_.value());
+  stats.prefetch_issued = static_cast<std::size_t>(prefetch_issued_.value());
+  return stats;
 }
 
 // ------------------------------------------------------------- ReaderHandle

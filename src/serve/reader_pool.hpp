@@ -145,6 +145,10 @@ public:
   std::uint64_t archive_id() const noexcept { return archive_id_; }
   bool prefetch_enabled() const noexcept { return config_.prefetch; }
 
+  /// Counter values come from the telemetry layer (instanced registry
+  /// counters: this pool's own instances of the serve.pool.* names, which
+  /// exposition sums across pools — lock-free, no stats mutex on the hot
+  /// path), so they freeze while FRAZ_TELEMETRY_OFF is set.
   struct Stats {
     std::size_t requests = 0;        ///< chunk() calls
     std::size_t cache_hits = 0;      ///< served by the cache without waiting
@@ -188,8 +192,11 @@ private:
   std::mutex inflight_mutex_;
   std::unordered_map<ChunkKey, std::shared_ptr<InFlight>, ChunkKeyHash> inflight_;
 
-  mutable std::mutex stats_mutex_;
-  Stats stats_;
+  telemetry::Counter& requests_;
+  telemetry::Counter& cache_hits_;
+  telemetry::Counter& wait_hits_;
+  telemetry::Counter& decoded_chunks_;
+  telemetry::Counter& prefetch_issued_;
 
   std::mutex prefetch_mutex_;
   std::condition_variable prefetch_cv_;

@@ -8,9 +8,10 @@
 #include <thread>
 #include <vector>
 
-#include "core/serialize.hpp"
 #include "ndarray/dtype.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
+#include "util/json_writer.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define FRAZ_SERVE_HAS_SOCKETS 1
@@ -47,47 +48,99 @@ bool parse_index(const std::string& word, std::size_t& out) {
   return true;
 }
 
-std::string shape_json(const Shape& shape) {
-  std::string json = "[";
-  for (std::size_t i = 0; i < shape.size(); ++i) {
-    if (i) json += ",";
-    json += std::to_string(shape[i]);
-  }
-  return json + "]";
-}
-
 std::string info_json(const ReaderPool& pool) {
   const archive::ArchiveInfo& info = pool.info();
-  std::string json =
-      "{\"format_version\":" + std::to_string(info.version) + ",\"fields\":[";
-  for (std::size_t i = 0; i < info.fields.size(); ++i) {
-    const archive::FieldInfo& f = info.fields[i];
-    if (i) json += ",";
-    json += "{\"name\":" + json_escape(f.name) + ",\"dtype\":\"" +
-            dtype_name(f.dtype) + "\",\"shape\":" + shape_json(f.shape) +
-            ",\"chunk_extent\":" + std::to_string(f.chunk_extent) +
-            ",\"chunk_count\":" + std::to_string(f.chunk_count) + "}";
+  JsonWriter w;
+  w.begin_object().field("format_version", info.version).key("fields").begin_array();
+  for (const archive::FieldInfo& f : info.fields) {
+    w.begin_object()
+        .field("name", f.name)
+        .field("dtype", std::string_view(dtype_name(f.dtype)))
+        .key("shape")
+        .begin_array();
+    for (const std::size_t extent : f.shape) w.value(extent);
+    w.end_array()
+        .field("chunk_extent", f.chunk_extent)
+        .field("chunk_count", f.chunk_count)
+        .end_object();
   }
-  return json + "]}";
+  w.end_array().end_object();
+  return std::move(w).str();
 }
 
 std::string stats_json(const ReaderPool& pool, const ServeStats& session) {
   const ReaderPool::Stats ps = pool.stats();
   const ChunkCache::Stats cs = pool.cache()->stats();
-  return "{\"requests\":" + std::to_string(session.requests) +
-         ",\"errors\":" + std::to_string(session.errors) +
-         ",\"bytes_out\":" + std::to_string(session.bytes_out) +
-         ",\"pool\":{\"requests\":" + std::to_string(ps.requests) +
-         ",\"cache_hits\":" + std::to_string(ps.cache_hits) +
-         ",\"wait_hits\":" + std::to_string(ps.wait_hits) +
-         ",\"decoded_chunks\":" + std::to_string(ps.decoded_chunks) +
-         ",\"prefetch_issued\":" + std::to_string(ps.prefetch_issued) +
-         "},\"cache\":{\"hits\":" + std::to_string(cs.hits) +
-         ",\"misses\":" + std::to_string(cs.misses) +
-         ",\"entries\":" + std::to_string(cs.entries) +
-         ",\"resident_bytes\":" + std::to_string(cs.resident_bytes) +
-         ",\"rotations\":" + std::to_string(cs.rotations) + "}}";
+  JsonWriter w;
+  w.begin_object()
+      .field("requests", session.requests)
+      .field("errors", session.errors)
+      .field("bytes_out", session.bytes_out)
+      .key("pool")
+      .begin_object()
+      .field("requests", ps.requests)
+      .field("cache_hits", ps.cache_hits)
+      .field("wait_hits", ps.wait_hits)
+      .field("decoded_chunks", ps.decoded_chunks)
+      .field("prefetch_issued", ps.prefetch_issued)
+      .end_object()
+      .key("cache")
+      .begin_object()
+      .field("hits", cs.hits)
+      .field("misses", cs.misses)
+      .field("entries", cs.entries)
+      .field("resident_bytes", cs.resident_bytes)
+      .field("rotations", cs.rotations)
+      .end_object()
+      .end_object();
+  return std::move(w).str();
 }
+
+telemetry::Counter& net_requests_counter() {
+  static telemetry::Counter& c = telemetry::global().counter("serve.net.requests");
+  return c;
+}
+
+telemetry::Counter& net_errors_counter() {
+  static telemetry::Counter& c = telemetry::global().counter("serve.net.errors");
+  return c;
+}
+
+telemetry::Counter& net_bytes_out_counter() {
+  static telemetry::Counter& c = telemetry::global().counter("serve.net.bytes_out");
+  return c;
+}
+
+/// Folds one connection's counters into the shared sink exactly once, on
+/// scope exit.  Every way out of serve_connection — QUIT, EOF, transport
+/// failure, exception — runs this destructor, so no exit path can drop a
+/// session and none can double-count it; serve_tcp passes its shared sink
+/// straight through instead of re-accumulating per thread.
+class SessionScope {
+public:
+  explicit SessionScope(ServeStats* sink) noexcept : sink_(sink) {}
+  ~SessionScope() {
+    net_requests_counter().add(session.requests);
+    net_errors_counter().add(session.errors);
+    net_bytes_out_counter().add(session.bytes_out);
+    if (!sink_) return;
+    // One mutex for every concurrent connection of the process: the sink may
+    // be shared across serve_tcp threads.
+    static std::mutex sink_mutex;
+    std::lock_guard lock(sink_mutex);
+    sink_->requests += session.requests;
+    sink_->errors += session.errors;
+    sink_->bytes_out += session.bytes_out;
+  }
+
+  SessionScope(const SessionScope&) = delete;
+  SessionScope& operator=(const SessionScope&) = delete;
+
+  ServeStats session;
+
+private:
+  ServeStats* sink_;
+};
 
 /// Frame and send one decoded array: status line, then the raw bytes.
 Status send_array(Transport& transport, const NdArray& array, ServeStats& session) {
@@ -138,13 +191,15 @@ Status serve_connection(const std::shared_ptr<ReaderPool>& pool, Transport& tran
                         ServeStats* stats) noexcept {
   try {
     ReaderHandle handle = pool->handle();
-    ServeStats session;
+    SessionScope scope(stats);
+    ServeStats& session = scope.session;
     std::string line;
     Status transport_status;
 
     while (transport.read_line(line)) {
       const std::vector<std::string> words = split_words(line);
       if (words.empty()) continue;  // blank lines are keep-alive noise
+      TELEM_SPAN("serve.request_us");
       ++session.requests;
       const std::string& verb = words[0];
 
@@ -168,6 +223,25 @@ Status serve_connection(const std::shared_ptr<ReaderPool>& pool, Transport& tran
       } else if (verb == "STATS") {
         transport_status = transport.write_line("OK " + stats_json(*pool, session));
         if (transport_status.ok()) transport_status = transport.flush();
+      } else if (verb == "METRICS") {
+        if (words.size() == 1) {
+          // Registry snapshot as one JSON line.
+          transport_status =
+              transport.write_line("OK " + telemetry::global().to_json());
+          if (transport_status.ok()) transport_status = transport.flush();
+        } else if (words.size() == 2 && words[1] == "PROM") {
+          // Prometheus text is multi-line, so frame it like a payload:
+          // `OK <nbytes>` then the raw exposition bytes.
+          const std::string text = telemetry::global().to_prometheus();
+          transport_status =
+              transport.write_line("OK " + std::to_string(text.size()));
+          if (transport_status.ok())
+            transport_status = transport.write_bytes(text.data(), text.size());
+          if (transport_status.ok()) transport_status = transport.flush();
+          session.bytes_out += text.size();
+        } else {
+          transport_status = reply_error("usage: METRICS [PROM]");
+        }
       } else if (verb == "GET") {
         std::size_t first = 0, count = 0;
         if (words.size() != 4 || !parse_index(words[2], first) ||
@@ -195,12 +269,7 @@ Status serve_connection(const std::shared_ptr<ReaderPool>& pool, Transport& tran
       if (!transport_status.ok()) break;  // peer is gone; stop serving it
     }
 
-    if (stats) {
-      stats->requests += session.requests;
-      stats->errors += session.errors;
-      stats->bytes_out += session.bytes_out;
-    }
-    return transport_status;
+    return transport_status;  // SessionScope folds session into *stats
   } catch (...) {
     return status_from_current_exception();
   }
@@ -288,8 +357,6 @@ Status serve_tcp(const std::shared_ptr<ReaderPool>& pool, std::uint16_t port,
         on_listening)
       on_listening(ntohs(address.sin_port));
 
-    // Shared session counters need a lock once connections are threads.
-    std::mutex stats_mutex;
     std::vector<std::thread> connections;
     while (true) {
       const int fd = ::accept(listener, nullptr, nullptr);
@@ -297,16 +364,11 @@ Status serve_tcp(const std::shared_ptr<ReaderPool>& pool, std::uint16_t port,
         if (errno == EINTR) continue;
         break;  // listener torn down (signal/shutdown): stop accepting
       }
-      connections.emplace_back([pool, fd, stats, &stats_mutex] {
+      // serve_connection's SessionScope accumulates into the shared *stats
+      // under its own lock — one accumulation site for every transport.
+      connections.emplace_back([pool, fd, stats] {
         FdTransport transport(fd);
-        ServeStats session;
-        serve_connection(pool, transport, &session);
-        if (stats) {
-          std::lock_guard lock(stats_mutex);
-          stats->requests += session.requests;
-          stats->errors += session.errors;
-          stats->bytes_out += session.bytes_out;
-        }
+        serve_connection(pool, transport, stats);
       });
     }
     ::close(listener);

@@ -11,6 +11,11 @@
 ///     CHUNK <field> <i>             decoded chunk i of a named field
 ///     INFO                          archive metadata as one JSON line
 ///     STATS                         pool + cache counters as one JSON line
+///     METRICS                       process telemetry registry as one JSON
+///                                   line (counters, gauges, p50/p95/p99
+///                                   latency histograms)
+///     METRICS PROM                  Prometheus text exposition, framed as
+///                                   `OK <nbytes>` + raw bytes
 ///     PING                          liveness probe
 ///     QUIT                          close the connection
 ///
@@ -19,7 +24,8 @@
 ///
 ///     OK <nbytes> <dtype> <d0> [<d1> ...]\n<nbytes raw bytes>
 ///
-/// INFO/STATS/PING answer with `OK <json>` / `PONG` lines and no payload.
+/// INFO/STATS/METRICS/PING answer with `OK <json>` / `PONG` lines and no
+/// payload (METRICS PROM is the framed exception).
 /// Errors answer `ERR <message>` and leave the connection open — a bad
 /// request must not tear down a client's session.  One connection is one
 /// ReaderHandle, so sequential scans get readahead per client.

@@ -1,0 +1,111 @@
+#include "telemetry/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/telemetry.hpp"
+
+namespace fraz::telemetry {
+
+Histogram::Histogram() noexcept : count_(0), sum_(0), min_(UINT64_MAX), max_(0) {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+std::size_t Histogram::bucket_of(std::uint64_t value) noexcept {
+  if (value == 0) return 0;
+#if defined(__GNUC__) || defined(__clang__)
+  const std::size_t width = 64u - static_cast<std::size_t>(__builtin_clzll(value));
+#else
+  std::size_t width = 0;
+  for (std::uint64_t v = value; v != 0; v >>= 1) ++width;
+#endif
+  return std::min<std::size_t>(width, kBuckets - 1);
+}
+
+std::uint64_t Histogram::bucket_lower(std::size_t b) noexcept {
+  return b == 0 ? 0 : 1ull << (b - 1);
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t b) noexcept {
+  if (b == 0) return 0;
+  if (b >= kBuckets - 1) return UINT64_MAX;
+  return (1ull << b) - 1;
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  if (!enabled()) return;
+  buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  const std::uint64_t min = min_.load(std::memory_order_relaxed);
+  out.min = min == UINT64_MAX ? 0 : min;
+  out.max = max_.load(std::memory_order_relaxed);
+  for (std::size_t b = 0; b < kBuckets; ++b)
+    out.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest rank r (1-based) with r >= q * count.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t before = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    if (before + buckets[b] >= rank) {
+      const double lo = static_cast<double>(bucket_lower(b));
+      // The overflow bucket has no meaningful upper edge; interpolate toward
+      // the observed max instead of UINT64_MAX.
+      const double hi = b >= kBuckets - 1 ? static_cast<double>(max)
+                                          : static_cast<double>(bucket_upper(b));
+      const double within = static_cast<double>(rank - before) /
+                            static_cast<double>(buckets[b]);
+      const double value = lo + (hi - lo) * within;
+      // Clamp to the observed range: a one-sample histogram answers that
+      // exact sample, and no quantile can leave [min, max].
+      return std::clamp(value, static_cast<double>(min), static_cast<double>(max));
+    }
+    before += buckets[b];
+  }
+  return static_cast<double>(max);
+}
+
+void Histogram::Snapshot::merge(const Snapshot& other) noexcept {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+}
+
+}  // namespace fraz::telemetry

@@ -1,0 +1,89 @@
+#ifndef FRAZ_TELEMETRY_HISTOGRAM_HPP
+#define FRAZ_TELEMETRY_HISTOGRAM_HPP
+
+/// \file histogram.hpp
+/// Log2-bucketed latency histogram of the telemetry layer.
+///
+/// Recording is wait-free — one relaxed fetch_add per bucket/count/sum plus
+/// two bounded CAS loops for min/max — so a histogram may sit on the serve
+/// hot path (requests, decodes) without adding a lock.  The bucket layout is
+/// fixed and deterministic: bucket 0 holds the value 0, bucket b (1 ≤ b < 63)
+/// holds values in [2^(b-1), 2^b - 1], and bucket 63 holds everything at or
+/// above 2^62.  Values are dimensionless; by convention the span layer feeds
+/// microseconds (metric names carry a `_us` suffix).
+///
+/// Quantiles are extracted from a Snapshot by exact rank walk (nearest-rank
+/// over the bucket counts) with linear interpolation inside the landing
+/// bucket, clamped to the observed [min, max] — so a one-sample histogram
+/// reports that exact sample at every quantile, and an all-identical stream
+/// reports the common value.  Snapshots merge (worker-local histograms can
+/// fold into one), which only adds counts — quantile math is identical on a
+/// merged snapshot.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace fraz::telemetry {
+
+/// Thread-safe log2-bucketed histogram (see file comment for bucket layout
+/// and quantile semantics).
+class Histogram {
+public:
+  static constexpr std::size_t kBuckets = 64;
+
+  Histogram() noexcept;
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Bucket index a value lands in (pure layout function, test-pinned).
+  static std::size_t bucket_of(std::uint64_t value) noexcept;
+  /// Smallest value of bucket \p b (0 for bucket 0).
+  static std::uint64_t bucket_lower(std::size_t b) noexcept;
+  /// Largest value of bucket \p b (UINT64_MAX for the overflow bucket).
+  static std::uint64_t bucket_upper(std::size_t b) noexcept;
+
+  /// Record one observation.  Wait-free, relaxed ordering; respects the
+  /// global kill-switch (a disabled record is one relaxed load + branch).
+  void record(std::uint64_t value) noexcept;
+
+  /// A consistent-enough copy of the histogram state.  Counters are read
+  /// relaxed, so a snapshot taken during concurrent recording may be off by
+  /// in-flight samples — fine for observability, never used for control.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;  ///< 0 when count == 0
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    /// Exact nearest-rank quantile over the buckets, interpolated within the
+    /// landing bucket and clamped to [min, max].  q in [0, 1]; 0 when empty.
+    double quantile(double q) const noexcept;
+    double p50() const noexcept { return quantile(0.50); }
+    double p95() const noexcept { return quantile(0.95); }
+    double p99() const noexcept { return quantile(0.99); }
+    double mean() const noexcept {
+      return count == 0 ? 0 : static_cast<double>(sum) / static_cast<double>(count);
+    }
+
+    /// Fold \p other into this snapshot (bucket-wise addition).
+    void merge(const Snapshot& other) noexcept;
+  };
+  Snapshot snapshot() const noexcept;
+
+  /// Zero every counter (test support; not atomic against recorders).
+  void reset() noexcept;
+
+private:
+  std::atomic<std::uint64_t> count_;
+  std::atomic<std::uint64_t> sum_;
+  std::atomic<std::uint64_t> min_;  ///< UINT64_MAX sentinel when empty
+  std::atomic<std::uint64_t> max_;
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_;
+};
+
+}  // namespace fraz::telemetry
+
+#endif  // FRAZ_TELEMETRY_HISTOGRAM_HPP

@@ -1,0 +1,150 @@
+#ifndef FRAZ_UTIL_JSON_WRITER_HPP
+#define FRAZ_UTIL_JSON_WRITER_HPP
+
+/// \file json_writer.hpp
+/// One JSON emitter for the whole codebase.  Before this existed, the serve
+/// protocol, the CLI's --json modes, and the benches each hand-managed commas
+/// and escaping; JsonWriter centralizes RFC 8259 escaping, locale-independent
+/// number formatting, and comma placement behind a small streaming builder:
+///
+///     JsonWriter w;
+///     w.begin_object()
+///        .field("requests", n)
+///        .key("pool").begin_object().field("hits", h).end_object()
+///      .end_object();
+///     std::string line = std::move(w).str();
+///
+/// Containers nest arbitrarily; the writer tracks where commas go, so adding
+/// a field never means auditing the emitter's separator logic.  raw() splices
+/// a preformatted JSON value (e.g. another component's to_json output).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace fraz {
+
+/// JSON string literal with escaping (includes the surrounding quotes).
+std::string json_escape(const std::string& text);
+
+/// Locale-independent JSON number (handles infinities/NaN as strings, which
+/// JSON cannot represent natively).
+std::string json_number(double value);
+
+/// Streaming JSON builder with automatic comma management.  Methods return
+/// *this for chaining.  Misuse (value with no pending key inside an object,
+/// unbalanced end_*) is a programming error; the writer does not validate.
+class JsonWriter {
+public:
+  JsonWriter& begin_object() {
+    separate();
+    out_ += '{';
+    stack_.push_back(Frame{true});
+    return *this;
+  }
+  JsonWriter& end_object() {
+    stack_.pop_back();
+    out_ += '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    separate();
+    out_ += '[';
+    stack_.push_back(Frame{true});
+    return *this;
+  }
+  JsonWriter& end_array() {
+    stack_.pop_back();
+    out_ += ']';
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    separate();
+    out_ += json_escape(std::string(k));
+    out_ += ':';
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view s) {
+    separate();
+    out_ += json_escape(std::string(s));
+    return *this;
+  }
+  JsonWriter& value(const std::string& s) { return value(std::string_view(s)); }
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b) {
+    separate();
+    out_ += b ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(double d) {
+    separate();
+    out_ += json_number(d);
+    return *this;
+  }
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>, int> = 0>
+  JsonWriter& value(T n) {
+    separate();
+    if constexpr (std::is_signed_v<T>)
+      out_ += std::to_string(static_cast<long long>(n));
+    else
+      out_ += std::to_string(static_cast<unsigned long long>(n));
+    return *this;
+  }
+  JsonWriter& null() {
+    separate();
+    out_ += "null";
+    return *this;
+  }
+
+  /// Splice a preformatted JSON value verbatim (caller guarantees validity).
+  JsonWriter& raw(std::string_view json) {
+    separate();
+    out_ += json;
+    return *this;
+  }
+
+  /// key(k).value(v) in one call — the common flat-field case.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+  JsonWriter& field_raw(std::string_view k, std::string_view json) {
+    key(k);
+    return raw(json);
+  }
+
+  const std::string& str() const& { return out_; }
+  std::string str() && { return std::move(out_); }
+
+private:
+  struct Frame {
+    bool first;
+  };
+
+  // Emit the comma owed before this element, unless it directly follows its
+  // key (key() already consumed the separator slot).
+  void separate() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    if (!stack_.back().first) out_ += ',';
+    stack_.back().first = false;
+  }
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace fraz
+
+#endif  // FRAZ_UTIL_JSON_WRITER_HPP

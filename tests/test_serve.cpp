@@ -395,6 +395,45 @@ TEST(Serve, ChunkAndInfoRequests) {
   EXPECT_NE(out.find("\"decoded_chunks\":"), std::string::npos);
 }
 
+TEST(Serve, MetricsVerbExposesRegistry) {
+  TempFiles tmp;
+  const std::string path = pack_single(tmp, "serve_metrics");
+  auto pool = ReaderPool::open(path, ReaderPoolConfig{});
+  ASSERT_TRUE(pool.ok());
+
+  const std::string out = serve_session(
+      pool.value(), "GET data 0 4\nMETRICS\nMETRICS PROM\nMETRICS EXTRA X\nQUIT\n");
+
+  // METRICS answers one `OK {json}` line carrying the serve counters and
+  // the request/decode latency histograms with quantiles.
+  const std::size_t json_at = out.find("OK {\"counters\"");
+  ASSERT_NE(json_at, std::string::npos) << out.substr(0, 200);
+  const std::string json =
+      out.substr(json_at + 3, out.find('\n', json_at) - json_at - 3);
+  EXPECT_NE(json.find("\"serve.pool.requests\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"serve.request_us\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"serve.decode_us\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99_us\":"), std::string::npos) << json;
+
+  // METRICS PROM frames the multi-line text exposition as `OK <nbytes>`
+  // followed by exactly that many raw bytes.
+  const std::size_t prom_head = out.find("OK ", json_at + 3);
+  ASSERT_NE(prom_head, std::string::npos);
+  const std::size_t prom_eol = out.find('\n', prom_head);
+  const std::size_t nbytes =
+      std::stoul(out.substr(prom_head + 3, prom_eol - prom_head - 3));
+  ASSERT_GE(out.size(), prom_eol + 1 + nbytes);
+  const std::string prom = out.substr(prom_eol + 1, nbytes);
+  EXPECT_NE(prom.find("# TYPE fraz_serve_pool_requests counter"), std::string::npos)
+      << prom.substr(0, 200);
+  EXPECT_NE(prom.find("fraz_serve_request_us{quantile=\"0.99\"}"), std::string::npos);
+
+  // A malformed METRICS request errs without closing the connection.
+  const std::string tail = out.substr(prom_eol + 1 + nbytes);
+  EXPECT_NE(tail.find("ERR "), std::string::npos);
+  EXPECT_NE(tail.find("OK bye"), std::string::npos);
+}
+
 // ------------------------------------------------------------- bounds CLI aid
 
 TEST(BoundStoreRoundTrip, SavedCampaignRestoresExactly) {

@@ -64,6 +64,7 @@
 #include "pressio/registry.hpp"
 #include "serve/reader_pool.hpp"
 #include "serve/server.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/buffer.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -126,25 +127,22 @@ Engine make_engine(const Cli& cli) {
 /// Render one backend's capability record as a JSON object.
 std::string capabilities_json(const pressio::Compressor& c) {
   const pressio::Capabilities caps = c.capabilities();
-  std::string out = "{";
-  out += "\"name\":" + json_escape(caps.name);
-  out += ",\"version\":" + json_escape(caps.version);
-  out += ",\"min_dims\":" + std::to_string(caps.min_dims);
-  out += ",\"max_dims\":" + std::to_string(caps.max_dims);
-  out += std::string(",\"f32\":") + (caps.supports_f32 ? "true" : "false");
-  out += std::string(",\"f64\":") + (caps.supports_f64 ? "true" : "false");
-  out += std::string(",\"thread_safe\":") + (caps.thread_safe ? "true" : "false");
-  out += std::string(",\"deterministic\":") + (caps.deterministic ? "true" : "false");
-  out += std::string(",\"error_bounded\":") + (caps.error_bounded ? "true" : "false");
-  out += ",\"options\":[";
-  bool first = true;
-  for (const auto& key : c.get_options().keys()) {
-    if (!first) out += ",";
-    out += json_escape(key);
-    first = false;
-  }
-  out += "]}";
-  return out;
+  JsonWriter w;
+  w.begin_object()
+      .field("name", caps.name)
+      .field("version", caps.version)
+      .field("min_dims", caps.min_dims)
+      .field("max_dims", caps.max_dims)
+      .field("f32", caps.supports_f32)
+      .field("f64", caps.supports_f64)
+      .field("thread_safe", caps.thread_safe)
+      .field("deterministic", caps.deterministic)
+      .field("error_bounded", caps.error_bounded)
+      .key("options")
+      .begin_array();
+  for (const auto& key : c.get_options().keys()) w.value(key);
+  w.end_array().end_object();
+  return std::move(w).str();
 }
 
 int cmd_backends(int argc, const char* const* argv) {
@@ -195,11 +193,13 @@ int cmd_tune(const Cli& cli) {
 
   if (cli.get_flag("json")) {
     // to_json(r) carries the per-tune probe counters; wrap it with the
-    // engine-level aggregates so bench trajectories can track tuning cost.
+    // engine-level aggregates and the registry snapshot so bench
+    // trajectories can track tuning cost.
     std::string out = to_json(r);
     out.pop_back();  // strip the closing '}' to append engine counters
     out += ",\"tuner_probe_calls\":" + std::to_string(engine.stats().tuner_probe_calls);
     out += ",\"engine_probe_cache_hits\":" + std::to_string(engine.stats().probe_cache_hits);
+    out += ",\"telemetry\":" + telemetry::global().to_json();
     out += "}";
     std::printf("%s\n", out.c_str());
   } else {
@@ -379,42 +379,45 @@ void save_bounds(const Cli& cli, const Writer& writer) {
 
 /// Render a pack result (and its per-field breakdown) as JSON.
 std::string pack_json(const Cli& cli, const archive::ArchiveWriteResult& r) {
-  std::string out = "{";
-  out += "\"output\":" + json_escape(cli.get_string("output"));
-  out += ",\"format_version\":" + std::to_string(r.format_version);
-  out += ",\"raw_bytes\":" + std::to_string(r.raw_bytes);
-  out += ",\"archive_bytes\":" + std::to_string(r.archive_bytes);
-  out += ",\"chunk_count\":" + std::to_string(r.chunk_count);
-  out += ",\"chunk_extent\":" + std::to_string(r.chunk_extent);
-  out += ",\"achieved_ratio\":" + json_number(r.achieved_ratio);
-  out += std::string(",\"in_band\":") + (r.in_band ? "true" : "false");
-  out += ",\"warm_chunks\":" + std::to_string(r.warm_chunks);
-  out += ",\"retrained_chunks\":" + std::to_string(r.retrained_chunks);
-  out += ",\"rate_fallback_chunks\":" + std::to_string(r.rate_fallback_chunks);
-  out += ",\"tuner_probe_calls\":" + std::to_string(r.tuner_probe_calls);
-  out += ",\"probe_cache_hits\":" + std::to_string(r.probe_cache_hits);
-  out += ",\"peak_buffered_chunks\":" + std::to_string(r.peak_buffered_chunks);
-  out += ",\"peak_buffered_bytes\":" + std::to_string(r.peak_buffered_bytes);
-  out += ",\"peak_staged_bytes\":" + std::to_string(r.peak_staged_bytes);
-  out += ",\"fields\":[";
-  for (std::size_t i = 0; i < r.fields.size(); ++i) {
-    const archive::FieldWriteReport& f = r.fields[i];
-    if (i) out += ",";
-    out += "{\"name\":" + json_escape(f.name);
-    out += ",\"dtype\":" + json_escape(dtype_name(f.dtype));
-    out += ",\"raw_bytes\":" + std::to_string(f.raw_bytes);
-    out += ",\"payload_bytes\":" + std::to_string(f.payload_bytes);
-    out += ",\"payload_ratio\":" + json_number(f.payload_ratio);
-    out += ",\"chunk_count\":" + std::to_string(f.chunk_count);
-    out += ",\"chunk_extent\":" + std::to_string(f.chunk_extent);
-    out += ",\"warm_chunks\":" + std::to_string(f.warm_chunks);
-    out += ",\"retrained_chunks\":" + std::to_string(f.retrained_chunks);
-    out += ",\"rate_fallback_chunks\":" + std::to_string(f.rate_fallback_chunks);
-    out += "}";
+  JsonWriter w;
+  w.begin_object()
+      .field("output", cli.get_string("output"))
+      .field("format_version", r.format_version)
+      .field("raw_bytes", r.raw_bytes)
+      .field("archive_bytes", r.archive_bytes)
+      .field("chunk_count", r.chunk_count)
+      .field("chunk_extent", r.chunk_extent)
+      .field("achieved_ratio", r.achieved_ratio)
+      .field("in_band", r.in_band)
+      .field("warm_chunks", r.warm_chunks)
+      .field("retrained_chunks", r.retrained_chunks)
+      .field("rate_fallback_chunks", r.rate_fallback_chunks)
+      .field("tuner_probe_calls", r.tuner_probe_calls)
+      .field("probe_cache_hits", r.probe_cache_hits)
+      .field("peak_buffered_chunks", r.peak_buffered_chunks)
+      .field("peak_buffered_bytes", r.peak_buffered_bytes)
+      .field("peak_staged_bytes", r.peak_staged_bytes)
+      .key("fields")
+      .begin_array();
+  for (const archive::FieldWriteReport& f : r.fields) {
+    w.begin_object()
+        .field("name", f.name)
+        .field("dtype", dtype_name(f.dtype))
+        .field("raw_bytes", f.raw_bytes)
+        .field("payload_bytes", f.payload_bytes)
+        .field("payload_ratio", f.payload_ratio)
+        .field("chunk_count", f.chunk_count)
+        .field("chunk_extent", f.chunk_extent)
+        .field("warm_chunks", f.warm_chunks)
+        .field("retrained_chunks", f.retrained_chunks)
+        .field("rate_fallback_chunks", f.rate_fallback_chunks)
+        .end_object();
   }
-  out += "],\"seconds\":" + json_number(r.seconds);
-  out += "}";
-  return out;
+  w.end_array()
+      .field("seconds", r.seconds)
+      .field_raw("telemetry", telemetry::global().to_json())
+      .end_object();
+  return std::move(w).str();
 }
 
 int report_pack(const Cli& cli, const archive::ArchiveWriteResult& r) {
