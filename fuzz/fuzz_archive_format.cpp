@@ -1,0 +1,17 @@
+/// Fuzz the archive open path: footer probe, manifest parse (v1/v2/v3 field
+/// tables), chunk-index tiling validation, and per-field engine setup.  The
+/// input is the entire archive byte string; the property is that open()
+/// returns a Status for every input — no crash, no UB, no unbounded
+/// allocation driven by attacker-chosen counts.
+#include "archive/archive.hpp"
+#include "fuzz_driver.hpp"
+
+void fraz_fuzz_one(const std::uint8_t* data, std::size_t size) {
+  auto reader = fraz::archive::ArchiveReader::open(data, size);
+  if (!reader.ok()) return;
+  // A parse that survived validation must also survive metadata walks.
+  for (const fraz::archive::FieldInfo& field : reader.value().fields()) {
+    (void)field.chunks.size();
+    (void)field.raw_bytes;
+  }
+}

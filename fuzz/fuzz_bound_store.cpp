@@ -1,0 +1,16 @@
+/// Fuzz BoundStore::deserialize: the CRC-framed warm-start block a restarted
+/// tuning campaign loads from disk.  The block is untrusted (any file path
+/// can be handed to the warm-start load); the property is Status-on-garbage,
+/// never a crash, and a store left unchanged by a failed load.
+#include "engine/bound_store.hpp"
+#include "fuzz_driver.hpp"
+
+void fraz_fuzz_one(const std::uint8_t* data, std::size_t size) {
+  fraz::BoundStore store;
+  store.put("seed", 4.0, 1.0);  // pre-existing state a failed load must keep
+  const fraz::Status status = store.deserialize(data, size);
+  if (!status.ok()) {
+    // Failed loads must leave the prior contents intact.
+    if (store.get("seed", 4.0) != 1.0) __builtin_trap();
+  }
+}

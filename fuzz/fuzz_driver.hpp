@@ -1,0 +1,86 @@
+#ifndef FRAZ_FUZZ_DRIVER_HPP
+#define FRAZ_FUZZ_DRIVER_HPP
+
+/// \file fuzz_driver.hpp
+/// Dual-mode entry point shared by every FRaZ fuzz harness.
+///
+/// Each harness implements exactly one function:
+///
+///     void fraz_fuzz_one(const std::uint8_t* data, std::size_t size);
+///
+/// and gets two drivers out of this header:
+///
+///  - **libFuzzer** (compiled with clang and `-fsanitize=fuzzer`, selected
+///    by the FRAZ_FUZZ_LIBFUZZER define): the canonical coverage-guided
+///    loop used by the CI fuzz smoke.
+///  - **standalone** (any compiler, no define): a plain main() that replays
+///    every file named on the command line — or every regular file of every
+///    directory named — through the harness once.  This is how the checked-
+///    in corpus runs under plain g++ builds and how a crasher is replayed
+///    in a debugger without a fuzzing toolchain.
+///
+/// Harness rules: the callback must be deterministic, must tolerate any
+/// byte string without crashing (that is the property under test), and must
+/// not leak — the sanitized smoke run counts leaks as failures.
+
+#include <cstddef>
+#include <cstdint>
+
+void fraz_fuzz_one(const std::uint8_t* data, std::size_t size);
+
+#if defined(FRAZ_FUZZ_LIBFUZZER)
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  fraz_fuzz_one(data, size);
+  return 0;
+}
+
+#else  // standalone replay driver
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fraz_fuzz_detail {
+
+inline bool replay_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz: cannot read %s\n", path.string().c_str());
+    return false;
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  fraz_fuzz_one(bytes.data(), bytes.size());
+  return true;
+}
+
+}  // namespace fraz_fuzz_detail
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::size_t replayed = 0;
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path path(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (const fs::directory_entry& entry : fs::directory_iterator(path, ec)) {
+        if (!entry.is_regular_file()) continue;
+        ok = fraz_fuzz_detail::replay_file(entry.path()) && ok;
+        ++replayed;
+      }
+    } else {
+      ok = fraz_fuzz_detail::replay_file(path) && ok;
+      ++replayed;
+    }
+  }
+  std::fprintf(stderr, "fuzz: replayed %zu input(s)\n", replayed);
+  return ok ? 0 : 1;
+}
+
+#endif  // FRAZ_FUZZ_LIBFUZZER
+
+#endif  // FRAZ_FUZZ_DRIVER_HPP

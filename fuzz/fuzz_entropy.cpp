@@ -1,0 +1,25 @@
+/// Fuzz the entropy-coder decoders over raw untrusted bytes.  Archives carry
+/// Huffman- or rANS-coded blocks inside compressed chunks; the decoders'
+/// contract is decode-or-CorruptStream for any input — no crash, no
+/// out-of-bounds table walk, no unbounded output from a tiny input's
+/// declared symbol count.
+#include "codec/huffman.hpp"
+#include "codec/rans.hpp"
+#include "fuzz_driver.hpp"
+#include "util/error.hpp"
+
+void fraz_fuzz_one(const std::uint8_t* data, std::size_t size) {
+  // First byte routes so the fuzzer evolves distinct corpora per decoder.
+  if (size == 0) return;
+  const bool use_rans = (data[0] & 1) != 0;
+  ++data;
+  --size;
+  try {
+    if (use_rans)
+      (void)fraz::rans_decode(data, size);
+    else
+      (void)fraz::huffman_decode(data, size);
+  } catch (const fraz::CorruptStream&) {
+    // Rejection is the expected outcome for malformed bytes.
+  }
+}

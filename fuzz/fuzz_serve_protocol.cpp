@@ -1,0 +1,22 @@
+/// Fuzz the serve request-line parser: the input is split on newlines and
+/// each line goes through parse_request exactly as serve_connection would
+/// feed it.  The property is totality — every byte string maps to a Request
+/// (kBad carries the ERR message) with no crash and no assert.
+#include <string>
+
+#include "fuzz_driver.hpp"
+#include "serve/protocol.hpp"
+
+void fraz_fuzz_one(const std::uint8_t* data, std::size_t size) {
+  const char* bytes = reinterpret_cast<const char*>(data);
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= size; ++i) {
+    if (i != size && bytes[i] != '\n') continue;
+    std::string line(bytes + start, i - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const fraz::serve::Request request = fraz::serve::parse_request(line);
+    if (request.kind == fraz::serve::RequestKind::kBad && request.error.empty())
+      __builtin_trap();  // every rejection must carry an ERR message
+    start = i + 1;
+  }
+}

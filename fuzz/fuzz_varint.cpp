@@ -1,0 +1,28 @@
+/// Fuzz the wire-primitive getters every archive parser is built on:
+/// get_varint / get_u32 / get_u64 / get_f64 must either return a value and
+/// advance the cursor, or throw CorruptStream — truncation and overlong
+/// varint encodings included — and never read out of bounds.
+#include "codec/varint.hpp"
+#include "fuzz_driver.hpp"
+#include "util/error.hpp"
+
+void fraz_fuzz_one(const std::uint8_t* data, std::size_t size) {
+  // Walk the buffer as an alternating stream of each primitive; the first
+  // byte picks the starting phase so the fuzzer can aim at each getter.
+  std::size_t pos = size == 0 ? 0 : 1;
+  unsigned phase = size == 0 ? 0 : data[0] & 3u;
+  try {
+    while (pos < size) {
+      const std::size_t before = pos;
+      switch (phase++ & 3u) {
+        case 0: (void)fraz::get_varint(data, size, pos); break;
+        case 1: (void)fraz::get_u32(data, size, pos); break;
+        case 2: (void)fraz::get_u64(data, size, pos); break;
+        default: (void)fraz::get_f64(data, size, pos); break;
+      }
+      if (pos <= before || pos > size) __builtin_trap();  // must advance in-bounds
+    }
+  } catch (const fraz::CorruptStream&) {
+    // Rejection is the expected outcome for malformed bytes.
+  }
+}

@@ -1,0 +1,163 @@
+/// Seed-corpus generator: every fuzz target starts from inputs produced by
+/// the matching *writer*, so the fuzzer begins at valid bytes and mutates
+/// toward the interesting edges instead of spending its budget rediscovering
+/// magic numbers.  Usage:
+///
+///     fraz_make_corpus <output-dir>
+///
+/// writes one subdirectory per fuzz target (archive_format/, bound_store/,
+/// serve_protocol/, varint/, entropy/).  The checked-in copy lives at
+/// tests/corpus/ and doubles as the negative-path unit-test input set.
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "archive/archive.hpp"
+#include "codec/huffman.hpp"
+#include "codec/rans.hpp"
+#include "codec/varint.hpp"
+#include "engine/bound_store.hpp"
+#include "ndarray/ndarray.hpp"
+
+namespace fs = std::filesystem;
+using namespace fraz;
+
+namespace {
+
+bool write_file(const fs::path& path, const void* data, std::size_t size) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  if (!out) {
+    std::fprintf(stderr, "make_corpus: cannot write %s\n", path.string().c_str());
+    return false;
+  }
+  return true;
+}
+
+NdArray smooth_field() {
+  NdArray field(DType::kFloat32, Shape{6, 8, 4});
+  float* p = static_cast<float*>(field.data());
+  for (std::size_t i = 0; i < field.elements(); ++i)
+    p[i] = std::sin(static_cast<float>(i) * 0.05f) * 10.0f;
+  return field;
+}
+
+bool emit_archives(const fs::path& dir) {
+  const NdArray field = smooth_field();
+  for (const std::uint8_t version : {std::uint8_t{2}, std::uint8_t{3}}) {
+    archive::ArchiveWriteConfig config;
+    config.engine.compressor = "truncate";
+    config.engine.tuner.target_ratio = 2.5;
+    config.engine.tuner.epsilon = 0.3;
+    config.chunk_extent = 3;
+    config.threads = 1;
+    config.format_version = version;
+    archive::ArchiveWriter writer(std::move(config));
+    Buffer bytes;
+    auto written = writer.write(field.view(), bytes);
+    if (!written.ok()) {
+      std::fprintf(stderr, "make_corpus: pack v%u failed: %s\n", version,
+                   written.status().to_string().c_str());
+      return false;
+    }
+    const std::string name = "archive_v" + std::to_string(version) + ".fraz";
+    if (!write_file(dir / name, bytes.data(), bytes.size())) return false;
+    // The bare footer is its own seed: the open path's first parse step.
+    const std::size_t tail = bytes.size() < 48 ? bytes.size() : 48;
+    if (!write_file(dir / ("footer_v" + std::to_string(version) + ".bin"),
+                    bytes.data() + bytes.size() - tail, tail))
+      return false;
+  }
+  return true;
+}
+
+bool emit_bound_store(const fs::path& dir) {
+  BoundStore store;
+  store.put("temperature", 10.0, 1.5e-3);
+  store.put("pressure", 8.0, 2.0e-4);
+  store.put("velocity/x", 12.0, 7.5e-5);
+  Buffer block;
+  store.serialize(block);
+  if (!write_file(dir / "bounds.frzb", block.data(), block.size())) return false;
+  BoundStore empty;
+  Buffer empty_block;
+  empty.serialize(empty_block);
+  return write_file(dir / "bounds_empty.frzb", empty_block.data(), empty_block.size());
+}
+
+bool emit_serve_protocol(const fs::path& dir) {
+  const std::string session =
+      "PING\n"
+      "INFO\n"
+      "STATS\n"
+      "METRICS\n"
+      "METRICS PROM\n"
+      "GET temperature 0 4\n"
+      "CHUNK temperature 1\n"
+      "GET temperature 18446744073709551615 1\n"
+      "QUIT\n";
+  const std::string hostile =
+      "GET temperature -1 4\n"
+      "GET temperature 0x10 4\n"
+      "CHUNK temperature 99999999999999999999\n"
+      "METRICS JUNK\n"
+      "NOSUCHVERB a b c\n"
+      "\n"
+      "GET\n";
+  return write_file(dir / "session.txt", session.data(), session.size()) &&
+         write_file(dir / "hostile.txt", hostile.data(), hostile.size());
+}
+
+bool emit_varint(const fs::path& dir) {
+  Buffer bytes;
+  bytes.push_back(0);  // phase selector: start at get_varint
+  for (const std::uint64_t v : {0ull, 1ull, 127ull, 128ull, 300ull, 1ull << 32,
+                                0xffffffffffffffffull})
+    put_varint(bytes, v);
+  put_u32(bytes, 0xdeadbeefu);
+  put_u64(bytes, 0x0123456789abcdefull);
+  put_f64(bytes, 3.14159);
+  return write_file(dir / "primitives.bin", bytes.data(), bytes.size());
+}
+
+bool emit_entropy(const fs::path& dir) {
+  std::vector<std::uint32_t> symbols;
+  for (std::uint32_t i = 0; i < 256; ++i) symbols.push_back(i % 7);
+  const std::vector<std::uint8_t> huff = huffman_encode(symbols);
+  const std::vector<std::uint8_t> rans = rans_encode(symbols);
+  std::vector<std::uint8_t> huff_seed{0x00};  // router byte: huffman
+  huff_seed.insert(huff_seed.end(), huff.begin(), huff.end());
+  std::vector<std::uint8_t> rans_seed{0x01};  // router byte: rans
+  rans_seed.insert(rans_seed.end(), rans.begin(), rans.end());
+  return write_file(dir / "huffman.bin", huff_seed.data(), huff_seed.size()) &&
+         write_file(dir / "rans.bin", rans_seed.data(), rans_seed.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: fraz_make_corpus <output-dir>\n");
+    return 2;
+  }
+  const fs::path root(argv[1]);
+  bool ok = true;
+  const struct {
+    const char* name;
+    bool (*emit)(const fs::path&);
+  } targets[] = {
+      {"archive_format", emit_archives},   {"bound_store", emit_bound_store},
+      {"serve_protocol", emit_serve_protocol}, {"varint", emit_varint},
+      {"entropy", emit_entropy},
+  };
+  for (const auto& target : targets) {
+    const fs::path dir = root / target.name;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    ok = target.emit(dir) && ok;
+  }
+  return ok ? 0 : 1;
+}

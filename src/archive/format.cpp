@@ -1,5 +1,7 @@
 #include "archive/format.hpp"
 
+#include <limits>
+
 #include "codec/checksum.hpp"
 #include "codec/varint.hpp"
 #include "util/error.hpp"
@@ -23,19 +25,45 @@ void encode_chunk_index(const std::vector<ChunkEntry>& chunks, Buffer& out) {
   }
 }
 
+/// Overflow-checked shape-elements × element-size.  A corrupt manifest may
+/// carry extents whose product wraps 64 bits — a wrapped raw_bytes would
+/// defeat the footer's raw-size cross-check and undersize reader buffers.
+std::size_t checked_raw_bytes(const Shape& shape, DType dtype) {
+  std::uint64_t bytes = dtype_size(dtype);
+  for (const std::size_t d : shape) {
+    if (d == 0) throw CorruptStream("archive: zero extent");
+    if (bytes > std::numeric_limits<std::uint64_t>::max() / d)
+      throw CorruptStream("archive: field shape overflows");
+    bytes *= d;
+  }
+  if (bytes > std::numeric_limits<std::size_t>::max())
+    throw CorruptStream("archive: field shape overflows");
+  return static_cast<std::size_t>(bytes);
+}
+
 /// Parse one field's chunk index (shared by every manifest layout),
 /// validating contiguity from \p running — absolute within the chunk region,
-/// so multi-field spans chain through it — and geometry against the field.
+/// so multi-field spans chain through it — geometry against the field, and
+/// every entry against \p region_bytes so no chunk can point past the file's
+/// chunk region (the tiling invariant holds entry by entry, not just in the
+/// final total).
 void parse_field_chunk_index(const std::uint8_t* p, std::size_t size, std::size_t& pos,
-                             FieldInfo& field, std::size_t& running) {
+                             FieldInfo& field, std::size_t& running,
+                             std::size_t region_bytes) {
   field.chunk_count = get_varint(p, size, pos);
   const std::size_t n0 = field.shape[0];
   if (field.chunk_extent == 0 || field.chunk_extent > n0)
     throw CorruptStream("archive: bad chunk extent");
   if (field.chunk_count != (n0 + field.chunk_extent - 1) / field.chunk_extent)
     throw CorruptStream("archive: chunk count does not match shape");
-  field.raw_bytes = shape_elements(field.shape) * dtype_size(field.dtype);
+  field.raw_bytes = checked_raw_bytes(field.shape, field.dtype);
   field.payload_bytes = 0;
+  // A chunk entry is at least 14 encoded bytes (two 1-byte varints, an f64,
+  // a u32): a count the remaining manifest cannot possibly hold is corrupt,
+  // and rejecting it here keeps the reserve below proportional to the input
+  // instead of attacker-chosen.
+  if (field.chunk_count > (size - pos) / 14)
+    throw CorruptStream("archive: chunk count exceeds manifest size");
   field.chunks.reserve(field.chunk_count);
   for (std::size_t i = 0; i < field.chunk_count; ++i) {
     ChunkEntry entry;
@@ -45,6 +73,8 @@ void parse_field_chunk_index(const std::uint8_t* p, std::size_t size, std::size_
     entry.crc = get_u32(p, size, pos);
     if (entry.offset != running || entry.size == 0)
       throw CorruptStream("archive: chunk index is not contiguous");
+    if (entry.size > region_bytes - running)
+      throw CorruptStream("archive: chunk entry past end of chunk region");
     running += entry.size;
     field.payload_bytes += entry.size;
     field.chunks.push_back(entry);
@@ -306,7 +336,7 @@ ArchiveInfo parse_manifest(const std::uint8_t* manifest, std::size_t size,
     field.epsilon = get_f64(p, psize, pos);
     field.chunk_extent = get_varint(p, psize, pos);
     std::size_t running = 0;
-    parse_field_chunk_index(p, psize, pos, field, running);
+    parse_field_chunk_index(p, psize, pos, field, running, footer.region_bytes);
     if (pos != psize) throw CorruptStream("archive: trailing manifest bytes");
     field.payload_ratio = static_cast<double>(field.raw_bytes) /
                           static_cast<double>(field.payload_bytes);
@@ -339,7 +369,7 @@ ArchiveInfo parse_manifest(const std::uint8_t* manifest, std::size_t size,
     field.epsilon = get_f64(manifest, size, pos);
     field.chunk_extent = get_varint(manifest, size, pos);
     std::size_t running = 0;
-    parse_field_chunk_index(manifest, size, pos, field, running);
+    parse_field_chunk_index(manifest, size, pos, field, running, footer.region_bytes);
     if (pos + 4 != size) throw CorruptStream("archive: trailing manifest bytes");
     field.payload_ratio = static_cast<double>(field.raw_bytes) /
                           static_cast<double>(field.payload_bytes);
@@ -367,7 +397,7 @@ ArchiveInfo parse_manifest(const std::uint8_t* manifest, std::size_t size,
     field.epsilon = get_f64(manifest, size, pos);
     field.payload_ratio = get_f64(manifest, size, pos);
     field.chunk_extent = get_varint(manifest, size, pos);
-    parse_field_chunk_index(manifest, size, pos, field, running);
+    parse_field_chunk_index(manifest, size, pos, field, running, footer.region_bytes);
     info.fields.push_back(std::move(field));
   }
   if (pos + 4 != size) throw CorruptStream("archive: trailing manifest bytes");

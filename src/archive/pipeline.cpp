@@ -3,11 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <future>
-#include <mutex>
 
 #include "codec/checksum.hpp"
 #include "core/loss.hpp"
@@ -15,6 +13,7 @@
 #include "pressio/registry.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace fraz::archive::detail {
@@ -207,7 +206,7 @@ public:
       // Abandoned build: poison the pipeline so workers drop the backlog
       // instead of compressing and emitting it, then join.
       {
-        std::lock_guard lock(mutex_);
+        LockGuard lock(mutex_);
         fail_locked(Status::internal("archive: build abandoned"));
       }
       (void)shut_down();
@@ -221,8 +220,8 @@ public:
   /// — this back-pressure is the writer's input-memory bound.
   Status submit(NdArray row) noexcept {
     try {
-      std::unique_lock lock(mutex_);
-      space_cv_.wait(lock, [&] { return failed_ || live_chunks_ < window_; });
+      UniqueLock lock(mutex_);
+      while (!failed_ && live_chunks_ >= window_) space_cv_.wait(lock);
       if (failed_) return failure_;
       if (submit_next_ >= chunk_count_)
         return Status::internal("archive: more chunk rows than the field declared");
@@ -244,7 +243,9 @@ public:
     try {
       const Status join_status = shut_down();
       if (!join_status.ok()) return join_status;
-      // Post-join: the workers are gone, so the state is ours without a lock.
+      // Post-join the workers are gone, so the lock is uncontended — taking
+      // it anyway keeps the guarded-state contract uniform.
+      LockGuard lock(mutex_);
       if (failed_) return failure_;
       if (write_head_ != chunk_count_)
         return Status::internal(
@@ -260,7 +261,7 @@ private:
   Status shut_down() noexcept {
     if (joined_) return Status();
     {
-      std::lock_guard lock(mutex_);
+      LockGuard lock(mutex_);
       closed_ = true;
     }
     work_cv_.notify_all();
@@ -278,7 +279,7 @@ private:
     return status;
   }
 
-  void fail_locked(Status status) {
+  void fail_locked(Status status) FRAZ_REQUIRES(mutex_) {
     if (!failed_) {
       failed_ = true;
       failure_ = std::move(status);
@@ -287,10 +288,17 @@ private:
     space_cv_.notify_all();
   }
 
+  /// Fold one engine's tuning spend into the pipeline totals — called
+  /// exactly once per worker exit path, always under the lock.
+  void account_tuning_locked(const Engine& engine) FRAZ_REQUIRES(mutex_) {
+    outcome_.tuner_probe_calls += engine.stats().tuner_probe_calls;
+    outcome_.probe_cache_hits += engine.stats().probe_cache_hits;
+  }
+
   void worker() {
     auto created = Engine::create(serial_tuning(config_.engine));
     if (!created.ok()) {
-      std::lock_guard lock(mutex_);
+      LockGuard lock(mutex_);
       fail_locked(created.status());
       return;
     }
@@ -298,20 +306,14 @@ private:
     engine.adopt_bound_store(state_.bounds);
     engine.adopt_probe_cache(state_.probes);
     pressio::CompressorPtr rate_backend;  // lazy, per-worker (not thread-safe)
-    const auto account_tuning = [&] {
-      // Under `mutex_` (or after the workers joined): fold this engine's
-      // tuning spend into the pipeline totals exactly once per exit path.
-      outcome_.tuner_probe_calls += engine.stats().tuner_probe_calls;
-      outcome_.probe_cache_hits += engine.stats().probe_cache_hits;
-    };
     for (;;) {
       std::size_t i = 0;
       NdArray row;
       {
-        std::unique_lock lock(mutex_);
-        work_cv_.wait(lock, [&] { return failed_ || closed_ || !queue_.empty(); });
+        UniqueLock lock(mutex_);
+        while (!failed_ && !closed_ && queue_.empty()) work_cv_.wait(lock);
         if (failed_ || (queue_.empty() && closed_)) {
-          account_tuning();
+          account_tuning_locked(engine);
           return;
         }
         i = queue_.front().first;
@@ -355,16 +357,16 @@ private:
       const std::size_t row_bytes = row.size_bytes();
       row = NdArray();  // release the raw input row before taking the lock
 
-      std::lock_guard lock(mutex_);
+      LockGuard lock(mutex_);
       staged_bytes_ -= row_bytes;
       staged_bytes_gauge().sub(static_cast<std::int64_t>(row_bytes));
       if (!status.ok()) {
         fail_locked(std::move(status));
-        account_tuning();
+        account_tuning_locked(engine);
         return;
       }
       if (failed_) {
-        account_tuning();
+        account_tuning_locked(engine);
         return;
       }
       Slot& slot = slots_[i];
@@ -409,7 +411,7 @@ private:
         }
         if (!sink_status.ok()) {
           fail_locked(sink_status);
-          account_tuning();
+          account_tuning_locked(engine);
           return;
         }
         emitted_bytes_ += head_size;
@@ -433,22 +435,27 @@ private:
   const bool try_rate_fallback_;
   const double overhead_;
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;   ///< workers wait for queued rows
-  std::condition_variable space_cv_;  ///< submit waits for window space
-  std::deque<std::pair<std::size_t, NdArray>> queue_;
-  std::vector<Slot> slots_;
-  PipelineOutcome outcome_;
-  std::size_t submit_next_ = 0;
-  std::size_t write_head_ = 0;
-  std::size_t live_chunks_ = 0;   ///< submitted but not yet emitted
-  std::size_t live_bytes_ = 0;    ///< completed-but-unemitted payload bytes
-  std::size_t staged_bytes_ = 0;  ///< queued + in-compression raw row bytes
-  std::size_t emitted_bytes_ = 0;
-  bool closed_ = false;
-  bool failed_ = false;
+  Mutex mutex_;
+  CondVar work_cv_;   ///< workers wait for queued rows
+  CondVar space_cv_;  ///< submit waits for window space
+  std::deque<std::pair<std::size_t, NdArray>> queue_ FRAZ_GUARDED_BY(mutex_);
+  std::vector<Slot> slots_ FRAZ_GUARDED_BY(mutex_);
+  PipelineOutcome outcome_ FRAZ_GUARDED_BY(mutex_);
+  std::size_t submit_next_ FRAZ_GUARDED_BY(mutex_) = 0;
+  std::size_t write_head_ FRAZ_GUARDED_BY(mutex_) = 0;
+  /// submitted but not yet emitted
+  std::size_t live_chunks_ FRAZ_GUARDED_BY(mutex_) = 0;
+  /// completed-but-unemitted payload bytes
+  std::size_t live_bytes_ FRAZ_GUARDED_BY(mutex_) = 0;
+  /// queued + in-compression raw row bytes
+  std::size_t staged_bytes_ FRAZ_GUARDED_BY(mutex_) = 0;
+  std::size_t emitted_bytes_ FRAZ_GUARDED_BY(mutex_) = 0;
+  bool closed_ FRAZ_GUARDED_BY(mutex_) = false;
+  bool failed_ FRAZ_GUARDED_BY(mutex_) = false;
+  Status failure_ FRAZ_GUARDED_BY(mutex_);
+  /// Touched only by the owner thread (submit/finish caller), never by
+  /// workers — not lock-guarded.
   bool joined_ = false;
-  Status failure_;
 
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::future<void>> futures_;

@@ -112,7 +112,7 @@ void ProbeCache::rotate_if_full_locked() const {
 }
 
 bool ProbeCache::lookup(std::uint64_t context, double bound, ProbeRecord& out) const noexcept {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   const std::uint64_t key = slot(context, bound);
   auto it = current_.find(key);
   if (it == current_.end()) {
@@ -134,7 +134,7 @@ bool ProbeCache::lookup(std::uint64_t context, double bound, ProbeRecord& out) c
 }
 
 void ProbeCache::insert(std::uint64_t context, double bound, const ProbeRecord& record) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   const std::uint64_t key = slot(context, bound);
   // Rotate first, then purge: one key must never live in both generations
   // (a rotation could carry a stale copy of this key into previous_, where
@@ -146,12 +146,12 @@ void ProbeCache::insert(std::uint64_t context, double bound, const ProbeRecord& 
 }
 
 ProbeCache::Stats ProbeCache::stats() const noexcept {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return Stats{hits_, misses_, current_.size() + previous_.size()};
 }
 
 void ProbeCache::clear() noexcept {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   current_.clear();
   previous_.clear();
 }
@@ -173,7 +173,7 @@ std::uint64_t ProbeExecutor::context_key(const ArrayView& data) const noexcept {
 
 std::unique_ptr<ProbeExecutor::Context> ProbeExecutor::checkout() {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     if (!idle_.empty()) {
       auto context = std::move(idle_.back());
       idle_.pop_back();
@@ -186,7 +186,7 @@ std::unique_ptr<ProbeExecutor::Context> ProbeExecutor::checkout() {
 }
 
 void ProbeExecutor::checkin(std::unique_ptr<Context> context) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   idle_.push_back(std::move(context));
 }
 
@@ -286,7 +286,7 @@ std::vector<ProbeOutcome> ProbeExecutor::probe_ratios(const ArrayView& data,
   probe_cache_hits_counter().add(hits - repeats.size());
   probes_deduped_counter().add(repeats.size());
 
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   executed_ += misses.size();
   cache_hits_ += hits;
   return out;
@@ -297,7 +297,7 @@ ProbeOutcome ProbeExecutor::probe_ratio(const ArrayView& data, std::uint64_t con
   ProbeRecord cached;
   if (cache_->lookup(context, bound, cached)) {
     probe_cache_hits_counter().add();
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     ++cache_hits_;
     return ProbeOutcome{cached, true};
   }
@@ -311,7 +311,7 @@ ProbeOutcome ProbeExecutor::probe_ratio(const ArrayView& data, std::uint64_t con
   }
   checkin(std::move(worker));
   cache_->insert(context, bound, record);
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   ++executed_;
   return ProbeOutcome{record, false};
 }
@@ -325,7 +325,7 @@ ProbeOutcome ProbeExecutor::probe_quality(const ArrayView& data, std::uint64_t c
   ProbeRecord cached;
   if (cache_->lookup(tagged, bound, cached)) {
     probe_cache_hits_counter().add();
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     ++cache_hits_;
     return ProbeOutcome{cached, true};
   }
@@ -351,18 +351,18 @@ ProbeOutcome ProbeExecutor::probe_quality(const ArrayView& data, std::uint64_t c
   checkin(std::move(worker));
   cache_->insert(tagged, bound, record);
   probes_executed_counter().add();
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   ++executed_;
   return ProbeOutcome{record, false};
 }
 
 std::size_t ProbeExecutor::executed() const noexcept {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return executed_;
 }
 
 std::size_t ProbeExecutor::cache_hits() const noexcept {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return cache_hits_;
 }
 

@@ -20,13 +20,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "ndarray/ndarray.hpp"
 #include "pressio/compressor.hpp"
 #include "util/buffer.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace fraz {
 
@@ -83,16 +83,18 @@ public:
 private:
   static std::uint64_t slot(std::uint64_t context, double bound) noexcept;
   /// Rotate generations once the current one fills its half-budget.
-  void rotate_if_full_locked() const;
+  void rotate_if_full_locked() const FRAZ_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // lookup() promotes hot entries, so both generations mutate under a const
   // interface; the mutex makes that promotion safe.
-  mutable std::unordered_map<std::uint64_t, ProbeRecord> current_;
-  mutable std::unordered_map<std::uint64_t, ProbeRecord> previous_;
+  mutable std::unordered_map<std::uint64_t, ProbeRecord> current_
+      FRAZ_GUARDED_BY(mutex_);
+  mutable std::unordered_map<std::uint64_t, ProbeRecord> previous_
+      FRAZ_GUARDED_BY(mutex_);
   std::size_t generation_budget_;  ///< max entries per generation (half the total)
-  mutable std::size_t hits_ = 0;
-  mutable std::size_t misses_ = 0;
+  mutable std::size_t hits_ FRAZ_GUARDED_BY(mutex_) = 0;
+  mutable std::size_t misses_ FRAZ_GUARDED_BY(mutex_) = 0;
 };
 
 using ProbeCachePtr = std::shared_ptr<ProbeCache>;
@@ -160,10 +162,10 @@ private:
   ProbeCachePtr cache_;
   unsigned threads_;
 
-  mutable std::mutex mutex_;          // guards idle_ and the counters
-  std::vector<std::unique_ptr<Context>> idle_;
-  std::size_t executed_ = 0;
-  std::size_t cache_hits_ = 0;
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<Context>> idle_ FRAZ_GUARDED_BY(mutex_);
+  std::size_t executed_ FRAZ_GUARDED_BY(mutex_) = 0;
+  std::size_t cache_hits_ FRAZ_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace fraz

@@ -17,34 +17,34 @@ constexpr std::uint8_t kBoundStoreVersion = 1;
 }  // namespace
 
 double BoundStore::get(const std::string& field, double target_ratio) const noexcept {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   const auto it = bounds_.find(Key{field, target_ratio});
   return it != bounds_.end() ? it->second : 0.0;
 }
 
 void BoundStore::put(const std::string& field, double target_ratio, double bound) {
   if (!(bound > 0)) return;
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   bounds_[Key{field, target_ratio}] = bound;
 }
 
 void BoundStore::erase(const std::string& field, double target_ratio) noexcept {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   bounds_.erase(Key{field, target_ratio});
 }
 
 void BoundStore::clear() noexcept {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   bounds_.clear();
 }
 
 std::size_t BoundStore::size() const noexcept {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return bounds_.size();
 }
 
 void BoundStore::serialize(Buffer& out) const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   out.clear();
   put_u32(out, kBoundStoreMagic);
   out.push_back(kBoundStoreVersion);
@@ -93,7 +93,7 @@ Status BoundStore::deserialize(const std::uint8_t* data, std::size_t size) noexc
       parsed[Key{std::move(field), target}] = bound;
     }
     if (pos + 4 != size) return Status::corrupt_stream("bound store: trailing bytes");
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     bounds_ = std::move(parsed);
     return Status();
   } catch (...) {

@@ -16,12 +16,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "util/buffer.hpp"
 #include "util/status.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace fraz {
 
@@ -67,8 +67,8 @@ public:
 private:
   using Key = std::pair<std::string, double>;
 
-  mutable std::mutex mutex_;
-  std::map<Key, double> bounds_;
+  mutable Mutex mutex_;
+  std::map<Key, double> bounds_ FRAZ_GUARDED_BY(mutex_);
 };
 
 using BoundStorePtr = std::shared_ptr<BoundStore>;

@@ -12,7 +12,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     stopping_ = true;
   }
   wake_.notify_all();
@@ -30,8 +30,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) wake_.wait(lock);
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop_front();

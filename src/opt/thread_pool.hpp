@@ -7,14 +7,14 @@
 /// per-time-step work are all submitted here.  Tasks are plain callables;
 /// results travel through std::future.
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace fraz {
 
@@ -40,7 +40,7 @@ public:
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      LockGuard lock(mutex_);
       queue_.emplace_back([task] { (*task)(); });
     }
     wake_.notify_one();
@@ -51,10 +51,10 @@ private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::deque<std::function<void()>> queue_ FRAZ_GUARDED_BY(mutex_);
+  CondVar wake_;
+  bool stopping_ FRAZ_GUARDED_BY(mutex_) = false;
 };
 
 /// The process-wide pool probe batches share (hardware-sized, lazily

@@ -61,7 +61,7 @@ std::shared_ptr<const NdArray> ChunkCache::lookup(const ChunkKey& key) const noe
   // lock is the throughput bound, so the critical section stays map-only.
   std::shared_ptr<const NdArray> result;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     auto it = current_.find(key);
     if (it == current_.end()) {
       const auto prev = previous_.find(key);
@@ -88,14 +88,14 @@ std::shared_ptr<const NdArray> ChunkCache::lookup(const ChunkKey& key) const noe
 }
 
 bool ChunkCache::contains(const ChunkKey& key) const noexcept {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return current_.count(key) != 0 || previous_.count(key) != 0;
 }
 
 void ChunkCache::insert(const ChunkKey& key, std::shared_ptr<const NdArray> chunk) {
   if (!chunk) return;
   const std::size_t bytes = chunk->size_bytes();
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   // A chunk that alone overflows a generation would evict everything and
   // then be dropped on the next rotation anyway; skip it outright (and a
   // zero budget makes every chunk uncacheable — caching disabled).
@@ -124,7 +124,7 @@ void ChunkCache::insert(const ChunkKey& key, std::shared_ptr<const NdArray> chun
 }
 
 void ChunkCache::erase_archive(std::uint64_t archive) noexcept {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   for (Generation* generation : {&current_, &previous_}) {
     for (auto it = generation->begin(); it != generation->end();) {
       if (it->first.archive == archive)
@@ -139,7 +139,7 @@ void ChunkCache::erase_archive(std::uint64_t archive) noexcept {
 }
 
 void ChunkCache::clear() noexcept {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   current_.clear();
   previous_.clear();
   current_bytes_ = 0;
@@ -148,7 +148,7 @@ void ChunkCache::clear() noexcept {
 }
 
 ChunkCache::Stats ChunkCache::stats() const noexcept {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   Stats stats;
   stats.hits = static_cast<std::size_t>(hits_.value());
   stats.misses = static_cast<std::size_t>(misses_.value());

@@ -24,11 +24,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "ndarray/ndarray.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace fraz::serve {
 
@@ -115,26 +115,27 @@ private:
 
   /// Rotate once current_ has filled its half-budget: current_ becomes
   /// previous_ (dropping the old previous_ and its bytes).
-  void rotate_if_full_locked(std::size_t incoming_bytes) const;
+  void rotate_if_full_locked(std::size_t incoming_bytes) const FRAZ_REQUIRES(mutex_);
   static std::size_t bytes_of(const Generation& generation) noexcept;
   /// Publish the resident-bytes level to the serve.cache.resident_bytes
-  /// gauge as a delta from the last published value (mutex_ held).
-  void sync_resident_locked() const;
+  /// gauge as a delta from the last published value.
+  void sync_resident_locked() const FRAZ_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // lookup() promotes hot entries, so both generations mutate under a const
   // interface; the mutex makes that promotion safe.
-  mutable Generation current_;
-  mutable Generation previous_;
-  mutable std::size_t current_bytes_ = 0;
-  mutable std::size_t previous_bytes_ = 0;
+  mutable Generation current_ FRAZ_GUARDED_BY(mutex_);
+  mutable Generation previous_ FRAZ_GUARDED_BY(mutex_);
+  mutable std::size_t current_bytes_ FRAZ_GUARDED_BY(mutex_) = 0;
+  mutable std::size_t previous_bytes_ FRAZ_GUARDED_BY(mutex_) = 0;
   std::size_t byte_budget_;
   std::size_t generation_budget_;  ///< max bytes per generation (half the total)
   telemetry::Counter& hits_;
   telemetry::Counter& misses_;
   telemetry::Counter& rotations_;
   telemetry::Counter& uncacheable_;
-  mutable std::int64_t published_resident_ = 0;  ///< gauge's view of this cache
+  /// The gauge's view of this cache.
+  mutable std::int64_t published_resident_ FRAZ_GUARDED_BY(mutex_) = 0;
 };
 
 using ChunkCachePtr = std::shared_ptr<ChunkCache>;

@@ -1,0 +1,82 @@
+#include "serve/protocol.hpp"
+
+#include <sstream>
+
+namespace fraz::serve {
+
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream stream(line);
+  std::string word;
+  while (stream >> word) words.push_back(word);
+  return words;
+}
+
+bool parse_index(const std::string& word, std::size_t& out) noexcept {
+  if (word.empty() || word.size() > 19) return false;
+  std::size_t value = 0;
+  for (const char c : word) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+namespace {
+
+Request bad(std::string message) {
+  Request request;
+  request.kind = RequestKind::kBad;
+  request.error = std::move(message);
+  return request;
+}
+
+Request plain(RequestKind kind) {
+  Request request;
+  request.kind = kind;
+  return request;
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  // The cap runs before tokenising so a hostile megabyte line costs one
+  // length compare, not a word split.
+  if (line.size() > kMaxRequestLine) return bad("request line too long");
+
+  const std::vector<std::string> words = split_words(line);
+  if (words.empty()) return plain(RequestKind::kBlank);
+  const std::string& verb = words[0];
+
+  if (verb == "QUIT") return plain(RequestKind::kQuit);
+  if (verb == "PING") return plain(RequestKind::kPing);
+  if (verb == "INFO") return plain(RequestKind::kInfo);
+  if (verb == "STATS") return plain(RequestKind::kStats);
+  if (verb == "METRICS") {
+    if (words.size() == 1) return plain(RequestKind::kMetrics);
+    if (words.size() == 2 && words[1] == "PROM")
+      return plain(RequestKind::kMetricsProm);
+    return bad("usage: METRICS [PROM]");
+  }
+  if (verb == "GET") {
+    Request request;
+    if (words.size() != 4 || !parse_index(words[2], request.first) ||
+        !parse_index(words[3], request.count))
+      return bad("usage: GET <field> <first> <count>");
+    request.kind = RequestKind::kGet;
+    request.field = words[1];
+    return request;
+  }
+  if (verb == "CHUNK") {
+    Request request;
+    if (words.size() != 3 || !parse_index(words[2], request.first))
+      return bad("usage: CHUNK <field> <i>");
+    request.kind = RequestKind::kChunk;
+    request.field = words[1];
+    return request;
+  }
+  return bad("unknown request '" + verb + "'");
+}
+
+}  // namespace fraz::serve

@@ -1,0 +1,66 @@
+#ifndef FRAZ_SERVE_PROTOCOL_HPP
+#define FRAZ_SERVE_PROTOCOL_HPP
+
+/// \file protocol.hpp
+/// Request-line parsing of the serve protocol, separated from transports and
+/// the connection loop so the parser can be unit-tested and fuzzed over raw
+/// untrusted bytes without a socket or a ReaderPool.
+///
+/// The parser's contract with hostile input:
+///  - Never throws, never allocates proportionally to anything but the line
+///    itself, never asserts.  Any malformed request becomes RequestKind::kBad
+///    with a human-readable message the connection loop sends as `ERR ...`.
+///  - Lines longer than kMaxRequestLine are rejected outright (no verb in
+///    the protocol needs more); transports additionally bound their buffers
+///    so the cap holds before the parser ever runs.
+///  - Numeric arguments (plane/chunk indices and counts) accept only plain
+///    decimal digits — no sign, no hex, no leading '+', no trailing junk —
+///    and at most 19 digits, so parsing can never overflow or surprise the
+///    range checks downstream.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fraz::serve {
+
+/// Longest request line the protocol accepts (bytes, newline excluded).
+/// GET/CHUNK carry a field name and at most two 19-digit indices; 4 KiB
+/// leaves generous headroom while keeping a hostile peer's memory at bay.
+inline constexpr std::size_t kMaxRequestLine = 4096;
+
+enum class RequestKind {
+  kBlank,        ///< empty line — keep-alive noise, no reply
+  kQuit,         ///< QUIT
+  kPing,         ///< PING
+  kInfo,         ///< INFO
+  kStats,        ///< STATS
+  kMetrics,      ///< METRICS
+  kMetricsProm,  ///< METRICS PROM
+  kGet,          ///< GET <field> <first> <count>
+  kChunk,        ///< CHUNK <field> <i>
+  kBad,          ///< anything else — reply `ERR <error>` and keep serving
+};
+
+/// One parsed request line.
+struct Request {
+  RequestKind kind = RequestKind::kBad;
+  std::string field;      ///< GET/CHUNK field name
+  std::size_t first = 0;  ///< GET first plane / CHUNK chunk index
+  std::size_t count = 0;  ///< GET plane count
+  std::string error;      ///< kBad: message for the ERR reply
+};
+
+/// Split on whitespace (the protocol's only separator).
+std::vector<std::string> split_words(const std::string& line);
+
+/// Strict non-negative decimal parse; see the file comment for the rules.
+bool parse_index(const std::string& word, std::size_t& out) noexcept;
+
+/// Parse one request line (newline already stripped).  Total: every input
+/// maps to exactly one Request and kBad carries the reply message.
+Request parse_request(const std::string& line);
+
+}  // namespace fraz::serve
+
+#endif  // FRAZ_SERVE_PROTOCOL_HPP

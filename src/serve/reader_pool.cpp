@@ -65,7 +65,7 @@ Result<std::size_t> ReaderPool::field_index(const std::string& name) const noexc
 Result<std::unique_ptr<ReaderPool::Context>> ReaderPool::checkout_context(
     std::size_t field) noexcept {
   {
-    std::lock_guard lock(context_mutex_);
+    LockGuard lock(context_mutex_);
     if (!free_contexts_[field].empty()) {
       std::unique_ptr<Context> context = std::move(free_contexts_[field].back());
       free_contexts_[field].pop_back();
@@ -86,7 +86,7 @@ Result<std::unique_ptr<ReaderPool::Context>> ReaderPool::checkout_context(
 void ReaderPool::checkin_context(std::size_t field,
                                  std::unique_ptr<Context> context) noexcept {
   try {
-    std::lock_guard lock(context_mutex_);
+    LockGuard lock(context_mutex_);
     free_contexts_[field].push_back(std::move(context));
   } catch (...) {
     // Dropping the context is safe — the next decode just rebuilds one.
@@ -114,7 +114,7 @@ Result<std::shared_ptr<const NdArray>> ReaderPool::chunk(std::size_t field,
     std::shared_ptr<InFlight> flight;
     bool owner = false;
     {
-      std::lock_guard lock(inflight_mutex_);
+      LockGuard lock(inflight_mutex_);
       auto it = inflight_.find(key);
       if (it != inflight_.end()) {
         flight = it->second;
@@ -126,8 +126,8 @@ Result<std::shared_ptr<const NdArray>> ReaderPool::chunk(std::size_t field,
     }
 
     if (!owner) {
-      std::unique_lock lock(flight->mutex);
-      flight->done_cv.wait(lock, [&] { return flight->done; });
+      UniqueLock lock(flight->mutex);
+      while (!flight->done) flight->done_cv.wait(lock);
       wait_hits_.add();
       if (!flight->status.ok()) return flight->status;
       return flight->value;
@@ -164,11 +164,11 @@ Result<std::shared_ptr<const NdArray>> ReaderPool::chunk(std::size_t field,
     // starting a second decode.
     if (value) cache_->insert(key, value);
     {
-      std::lock_guard lock(inflight_mutex_);
+      LockGuard lock(inflight_mutex_);
       inflight_.erase(key);
     }
     {
-      std::lock_guard lock(flight->mutex);
+      LockGuard lock(flight->mutex);
       flight->status = status;
       flight->value = value;
       flight->done = true;
@@ -190,11 +190,11 @@ void ReaderPool::prefetch(std::size_t field, std::size_t i) noexcept {
     const ChunkKey key{archive_id_, static_cast<std::uint32_t>(field), i};
     if (cache_->contains(key)) return;
     {
-      std::lock_guard lock(inflight_mutex_);
+      LockGuard lock(inflight_mutex_);
       if (inflight_.count(key) != 0) return;
     }
     {
-      std::lock_guard lock(prefetch_mutex_);
+      LockGuard lock(prefetch_mutex_);
       ++prefetch_outstanding_;
     }
     prefetch_issued_.add();
@@ -205,7 +205,7 @@ void ReaderPool::prefetch(std::size_t field, std::size_t i) noexcept {
     std::shared_ptr<ReaderPool> self = shared_from_this();
     shared_thread_pool().submit([self, field, i] {
       self->chunk(field, i);  // failures surface on the eventual read
-      std::lock_guard lock(self->prefetch_mutex_);
+      LockGuard lock(self->prefetch_mutex_);
       if (--self->prefetch_outstanding_ == 0) self->prefetch_cv_.notify_all();
     });
   } catch (...) {
@@ -214,8 +214,8 @@ void ReaderPool::prefetch(std::size_t field, std::size_t i) noexcept {
 }
 
 void ReaderPool::drain_prefetches() noexcept {
-  std::unique_lock lock(prefetch_mutex_);
-  prefetch_cv_.wait(lock, [&] { return prefetch_outstanding_ == 0; });
+  UniqueLock lock(prefetch_mutex_);
+  while (prefetch_outstanding_ != 0) prefetch_cv_.wait(lock);
 }
 
 ReaderPool::Stats ReaderPool::stats() const noexcept {

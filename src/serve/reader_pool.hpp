@@ -35,16 +35,15 @@
 /// dropped when the pool is destroyed (its archive-id is retired); the
 /// ChunkCache itself may be shared across pools and outlive any of them.
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "archive/archive_file.hpp"
 #include "serve/chunk_cache.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace fraz::serve {
 
@@ -168,11 +167,11 @@ private:
 
   /// Result slot N threads missing the same chunk converge on.
   struct InFlight {
-    std::mutex mutex;
-    std::condition_variable done_cv;
-    bool done = false;
-    Status status;
-    std::shared_ptr<const NdArray> value;
+    Mutex mutex;
+    CondVar done_cv;
+    bool done FRAZ_GUARDED_BY(mutex) = false;
+    Status status FRAZ_GUARDED_BY(mutex);
+    std::shared_ptr<const NdArray> value FRAZ_GUARDED_BY(mutex);
   };
 
   ReaderPool(archive::ArchiveFileReader reader, ReaderPoolConfig config,
@@ -186,11 +185,14 @@ private:
   const ChunkCachePtr cache_;
   const std::uint64_t archive_id_;
 
-  std::mutex context_mutex_;
-  std::vector<std::vector<std::unique_ptr<Context>>> free_contexts_;  ///< per field
+  Mutex context_mutex_;
+  /// Per-field free lists of decode contexts.
+  std::vector<std::vector<std::unique_ptr<Context>>> free_contexts_
+      FRAZ_GUARDED_BY(context_mutex_);
 
-  std::mutex inflight_mutex_;
-  std::unordered_map<ChunkKey, std::shared_ptr<InFlight>, ChunkKeyHash> inflight_;
+  Mutex inflight_mutex_;
+  std::unordered_map<ChunkKey, std::shared_ptr<InFlight>, ChunkKeyHash> inflight_
+      FRAZ_GUARDED_BY(inflight_mutex_);
 
   telemetry::Counter& requests_;
   telemetry::Counter& cache_hits_;
@@ -198,9 +200,9 @@ private:
   telemetry::Counter& decoded_chunks_;
   telemetry::Counter& prefetch_issued_;
 
-  std::mutex prefetch_mutex_;
-  std::condition_variable prefetch_cv_;
-  std::size_t prefetch_outstanding_ = 0;
+  Mutex prefetch_mutex_;
+  CondVar prefetch_cv_;
+  std::size_t prefetch_outstanding_ FRAZ_GUARDED_BY(prefetch_mutex_) = 0;
 };
 
 }  // namespace fraz::serve

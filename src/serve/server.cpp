@@ -2,16 +2,16 @@
 
 #include <cstring>
 #include <istream>
-#include <mutex>
 #include <ostream>
-#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "ndarray/dtype.hpp"
+#include "serve/protocol.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/json_writer.hpp"
+#include "util/thread_annotations.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define FRAZ_SERVE_HAS_SOCKETS 1
@@ -26,27 +26,6 @@
 namespace fraz::serve {
 
 namespace {
-
-std::vector<std::string> split_words(const std::string& line) {
-  std::vector<std::string> words;
-  std::istringstream stream(line);
-  std::string word;
-  while (stream >> word) words.push_back(word);
-  return words;
-}
-
-/// Strict non-negative integer parse; protocol requests carry no signs,
-/// no hex, no trailing junk.
-bool parse_index(const std::string& word, std::size_t& out) {
-  if (word.empty() || word.size() > 19) return false;
-  std::size_t value = 0;
-  for (const char c : word) {
-    if (c < '0' || c > '9') return false;
-    value = value * 10 + static_cast<std::size_t>(c - '0');
-  }
-  out = value;
-  return true;
-}
 
 std::string info_json(const ReaderPool& pool) {
   const archive::ArchiveInfo& info = pool.info();
@@ -126,8 +105,8 @@ public:
     if (!sink_) return;
     // One mutex for every concurrent connection of the process: the sink may
     // be shared across serve_tcp threads.
-    static std::mutex sink_mutex;
-    std::lock_guard lock(sink_mutex);
+    static Mutex sink_mutex;
+    LockGuard lock(sink_mutex);
     sink_->requests += session.requests;
     sink_->errors += session.errors;
     sink_->bytes_out += session.bytes_out;
@@ -197,11 +176,10 @@ Status serve_connection(const std::shared_ptr<ReaderPool>& pool, Transport& tran
     Status transport_status;
 
     while (transport.read_line(line)) {
-      const std::vector<std::string> words = split_words(line);
-      if (words.empty()) continue;  // blank lines are keep-alive noise
+      const Request request = parse_request(line);
+      if (request.kind == RequestKind::kBlank) continue;  // keep-alive noise
       TELEM_SPAN("serve.request_us");
       ++session.requests;
-      const std::string& verb = words[0];
 
       auto reply_error = [&](const std::string& message) {
         ++session.errors;
@@ -210,26 +188,32 @@ Status serve_connection(const std::shared_ptr<ReaderPool>& pool, Transport& tran
         return s;
       };
 
-      if (verb == "QUIT") {
+      if (request.kind == RequestKind::kQuit) {
         transport_status = transport.write_line("OK bye");
         if (transport_status.ok()) transport_status = transport.flush();
         break;
-      } else if (verb == "PING") {
-        transport_status = transport.write_line("PONG");
-        if (transport_status.ok()) transport_status = transport.flush();
-      } else if (verb == "INFO") {
-        transport_status = transport.write_line("OK " + info_json(*pool));
-        if (transport_status.ok()) transport_status = transport.flush();
-      } else if (verb == "STATS") {
-        transport_status = transport.write_line("OK " + stats_json(*pool, session));
-        if (transport_status.ok()) transport_status = transport.flush();
-      } else if (verb == "METRICS") {
-        if (words.size() == 1) {
+      }
+      switch (request.kind) {
+        case RequestKind::kPing:
+          transport_status = transport.write_line("PONG");
+          if (transport_status.ok()) transport_status = transport.flush();
+          break;
+        case RequestKind::kInfo:
+          transport_status = transport.write_line("OK " + info_json(*pool));
+          if (transport_status.ok()) transport_status = transport.flush();
+          break;
+        case RequestKind::kStats:
+          transport_status =
+              transport.write_line("OK " + stats_json(*pool, session));
+          if (transport_status.ok()) transport_status = transport.flush();
+          break;
+        case RequestKind::kMetrics:
           // Registry snapshot as one JSON line.
           transport_status =
               transport.write_line("OK " + telemetry::global().to_json());
           if (transport_status.ok()) transport_status = transport.flush();
-        } else if (words.size() == 2 && words[1] == "PROM") {
+          break;
+        case RequestKind::kMetricsProm: {
           // Prometheus text is multi-line, so frame it like a payload:
           // `OK <nbytes>` then the raw exposition bytes.
           const std::string text = telemetry::global().to_prometheus();
@@ -239,32 +223,29 @@ Status serve_connection(const std::shared_ptr<ReaderPool>& pool, Transport& tran
             transport_status = transport.write_bytes(text.data(), text.size());
           if (transport_status.ok()) transport_status = transport.flush();
           session.bytes_out += text.size();
-        } else {
-          transport_status = reply_error("usage: METRICS [PROM]");
+          break;
         }
-      } else if (verb == "GET") {
-        std::size_t first = 0, count = 0;
-        if (words.size() != 4 || !parse_index(words[2], first) ||
-            !parse_index(words[3], count)) {
-          transport_status = reply_error("usage: GET <field> <first> <count>");
-        } else {
-          Result<NdArray> range = handle.read_range(words[1], first, count);
+        case RequestKind::kGet: {
+          Result<NdArray> range =
+              handle.read_range(request.field, request.first, request.count);
           transport_status = range.ok()
                                  ? send_array(transport, range.value(), session)
                                  : reply_error(range.status().to_string());
+          break;
         }
-      } else if (verb == "CHUNK") {
-        std::size_t index = 0;
-        if (words.size() != 3 || !parse_index(words[2], index)) {
-          transport_status = reply_error("usage: CHUNK <field> <i>");
-        } else {
-          Result<NdArray> chunk = handle.read_chunk(words[1], index);
+        case RequestKind::kChunk: {
+          Result<NdArray> chunk = handle.read_chunk(request.field, request.first);
           transport_status = chunk.ok()
                                  ? send_array(transport, chunk.value(), session)
                                  : reply_error(chunk.status().to_string());
+          break;
         }
-      } else {
-        transport_status = reply_error("unknown request '" + verb + "'");
+        case RequestKind::kBad:
+          transport_status = reply_error(request.error);
+          break;
+        case RequestKind::kBlank:
+        case RequestKind::kQuit:
+          break;  // handled above
       }
       if (!transport_status.ok()) break;  // peer is gone; stop serving it
     }
@@ -297,9 +278,24 @@ public:
         if (!line.empty() && line.back() == '\r') line.pop_back();
         return true;
       }
+      // Bound the line buffer against a peer that streams bytes without a
+      // newline: past the protocol cap the content can only ever produce
+      // "request line too long", so keep a cap-exceeding prefix (enough for
+      // the parser to reject it) and discard the rest until the newline.
+      if (buffer_.size() > kMaxRequestLine) buffer_.resize(kMaxRequestLine + 1);
       char chunk[4096];
       const ::ssize_t n = ::read(fd_, chunk, sizeof chunk);
       if (n <= 0) return false;
+      if (buffer_.size() > kMaxRequestLine) {
+        const void* found =
+            std::memchr(chunk, '\n', static_cast<std::size_t>(n));
+        if (found == nullptr) continue;  // still discarding
+        const std::size_t after =
+            static_cast<std::size_t>(static_cast<const char*>(found) - chunk) + 1;
+        line = buffer_;  // oversized marker prefix; parser rejects it
+        buffer_.assign(chunk + after, static_cast<std::size_t>(n) - after);
+        return true;
+      }
       buffer_.append(chunk, static_cast<std::size_t>(n));
     }
   }

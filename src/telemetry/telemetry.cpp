@@ -33,12 +33,14 @@ namespace {
 
 // Function-local statics so a lease taken during another translation
 // unit's static initialization still finds initialized state.
-std::mutex& slot_mutex() noexcept {
-  static std::mutex m;
+Mutex& slot_mutex() noexcept FRAZ_RETURN_CAPABILITY(slot_mutex()) {
+  static Mutex m;
   return m;
 }
 
-std::vector<std::size_t>& free_slots() {
+// The free list is guarded by slot_mutex() — expressed as a capability on
+// the accessor since the state is a function-local static.
+std::vector<std::size_t>& free_slots() FRAZ_REQUIRES(slot_mutex()) {
   static std::vector<std::size_t> slots;
   return slots;
 }
@@ -53,7 +55,7 @@ struct SlotLease {
 
   SlotLease() noexcept {
     try {
-      std::lock_guard<std::mutex> lock(slot_mutex());
+      LockGuard lock(slot_mutex());
       std::vector<std::size_t>& free = free_slots();
       if (!free.empty()) {
         slot = free.back();
@@ -74,7 +76,7 @@ struct SlotLease {
     detail::t_thread_slot = detail::kSlotOverflow;
     if (slot >= Counter::kCells) return;
     try {
-      std::lock_guard<std::mutex> lock(slot_mutex());
+      LockGuard lock(slot_mutex());
       free_slots().push_back(slot);
     } catch (...) {
       // Losing a slot to an allocation failure only costs striping.
@@ -107,22 +109,22 @@ std::string trace_event_json(const TraceEvent& event) {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return counters_[name];
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return gauges_[name];
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return histograms_[name];
 }
 
 Counter& MetricsRegistry::instanced_counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return instanced_.emplace(std::piecewise_construct,
                             std::forward_as_tuple(name), std::forward_as_tuple())
       ->second;
@@ -140,7 +142,7 @@ std::string MetricsRegistry::to_json(std::string_view prefix) const {
     return prefix.empty() ||
            std::string_view(name).substr(0, prefix.size()) == prefix;
   };
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   JsonWriter w;
   w.begin_object();
   w.key("counters").begin_object();
@@ -173,7 +175,7 @@ std::string MetricsRegistry::to_json(std::string_view prefix) const {
 }
 
 std::string MetricsRegistry::to_prometheus() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   std::string out;
   for (const auto& [name, total] : counter_totals_locked()) {
     const std::string p = prometheus_name(name);
@@ -199,13 +201,13 @@ std::string MetricsRegistry::to_prometheus() const {
 }
 
 void MetricsRegistry::set_trace_sink(std::function<void(const TraceEvent&)> sink) {
-  std::lock_guard<std::mutex> lock(sink_mutex_);
+  LockGuard lock(sink_mutex_);
   sink_ = std::move(sink);
   tracing_.store(static_cast<bool>(sink_), std::memory_order_relaxed);
 }
 
 void MetricsRegistry::trace(const TraceEvent& event) noexcept {
-  std::lock_guard<std::mutex> lock(sink_mutex_);
+  LockGuard lock(sink_mutex_);
   if (!sink_) return;
   try {
     sink_(event);
@@ -215,7 +217,7 @@ void MetricsRegistry::trace(const TraceEvent& event) noexcept {
 }
 
 void MetricsRegistry::reset_values() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, c] : instanced_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();

@@ -44,11 +44,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "telemetry/histogram.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace fraz::telemetry {
 
@@ -235,19 +235,22 @@ public:
   void reset_values();
 
 private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // Node-based maps: emplaced metrics never move, so returned references
-  // stay valid while hot paths hold them.
-  std::map<std::string, Counter> counters_;
-  std::multimap<std::string, Counter> instanced_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  // stay valid while hot paths hold them.  The mutex guards the maps'
+  // *structure* (registration); the metric objects themselves are atomic
+  // and are touched lock-free through the returned references.
+  std::map<std::string, Counter> counters_ FRAZ_GUARDED_BY(mutex_);
+  std::multimap<std::string, Counter> instanced_ FRAZ_GUARDED_BY(mutex_);
+  std::map<std::string, Gauge> gauges_ FRAZ_GUARDED_BY(mutex_);
+  std::map<std::string, Histogram> histograms_ FRAZ_GUARDED_BY(mutex_);
 
   /// Totals per counter name: counters_ plus the instanced_ sums.
-  std::map<std::string, std::uint64_t> counter_totals_locked() const;
+  std::map<std::string, std::uint64_t> counter_totals_locked() const
+      FRAZ_REQUIRES(mutex_);
 
-  std::mutex sink_mutex_;
-  std::function<void(const TraceEvent&)> sink_;
+  Mutex sink_mutex_;
+  std::function<void(const TraceEvent&)> sink_ FRAZ_GUARDED_BY(sink_mutex_);
   std::atomic<bool> tracing_{false};
 };
 

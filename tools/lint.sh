@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Static-analysis entry point — the CI lint job runs this file verbatim, so
+# local `tools/lint.sh` reproduces the gate exactly.
+#
+# Stages (default: all three clang gates):
+#   thread-safety  clang build with -Wthread-safety as errors
+#   tidy           run-clang-tidy over src/ using .clang-tidy
+#   fuzz           ~60s sanitized libFuzzer smoke per harness, seeded from
+#                  tests/corpus/ (clang + libFuzzer required)
+#   fuzz-replay    replay tests/corpus/ through the standalone harnesses —
+#                  works with any compiler, no fuzzing toolchain needed
+#
+# Usage: tools/lint.sh [stage ...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REPO="$PWD"
+CLANG_CXX="${CLANG_CXX:-clang++}"
+RUN_CLANG_TIDY="${RUN_CLANG_TIDY:-run-clang-tidy}"
+FUZZ_SECONDS="${FUZZ_SECONDS:-10}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+need() {
+  command -v "$1" >/dev/null 2>&1 || {
+    echo "lint: required tool '$1' not found" >&2
+    exit 1
+  }
+}
+
+stage_thread_safety() {
+  need "$CLANG_CXX"
+  echo "== thread-safety: clang -Wthread-safety -Werror =="
+  cmake -B build-tsa -S . \
+    -DCMAKE_CXX_COMPILER="$CLANG_CXX" \
+    -DFRAZ_THREAD_SAFETY=ON -DFRAZ_WERROR=ON >/dev/null
+  cmake --build build-tsa -j "$JOBS"
+}
+
+stage_tidy() {
+  need "$CLANG_CXX"
+  need "$RUN_CLANG_TIDY"
+  echo "== clang-tidy over src/ =="
+  cmake -B build-tidy -S . -DCMAKE_CXX_COMPILER="$CLANG_CXX" >/dev/null
+  "$RUN_CLANG_TIDY" -p build-tidy -quiet "$REPO/src/.*\.cpp$"
+}
+
+stage_fuzz() {
+  need "$CLANG_CXX"
+  echo "== fuzz smoke: ${FUZZ_SECONDS}s per harness, ASan+UBSan =="
+  cmake -B build-fuzz -S . \
+    -DCMAKE_CXX_COMPILER="$CLANG_CXX" \
+    -DFRAZ_FUZZ=ON -DFRAZ_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-fuzz -j "$JOBS" --target fuzzers
+  local corpus="$REPO/tests/corpus"
+  for harness in build-fuzz/fuzz_*; do
+    [ -x "$harness" ] || continue
+    local name seed_dir work_dir
+    name="$(basename "$harness")"
+    seed_dir="$corpus/${name#fuzz_}"
+    work_dir="build-fuzz/corpus-work/${name#fuzz_}"
+    mkdir -p "$work_dir"
+    echo "-- $name (seeds: $seed_dir)"
+    "$harness" -max_total_time="$FUZZ_SECONDS" -timeout=5 -rss_limit_mb=2048 \
+      "$work_dir" "$seed_dir"
+  done
+}
+
+stage_fuzz_replay() {
+  echo "== fuzz replay: checked-in corpus through standalone harnesses =="
+  cmake -B build-replay -S . -DFRAZ_FUZZ=ON >/dev/null
+  cmake --build build-replay -j "$JOBS" --target fuzzers
+  local corpus="$REPO/tests/corpus"
+  for harness in build-replay/fuzz_*; do
+    [ -x "$harness" ] || continue
+    local name seed_dir
+    name="$(basename "$harness")"
+    seed_dir="$corpus/${name#fuzz_}"
+    echo "-- $name (seeds: $seed_dir)"
+    "$harness" "$seed_dir"
+  done
+}
+
+stages=("$@")
+[ ${#stages[@]} -eq 0 ] && stages=(thread-safety tidy fuzz)
+for stage in "${stages[@]}"; do
+  case "$stage" in
+    thread-safety) stage_thread_safety ;;
+    tidy) stage_tidy ;;
+    fuzz) stage_fuzz ;;
+    fuzz-replay) stage_fuzz_replay ;;
+    *)
+      echo "lint: unknown stage '$stage' (thread-safety|tidy|fuzz|fuzz-replay)" >&2
+      exit 2
+      ;;
+  esac
+done
+echo "lint: all requested stages passed"
