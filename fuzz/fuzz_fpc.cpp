@@ -1,0 +1,17 @@
+/// Fuzz the fpc decompressor over raw untrusted bytes.  The predictor
+/// replay is table-driven — a hostile residual stream must never index a
+/// hash table out of bounds, overrun the declared element count, or crash;
+/// anything malformed must surface as CorruptStream.
+#include "compressors/fpc/fpc.hpp"
+#include "fuzz_driver.hpp"
+#include "util/error.hpp"
+
+void fraz_fuzz_one(const std::uint8_t* data, std::size_t size) {
+  try {
+    (void)fraz::fpc_decompress(data, size);
+  } catch (const fraz::CorruptStream&) {
+    // Rejection is the expected outcome for malformed bytes.
+  } catch (const fraz::Unsupported&) {
+    // Frames claiming a dtype/rank this build does not handle.
+  }
+}

@@ -1,0 +1,17 @@
+/// Fuzz the szx decompressor over raw untrusted bytes.  szx frames arrive
+/// from disk and from remote peers via archives; the decoder's contract is
+/// decode-or-CorruptStream for any input — no crash, no out-of-bounds block
+/// unpack, no allocation driven by an unvalidated element count.
+#include "compressors/szx/szx.hpp"
+#include "fuzz_driver.hpp"
+#include "util/error.hpp"
+
+void fraz_fuzz_one(const std::uint8_t* data, std::size_t size) {
+  try {
+    (void)fraz::szx_decompress(data, size);
+  } catch (const fraz::CorruptStream&) {
+    // Rejection is the expected outcome for malformed bytes.
+  } catch (const fraz::Unsupported&) {
+    // Frames claiming a dtype/rank this build does not handle.
+  }
+}

@@ -6,8 +6,9 @@
 ///     fraz_make_corpus <output-dir>
 ///
 /// writes one subdirectory per fuzz target (archive_format/, bound_store/,
-/// serve_protocol/, varint/, entropy/).  The checked-in copy lives at
-/// tests/corpus/ and doubles as the negative-path unit-test input set.
+/// serve_protocol/, varint/, entropy/, szx/, fpc/).  The checked-in copy
+/// lives at tests/corpus/ and doubles as the negative-path unit-test input
+/// set.
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -19,6 +20,8 @@
 #include "codec/huffman.hpp"
 #include "codec/rans.hpp"
 #include "codec/varint.hpp"
+#include "compressors/fpc/fpc.hpp"
+#include "compressors/szx/szx.hpp"
 #include "engine/bound_store.hpp"
 #include "ndarray/ndarray.hpp"
 
@@ -136,6 +139,50 @@ bool emit_entropy(const fs::path& dir) {
          write_file(dir / "rans.bin", rans_seed.data(), rans_seed.size());
 }
 
+bool emit_szx(const fs::path& dir) {
+  const NdArray field = smooth_field();
+  SzxOptions tight;
+  tight.error_bound = 1e-4;  // packed blocks with wide codes
+  SzxOptions loose;
+  loose.error_bound = 15.0;  // mostly constant blocks
+  const auto frame_tight = szx_compress(field.view(), tight);
+  const auto frame_loose = szx_compress(field.view(), loose);
+
+  // A frame with a raw block: one NaN demotes its whole block.
+  NdArray special(DType::kFloat64, Shape{260});
+  double* p = static_cast<double*>(special.data());
+  for (std::size_t i = 0; i < special.elements(); ++i)
+    p[i] = std::sin(static_cast<double>(i) * 0.02) * 5.0;
+  p[7] = std::nan("");
+  const auto frame_raw = szx_compress(special.view(), SzxOptions{1e-3});
+
+  return write_file(dir / "tight.szx", frame_tight.data(), frame_tight.size()) &&
+         write_file(dir / "loose.szx", frame_loose.data(), frame_loose.size()) &&
+         write_file(dir / "raw_block.szx", frame_raw.data(), frame_raw.size());
+}
+
+bool emit_fpc(const fs::path& dir) {
+  const NdArray field = smooth_field();
+  const auto frame_f32 = fpc_compress(field.view(), FpcOptions{});
+
+  // Rough doubles: residual bytes at every header length.
+  NdArray rough(DType::kFloat64, Shape{128});
+  double* p = static_cast<double*>(rough.data());
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (std::size_t i = 0; i < rough.elements(); ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    p[i] = static_cast<double>(static_cast<std::int64_t>(x)) * 1e-3;
+  }
+  FpcOptions small_table;
+  small_table.table_bits = 8;  // forces hash collisions -> mispredictions
+  const auto frame_f64 = fpc_compress(rough.view(), small_table);
+
+  return write_file(dir / "smooth_f32.fpc", frame_f32.data(), frame_f32.size()) &&
+         write_file(dir / "rough_f64.fpc", frame_f64.data(), frame_f64.size());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -151,7 +198,8 @@ int main(int argc, char** argv) {
   } targets[] = {
       {"archive_format", emit_archives},   {"bound_store", emit_bound_store},
       {"serve_protocol", emit_serve_protocol}, {"varint", emit_varint},
-      {"entropy", emit_entropy},
+      {"entropy", emit_entropy},           {"szx", emit_szx},
+      {"fpc", emit_fpc},
   };
   for (const auto& target : targets) {
     const fs::path dir = root / target.name;

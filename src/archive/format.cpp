@@ -166,6 +166,8 @@ std::string backend_name(CompressorId id) {
     case CompressorId::kZfp: return "zfp";
     case CompressorId::kMgard: return "mgard";
     case CompressorId::kTruncate: return "truncate";
+    case CompressorId::kSzx: return "szx";
+    case CompressorId::kFpc: return "fpc";
   }
   throw Unsupported("archive: unknown compressor id");
 }
@@ -175,8 +177,10 @@ CompressorId backend_id(const std::string& name) {
   if (name == "zfp") return CompressorId::kZfp;
   if (name == "mgard") return CompressorId::kMgard;
   if (name == "truncate") return CompressorId::kTruncate;
+  if (name == "szx") return CompressorId::kSzx;
+  if (name == "fpc") return CompressorId::kFpc;
   throw Unsupported("archive: backend '" + name +
-                    "' has no container id (format v1 records sz/zfp/mgard/truncate; "
+                    "' has no container id (format v1 records the built-in backends; "
                     "write format v2 to record plugins by name)");
 }
 

@@ -158,17 +158,20 @@ std::vector<std::uint8_t> huffman_encode(const std::uint32_t* symbols, std::size
   return out;
 }
 
-std::vector<std::uint32_t> huffman_decode(const std::uint8_t* data, std::size_t size) {
-  std::size_t pos = 0;
-  const std::uint64_t symbol_count = get_varint(data, size, pos);
+namespace {
+
+/// Parse the dictionary header shared by both decoders.  Returns false for
+/// the empty-dictionary degenerate case (out stays empty).
+bool parse_dictionary(const std::uint8_t* data, std::size_t size, std::size_t& pos,
+                      std::uint64_t& symbol_count, Canonical& canon) {
+  symbol_count = get_varint(data, size, pos);
   const std::uint64_t distinct = get_varint(data, size, pos);
   if (distinct == 0) {
     if (symbol_count != 0) throw CorruptStream("huffman: empty dictionary with symbols");
-    return {};
+    return false;
   }
-
   std::vector<SymbolLength> lengths;
-  lengths.reserve(distinct);
+  lengths.reserve(std::min<std::uint64_t>(distinct, std::uint64_t{1} << 20));
   std::uint32_t symbol = 0;
   for (std::uint64_t i = 0; i < distinct; ++i) {
     const std::uint64_t delta = get_varint(data, size, pos);
@@ -178,24 +181,128 @@ std::vector<std::uint32_t> huffman_decode(const std::uint8_t* data, std::size_t 
                       : symbol + static_cast<std::uint32_t>(delta);
     lengths.push_back({symbol, static_cast<unsigned>(length)});
   }
-  Canonical canon = canonicalize(std::move(lengths));
+  canon = canonicalize(std::move(lengths));
+  return true;
+}
+
+/// The original bit-by-bit canonical walk over a BitReader, one symbol.
+std::uint32_t decode_one_slow(BitReader& reader, const Canonical& canon) {
+  std::uint32_t code = 0;
+  for (unsigned len = 1; len <= kMaxCodeLength; ++len) {
+    code = (code << 1) | reader.read_bit();
+    if (canon.count[len] != 0 && code < canon.first_code[len] + canon.count[len]) {
+      const std::uint32_t idx = canon.first_index[len] + (code - canon.first_code[len]);
+      return canon.sorted[idx].symbol;
+    }
+  }
+  throw CorruptStream("huffman: invalid code word");
+}
+
+/// Width of the fast-path prefix table.  Canonical Huffman over the nearly
+/// geometric quantization-code alphabet rarely exceeds 11 bits, so almost
+/// every symbol resolves with one table load.
+constexpr unsigned kFastBits = 11;
+
+}  // namespace
+
+std::vector<std::uint32_t> huffman_decode(const std::uint8_t* data, std::size_t size) {
+  std::size_t pos = 0;
+  std::uint64_t symbol_count = 0;
+  Canonical canon;
+  if (!parse_dictionary(data, size, pos, symbol_count, canon)) return {};
+
+  // The fast path assumes the canonical assignment is prefix-free, which
+  // holds exactly when the Kraft sum does not exceed 1.  Encoder output
+  // always satisfies this; hostile dictionaries take the reference walk.
+  std::uint64_t kraft = 0;
+  for (const auto& sl : canon.sorted) kraft += std::uint64_t{1} << (kMaxCodeLength - sl.length);
+  const bool fast_ok =
+      kraft <= (std::uint64_t{1} << kMaxCodeLength) && canon.sorted.size() < (1u << 24);
+
+  std::vector<std::uint32_t> out;
+  out.reserve(std::min<std::uint64_t>(symbol_count, std::uint64_t{1} << 20));
+
+  if (!fast_ok) {
+    BitReader reader(data + pos, size - pos);
+    for (std::uint64_t i = 0; i < symbol_count; ++i)
+      out.push_back(decode_one_slow(reader, canon));
+    return out;
+  }
+
+  // Prefix table: indexed by the next kFastBits stream bits (LSB-first read
+  // order, i.e. the bit-reverse of the MSB-first code), each hit packs
+  // (length << 24) | sorted_index.  Codes longer than kFastBits and slots
+  // near the end of the stream fall back to the bit-by-bit walk.
+  std::vector<std::uint32_t> table(std::size_t{1} << kFastBits, 0);
+  for (std::size_t i = 0; i < canon.sorted.size(); ++i) {
+    const unsigned len = canon.sorted[i].length;
+    if (len > kFastBits) continue;
+    const std::uint32_t code = canon.codes[i];
+    std::uint32_t rev = 0;
+    for (unsigned b = 0; b < len; ++b) rev |= ((code >> b) & 1u) << (len - 1 - b);
+    const std::uint32_t entry = (len << 24) | static_cast<std::uint32_t>(i);
+    for (std::size_t t = rev; t < table.size(); t += std::size_t{1} << len)
+      table[t] = entry;
+  }
+
+  const std::uint8_t* payload = data + pos;
+  const std::size_t payload_size = size - pos;
+  std::uint64_t buf = 0;      // next stream bits, LSB first
+  unsigned nbits = 0;         // valid bits in buf
+  std::size_t byte_pos = 0;
+  for (std::uint64_t i = 0; i < symbol_count; ++i) {
+    while (nbits <= 56 && byte_pos < payload_size) {
+      buf |= static_cast<std::uint64_t>(payload[byte_pos++]) << nbits;
+      nbits += 8;
+    }
+    if (nbits >= kFastBits) {
+      const std::uint32_t e = table[buf & ((1u << kFastBits) - 1)];
+      if (e != 0) {
+        const unsigned len = e >> 24;
+        buf >>= len;
+        nbits -= len;
+        out.push_back(canon.sorted[e & 0xffffffu].symbol);
+        continue;
+      }
+    }
+    // Long code or stream tail: the reference walk over the buffered bits.
+    std::uint32_t code = 0;
+    unsigned matched_len = 0;
+    for (unsigned len = 1; len <= kMaxCodeLength; ++len) {
+      if (nbits == 0) {
+        if (byte_pos < payload_size) {
+          buf = payload[byte_pos++];
+          nbits = 8;
+        } else {
+          throw CorruptStream("BitReader: read past end of stream");
+        }
+      }
+      code = (code << 1) | static_cast<std::uint32_t>(buf & 1u);
+      buf >>= 1;
+      --nbits;
+      if (canon.count[len] != 0 && code < canon.first_code[len] + canon.count[len]) {
+        matched_len = len;
+        out.push_back(
+            canon.sorted[canon.first_index[len] + (code - canon.first_code[len])].symbol);
+        break;
+      }
+    }
+    if (matched_len == 0) throw CorruptStream("huffman: invalid code word");
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> huffman_decode_ref(const std::uint8_t* data, std::size_t size) {
+  std::size_t pos = 0;
+  std::uint64_t symbol_count = 0;
+  Canonical canon;
+  if (!parse_dictionary(data, size, pos, symbol_count, canon)) return {};
 
   BitReader reader(data + pos, size - pos);
   std::vector<std::uint32_t> out;
-  out.reserve(symbol_count);
-  for (std::uint64_t i = 0; i < symbol_count; ++i) {
-    std::uint32_t code = 0;
-    for (unsigned len = 1; len <= kMaxCodeLength; ++len) {
-      code = (code << 1) | reader.read_bit();
-      if (canon.count[len] != 0 && code < canon.first_code[len] + canon.count[len]) {
-        const std::uint32_t idx = canon.first_index[len] + (code - canon.first_code[len]);
-        out.push_back(canon.sorted[idx].symbol);
-        code = 0;
-        break;
-      }
-      if (len == kMaxCodeLength) throw CorruptStream("huffman: invalid code word");
-    }
-  }
+  out.reserve(std::min<std::uint64_t>(symbol_count, std::uint64_t{1} << 20));
+  for (std::uint64_t i = 0; i < symbol_count; ++i)
+    out.push_back(decode_one_slow(reader, canon));
   return out;
 }
 

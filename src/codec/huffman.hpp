@@ -35,12 +35,18 @@ inline std::vector<std::uint8_t> huffman_encode(const std::vector<std::uint32_t>
 }
 
 /// Decode a buffer produced by huffman_encode.  Throws CorruptStream on any
-/// malformed input.
+/// malformed input.  Uses a table-driven fast path (11-bit prefix table with
+/// a buffered 64-bit reader); bit-identical to huffman_decode_ref.
 std::vector<std::uint32_t> huffman_decode(const std::uint8_t* data, std::size_t size);
 
 inline std::vector<std::uint32_t> huffman_decode(const std::vector<std::uint8_t>& data) {
   return huffman_decode(data.data(), data.size());
 }
+
+/// Reference decoder (the original bit-by-bit canonical walk).  Kept as the
+/// behavioural baseline the fast path is pinned against
+/// (tests/test_simd_kernels.cpp) and as the bench comparison point.
+std::vector<std::uint32_t> huffman_decode_ref(const std::uint8_t* data, std::size_t size);
 
 }  // namespace fraz
 

@@ -38,12 +38,18 @@ inline std::vector<std::uint8_t> rans_encode(const std::vector<std::uint32_t>& s
 }
 
 /// Decode a buffer produced by rans_encode; throws CorruptStream on any
-/// malformed input.
+/// malformed input.  Uses a flattened decode loop (bulk table fill, hoisted
+/// renormalization bounds checks); bit-identical to rans_decode_ref.
 std::vector<std::uint32_t> rans_decode(const std::uint8_t* data, std::size_t size);
 
 inline std::vector<std::uint32_t> rans_decode(const std::vector<std::uint8_t>& data) {
   return rans_decode(data.data(), data.size());
 }
+
+/// Reference decoder (the original straightforward loop).  Kept as the
+/// behavioural baseline the fast path is pinned against
+/// (tests/test_simd_kernels.cpp) and as the bench comparison point.
+std::vector<std::uint32_t> rans_decode_ref(const std::uint8_t* data, std::size_t size);
 
 }  // namespace fraz
 

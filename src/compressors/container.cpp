@@ -58,7 +58,7 @@ Container open_container_impl(const std::uint8_t* data, std::size_t size,
   const std::uint8_t dtype_tag = data[pos++];
   if (dtype_tag > 1) throw CorruptStream("container: bad dtype tag");
   if (id_tag < static_cast<std::uint8_t>(CompressorId::kSz) ||
-      id_tag > static_cast<std::uint8_t>(CompressorId::kTruncate))
+      id_tag > static_cast<std::uint8_t>(CompressorId::kFpc))
     throw CorruptStream("container: unknown compressor id");
   const auto id = static_cast<CompressorId>(id_tag);
   if (expected && id != *expected)

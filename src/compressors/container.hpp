@@ -31,6 +31,8 @@ enum class CompressorId : std::uint8_t {
   kZfp = 2,
   kMgard = 3,
   kTruncate = 4,
+  kSzx = 5,
+  kFpc = 6,
 };
 
 /// Parsed container: header fields plus a span of the payload.

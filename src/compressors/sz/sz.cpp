@@ -9,6 +9,7 @@
 #include "codec/rans.hpp"
 #include "codec/varint.hpp"
 #include "compressors/container.hpp"
+#include "compressors/sz/sz_kernels.hpp"
 #include "util/error.hpp"
 
 namespace fraz {
@@ -247,36 +248,71 @@ void compress_impl(const ArrayView& input, const SzOptions& opt, Buffer& out) {
     ++block_index;
 
     // ---- residual quantization over the block ----
-    for (std::size_t a = 0; a < g.len[0]; ++a)
-      for (std::size_t b = 0; b < g.len[1]; ++b)
-        for (std::size_t c = 0; c < g.len[2]; ++c) {
-          std::size_t coord[3] = {g.base[0] + a, g.base[1] + b, g.base[2] + c};
-          std::size_t idx = coord[0] * stride[0];
-          if (dims > 1) idx += coord[1] * stride[1];
-          if (dims > 2) idx += coord[2] * stride[2];
-          const double v = static_cast<double>(data[idx]);
-          const double pred = use_regression
-                                  ? regression_predict(coeff.data(), a, b, c)
-                                  : lorenzo_predict(recon.data(), coord, shape, stride);
-          const double qf = (v - pred) / twoe;
-          bool escaped = true;
-          if (std::abs(qf) < static_cast<double>(kRadius) - 1) {
-            const std::int64_t q = std::llround(qf);
-            const Scalar candidate = static_cast<Scalar>(pred + twoe * static_cast<double>(q));
-            // Validate after Scalar rounding so the bound holds exactly.
-            if (std::isfinite(static_cast<double>(candidate)) &&
-                std::abs(static_cast<double>(candidate) - v) <= e) {
-              codes.push_back(static_cast<std::uint32_t>(kRadius + q));
-              recon[idx] = candidate;
-              escaped = false;
+    if (use_regression) {
+      // Regression prediction has no serial dependence, so each contiguous
+      // inner-axis run goes through the (possibly vectorized) kernel.  The
+      // per-run pred_base keeps the reference expression's left-to-right
+      // association ((c0 + c1*a) + c2*b) + c3*c; see sz_kernels.hpp.
+      const bool vec = szk::simd_active();
+      const std::size_t run = g.len[dims - 1];
+      std::size_t code_base = codes.size();
+      codes.resize(code_base + g.len[0] * g.len[1] * g.len[2]);
+      std::uint32_t* cp = codes.data() + code_base;
+      const std::size_t outer1 = dims == 3 ? g.len[1] : 1;
+      for (std::size_t a = 0; a < g.len[0]; ++a)
+        for (std::size_t b = 0; b < outer1; ++b) {
+          double pred_base, pred_step;
+          std::size_t idx0;
+          if (dims == 3) {
+            pred_base = (coeff[0] + coeff[1] * static_cast<double>(a)) +
+                        coeff[2] * static_cast<double>(b);
+            pred_step = coeff[3];
+            idx0 = (g.base[0] + a) * stride[0] + (g.base[1] + b) * stride[1] + g.base[2];
+          } else {
+            pred_base = coeff[0] + coeff[1] * static_cast<double>(a);
+            pred_step = coeff[2];
+            idx0 = (g.base[0] + a) * stride[0] + g.base[1];
+          }
+          const std::uint32_t esc =
+              vec ? szk::quantize_run_vec(data + idx0, run, pred_base, pred_step, twoe, e,
+                                          cp, recon.data() + idx0)
+                  : szk::quantize_run_scalar(data + idx0, run, pred_base, pred_step, twoe,
+                                             e, cp, recon.data() + idx0);
+          cp += run;
+          for (std::uint32_t m = esc; m != 0; m &= m - 1)
+            put_scalar(raw_stream, data[idx0 + static_cast<unsigned>(__builtin_ctz(m))]);
+        }
+    } else {
+      for (std::size_t a = 0; a < g.len[0]; ++a)
+        for (std::size_t b = 0; b < g.len[1]; ++b)
+          for (std::size_t c = 0; c < g.len[2]; ++c) {
+            std::size_t coord[3] = {g.base[0] + a, g.base[1] + b, g.base[2] + c};
+            std::size_t idx = coord[0] * stride[0];
+            if (dims > 1) idx += coord[1] * stride[1];
+            if (dims > 2) idx += coord[2] * stride[2];
+            const double v = static_cast<double>(data[idx]);
+            const double pred = lorenzo_predict(recon.data(), coord, shape, stride);
+            const double qf = (v - pred) / twoe;
+            bool escaped = true;
+            if (std::abs(qf) < static_cast<double>(kRadius) - 1) {
+              const std::int64_t q = std::llround(qf);
+              const Scalar candidate =
+                  static_cast<Scalar>(pred + twoe * static_cast<double>(q));
+              // Validate after Scalar rounding so the bound holds exactly.
+              if (std::isfinite(static_cast<double>(candidate)) &&
+                  std::abs(static_cast<double>(candidate) - v) <= e) {
+                codes.push_back(static_cast<std::uint32_t>(kRadius + q));
+                recon[idx] = candidate;
+                escaped = false;
+              }
+            }
+            if (escaped) {
+              codes.push_back(0);
+              put_scalar(raw_stream, data[idx]);
+              recon[idx] = data[idx];
             }
           }
-          if (escaped) {
-            codes.push_back(0);
-            put_scalar(raw_stream, data[idx]);
-            recon[idx] = data[idx];
-          }
-        }
+    }
   });
 
   // ---- stage 3: entropy coding of the quantization codes ----
@@ -344,6 +380,12 @@ NdArray decompress_impl(const Container& c) {
   if (codes.size() != out.elements()) throw CorruptStream("sz: code count mismatch");
   if (flag_bytes != (count_blocks(c.shape, dims) + 7) / 8)
     throw CorruptStream("sz: flag size mismatch");
+  // The encoder only emits codes in [0, 2R-1]; rejecting anything larger up
+  // front both hardens decode and lets the reconstruct kernel assume its
+  // int32 lanes are non-negative.
+  for (const std::uint32_t code : codes)
+    if (code > 2 * static_cast<std::uint64_t>(kRadius) - 1)
+      throw CorruptStream("sz: quantization code out of range");
 
   std::size_t code_index = 0;
   std::size_t block_index = 0;
@@ -359,24 +401,60 @@ NdArray decompress_impl(const Container& c) {
                    step;
       }
     }
-    for (std::size_t a = 0; a < g.len[0]; ++a)
-      for (std::size_t b = 0; b < g.len[1]; ++b)
-        for (std::size_t cc = 0; cc < g.len[2]; ++cc) {
-          std::size_t coord[3] = {g.base[0] + a, g.base[1] + b, g.base[2] + cc};
-          std::size_t idx = coord[0] * stride[0];
-          if (dims > 1) idx += coord[1] * stride[1];
-          if (dims > 2) idx += coord[2] * stride[2];
-          const std::uint32_t code = codes[code_index++];
-          if (code == 0) {
-            recon[idx] = get_scalar<Scalar>(raw_stream, raw_bytes, raw_pos);
+    if (use_regression && dims >= 2) {
+      // Mirror of the encoder's run decomposition (see compress_impl); the
+      // kernel reconstructs every lane and reports code-0 escapes for the
+      // raw-stream patch below.  1D regression flags (never produced by the
+      // encoder, but possible in a hostile stream) fall through to the
+      // scalar loop whose runs have no 32-element bound.
+      const bool vec = szk::simd_active();
+      const std::size_t run = g.len[dims - 1];
+      const std::size_t outer1 = dims == 3 ? g.len[1] : 1;
+      for (std::size_t a = 0; a < g.len[0]; ++a)
+        for (std::size_t b = 0; b < outer1; ++b) {
+          double pred_base, pred_step;
+          std::size_t idx0;
+          if (dims == 3) {
+            pred_base = (coeff[0] + coeff[1] * static_cast<double>(a)) +
+                        coeff[2] * static_cast<double>(b);
+            pred_step = coeff[3];
+            idx0 = (g.base[0] + a) * stride[0] + (g.base[1] + b) * stride[1] + g.base[2];
           } else {
-            const double pred = use_regression
-                                    ? regression_predict(coeff.data(), a, b, cc)
-                                    : lorenzo_predict(recon, coord, c.shape, stride);
-            const auto q = static_cast<std::int64_t>(code) - kRadius;
-            recon[idx] = static_cast<Scalar>(pred + twoe * static_cast<double>(q));
+            pred_base = coeff[0] + coeff[1] * static_cast<double>(a);
+            pred_step = coeff[2];
+            idx0 = (g.base[0] + a) * stride[0] + g.base[1];
           }
+          const std::uint32_t* cp = codes.data() + code_index;
+          code_index += run;
+          const std::uint32_t esc =
+              vec ? szk::reconstruct_run_vec(cp, run, pred_base, pred_step, twoe,
+                                             recon + idx0)
+                  : szk::reconstruct_run_scalar(cp, run, pred_base, pred_step, twoe,
+                                                recon + idx0);
+          for (std::uint32_t m = esc; m != 0; m &= m - 1)
+            recon[idx0 + static_cast<unsigned>(__builtin_ctz(m))] =
+                get_scalar<Scalar>(raw_stream, raw_bytes, raw_pos);
         }
+    } else {
+      for (std::size_t a = 0; a < g.len[0]; ++a)
+        for (std::size_t b = 0; b < g.len[1]; ++b)
+          for (std::size_t cc = 0; cc < g.len[2]; ++cc) {
+            std::size_t coord[3] = {g.base[0] + a, g.base[1] + b, g.base[2] + cc};
+            std::size_t idx = coord[0] * stride[0];
+            if (dims > 1) idx += coord[1] * stride[1];
+            if (dims > 2) idx += coord[2] * stride[2];
+            const std::uint32_t code = codes[code_index++];
+            if (code == 0) {
+              recon[idx] = get_scalar<Scalar>(raw_stream, raw_bytes, raw_pos);
+            } else {
+              const double pred = use_regression
+                                      ? regression_predict(coeff.data(), a, b, cc)
+                                      : lorenzo_predict(recon, coord, c.shape, stride);
+              const auto q = static_cast<std::int64_t>(code) - kRadius;
+              recon[idx] = static_cast<Scalar>(pred + twoe * static_cast<double>(q));
+            }
+          }
+    }
   });
   return out;
 }

@@ -1,0 +1,133 @@
+/// Hot kernels of the SZ backend's regression-predicted blocks.
+///
+/// Regression blocks are the data-parallel part of SZ: the predictor depends
+/// only on the block coefficients and local coordinates, never on previously
+/// reconstructed values, so the quantize (encode) and reconstruct (decode)
+/// loops vectorize over the contiguous inner axis of each block.  Lorenzo
+/// blocks stay scalar — their predictor reads reconstructed neighbours, a
+/// serial feedback the vector lanes cannot honour.
+///
+/// Bit-identity contract: the `_vec` kernels produce byte-identical codes,
+/// reconstruction values, and escape masks to the `_scalar` references for
+/// every input (including NaN/Inf), pinned by tests/test_simd_kernels.cpp.
+/// The scalar references replace sz.cpp's original `std::llround(qf)` with
+/// the branch-free round-half-away-from-zero
+///     r = trunc(qf) + trunc((qf - trunc(qf)) * 2.0)
+/// which is exact in IEEE double for |qf| < 2^51 and therefore identical to
+/// llround over the guarded |qf| < kRadius - 1 range — archive bytes are
+/// unchanged (pinned by tests/test_archive_fields.cpp golden CRCs).
+///
+/// The regression prediction for an inner-axis run is evaluated as
+///     pred(i) = pred_base + pred_step * i
+/// where the caller computes pred_base with the same left-to-right
+/// association as the original expression c0 + c1*lx + c2*ly + c3*lz; the
+/// dropped trailing `+ c3*0` term of 2D runs is an exact no-op because
+/// quantized coefficients are never -0.0.
+#ifndef FRAZ_COMPRESSORS_SZ_SZ_KERNELS_HPP
+#define FRAZ_COMPRESSORS_SZ_SZ_KERNELS_HPP
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/simd.hpp"
+
+namespace fraz {
+namespace szk {
+
+/// Quantization radius (shared with sz.cpp): codes live in [1, 2R-1] and
+/// code 0 is the "unpredictable" escape.
+constexpr std::int64_t kRadius = 32768;
+
+/// |qf| guard below which a residual may be quantized (kRadius - 1).
+constexpr double kQfLimit = 32767.0;
+
+/// Quantize one contiguous run of a regression block.
+///
+/// For each element i: pred = pred_base + pred_step*i, qf = (v - pred)/twoe.
+/// In-range residuals that survive the post-rounding bound check emit code
+/// kRadius + round(qf) and the reconstructed value; everything else escapes
+/// with code 0 and recon[i] = data[i] verbatim.  Bit i of the returned mask
+/// is set for escaped elements (callers append their raw scalars in index
+/// order); n must be <= 32.
+template <typename Scalar>
+inline std::uint32_t quantize_run_scalar(const Scalar* data, std::size_t n, double pred_base,
+                                         double pred_step, double twoe, double e,
+                                         std::uint32_t* codes, Scalar* recon) {
+  std::uint32_t escapes = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(data[i]);
+    const double pred = pred_base + pred_step * static_cast<double>(i);
+    const double qf = (v - pred) / twoe;
+    bool escaped = true;
+    if (std::abs(qf) < kQfLimit) {
+      const double tr = std::trunc(qf);
+      const double r = tr + std::trunc((qf - tr) * 2.0);  // == llround(qf)
+      const Scalar candidate = static_cast<Scalar>(pred + twoe * r);
+      // Validate after Scalar rounding so the bound holds exactly.
+      if (std::isfinite(static_cast<double>(candidate)) &&
+          std::abs(static_cast<double>(candidate) - v) <= e) {
+        codes[i] = static_cast<std::uint32_t>(kRadius + static_cast<std::int64_t>(r));
+        recon[i] = candidate;
+        escaped = false;
+      }
+    }
+    if (escaped) {
+      codes[i] = 0;
+      recon[i] = data[i];
+      escapes |= 1u << i;
+    }
+  }
+  return escapes;
+}
+
+/// Reconstruct one contiguous run of a regression block from its codes.
+///
+/// Every element gets recon[i] = (Scalar)(pred + twoe*(code - kRadius)); bit
+/// i of the returned mask flags code == 0 escapes whose value the caller must
+/// patch from the raw stream (in index order).  Codes must be <= 2*kRadius-1
+/// (sz.cpp validates the decoded stream before calling); n must be <= 32.
+template <typename Scalar>
+inline std::uint32_t reconstruct_run_scalar(const std::uint32_t* codes, std::size_t n,
+                                            double pred_base, double pred_step, double twoe,
+                                            Scalar* recon) {
+  std::uint32_t escapes = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pred = pred_base + pred_step * static_cast<double>(i);
+    const auto q = static_cast<std::int64_t>(codes[i]) - kRadius;
+    recon[i] = static_cast<Scalar>(pred + twoe * static_cast<double>(q));
+    if (codes[i] == 0) escapes |= 1u << i;
+  }
+  return escapes;
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized kernels, defined in sz_kernels_simd.cpp (compiled with wider
+// codegen on x86).  Callers must gate on simd_active(); when the wide TU has
+// no 64-bit lanes the _vec entry points forward to the scalar references.
+// ---------------------------------------------------------------------------
+
+int kernels_isa();
+bool kernels_vectorized();
+
+std::uint32_t quantize_run_vec(const float* data, std::size_t n, double pred_base,
+                               double pred_step, double twoe, double e, std::uint32_t* codes,
+                               float* recon);
+std::uint32_t quantize_run_vec(const double* data, std::size_t n, double pred_base,
+                               double pred_step, double twoe, double e, std::uint32_t* codes,
+                               double* recon);
+std::uint32_t reconstruct_run_vec(const std::uint32_t* codes, std::size_t n, double pred_base,
+                                  double pred_step, double twoe, float* recon);
+std::uint32_t reconstruct_run_vec(const std::uint32_t* codes, std::size_t n, double pred_base,
+                                  double pred_step, double twoe, double* recon);
+
+/// True when the _vec kernels are both compiled wide and runtime-safe here.
+inline bool simd_active() {
+  static const bool on = kernels_vectorized() && simd::isa_runtime_ok(kernels_isa());
+  return on;
+}
+
+}  // namespace szk
+}  // namespace fraz
+
+#endif  // FRAZ_COMPRESSORS_SZ_SZ_KERNELS_HPP

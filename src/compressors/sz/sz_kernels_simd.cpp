@@ -1,0 +1,210 @@
+/// Vector implementations of the SZ regression-block kernels.  CMake compiles
+/// this TU with `-mavx2 -ffp-contract=off` on x86 when available; without
+/// wide64 support every entry point degrades to the scalar reference (and
+/// kernels_vectorized() reports false so callers never pay the call).
+///
+/// Bit-identity with sz_kernels.hpp scalar references is a hard contract —
+/// see the header comment and tests/test_simd_kernels.cpp.
+#include "compressors/sz/sz_kernels.hpp"
+
+namespace fraz {
+namespace szk {
+
+int kernels_isa() { return simd::isa_id(); }
+
+bool kernels_vectorized() {
+#if defined(FRAZ_SIMD_HAS_WIDE64)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(FRAZ_SIMD_HAS_WIDE64)
+
+namespace {
+
+using simd::V4d;
+using simd::V4i32;
+
+template <typename Scalar>
+inline V4d load_lanes(const Scalar* p);
+template <>
+inline V4d load_lanes<float>(const float* p) {
+  return V4d::load4f(p);
+}
+template <>
+inline V4d load_lanes<double>(const double* p) {
+  return V4d::load(p);
+}
+
+template <typename Scalar>
+inline void store_lanes(V4d x, Scalar* out);
+template <>
+inline void store_lanes<float>(V4d x, float* out) {
+  simd::store4f(x, out);
+}
+template <>
+inline void store_lanes<double>(V4d x, double* out) {
+  x.store(out);
+}
+
+template <typename Scalar>
+inline V4d storage_roundtrip(V4d x);
+template <>
+inline V4d storage_roundtrip<float>(V4d x) {
+  return simd::f32_roundtrip(x);
+}
+template <>
+inline V4d storage_roundtrip<double>(V4d x) {
+  return x;
+}
+
+constexpr double kLaneIdx[4] = {0.0, 1.0, 2.0, 3.0};
+
+template <typename Scalar>
+std::uint32_t quantize_run_impl(const Scalar* data, const std::size_t n, const double pred_base,
+                                const double pred_step, const double twoe, const double e,
+                                std::uint32_t* codes, Scalar* recon) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  const V4d vbase = V4d::bcast(pred_base);
+  const V4d vstep = V4d::bcast(pred_step);
+  const V4d vtwoe = V4d::bcast(twoe);
+  const V4d ve = V4d::bcast(e);
+  const V4d vzero = V4d::bcast(0.0);
+  const V4d vtwo = V4d::bcast(2.0);
+  const V4d vlim = V4d::bcast(kQfLimit);
+  const V4d vrad = V4d::bcast(static_cast<double>(kRadius));
+  const V4d lane = V4d::load(kLaneIdx);
+  std::uint32_t escapes = 0;
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const V4d v = load_lanes<Scalar>(data + i);
+    const V4d l = simd::add(V4d::bcast(static_cast<double>(i)), lane);
+    const V4d pred = simd::add(vbase, simd::mul(vstep, l));
+    const V4d qf = simd::div(simd::sub(v, pred), vtwoe);
+    const V4d in_range = simd::cmp_lt(simd::vabs(qf), vlim);
+    const V4d tr = simd::trunc(qf);
+    const V4d r = simd::add(tr, simd::trunc(simd::mul(simd::sub(qf, tr), vtwo)));
+    const V4d cd = storage_roundtrip<Scalar>(simd::add(pred, simd::mul(vtwoe, r)));
+    // isfinite(cd): NaN and Inf both fail cd - cd == 0.
+    const V4d finite = simd::cmp_eq(simd::sub(cd, cd), vzero);
+    const V4d err_ok = simd::cmp_le(simd::vabs(simd::sub(cd, v)), ve);
+    const V4d ok = simd::mask_and(in_range, simd::mask_and(finite, err_ok));
+    // Escaped lanes are blended to 0.0 before the convert (code 0), so the
+    // int conversion never sees an out-of-range double.
+    const V4i32 code = simd::to_i32(simd::blend(ok, simd::add(r, vrad), vzero));
+    code.store(reinterpret_cast<std::int32_t*>(codes + i));
+    store_lanes<Scalar>(simd::blend(ok, cd, v), recon + i);
+    const auto esc = static_cast<std::uint32_t>(~simd::movemask(ok) & 0xF);
+    if (esc != 0) {
+      escapes |= esc << i;
+      // Re-store escaped lanes verbatim: the f32 round-trip in the blended
+      // store would quieten signalling NaNs, breaking bit-identity with the
+      // scalar reference's recon[i] = data[i].
+      for (std::size_t l2 = 0; l2 < 4; ++l2)
+        if ((esc >> l2) & 1u) recon[i + l2] = data[i + l2];
+    }
+  }
+  for (std::size_t i = n4; i < n; ++i) {
+    const double v = static_cast<double>(data[i]);
+    const double pred = pred_base + pred_step * static_cast<double>(i);
+    const double qf = (v - pred) / twoe;
+    bool escaped = true;
+    if (std::abs(qf) < kQfLimit) {
+      const double tr = std::trunc(qf);
+      const double r = tr + std::trunc((qf - tr) * 2.0);
+      const Scalar candidate = static_cast<Scalar>(pred + twoe * r);
+      if (std::isfinite(static_cast<double>(candidate)) &&
+          std::abs(static_cast<double>(candidate) - v) <= e) {
+        codes[i] = static_cast<std::uint32_t>(kRadius + static_cast<std::int64_t>(r));
+        recon[i] = candidate;
+        escaped = false;
+      }
+    }
+    if (escaped) {
+      codes[i] = 0;
+      recon[i] = data[i];
+      escapes |= 1u << i;
+    }
+  }
+  return escapes;
+}
+
+template <typename Scalar>
+std::uint32_t reconstruct_run_impl(const std::uint32_t* codes, const std::size_t n,
+                                   const double pred_base, const double pred_step,
+                                   const double twoe, Scalar* recon) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  const V4d vbase = V4d::bcast(pred_base);
+  const V4d vstep = V4d::bcast(pred_step);
+  const V4d vtwoe = V4d::bcast(twoe);
+  const V4d vzero = V4d::bcast(0.0);
+  const V4d vrad = V4d::bcast(static_cast<double>(kRadius));
+  const V4d lane = V4d::load(kLaneIdx);
+  std::uint32_t escapes = 0;
+  for (std::size_t i = 0; i < n4; i += 4) {
+    // Codes are validated <= 2*kRadius-1 upstream, so the i32 lanes are
+    // non-negative and the integer arithmetic below is exact in double.
+    const V4i32 ci = V4i32::load(reinterpret_cast<const std::int32_t*>(codes + i));
+    const V4d cd = simd::to_f64(ci);
+    const V4d q = simd::sub(cd, vrad);
+    const V4d l = simd::add(V4d::bcast(static_cast<double>(i)), lane);
+    const V4d pred = simd::add(vbase, simd::mul(vstep, l));
+    store_lanes<Scalar>(simd::add(pred, simd::mul(vtwoe, q)), recon + i);
+    escapes |= static_cast<std::uint32_t>(simd::movemask(simd::cmp_eq(cd, vzero))) << i;
+  }
+  for (std::size_t i = n4; i < n; ++i) {
+    const double pred = pred_base + pred_step * static_cast<double>(i);
+    const auto q = static_cast<std::int64_t>(codes[i]) - kRadius;
+    recon[i] = static_cast<Scalar>(pred + twoe * static_cast<double>(q));
+    if (codes[i] == 0) escapes |= 1u << i;
+  }
+  return escapes;
+}
+
+}  // namespace
+
+std::uint32_t quantize_run_vec(const float* data, std::size_t n, double pred_base,
+                               double pred_step, double twoe, double e, std::uint32_t* codes,
+                               float* recon) {
+  return quantize_run_impl(data, n, pred_base, pred_step, twoe, e, codes, recon);
+}
+std::uint32_t quantize_run_vec(const double* data, std::size_t n, double pred_base,
+                               double pred_step, double twoe, double e, std::uint32_t* codes,
+                               double* recon) {
+  return quantize_run_impl(data, n, pred_base, pred_step, twoe, e, codes, recon);
+}
+std::uint32_t reconstruct_run_vec(const std::uint32_t* codes, std::size_t n, double pred_base,
+                                  double pred_step, double twoe, float* recon) {
+  return reconstruct_run_impl(codes, n, pred_base, pred_step, twoe, recon);
+}
+std::uint32_t reconstruct_run_vec(const std::uint32_t* codes, std::size_t n, double pred_base,
+                                  double pred_step, double twoe, double* recon) {
+  return reconstruct_run_impl(codes, n, pred_base, pred_step, twoe, recon);
+}
+
+#else  // !FRAZ_SIMD_HAS_WIDE64 — scalar reference stands in
+
+std::uint32_t quantize_run_vec(const float* data, std::size_t n, double pred_base,
+                               double pred_step, double twoe, double e, std::uint32_t* codes,
+                               float* recon) {
+  return quantize_run_scalar(data, n, pred_base, pred_step, twoe, e, codes, recon);
+}
+std::uint32_t quantize_run_vec(const double* data, std::size_t n, double pred_base,
+                               double pred_step, double twoe, double e, std::uint32_t* codes,
+                               double* recon) {
+  return quantize_run_scalar(data, n, pred_base, pred_step, twoe, e, codes, recon);
+}
+std::uint32_t reconstruct_run_vec(const std::uint32_t* codes, std::size_t n, double pred_base,
+                                  double pred_step, double twoe, float* recon) {
+  return reconstruct_run_scalar(codes, n, pred_base, pred_step, twoe, recon);
+}
+std::uint32_t reconstruct_run_vec(const std::uint32_t* codes, std::size_t n, double pred_base,
+                                  double pred_step, double twoe, double* recon) {
+  return reconstruct_run_scalar(codes, n, pred_base, pred_step, twoe, recon);
+}
+
+#endif
+
+}  // namespace szk
+}  // namespace fraz

@@ -1,0 +1,182 @@
+#ifndef FRAZ_COMPRESSORS_SZX_SZX_KERNELS_HPP
+#define FRAZ_COMPRESSORS_SZX_SZX_KERNELS_HPP
+
+/// \file szx_kernels.hpp
+/// Blockwise kernels for the szx backend: min/max/finite scan, bound-checked
+/// quantization, dequantization, and the bit-plane (un)packers.
+///
+/// The scalar functions here are the *reference semantics* — the vector
+/// versions in szx_kernels_simd.cpp must be bit-identical, and the scalar
+/// code is written to mirror vertical 4-lane SIMD exactly (4 accumulator
+/// lanes, `a < b ? a : b` min/max matching `_mm256_min_pd` operand order,
+/// finiteness via `v - v == 0`, round-half-away-from-zero built from two
+/// truncations instead of llround).  tests/test_simd_kernels.cpp pins the
+/// equivalence on adversarial inputs.
+///
+/// Dispatch: callers check `simd_active()` (baseline-safe, see simd.hpp) and
+/// pick the `_vec` entry points only when the wide TU is runtime-usable.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/simd.hpp"
+
+namespace fraz::szxk {
+
+/// Elements per szx block.  One block is classified and encoded as a unit.
+inline constexpr std::size_t kBlock = 128;
+
+/// Quantized codes are capped at 30 bits so every code converts exactly (and
+/// safely) through the signed-i32 SIMD paths; wider blocks are stored raw.
+inline constexpr unsigned kMaxQBits = 30;
+inline constexpr double kQMax = 1073741823.0;  // 2^30 - 1
+
+struct BlockStats {
+  double min;
+  double max;
+  bool all_finite;
+};
+
+struct QuantResult {
+  std::uint32_t qor;  ///< OR of all codes (gives the required bit width).
+  bool ok;            ///< Every element in range and within the bound.
+};
+
+/// Fold 4 accumulator lanes with the same `a < b ? a : b` selection the
+/// vector path uses, so NaN propagation is identical.
+inline double fold_min(const double* lane) {
+  double m = lane[0];
+  for (int l = 1; l < 4; ++l) m = m < lane[l] ? m : lane[l];
+  return m;
+}
+inline double fold_max(const double* lane) {
+  double m = lane[0];
+  for (int l = 1; l < 4; ++l) m = m > lane[l] ? m : lane[l];
+  return m;
+}
+
+/// Scalar reference: 4-lane vertical scan (lane = i & 3) folded at the end.
+template <typename Scalar>
+inline BlockStats block_stats_scalar(const Scalar* p, const std::size_t n) {
+  double mn[4], mx[4];
+  for (int l = 0; l < 4; ++l) {
+    mn[l] = std::numeric_limits<double>::infinity();
+    mx[l] = -std::numeric_limits<double>::infinity();
+  }
+  bool finite = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(p[i]);
+    const int l = static_cast<int>(i & 3);
+    mn[l] = mn[l] < v ? mn[l] : v;
+    mx[l] = mx[l] > v ? mx[l] : v;
+    finite = finite && (v - v == 0.0);
+  }
+  return {fold_min(mn), fold_max(mx), finite};
+}
+
+/// Scalar reference quantizer: q[i] = round_half_away((p[i]-base)/twoe),
+/// validated against the absolute bound e after reconstruction through the
+/// storage type.  When the result reports !ok the q[] contents are
+/// unspecified (the caller stores the block raw).
+template <typename Scalar>
+inline QuantResult quantize_scalar(const Scalar* p, const std::size_t n, const double base,
+                                   const double twoe, const double e, std::uint32_t* q) {
+  std::uint32_t qor = 0;
+  bool ok = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(p[i]);
+    const double t = (v - base) / twoe;
+    // Round half away from zero via two exact truncations; equals
+    // llround(t) for every t in [0, 2^30] (pinned by test).
+    const double tr = std::trunc(t);
+    const double r = tr + std::trunc((t - tr) * 2.0);
+    if (!(r >= 0.0 && r <= kQMax)) {
+      ok = false;
+      q[i] = 0;
+      continue;
+    }
+    const double cd = static_cast<double>(static_cast<Scalar>(base + twoe * r));
+    if (!(std::fabs(cd - v) <= e)) ok = false;
+    const auto qi = static_cast<std::uint32_t>(static_cast<std::int32_t>(r));
+    q[i] = qi;
+    qor |= qi;
+  }
+  return {qor, ok};
+}
+
+/// Scalar reference dequantizer: out[i] = Scalar(base + twoe * q[i]).
+template <typename Scalar>
+inline void dequantize_scalar(const std::uint32_t* q, const std::size_t n, const double base,
+                              const double twoe, Scalar* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double qd = static_cast<double>(static_cast<std::int32_t>(q[i]));
+    out[i] = static_cast<Scalar>(base + twoe * qd);
+  }
+}
+
+/// LSB-first bit-plane packer: appends ceil(n*bits/8) bytes to \p out.
+/// bits <= kMaxQBits; each q[i] must fit in `bits` bits.
+inline void pack_bits(const std::uint32_t* q, const std::size_t n, const unsigned bits,
+                      std::vector<std::uint8_t>& out) {
+  std::uint64_t acc = 0;
+  unsigned fill = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc |= static_cast<std::uint64_t>(q[i]) << fill;
+    fill += bits;
+    while (fill >= 8) {
+      out.push_back(static_cast<std::uint8_t>(acc));
+      acc >>= 8;
+      fill -= 8;
+    }
+  }
+  if (fill > 0) out.push_back(static_cast<std::uint8_t>(acc));
+}
+
+/// Inverse of pack_bits over exactly ceil(n*bits/8) source bytes.
+inline void unpack_bits(const std::uint8_t* src, const std::size_t n, const unsigned bits,
+                        std::uint32_t* q) {
+  std::uint64_t acc = 0;
+  unsigned fill = 0;
+  std::size_t pos = 0;
+  const std::uint32_t mask =
+      bits >= 32 ? ~0u : (bits == 0 ? 0u : ((1u << bits) - 1u));
+  for (std::size_t i = 0; i < n; ++i) {
+    while (fill < bits) {
+      acc |= static_cast<std::uint64_t>(src[pos++]) << fill;
+      fill += 8;
+    }
+    q[i] = static_cast<std::uint32_t>(acc) & mask;
+    acc >>= bits;
+    fill -= bits;
+  }
+}
+
+// --- vector entry points (szx_kernels_simd.cpp; call only when active) -----
+
+/// Compile-time ISA of the wide TU (fraz::simd::isa_id() there).
+int kernels_isa() noexcept;
+/// True when the wide TU actually carries vector kernels (AVX2 four-wide
+/// doubles); false when it degraded to the scalar reference at compile time.
+bool kernels_vectorized() noexcept;
+
+BlockStats block_stats_vec(const float* p, std::size_t n);
+BlockStats block_stats_vec(const double* p, std::size_t n);
+QuantResult quantize_vec(const float* p, std::size_t n, double base, double twoe, double e,
+                         std::uint32_t* q);
+QuantResult quantize_vec(const double* p, std::size_t n, double base, double twoe, double e,
+                         std::uint32_t* q);
+void dequantize_vec(const std::uint32_t* q, std::size_t n, double base, double twoe, float* out);
+void dequantize_vec(const std::uint32_t* q, std::size_t n, double base, double twoe, double* out);
+
+/// Baseline-safe dispatch decision, memoized after the first call.
+inline bool simd_active() noexcept {
+  static const bool ok = kernels_vectorized() && simd::isa_runtime_ok(kernels_isa());
+  return ok;
+}
+
+}  // namespace fraz::szxk
+
+#endif  // FRAZ_COMPRESSORS_SZX_SZX_KERNELS_HPP

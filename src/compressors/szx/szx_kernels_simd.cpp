@@ -1,0 +1,197 @@
+/// Vector implementations of the szx block kernels.  CMake compiles this TU
+/// with `-mavx2 -ffp-contract=off` on x86 when available; without wide64
+/// support every entry point degrades to the scalar reference (and
+/// kernels_vectorized() reports false so callers never pay the call).
+///
+/// Bit-identity with szx_kernels.hpp scalar references is a hard contract —
+/// see the header comment and tests/test_simd_kernels.cpp.
+#include "compressors/szx/szx_kernels.hpp"
+
+namespace fraz::szxk {
+
+int kernels_isa() noexcept { return simd::isa_id(); }
+
+bool kernels_vectorized() noexcept {
+#if defined(FRAZ_SIMD_HAS_WIDE64)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(FRAZ_SIMD_HAS_WIDE64)
+
+namespace {
+
+using simd::V4d;
+using simd::V4i32;
+
+template <typename Scalar>
+inline V4d load_lanes(const Scalar* p);
+template <>
+inline V4d load_lanes<float>(const float* p) {
+  return V4d::load4f(p);
+}
+template <>
+inline V4d load_lanes<double>(const double* p) {
+  return V4d::load(p);
+}
+
+/// Round-trip through the storage type: identity for double, float cast for
+/// float — matches `(double)(Scalar)x` lane-wise.
+template <typename Scalar>
+inline V4d storage_roundtrip(V4d x);
+template <>
+inline V4d storage_roundtrip<float>(V4d x) {
+  return simd::f32_roundtrip(x);
+}
+template <>
+inline V4d storage_roundtrip<double>(V4d x) {
+  return x;
+}
+
+template <typename Scalar>
+BlockStats block_stats_impl(const Scalar* p, const std::size_t n) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  V4d vmn = V4d::bcast(std::numeric_limits<double>::infinity());
+  V4d vmx = V4d::bcast(-std::numeric_limits<double>::infinity());
+  V4d vfin = simd::cmp_eq(V4d::bcast(0.0), V4d::bcast(0.0));  // all-ones mask
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const V4d v = load_lanes<Scalar>(p + i);
+    vmn = simd::vmin(vmn, v);
+    vmx = simd::vmax(vmx, v);
+    vfin = simd::mask_and(vfin, simd::cmp_eq(simd::sub(v, v), V4d::bcast(0.0)));
+  }
+  double mn[4], mx[4];
+  vmn.store(mn);
+  vmx.store(mx);
+  bool finite = simd::movemask(vfin) == 0xF;
+  for (std::size_t i = n4; i < n; ++i) {
+    const double v = static_cast<double>(p[i]);
+    const int l = static_cast<int>(i & 3);
+    mn[l] = mn[l] < v ? mn[l] : v;
+    mx[l] = mx[l] > v ? mx[l] : v;
+    finite = finite && (v - v == 0.0);
+  }
+  return {fold_min(mn), fold_max(mx), finite};
+}
+
+template <typename Scalar>
+QuantResult quantize_impl(const Scalar* p, const std::size_t n, const double base,
+                          const double twoe, const double e, std::uint32_t* q) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  const V4d vbase = V4d::bcast(base);
+  const V4d vtwoe = V4d::bcast(twoe);
+  const V4d ve = V4d::bcast(e);
+  const V4d vzero = V4d::bcast(0.0);
+  const V4d vtwo = V4d::bcast(2.0);
+  const V4d vqmax = V4d::bcast(kQMax);
+  V4i32 vqor{};
+  bool ok = true;
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const V4d v = load_lanes<Scalar>(p + i);
+    const V4d t = simd::div(simd::sub(v, vbase), vtwoe);
+    const V4d tr = simd::trunc(t);
+    const V4d r = simd::add(tr, simd::trunc(simd::mul(simd::sub(t, tr), vtwo)));
+    const V4d in_range = simd::mask_and(simd::cmp_le(vzero, r), simd::cmp_le(r, vqmax));
+    const V4d cd = storage_roundtrip<Scalar>(simd::add(vbase, simd::mul(vtwoe, r)));
+    const V4d err_ok = simd::cmp_le(simd::vabs(simd::sub(cd, v)), ve);
+    ok = ok && simd::movemask(simd::mask_and(in_range, err_ok)) == 0xF;
+    // Out-of-range lanes are blended to 0.0 before the convert, matching the
+    // scalar reference's q[i] = 0 on its skip path.
+    const V4i32 qi = simd::to_i32(simd::blend(in_range, r, vzero));
+    qi.store(reinterpret_cast<std::int32_t*>(q + i));
+    vqor = simd::vor(vqor, qi);
+  }
+  std::int32_t lanes[4];
+  vqor.store(lanes);
+  std::uint32_t qor = static_cast<std::uint32_t>(lanes[0]) | static_cast<std::uint32_t>(lanes[1]) |
+                      static_cast<std::uint32_t>(lanes[2]) | static_cast<std::uint32_t>(lanes[3]);
+  for (std::size_t i = n4; i < n; ++i) {
+    const double v = static_cast<double>(p[i]);
+    const double t = (v - base) / twoe;
+    const double tr = std::trunc(t);
+    const double r = tr + std::trunc((t - tr) * 2.0);
+    if (!(r >= 0.0 && r <= kQMax)) {
+      ok = false;
+      q[i] = 0;
+      continue;
+    }
+    const double cd = static_cast<double>(static_cast<Scalar>(base + twoe * r));
+    if (!(std::fabs(cd - v) <= e)) ok = false;
+    const auto qi = static_cast<std::uint32_t>(static_cast<std::int32_t>(r));
+    q[i] = qi;
+    qor |= qi;
+  }
+  return {qor, ok};
+}
+
+template <typename Scalar>
+inline void store_lanes(V4d x, Scalar* out);
+template <>
+inline void store_lanes<float>(V4d x, float* out) {
+  simd::store4f(x, out);
+}
+template <>
+inline void store_lanes<double>(V4d x, double* out) {
+  x.store(out);
+}
+
+template <typename Scalar>
+void dequantize_impl(const std::uint32_t* q, const std::size_t n, const double base,
+                     const double twoe, Scalar* out) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  const V4d vbase = V4d::bcast(base);
+  const V4d vtwoe = V4d::bcast(twoe);
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const V4i32 qi = V4i32::load(reinterpret_cast<const std::int32_t*>(q + i));
+    const V4d qd = simd::to_f64(qi);
+    store_lanes<Scalar>(simd::add(vbase, simd::mul(vtwoe, qd)), out + i);
+  }
+  for (std::size_t i = n4; i < n; ++i) {
+    const double qd = static_cast<double>(static_cast<std::int32_t>(q[i]));
+    out[i] = static_cast<Scalar>(base + twoe * qd);
+  }
+}
+
+}  // namespace
+
+BlockStats block_stats_vec(const float* p, std::size_t n) { return block_stats_impl(p, n); }
+BlockStats block_stats_vec(const double* p, std::size_t n) { return block_stats_impl(p, n); }
+QuantResult quantize_vec(const float* p, std::size_t n, double base, double twoe, double e,
+                         std::uint32_t* q) {
+  return quantize_impl(p, n, base, twoe, e, q);
+}
+QuantResult quantize_vec(const double* p, std::size_t n, double base, double twoe, double e,
+                         std::uint32_t* q) {
+  return quantize_impl(p, n, base, twoe, e, q);
+}
+void dequantize_vec(const std::uint32_t* q, std::size_t n, double base, double twoe, float* out) {
+  dequantize_impl(q, n, base, twoe, out);
+}
+void dequantize_vec(const std::uint32_t* q, std::size_t n, double base, double twoe, double* out) {
+  dequantize_impl(q, n, base, twoe, out);
+}
+
+#else  // !FRAZ_SIMD_HAS_WIDE64 — scalar reference stands in
+
+BlockStats block_stats_vec(const float* p, std::size_t n) { return block_stats_scalar(p, n); }
+BlockStats block_stats_vec(const double* p, std::size_t n) { return block_stats_scalar(p, n); }
+QuantResult quantize_vec(const float* p, std::size_t n, double base, double twoe, double e,
+                         std::uint32_t* q) {
+  return quantize_scalar(p, n, base, twoe, e, q);
+}
+QuantResult quantize_vec(const double* p, std::size_t n, double base, double twoe, double e,
+                         std::uint32_t* q) {
+  return quantize_scalar(p, n, base, twoe, e, q);
+}
+void dequantize_vec(const std::uint32_t* q, std::size_t n, double base, double twoe, float* out) {
+  dequantize_scalar(q, n, base, twoe, out);
+}
+void dequantize_vec(const std::uint32_t* q, std::size_t n, double base, double twoe, double* out) {
+  dequantize_scalar(q, n, base, twoe, out);
+}
+
+#endif
+
+}  // namespace fraz::szxk

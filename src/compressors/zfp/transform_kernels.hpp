@@ -1,0 +1,75 @@
+/// Vectorized ZFP block transforms.
+///
+/// The lifted transform applies the same 4-point butterfly along every row /
+/// column / pillar of a 4^d block, so a 2D/3D block vectorizes naturally:
+/// four lifts run in the four lanes of a 128-bit (i32) or 256-bit (i64)
+/// vector, with a 4x4 transpose bridging the contiguous x-axis passes.  1D
+/// blocks (a single 4-point lift) stay on the scalar path.
+///
+/// The lifting arithmetic is exact integer math (wrapping adds and
+/// arithmetic shifts), so scalar/vector bit-identity is structural, not an
+/// FP-rounding accident; tests/test_simd_kernels.cpp pins it anyway.
+///
+/// Dispatch follows the util/simd.hpp contract: transform_simd.cpp reports
+/// its compile-time ISA and per-width availability (i64 lanes need AVX2; i32
+/// lanes exist on SSE2/NEON too, but on x86 the whole TU is compiled with
+/// -mavx2, so entering it still requires the AVX2 runtime check).
+#ifndef FRAZ_COMPRESSORS_ZFP_TRANSFORM_KERNELS_HPP
+#define FRAZ_COMPRESSORS_ZFP_TRANSFORM_KERNELS_HPP
+
+#include <cstdint>
+
+#include "compressors/zfp/transform.hpp"
+#include "util/simd.hpp"
+
+namespace fraz {
+namespace zfpk {
+
+int kernels_isa();
+bool kernels_vectorized_i32();
+bool kernels_vectorized_i64();
+
+void fwd_transform_vec(std::int32_t* block, unsigned dims);
+void inv_transform_vec(std::int32_t* block, unsigned dims);
+void fwd_transform_vec(std::int64_t* block, unsigned dims);
+void inv_transform_vec(std::int64_t* block, unsigned dims);
+
+/// True when the _vec kernels for this lane width are compiled wide and
+/// runtime-safe on this CPU.
+template <typename Int>
+bool simd_active();
+
+template <>
+inline bool simd_active<std::int32_t>() {
+  static const bool on = kernels_vectorized_i32() && simd::isa_runtime_ok(kernels_isa());
+  return on;
+}
+
+template <>
+inline bool simd_active<std::int64_t>() {
+  static const bool on = kernels_vectorized_i64() && simd::isa_runtime_ok(kernels_isa());
+  return on;
+}
+
+/// Transform entry points with runtime dispatch; drop-in for the
+/// zfp_detail:: scalar transforms.
+template <typename Int>
+inline void fwd_transform_any(Int* block, unsigned dims) {
+  if (dims >= 2 && simd_active<Int>())
+    fwd_transform_vec(block, dims);
+  else
+    zfp_detail::fwd_transform(block, dims);
+}
+
+template <typename Int>
+inline void inv_transform_any(Int* block, unsigned dims) {
+  if (dims >= 2 && simd_active<Int>())
+    inv_transform_vec(block, dims);
+  else
+    zfp_detail::inv_transform(block, dims);
+}
+
+}  // namespace zfpk
+}  // namespace fraz
+
+#endif  // FRAZ_COMPRESSORS_ZFP_TRANSFORM_KERNELS_HPP

@@ -1,0 +1,156 @@
+/// Vector implementations of the ZFP block transforms.  CMake compiles this
+/// TU with `-mavx2 -ffp-contract=off` on x86 when available; see
+/// transform_kernels.hpp for the dispatch and bit-identity contract.
+#include "compressors/zfp/transform_kernels.hpp"
+
+namespace fraz {
+namespace zfpk {
+
+int kernels_isa() { return simd::isa_id(); }
+
+bool kernels_vectorized_i32() { return simd::isa_id() != simd::kScalar; }
+
+bool kernels_vectorized_i64() {
+#if defined(FRAZ_SIMD_HAS_WIDE64)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if !defined(FRAZ_SIMD_SCALAR) || defined(FRAZ_SIMD_HAS_WIDE64)
+
+namespace {
+
+/// Four fwd_lift butterflies at once, one per lane.  Wrapping vector adds
+/// match zfp_detail::wadd/wsub bit-for-bit; sra1 matches the signed >> 1.
+template <typename V>
+inline void fwd_lift_v(V& x, V& y, V& z, V& w) {
+  using simd::add;
+  using simd::sra1;
+  using simd::sub;
+  x = add(x, w); x = sra1(x); w = sub(w, x);
+  z = add(z, y); z = sra1(z); y = sub(y, z);
+  x = add(x, z); x = sra1(x); z = sub(z, x);
+  w = add(w, y); w = sra1(w); y = sub(y, w);
+  w = add(w, sra1(y)); y = sub(y, sra1(w));
+}
+
+/// Exact vector mirror of zfp_detail::inv_lift (dbl == wrapping self-add).
+template <typename V>
+inline void inv_lift_v(V& x, V& y, V& z, V& w) {
+  using simd::add;
+  using simd::sra1;
+  using simd::sub;
+  y = add(y, sra1(w)); w = sub(w, sra1(y));
+  y = add(y, w); w = add(w, w); w = sub(w, y);
+  z = add(z, x); x = add(x, x); x = sub(x, z);
+  y = add(y, z); z = add(z, z); z = sub(z, y);
+  w = add(w, x); x = add(x, x); x = sub(x, w);
+}
+
+/// Forward transform of one 16-element slice (rows then columns).  The
+/// transpose turns the contiguous rows into per-lane columns for the x-pass;
+/// after transposing back, the row vectors lift along y directly.
+template <typename V, typename Int>
+inline void fwd_slice(Int* s) {
+  V r0 = V::load(s), r1 = V::load(s + 4), r2 = V::load(s + 8), r3 = V::load(s + 12);
+  simd::transpose4(r0, r1, r2, r3);
+  fwd_lift_v(r0, r1, r2, r3);  // x-pass: four rows in parallel
+  simd::transpose4(r0, r1, r2, r3);
+  fwd_lift_v(r0, r1, r2, r3);  // y-pass: four columns in parallel
+  r0.store(s); r1.store(s + 4); r2.store(s + 8); r3.store(s + 12);
+}
+
+template <typename V, typename Int>
+inline void inv_slice(Int* s) {
+  V r0 = V::load(s), r1 = V::load(s + 4), r2 = V::load(s + 8), r3 = V::load(s + 12);
+  inv_lift_v(r0, r1, r2, r3);  // y-pass first (inverse order)
+  simd::transpose4(r0, r1, r2, r3);
+  inv_lift_v(r0, r1, r2, r3);  // x-pass
+  simd::transpose4(r0, r1, r2, r3);
+  r0.store(s); r1.store(s + 4); r2.store(s + 8); r3.store(s + 12);
+}
+
+/// The 3D z-pass: for each y-row, the four vectors at stride 16 hold the
+/// pillar samples with x in the lanes.
+template <typename V, typename Int>
+inline void fwd_z_pass(Int* block) {
+  for (unsigned y = 0; y < 4; ++y) {
+    Int* p = block + 4 * y;
+    V w0 = V::load(p), w1 = V::load(p + 16), w2 = V::load(p + 32), w3 = V::load(p + 48);
+    fwd_lift_v(w0, w1, w2, w3);
+    w0.store(p); w1.store(p + 16); w2.store(p + 32); w3.store(p + 48);
+  }
+}
+
+template <typename V, typename Int>
+inline void inv_z_pass(Int* block) {
+  for (unsigned y = 0; y < 4; ++y) {
+    Int* p = block + 4 * y;
+    V w0 = V::load(p), w1 = V::load(p + 16), w2 = V::load(p + 32), w3 = V::load(p + 48);
+    inv_lift_v(w0, w1, w2, w3);
+    w0.store(p); w1.store(p + 16); w2.store(p + 32); w3.store(p + 48);
+  }
+}
+
+template <typename V, typename Int>
+void fwd_transform_impl(Int* block, unsigned dims) {
+  if (dims == 2) {
+    fwd_slice<V>(block);
+  } else {  // 3
+    // Slice-local x+y passes commute across slices, so fusing them per
+    // slice reorders only independent lifts relative to the scalar code.
+    for (unsigned z = 0; z < 4; ++z) fwd_slice<V>(block + 16 * z);
+    fwd_z_pass<V>(block);
+  }
+}
+
+template <typename V, typename Int>
+void inv_transform_impl(Int* block, unsigned dims) {
+  if (dims == 2) {
+    inv_slice<V>(block);
+  } else {  // 3
+    inv_z_pass<V>(block);
+    for (unsigned z = 0; z < 4; ++z) inv_slice<V>(block + 16 * z);
+  }
+}
+
+}  // namespace
+
+#endif  // vector widths available
+
+#if !defined(FRAZ_SIMD_SCALAR)
+void fwd_transform_vec(std::int32_t* block, unsigned dims) {
+  fwd_transform_impl<simd::V4i32>(block, dims);
+}
+void inv_transform_vec(std::int32_t* block, unsigned dims) {
+  inv_transform_impl<simd::V4i32>(block, dims);
+}
+#else
+void fwd_transform_vec(std::int32_t* block, unsigned dims) {
+  zfp_detail::fwd_transform(block, dims);
+}
+void inv_transform_vec(std::int32_t* block, unsigned dims) {
+  zfp_detail::inv_transform(block, dims);
+}
+#endif
+
+#if defined(FRAZ_SIMD_HAS_WIDE64)
+void fwd_transform_vec(std::int64_t* block, unsigned dims) {
+  fwd_transform_impl<simd::V4i64>(block, dims);
+}
+void inv_transform_vec(std::int64_t* block, unsigned dims) {
+  inv_transform_impl<simd::V4i64>(block, dims);
+}
+#else
+void fwd_transform_vec(std::int64_t* block, unsigned dims) {
+  zfp_detail::fwd_transform(block, dims);
+}
+void inv_transform_vec(std::int64_t* block, unsigned dims) {
+  zfp_detail::inv_transform(block, dims);
+}
+#endif
+
+}  // namespace zfpk
+}  // namespace fraz

@@ -10,15 +10,14 @@
 #include "codec/varint.hpp"
 #include "compressors/container.hpp"
 #include "compressors/zfp/transform.hpp"
+#include "compressors/zfp/transform_kernels.hpp"
 #include "util/error.hpp"
 
 namespace fraz {
 
 namespace {
 
-using zfp_detail::fwd_transform;
 using zfp_detail::int2uint;
-using zfp_detail::inv_transform;
 using zfp_detail::sequency_order;
 using zfp_detail::uint2int;
 
@@ -282,7 +281,7 @@ void compress_impl(const ArrayView& input, const ZfpOptions& opt, Buffer& out) {
           iblock[i] = static_cast<Int>(
               std::ldexp(static_cast<double>(block[i]),
                          static_cast<int>(T::kIntPrec) - 2 - emax));
-        fwd_transform(iblock, dims);
+        zfpk::fwd_transform_any(iblock, dims);
         UInt ublock[64];
         for (unsigned i = 0; i < block_elems; ++i)
           ublock[i] = int2uint<Int, UInt>(iblock[order[i]]);
@@ -339,7 +338,7 @@ void decompress_impl(const Container& c, const ZfpOptions& opt, NdArray& out) {
         Int iblock[64];
         for (unsigned i = 0; i < block_elems; ++i)
           iblock[order[i]] = uint2int<Int, UInt>(ublock[i]);
-        inv_transform(iblock, dims);
+        zfpk::inv_transform_any(iblock, dims);
         for (unsigned i = 0; i < block_elems; ++i)
           block[i] = static_cast<Scalar>(
               std::ldexp(static_cast<double>(iblock[i]),

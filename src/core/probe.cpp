@@ -163,7 +163,13 @@ ProbeExecutor::ProbeExecutor(const pressio::Compressor& prototype, ProbeCachePtr
     : prototype_(prototype.clone()),
       config_fingerprint_(compressor_fingerprint(prototype)),
       cache_(std::move(cache)),
-      threads_(threads == 0 ? std::max(1u, std::thread::hardware_concurrency()) : threads) {
+      threads_(threads == 0 ? std::max(1u, std::thread::hardware_concurrency()) : threads),
+      probe_span_name_("tune.probe_us." + prototype.name()),
+      probe_hist_backend_(&telemetry::global().histogram(probe_span_name_)),
+      probes_executed_backend_(
+          &telemetry::global().counter("tune.probes_executed." + prototype.name())),
+      cache_hits_backend_(
+          &telemetry::global().counter("tune.probe_cache_hits." + prototype.name())) {
   require(cache_ != nullptr, "ProbeExecutor: cache must not be null");
 }
 
@@ -193,6 +199,7 @@ void ProbeExecutor::checkin(std::unique_ptr<Context> context) {
 ProbeRecord ProbeExecutor::execute_ratio(Context& context, const ArrayView& data,
                                          double bound) {
   TELEM_SPAN("tune.probe_us");
+  telemetry::SpanTimer backend_span(*probe_hist_backend_, probe_span_name_.c_str());
   context.compressor->set_error_bound(bound);
   const Status s = context.compressor->compress_into(data, context.scratch);
   if (!s.ok()) throw_status(s);
@@ -200,6 +207,7 @@ ProbeRecord ProbeExecutor::execute_ratio(Context& context, const ArrayView& data
   record.ratio = static_cast<double>(data.size_bytes()) /
                  static_cast<double>(context.scratch.size());
   probes_executed_counter().add();
+  probes_executed_backend_->add();
   return record;
 }
 
@@ -284,6 +292,7 @@ std::vector<ProbeOutcome> ProbeExecutor::probe_ratios(const ArrayView& data,
   // the executor's contract); telemetry splits them so dedup savings are
   // visible separately from cache reuse.
   probe_cache_hits_counter().add(hits - repeats.size());
+  cache_hits_backend_->add(hits - repeats.size());
   probes_deduped_counter().add(repeats.size());
 
   LockGuard lock(mutex_);
@@ -297,6 +306,7 @@ ProbeOutcome ProbeExecutor::probe_ratio(const ArrayView& data, std::uint64_t con
   ProbeRecord cached;
   if (cache_->lookup(context, bound, cached)) {
     probe_cache_hits_counter().add();
+    cache_hits_backend_->add();
     LockGuard lock(mutex_);
     ++cache_hits_;
     return ProbeOutcome{cached, true};
@@ -325,6 +335,7 @@ ProbeOutcome ProbeExecutor::probe_quality(const ArrayView& data, std::uint64_t c
   ProbeRecord cached;
   if (cache_->lookup(tagged, bound, cached)) {
     probe_cache_hits_counter().add();
+    cache_hits_backend_->add();
     LockGuard lock(mutex_);
     ++cache_hits_;
     return ProbeOutcome{cached, true};
@@ -333,6 +344,7 @@ ProbeOutcome ProbeExecutor::probe_quality(const ArrayView& data, std::uint64_t c
   ProbeRecord record;
   try {
     TELEM_SPAN("tune.probe_us");
+    telemetry::SpanTimer backend_span(*probe_hist_backend_, probe_span_name_.c_str());
     worker->compressor->set_error_bound(bound);
     Status s = worker->compressor->compress_into(data, worker->scratch);
     if (!s.ok()) throw_status(s);
@@ -351,6 +363,7 @@ ProbeOutcome ProbeExecutor::probe_quality(const ArrayView& data, std::uint64_t c
   checkin(std::move(worker));
   cache_->insert(tagged, bound, record);
   probes_executed_counter().add();
+  probes_executed_backend_->add();
   LockGuard lock(mutex_);
   ++executed_;
   return ProbeOutcome{record, false};

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -29,6 +30,11 @@
 #include "util/thread_annotations.hpp"
 
 namespace fraz {
+
+namespace telemetry {
+class Counter;
+class Histogram;
+}  // namespace telemetry
 
 /// Fidelity metric a quality probe can measure (used by tune_for_quality).
 enum class QualityMetric {
@@ -161,6 +167,17 @@ private:
   std::uint64_t config_fingerprint_;
   ProbeCachePtr cache_;
   unsigned threads_;
+
+  // Backend-labeled telemetry handles, resolved once in the constructor from
+  // the prototype's name ("tune.probe_us.sz", "tune.probes_executed.szx",
+  // ...).  These add a per-backend dimension so probe cost is attributable
+  // to the compressor that paid it; the generic unlabeled metrics stay — CI
+  // asserts them.  The span name string must outlive every SpanTimer that
+  // borrows its c_str(), hence the owned member.
+  std::string probe_span_name_;
+  telemetry::Histogram* probe_hist_backend_;
+  telemetry::Counter* probes_executed_backend_;
+  telemetry::Counter* cache_hits_backend_;
 
   mutable Mutex mutex_;
   std::vector<std::unique_ptr<Context>> idle_ FRAZ_GUARDED_BY(mutex_);

@@ -75,6 +75,22 @@ TuneResult Tuner::train(const ArrayView& data, std::uint64_t context) const {
   require(prototype_->supports_dims(data.dims()),
           "Tuner: compressor '" + prototype_->name() + "' does not support this rank");
   Timer timer;
+  if (prototype_->capabilities().lossless) {
+    // A lossless backend (fpc) has a flat ratio curve: the bound never
+    // changes the bytes, so one probe reveals the only achievable ratio and
+    // a region search would spend its whole budget learning nothing.
+    const double bound = search_range(data).hi;
+    const ProbeOutcome probe = executor_.probe_ratio(data, context, bound);
+    TuneResult result;
+    result.error_bound = bound;
+    result.achieved_ratio = probe.record.ratio;
+    result.feasible =
+        ratio_acceptable(probe.record.ratio, config_.target_ratio, config_.epsilon);
+    result.compress_calls = 1;
+    result.probe_cache_hits = probe.from_cache ? 1 : 0;
+    result.seconds = timer.seconds();
+    return result;
+  }
   const Region range = search_range(data);
   // Optionally work in log(bound) space: the region split and the global
   // search then resolve every decade of the bound axis equally well.

@@ -60,6 +60,10 @@ struct Capabilities {
   /// True when the backend honours set_error_bound as a pointwise absolute
   /// error guarantee (the property FRaZ's search relies on).
   bool error_bounded = true;
+  /// True when decompression reproduces the input bit-exactly regardless of
+  /// the bound (fpc).  Lossless backends have a flat ratio curve, so the
+  /// tuner reports their fixed ratio instead of searching.
+  bool lossless = false;
 
   /// Convenience probe: can the backend compress rank-\p dims data of \p t?
   bool supports(DType t, std::size_t dims) const noexcept {

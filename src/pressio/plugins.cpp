@@ -2,8 +2,10 @@
 #include <cmath>
 #include <memory>
 
+#include "compressors/fpc/fpc.hpp"
 #include "compressors/mgard/mgard.hpp"
 #include "compressors/sz/sz.hpp"
+#include "compressors/szx/szx.hpp"
 #include "compressors/truncate/truncate.hpp"
 #include "compressors/zfp/zfp.hpp"
 #include "pressio/registry.hpp"
@@ -284,6 +286,111 @@ private:
   unsigned fixed_bits_ = 0;
 };
 
+// ----------------------------------------------------------- SZx plugin
+//
+// The ultra-fast tier: one blockwise streaming pass, no prediction or
+// entropy stage (see szx.hpp).  Stateless per call, hence thread_safe.
+class SzxPlugin final : public Compressor {
+public:
+  std::string name() const override { return "szx"; }
+
+  Capabilities capabilities() const override {
+    Capabilities c;
+    c.name = "szx";
+    c.min_dims = 1;
+    c.max_dims = 8;  // block layout is rank-agnostic (flat 1D blocks)
+    c.thread_safe = true;
+    return c;
+  }
+
+  Options get_options() const override {
+    return Options{{"szx:error_bound", opt_.error_bound}};
+  }
+
+  void set_options(const Options& options) override {
+    if (options.contains("szx:error_bound")) {
+      const double e = options.get<double>("szx:error_bound");
+      require(e > 0, "szx:error_bound must be positive");
+      opt_.error_bound = e;
+    }
+  }
+
+  void set_error_bound(double bound) override {
+    require(bound > 0, "szx: error bound must be positive");
+    opt_.error_bound = bound;
+  }
+  double error_bound() const override { return opt_.error_bound; }
+
+  Status compress_into(const ArrayView& input, Buffer& out) const noexcept override {
+    return guarded([&] { szx_compress_into(input, opt_, out); });
+  }
+
+  Status decompress_into(const std::uint8_t* data, std::size_t size,
+                         NdArray& out) const noexcept override {
+    return guarded([&] { out = szx_decompress(data, size); });
+  }
+
+  CompressorPtr clone() const override { return std::make_unique<SzxPlugin>(*this); }
+
+private:
+  SzxOptions opt_;
+};
+
+// ----------------------------------------------------------- FPC plugin
+//
+// Lossless fast path for hard-to-compress floats.  Any error bound is
+// trivially honoured (error_bounded stays true); the lossless flag tells the
+// tuner the ratio curve is flat, so a search degenerates to one probe.
+class FpcPlugin final : public Compressor {
+public:
+  std::string name() const override { return "fpc"; }
+
+  Capabilities capabilities() const override {
+    Capabilities c;
+    c.name = "fpc";
+    c.min_dims = 1;
+    c.max_dims = 8;  // predictor stream is rank-agnostic
+    c.thread_safe = true;
+    c.lossless = true;
+    return c;
+  }
+
+  Options get_options() const override {
+    return Options{{"fpc:table_bits", static_cast<std::int64_t>(opt_.table_bits)}};
+  }
+
+  void set_options(const Options& options) override {
+    if (options.contains("fpc:table_bits")) {
+      const auto bits = options.get<std::int64_t>("fpc:table_bits");
+      require(bits >= 8 && bits <= 20, "fpc:table_bits must be in [8, 20]");
+      opt_.table_bits = static_cast<unsigned>(bits);
+    }
+  }
+
+  /// Accepted and ignored: reconstruction is exact, so every positive bound
+  /// holds.  Rejecting non-positive bounds keeps the tuner contract uniform.
+  void set_error_bound(double bound) override {
+    require(bound > 0, "fpc: error bound must be positive");
+    bound_ = bound;
+  }
+  double error_bound() const override { return bound_; }
+
+  Status compress_into(const ArrayView& input, Buffer& out) const noexcept override {
+    return guarded([&] { fpc_compress_into(input, opt_, out); });
+  }
+
+  Status decompress_into(const std::uint8_t* data, std::size_t size,
+                         NdArray& out) const noexcept override {
+    return guarded([&] { out = fpc_decompress(data, size); });
+  }
+
+  CompressorPtr clone() const override { return std::make_unique<FpcPlugin>(*this); }
+
+private:
+  FpcOptions opt_;
+  double bound_ = 1e-3;
+};
+
 }  // namespace
 
 void Registry::register_factory(const std::string& name, Factory factory) {
@@ -328,6 +435,8 @@ Registry& registry() {
     reg.register_factory("zfp", [] { return std::make_unique<ZfpPlugin>(); });
     reg.register_factory("mgard", [] { return std::make_unique<MgardPlugin>(); });
     reg.register_factory("truncate", [] { return std::make_unique<TruncatePlugin>(); });
+    reg.register_factory("szx", [] { return std::make_unique<SzxPlugin>(); });
+    reg.register_factory("fpc", [] { return std::make_unique<FpcPlugin>(); });
     return reg;
   }();
   return r;

@@ -32,16 +32,20 @@ std::atomic<bool> detail::g_enabled{initial_enabled()};
 namespace {
 
 // Function-local statics so a lease taken during another translation
-// unit's static initialization still finds initialized state.
+// unit's static initialization still finds initialized state.  Both are
+// intentionally leaked (immortal): ~SlotLease runs from TLS destructors of
+// arbitrary threads — including shared_thread_pool() workers joined during
+// static teardown — which may fire after this TU's exit-time destructors,
+// so the mutex and free list must never be destroyed.
 Mutex& slot_mutex() noexcept FRAZ_RETURN_CAPABILITY(slot_mutex()) {
-  static Mutex m;
+  static Mutex& m = *new Mutex;
   return m;
 }
 
 // The free list is guarded by slot_mutex() — expressed as a capability on
 // the accessor since the state is a function-local static.
 std::vector<std::size_t>& free_slots() FRAZ_REQUIRES(slot_mutex()) {
-  static std::vector<std::size_t> slots;
+  static std::vector<std::size_t>& slots = *new std::vector<std::size_t>;
   return slots;
 }
 

@@ -1,0 +1,30 @@
+/// Baseline-compiled runtime CPU detection for the SIMD dispatch contract
+/// (see simd.hpp).  Must stay free of wide intrinsics: it runs before any
+/// dispatch decision, possibly on a CPU older than the widest compiled TU.
+#include "util/simd.hpp"
+
+namespace fraz::simd {
+
+bool cpu_has_avx2() noexcept {
+#if (defined(__x86_64__) || defined(_M_X64)) && defined(__GNUC__)
+  static const bool ok = __builtin_cpu_supports("avx2") != 0;
+  return ok;
+#else
+  return false;
+#endif
+}
+
+bool isa_runtime_ok(const int id) noexcept {
+  switch (id) {
+    case kAvx2:
+      return cpu_has_avx2();
+    case kSse2:  // baseline on x86-64
+    case kNeon:  // baseline on aarch64
+    case kScalar:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace fraz::simd

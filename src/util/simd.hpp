@@ -1,0 +1,256 @@
+/// Portable fixed-width SIMD shim.
+///
+/// The ISA is selected at *compile time per translation unit*: a TU compiled
+/// with `-mavx2` sees the AVX2 types, a baseline x86-64 TU sees SSE2, an
+/// aarch64 TU sees NEON, and anything else falls back to scalar structs with
+/// the same API.  Kernels that want wider-than-baseline code live in
+/// dedicated `*_simd.cpp` files that CMake compiles with extra flags; their
+/// callers stay in baseline TUs and dispatch through `isa_id()` +
+/// `cpu_has_avx2()` so a binary built on an AVX2 box still runs (on the
+/// scalar reference path) on a pre-AVX2 CPU.
+///
+/// Dispatch contract: a `*_simd.cpp` TU exports its compile-time `isa_id()`;
+/// the baseline caller may enter that TU only when the reported ISA is
+/// runtime-supported (`kAvx2` requires `cpu_has_avx2()`; `kSse2`/`kNeon` are
+/// baseline-guaranteed on their targets).  Never call into an AVX2-compiled
+/// TU — not even its "scalar" paths — without the runtime check, since the
+/// whole TU is VEX-encoded.
+///
+/// Floating-point bit-identity: vector kernels must produce bit-identical
+/// results to their scalar references.  CMake therefore compiles `*_simd.cpp`
+/// with `-ffp-contract=off` (the baseline build has no FMA, so contraction
+/// in the wide TU would be the one source of divergence), and the shim
+/// exposes only plain mul/add — no fused ops.
+#ifndef FRAZ_UTIL_SIMD_HPP
+#define FRAZ_UTIL_SIMD_HPP
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__AVX2__)
+#define FRAZ_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64)
+#define FRAZ_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+#define FRAZ_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define FRAZ_SIMD_SCALAR 1
+#endif
+
+namespace fraz::simd {
+
+enum : int { kScalar = 0, kSse2 = 1, kAvx2 = 2, kNeon = 3 };
+
+constexpr int isa_id() {
+#if defined(FRAZ_SIMD_AVX2)
+  return kAvx2;
+#elif defined(FRAZ_SIMD_SSE2)
+  return kSse2;
+#elif defined(FRAZ_SIMD_NEON)
+  return kNeon;
+#else
+  return kScalar;
+#endif
+}
+
+constexpr const char* isa_name() {
+#if defined(FRAZ_SIMD_AVX2)
+  return "avx2";
+#elif defined(FRAZ_SIMD_SSE2)
+  return "sse2";
+#elif defined(FRAZ_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+/// Runtime CPU check, defined in a baseline TU (simd.cpp) so it is safe to
+/// call before any wide code executes.
+bool cpu_has_avx2() noexcept;
+
+/// True when a TU compiled with ISA `id` may be entered on this CPU.
+bool isa_runtime_ok(int id) noexcept;
+
+// ---------------------------------------------------------------------------
+// V4i32 — four 32-bit lanes.  SSE2 / AVX2(VEX SSE) / NEON / scalar.
+// ---------------------------------------------------------------------------
+#if defined(FRAZ_SIMD_SSE2) || defined(FRAZ_SIMD_AVX2)
+
+struct V4i32 {
+  __m128i v;
+  static V4i32 load(const std::int32_t* p) {
+    return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+  }
+  void store(std::int32_t* p) const {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+};
+inline V4i32 add(V4i32 a, V4i32 b) { return {_mm_add_epi32(a.v, b.v)}; }
+inline V4i32 sub(V4i32 a, V4i32 b) { return {_mm_sub_epi32(a.v, b.v)}; }
+inline V4i32 sra1(V4i32 a) { return {_mm_srai_epi32(a.v, 1)}; }
+inline V4i32 vor(V4i32 a, V4i32 b) { return {_mm_or_si128(a.v, b.v)}; }
+inline void transpose4(V4i32& r0, V4i32& r1, V4i32& r2, V4i32& r3) {
+  const __m128i t0 = _mm_unpacklo_epi32(r0.v, r1.v);
+  const __m128i t1 = _mm_unpackhi_epi32(r0.v, r1.v);
+  const __m128i t2 = _mm_unpacklo_epi32(r2.v, r3.v);
+  const __m128i t3 = _mm_unpackhi_epi32(r2.v, r3.v);
+  r0.v = _mm_unpacklo_epi64(t0, t2);
+  r1.v = _mm_unpackhi_epi64(t0, t2);
+  r2.v = _mm_unpacklo_epi64(t1, t3);
+  r3.v = _mm_unpackhi_epi64(t1, t3);
+}
+
+#elif defined(FRAZ_SIMD_NEON)
+
+struct V4i32 {
+  int32x4_t v;
+  static V4i32 load(const std::int32_t* p) { return {vld1q_s32(p)}; }
+  void store(std::int32_t* p) const { vst1q_s32(p, v); }
+};
+inline V4i32 add(V4i32 a, V4i32 b) { return {vaddq_s32(a.v, b.v)}; }
+inline V4i32 sub(V4i32 a, V4i32 b) { return {vsubq_s32(a.v, b.v)}; }
+inline V4i32 sra1(V4i32 a) { return {vshrq_n_s32(a.v, 1)}; }
+inline V4i32 vor(V4i32 a, V4i32 b) { return {vorrq_s32(a.v, b.v)}; }
+inline void transpose4(V4i32& r0, V4i32& r1, V4i32& r2, V4i32& r3) {
+  const int32x4x2_t t01 = vtrnq_s32(r0.v, r1.v);
+  const int32x4x2_t t23 = vtrnq_s32(r2.v, r3.v);
+  r0.v = vcombine_s32(vget_low_s32(t01.val[0]), vget_low_s32(t23.val[0]));
+  r1.v = vcombine_s32(vget_low_s32(t01.val[1]), vget_low_s32(t23.val[1]));
+  r2.v = vcombine_s32(vget_high_s32(t01.val[0]), vget_high_s32(t23.val[0]));
+  r3.v = vcombine_s32(vget_high_s32(t01.val[1]), vget_high_s32(t23.val[1]));
+}
+
+#else  // scalar fallback
+
+struct V4i32 {
+  std::int32_t v[4];
+  static V4i32 load(const std::int32_t* p) {
+    V4i32 r;
+    std::memcpy(r.v, p, sizeof(r.v));
+    return r;
+  }
+  void store(std::int32_t* p) const { std::memcpy(p, v, sizeof(v)); }
+};
+inline V4i32 add(V4i32 a, V4i32 b) {
+  V4i32 r;
+  for (int i = 0; i < 4; ++i)
+    r.v[i] = static_cast<std::int32_t>(static_cast<std::uint32_t>(a.v[i]) +
+                                       static_cast<std::uint32_t>(b.v[i]));
+  return r;
+}
+inline V4i32 sub(V4i32 a, V4i32 b) {
+  V4i32 r;
+  for (int i = 0; i < 4; ++i)
+    r.v[i] = static_cast<std::int32_t>(static_cast<std::uint32_t>(a.v[i]) -
+                                       static_cast<std::uint32_t>(b.v[i]));
+  return r;
+}
+inline V4i32 sra1(V4i32 a) {
+  V4i32 r;
+  for (int i = 0; i < 4; ++i) r.v[i] = a.v[i] >> 1;
+  return r;
+}
+inline V4i32 vor(V4i32 a, V4i32 b) {
+  V4i32 r;
+  for (int i = 0; i < 4; ++i)
+    r.v[i] = static_cast<std::int32_t>(static_cast<std::uint32_t>(a.v[i]) |
+                                       static_cast<std::uint32_t>(b.v[i]));
+  return r;
+}
+inline void transpose4(V4i32& r0, V4i32& r1, V4i32& r2, V4i32& r3) {
+  V4i32 c0{{r0.v[0], r1.v[0], r2.v[0], r3.v[0]}};
+  V4i32 c1{{r0.v[1], r1.v[1], r2.v[1], r3.v[1]}};
+  V4i32 c2{{r0.v[2], r1.v[2], r2.v[2], r3.v[2]}};
+  V4i32 c3{{r0.v[3], r1.v[3], r2.v[3], r3.v[3]}};
+  r0 = c0;
+  r1 = c1;
+  r2 = c2;
+  r3 = c3;
+}
+
+#endif
+
+// ---------------------------------------------------------------------------
+// V4i64 / V4d — four 64-bit lanes.  AVX2 only; FRAZ_SIMD_HAS_WIDE64 gates
+// kernels that need them (callers fall back to their scalar reference when
+// the macro is absent).
+// ---------------------------------------------------------------------------
+#if defined(FRAZ_SIMD_AVX2)
+#define FRAZ_SIMD_HAS_WIDE64 1
+
+struct V4i64 {
+  __m256i v;
+  static V4i64 load(const std::int64_t* p) {
+    return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  void store(std::int64_t* p) const {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+};
+inline V4i64 add(V4i64 a, V4i64 b) { return {_mm256_add_epi64(a.v, b.v)}; }
+inline V4i64 sub(V4i64 a, V4i64 b) { return {_mm256_sub_epi64(a.v, b.v)}; }
+/// Arithmetic >> 1 (no native 64-bit sra in AVX2): logical shift plus
+/// sign-bit replication into the vacated top bit.
+inline V4i64 sra1(V4i64 a) {
+  const __m256i sign = _mm256_cmpgt_epi64(_mm256_setzero_si256(), a.v);
+  return {_mm256_or_si256(_mm256_srli_epi64(a.v, 1), _mm256_slli_epi64(sign, 63))};
+}
+inline void transpose4(V4i64& r0, V4i64& r1, V4i64& r2, V4i64& r3) {
+  const __m256i t0 = _mm256_unpacklo_epi64(r0.v, r1.v);
+  const __m256i t1 = _mm256_unpackhi_epi64(r0.v, r1.v);
+  const __m256i t2 = _mm256_unpacklo_epi64(r2.v, r3.v);
+  const __m256i t3 = _mm256_unpackhi_epi64(r2.v, r3.v);
+  r0.v = _mm256_permute2x128_si256(t0, t2, 0x20);
+  r1.v = _mm256_permute2x128_si256(t1, t3, 0x20);
+  r2.v = _mm256_permute2x128_si256(t0, t2, 0x31);
+  r3.v = _mm256_permute2x128_si256(t1, t3, 0x31);
+}
+
+struct V4d {
+  __m256d v;
+  static V4d load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  static V4d load4f(const float* p) { return {_mm256_cvtps_pd(_mm_loadu_ps(p))}; }
+  static V4d bcast(double x) { return {_mm256_set1_pd(x)}; }
+  void store(double* p) const { _mm256_storeu_pd(p, v); }
+};
+inline V4d add(V4d a, V4d b) { return {_mm256_add_pd(a.v, b.v)}; }
+inline V4d sub(V4d a, V4d b) { return {_mm256_sub_pd(a.v, b.v)}; }
+inline V4d mul(V4d a, V4d b) { return {_mm256_mul_pd(a.v, b.v)}; }
+inline V4d div(V4d a, V4d b) { return {_mm256_div_pd(a.v, b.v)}; }
+inline V4d vmin(V4d a, V4d b) { return {_mm256_min_pd(a.v, b.v)}; }
+inline V4d vmax(V4d a, V4d b) { return {_mm256_max_pd(a.v, b.v)}; }
+inline V4d trunc(V4d a) {
+  return {_mm256_round_pd(a.v, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC)};
+}
+inline V4d vabs(V4d a) {
+  return {_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v)};
+}
+/// Ordered comparisons producing an all-ones/all-zero lane mask.
+inline V4d cmp_le(V4d a, V4d b) { return {_mm256_cmp_pd(a.v, b.v, _CMP_LE_OQ)}; }
+inline V4d cmp_lt(V4d a, V4d b) { return {_mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ)}; }
+inline V4d cmp_eq(V4d a, V4d b) { return {_mm256_cmp_pd(a.v, b.v, _CMP_EQ_OQ)}; }
+inline V4d mask_and(V4d a, V4d b) { return {_mm256_and_pd(a.v, b.v)}; }
+inline int movemask(V4d m) { return _mm256_movemask_pd(m.v); }
+inline V4d blend(V4d mask, V4d on, V4d off) {
+  return {_mm256_blendv_pd(off.v, on.v, mask.v)};
+}
+/// Lane-wise (double)(int32) widening of the low 4 x i32.
+inline V4d to_f64(V4i32 a) { return {_mm256_cvtepi32_pd(a.v)}; }
+/// Round-to-nearest-even narrowing to i32 (inputs must be in i32 range; the
+/// kernels only convert already-truncated integral values).
+inline V4i32 to_i32(V4d a) { return {_mm256_cvtpd_epi32(a.v)}; }
+/// Narrow to 4 floats with the same rounding as a scalar (float) cast.
+inline void store4f(V4d a, float* p) { _mm_storeu_ps(p, _mm256_cvtpd_ps(a.v)); }
+/// Lane-wise double -> float -> double, matching `(double)(float)x` exactly.
+inline V4d f32_roundtrip(V4d a) { return {_mm256_cvtps_pd(_mm256_cvtpd_ps(a.v))}; }
+
+#endif  // FRAZ_SIMD_AVX2
+
+}  // namespace fraz::simd
+
+#endif  // FRAZ_UTIL_SIMD_HPP

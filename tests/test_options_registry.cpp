@@ -96,7 +96,7 @@ TEST(Registry, UnknownNameThrows) { EXPECT_THROW(registry().create("lzma"), Unsu
 
 TEST(Registry, NamesSortedAndComplete) {
   const auto names = registry().names();
-  EXPECT_EQ(names, (std::vector<std::string>{"mgard", "sz", "truncate", "zfp"}));
+  EXPECT_EQ(names, (std::vector<std::string>{"fpc", "mgard", "sz", "szx", "truncate", "zfp"}));
 }
 
 // ---------------------------------------------------------------- Plugins

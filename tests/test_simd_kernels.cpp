@@ -1,0 +1,270 @@
+/// Bit-identity pins for every vectorized hot kernel against its scalar
+/// reference, on adversarial inputs: quiet and signalling NaNs, both
+/// infinities, denormals, negative zero, and round-half ties.  The dispatch
+/// contract (util/simd.hpp) promises the `_vec` entry points are drop-in
+/// replacements — these tests are the promise's enforcement.  Vector paths
+/// that are inactive on the build/host are skipped, not silently passed;
+/// the Huffman/rANS fast-vs-reference pins below run everywhere.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "codec/huffman.hpp"
+#include "codec/rans.hpp"
+#include "compressors/sz/sz_kernels.hpp"
+#include "compressors/szx/szx_kernels.hpp"
+#include "compressors/zfp/transform.hpp"
+#include "compressors/zfp/transform_kernels.hpp"
+#include "util/rng.hpp"
+
+namespace fraz {
+namespace {
+
+/// Bitwise equality — distinguishes -0.0 from 0.0 and compares NaN payloads,
+/// which operator== cannot.
+template <typename T>
+bool bits_equal(const T& a, const T& b) {
+  return std::memcmp(&a, &b, sizeof(T)) == 0;
+}
+
+template <typename T>
+bool bits_equal(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+template <typename Scalar>
+Scalar quiet_nan() {
+  return std::numeric_limits<Scalar>::quiet_NaN();
+}
+
+template <typename Scalar>
+Scalar signalling_nan() {
+  return std::numeric_limits<Scalar>::signaling_NaN();
+}
+
+/// Adversarial buffers: each stresses a different failure mode of a vector
+/// port (NaN min/max operand order, -0.0 vs 0.0, rounding ties, denormal
+/// flushing, partial tails).
+template <typename Scalar>
+std::vector<std::vector<Scalar>> adversarial_buffers() {
+  const Scalar inf = std::numeric_limits<Scalar>::infinity();
+  const Scalar den = std::numeric_limits<Scalar>::denorm_min();
+  std::vector<std::vector<Scalar>> bufs;
+
+  // Smooth in-range data (the common case).
+  std::vector<Scalar> smooth(szxk::kBlock);
+  for (std::size_t i = 0; i < smooth.size(); ++i)
+    smooth[i] = static_cast<Scalar>(std::sin(0.1 * static_cast<double>(i)) * 40.0);
+  bufs.push_back(smooth);
+
+  // Specials in every lane position, including lane 0 and the tail.
+  std::vector<Scalar> specials = {
+      quiet_nan<Scalar>(), Scalar(1), Scalar(-1), signalling_nan<Scalar>(),
+      inf,  -inf, Scalar(0), Scalar(-0.0),
+      den,  -den, Scalar(1e4), quiet_nan<Scalar>()};
+  bufs.push_back(specials);
+
+  // Rounding ties: values whose quantization ratio lands exactly on .5 —
+  // round-half-away-from-zero vs round-to-even diverges here.
+  std::vector<Scalar> ties;
+  for (int i = 0; i < 37; ++i) ties.push_back(static_cast<Scalar>(i) * Scalar(0.5));
+  bufs.push_back(ties);
+
+  // The double tie 0.49999999999999994 (rounds to 0 with llround-style
+  // two-step truncation, to 1 with naive +0.5-and-floor).
+  bufs.push_back({Scalar(0.49999999999999994), Scalar(-0.49999999999999994),
+                  Scalar(0.5), Scalar(-0.5), Scalar(1.5), Scalar(2.5)});
+
+  // Random rough data at a non-multiple-of-4 length (tail handling).
+  Rng rng(7);
+  std::vector<Scalar> rough(szxk::kBlock - 3);
+  for (auto& v : rough)
+    v = static_cast<Scalar>((rng.normal() - 0.5) * 1e3);
+  bufs.push_back(rough);
+
+  // Every length 1..9: exercises all partial-vector tails.
+  for (std::size_t n = 1; n <= 9; ++n) {
+    std::vector<Scalar> small(n);
+    for (std::size_t i = 0; i < n; ++i)
+      small[i] = static_cast<Scalar>(rng.normal() * 10.0);
+    bufs.push_back(small);
+  }
+  return bufs;
+}
+
+// ----------------------------------------------------------------- szx
+
+template <typename Scalar>
+void check_szx_identity() {
+  if (!szxk::simd_active()) GTEST_SKIP() << "szx vector path inactive on this host";
+  for (const auto& buf : adversarial_buffers<Scalar>()) {
+    const auto ref = szxk::block_stats_scalar(buf.data(), buf.size());
+    const auto vec = szxk::block_stats_vec(buf.data(), buf.size());
+    EXPECT_TRUE(bits_equal(ref.min, vec.min)) << "n=" << buf.size();
+    EXPECT_TRUE(bits_equal(ref.max, vec.max)) << "n=" << buf.size();
+    EXPECT_EQ(ref.all_finite, vec.all_finite) << "n=" << buf.size();
+
+    for (const double e : {1e-3, 0.5, 1e-9}) {
+      const double base = ref.all_finite ? ref.min : 0.0;
+      const double twoe = 2.0 * e;
+      std::vector<std::uint32_t> qs(buf.size()), qv(buf.size());
+      const auto rs = szxk::quantize_scalar(buf.data(), buf.size(), base, twoe, e, qs.data());
+      const auto rv = szxk::quantize_vec(buf.data(), buf.size(), base, twoe, e, qv.data());
+      EXPECT_EQ(rs.ok, rv.ok) << "n=" << buf.size() << " e=" << e;
+      if (rs.ok && rv.ok) {
+        // q[] contents are only specified for ok blocks (raw storage
+        // otherwise), so the byte pin applies there.
+        EXPECT_EQ(rs.qor, rv.qor);
+        EXPECT_TRUE(bits_equal(qs, qv)) << "n=" << buf.size() << " e=" << e;
+
+        std::vector<Scalar> ds(buf.size()), dv(buf.size());
+        szxk::dequantize_scalar(qs.data(), qs.size(), base, twoe, ds.data());
+        szxk::dequantize_vec(qs.data(), qs.size(), base, twoe, dv.data());
+        EXPECT_TRUE(bits_equal(ds, dv)) << "n=" << buf.size() << " e=" << e;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, SzxVectorMatchesScalarF32) { check_szx_identity<float>(); }
+TEST(SimdKernels, SzxVectorMatchesScalarF64) { check_szx_identity<double>(); }
+
+// ------------------------------------------------------------------ sz
+
+template <typename Scalar>
+void check_sz_run_identity() {
+  if (!szk::simd_active()) GTEST_SKIP() << "sz vector path inactive on this host";
+  Rng rng(11);
+  for (const auto& buf : adversarial_buffers<Scalar>()) {
+    // Runs are at most 32 elements; walk the buffer in chunks.
+    for (std::size_t off = 0; off < buf.size(); off += 32) {
+      const std::size_t n = std::min<std::size_t>(32, buf.size() - off);
+      const double pred_base = rng.normal() * 5.0;
+      const double pred_step = rng.normal() * 0.1;
+      for (const double e : {1e-2, 0.75}) {
+        const double twoe = 2.0 * e;
+        std::vector<std::uint32_t> cs(n), cv(n);
+        std::vector<Scalar> rs(n), rv(n);
+        const auto ms = szk::quantize_run_scalar(buf.data() + off, n, pred_base, pred_step,
+                                                 twoe, e, cs.data(), rs.data());
+        const auto mv = szk::quantize_run_vec(buf.data() + off, n, pred_base, pred_step,
+                                              twoe, e, cv.data(), rv.data());
+        EXPECT_EQ(ms, mv) << "escape masks diverge, n=" << n;
+        EXPECT_TRUE(bits_equal(cs, cv)) << "codes diverge, n=" << n;
+        EXPECT_TRUE(bits_equal(rs, rv)) << "recon diverges, n=" << n;
+
+        std::vector<Scalar> ds(n), dv(n);
+        const auto es = szk::reconstruct_run_scalar(cs.data(), n, pred_base, pred_step,
+                                                    twoe, ds.data());
+        const auto ev = szk::reconstruct_run_vec(cs.data(), n, pred_base, pred_step,
+                                                 twoe, dv.data());
+        EXPECT_EQ(es, ev) << "reconstruct masks diverge, n=" << n;
+        EXPECT_TRUE(bits_equal(ds, dv)) << "reconstruct diverges, n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, SzQuantizeRunVectorMatchesScalarF32) { check_sz_run_identity<float>(); }
+TEST(SimdKernels, SzQuantizeRunVectorMatchesScalarF64) { check_sz_run_identity<double>(); }
+
+// ----------------------------------------------------------------- zfp
+
+template <typename Int>
+void check_zfp_identity() {
+  if (!zfpk::simd_active<Int>()) GTEST_SKIP() << "zfp vector path inactive for this width";
+  Rng rng(13);
+  for (const unsigned dims : {2u, 3u}) {
+    const std::size_t n = dims == 2 ? 16 : 64;
+    for (int trial = 0; trial < 64; ++trial) {
+      std::vector<Int> block(n);
+      if (trial == 0) {
+        // Extreme magnitudes: wrapping adds must wrap identically.
+        for (std::size_t i = 0; i < n; ++i)
+          block[i] = (i & 1) ? std::numeric_limits<Int>::max()
+                             : std::numeric_limits<Int>::min();
+      } else {
+        for (auto& v : block)
+          v = static_cast<Int>(rng.next()) >> (trial % 3 == 0 ? 0 : 17);
+      }
+      std::vector<Int> ref = block, vec = block;
+      zfp_detail::fwd_transform(ref.data(), dims);
+      zfpk::fwd_transform_vec(vec.data(), dims);
+      EXPECT_TRUE(bits_equal(ref, vec)) << "fwd dims=" << dims << " trial=" << trial;
+
+      zfp_detail::inv_transform(ref.data(), dims);
+      zfpk::inv_transform_vec(vec.data(), dims);
+      EXPECT_TRUE(bits_equal(ref, vec)) << "inv dims=" << dims << " trial=" << trial;
+    }
+  }
+}
+
+TEST(SimdKernels, ZfpTransformVectorMatchesScalarI32) { check_zfp_identity<std::int32_t>(); }
+TEST(SimdKernels, ZfpTransformVectorMatchesScalarI64) { check_zfp_identity<std::int64_t>(); }
+
+// ------------------------------------------------------- entropy coders
+
+std::vector<std::uint32_t> peaked_codes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint32_t> codes(n);
+  for (auto& c : codes)
+    c = static_cast<std::uint32_t>(32768 + static_cast<std::int64_t>(rng.normal() * 4.0));
+  return codes;
+}
+
+/// Fibonacci-weighted stream: the optimal Huffman tree is a degenerate chain,
+/// forcing code lengths far past the 11-bit fast-table prefix so decode must
+/// take the slow canonical path mid-stream.
+std::vector<std::uint32_t> skewed_codes() {
+  std::vector<std::uint32_t> codes;
+  std::uint64_t a = 1, b = 1;
+  for (std::uint32_t sym = 0; sym < 20; ++sym) {
+    for (std::uint64_t k = 0; k < a; ++k) codes.push_back(sym * 977);
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  // Interleave deterministically so long and short codes alternate.
+  Rng rng(5);
+  for (std::size_t i = codes.size(); i > 1; --i)
+    std::swap(codes[i - 1], codes[rng.below(i)]);
+  return codes;
+}
+
+TEST(SimdKernels, HuffmanFastDecodeMatchesReference) {
+  const std::vector<std::vector<std::uint32_t>> streams = {
+      peaked_codes(5000, 1), skewed_codes(), {42}, {7, 7, 7, 7}, {}};
+  for (const auto& codes : streams) {
+    const auto bytes = huffman_encode(codes);
+    const auto fast = huffman_decode(bytes);
+    const auto ref = huffman_decode_ref(bytes.data(), bytes.size());
+    EXPECT_TRUE(bits_equal(fast, ref)) << "n=" << codes.size();
+    EXPECT_TRUE(bits_equal(fast, codes)) << "n=" << codes.size();
+  }
+}
+
+TEST(SimdKernels, RansFastDecodeMatchesReference) {
+  std::vector<std::vector<std::uint32_t>> streams = {
+      peaked_codes(5000, 2), skewed_codes(), {42}, {7, 7, 7, 7}, {}};
+  // Uniform wide alphabet: the dominant-symbol short-circuit almost never
+  // fires, so the table path carries the stream.
+  Rng rng(9);
+  std::vector<std::uint32_t> uniform(4096);
+  for (auto& c : uniform) c = static_cast<std::uint32_t>(rng.below(1u << 14));
+  streams.push_back(uniform);
+  for (const auto& codes : streams) {
+    const auto bytes = rans_encode(codes);
+    const auto fast = rans_decode(bytes);
+    const auto ref = rans_decode_ref(bytes.data(), bytes.size());
+    EXPECT_TRUE(bits_equal(fast, ref)) << "n=" << codes.size();
+    EXPECT_TRUE(bits_equal(fast, codes)) << "n=" << codes.size();
+  }
+}
+
+}  // namespace
+}  // namespace fraz

@@ -138,6 +138,7 @@ std::string capabilities_json(const pressio::Compressor& c) {
       .field("thread_safe", caps.thread_safe)
       .field("deterministic", caps.deterministic)
       .field("error_bounded", caps.error_bounded)
+      .field("lossless", caps.lossless)
       .key("options")
       .begin_array();
   for (const auto& key : c.get_options().keys()) w.value(key);
@@ -731,7 +732,7 @@ int main(int argc, char** argv) {
     cli.add_string("output", "out.bin", "output file");
     cli.add_string("dims", "0", "raw input shape, e.g. 100x500x500");
     cli.add_string("dtype", "f32", "raw input scalar type: f32|f64");
-    cli.add_string("compressor", "sz", "backend: sz|zfp|mgard|truncate");
+    cli.add_string("compressor", "sz", "backend: sz|szx|zfp|mgard|fpc|truncate");
     cli.add_double("target", 10.0, "target compression ratio");
     cli.add_double("epsilon", 0.1, "acceptance band around the target");
     cli.add_double("bound", 0.0, "explicit error bound (skip tuning when > 0)");
