@@ -1,0 +1,21 @@
+/// Fuzz the sz decoder over raw untrusted bytes, aimed at the v2 blocked
+/// payload: per-group section framing (flags/coeffs/entropy/raws), the
+/// interleaved-rANS streams inside, and the v1/v2 version routing.  The
+/// contract is decode-or-throw-a-fraz-Error for any input — no crash, no
+/// out-of-bounds block write, no allocation driven by an unvalidated group
+/// or symbol count.  Seeds live at tests/corpus/sz2/.
+#include "compressors/sz/sz.hpp"
+#include "fuzz_driver.hpp"
+#include "util/error.hpp"
+
+void fraz_fuzz_one(const std::uint8_t* data, std::size_t size) {
+  try {
+    (void)fraz::sz_decompress(data, size);
+  } catch (const fraz::CorruptStream&) {
+    // Rejection is the expected outcome for malformed bytes.
+  } catch (const fraz::Unsupported&) {
+    // Frames claiming a dtype/rank/version this build does not handle.
+  } catch (const fraz::InvalidArgument&) {
+    // Structurally valid frames whose decoded metadata fails a precondition.
+  }
+}

@@ -6,7 +6,7 @@
 ///     fraz_make_corpus <output-dir>
 ///
 /// writes one subdirectory per fuzz target (archive_format/, bound_store/,
-/// serve_protocol/, varint/, entropy/, szx/, fpc/).  The checked-in copy
+/// serve_protocol/, varint/, entropy/, szx/, fpc/, sz2/).  The checked-in copy
 /// lives at tests/corpus/ and doubles as the negative-path unit-test input
 /// set.
 #include <cmath>
@@ -21,6 +21,7 @@
 #include "codec/rans.hpp"
 #include "codec/varint.hpp"
 #include "compressors/fpc/fpc.hpp"
+#include "compressors/sz/sz.hpp"
 #include "compressors/szx/szx.hpp"
 #include "engine/bound_store.hpp"
 #include "ndarray/ndarray.hpp"
@@ -183,6 +184,48 @@ bool emit_fpc(const fs::path& dir) {
          write_file(dir / "rough_f64.fpc", frame_f64.data(), frame_f64.size());
 }
 
+bool emit_sz2(const fs::path& dir) {
+  // Blocked (v2) frames across ranks plus one serial (v1) frame, so the
+  // fuzzer mutates both sides of the version routing.
+  const NdArray field = smooth_field();
+  SzOptions blocked;
+  blocked.error_bound = 1e-3;
+  blocked.mode = SzMode::kBlocked;
+  const auto frame_3d = sz_compress(field.view(), blocked);
+
+  NdArray plane(DType::kFloat64, Shape{40, 36});
+  double* pd = static_cast<double*>(plane.data());
+  for (std::size_t i = 0; i < plane.elements(); ++i)
+    pd[i] = std::cos(static_cast<double>(i) * 0.03) * 7.0;
+  SzOptions loose = blocked;
+  loose.error_bound = 5.0;  // near-constant codes -> tiny rANS alphabets
+  const auto frame_2d = sz_compress(plane.view(), loose);
+
+  // Rough 1D data at a tight bound: most elements escape into the raw
+  // section, exercising the flags/raws framing.
+  NdArray rough(DType::kFloat32, Shape{1500});
+  float* pf = static_cast<float*>(rough.data());
+  std::uint64_t x = 0x243f6a8885a308d3ull;
+  for (std::size_t i = 0; i < rough.elements(); ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    pf[i] = static_cast<float>(static_cast<std::int64_t>(x)) * 1e-12f;
+  }
+  SzOptions tight = blocked;
+  tight.error_bound = 1e-6;
+  const auto frame_raws = sz_compress(rough.view(), tight);
+
+  SzOptions serial;
+  serial.error_bound = 1e-3;
+  const auto frame_v1 = sz_compress(field.view(), serial);
+
+  return write_file(dir / "blocked_3d.sz2", frame_3d.data(), frame_3d.size()) &&
+         write_file(dir / "blocked_2d_loose.sz2", frame_2d.data(), frame_2d.size()) &&
+         write_file(dir / "blocked_1d_raws.sz2", frame_raws.data(), frame_raws.size()) &&
+         write_file(dir / "serial_v1.sz2", frame_v1.data(), frame_v1.size());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -199,7 +242,7 @@ int main(int argc, char** argv) {
       {"archive_format", emit_archives},   {"bound_store", emit_bound_store},
       {"serve_protocol", emit_serve_protocol}, {"varint", emit_varint},
       {"entropy", emit_entropy},           {"szx", emit_szx},
-      {"fpc", emit_fpc},
+      {"fpc", emit_fpc},                   {"sz2", emit_sz2},
   };
   for (const auto& target : targets) {
     const fs::path dir = root / target.name;

@@ -9,6 +9,7 @@
 
 #include "codec/checksum.hpp"
 #include "opt/thread_pool.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace fraz::archive::detail {
@@ -45,7 +46,13 @@ NdArray decode_chunk(Engine& engine, const ChunkSource& source, const FieldInfo&
       source.fetch(chunk_region + entry.offset, entry.size, scratch);
   if (crc32(chunk, entry.size) != entry.crc)
     throw CorruptStream("archive: chunk " + std::to_string(i) + " failed its checksum");
-  Result<NdArray> decoded = engine.decompress(chunk, entry.size);
+  Result<NdArray> decoded = [&] {
+    // Per-backend decode latency, labelled like the tuner's probe spans
+    // (tune.probe_us.<backend>) so dashboards can line the two up.
+    const std::string span_name = "decode_us." + field.compressor;
+    telemetry::SpanTimer span(telemetry::global().histogram(span_name), span_name.c_str());
+    return engine.decompress(chunk, entry.size);
+  }();
   if (!decoded.ok())
     throw CorruptStream("archive: chunk " + std::to_string(i) + ": " +
                         decoded.status().to_string());

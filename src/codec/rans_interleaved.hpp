@@ -1,0 +1,117 @@
+#ifndef FRAZ_CODEC_RANS_INTERLEAVED_HPP
+#define FRAZ_CODEC_RANS_INTERLEAVED_HPP
+
+/// \file rans_interleaved.hpp
+/// N-way interleaved rANS coder for 32-bit integer symbols — the entropy
+/// stage of the sz blocked (v2) pipeline.
+///
+/// The single-state coder in rans.hpp is serial by construction: every
+/// decode iteration is a slot -> table load -> state update chain depending
+/// on the previous one, so one stream decodes at one symbol per chain
+/// latency no matter how wide the core is.  This coder runs kWays = 8
+/// alternating states over ONE shared byte stream (the ryg construction):
+/// symbol i belongs to state i % 8, the encoder walks symbols in reverse
+/// pushing renormalization bytes before each encode step and reverses the
+/// buffer once at the end, and the decoder walks forward reading bytes after
+/// each decode step — so the per-state byte sequences are exactly those of
+/// eight independent single-state rANS coders, while the eight state updates
+/// per round are independent and retire in parallel (ILP on one core, lane
+/// parallelism in the AVX2 kernel).
+///
+/// Wire format:
+///   varint  symbol_count
+///   u8      ways (must equal kRansWays)
+///   (end if symbol_count == 0)
+///   u8      mode: 0 = rANS, 1 = raw varint symbols
+///   mode 1: symbol_count varints (alphabet too large to normalize — the
+///           stream is near-incompressible anyway)
+///   mode 0: varint  distinct_count (>= 1)
+///           repeated distinct_count times:
+///             varint symbol delta (ascending; first absolute)
+///             varint normalized frequency (1..2^14, sums to 2^14)
+///           varint  payload byte count, payload bytes:
+///             8 big-endian u32 initial states (state 0 first), then the
+///             interleaved renormalization bytes in decode order
+///
+/// Determinism: equal inputs produce equal bytes.  The fast decode path
+/// (scalar 8-way or the AVX2 kernel, selected by runtime dispatch) is
+/// bit-identical to rans_interleaved_decode_ref on every input — pinned by
+/// tests/test_rans_interleaved.cpp on adversarial symbol skews.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fraz {
+
+/// Interleaving width.  Eight u32 states fill the out-of-order window of one
+/// core without spilling; the width is stored in the header so it can grow
+/// in a later format revision without breaking old payloads.
+constexpr unsigned kRansWays = 8;
+
+/// Probability resolution of the interleaved coder: 2^14 slots.  Smaller
+/// than rans.hpp's 2^17 so the slot table stays L2-resident (128 KiB packed
+/// entries vs 512 KiB); block-group streams are short and sharply peaked, so
+/// the precision loss costs well under 1% of payload.
+constexpr unsigned kRansInterleavedProbBits = 14;
+
+/// Encode \p n symbols.
+std::vector<std::uint8_t> rans_interleaved_encode(const std::uint32_t* symbols,
+                                                  std::size_t n);
+
+inline std::vector<std::uint8_t> rans_interleaved_encode(
+    const std::vector<std::uint32_t>& symbols) {
+  return rans_interleaved_encode(symbols.data(), symbols.size());
+}
+
+/// Decode a buffer produced by rans_interleaved_encode; throws CorruptStream
+/// on any malformed input.  Dispatches to the AVX2 lane kernel when the CPU
+/// supports it, else to the scalar 8-way loop; both are bit-identical to the
+/// reference decoder.
+std::vector<std::uint32_t> rans_interleaved_decode(const std::uint8_t* data,
+                                                   std::size_t size);
+
+inline std::vector<std::uint32_t> rans_interleaved_decode(
+    const std::vector<std::uint8_t>& data) {
+  return rans_interleaved_decode(data.data(), data.size());
+}
+
+/// Decode into a caller-owned buffer, reusing its capacity (\p out is
+/// resized to the symbol count).  The hot-loop variant for callers that
+/// decode many streams back to back — same bytes-in, symbols-out behaviour
+/// as rans_interleaved_decode with no per-call allocation once warm.
+void rans_interleaved_decode_into(const std::uint8_t* data, std::size_t size,
+                                  std::vector<std::uint32_t>& out);
+
+/// Reference decoder: one symbol at a time, every byte read bounds-checked.
+/// The behavioural baseline the fast paths are pinned against.
+std::vector<std::uint32_t> rans_interleaved_decode_ref(const std::uint8_t* data,
+                                                       std::size_t size);
+
+namespace detail {
+
+/// Compile-time ISA of the rans_interleaved_simd.cpp TU and whether it holds
+/// a wide kernel (util/simd.hpp dispatch contract: enter the wide TU only
+/// when simd::isa_runtime_ok(rans_interleaved_isa())).
+int rans_interleaved_isa();
+bool rans_interleaved_vectorized();
+
+/// AVX2 lane kernel: decode \p rounds full rounds of kRansWays symbols.
+/// \p table holds 2^14 packed entries (symbol << 32 | freq << 16 | cum);
+/// states/out are caller-owned.  Returns the new payload cursor; throws
+/// CorruptStream when renormalization runs out of payload bytes.  Defined in
+/// rans_interleaved_simd.cpp; only callable when rans_interleaved_vectorized()
+/// and the runtime ISA check both hold.
+std::size_t rans_interleaved_decode_rounds_vec(const std::uint64_t* table,
+                                               const std::uint8_t* payload,
+                                               std::size_t payload_size,
+                                               std::size_t byte_pos,
+                                               std::uint32_t* states,
+                                               std::uint32_t* out,
+                                               std::size_t rounds);
+
+}  // namespace detail
+
+}  // namespace fraz
+
+#endif  // FRAZ_CODEC_RANS_INTERLEAVED_HPP

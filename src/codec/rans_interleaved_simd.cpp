@@ -1,0 +1,164 @@
+/// AVX2 lane kernel for the 8-way interleaved rANS decoder.  CMake compiles
+/// this TU with `-mavx2 -ffp-contract=off`; on non-AVX2 builds every entry
+/// point degrades to the scalar 8-way loop in rans_interleaved.cpp (and
+/// rans_interleaved_vectorized() reports false so callers never enter).
+///
+/// Bit-identity with rans_interleaved_decode_ref is a hard contract: a decode
+/// step consumes no payload bytes and renormalization reads happen in
+/// ascending lane order within each round, so the byte-consumption order is
+/// identical to the scalar loop — see tests/test_rans_interleaved.cpp.
+#include "codec/rans_interleaved.hpp"
+
+#include "util/error.hpp"
+#include "util/simd.hpp"
+
+namespace fraz {
+namespace detail {
+
+int rans_interleaved_isa() { return simd::isa_id(); }
+
+bool rans_interleaved_vectorized() {
+#if defined(FRAZ_SIMD_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(FRAZ_SIMD_AVX2)
+
+namespace {
+
+constexpr unsigned kProbBits = kRansInterleavedProbBits;
+constexpr std::uint32_t kProbScale = 1u << kProbBits;
+constexpr std::uint32_t kStateLow = 1u << 23;
+
+}  // namespace
+
+std::size_t rans_interleaved_decode_rounds_vec(const std::uint64_t* table,
+                                               const std::uint8_t* payload,
+                                               std::size_t payload_size,
+                                               std::size_t byte_pos,
+                                               std::uint32_t* states,
+                                               std::uint32_t* out,
+                                               std::size_t rounds) {
+  // Every state lives in [kStateLow, kStateLow*256) < 2^31, and the decode
+  // update only shrinks it (freq*(x>>14) + slot - cum <= x), so signed 32-bit
+  // compares are safe throughout.
+  __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(states));
+  const __m256i slot_mask = _mm256_set1_epi32(static_cast<int>(kProbScale - 1));
+  const __m256i u16_mask = _mm256_set1_epi32(0xffff);
+  const __m256i low_bound = _mm256_set1_epi32(static_cast<int>(kStateLow));
+  // SIMD renorm constants.  A lane needs at most two renormalization bytes
+  // per round: the decode update maps any in-range state to at least
+  // freq * (kStateLow >> kProbBits) >= 2^9, and 2^9 << 16 >= kStateLow, so
+  // per-lane byte counts are 0, 1, or 2 — computable from the state alone as
+  // (x < kStateLow) + (x < kStateLow >> 8) before any byte is read.
+  const __m256i mid_bound = _mm256_set1_epi32(static_cast<int>(kStateLow >> 8));
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i shuf_zero = _mm256_set1_epi32(0x80);  // pshufb "emit zero" byte
+  const __m256i hi_zero = _mm256_set1_epi32(static_cast<int>(0x80800000u));
+  const __m256i lane_one = _mm256_set1_epi32(1);
+  const __m256i pfx1 = _mm256_setr_epi32(0, 0, 1, 2, 3, 4, 5, 6);
+  const __m256i pfx2 = _mm256_setr_epi32(0, 0, 0, 1, 2, 3, 4, 5);
+  const __m256i pfx4 = _mm256_setr_epi32(0, 0, 0, 0, 0, 1, 2, 3);
+  // Compact the 8 gathered u64 entries: even dwords of each gather hold
+  // freq<<16|cum, odd dwords hold the symbol.
+  const __m256i even_idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+  const __m256i odd_idx = _mm256_setr_epi32(1, 3, 5, 7, 1, 3, 5, 7);
+  const auto* tbl = reinterpret_cast<const long long*>(table);
+
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const __m256i slot = _mm256_and_si256(x, slot_mask);
+    // Two 4-wide u64 gathers: lanes 0..3 and 4..7.
+    const __m128i idx_lo = _mm256_castsi256_si128(slot);
+    const __m128i idx_hi = _mm256_extracti128_si256(slot, 1);
+    const __m256i ent_lo = _mm256_i32gather_epi64(tbl, idx_lo, 8);
+    const __m256i ent_hi = _mm256_i32gather_epi64(tbl, idx_hi, 8);
+    // Low dwords (freq<<16|cum) of each entry, compacted to lane order.
+    const __m256i fc_lo = _mm256_permutevar8x32_epi32(ent_lo, even_idx);
+    const __m256i fc_hi = _mm256_permutevar8x32_epi32(ent_hi, even_idx);
+    const __m256i fc = _mm256_inserti128_si256(fc_lo, _mm256_castsi256_si128(fc_hi), 1);
+    // High dwords = symbols.
+    const __m256i sym_lo = _mm256_permutevar8x32_epi32(ent_lo, odd_idx);
+    const __m256i sym_hi = _mm256_permutevar8x32_epi32(ent_hi, odd_idx);
+    const __m256i sym = _mm256_inserti128_si256(sym_lo, _mm256_castsi256_si128(sym_hi), 1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), sym);
+    out += kRansWays;
+
+    const __m256i freq = _mm256_srli_epi32(fc, 16);
+    const __m256i cum = _mm256_and_si256(fc, u16_mask);
+    x = _mm256_add_epi32(
+        _mm256_mullo_epi32(freq, _mm256_srli_epi32(x, static_cast<int>(kProbBits))),
+        _mm256_sub_epi32(slot, cum));
+
+    // Renormalize in-register, ascending lane order (the byte-consumption
+    // contract).  Per-lane counts (0/1/2) prefix-sum into byte offsets, and
+    // one 16-byte payload block broadcast to both halves feeds every lane
+    // through a pshufb whose control is built from those offsets — no
+    // vector-store/scalar-load roundtrip, no data-dependent branches.
+    const __m256i need1 = _mm256_cmpgt_epi32(low_bound, x);
+    if (_mm256_movemask_ps(_mm256_castsi256_ps(need1)) != 0) {
+      if (byte_pos + 16 <= payload_size) {
+        const __m256i need2 = _mm256_cmpgt_epi32(mid_bound, x);
+        const __m256i cnt = _mm256_sub_epi32(zero, _mm256_add_epi32(need1, need2));
+        // Inclusive prefix sum over the 8 lanes (shift-by-1/2/4 and add).
+        __m256i s = cnt;
+        __m256i t = _mm256_blend_epi32(_mm256_permutevar8x32_epi32(s, pfx1), zero, 0x01);
+        s = _mm256_add_epi32(s, t);
+        t = _mm256_blend_epi32(_mm256_permutevar8x32_epi32(s, pfx2), zero, 0x03);
+        s = _mm256_add_epi32(s, t);
+        t = _mm256_blend_epi32(_mm256_permutevar8x32_epi32(s, pfx4), zero, 0x0f);
+        s = _mm256_add_epi32(s, t);
+        const __m256i off = _mm256_sub_epi32(s, cnt);  // exclusive prefix = lane offset
+        // Shuffle control per 32-bit lane: byte0 <- payload[off + cnt - 1],
+        // byte1 <- payload[off] (two-byte lanes only), rest zeroed, so the
+        // lane value matches the scalar (s << 8) | byte feed exactly.
+        const __m256i is1 = _mm256_andnot_si256(need2, need1);
+        __m256i b0 = shuf_zero;
+        b0 = _mm256_blendv_epi8(b0, off, is1);
+        b0 = _mm256_blendv_epi8(b0, _mm256_add_epi32(off, lane_one), need2);
+        const __m256i b1 = _mm256_blendv_epi8(shuf_zero, off, need2);
+        const __m256i ctrl =
+            _mm256_or_si256(_mm256_or_si256(b0, _mm256_slli_epi32(b1, 8)), hi_zero);
+        const __m256i block = _mm256_broadcastsi128_si256(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(payload + byte_pos)));
+        const __m256i fed = _mm256_shuffle_epi8(block, ctrl);
+        x = _mm256_or_si256(_mm256_sllv_epi32(x, _mm256_slli_epi32(cnt, 3)), fed);
+        byte_pos += static_cast<std::size_t>(_mm256_extract_epi32(s, 7));
+      } else {
+        // Payload tail: scalar per-lane feed with exact bounds checks.
+        int need = _mm256_movemask_ps(_mm256_castsi256_ps(need1));
+        alignas(32) std::uint32_t lanes[kRansWays];
+        _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), x);
+        while (need != 0) {
+          const int w = __builtin_ctz(static_cast<unsigned>(need));
+          std::uint32_t s = lanes[w];
+          while (s < kStateLow) {
+            if (byte_pos >= payload_size)
+              throw CorruptStream("rans_interleaved: truncated payload");
+            s = (s << 8) | payload[byte_pos++];
+          }
+          lanes[w] = s;
+          need &= need - 1;
+        }
+        x = _mm256_load_si256(reinterpret_cast<const __m256i*>(lanes));
+      }
+    }
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(states), x);
+  return byte_pos;
+}
+
+#else  // !FRAZ_SIMD_AVX2 — never entered (vectorized() is false); satisfy the link.
+
+std::size_t rans_interleaved_decode_rounds_vec(const std::uint64_t*, const std::uint8_t*,
+                                               std::size_t, std::size_t byte_pos,
+                                               std::uint32_t*, std::uint32_t*, std::size_t) {
+  throw Unsupported("rans_interleaved: vector kernel unavailable in this build");
+}
+
+#endif
+
+}  // namespace detail
+}  // namespace fraz

@@ -21,11 +21,12 @@ std::vector<std::uint8_t> seal_container(CompressorId id, DType dtype, const Sha
 }
 
 void seal_container_into(CompressorId id, DType dtype, const Shape& shape,
-                         const std::uint8_t* payload, std::size_t payload_size, Buffer& out) {
+                         const std::uint8_t* payload, std::size_t payload_size, Buffer& out,
+                         std::uint8_t version) {
   out.clear();
   out.reserve(payload_size + 32);
   put_u32(out, kMagic);
-  out.push_back(kVersion);
+  out.push_back(version);
   out.push_back(static_cast<std::uint8_t>(id));
   out.push_back(dtype == DType::kFloat32 ? 0 : 1);
   put_varint(out, shape.size());
@@ -53,9 +54,15 @@ Container open_container_impl(const std::uint8_t* data, std::size_t size,
   }();
   if (crc32(data, size - 4) != stored_crc) throw CorruptStream("container: checksum mismatch");
 
-  if (data[pos++] != kVersion) throw CorruptStream("container: unsupported version");
+  const std::uint8_t version = data[pos++];
   const std::uint8_t id_tag = data[pos++];
   const std::uint8_t dtype_tag = data[pos++];
+  // Version 2 exists only for sz blocked payloads; every other backend is
+  // pinned to version 1 so an unknown (version, id) pair fails loudly here
+  // instead of misparsing downstream.
+  if (version != kVersion &&
+      !(version == 2 && id_tag == static_cast<std::uint8_t>(CompressorId::kSz)))
+    throw CorruptStream("container: unsupported version");
   if (dtype_tag > 1) throw CorruptStream("container: bad dtype tag");
   if (id_tag < static_cast<std::uint8_t>(CompressorId::kSz) ||
       id_tag > static_cast<std::uint8_t>(CompressorId::kFpc))
@@ -78,6 +85,7 @@ Container open_container_impl(const std::uint8_t* data, std::size_t size,
   if (pos + payload_size + 4 != size) throw CorruptStream("container: payload size mismatch");
   c.payload = data + pos;
   c.payload_size = payload_size;
+  c.version = version;
   return c;
 }
 

@@ -42,6 +42,10 @@ struct Container {
   Shape shape;
   const std::uint8_t* payload;
   std::size_t payload_size;
+  /// Format version of the frame.  1 for every backend's classic payload;
+  /// 2 only for sz blocked payloads (the payload grammar changes with it,
+  /// so the decoder routes on this field).  v1 stays decodable forever.
+  std::uint8_t version = 1;
 };
 
 /// Serialize header + payload + checksum into one buffer.
@@ -50,9 +54,11 @@ std::vector<std::uint8_t> seal_container(CompressorId id, DType dtype, const Sha
 
 /// Zero-copy variant: seal into a caller-owned, reusable Buffer.  \p out is
 /// cleared first; its capacity is retained across calls, so steady-state
-/// sealing performs no heap allocation.
+/// sealing performs no heap allocation.  \p version is the frame format
+/// version to stamp; only sz may seal version 2 (see Container::version).
 void seal_container_into(CompressorId id, DType dtype, const Shape& shape,
-                         const std::uint8_t* payload, std::size_t payload_size, Buffer& out);
+                         const std::uint8_t* payload, std::size_t payload_size, Buffer& out,
+                         std::uint8_t version = 1);
 
 /// Convenience over the pointer form for payloads already in a std::vector.
 void seal_container_into(CompressorId id, DType dtype, const Shape& shape,

@@ -32,12 +32,34 @@
 
 namespace fraz {
 
+/// Execution mode of the sz pipeline.
+enum class SzMode : std::uint8_t {
+  /// The classic four-stage pipeline above (payload format v1): global
+  /// Lorenzo feedback, single-state rANS, LZ stage.
+  kSerial = 0,
+  /// Blocked fused pipeline (payload format v2): prediction state never
+  /// crosses a fixed-size block boundary, predict->quantize->entropy fuse
+  /// per block group, and each group carries an independent 8-way
+  /// interleaved rANS stream — so groups encode and decode in parallel with
+  /// byte-identical output at any thread count.  No LZ stage (the
+  /// interleaved coder reaches order-0 entropy on its own; the small
+  /// dictionary gain is traded for the parallel/fused speedup).
+  kBlocked = 1,
+};
+
 /// Tuning knobs for the SZ-like compressor.
 struct SzOptions {
   /// Absolute error bound; must be > 0 and finite.
   double error_bound = 1e-3;
   /// Enable the per-block regression predictor (2D/3D only).
   bool regression = true;
+  /// Pipeline selection; affects *encode* only (decode routes on the frame
+  /// version, so either instance decodes both formats).
+  SzMode mode = SzMode::kSerial;
+  /// Intra-chunk worker cap for blocked encode/decode (workers drawn from
+  /// shared_thread_pool(), caller included).  0 or 1 runs inline.  Output
+  /// bytes are identical at every setting.
+  unsigned threads = 0;
 };
 
 /// Compress \p input (1D/2D/3D, f32/f64) into a sealed container.
@@ -47,11 +69,13 @@ std::vector<std::uint8_t> sz_compress(const ArrayView& input, const SzOptions& o
 /// \p out (cleared first, capacity retained across calls).
 void sz_compress_into(const ArrayView& input, const SzOptions& options, Buffer& out);
 
-/// Decompress a container produced by sz_compress.
-NdArray sz_decompress(const std::uint8_t* data, std::size_t size);
+/// Decompress a container produced by sz_compress (either format version;
+/// the frame says which).  \p threads caps intra-chunk decode parallelism
+/// for v2 frames (0 or 1 = inline; v1 frames always decode serially).
+NdArray sz_decompress(const std::uint8_t* data, std::size_t size, unsigned threads = 0);
 
-inline NdArray sz_decompress(const std::vector<std::uint8_t>& data) {
-  return sz_decompress(data.data(), data.size());
+inline NdArray sz_decompress(const std::vector<std::uint8_t>& data, unsigned threads = 0) {
+  return sz_decompress(data.data(), data.size(), threads);
 }
 
 }  // namespace fraz

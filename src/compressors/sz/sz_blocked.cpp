@@ -1,0 +1,573 @@
+#include "compressors/sz/sz_blocked.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+
+#include "codec/rans_interleaved.hpp"
+#include "codec/varint.hpp"
+#include "compressors/sz/sz_internal.hpp"
+#include "compressors/sz/sz_kernels.hpp"
+#include "opt/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace fraz {
+
+namespace {
+
+using szi::BlockGeom;
+using szi::CoeffSteps;
+using szi::kRadius;
+
+/// A run of consecutive row-major blocks coded as one independent unit.
+struct Group {
+  std::size_t first_block;
+  std::size_t block_count;
+  std::size_t elems;
+};
+
+std::vector<BlockGeom> collect_blocks(const Shape& shape, unsigned dims) {
+  std::vector<BlockGeom> blocks;
+  blocks.reserve(szi::count_blocks(shape, dims, szb::blocked_edge(dims)));
+  szi::for_each_block(shape, dims, szb::blocked_edge(dims),
+                      [&](const BlockGeom& g) { blocks.push_back(g); });
+  return blocks;
+}
+
+/// Greedy grouping: close a group once it reaches the element target.  A
+/// pure function of the block list (hence of the shape), which is what makes
+/// the payload thread-count independent.
+std::vector<Group> build_groups(const std::vector<BlockGeom>& blocks) {
+  std::vector<Group> groups;
+  Group cur{0, 0, 0};
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    cur.block_count += 1;
+    cur.elems += blocks[i].len[0] * blocks[i].len[1] * blocks[i].len[2];
+    if (cur.elems >= szb::kGroupTargetElems) {
+      groups.push_back(cur);
+      cur = {i + 1, 0, 0};
+    }
+  }
+  if (cur.block_count != 0) groups.push_back(cur);
+  return groups;
+}
+
+/// Normalized block view: every block is (planes, rows, inner) with the
+/// inner axis contiguous (stride 1).  1D and 2D blocks degenerate to
+/// planes == 1 (and rows == 1 for 1D), which also collapses the 7-term
+/// Lorenzo stencil below to the 3-term (2D) and 1-term (1D) forms exactly.
+struct NormBlock {
+  std::size_t planes, rows, inner;
+  std::size_t base_idx;       // flat index of the block origin
+  std::size_t plane_stride;   // global stride between p and p+1 (0 when planes==1)
+  std::size_t row_stride;     // global stride between r and r+1 (0 when rows==1)
+};
+
+NormBlock normalize_block(const BlockGeom& g, unsigned dims,
+                          const std::array<std::size_t, 3>& stride) {
+  NormBlock nb{};
+  nb.planes = dims == 3 ? g.len[0] : 1;
+  nb.rows = dims == 3 ? g.len[1] : dims == 2 ? g.len[0] : 1;
+  nb.inner = g.len[dims - 1];
+  nb.base_idx = 0;
+  for (unsigned d = 0; d < dims; ++d) nb.base_idx += g.base[d] * stride[d];
+  nb.plane_stride = dims == 3 ? stride[0] : 0;
+  nb.row_stride = dims == 3 ? stride[1] : dims == 2 ? stride[0] : 0;
+  return nb;
+}
+
+/// The 7-term Lorenzo stencil over block-local reconstructed neighbours, in
+/// one fixed evaluation order.  Encoder and decoder call this identical
+/// expression so predictions agree bit-for-bit; out-of-block samples arrive
+/// as literal 0.0 (the zero row / zero-initialized carries below).
+inline double lorenzo7(double up, double north, double prev, double north_prev,
+                       double up_prev, double upnorth, double upnorth_prev) {
+  return up + north + prev - north_prev - up_prev - upnorth + upnorth_prev;
+}
+
+/// Zero row standing in for out-of-block neighbour rows.  Sized for the
+/// largest inner edge (1D blocks); .bss, shared, read-only.
+template <typename Scalar>
+const Scalar* zero_row() {
+  static const Scalar zeros[1024] = {};
+  return zeros;
+}
+
+// ---------------------------------------------------------------------------
+// Encode
+// ---------------------------------------------------------------------------
+
+/// Block-local Lorenzo encode: quantize the block against its own
+/// reconstruction, reading nothing outside it.  recon rows live in the
+/// caller's field-sized buffer (groups touch disjoint blocks, so parallel
+/// encoders never alias).
+template <typename Scalar>
+void encode_lorenzo_block(const Scalar* data, Scalar* recon, const NormBlock& nb, double e,
+                          double twoe, std::uint32_t*& codes_out,
+                          std::vector<std::uint8_t>& raws) {
+  const Scalar* zeros = zero_row<Scalar>();
+  // Quantization is encoder-internal: the decoder only ever sees the emitted
+  // code, so the reciprocal multiply and nearbyint (round-to-even, one
+  // roundsd on the loop-carried chain instead of an int64 round trip) are
+  // free to differ from llround in the last ulp — any q whose reconstruction
+  // passes the bound check is a valid encoding.  What MUST mirror the decoder
+  // exactly is the prediction + reconstruction arithmetic.
+  const double inv_twoe = 1.0 / twoe;
+  std::uint32_t* cp = codes_out;
+  for (std::size_t p = 0; p < nb.planes; ++p)
+    for (std::size_t r = 0; r < nb.rows; ++r) {
+      const std::size_t row_idx = nb.base_idx + p * nb.plane_stride + r * nb.row_stride;
+      const Scalar* drow = data + row_idx;
+      Scalar* rrow = recon + row_idx;
+      const Scalar* up = p > 0 ? rrow - nb.plane_stride : zeros;
+      const Scalar* north = r > 0 ? rrow - nb.row_stride : zeros;
+      const Scalar* upnorth = p > 0 && r > 0 ? rrow - nb.plane_stride - nb.row_stride : zeros;
+      double prev = 0.0, pn = 0.0, pu = 0.0, pun = 0.0;
+      for (std::size_t c = 0; c < nb.inner; ++c) {
+        const double cu = static_cast<double>(up[c]);
+        const double cn = static_cast<double>(north[c]);
+        const double cun = static_cast<double>(upnorth[c]);
+        const double pred = lorenzo7(cu, cn, prev, pn, pu, cun, pun);
+        const double v = static_cast<double>(drow[c]);
+        const double qf = (v - pred) * inv_twoe;
+        bool escaped = true;
+        if (std::abs(qf) < static_cast<double>(kRadius) - 1) {
+          const double qd = std::nearbyint(qf);
+          const Scalar candidate = static_cast<Scalar>(pred + twoe * qd);
+          // Validate after Scalar rounding so the bound holds exactly.
+          if (std::isfinite(static_cast<double>(candidate)) &&
+              std::abs(static_cast<double>(candidate) - v) <= e) {
+            *cp++ = static_cast<std::uint32_t>(kRadius + static_cast<std::int64_t>(qd));
+            rrow[c] = candidate;
+            escaped = false;
+          }
+        }
+        if (escaped) {
+          *cp++ = 0;
+          szi::put_scalar(raws, drow[c]);
+          rrow[c] = drow[c];
+        }
+        prev = static_cast<double>(rrow[c]);
+        pn = cn;
+        pu = cu;
+        pun = cun;
+      }
+    }
+  codes_out = cp;
+}
+
+/// Sampled separable least-squares fit over the normalized block: one pass
+/// over every other plane/row (all of the contiguous inner axis, which keeps
+/// the accumulation vectorizable), coordinate moments computed in O(edge).
+/// Replaces szi::fit_regression on the blocked path only — the v1 pipeline's
+/// bytes are pinned by golden CRCs, while the v2 format treats the fit as an
+/// encoder-internal choice (any coefficients that win the cost comparison
+/// below are valid), so the cheaper fit is format-legal.
+template <typename Scalar>
+std::array<double, 4> fit_regression_sampled(const Scalar* data, const NormBlock& nb,
+                                             unsigned dims) {
+  const std::size_t pstep = nb.planes > 1 ? 2 : 1;
+  const std::size_t rstep = nb.rows > 1 ? 2 : 1;
+  double sum_v = 0, sum_vp = 0, sum_vr = 0, sum_vc = 0;
+  for (std::size_t p = 0; p < nb.planes; p += pstep)
+    for (std::size_t r = 0; r < nb.rows; r += rstep) {
+      const Scalar* drow = data + nb.base_idx + p * nb.plane_stride + r * nb.row_stride;
+      double s = 0, sc = 0;
+      for (std::size_t c = 0; c < nb.inner; ++c) {
+        const double v = static_cast<double>(drow[c]);
+        s += v;
+        sc += v * static_cast<double>(c);
+      }
+      sum_v += s;
+      sum_vp += static_cast<double>(p) * s;
+      sum_vr += static_cast<double>(r) * s;
+      sum_vc += sc;
+    }
+  // Per-axis coordinate moments of the sampled grid: count, mean, and the
+  // centred second moment sum((x - mean)^2).
+  const auto axis_moments = [](std::size_t len, std::size_t step, double& k, double& mean,
+                               double& var_sum) {
+    double sum = 0, sum2 = 0;
+    k = 0;
+    for (std::size_t x = 0; x < len; x += step) {
+      k += 1;
+      sum += static_cast<double>(x);
+      sum2 += static_cast<double>(x) * static_cast<double>(x);
+    }
+    mean = sum / k;
+    var_sum = sum2 - k * mean * mean;
+  };
+  double kp, mp, vp, kr, mr, vr, kc, mc, vc;
+  axis_moments(nb.planes, pstep, kp, mp, vp);
+  axis_moments(nb.rows, rstep, kr, mr, vr);
+  axis_moments(nb.inner, 1, kc, mc, vc);
+  const double mean_v = sum_v / (kp * kr * kc);
+  const double slope_p = vp > 0 ? (sum_vp - mp * sum_v) / (kr * kc * vp) : 0.0;
+  const double slope_r = vr > 0 ? (sum_vr - mr * sum_v) / (kp * kc * vr) : 0.0;
+  const double slope_c = vc > 0 ? (sum_vc - mc * sum_v) / (kp * kr * vc) : 0.0;
+  std::array<double, 4> coeff{};
+  if (dims == 3) {
+    coeff[1] = slope_p;
+    coeff[2] = slope_r;
+    coeff[3] = slope_c;
+    coeff[0] = mean_v - slope_p * mp - slope_r * mr - slope_c * mc;
+  } else {
+    coeff[1] = slope_r;
+    coeff[2] = slope_c;
+    coeff[0] = mean_v - slope_r * mr - slope_c * mc;
+  }
+  return coeff;
+}
+
+/// Encoder-side mode decision for one block: fit, quantize coefficients, and
+/// compare per-point absolute residuals of both predictors.  The Lorenzo
+/// proxy runs on original values block-locally (matching what the real
+/// predictor will see, minus reconstruction noise), so the same
+/// bound-proportional penalty as the v1 pipeline is added.
+template <typename Scalar>
+bool decide_regression(const Scalar* data, const NormBlock& nb, unsigned dims, double e,
+                       const CoeffSteps& steps, std::array<double, 4>& coeff,
+                       std::array<std::int64_t, 4>& q) {
+  const auto fitted = fit_regression_sampled(data, nb, dims);
+  for (unsigned i = 0; i < 4; ++i) {
+    const double step = i == 0 ? steps.intercept : steps.slope;
+    const double scaled = fitted[i] / step;
+    if (!(std::abs(scaled) < 4.5e15)) return false;  // keep exact in double & varint-friendly
+    q[i] = static_cast<std::int64_t>(std::llround(scaled));
+    coeff[i] = static_cast<double>(q[i]) * step;
+  }
+
+  const double lorenzo_noise = e * (dims == 3 ? 1.5 : 0.6);
+  const Scalar* zeros = zero_row<Scalar>();
+  double cost_lorenzo = 0, cost_reg = 0;
+  // Stride-2 row/plane sampling: the decision only ranks the two predictors,
+  // and the subset sees the same smoothness the full block does.  Encoder
+  // internal (the payload stays a pure function of shape + data), and
+  // deterministic, so tuned bounds are unaffected.
+  const std::size_t pstep = nb.planes > 1 ? 2 : 1;
+  const std::size_t rstep = nb.rows > 1 ? 2 : 1;
+  std::size_t sampled = 0;
+  for (std::size_t p = 0; p < nb.planes; p += pstep)
+    for (std::size_t r = 0; r < nb.rows; r += rstep) {
+      const Scalar* drow = data + nb.base_idx + p * nb.plane_stride + r * nb.row_stride;
+      const Scalar* up = p > 0 ? drow - nb.plane_stride : zeros;
+      const Scalar* north = r > 0 ? drow - nb.row_stride : zeros;
+      const Scalar* upnorth = p > 0 && r > 0 ? drow - nb.plane_stride - nb.row_stride : zeros;
+      // Regression prediction along the row: base + step*c, same
+      // decomposition the quantize kernel uses.
+      const double pred_base =
+          dims == 3 ? (coeff[0] + coeff[1] * static_cast<double>(p)) +
+                          coeff[2] * static_cast<double>(r)
+                    : coeff[0] + coeff[1] * static_cast<double>(r);
+      const double pred_step = dims == 3 ? coeff[3] : coeff[2];
+      double prev = 0.0, pn = 0.0, pu = 0.0, pun = 0.0;
+      for (std::size_t c = 0; c < nb.inner; ++c) {
+        const double cu = static_cast<double>(up[c]);
+        const double cn = static_cast<double>(north[c]);
+        const double cun = static_cast<double>(upnorth[c]);
+        const double v = static_cast<double>(drow[c]);
+        cost_lorenzo += std::abs(v - lorenzo7(cu, cn, prev, pn, pu, cun, pun));
+        cost_reg += std::abs(v - (pred_base + pred_step * static_cast<double>(c)));
+        prev = v;
+        pn = cn;
+        pu = cu;
+        pun = cun;
+      }
+      sampled += nb.inner;
+    }
+  const double n = static_cast<double>(sampled);
+  return cost_reg < cost_lorenzo + n * lorenzo_noise;
+}
+
+/// Encode one group into its self-contained blob.
+template <typename Scalar>
+std::vector<std::uint8_t> encode_group(const Scalar* data, Scalar* recon, unsigned dims,
+                                       const std::array<std::size_t, 3>& stride,
+                                       const BlockGeom* blocks, const Group& grp, double e,
+                                       bool allow_regression) {
+  const double twoe = 2.0 * e;
+  const CoeffSteps steps =
+      szi::coeff_steps(e, static_cast<double>(szb::blocked_edge(dims)));
+  const bool vec = szk::simd_active();
+
+  std::vector<std::uint8_t> flags((grp.block_count + 7) / 8, 0);
+  std::vector<std::uint8_t> coeffs;
+  std::vector<std::uint8_t> raws;
+  // Every element emits exactly one code (escapes emit code 0), so the code
+  // buffer size is known up front.  thread_local: one warm allocation per
+  // worker for the whole compress, not one per group.
+  thread_local std::vector<std::uint32_t> codes;
+  if (codes.size() < grp.elems) codes.resize(grp.elems);
+  std::uint32_t* cp = codes.data();
+
+  for (std::size_t bi = 0; bi < grp.block_count; ++bi) {
+    const BlockGeom& g = blocks[grp.first_block + bi];
+    const NormBlock nb = normalize_block(g, dims, stride);
+
+    std::array<double, 4> coeff{};
+    std::array<std::int64_t, 4> cq{};
+    bool use_regression =
+        allow_regression && decide_regression(data, nb, dims, e, steps, coeff, cq);
+    if (use_regression) {
+      flags[bi / 8] |= static_cast<std::uint8_t>(1u << (bi % 8));
+      for (unsigned i = 0; i < 4; ++i) put_varint(coeffs, zigzag_encode(cq[i]));
+      for (std::size_t p = 0; p < nb.planes; ++p)
+        for (std::size_t r = 0; r < nb.rows; ++r) {
+          const double pred_base =
+              dims == 3 ? (coeff[0] + coeff[1] * static_cast<double>(p)) +
+                              coeff[2] * static_cast<double>(r)
+                        : coeff[0] + coeff[1] * static_cast<double>(r);
+          const double pred_step = dims == 3 ? coeff[3] : coeff[2];
+          const std::size_t idx0 = nb.base_idx + p * nb.plane_stride + r * nb.row_stride;
+          const std::uint32_t esc =
+              vec ? szk::quantize_run_vec(data + idx0, nb.inner, pred_base, pred_step, twoe,
+                                          e, cp, recon + idx0)
+                  : szk::quantize_run_scalar(data + idx0, nb.inner, pred_base, pred_step,
+                                             twoe, e, cp, recon + idx0);
+          cp += nb.inner;
+          for (std::uint32_t m = esc; m != 0; m &= m - 1)
+            szi::put_scalar(raws, data[idx0 + static_cast<unsigned>(__builtin_ctz(m))]);
+        }
+    } else {
+      encode_lorenzo_block(data, recon, nb, e, twoe, cp, raws);
+    }
+  }
+
+  const std::vector<std::uint8_t> entropy = rans_interleaved_encode(codes.data(), grp.elems);
+  std::vector<std::uint8_t> blob;
+  blob.reserve(flags.size() + coeffs.size() + entropy.size() + raws.size() + 32);
+  put_varint(blob, flags.size());
+  blob.insert(blob.end(), flags.begin(), flags.end());
+  put_varint(blob, coeffs.size());
+  blob.insert(blob.end(), coeffs.begin(), coeffs.end());
+  put_varint(blob, entropy.size());
+  blob.insert(blob.end(), entropy.begin(), entropy.end());
+  put_varint(blob, raws.size());
+  blob.insert(blob.end(), raws.begin(), raws.end());
+  return blob;
+}
+
+template <typename Scalar>
+void blocked_compress_impl(const ArrayView& input, const SzOptions& opt, Buffer& out) {
+  const unsigned dims = static_cast<unsigned>(input.dims());
+  const Shape& shape = input.shape();
+  const auto stride = szi::strides_of(shape);
+  const Scalar* data = input.typed<Scalar>();
+  const double e = opt.error_bound;
+  const bool allow_regression = opt.regression && dims >= 2;
+
+  const std::vector<BlockGeom> blocks = collect_blocks(shape, dims);
+  const std::vector<Group> groups = build_groups(blocks);
+
+  // Field-sized reconstruction buffer shared by all workers: each group's
+  // blocks cover disjoint index ranges, and block-local prediction never
+  // reads another block's rows, so there is no cross-group traffic at all.
+  std::vector<Scalar> recon(input.elements());
+  std::vector<std::vector<std::uint8_t>> blobs(groups.size());
+  parallel_for_shared(groups.size(), opt.threads, [&](std::size_t gi) {
+    blobs[gi] = encode_group(data, recon.data(), dims, stride, blocks.data(), groups[gi], e,
+                             allow_regression);
+  });
+
+  std::vector<std::uint8_t> payload;
+  std::size_t total = 16;
+  for (const auto& b : blobs) total += b.size() + 10;
+  payload.reserve(total);
+  szi::put_scalar(payload, e);
+  payload.push_back(opt.regression ? 1 : 0);
+  put_varint(payload, groups.size());
+  for (const auto& b : blobs) {
+    put_varint(payload, b.size());
+    payload.insert(payload.end(), b.begin(), b.end());
+  }
+  seal_container_into(CompressorId::kSz, input.dtype(), shape, payload.data(), payload.size(),
+                      out, /*version=*/2);
+}
+
+// ---------------------------------------------------------------------------
+// Decode
+// ---------------------------------------------------------------------------
+
+/// Block-local Lorenzo reconstruction, the mirror of encode_lorenzo_block:
+/// loop-carried previous-column samples and zero-row substitution keep the
+/// inner loop branch-free except for the (validated-rare) escape test, which
+/// is why blocked decode beats the v1 chain even before thread scaling.
+template <typename Scalar>
+void decode_lorenzo_block(Scalar* recon, const NormBlock& nb, double twoe,
+                          const std::uint32_t*& cp, const std::uint8_t* raws,
+                          std::size_t raw_size, std::size_t& raw_pos) {
+  const Scalar* zeros = zero_row<Scalar>();
+  for (std::size_t p = 0; p < nb.planes; ++p)
+    for (std::size_t r = 0; r < nb.rows; ++r) {
+      Scalar* rrow = recon + nb.base_idx + p * nb.plane_stride + r * nb.row_stride;
+      const Scalar* up = p > 0 ? rrow - nb.plane_stride : zeros;
+      const Scalar* north = r > 0 ? rrow - nb.row_stride : zeros;
+      const Scalar* upnorth = p > 0 && r > 0 ? rrow - nb.plane_stride - nb.row_stride : zeros;
+      double prev = 0.0, pn = 0.0, pu = 0.0, pun = 0.0;
+      for (std::size_t c = 0; c < nb.inner; ++c) {
+        const double cu = static_cast<double>(up[c]);
+        const double cn = static_cast<double>(north[c]);
+        const double cun = static_cast<double>(upnorth[c]);
+        const std::uint32_t code = *cp++;
+        Scalar v;
+        if (code == 0) {
+          v = szi::get_scalar<Scalar>(raws, raw_size, raw_pos);
+        } else {
+          const double pred = lorenzo7(cu, cn, prev, pn, pu, cun, pun);
+          const auto q = static_cast<std::int64_t>(code) - kRadius;
+          v = static_cast<Scalar>(pred + twoe * static_cast<double>(q));
+        }
+        rrow[c] = v;
+        prev = static_cast<double>(v);
+        pn = cn;
+        pu = cu;
+        pun = cun;
+      }
+    }
+}
+
+template <typename Scalar>
+void decode_group(Scalar* out, unsigned dims, const std::array<std::size_t, 3>& stride,
+                  const BlockGeom* blocks, const Group& grp, double e,
+                  const std::uint8_t* blob, std::size_t blob_size) {
+  const double twoe = 2.0 * e;
+  const CoeffSteps steps =
+      szi::coeff_steps(e, static_cast<double>(szb::blocked_edge(dims)));
+  const bool vec = szk::simd_active();
+  std::size_t pos = 0;
+
+  const std::uint64_t flag_bytes = get_varint(blob, blob_size, pos);
+  if (flag_bytes != (grp.block_count + 7) / 8) throw CorruptStream("sz: flag size mismatch");
+  if (pos + flag_bytes > blob_size) throw CorruptStream("sz: truncated flags");
+  const std::uint8_t* flags = blob + pos;
+  pos += flag_bytes;
+
+  const std::uint64_t coeff_bytes = get_varint(blob, blob_size, pos);
+  if (pos + coeff_bytes > blob_size) throw CorruptStream("sz: truncated coefficients");
+  const std::uint8_t* coeff_stream = blob + pos;
+  std::size_t coeff_pos = 0;
+  pos += coeff_bytes;
+
+  const std::uint64_t entropy_bytes = get_varint(blob, blob_size, pos);
+  if (pos + entropy_bytes > blob_size) throw CorruptStream("sz: truncated code stream");
+  // thread_local: one warm code buffer per worker across all its groups.
+  thread_local std::vector<std::uint32_t> codes;
+  rans_interleaved_decode_into(blob + pos, entropy_bytes, codes);
+  pos += entropy_bytes;
+
+  const std::uint64_t raw_bytes = get_varint(blob, blob_size, pos);
+  if (pos + raw_bytes != blob_size) throw CorruptStream("sz: group blob size mismatch");
+  const std::uint8_t* raws = blob + pos;
+  std::size_t raw_pos = 0;
+
+  if (codes.size() != grp.elems) throw CorruptStream("sz: code count mismatch");
+  // The encoder only emits codes in [0, 2R-1]; rejecting anything larger up
+  // front both hardens decode and lets the reconstruct kernel assume its
+  // int32 lanes are non-negative.  Max-reduction instead of branch-per-code
+  // so the sweep vectorizes.
+  std::uint32_t max_code = 0;
+  for (const std::uint32_t code : codes) max_code = std::max(max_code, code);
+  if (max_code > 2 * static_cast<std::uint32_t>(kRadius) - 1)
+    throw CorruptStream("sz: quantization code out of range");
+
+  const std::uint32_t* cp = codes.data();
+  for (std::size_t bi = 0; bi < grp.block_count; ++bi) {
+    const BlockGeom& g = blocks[grp.first_block + bi];
+    const NormBlock nb = normalize_block(g, dims, stride);
+    const bool use_regression = (flags[bi / 8] >> (bi % 8)) & 1u;
+    if (use_regression) {
+      // The encoder never flags 1D blocks (regression is 2D/3D only); a
+      // hostile stream that does is rejected rather than fed to the 32-lane
+      // kernels with an over-long run.
+      if (dims < 2) throw CorruptStream("sz: regression flag on 1D block");
+      std::array<double, 4> coeff{};
+      for (unsigned i = 0; i < 4; ++i) {
+        const double step = i == 0 ? steps.intercept : steps.slope;
+        coeff[i] = static_cast<double>(
+                       zigzag_decode(get_varint(coeff_stream, coeff_bytes, coeff_pos))) *
+                   step;
+      }
+      for (std::size_t p = 0; p < nb.planes; ++p)
+        for (std::size_t r = 0; r < nb.rows; ++r) {
+          const double pred_base =
+              dims == 3 ? (coeff[0] + coeff[1] * static_cast<double>(p)) +
+                              coeff[2] * static_cast<double>(r)
+                        : coeff[0] + coeff[1] * static_cast<double>(r);
+          const double pred_step = dims == 3 ? coeff[3] : coeff[2];
+          const std::size_t idx0 = nb.base_idx + p * nb.plane_stride + r * nb.row_stride;
+          const std::uint32_t esc =
+              vec ? szk::reconstruct_run_vec(cp, nb.inner, pred_base, pred_step, twoe,
+                                             out + idx0)
+                  : szk::reconstruct_run_scalar(cp, nb.inner, pred_base, pred_step, twoe,
+                                                out + idx0);
+          cp += nb.inner;
+          for (std::uint32_t m = esc; m != 0; m &= m - 1)
+            out[idx0 + static_cast<unsigned>(__builtin_ctz(m))] =
+                szi::get_scalar<Scalar>(raws, raw_bytes, raw_pos);
+        }
+    } else {
+      decode_lorenzo_block(out, nb, twoe, cp, raws, raw_bytes, raw_pos);
+    }
+  }
+  if (coeff_pos != coeff_bytes) throw CorruptStream("sz: trailing coefficient bytes");
+  if (raw_pos != raw_bytes) throw CorruptStream("sz: trailing raw bytes");
+}
+
+template <typename Scalar>
+NdArray blocked_decompress_impl(const Container& c, unsigned threads) {
+  const std::uint8_t* p = c.payload;
+  const std::size_t size = c.payload_size;
+  std::size_t pos = 0;
+
+  const double e = szi::get_scalar<double>(p, size, pos);
+  if (!(e > 0) || !std::isfinite(e)) throw CorruptStream("sz: bad stored error bound");
+  if (pos >= size) throw CorruptStream("sz: truncated header");
+  pos += 1;  // regression enable flag (informational)
+
+  const unsigned dims = static_cast<unsigned>(c.shape.size());
+  const std::vector<BlockGeom> blocks = collect_blocks(c.shape, dims);
+  const std::vector<Group> groups = build_groups(blocks);
+
+  const std::uint64_t group_count = get_varint(p, size, pos);
+  if (group_count != groups.size()) throw CorruptStream("sz: group count mismatch");
+
+  struct Span {
+    const std::uint8_t* data;
+    std::size_t size;
+  };
+  std::vector<Span> spans(groups.size());
+  for (auto& s : spans) {
+    const std::uint64_t blob_size = get_varint(p, size, pos);
+    if (pos + blob_size > size) throw CorruptStream("sz: truncated group blob");
+    s = {p + pos, static_cast<std::size_t>(blob_size)};
+    pos += blob_size;
+  }
+  if (pos != size) throw CorruptStream("sz: trailing payload bytes");
+
+  NdArray out(c.dtype, c.shape);
+  const auto stride = szi::strides_of(c.shape);
+  Scalar* recon = out.typed<Scalar>();
+  parallel_for_shared(groups.size(), threads, [&](std::size_t gi) {
+    decode_group(recon, dims, stride, blocks.data(), groups[gi], e, spans[gi].data,
+                 spans[gi].size);
+  });
+  return out;
+}
+
+}  // namespace
+
+void sz_blocked_compress_into(const ArrayView& input, const SzOptions& options, Buffer& out) {
+  if (input.dtype() == DType::kFloat32)
+    blocked_compress_impl<float>(input, options, out);
+  else
+    blocked_compress_impl<double>(input, options, out);
+}
+
+NdArray sz_blocked_decompress(const Container& c, unsigned threads) {
+  require(c.shape.size() >= 1 && c.shape.size() <= 3, "sz: container rank unsupported");
+  return c.dtype == DType::kFloat32 ? blocked_decompress_impl<float>(c, threads)
+                                    : blocked_decompress_impl<double>(c, threads);
+}
+
+}  // namespace fraz

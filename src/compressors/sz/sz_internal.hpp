@@ -1,0 +1,152 @@
+#ifndef FRAZ_COMPRESSORS_SZ_SZ_INTERNAL_HPP
+#define FRAZ_COMPRESSORS_SZ_SZ_INTERNAL_HPP
+
+/// \file sz_internal.hpp
+/// Helpers shared by the serial (v1) and blocked (v2) sz pipelines: block
+/// geometry, the regression fit/predict pair, and raw-scalar wire helpers.
+/// Moved verbatim from sz.cpp when the blocked pipeline was added — the
+/// serial pipeline's bytes are pinned by golden CRCs, so behaviour here must
+/// not drift.  Internal to the sz backend; not part of any public API.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "ndarray/ndarray.hpp"
+#include "util/error.hpp"
+
+namespace fraz {
+namespace szi {
+
+/// Quantization radius: codes live in [1, 2R-1], code 0 is the
+/// "unpredictable" escape (raw scalar stored verbatim).
+constexpr std::int64_t kRadius = 32768;
+
+/// Regression slope/intercept quantization steps, derived from the error
+/// bound so coefficient rounding shifts predictions by at most ~e/2.  The
+/// bound itself is unaffected (encoder and decoder predict from the same
+/// quantized coefficients); this only preserves prediction quality.
+struct CoeffSteps {
+  double intercept;
+  double slope;
+};
+
+/// \p span is the block edge of the calling pipeline (the v1 and v2 formats
+/// use different block sizes, so their steps differ by construction).
+inline CoeffSteps coeff_steps(double error_bound, double span) noexcept {
+  return {error_bound / 8.0, error_bound / (8.0 * span)};
+}
+
+/// Row-major strides for a shape (slowest dimension first).
+inline std::array<std::size_t, 3> strides_of(const Shape& shape) {
+  std::array<std::size_t, 3> s{0, 0, 0};
+  const std::size_t d = shape.size();
+  s[d - 1] = 1;
+  for (std::size_t i = d - 1; i-- > 0;) s[i] = s[i + 1] * shape[i + 1];
+  return s;
+}
+
+/// The shared per-block geometry: origin and extent of the clipped block.
+struct BlockGeom {
+  std::size_t base[3];
+  std::size_t len[3];  // extent per (used) axis; 1 for unused axes
+};
+
+/// Evaluate the regression plane at local block coordinates.  Encoder and
+/// decoder must use this identical expression so predictions agree exactly.
+inline double regression_predict(const double* coeff, std::size_t lx, std::size_t ly,
+                                 std::size_t lz) {
+  return coeff[0] + coeff[1] * static_cast<double>(lx) + coeff[2] * static_cast<double>(ly) +
+         coeff[3] * static_cast<double>(lz);
+}
+
+/// Separable least-squares fit of v ~ b0 + b1*l0 + b2*l1 + b3*l2 over the
+/// (rectangular) block.  Axes beyond `dims` get zero slope.  Local coords
+/// l0/l1/l2 follow the block's own axis order (l0 = slowest).
+template <typename Scalar>
+std::array<double, 4> fit_regression(const Scalar* data, const BlockGeom& g, unsigned dims,
+                                     const std::array<std::size_t, 3>& stride) {
+  double mean_v = 0;
+  double mean_c[3] = {0, 0, 0};
+  const std::size_t n = g.len[0] * g.len[1] * g.len[2];
+  for (unsigned d = 0; d < 3; ++d) mean_c[d] = (static_cast<double>(g.len[d]) - 1.0) / 2.0;
+
+  for (std::size_t a = 0; a < g.len[0]; ++a)
+    for (std::size_t b = 0; b < g.len[1]; ++b)
+      for (std::size_t c = 0; c < g.len[2]; ++c) {
+        std::size_t idx = (g.base[0] + a) * stride[0];
+        if (dims > 1) idx += (g.base[1] + b) * stride[1];
+        if (dims > 2) idx += (g.base[2] + c) * stride[2];
+        mean_v += static_cast<double>(data[idx]);
+      }
+  mean_v /= static_cast<double>(n);
+
+  double num[3] = {0, 0, 0}, den[3] = {0, 0, 0};
+  for (std::size_t a = 0; a < g.len[0]; ++a)
+    for (std::size_t b = 0; b < g.len[1]; ++b)
+      for (std::size_t c = 0; c < g.len[2]; ++c) {
+        std::size_t idx = (g.base[0] + a) * stride[0];
+        if (dims > 1) idx += (g.base[1] + b) * stride[1];
+        if (dims > 2) idx += (g.base[2] + c) * stride[2];
+        const double dv = static_cast<double>(data[idx]) - mean_v;
+        const double dc[3] = {static_cast<double>(a) - mean_c[0],
+                              static_cast<double>(b) - mean_c[1],
+                              static_cast<double>(c) - mean_c[2]};
+        for (unsigned d = 0; d < 3; ++d) {
+          num[d] += dv * dc[d];
+          den[d] += dc[d] * dc[d];
+        }
+      }
+  std::array<double, 4> coeff{};
+  for (unsigned d = 0; d < 3; ++d) coeff[d + 1] = den[d] > 0 ? num[d] / den[d] : 0.0;
+  coeff[0] = mean_v - coeff[1] * mean_c[0] - coeff[2] * mean_c[1] - coeff[3] * mean_c[2];
+  return coeff;
+}
+
+/// Visit blocks of edge \p edge in row-major block order.
+template <typename Fn>
+void for_each_block(const Shape& shape, unsigned dims, std::size_t edge, Fn&& fn) {
+  std::size_t counts[3] = {1, 1, 1};
+  for (unsigned d = 0; d < dims; ++d) counts[d] = (shape[d] + edge - 1) / edge;
+  for (std::size_t b0 = 0; b0 < counts[0]; ++b0)
+    for (std::size_t b1 = 0; b1 < counts[1]; ++b1)
+      for (std::size_t b2 = 0; b2 < counts[2]; ++b2) {
+        BlockGeom g{};
+        const std::size_t bases[3] = {b0 * edge, b1 * edge, b2 * edge};
+        for (unsigned d = 0; d < 3; ++d) {
+          g.base[d] = d < dims ? bases[d] : 0;
+          g.len[d] = d < dims ? std::min(edge, shape[d] - bases[d]) : 1;
+        }
+        fn(g);
+      }
+}
+
+inline std::size_t count_blocks(const Shape& shape, unsigned dims, std::size_t edge) {
+  std::size_t total = 1;
+  for (unsigned d = 0; d < dims; ++d) total *= (shape[d] + edge - 1) / edge;
+  return total;
+}
+
+/// Append an IEEE scalar verbatim (little endian).
+template <typename Scalar>
+void put_scalar(std::vector<std::uint8_t>& out, Scalar v) {
+  std::uint8_t bytes[sizeof(Scalar)];
+  std::memcpy(bytes, &v, sizeof(Scalar));
+  out.insert(out.end(), bytes, bytes + sizeof(Scalar));
+}
+
+template <typename Scalar>
+Scalar get_scalar(const std::uint8_t* data, std::size_t size, std::size_t& pos) {
+  if (pos + sizeof(Scalar) > size) throw CorruptStream("sz: truncated raw scalar");
+  Scalar v;
+  std::memcpy(&v, data + pos, sizeof(Scalar));
+  pos += sizeof(Scalar);
+  return v;
+}
+
+}  // namespace szi
+}  // namespace fraz
+
+#endif  // FRAZ_COMPRESSORS_SZ_SZ_INTERNAL_HPP

@@ -76,7 +76,20 @@ std::uint64_t double_bits(double v) noexcept {
 std::uint64_t data_fingerprint(const ArrayView& data) noexcept {
   std::uint64_t h = mix64(static_cast<std::uint64_t>(data.dtype()) + 0x64617461ull);
   for (const std::size_t extent : data.shape()) h = mix64(h ^ extent);
-  return hash_bytes(data.data(), data.size_bytes(), h);
+  const std::size_t size = data.size_bytes();
+  if (size <= kFingerprintFullPassBytes) return hash_bytes(data.data(), size, h);
+  // Strided sampling (contract in probe.hpp): total length plus evenly
+  // spaced windows, first at offset 0, last flush against the end.  Each
+  // window is seeded with its offset so swapping two equal-content windows
+  // still changes the key.
+  const auto* bytes = static_cast<const std::uint8_t*>(data.data());
+  h = mix64(h ^ size);
+  const std::size_t last_start = size - kFingerprintWindowBytes;
+  for (std::size_t w = 0; w < kFingerprintWindows; ++w) {
+    const std::size_t start = last_start * w / (kFingerprintWindows - 1);
+    h = hash_bytes(bytes + start, kFingerprintWindowBytes, mix64(h ^ start));
+  }
+  return h;
 }
 
 std::uint64_t compressor_fingerprint(const pressio::Compressor& compressor) {

@@ -42,9 +42,22 @@ enum class QualityMetric {
   kSsim,    ///< structural similarity in [0, 1] (higher = better); 2D/3D only
 };
 
-/// 64-bit content fingerprint of an array: dtype, shape, and every byte.
-/// A full pass over the data, but orders of magnitude cheaper than the
-/// compression probe it deduplicates.
+/// Strided-fingerprint contract (data_fingerprint below): buffers at most
+/// this large hash every byte; larger ones hash the total length plus
+/// kFingerprintWindows evenly spaced kFingerprintWindowBytes-byte windows,
+/// the first anchored at offset 0 and the last ending at the final byte.
+inline constexpr std::size_t kFingerprintFullPassBytes = 1u << 20;
+inline constexpr std::size_t kFingerprintWindows = 64;
+inline constexpr std::size_t kFingerprintWindowBytes = 256;
+
+/// 64-bit content fingerprint of an array: dtype, shape, and the data.
+/// Buffers up to kFingerprintFullPassBytes are hashed in full; larger ones
+/// are sampled per the strided contract above, so the cost is bounded
+/// (~16 KiB of reads) no matter how large the probe input grows.  Two
+/// buffers that differ only in bytes outside the sampled windows therefore
+/// collide BY DESIGN — acceptable for the probe cache, whose entries are
+/// keyed per (compressor config, bound) and whose worst case is a stale
+/// ratio estimate, never a correctness failure.
 std::uint64_t data_fingerprint(const ArrayView& data) noexcept;
 
 /// Fingerprint of a compressor's identity and configuration (name plus the

@@ -65,6 +65,21 @@ private:
 /// must never block on other shared-pool tasks.
 ThreadPool& shared_thread_pool();
 
+/// Run fn(0..n-1) with up to \p threads workers drawn from
+/// shared_thread_pool(), the CALLER INCLUDED — the caller claims work too, so
+/// the loop completes even when every pool worker is busy (or when this is
+/// itself running on a pool worker), which keeps the never-block-on-pool-tasks
+/// rule intact for nested use.  Helpers claim indices from a shared atomic
+/// counter; the first exception is captured and rethrown on the caller after
+/// every index has finished.  threads <= 1 or n <= 1 runs inline.
+///
+/// Index assignment is dynamic, so \p fn must not care which thread runs
+/// which index: writes for distinct indices must land in disjoint locations
+/// and results must depend only on the index (the blocked-sz determinism
+/// contract rides on this).
+void parallel_for_shared(std::size_t n, unsigned threads,
+                         const std::function<void(std::size_t)>& fn);
+
 }  // namespace fraz
 
 #endif  // FRAZ_OPT_THREAD_POOL_HPP

@@ -64,6 +64,11 @@ struct Capabilities {
   /// the bound (fpc).  Lossless backends have a flat ratio curve, so the
   /// tuner reports their fixed ratio instead of searching.
   bool lossless = false;
+  /// True when the backend offers a blocked execution mode (block-local
+  /// prediction state, per-group entropy streams) whose encode/decode can
+  /// run intra-chunk parallel with thread-count-invariant bytes (sz's
+  /// "<name>:mode=blocked" option).
+  bool blocked_mode = false;
 
   /// Convenience probe: can the backend compress rank-\p dims data of \p t?
   bool supports(DType t, std::size_t dims) const noexcept {

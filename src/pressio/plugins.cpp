@@ -41,11 +41,16 @@ public:
     c.name = "sz";
     c.min_dims = 1;
     c.max_dims = 3;
+    c.blocked_mode = true;
     return c;
   }
 
   Options get_options() const override {
-    return Options{{"sz:error_bound", opt_.error_bound}, {"sz:regression", opt_.regression}};
+    return Options{
+        {"sz:error_bound", opt_.error_bound},
+        {"sz:regression", opt_.regression},
+        {"sz:mode", std::string(opt_.mode == SzMode::kBlocked ? "blocked" : "serial")},
+        {"sz:threads", static_cast<std::int64_t>(opt_.threads)}};
   }
 
   void set_options(const Options& options) override {
@@ -56,6 +61,20 @@ public:
     }
     if (options.contains("sz:regression"))
       opt_.regression = options.get<bool>("sz:regression");
+    if (options.contains("sz:mode")) {
+      const auto mode = options.get<std::string>("sz:mode");
+      if (mode == "serial")
+        opt_.mode = SzMode::kSerial;
+      else if (mode == "blocked")
+        opt_.mode = SzMode::kBlocked;
+      else
+        throw InvalidArgument("sz:mode must be 'serial' or 'blocked'");
+    }
+    if (options.contains("sz:threads")) {
+      const auto threads = options.get<std::int64_t>("sz:threads");
+      require(threads >= 0 && threads <= 1024, "sz:threads must be in [0, 1024]");
+      opt_.threads = static_cast<unsigned>(threads);
+    }
   }
 
   void set_error_bound(double bound) override {
@@ -70,7 +89,9 @@ public:
 
   Status decompress_into(const std::uint8_t* data, std::size_t size,
                          NdArray& out) const noexcept override {
-    return guarded([&] { out = sz_decompress(data, size); });
+    // sz:threads caps intra-chunk parallelism for v2 (blocked) frames; v1
+    // frames ignore it.  Either configured mode decodes both formats.
+    return guarded([&] { out = sz_decompress(data, size, opt_.threads); });
   }
 
   CompressorPtr clone() const override { return std::make_unique<SzPlugin>(*this); }

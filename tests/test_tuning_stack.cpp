@@ -313,6 +313,55 @@ TEST(Engine, Fig6WorkloadSpendsNoMoreProbesThanTheSeedImplementation) {
       << "warm-start reuse regressed on a mildly drifting series";
 }
 
+// ------------------------------------------------- data fingerprint
+
+/// Raw byte buffer viewed as a 1D f32 array for fingerprinting.
+ArrayView bytes_view(const std::vector<std::uint8_t>& bytes) {
+  return ArrayView(bytes.data(), DType::kFloat32, {bytes.size() / sizeof(float)});
+}
+
+TEST(DataFingerprint, SmallBuffersHashEveryByte) {
+  std::vector<std::uint8_t> a(64 * 1024, 0xab);
+  std::vector<std::uint8_t> b = a;
+  EXPECT_EQ(data_fingerprint(bytes_view(a)), data_fingerprint(bytes_view(b)));
+  b[b.size() / 2] ^= 1;  // any single byte matters below the sampling cutoff
+  EXPECT_NE(data_fingerprint(bytes_view(a)), data_fingerprint(bytes_view(b)));
+}
+
+TEST(DataFingerprint, LargeBuffersKeyOnLengthAndSampledWindows) {
+  // The strided contract (probe.hpp): above kFingerprintFullPassBytes only
+  // the length and the evenly spaced windows reach the hash, so buffers
+  // differing ONLY in unsampled bytes key identically — by design — while
+  // length changes and sampled-byte changes still change the key.
+  const std::size_t size = 4u << 20;
+  std::vector<std::uint8_t> a(size, 0x5c);
+  std::vector<std::uint8_t> b = a;
+
+  // Flip a byte squarely between two windows: window w starts at
+  // last_start * w / (windows - 1), so the midpoint of the gap between
+  // windows 0 and 1 is far outside both.
+  const std::size_t last_start = size - kFingerprintWindowBytes;
+  const std::size_t gap_mid = (last_start / (kFingerprintWindows - 1) + kFingerprintWindowBytes) / 2 +
+                              kFingerprintWindowBytes;
+  b[gap_mid] ^= 0xff;
+  EXPECT_EQ(data_fingerprint(bytes_view(a)), data_fingerprint(bytes_view(b)))
+      << "unsampled byte leaked into the key";
+
+  // A sampled byte (offset 0 is always the first window) changes the key.
+  std::vector<std::uint8_t> c = a;
+  c[0] ^= 1;
+  EXPECT_NE(data_fingerprint(bytes_view(a)), data_fingerprint(bytes_view(c)));
+
+  // So does the final byte (the last window ends flush at the buffer end).
+  std::vector<std::uint8_t> d = a;
+  d[size - 1] ^= 1;
+  EXPECT_NE(data_fingerprint(bytes_view(a)), data_fingerprint(bytes_view(d)));
+
+  // And so does the length alone, even with identical sampled content.
+  std::vector<std::uint8_t> e(size + sizeof(float) * 4, 0x5c);
+  EXPECT_NE(data_fingerprint(bytes_view(a)), data_fingerprint(bytes_view(e)));
+}
+
 TEST(ProbeCache, GenerationalEvictionRetainsHotEntries) {
   // The clear-when-full policy dropped a long campaign's whole working set;
   // the generational scheme must keep entries that are touched at least once

@@ -139,6 +139,7 @@ std::string capabilities_json(const pressio::Compressor& c) {
       .field("deterministic", caps.deterministic)
       .field("error_bounded", caps.error_bounded)
       .field("lossless", caps.lossless)
+      .field("blocked_mode", caps.blocked_mode)
       .key("options")
       .begin_array();
   for (const auto& key : c.get_options().keys()) w.value(key);

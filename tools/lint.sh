@@ -44,20 +44,60 @@ stage_tidy() {
   "$RUN_CLANG_TIDY" -p build-tidy -quiet "$REPO/src/.*\.cpp$"
 }
 
+# Everything that feeds the fuzz binaries, hashed.  The fuzz stages stamp
+# this into their build tree after a successful build and skip the
+# configure+compile entirely when it matches — the common case for lint runs
+# that only touched tests or docs.
+fuzz_source_hash() {
+  {
+    find "$REPO/src" "$REPO/fuzz" -type f \( -name '*.cpp' -o -name '*.hpp' \) -print0 |
+      sort -z | xargs -0 sha256sum
+    sha256sum "$REPO/CMakeLists.txt"
+  } | sha256sum | cut -d' ' -f1
+}
+
+# build_fuzzers_cached <build-dir> [cmake flags...]: (re)build the `fuzzers`
+# target unless the stamped source hash matches and the harness binaries
+# exist.
+build_fuzzers_cached() {
+  local build_dir="$1"
+  shift
+  local stamp="$build_dir/.fuzz-src-hash"
+  local hash
+  hash="$(fuzz_source_hash)"
+  if [ -f "$stamp" ] && [ "$(cat "$stamp")" = "$hash" ] &&
+    ls "$build_dir"/fuzz_* >/dev/null 2>&1; then
+    echo "-- fuzz harnesses up to date (sources ${hash:0:12}), skipping rebuild"
+    return 0
+  fi
+  rm -f "$stamp"
+  cmake -B "$build_dir" -S . "$@" >/dev/null
+  cmake --build "$build_dir" -j "$JOBS" --target fuzzers
+  echo "$hash" >"$stamp"
+}
+
+# Harness name -> seed directory.  The default strips the fuzz_ prefix; the
+# sz blocked harness reads the v2 corpus, which lives under the payload
+# format's name.
+seed_dir_for() {
+  case "$1" in
+    fuzz_sz_blocked) echo "$REPO/tests/corpus/sz2" ;;
+    *) echo "$REPO/tests/corpus/${1#fuzz_}" ;;
+  esac
+}
+
 stage_fuzz() {
   need "$CLANG_CXX"
   echo "== fuzz smoke: ${FUZZ_SECONDS}s per harness, ASan+UBSan =="
-  cmake -B build-fuzz -S . \
+  build_fuzzers_cached build-fuzz \
     -DCMAKE_CXX_COMPILER="$CLANG_CXX" \
     -DFRAZ_FUZZ=ON -DFRAZ_SANITIZE=address,undefined \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-  cmake --build build-fuzz -j "$JOBS" --target fuzzers
-  local corpus="$REPO/tests/corpus"
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
   for harness in build-fuzz/fuzz_*; do
     [ -x "$harness" ] || continue
     local name seed_dir work_dir
     name="$(basename "$harness")"
-    seed_dir="$corpus/${name#fuzz_}"
+    seed_dir="$(seed_dir_for "$name")"
     work_dir="build-fuzz/corpus-work/${name#fuzz_}"
     mkdir -p "$work_dir"
     echo "-- $name (seeds: $seed_dir)"
@@ -68,14 +108,12 @@ stage_fuzz() {
 
 stage_fuzz_replay() {
   echo "== fuzz replay: checked-in corpus through standalone harnesses =="
-  cmake -B build-replay -S . -DFRAZ_FUZZ=ON >/dev/null
-  cmake --build build-replay -j "$JOBS" --target fuzzers
-  local corpus="$REPO/tests/corpus"
+  build_fuzzers_cached build-replay -DFRAZ_FUZZ=ON
   for harness in build-replay/fuzz_*; do
     [ -x "$harness" ] || continue
     local name seed_dir
     name="$(basename "$harness")"
-    seed_dir="$corpus/${name#fuzz_}"
+    seed_dir="$(seed_dir_for "$name")"
     echo "-- $name (seeds: $seed_dir)"
     "$harness" "$seed_dir"
   done
