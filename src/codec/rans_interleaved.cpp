@@ -127,8 +127,15 @@ bool decode_prologue(const std::uint8_t* data, std::size_t size, std::size_t& po
                      std::uint64_t& symbol_count, std::vector<SymbolStats>& stats,
                      const std::uint8_t*& payload, std::size_t& payload_size,
                      std::size_t& byte_pos, std::uint32_t* states,
-                     std::vector<std::uint32_t>& out) {
+                     std::vector<std::uint32_t>& out,
+                     const std::uint64_t* expected_count) {
   symbol_count = get_varint(data, size, pos);
+  // Callers that know the count reject a hostile header here, before the
+  // declared count sizes any allocation: a degenerate one-symbol alphabet
+  // decodes with zero payload bytes per symbol, so nothing downstream bounds
+  // symbol_count by the blob size.
+  if (expected_count && symbol_count != *expected_count)
+    throw CorruptStream("rans_interleaved: symbol count mismatch");
   if (pos >= size) throw CorruptStream("rans_interleaved: truncated header");
   const std::uint8_t ways = data[pos++];
   if (ways != kWays) throw CorruptStream("rans_interleaved: unsupported way count");
@@ -304,7 +311,7 @@ std::vector<std::uint32_t> rans_interleaved_decode_ref(const std::uint8_t* data,
   std::uint32_t states[kWays];
   std::vector<std::uint32_t> out;
   if (!decode_prologue(data, size, pos, symbol_count, stats, payload, payload_size,
-                       byte_pos, states, out))
+                       byte_pos, states, out, nullptr))
     return out;
 
   std::vector<std::uint32_t> slot_to_index(kProbScale);
@@ -328,8 +335,11 @@ std::vector<std::uint32_t> rans_interleaved_decode_ref(const std::uint8_t* data,
   return out;
 }
 
-void rans_interleaved_decode_into(const std::uint8_t* data, std::size_t size,
-                                  std::vector<std::uint32_t>& out) {
+namespace {
+
+void decode_into_impl(const std::uint8_t* data, std::size_t size,
+                      std::vector<std::uint32_t>& out,
+                      const std::uint64_t* expected_count) {
   std::size_t pos = 0;
   std::uint64_t symbol_count = 0;
   std::vector<SymbolStats> stats;
@@ -338,7 +348,7 @@ void rans_interleaved_decode_into(const std::uint8_t* data, std::size_t size,
   std::uint32_t states[kWays];
   out.clear();
   if (!decode_prologue(data, size, pos, symbol_count, stats, payload, payload_size,
-                       byte_pos, states, out))
+                       byte_pos, states, out, expected_count))
     return;
 
   // Packed slot table: one 64-bit load per symbol replaces the two dependent
@@ -417,6 +427,19 @@ void rans_interleaved_decode_into(const std::uint8_t* data, std::size_t size,
     }
   }
   check_epilogue(states, byte_pos, payload_size);
+}
+
+}  // namespace
+
+void rans_interleaved_decode_into(const std::uint8_t* data, std::size_t size,
+                                  std::vector<std::uint32_t>& out) {
+  decode_into_impl(data, size, out, nullptr);
+}
+
+void rans_interleaved_decode_into(const std::uint8_t* data, std::size_t size,
+                                  std::vector<std::uint32_t>& out,
+                                  std::uint64_t expected_count) {
+  decode_into_impl(data, size, out, &expected_count);
 }
 
 std::vector<std::uint32_t> rans_interleaved_decode(const std::uint8_t* data,

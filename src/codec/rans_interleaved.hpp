@@ -83,6 +83,17 @@ inline std::vector<std::uint32_t> rans_interleaved_decode(
 void rans_interleaved_decode_into(const std::uint8_t* data, std::size_t size,
                                   std::vector<std::uint32_t>& out);
 
+/// As above, but throws CorruptStream unless the stream's declared symbol
+/// count equals \p expected_count — checked BEFORE the count sizes any
+/// allocation.  Callers decoding untrusted bytes with a known symbol count
+/// (the sz blocked decoder: group element count) must use this form: a
+/// degenerate one-symbol alphabet consumes zero payload bytes per symbol, so
+/// a ~50-byte blob can otherwise legally declare billions of symbols and
+/// force a multi-GB resize.
+void rans_interleaved_decode_into(const std::uint8_t* data, std::size_t size,
+                                  std::vector<std::uint32_t>& out,
+                                  std::uint64_t expected_count);
+
 /// Reference decoder: one symbol at a time, every byte read bounds-checked.
 /// The behavioural baseline the fast paths are pinned against.
 std::vector<std::uint32_t> rans_interleaved_decode_ref(const std::uint8_t* data,

@@ -249,24 +249,27 @@ NdArray decompress_impl(const Container& c) {
   pos += 1;  // regression enable flag (informational)
   const double twoe = 2.0 * e;
 
+  // Section lengths are untrusted 64-bit varints: check with the subtraction
+  // form (get_varint leaves pos <= size) — `pos + len` wraps for hostile
+  // lengths and would pass.
   const std::uint64_t flag_bytes = get_varint(p, size, pos);
-  if (pos + flag_bytes > size) throw CorruptStream("sz: truncated flags");
+  if (flag_bytes > size - pos) throw CorruptStream("sz: truncated flags");
   const std::uint8_t* flags = p + pos;
   pos += flag_bytes;
 
   const std::uint64_t coeff_bytes = get_varint(p, size, pos);
-  if (pos + coeff_bytes > size) throw CorruptStream("sz: truncated coefficients");
+  if (coeff_bytes > size - pos) throw CorruptStream("sz: truncated coefficients");
   const std::uint8_t* coeff_stream = p + pos;
   std::size_t coeff_pos = 0;
   pos += coeff_bytes;
 
   const std::uint64_t huff_bytes = get_varint(p, size, pos);
-  if (pos + huff_bytes > size) throw CorruptStream("sz: truncated code stream");
+  if (huff_bytes > size - pos) throw CorruptStream("sz: truncated code stream");
   const std::vector<std::uint32_t> codes = rans_decode(p + pos, huff_bytes);
   pos += huff_bytes;
 
   const std::uint64_t raw_bytes = get_varint(p, size, pos);
-  if (pos + raw_bytes > size) throw CorruptStream("sz: truncated raw stream");
+  if (raw_bytes > size - pos) throw CorruptStream("sz: truncated raw stream");
   const std::uint8_t* raw_stream = p + pos;
   std::size_t raw_pos = 0;
 

@@ -437,31 +437,36 @@ void decode_group(Scalar* out, unsigned dims, const std::array<std::size_t, 3>& 
   const bool vec = szk::simd_active();
   std::size_t pos = 0;
 
+  // Section lengths are untrusted 64-bit varints, so every bound below is the
+  // subtraction form `len > blob_size - pos` (get_varint leaves
+  // pos <= blob_size): the addition form `pos + len` would wrap for hostile
+  // lengths and pass the check.
   const std::uint64_t flag_bytes = get_varint(blob, blob_size, pos);
   if (flag_bytes != (grp.block_count + 7) / 8) throw CorruptStream("sz: flag size mismatch");
-  if (pos + flag_bytes > blob_size) throw CorruptStream("sz: truncated flags");
+  if (flag_bytes > blob_size - pos) throw CorruptStream("sz: truncated flags");
   const std::uint8_t* flags = blob + pos;
   pos += flag_bytes;
 
   const std::uint64_t coeff_bytes = get_varint(blob, blob_size, pos);
-  if (pos + coeff_bytes > blob_size) throw CorruptStream("sz: truncated coefficients");
+  if (coeff_bytes > blob_size - pos) throw CorruptStream("sz: truncated coefficients");
   const std::uint8_t* coeff_stream = blob + pos;
   std::size_t coeff_pos = 0;
   pos += coeff_bytes;
 
   const std::uint64_t entropy_bytes = get_varint(blob, blob_size, pos);
-  if (pos + entropy_bytes > blob_size) throw CorruptStream("sz: truncated code stream");
+  if (entropy_bytes > blob_size - pos) throw CorruptStream("sz: truncated code stream");
   // thread_local: one warm code buffer per worker across all its groups.
+  // Passing grp.elems rejects a hostile declared symbol count before the
+  // codec sizes its output, so codes.size() == grp.elems on return.
   thread_local std::vector<std::uint32_t> codes;
-  rans_interleaved_decode_into(blob + pos, entropy_bytes, codes);
+  rans_interleaved_decode_into(blob + pos, entropy_bytes, codes, grp.elems);
   pos += entropy_bytes;
 
   const std::uint64_t raw_bytes = get_varint(blob, blob_size, pos);
-  if (pos + raw_bytes != blob_size) throw CorruptStream("sz: group blob size mismatch");
+  if (raw_bytes != blob_size - pos) throw CorruptStream("sz: group blob size mismatch");
   const std::uint8_t* raws = blob + pos;
   std::size_t raw_pos = 0;
 
-  if (codes.size() != grp.elems) throw CorruptStream("sz: code count mismatch");
   // The encoder only emits codes in [0, 2R-1]; rejecting anything larger up
   // front both hardens decode and lets the reconstruct kernel assume its
   // int32 lanes are non-negative.  Max-reduction instead of branch-per-code
@@ -539,7 +544,8 @@ NdArray blocked_decompress_impl(const Container& c, unsigned threads) {
   std::vector<Span> spans(groups.size());
   for (auto& s : spans) {
     const std::uint64_t blob_size = get_varint(p, size, pos);
-    if (pos + blob_size > size) throw CorruptStream("sz: truncated group blob");
+    // Subtraction form: `pos + blob_size` wraps for hostile 64-bit lengths.
+    if (blob_size > size - pos) throw CorruptStream("sz: truncated group blob");
     s = {p + pos, static_cast<std::size_t>(blob_size)};
     pos += blob_size;
   }

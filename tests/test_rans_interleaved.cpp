@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "codec/varint.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/simd.hpp"
@@ -123,6 +124,47 @@ TEST(RansInterleaved, TruncationThrows) {
     EXPECT_THROW((void)rans_interleaved_decode(t), CorruptStream);
     EXPECT_THROW((void)rans_interleaved_decode_ref(t.data(), t.size()), CorruptStream);
   }
+}
+
+TEST(RansInterleaved, ExpectedCountAcceptsMatchRejectsMismatch) {
+  const std::vector<std::uint32_t> symbols(100, 7);
+  const auto encoded = rans_interleaved_encode(symbols);
+  std::vector<std::uint32_t> out;
+  rans_interleaved_decode_into(encoded.data(), encoded.size(), out, symbols.size());
+  EXPECT_EQ(out, symbols);
+  for (const std::uint64_t wrong : {std::uint64_t{0}, std::uint64_t{99}, std::uint64_t{101}})
+    EXPECT_THROW(rans_interleaved_decode_into(encoded.data(), encoded.size(), out, wrong),
+                 CorruptStream);
+}
+
+TEST(RansInterleaved, ExpectedCountGuardsRawModeToo) {
+  // > 2^14 distinct symbols forces raw mode; the guard must fire there as
+  // well, before the declared count drives the output loop.
+  std::vector<std::uint32_t> symbols;
+  for (std::uint32_t i = 0; i <= 65536; ++i) symbols.push_back(i);
+  const auto encoded = rans_interleaved_encode(symbols);
+  std::vector<std::uint32_t> out;
+  rans_interleaved_decode_into(encoded.data(), encoded.size(), out, symbols.size());
+  EXPECT_EQ(out, symbols);
+  EXPECT_THROW(rans_interleaved_decode_into(encoded.data(), encoded.size(), out, 5),
+               CorruptStream);
+}
+
+TEST(RansInterleaved, HostileSymbolCountRejectedBeforeAllocation) {
+  // A one-symbol alphabet at full probability makes every decode step an
+  // identity consuming zero payload bytes, so nothing but the header bounds
+  // the count: a ~50-byte blob can legally declare 10^15 symbols.  The
+  // expected-count form must reject it up front — were the guard placed
+  // after the output resize, this test would attempt a ~4 PB allocation.
+  const std::vector<std::uint32_t> symbols(64, 7);
+  const auto encoded = rans_interleaved_encode(symbols);
+  ASSERT_EQ(encoded[0], 64u);  // count is a 1-byte varint, spliced out below
+  std::vector<std::uint8_t> hostile;
+  put_varint(hostile, std::uint64_t{1000000000000000ull});
+  hostile.insert(hostile.end(), encoded.begin() + 1, encoded.end());
+  std::vector<std::uint32_t> out;
+  EXPECT_THROW(rans_interleaved_decode_into(hostile.data(), hostile.size(), out, 64),
+               CorruptStream);
 }
 
 TEST(RansInterleaved, TrailingBytesThrow) {
